@@ -1,0 +1,90 @@
+//! The common application driver interface.
+//!
+//! Every evaluated application (Table 1) implements [`Application`]:
+//! it can describe itself, produce its §5 default workload for a given
+//! size, and execute a workload under instrumentation, yielding the trace
+//! HawkSet analyses. The observation-based baseline uses the same entry
+//! point with [`ExecOptions::observe`] and a perturbation hook.
+
+use hawkset_core::trace::Trace;
+use pm_runtime::{Hook, Observation, PmEnv};
+use pm_workloads::{CacheOp, FsOp, Workload};
+
+use crate::registry::KnownRace;
+
+/// A workload in whichever shape the application consumes.
+#[derive(Clone, Debug)]
+pub enum AppWorkload {
+    /// YCSB-style key-value schedule (most applications).
+    Ycsb(Workload),
+    /// MadFS file operations, one schedule per thread.
+    Fs(Vec<Vec<FsOp>>),
+    /// Memcached protocol operations: load phase + per-thread schedules.
+    Cache {
+        /// Single-threaded load phase.
+        load: Vec<CacheOp>,
+        /// Per-thread main phase.
+        per_thread: Vec<Vec<CacheOp>>,
+    },
+}
+
+impl AppWorkload {
+    /// Total main-phase operation count.
+    pub fn main_ops(&self) -> usize {
+        match self {
+            AppWorkload::Ycsb(w) => w.main_ops(),
+            AppWorkload::Fs(per_thread) => per_thread.iter().map(Vec::len).sum(),
+            AppWorkload::Cache { per_thread, .. } => per_thread.iter().map(Vec::len).sum(),
+        }
+    }
+}
+
+/// Execution options.
+#[derive(Clone, Default)]
+pub struct ExecOptions {
+    /// Record reads of unpersisted foreign data (baseline detector).
+    pub observe: bool,
+    /// Perturbation hook (delay injection).
+    pub hook: Option<Hook>,
+}
+
+/// The outcome of one instrumented run.
+pub struct ExecResult {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Observations (empty unless [`ExecOptions::observe`]).
+    pub observations: Vec<Observation>,
+}
+
+/// One of the nine evaluated PM applications.
+pub trait Application: Send + Sync {
+    /// Display name matching Table 1.
+    fn name(&self) -> &'static str;
+
+    /// Synchronization style, as in Table 1 ("Lock", "Lock-Free",
+    /// "Lock/Lock-Free").
+    fn sync_method(&self) -> &'static str;
+
+    /// The application's known persistency-induced races (Table 2 + the
+    /// benign populations behind Table 4).
+    fn known_races(&self) -> Vec<KnownRace>;
+
+    /// The §5 workload for this application at the given size and seed.
+    fn default_workload(&self, main_ops: u64, seed: u64) -> AppWorkload;
+
+    /// Runs `workload` under instrumentation.
+    fn execute_with(&self, workload: &AppWorkload, opts: &ExecOptions) -> ExecResult;
+
+    /// Runs `workload` with default options.
+    fn execute(&self, workload: &AppWorkload) -> Trace {
+        self.execute_with(workload, &ExecOptions::default()).trace
+    }
+}
+
+/// Sets up an environment according to `opts` (shared by all apps).
+pub(crate) fn env_for(opts: &ExecOptions) -> PmEnv {
+    let env = PmEnv::new();
+    env.set_observe(opts.observe);
+    env.set_hook(opts.hook.clone());
+    env
+}

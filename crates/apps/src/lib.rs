@@ -1,0 +1,51 @@
+//! # pm-apps
+//!
+//! Rust reimplementations of the nine PM applications HawkSet evaluates
+//! (Table 1), each with its historical persistency-induced races injected
+//! at faithfully analogous sites, plus a machine-readable ground truth
+//! ([`registry::KnownRace`]) standing in for the paper's manual
+//! classification (Table 2 / Table 4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hawkset_core::addr::PmAddr;
+use pm_runtime::{PmEnv, PmMutex};
+
+pub mod apex;
+pub mod app;
+pub mod fastfair;
+pub mod madfs;
+pub mod model;
+pub mod masstree;
+pub mod memcached;
+pub mod part;
+pub mod wipe;
+pub mod pclht;
+pub mod turbohash;
+pub mod registry;
+
+pub use app::{AppWorkload, Application, ExecOptions, ExecResult};
+pub use registry::{score, Breakdown, KnownRace, RaceClass};
+
+/// Volatile per-address lock table shared by the lock-based applications
+/// (stand-in for in-node lock words).
+pub(crate) struct LockTable {
+    env: PmEnv,
+    map: parking_lot::Mutex<HashMap<PmAddr, Arc<PmMutex<()>>>>,
+}
+
+/// All nine applications, in Table 1 order.
+pub fn all_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(fastfair::FastFairApp),
+        Box::new(turbohash::TurboHashApp),
+        Box::new(pclht::PclhtApp),
+        Box::new(masstree::MasstreeApp),
+        Box::new(part::PartApp),
+        Box::new(madfs::MadFsApp),
+        Box::new(memcached::MemcachedApp),
+        Box::new(wipe::WipeApp),
+        Box::new(apex::ApexApp),
+    ]
+}

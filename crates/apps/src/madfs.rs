@@ -1,0 +1,352 @@
+//! MadFS: a userspace per-file PM filesystem (FAST'23).
+//!
+//! MadFS virtualizes each file's blocks through a compact, crash-consistent
+//! log whose entries are 8 bytes and therefore updated atomically; all
+//! metadata lives in userspace and every operation is lock-free (Table 1).
+//! Durability is *explicit*: like POSIX, nothing is guaranteed durable
+//! until `fsync`.
+//!
+//! HawkSet reports several persistency-induced races in MadFS — writers
+//! publish log entries that readers consume before they are persisted —
+//! but §5.1 concludes they are **all benign**: the relaxed `fsync`
+//! contract tolerates them by design (0 malign / 5 benign / 0 FP in
+//! Table 4). The reports remain valuable because they show what would
+//! break if MadFS were used as a crash-consistent store without fsync.
+
+use std::sync::Arc;
+
+use hawkset_core::addr::PmAddr;
+use pm_runtime::{run_workers, PmPool, PmThread};
+use pm_workloads::{madfs_workload, FsOp};
+
+use crate::app::{env_for, AppWorkload, Application, ExecOptions, ExecResult};
+use crate::registry::KnownRace;
+
+const BLOCK: u64 = 4096;
+/// Superblock: log count at +0; log entries from +64; data area after the
+/// log.
+const OFF_LOG_COUNT: u64 = 0;
+const OFF_LOG: u64 = 64;
+
+/// A MadFS-managed file inside a PM pool.
+pub struct MadFs {
+    pool: PmPool,
+    /// Capacity of the log in entries.
+    log_cap: u64,
+    /// First data block address.
+    data_base: PmAddr,
+    /// Number of physical data blocks.
+    data_blocks: u64,
+    /// Volatile physical-block allocator (next-free counter).
+    next_block: std::sync::atomic::AtomicU64,
+    /// The in-DRAM block table MadFS rebuilds from the log: applied log
+    /// prefix length + vblock → pblock. Log entries are read (instrumented)
+    /// exactly once, on first need — the real design's incremental apply.
+    block_table: parking_lot::Mutex<(u64, std::collections::HashMap<u32, u32>)>,
+}
+
+impl MadFs {
+    /// Formats a file with room for `data_blocks` 4-KiB blocks and
+    /// `log_cap` log entries.
+    pub fn format(pool: &PmPool, t: &PmThread, data_blocks: u64, log_cap: u64) -> Self {
+        let _f = t.frame("madfs::format");
+        let data_base = (pool.base() + OFF_LOG + log_cap * 8).div_ceil(BLOCK) * BLOCK;
+        assert!(
+            data_base + data_blocks * BLOCK <= pool.base() + pool.len(),
+            "pool too small: need {} bytes",
+            data_base + data_blocks * BLOCK - pool.base()
+        );
+        pool.store_u64(t, pool.base() + OFF_LOG_COUNT, 0);
+        pool.persist(t, pool.base() + OFF_LOG_COUNT, 8);
+        Self {
+            pool: pool.clone(),
+            log_cap,
+            data_base,
+            data_blocks,
+            next_block: std::sync::atomic::AtomicU64::new(0),
+            block_table: parking_lot::Mutex::new((0, std::collections::HashMap::new())),
+        }
+    }
+
+    /// Encodes a (virtual block, physical block) mapping in 8 bytes — the
+    /// MadFS trick that makes log appends atomic.
+    fn encode(vblock: u32, pblock: u32) -> u64 {
+        (u64::from(vblock) << 32) | u64::from(pblock) | (1 << 31)
+    }
+
+    fn decode(entry: u64) -> Option<(u32, u32)> {
+        (entry != 0).then_some(((entry >> 32) as u32, (entry & 0x7fff_ffff) as u32))
+    }
+
+    /// Writes `data` (one block) at `offset`, copy-on-write: fresh physical
+    /// block, then an atomic log append. The data itself is persisted with
+    /// non-temporal stores; the log entry's durability waits for
+    /// [`MadFs::fsync`] — the *benign* race population.
+    pub fn write(&self, t: &PmThread, offset: u64, data: &[u8]) {
+        let _f = t.frame("madfs::write");
+        assert_eq!(offset % BLOCK, 0, "block-aligned writes only");
+        assert!(data.len() as u64 <= BLOCK);
+        let vblock = (offset / BLOCK) as u32;
+        let pblock =
+            self.next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % self.data_blocks;
+        // Copy-on-write data path: non-temporal bulk store + fence.
+        {
+            let _d = t.frame("madfs::write_data");
+            let dst = self.data_base + pblock * BLOCK;
+            self.pool.store_bytes_nt(t, dst, data);
+            t.fence();
+        }
+        // Atomic 8-byte log append; visible immediately, durable at fsync.
+        {
+            let _l = t.frame("madfs::log_append");
+            let idx = self.pool.fetch_add_u64(t, self.pool.base() + OFF_LOG_COUNT, 1);
+            assert!(idx < self.log_cap, "log full: raise log_cap or fsync+truncate");
+            self.pool.atomic_store_u64(
+                t,
+                self.pool.base() + OFF_LOG + idx * 8,
+                Self::encode(vblock, pblock as u32),
+            );
+        }
+    }
+
+    /// Resolves the newest mapping for `vblock` by applying any new log
+    /// entries into the in-DRAM block table, then looking it up
+    /// (`madfs::read_log` is the benign load site of the entry reads).
+    fn resolve(&self, t: &PmThread, vblock: u32) -> Option<u32> {
+        let _f = t.frame("madfs::read_log");
+        let count = self
+            .pool
+            .atomic_load_u64(t, self.pool.base() + OFF_LOG_COUNT)
+            .min(self.log_cap);
+        let mut table = self.block_table.lock();
+        while table.0 < count {
+            let i = table.0;
+            let entry = self.pool.load_u64(t, self.pool.base() + OFF_LOG + i * 8);
+            if let Some((v, p)) = Self::decode(entry) {
+                table.1.insert(v, p);
+            }
+            table.0 += 1;
+        }
+        table.1.get(&vblock).copied()
+    }
+
+    /// Reads one block at `offset`; returns zeros for never-written blocks.
+    pub fn read(&self, t: &PmThread, offset: u64, len: usize) -> Vec<u8> {
+        let _f = t.frame("madfs::read");
+        assert_eq!(offset % BLOCK, 0, "block-aligned reads only");
+        match self.resolve(t, (offset / BLOCK) as u32) {
+            Some(pblock) => {
+                let _d = t.frame("madfs::read_data");
+                self.pool.load_bytes(t, self.data_base + u64::from(pblock) * BLOCK, len.min(BLOCK as usize))
+            }
+            None => vec![0; len.min(BLOCK as usize)],
+        }
+    }
+
+    /// Makes all appended log entries durable — the explicit durability
+    /// point of the MadFS contract.
+    pub fn fsync(&self, t: &PmThread) {
+        let _f = t.frame("madfs::fsync");
+        let count = self
+            .pool
+            .atomic_load_u64(t, self.pool.base() + OFF_LOG_COUNT)
+            .min(self.log_cap);
+        self.pool.flush_range(t, self.pool.base() + OFF_LOG_COUNT, (OFF_LOG + count * 8) as usize);
+        t.fence();
+    }
+
+    /// Executes one workload operation.
+    pub fn run_op(&self, t: &PmThread, op: &FsOp, scratch: &[u8]) {
+        match op {
+            FsOp::Write { offset, len } => {
+                self.write(t, *offset, &scratch[..(*len as usize).min(scratch.len())])
+            }
+            FsOp::Read { offset, len } => {
+                self.read(t, *offset, *len as usize);
+            }
+            FsOp::Fsync => self.fsync(t),
+        }
+    }
+}
+
+/// The Table 1 driver for MadFS.
+pub struct MadFsApp;
+
+impl Application for MadFsApp {
+    fn name(&self) -> &'static str {
+        "MadFS"
+    }
+
+    fn sync_method(&self) -> &'static str {
+        "Lock-Free"
+    }
+
+    fn known_races(&self) -> Vec<KnownRace> {
+        vec![
+            KnownRace::benign(
+                "madfs::log_append",
+                "madfs::read_log",
+                "reader consumes a log entry whose durability waits for fsync",
+            ),
+            KnownRace::benign(
+                "madfs::log_append",
+                "madfs::log_append",
+                "concurrent appends to the shared tail counter",
+            ),
+            KnownRace::benign(
+                "madfs::write_data",
+                "madfs::read_data",
+                "copy-on-write block read before its mapping is durable",
+            ),
+            KnownRace::benign(
+                "madfs::format",
+                "madfs::read_log",
+                "formatted superblock visible to readers",
+            ),
+            KnownRace::benign(
+                "madfs::write",
+                "madfs::read_log",
+                "tail bump visible before fsync",
+            ),
+            KnownRace::benign(
+                "madfs::log_append",
+                "madfs::fsync",
+                "fsync reads the tail counter another thread is bumping",
+            ),
+            KnownRace::benign(
+                "madfs::format",
+                "madfs::fsync",
+                "fsync reads the formatted tail counter",
+            ),
+        ]
+    }
+
+    fn default_workload(&self, main_ops: u64, seed: u64) -> AppWorkload {
+        AppWorkload::Fs(madfs_workload(main_ops, 8, 64, seed))
+    }
+
+    fn execute_with(&self, workload: &AppWorkload, opts: &ExecOptions) -> ExecResult {
+        let AppWorkload::Fs(schedules) = workload else {
+            panic!("MadFS consumes filesystem workloads")
+        };
+        run_madfs(schedules, opts)
+    }
+}
+
+/// Runs a filesystem workload against a freshly formatted file.
+pub fn run_madfs(schedules: &[Vec<FsOp>], opts: &ExecOptions) -> ExecResult {
+    let env = env_for(opts);
+    let writes: u64 = schedules
+        .iter()
+        .flatten()
+        .filter(|op| matches!(op, FsOp::Write { .. }))
+        .count() as u64;
+    // Physical blocks are recycled modulo the arena; size it generously.
+    let data_blocks = (writes + 64).min(4096);
+    let log_cap = writes + schedules.len() as u64 + 64;
+    let pool_size = BLOCK + log_cap * 8 + (data_blocks + 2) * BLOCK;
+    let pool = env.map_pool("/mnt/pmem/madfs", pool_size);
+    let main = env.main_thread();
+    let fs = Arc::new(MadFs::format(&pool, &main, data_blocks, log_cap));
+    let schedules = Arc::new(schedules.to_vec());
+    let fs2 = Arc::clone(&fs);
+    let scratch: Arc<Vec<u8>> = Arc::new((0..BLOCK).map(|i| (i % 251) as u8).collect());
+    run_workers(&env, &main, schedules.len(), move |i, t| {
+        for op in &schedules[i] {
+            fs2.run_op(t, op, &scratch);
+        }
+    });
+    let observations = env.take_observations();
+    ExecResult { trace: env.finish(), observations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_runtime::PmEnv;
+    use crate::registry::{score, RaceClass};
+    use hawkset_core::analysis::{analyze, AnalysisConfig};
+
+    fn fresh() -> (PmEnv, Arc<MadFs>, PmThread) {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/madfs-test", 1 << 22);
+        let main = env.main_thread();
+        let fs = Arc::new(MadFs::format(&pool, &main, 256, 1024));
+        (env, fs, main)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (_env, fs, t) = fresh();
+        let data = vec![0xabu8; 4096];
+        fs.write(&t, 0, &data);
+        fs.write(&t, 8192, &[1u8; 4096]);
+        assert_eq!(fs.read(&t, 0, 4096), data);
+        assert_eq!(fs.read(&t, 8192, 16), vec![1u8; 16]);
+        assert_eq!(fs.read(&t, 4096, 8), vec![0u8; 8], "unwritten block reads zeros");
+    }
+
+    #[test]
+    fn overwrite_resolves_to_newest_mapping() {
+        let (_env, fs, t) = fresh();
+        fs.write(&t, 0, &[1u8; 4096]);
+        fs.write(&t, 0, &[2u8; 4096]);
+        assert_eq!(fs.read(&t, 0, 4)[0], 2, "copy-on-write must resolve newest entry");
+    }
+
+    #[test]
+    fn unsynced_log_entries_are_not_durable() {
+        let (_env, fs, t) = fresh();
+        fs.write(&t, 0, &[7u8; 4096]);
+        // Without fsync: the log count in the crash image is still 0.
+        let img = fs.pool.crash_image();
+        let count = u64::from_le_bytes(img[0..8].try_into().unwrap());
+        assert_eq!(count, 0, "log append must not be durable before fsync");
+        fs.fsync(&t);
+        let img = fs.pool.crash_image();
+        let count = u64::from_le_bytes(img[0..8].try_into().unwrap());
+        assert_eq!(count, 1, "fsync must persist the log");
+    }
+
+    #[test]
+    fn entry_encoding_roundtrip() {
+        let e = MadFs::encode(7, 42);
+        assert_eq!(MadFs::decode(e), Some((7, 42)));
+        assert_eq!(MadFs::decode(0), None);
+        // pblock 0 still decodes (the presence bit keeps the entry
+        // non-zero).
+        assert_eq!(MadFs::decode(MadFs::encode(0, 0)), Some((0, 0)));
+    }
+
+    #[test]
+    fn all_reports_are_benign() {
+        let schedules = madfs_workload(600, 4, 32, 3);
+        let res = run_madfs(&schedules, &ExecOptions::default());
+        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let b = score(&report.races, &MadFsApp.known_races());
+        assert!(!report.races.is_empty(), "the benign population must be reported");
+        assert!(b.malign.is_empty(), "MadFS has no malign race (Table 4)");
+        assert!(
+            b.false_positives.is_empty(),
+            "unexpected FPs: {:?}",
+            b.false_positives.iter().map(|r| r.summary()).collect::<Vec<_>>()
+        );
+        assert!(MadFsApp.known_races().iter().all(|k| k.class == RaceClass::Benign));
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_disjoint_blocks() {
+        let (env, fs, main) = fresh();
+        let fs2 = Arc::clone(&fs);
+        run_workers(&env, &main, 4, move |i, t| {
+            let fill = vec![i as u8 + 1; 4096];
+            for round in 0..10u64 {
+                fs2.write(t, (i as u64) * 4096, &fill);
+                let _ = round;
+            }
+        });
+        for i in 0..4u64 {
+            assert_eq!(fs.read(&main, i * 4096, 8), vec![i as u8 + 1; 8], "writer {i}");
+        }
+    }
+}

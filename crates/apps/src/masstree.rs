@@ -1,0 +1,764 @@
+//! P-Masstree: a persistent trie-of-B+-nodes index (RECIPE, SOSP'19).
+//!
+//! Masstree's hallmark is the leaf **permutation word**: an 8-byte encoding
+//! of entry count and slot order that writers update atomically as the
+//! linearization point, letting gets run lock-free while puts, scans and
+//! deletes take per-leaf locks (Table 1). We reproduce the Durinn-modified
+//! PM variant the paper analyses.
+//!
+//! Reproduced bugs (Table 2, detected in the operations Durinn reports):
+//!
+//! * **#5** — a leaf insert persists the entry but publishes the new
+//!   permutation word with the persist deferred past the unlock; a
+//!   lock-free get reads the unpersisted permutation (`masstree.h:822` →
+//!   `masstree.h:1883`). Store site `masstree::insert_leaf`, load site
+//!   `masstree::get`.
+//! * **#6** — the same deferred-permutation pattern on the split path
+//!   (`masstree.h:1387`). Store site `masstree::split_insert`.
+//! * **#7** — a delete retires the key by storing a shrunk permutation
+//!   whose persist is deferred: a get misses a key whose *removal* is not
+//!   durable (`masstree.h:1425` → `masstree.h:1953`). Store site
+//!   `masstree::remove_leaf`.
+
+use std::sync::Arc;
+
+use hawkset_core::addr::PmAddr;
+use pm_runtime::{run_workers, PmAllocator, PmEnv, PmPool, PmThread};
+use pm_workloads::{Op, Workload, WorkloadSpec};
+
+use crate::app::{env_for, AppWorkload, Application, ExecOptions, ExecResult};
+use crate::registry::KnownRace;
+use crate::LockTable;
+
+const CAP: u64 = 8;
+
+/// Leaf layout (all u64): permutation, sibling, then keys and values.
+const OFF_PERM: u64 = 0;
+const OFF_IS_LEAF: u64 = 8;
+const OFF_SIBLING: u64 = 16;
+const OFF_COUNT: u64 = 24; // internal nodes only (sorted layout)
+const OFF_KEYS: u64 = 32;
+const OFF_VALS: u64 = 32 + CAP * 8;
+const NODE_SIZE: u64 = OFF_VALS + CAP * 8;
+
+const ROOT_PTR_OFF: u64 = 0;
+
+/// Permutation word helpers: bits 0–3 = count, nibble `1 + rank` = slot.
+mod perm {
+    use super::CAP;
+
+    pub fn count(p: u64) -> u64 {
+        (p & 0xf).min(CAP)
+    }
+
+    pub fn slot(p: u64, rank: u64) -> u64 {
+        (p >> (4 + 4 * rank)) & 0xf
+    }
+
+    #[expect(clippy::explicit_counter_loop)] // rank and output index diverge
+    pub fn with_inserted(p: u64, rank: u64, slot: u64) -> u64 {
+        let n = count(p);
+        let mut out = n + 1;
+        let mut r_out = 0;
+        for r in 0..=n {
+            let s = if r == rank {
+                slot
+            } else if r < rank {
+                self::slot(p, r)
+            } else {
+                self::slot(p, r - 1)
+            };
+            out |= s << (4 + 4 * r_out);
+            r_out += 1;
+        }
+        out
+    }
+
+    pub fn with_removed(p: u64, rank: u64) -> u64 {
+        let n = count(p);
+        let mut out = n - 1;
+        let mut r_out = 0;
+        for r in 0..n {
+            if r == rank {
+                continue;
+            }
+            out |= slot(p, r) << (4 + 4 * r_out);
+            r_out += 1;
+        }
+        out
+    }
+
+    pub fn free_slot(p: u64) -> Option<u64> {
+        let n = count(p);
+        let used: u64 = (0..n).fold(0, |acc, r| acc | (1 << slot(p, r)));
+        (0..CAP).find(|s| used & (1 << s) == 0)
+    }
+}
+
+/// Behaviour switches; bugs #5–#7 present by default.
+#[derive(Clone, Copy, Debug)]
+pub struct MasstreeBugs {
+    /// Defer permutation persists past the leaf unlock.
+    pub late_perm_persist: bool,
+}
+
+impl Default for MasstreeBugs {
+    fn default() -> Self {
+        Self { late_perm_persist: true }
+    }
+}
+
+/// A P-Masstree index in a PM pool.
+pub struct Masstree {
+    pool: PmPool,
+    alloc: Arc<PmAllocator>,
+    locks: LockTable,
+    bugs: MasstreeBugs,
+}
+
+impl Masstree {
+    /// Creates an empty index.
+    pub fn create(env: &PmEnv, pool: &PmPool, t: &PmThread, bugs: MasstreeBugs) -> Self {
+        let alloc = Arc::new(PmAllocator::new(pool, 64));
+        let mt = Self { pool: pool.clone(), alloc, locks: LockTable::new(env), bugs };
+        let _f = t.frame("masstree::create");
+        let root = mt.new_node(t, true);
+        mt.pool.store_u64(t, mt.pool.base() + ROOT_PTR_OFF, root);
+        mt.pool.persist(t, mt.pool.base() + ROOT_PTR_OFF, 8);
+        mt
+    }
+
+    fn new_node(&self, t: &PmThread, leaf: bool) -> PmAddr {
+        let addr = self.alloc.alloc(NODE_SIZE).expect("masstree pool exhausted");
+        for w in (0..NODE_SIZE).step_by(8) {
+            self.pool.store_u64(t, addr + w, 0);
+        }
+        self.pool.store_u64(t, addr + OFF_IS_LEAF, u64::from(leaf));
+        self.pool.persist(t, addr, NODE_SIZE as usize);
+        addr
+    }
+
+    fn leaf_min_key(&self, t: &PmThread, node: PmAddr) -> Option<u64> {
+        let p = self.pool.load_u64(t, node + OFF_PERM);
+        if perm::count(p) == 0 {
+            return None;
+        }
+        let mut min = u64::MAX;
+        for r in 0..perm::count(p) {
+            let k = self.pool.load_u64(t, node + OFF_KEYS + perm::slot(p, r) * 8);
+            min = min.min(k);
+        }
+        Some(min)
+    }
+
+    /// Move-right rule: the sibling owns `key` if its minimum is ≤ key.
+    fn sibling_owning(&self, t: &PmThread, node: PmAddr, key: u64) -> Option<PmAddr> {
+        let sibling = self.pool.load_u64(t, node + OFF_SIBLING);
+        if sibling == 0 {
+            return None;
+        }
+        let first = if self.pool.load_u64(t, sibling + OFF_IS_LEAF) == 1 {
+            self.leaf_min_key(t, sibling)?
+        } else {
+            let count = self.pool.load_u64(t, sibling + OFF_COUNT).min(CAP);
+            if count == 0 {
+                return None;
+            }
+            self.pool.load_u64(t, sibling + OFF_KEYS)
+        };
+        (key >= first).then_some(sibling)
+    }
+
+    /// Lock-free descent; internal nodes use the sorted layout.
+    fn descend(&self, t: &PmThread, key: u64) -> (PmAddr, Vec<PmAddr>) {
+        let _f = t.frame("masstree::descend");
+        let mut path = Vec::new();
+        let mut node = self.pool.load_u64(t, self.pool.base() + ROOT_PTR_OFF);
+        let mut hops = 0;
+        loop {
+            hops += 1;
+            if hops > 512 {
+                return (node, path);
+            }
+            if let Some(sib) = self.sibling_owning(t, node, key) {
+                node = sib;
+                continue;
+            }
+            if self.pool.load_u64(t, node + OFF_IS_LEAF) == 1 {
+                return (node, path);
+            }
+            path.push(node);
+            let count = self.pool.load_u64(t, node + OFF_COUNT).min(CAP);
+            let mut child = 0;
+            for i in 0..count {
+                let k = self.pool.load_u64(t, node + OFF_KEYS + i * 8);
+                if i == 0 || k <= key {
+                    child = self.pool.load_u64(t, node + OFF_VALS + i * 8);
+                } else {
+                    break;
+                }
+            }
+            if child == 0 {
+                return (node, path);
+            }
+            node = child;
+        }
+    }
+
+    /// Lock-free get — the load site of bugs #5–#7
+    /// (`masstree.h:1883`/`1953`).
+    pub fn get(&self, t: &PmThread, key: u64) -> Option<u64> {
+        let (leaf, _) = self.descend(t, key);
+        let _f = t.frame("masstree::get");
+        let p = self.pool.load_u64(t, leaf + OFF_PERM);
+        for r in 0..perm::count(p) {
+            let s = perm::slot(p, r);
+            if self.pool.load_u64(t, leaf + OFF_KEYS + s * 8) == key {
+                return Some(self.pool.load_u64(t, leaf + OFF_VALS + s * 8));
+            }
+        }
+        None
+    }
+
+    fn with_owning_leaf<R>(
+        &self,
+        t: &PmThread,
+        mut leaf: PmAddr,
+        key: u64,
+        f: impl FnOnce(PmAddr) -> R,
+    ) -> R {
+        loop {
+            let lock = self.locks.lock_of(leaf);
+            let guard = lock.lock(t);
+            match self.sibling_owning(t, leaf, key) {
+                Some(sib) => {
+                    drop(guard);
+                    leaf = sib;
+                }
+                None => {
+                    let out = f(leaf);
+                    drop(guard);
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&self, t: &PmThread, key: u64, value: u64) {
+        let _f = t.frame("masstree::put");
+        let (start, _) = self.descend(t, key);
+        enum After {
+            Done,
+            PersistPerm(PmAddr),
+            Split { left: PmAddr, sep: u64, right: PmAddr },
+        }
+        let after = self.with_owning_leaf(t, start, key, |leaf| {
+            let p = self.pool.load_u64(t, leaf + OFF_PERM);
+            // Overwrite?
+            for r in 0..perm::count(p) {
+                let s = perm::slot(p, r);
+                if self.pool.load_u64(t, leaf + OFF_KEYS + s * 8) == key {
+                    self.pool.store_u64(t, leaf + OFF_VALS + s * 8, value);
+                    self.pool.persist(t, leaf + OFF_VALS + s * 8, 8);
+                    return After::Done;
+                }
+            }
+            match perm::free_slot(p) {
+                Some(s) => {
+                    // Entry first (persisted), then the permutation word —
+                    // bug #5: the perm persist is deferred past the unlock.
+                    let _b = t.frame("masstree::insert_leaf");
+                    self.pool.store_u64(t, leaf + OFF_KEYS + s * 8, key);
+                    self.pool.store_u64(t, leaf + OFF_VALS + s * 8, value);
+                    self.pool.persist(t, leaf + OFF_KEYS + s * 8, 8);
+                    self.pool.persist(t, leaf + OFF_VALS + s * 8, 8);
+                    let rank = (0..perm::count(p))
+                        .take_while(|&r| {
+                            self.pool.load_u64(t, leaf + OFF_KEYS + perm::slot(p, r) * 8) < key
+                        })
+                        .count() as u64;
+                    self.pool.store_u64(t, leaf + OFF_PERM, perm::with_inserted(p, rank, s));
+                    if !self.bugs.late_perm_persist {
+                        self.pool.persist(t, leaf + OFF_PERM, 8);
+                        After::Done
+                    } else {
+                        After::PersistPerm(leaf)
+                    }
+                }
+                None => {
+                    let (sep, right) = self.split_leaf(t, leaf, key, value);
+                    After::Split { left: leaf, sep, right }
+                }
+            }
+        });
+        match after {
+            After::Done => {}
+            After::PersistPerm(leaf) => {
+                // Outside the critical section: empty effective lockset.
+                self.pool.persist(t, leaf + OFF_PERM, 8);
+            }
+            After::Split { left, sep, right } => {
+                self.insert_into_parent(t, left, sep, right, 0);
+            }
+        }
+    }
+
+    /// Splits a full leaf (lock held by caller), inserting the pending key.
+    fn split_leaf(&self, t: &PmThread, leaf: PmAddr, key: u64, value: u64) -> (u64, PmAddr) {
+        let _f = t.frame("masstree::split");
+        let right = self.new_node(t, true);
+        let right_lock = self.locks.lock_of(right);
+        let right_guard = right_lock.lock(t);
+        let p = self.pool.load_u64(t, leaf + OFF_PERM);
+        // Collect (key, value) in rank order.
+        let mut entries: Vec<(u64, u64)> = (0..perm::count(p))
+            .map(|r| {
+                let s = perm::slot(p, r);
+                (
+                    self.pool.load_u64(t, leaf + OFF_KEYS + s * 8),
+                    self.pool.load_u64(t, leaf + OFF_VALS + s * 8),
+                )
+            })
+            .collect();
+        entries.sort_unstable();
+        let half = entries.len() / 2;
+        let sep = entries[half].0;
+        // Upper half into the new leaf, fully persisted pre-publication.
+        let mut rp = 0u64;
+        for (i, (k, v)) in entries[half..].iter().enumerate() {
+            let s = i as u64;
+            self.pool.store_u64(t, right + OFF_KEYS + s * 8, *k);
+            self.pool.store_u64(t, right + OFF_VALS + s * 8, *v);
+            rp = perm::with_inserted(rp, s, s);
+        }
+        self.pool.store_u64(t, right + OFF_PERM, rp);
+        self.pool.store_u64(
+            t,
+            right + OFF_SIBLING,
+            self.pool.load_u64(t, leaf + OFF_SIBLING),
+        );
+        self.pool.persist(t, right, NODE_SIZE as usize);
+        // Publish, then shrink the left permutation.
+        self.pool.store_u64(t, leaf + OFF_SIBLING, right);
+        self.pool.persist(t, leaf + OFF_SIBLING, 8);
+        let mut lp = 0u64;
+        for (i, _) in entries[..half].iter().enumerate() {
+            // Left entries keep their original slots; rebuild rank order.
+            let k = entries[i].0;
+            let slot = (0..perm::count(p))
+                .map(|r| perm::slot(p, r))
+                .find(|&s| self.pool.load_u64(t, leaf + OFF_KEYS + s * 8) == k)
+                .expect("entry slot exists");
+            lp = perm::with_inserted(lp, i as u64, slot);
+        }
+        self.pool.store_u64(t, leaf + OFF_PERM, lp);
+        self.pool.persist(t, leaf + OFF_PERM, 8);
+        // Insert the pending key into the owning half — bug #6: the
+        // permutation persist on this path is also deferred.
+        let (target, tp) = if key < sep { (leaf, lp) } else { (right, rp) };
+        {
+            let _b = t.frame("masstree::split_insert");
+            let s = perm::free_slot(tp).expect("half-full node has space");
+            self.pool.store_u64(t, target + OFF_KEYS + s * 8, key);
+            self.pool.store_u64(t, target + OFF_VALS + s * 8, value);
+            self.pool.persist(t, target + OFF_KEYS + s * 8, 8);
+            self.pool.persist(t, target + OFF_VALS + s * 8, 8);
+            let rank = (0..perm::count(tp))
+                .take_while(|&r| {
+                    self.pool.load_u64(t, target + OFF_KEYS + perm::slot(tp, r) * 8) < key
+                })
+                .count() as u64;
+            self.pool.store_u64(t, target + OFF_PERM, perm::with_inserted(tp, rank, s));
+            if !self.bugs.late_perm_persist {
+                self.pool.persist(t, target + OFF_PERM, 8);
+            }
+        }
+        drop(right_guard);
+        if self.bugs.late_perm_persist {
+            let target = if key < sep { leaf } else { right };
+            self.pool.persist(t, target + OFF_PERM, 8);
+        }
+        (sep, right)
+    }
+
+    /// Inserts a separator into the internal level above (sorted layout,
+    /// persisted inside the lock — internal plumbing is not where the
+    /// masstree bugs live).
+    fn insert_into_parent(&self, t: &PmThread, left: PmAddr, sep: u64, child: PmAddr, level: usize) {
+        loop {
+            let (_, path) = self.descend(t, sep);
+            if path.len() <= level {
+                if self.grow_root(t, left, sep, child) {
+                    return;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+            enum Outcome {
+                Done,
+                Cascade { parent: PmAddr, promoted: u64, right: PmAddr },
+            }
+            let start = path[path.len() - 1 - level];
+            let outcome = self.with_owning_leaf(t, start, sep, |parent| {
+                let count = self.pool.load_u64(t, parent + OFF_COUNT).min(CAP);
+                if count < CAP {
+                    let _b = t.frame("masstree::insert_internal");
+                    let mut i = count;
+                    while i > 0 {
+                        let k = self.pool.load_u64(t, parent + OFF_KEYS + (i - 1) * 8);
+                        if k <= sep {
+                            break;
+                        }
+                        let v = self.pool.load_u64(t, parent + OFF_VALS + (i - 1) * 8);
+                        self.pool.store_u64(t, parent + OFF_KEYS + i * 8, k);
+                        self.pool.store_u64(t, parent + OFF_VALS + i * 8, v);
+                        i -= 1;
+                    }
+                    self.pool.store_u64(t, parent + OFF_KEYS + i * 8, sep);
+                    self.pool.store_u64(t, parent + OFF_VALS + i * 8, child);
+                    self.pool.store_u64(t, parent + OFF_COUNT, count + 1);
+                    self.pool.persist(t, parent, NODE_SIZE as usize);
+                    Outcome::Done
+                } else {
+                    let (promoted, right) = self.split_internal(t, parent, sep, child);
+                    Outcome::Cascade { parent, promoted, right }
+                }
+            });
+            match outcome {
+                Outcome::Done => return,
+                Outcome::Cascade { parent, promoted, right } => {
+                    self.insert_into_parent(t, parent, promoted, right, level + 1);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn split_internal(&self, t: &PmThread, node: PmAddr, sep: u64, child: PmAddr) -> (u64, PmAddr) {
+        let _f = t.frame("masstree::split_internal");
+        let right = self.new_node(t, false);
+        let right_lock = self.locks.lock_of(right);
+        let right_guard = right_lock.lock(t);
+        let half = CAP / 2;
+        for i in half..CAP {
+            let k = self.pool.load_u64(t, node + OFF_KEYS + i * 8);
+            let v = self.pool.load_u64(t, node + OFF_VALS + i * 8);
+            self.pool.store_u64(t, right + OFF_KEYS + (i - half) * 8, k);
+            self.pool.store_u64(t, right + OFF_VALS + (i - half) * 8, v);
+        }
+        self.pool.store_u64(t, right + OFF_COUNT, CAP - half);
+        self.pool.store_u64(t, right + OFF_SIBLING, self.pool.load_u64(t, node + OFF_SIBLING));
+        self.pool.persist(t, right, NODE_SIZE as usize);
+        self.pool.store_u64(t, node + OFF_SIBLING, right);
+        self.pool.store_u64(t, node + OFF_COUNT, half);
+        self.pool.persist(t, node, NODE_SIZE as usize);
+        let promoted = self.pool.load_u64(t, right + OFF_KEYS);
+        let (target, base) = if sep < promoted { (node, half) } else { (right, CAP - half) };
+        let count = base;
+        let mut i = count;
+        while i > 0 {
+            let k = self.pool.load_u64(t, target + OFF_KEYS + (i - 1) * 8);
+            if k <= sep {
+                break;
+            }
+            let v = self.pool.load_u64(t, target + OFF_VALS + (i - 1) * 8);
+            self.pool.store_u64(t, target + OFF_KEYS + i * 8, k);
+            self.pool.store_u64(t, target + OFF_VALS + i * 8, v);
+            i -= 1;
+        }
+        self.pool.store_u64(t, target + OFF_KEYS + i * 8, sep);
+        self.pool.store_u64(t, target + OFF_VALS + i * 8, child);
+        self.pool.store_u64(t, target + OFF_COUNT, count + 1);
+        self.pool.persist(t, target, NODE_SIZE as usize);
+        drop(right_guard);
+        (promoted, right)
+    }
+
+    fn grow_root(&self, t: &PmThread, old_root: PmAddr, sep: u64, right: PmAddr) -> bool {
+        let _f = t.frame("masstree::grow_root");
+        let root_ptr = self.pool.base() + ROOT_PTR_OFF;
+        let lock = self.locks.lock_of(root_ptr);
+        let _g = lock.lock(t);
+        if self.pool.load_u64(t, root_ptr) != old_root {
+            return false;
+        }
+        let new_root = self.new_node(t, false);
+        self.pool.store_u64(t, new_root + OFF_KEYS, 0);
+        self.pool.store_u64(t, new_root + OFF_VALS, old_root);
+        self.pool.store_u64(t, new_root + OFF_KEYS + 8, sep);
+        self.pool.store_u64(t, new_root + OFF_VALS + 8, right);
+        self.pool.store_u64(t, new_root + OFF_COUNT, 2);
+        self.pool.persist(t, new_root, NODE_SIZE as usize);
+        self.pool.store_u64(t, root_ptr, new_root);
+        self.pool.persist(t, root_ptr, 8);
+        true
+    }
+
+    /// Removes `key` — **bug #7**: the shrunk permutation's persist is
+    /// deferred, so the *removal* can be visible yet not durable.
+    pub fn remove(&self, t: &PmThread, key: u64) -> bool {
+        let _f = t.frame("masstree::remove");
+        let (start, _) = self.descend(t, key);
+        let done = self.with_owning_leaf(t, start, key, |leaf| {
+            let p = self.pool.load_u64(t, leaf + OFF_PERM);
+            for r in 0..perm::count(p) {
+                let s = perm::slot(p, r);
+                if self.pool.load_u64(t, leaf + OFF_KEYS + s * 8) == key {
+                    let _b = t.frame("masstree::remove_leaf");
+                    self.pool.store_u64(t, leaf + OFF_PERM, perm::with_removed(p, r));
+                    if !self.bugs.late_perm_persist {
+                        self.pool.persist(t, leaf + OFF_PERM, 8);
+                        return Some(None);
+                    }
+                    return Some(Some(leaf));
+                }
+            }
+            None
+        });
+        match done {
+            None => false,
+            Some(None) => true,
+            Some(Some(leaf)) => {
+                self.pool.persist(t, leaf + OFF_PERM, 8);
+                true
+            }
+        }
+    }
+
+    /// Range scan: up to `count` entries with keys >= `from`, in key
+    /// order. Lock-based (Table 1): each leaf is locked while its
+    /// permutation and entries are read, then the scan hops to the sibling.
+    pub fn scan(&self, t: &PmThread, from: u64, count: usize) -> Vec<(u64, u64)> {
+        let _f = t.frame("masstree::scan");
+        let (mut leaf, _) = self.descend(t, from);
+        let mut out = Vec::with_capacity(count);
+        let mut hops = 0;
+        while leaf != 0 && out.len() < count && hops < 1024 {
+            hops += 1;
+            let (mut entries, sibling) = {
+                let lock = self.locks.lock_of(leaf);
+                let _g = lock.lock(t);
+                let p = self.pool.load_u64(t, leaf + OFF_PERM);
+                let entries: Vec<(u64, u64)> = (0..perm::count(p))
+                    .map(|r| {
+                        let s = perm::slot(p, r);
+                        (
+                            self.pool.load_u64(t, leaf + OFF_KEYS + s * 8),
+                            self.pool.load_u64(t, leaf + OFF_VALS + s * 8),
+                        )
+                    })
+                    .filter(|(k, _)| *k >= from)
+                    .collect();
+                (entries, self.pool.load_u64(t, leaf + OFF_SIBLING))
+            };
+            entries.sort_unstable();
+            for e in entries {
+                if out.len() < count {
+                    out.push(e);
+                }
+            }
+            leaf = sibling;
+        }
+        out
+    }
+
+    /// Executes one workload operation.
+    pub fn run_op(&self, t: &PmThread, op: &Op) {
+        match op {
+            // P-Masstree treats inserts and updates identically (§5).
+            Op::Insert { key, value } | Op::Update { key, value } => self.put(t, *key, *value),
+            Op::Get { key } => {
+                self.get(t, *key);
+            }
+            Op::Delete { key } => {
+                self.remove(t, *key);
+            }
+        }
+    }
+}
+
+/// The Table 1 driver for P-Masstree.
+pub struct MasstreeApp;
+
+impl Application for MasstreeApp {
+    fn name(&self) -> &'static str {
+        "P-Masstree"
+    }
+
+    fn sync_method(&self) -> &'static str {
+        "Lock/Lock-Free"
+    }
+
+    fn known_races(&self) -> Vec<KnownRace> {
+        vec![
+            KnownRace::malign(5, false, "masstree::insert_leaf", "masstree::get", "load unpersisted value"),
+            KnownRace::malign(6, false, "masstree::split_insert", "masstree::get", "load unpersisted value"),
+            KnownRace::malign(7, false, "masstree::remove_leaf", "masstree::get", "unpersisted removal"),
+            KnownRace::benign("masstree::put", "masstree::get", "overwrite persisted in CS"),
+            KnownRace::benign("masstree::put", "masstree::descend", "descent overlapping put"),
+            KnownRace::benign("masstree::insert_leaf", "masstree::descend", "descent reads leaf entry"),
+            KnownRace::benign("masstree::split", "masstree::get", "split halves persisted pre-publication"),
+            KnownRace::benign("masstree::split", "masstree::descend", "descent during split"),
+            KnownRace::benign("masstree::split_insert", "masstree::descend", "descent during split insert"),
+            KnownRace::benign("masstree::remove_leaf", "masstree::descend", "descent during remove"),
+            KnownRace::benign("masstree::insert_internal", "masstree::descend", "internal insert persisted in CS"),
+            KnownRace::benign("masstree::split_internal", "masstree::descend", "internal split persisted in CS"),
+            KnownRace::benign("masstree::grow_root", "masstree::descend", "root swap persisted pre-publication"),
+            KnownRace::benign("masstree::create", "masstree::descend", "initial root"),
+            KnownRace::benign("masstree::insert_leaf", "masstree::put", "deferred perm read by a later put"),
+            KnownRace::benign("masstree::insert_leaf", "masstree::remove", "deferred perm read by a later remove"),
+            KnownRace::benign("masstree::insert_leaf", "masstree::split", "deferred perm read during split"),
+            KnownRace::benign("masstree::split_insert", "masstree::put", "deferred perm (split path) read by a later put"),
+            KnownRace::benign("masstree::split_insert", "masstree::remove", "deferred perm (split path) read by a later remove"),
+            KnownRace::benign("masstree::split_insert", "masstree::split", "deferred perm (split path) read during split"),
+            KnownRace::benign("masstree::remove_leaf", "masstree::put", "deferred removal read by a later put"),
+            KnownRace::benign("masstree::remove_leaf", "masstree::remove", "deferred removal read by a later remove"),
+            KnownRace::benign("masstree::remove_leaf", "masstree::split", "deferred removal read during split"),
+            KnownRace::benign("masstree::split", "masstree::put", "move-right probe during split"),
+            KnownRace::benign("masstree::split", "masstree::remove", "move-right probe during split"),
+            KnownRace::benign("masstree::insert_internal", "masstree::put", "internal insert vs descent probe"),
+            KnownRace::benign("masstree::split_internal", "masstree::put", "internal split vs descent probe"),
+            KnownRace::benign("masstree::put", "masstree::remove", "overwrite vs remove scan"),
+            KnownRace::benign("masstree::put", "masstree::put", "overwrite vs concurrent put scan"),
+        ]
+    }
+
+    fn default_workload(&self, main_ops: u64, seed: u64) -> AppWorkload {
+        AppWorkload::Ycsb(WorkloadSpec::paper(main_ops, seed).generate())
+    }
+
+    fn execute_with(&self, workload: &AppWorkload, opts: &ExecOptions) -> ExecResult {
+        let AppWorkload::Ycsb(w) = workload else {
+            panic!("P-Masstree consumes YCSB workloads")
+        };
+        run_masstree(w, opts, MasstreeBugs::default())
+    }
+}
+
+/// Runs a YCSB workload against a fresh index.
+pub fn run_masstree(w: &Workload, opts: &ExecOptions, bugs: MasstreeBugs) -> ExecResult {
+    let env = env_for(opts);
+    let pool_size = (1 << 20) + (w.main_ops() as u64 + w.load.len() as u64) * 256;
+    let pool = env.map_pool("/mnt/pmem/masstree", pool_size);
+    let main = env.main_thread();
+    let mt = Arc::new(Masstree::create(&env, &pool, &main, bugs));
+    for op in &w.load {
+        mt.run_op(&main, op);
+    }
+    let schedules = Arc::new(w.per_thread.clone());
+    let mt2 = Arc::clone(&mt);
+    run_workers(&env, &main, w.per_thread.len(), move |i, t| {
+        for op in &schedules[i] {
+            mt2.run_op(t, op);
+        }
+    });
+    let observations = env.take_observations();
+    ExecResult { trace: env.finish(), observations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::score;
+    use hawkset_core::analysis::{analyze, AnalysisConfig};
+
+    fn fresh() -> (PmEnv, Arc<Masstree>, PmThread) {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/mt-test", 1 << 22);
+        let main = env.main_thread();
+        let mt = Arc::new(Masstree::create(&env, &pool, &main, MasstreeBugs::default()));
+        (env, mt, main)
+    }
+
+    #[test]
+    fn perm_word_encoding() {
+        let mut p = 0u64;
+        p = perm::with_inserted(p, 0, 3);
+        assert_eq!(perm::count(p), 1);
+        assert_eq!(perm::slot(p, 0), 3);
+        p = perm::with_inserted(p, 0, 5); // new rank-0 in front
+        assert_eq!(perm::count(p), 2);
+        assert_eq!(perm::slot(p, 0), 5);
+        assert_eq!(perm::slot(p, 1), 3);
+        assert_eq!(perm::free_slot(p), Some(0));
+        let q = perm::with_removed(p, 0);
+        assert_eq!(perm::count(q), 1);
+        assert_eq!(perm::slot(q, 0), 3);
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let (_env, mt, t) = fresh();
+        for k in 0..300u64 {
+            mt.put(&t, k * 7, k);
+        }
+        for k in 0..300u64 {
+            assert_eq!(mt.get(&t, k * 7), Some(k), "key {}", k * 7);
+            assert_eq!(mt.get(&t, k * 7 + 1), None);
+        }
+        assert!(mt.remove(&t, 14));
+        assert_eq!(mt.get(&t, 14), None);
+        assert!(!mt.remove(&t, 14));
+    }
+
+    #[test]
+    fn random_ops_match_model() {
+        use rand::{Rng, SeedableRng};
+        let (_env, mt, t) = fresh();
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for _ in 0..2000 {
+            let k = rng.gen_range(0..250u64);
+            match rng.gen_range(0..4) {
+                0 | 1 => {
+                    let v = rng.gen::<u64>() | 1;
+                    mt.put(&t, k, v);
+                    model.insert(k, v);
+                }
+                2 => assert_eq!(mt.get(&t, k), model.get(&k).copied(), "get {k}"),
+                _ => assert_eq!(mt.remove(&t, k), model.remove(&k).is_some(), "rm {k}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_survive() {
+        let (env, mt, main) = fresh();
+        let mt2 = Arc::clone(&mt);
+        run_workers(&env, &main, 4, move |i, t| {
+            for k in 0..120u64 {
+                mt2.put(t, i as u64 * 1000 + k, k + 1);
+            }
+        });
+        for i in 0..4u64 {
+            for k in 0..120u64 {
+                assert_eq!(mt.get(&main, i * 1000 + k), Some(k + 1), "thread {i} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_returns_sorted_ranges() {
+        let (_env, mt, t) = fresh();
+        for k in 0..100u64 {
+            mt.put(&t, k * 2, k);
+        }
+        let got = mt.scan(&t, 50, 10);
+        let expected: Vec<(u64, u64)> = (25..35).map(|k| (k * 2, k)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(mt.scan(&t, 1000, 5), vec![]);
+        assert_eq!(mt.scan(&t, 0, 3), vec![(0, 0), (2, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn detects_bugs_5_6_7() {
+        let w = WorkloadSpec::paper(3000, 5).generate();
+        let res = run_masstree(&w, &ExecOptions::default(), MasstreeBugs::default());
+        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let b = score(&report.races, &MasstreeApp.known_races());
+        for id in [5, 6, 7] {
+            assert!(b.detected_ids.contains(&id), "bug #{id} missing: {:?}", b.detected_ids);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Linear models for the learned indexes (WIPE, APEX).
+//!
+//! Both learned indexes position keys with a linear regression over the
+//! key distribution (ALEX lineage). The model is trained once on the load
+//! phase and then used as a *deterministic* key → partition function by
+//! writers and readers alike.
+
+/// A linear model `pos = slope * key + intercept`, clamped to a partition
+/// range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearModel {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Fits ordinary least squares over `(key, rank)` for the sorted keys,
+    /// mapping the key space onto `[0, partitions)`.
+    ///
+    /// Falls back to a uniform model when fewer than two distinct keys are
+    /// given.
+    pub fn train(keys: &[u64], partitions: u64) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let mut sorted: Vec<u64> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let n = sorted.len();
+        if n < 2 {
+            let span = sorted.first().copied().unwrap_or(1).max(1) as f64 * 2.0;
+            return Self { slope: partitions as f64 / span, intercept: 0.0 };
+        }
+        // Least squares of rank (scaled to partitions) on key.
+        let scale = partitions as f64 / n as f64;
+        let mean_x = sorted.iter().map(|&k| k as f64).sum::<f64>() / n as f64;
+        let mean_y = (n as f64 - 1.0) / 2.0 * scale;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (i, &k) in sorted.iter().enumerate() {
+            let dx = k as f64 - mean_x;
+            let dy = i as f64 * scale - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+        }
+        if sxx == 0.0 {
+            return Self { slope: 0.0, intercept: mean_y };
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        Self { slope, intercept }
+    }
+
+    /// Predicts the partition for `key`, clamped to `[0, partitions)`.
+    pub fn predict(&self, key: u64, partitions: u64) -> u64 {
+        let raw = self.slope * key as f64 + self.intercept;
+        if raw.is_nan() || raw < 0.0 {
+            return 0;
+        }
+        (raw as u64).min(partitions - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_map_evenly() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let m = LinearModel::train(&keys, 10);
+        // Key 0 lands in the first partition, key 999 in the last, and the
+        // mapping is monotone.
+        assert_eq!(m.predict(0, 10), 0);
+        assert_eq!(m.predict(999, 10), 9);
+        let mut last = 0;
+        for k in (0..1000).step_by(50) {
+            let p = m.predict(k, 10);
+            assert!(p >= last, "model must be monotone");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn predictions_are_clamped() {
+        let keys: Vec<u64> = (100..200).collect();
+        let m = LinearModel::train(&keys, 8);
+        assert!(m.predict(0, 8) < 8);
+        assert!(m.predict(u64::MAX / 2, 8) < 8);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let m = LinearModel::train(&[], 4);
+        assert!(m.predict(42, 4) < 4);
+        let m = LinearModel::train(&[7], 4);
+        assert!(m.predict(7, 4) < 4);
+        let m = LinearModel::train(&[5, 5, 5], 4);
+        assert!(m.predict(5, 4) < 4);
+    }
+
+    #[test]
+    fn skewed_keys_still_cover_partitions() {
+        let keys: Vec<u64> = (0..500).map(|i| i * i).collect();
+        let m = LinearModel::train(&keys, 16);
+        let preds: Vec<u64> = (0..500).map(|i| m.predict(i * i, 16)).collect();
+        let lo = *preds.iter().min().unwrap();
+        let hi = *preds.iter().max().unwrap();
+        assert!(hi > lo, "regression must discriminate keys");
+        assert!(hi - lo >= 8, "regression should cover at least half the range, got [{lo}, {hi}]");
+    }
+}

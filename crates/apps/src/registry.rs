@@ -1,0 +1,189 @@
+//! Known-race registry and report scoring.
+//!
+//! The paper classifies every report manually (§3.3, Table 4): **Malign**
+//! races corrupt state on a crash, **Benign** races are tolerated by the
+//! application's design (typically lock-free readers), and **False
+//! Positives** can never execute concurrently. Each application in this
+//! crate ships its ground truth as a list of [`KnownRace`]s keyed by the
+//! frame names of the store and load sites, so the experiment harnesses can
+//! score HawkSet's reports automatically — our stand-in for the authors'
+//! manual classification.
+
+use hawkset_core::analysis::Race;
+
+/// Manual classification of a genuine race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceClass {
+    /// Can corrupt state after a crash (Table 2 material).
+    Malign,
+    /// Tolerated by the application's design (e.g., lock-free readers of
+    /// promptly-persisted data).
+    Benign,
+}
+
+/// One ground-truth race of an application.
+#[derive(Clone, Debug)]
+pub struct KnownRace {
+    /// Table 2 bug number for malign races; 0 for benign populations.
+    pub id: u32,
+    /// `true` if the paper reports it as previously unknown.
+    pub new: bool,
+    /// Frame name of the store site (matched against the report).
+    pub store_fn: &'static str,
+    /// Frame name of the load site.
+    pub load_fn: &'static str,
+    /// Table 2-style description.
+    pub description: &'static str,
+    /// Malign or benign.
+    pub class: RaceClass,
+}
+
+impl KnownRace {
+    /// Malign entry with a Table 2 bug id.
+    pub const fn malign(
+        id: u32,
+        new: bool,
+        store_fn: &'static str,
+        load_fn: &'static str,
+        description: &'static str,
+    ) -> Self {
+        Self { id, new, store_fn, load_fn, description, class: RaceClass::Malign }
+    }
+
+    /// Benign entry (no Table 2 id).
+    pub const fn benign(
+        store_fn: &'static str,
+        load_fn: &'static str,
+        description: &'static str,
+    ) -> Self {
+        Self { id: 0, new: false, store_fn, load_fn, description, class: RaceClass::Benign }
+    }
+
+    /// Returns `true` if `race` matches this entry's site pair.
+    pub fn matches(&self, race: &Race) -> bool {
+        let store_ok = race.store_site.as_ref().is_some_and(|f| f.function == self.store_fn);
+        let load_ok = race.load_site.as_ref().is_some_and(|f| f.function == self.load_fn);
+        store_ok && load_ok
+    }
+}
+
+/// The scored breakdown of one report against a ground truth — the row
+/// format of Table 4.
+#[derive(Debug, Default)]
+pub struct Breakdown {
+    /// Reports matching malign entries.
+    pub malign: Vec<Race>,
+    /// Reports matching benign entries.
+    pub benign: Vec<Race>,
+    /// Reports matching nothing: false positives.
+    pub false_positives: Vec<Race>,
+    /// Table 2 bug ids detected (deduplicated, sorted).
+    pub detected_ids: Vec<u32>,
+    /// Malign entries with no matching report: misses.
+    pub missed: Vec<KnownRace>,
+}
+
+impl Breakdown {
+    /// MR / BR / FP counts as in Table 4.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.malign.len(), self.benign.len(), self.false_positives.len())
+    }
+
+    /// Total distinct reports.
+    pub fn total(&self) -> usize {
+        self.malign.len() + self.benign.len() + self.false_positives.len()
+    }
+}
+
+/// Scores `races` against `known`, producing the Table 4 breakdown.
+///
+/// A report may match several ground-truth entries (shared load sites);
+/// malign matches take precedence so a genuine bug is never downgraded.
+pub fn score(races: &[Race], known: &[KnownRace]) -> Breakdown {
+    let mut out = Breakdown::default();
+    for race in races {
+        let malign_hit = known.iter().find(|k| k.class == RaceClass::Malign && k.matches(race));
+        let benign_hit = known.iter().find(|k| k.class == RaceClass::Benign && k.matches(race));
+        match (malign_hit, benign_hit) {
+            (Some(k), _) => {
+                if k.id != 0 && !out.detected_ids.contains(&k.id) {
+                    out.detected_ids.push(k.id);
+                }
+                out.malign.push(race.clone());
+            }
+            (None, Some(_)) => out.benign.push(race.clone()),
+            (None, None) => out.false_positives.push(race.clone()),
+        }
+    }
+    out.detected_ids.sort_unstable();
+    for k in known {
+        if k.class == RaceClass::Malign && !races.iter().any(|r| k.matches(r)) {
+            out.missed.push(k.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkset_core::addr::AddrRange;
+    use hawkset_core::analysis::RaceKey;
+    use hawkset_core::trace::{Frame, ThreadId};
+
+    fn race(store_fn: &str, load_fn: &str) -> Race {
+        Race {
+            key: RaceKey { store_stack: 0, load_stack: 0 },
+            store_site: Some(Frame::new(store_fn, "app.rs", 1)),
+            load_site: Some(Frame::new(load_fn, "app.rs", 2)),
+            store_tid: ThreadId(1),
+            load_tid: ThreadId(2),
+            example_range: AddrRange::new(0, 8),
+            pair_count: 1,
+            store_atomic: false,
+            load_atomic: false,
+            store_non_temporal: false,
+            store_never_persisted: true,
+            effective_lockset_empty: true,
+            store_store: false,
+        }
+    }
+
+    fn ground_truth() -> Vec<KnownRace> {
+        vec![
+            KnownRace::malign(1, false, "app::split", "app::search", "load unpersisted pointer"),
+            KnownRace::benign("app::update", "app::search", "lock-free read of persisted data"),
+        ]
+    }
+
+    #[test]
+    fn scoring_splits_into_classes() {
+        let races =
+            vec![race("app::split", "app::search"), race("app::update", "app::search"), race("x", "y")];
+        let b = score(&races, &ground_truth());
+        assert_eq!(b.counts(), (1, 1, 1));
+        assert_eq!(b.detected_ids, vec![1]);
+        assert!(b.missed.is_empty());
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn missing_malign_is_reported() {
+        let races = vec![race("app::update", "app::search")];
+        let b = score(&races, &ground_truth());
+        assert_eq!(b.counts(), (0, 1, 0));
+        assert_eq!(b.missed.len(), 1);
+        assert_eq!(b.missed[0].id, 1);
+    }
+
+    #[test]
+    fn malign_takes_precedence_over_benign() {
+        let known = vec![
+            KnownRace::benign("s", "l", "benign view"),
+            KnownRace::malign(7, true, "s", "l", "malign view"),
+        ];
+        let b = score(&[race("s", "l")], &known);
+        assert_eq!(b.counts(), (1, 0, 0));
+        assert_eq!(b.detected_ids, vec![7]);
+    }
+}

@@ -1,0 +1,541 @@
+//! WIPE: a write-optimized learned index for PM (TACO 2024).
+//!
+//! WIPE routes keys through a learned root model into *buffer entries*
+//! ("bentries"): small append-only buffers that grow by allocating a larger
+//! buffer and swapping an atomic pointer. Writers lock the bentry; gets are
+//! lock-free (Table 1 lists WIPE as Lock, but its get path reads buffers
+//! without locks — exactly what produces the reported races).
+//!
+//! Reproduced bugs (Table 2, all new):
+//!
+//! * **#16** — a buffer insert's *key* store is persisted only after the
+//!   unlock; a lock-free get reads the unpersisted key
+//!   (`pointer_bentry.h:1771,1799` → `:1606`). Store site
+//!   `wipe::bentry_insert_key`, load site `wipe::get_key`.
+//! * **#17** — same for the *value* store (`pointer_bentry.h:1550,1772` →
+//!   `:1601`). Store site `wipe::bentry_insert_value`, load site
+//!   `wipe::get_value`.
+//! * **#18** — node expansion allocates a larger buffer (fully persisted)
+//!   and replaces the old one via an atomic pointer swap — but the pointer
+//!   itself is not persisted (`letree.h:393` → `:228`): subsequent puts
+//!   land in a buffer a crash may unreach. Store site `wipe::expand_swap`,
+//!   load site `wipe::traverse`.
+
+use std::sync::Arc;
+
+use hawkset_core::addr::PmAddr;
+use pm_runtime::{run_workers, PmAllocator, PmEnv, PmPool, PmThread};
+use pm_workloads::{Op, Workload, WorkloadSpec};
+
+use crate::app::{env_for, AppWorkload, Application, ExecOptions, ExecResult};
+use crate::model::LinearModel;
+use crate::registry::KnownRace;
+use crate::LockTable;
+
+/// Initial sorted-area capacity; doubles on merge expansion.
+const INITIAL_CAP: u64 = 16;
+/// Append-buffer slots per bentry (WIPE's write-optimized staging area).
+const BUF: u64 = 8;
+
+/// Bentry layout: sorted count, buffer count, sorted capacity, then the
+/// sorted keys/values (ascending by key) and the append buffer keys/values.
+/// Values of 0 are tombstones (workload values are always odd).
+const BE_SORTED_COUNT: u64 = 0;
+const BE_BUF_COUNT: u64 = 8;
+const BE_CAP: u64 = 16;
+const BE_BODY: u64 = 64;
+
+/// Root: directory of bentry pointers from +64.
+const DIR_OFF: u64 = 64;
+
+fn bentry_size(cap: u64) -> u64 {
+    BE_BODY + (cap + BUF) * 16
+}
+
+fn sorted_key(cap: u64, i: u64) -> u64 {
+    let _ = cap;
+    BE_BODY + i * 16
+}
+
+fn buf_key(cap: u64, i: u64) -> u64 {
+    BE_BODY + (cap + i) * 16
+}
+
+/// Behaviour switches; bugs #16–#18 present by default.
+#[derive(Clone, Copy, Debug)]
+pub struct WipeBugs {
+    /// Defer key/value persists past the unlock (#16/#17).
+    pub late_buffer_persist: bool,
+    /// Leave the expansion pointer swap unpersisted (#18).
+    pub unpersisted_expand_swap: bool,
+}
+
+impl Default for WipeBugs {
+    fn default() -> Self {
+        Self { late_buffer_persist: true, unpersisted_expand_swap: true }
+    }
+}
+
+/// A WIPE index in a PM pool.
+pub struct Wipe {
+    pool: PmPool,
+    alloc: Arc<PmAllocator>,
+    locks: LockTable,
+    model: LinearModel,
+    partitions: u64,
+    bugs: WipeBugs,
+    /// Buffer words whose persists the buggy code defers to a later
+    /// operation (the #16/#17 flush backlog).
+    dirty_backlog: parking_lot::Mutex<Vec<PmAddr>>,
+    /// Operation counter pacing the backlog drain.
+    op_counter: std::sync::atomic::AtomicU64,
+}
+
+impl Wipe {
+    /// Creates the index: trains the root model on `train_keys` and
+    /// allocates one empty bentry per partition.
+    pub fn create(
+        env: &PmEnv,
+        pool: &PmPool,
+        t: &PmThread,
+        train_keys: &[u64],
+        partitions: u64,
+        bugs: WipeBugs,
+    ) -> Self {
+        let alloc = Arc::new(PmAllocator::new(pool, DIR_OFF + partitions * 8));
+        let w = Self {
+            pool: pool.clone(),
+            alloc,
+            locks: LockTable::new(env),
+            model: LinearModel::train(train_keys, partitions),
+            partitions,
+            bugs,
+            dirty_backlog: parking_lot::Mutex::new(Vec::new()),
+            op_counter: std::sync::atomic::AtomicU64::new(0),
+        };
+        let _f = t.frame("wipe::create");
+        for p in 0..partitions {
+            let be = w.new_bentry(t, INITIAL_CAP);
+            w.pool.store_u64(t, w.dir_slot(p), be);
+        }
+        w.pool.persist(t, w.pool.base(), (DIR_OFF + partitions * 8) as usize);
+        w
+    }
+
+    fn dir_slot(&self, p: u64) -> PmAddr {
+        self.pool.base() + DIR_OFF + p * 8
+    }
+
+    fn new_bentry(&self, t: &PmThread, cap: u64) -> PmAddr {
+        let addr = self.alloc.alloc(bentry_size(cap)).expect("wipe pool exhausted");
+        self.pool.store_u64(t, addr + BE_SORTED_COUNT, 0);
+        self.pool.store_u64(t, addr + BE_BUF_COUNT, 0);
+        self.pool.store_u64(t, addr + BE_CAP, cap);
+        self.pool.persist(t, addr, 24);
+        addr
+    }
+
+    /// Lock-free root traversal — the load site of bug #18 (`letree.h:228`).
+    fn traverse(&self, t: &PmThread, key: u64) -> (u64, PmAddr) {
+        let _f = t.frame("wipe::traverse");
+        let p = self.model.predict(key, self.partitions);
+        (p, self.pool.load_u64(t, self.dir_slot(p)))
+    }
+
+    /// Looks `key` up inside one bentry: the append buffer newest-first
+    /// (newer entries shadow the sorted area), then a binary search of the
+    /// sorted area. Returns the value slot's content (0 = tombstone).
+    fn bentry_lookup(&self, t: &PmThread, be: PmAddr, key: u64) -> Option<u64> {
+        let (scount, bcount, cap) = {
+            let _f = t.frame("wipe::get_key");
+            (
+                self.pool.load_u64(t, be + BE_SORTED_COUNT),
+                self.pool.load_u64(t, be + BE_BUF_COUNT),
+                self.pool.load_u64(t, be + BE_CAP).max(1),
+            )
+        };
+        for i in (0..bcount.min(BUF)).rev() {
+            // The scan reads whole 16-byte entries, like the real bentry
+            // iterator (`pointer_bentry.h:1606`).
+            let entry = {
+                let _f = t.frame("wipe::get_key");
+                self.pool.load_bytes(t, be + buf_key(cap, i), 16)
+            };
+            let k = u64::from_le_bytes(entry[0..8].try_into().expect("8 bytes"));
+            if k == key + 1 {
+                let _f = t.frame("wipe::get_value");
+                return Some(self.pool.load_u64(t, be + buf_key(cap, i) + 8));
+            }
+        }
+        let (mut lo, mut hi) = (0u64, scount.min(cap));
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let k = {
+                let _f = t.frame("wipe::get_key");
+                self.pool.load_u64(t, be + sorted_key(cap, mid))
+            };
+            match k.cmp(&(key + 1)) {
+                std::cmp::Ordering::Equal => {
+                    let _f = t.frame("wipe::get_value");
+                    return Some(self.pool.load_u64(t, be + sorted_key(cap, mid) + 8));
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    /// Lock-free point lookup.
+    pub fn get(&self, t: &PmThread, key: u64) -> Option<u64> {
+        let (_, be) = self.traverse(t, key);
+        match self.bentry_lookup(t, be, key) {
+            Some(0) | None => None, // absent or tombstoned
+            Some(v) => Some(v),
+        }
+    }
+
+    /// Drains the deferred-persist backlog (the buggy pattern persists
+    /// buffer entries only when a later operation gets around to it).
+    fn flush_backlog(&self, t: &PmThread) {
+        let pending: Vec<PmAddr> = std::mem::take(&mut *self.dirty_backlog.lock());
+        for addr in pending {
+            self.pool.persist(t, addr, 8);
+        }
+    }
+
+    /// Drains every deferred persist — the post-bulk-load sync point.
+    pub fn quiesce(&self, t: &PmThread) {
+        self.flush_backlog(t);
+    }
+
+    /// Inserts, updates, or (with `value == 0`) tombstones `key`.
+    fn put_raw(&self, t: &PmThread, key: u64, value: u64) {
+        if self.op_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 8 == 7 {
+            self.flush_backlog(t);
+        }
+        loop {
+            let (p, _) = self.traverse(t, key);
+            let lock = self.locks.lock_of(self.dir_slot(p));
+            let guard = lock.lock(t);
+            // Re-read under the lock: an expansion may have swapped it.
+            let be = self.pool.load_u64(t, self.dir_slot(p));
+            let scount = self.pool.load_u64(t, be + BE_SORTED_COUNT);
+            let bcount = self.pool.load_u64(t, be + BE_BUF_COUNT);
+            let cap = self.pool.load_u64(t, be + BE_CAP).max(1);
+            // In-place update of the newest buffer entry for the key.
+            let mut updated = false;
+            for i in (0..bcount.min(BUF)).rev() {
+                if self.pool.load_u64(t, be + buf_key(cap, i)) == key + 1 {
+                    self.pool.store_u64(t, be + buf_key(cap, i) + 8, value);
+                    self.pool.persist(t, be + buf_key(cap, i) + 8, 8);
+                    updated = true;
+                    break;
+                }
+            }
+            if updated {
+                return;
+            }
+            // Sorted entries are never updated in place: WIPE is
+            // write-optimized, so updates go out-of-place through the
+            // buffer and the merge deduplicates (buffer wins).
+            if bcount < BUF {
+                let kaddr = be + buf_key(cap, bcount);
+                let vaddr = kaddr + 8;
+                {
+                    // `pointer_bentry.h:1550,1772`: the value store (#17).
+                    let _v = t.frame("wipe::bentry_insert_value");
+                    self.pool.store_u64(t, vaddr, value);
+                    if !self.bugs.late_buffer_persist {
+                        self.pool.persist(t, vaddr, 8);
+                    }
+                }
+                {
+                    // `pointer_bentry.h:1771,1799`: the key store and the
+                    // count bump that publishes it (#16).
+                    let _k = t.frame("wipe::bentry_insert_key");
+                    self.pool.store_u64(t, kaddr, key + 1);
+                    self.pool.store_u64(t, be + BE_BUF_COUNT, bcount + 1);
+                    if !self.bugs.late_buffer_persist {
+                        self.pool.persist(t, kaddr, 8);
+                        self.pool.persist(t, be + BE_BUF_COUNT, 8);
+                    }
+                }
+                drop(guard);
+                if self.bugs.late_buffer_persist {
+                    // Deferred past the unlock — and past the operation:
+                    // a later put drains the backlog. Empty effective
+                    // locksets either way.
+                    let mut backlog = self.dirty_backlog.lock();
+                    backlog.push(kaddr);
+                    backlog.push(vaddr);
+                    backlog.push(be + BE_BUF_COUNT);
+                }
+                return;
+            }
+            // Buffer full: merge it into a larger sorted area, retry.
+            self.expand(t, p, be, scount, bcount, cap);
+            drop(guard);
+        }
+    }
+
+    /// Inserts or updates `key` with a (non-zero) value.
+    pub fn put(&self, t: &PmThread, key: u64, value: u64) {
+        let _f = t.frame("wipe::put");
+        debug_assert_ne!(value, 0, "0 is the tombstone sentinel");
+        self.put_raw(t, key, value);
+    }
+
+    /// Merges the append buffer into a (possibly larger) sorted area — the
+    /// WIPE node expansion. The new bentry is fully persisted before
+    /// publication; **bug #18**: the directory pointer swap is not.
+    fn expand(&self, t: &PmThread, p: u64, old: PmAddr, scount: u64, bcount: u64, cap: u64) {
+        let new = {
+            let _f = t.frame("wipe::expand_copy");
+            // Collect sorted + buffer entries; newest (buffer) wins;
+            // tombstones (value 0) are dropped during the merge.
+            let mut entries: Vec<(u64, u64)> = Vec::new();
+            for i in 0..scount.min(cap) {
+                let k = self.pool.load_u64(t, old + sorted_key(cap, i));
+                let v = self.pool.load_u64(t, old + sorted_key(cap, i) + 8);
+                entries.push((k, v));
+            }
+            for i in 0..bcount.min(BUF) {
+                let k = self.pool.load_u64(t, old + buf_key(cap, i));
+                let v = self.pool.load_u64(t, old + buf_key(cap, i) + 8);
+                if let Some(e) = entries.iter_mut().find(|(ek, _)| *ek == k) {
+                    e.1 = v;
+                } else {
+                    entries.push((k, v));
+                }
+            }
+            entries.retain(|(_, v)| *v != 0);
+            entries.sort_unstable();
+            let new_cap = (entries.len() as u64 + BUF).next_power_of_two().max(INITIAL_CAP);
+            let new = self.new_bentry(t, new_cap);
+            for (i, (k, v)) in entries.iter().enumerate() {
+                self.pool.store_u64(t, new + sorted_key(new_cap, i as u64), *k);
+                self.pool.store_u64(t, new + sorted_key(new_cap, i as u64) + 8, *v);
+            }
+            self.pool.store_u64(t, new + BE_SORTED_COUNT, entries.len() as u64);
+            self.pool.persist(t, new, bentry_size(new_cap) as usize);
+            new
+        };
+        // `letree.h:393`: the atomic pointer swap, never persisted.
+        {
+            let _f = t.frame("wipe::expand_swap");
+            self.pool.atomic_store_u64(t, self.dir_slot(p), new);
+            if !self.bugs.unpersisted_expand_swap {
+                self.pool.persist(t, self.dir_slot(p), 8);
+            }
+        }
+        // The old bentry goes back to the allocator; its memory is reused
+        // by later bentries (concurrent lock-free readers may still be
+        // scanning it — tolerated, like the real code's epoch-free reclaim).
+        self.alloc.free(old);
+    }
+
+    /// Removes `key` by writing a tombstone (value 0), LSM-style; the
+    /// tombstone is dropped at the next merge expansion.
+    pub fn remove(&self, t: &PmThread, key: u64) -> bool {
+        let _f = t.frame("wipe::remove");
+        let (_, be) = self.traverse(t, key);
+        match self.bentry_lookup(t, be, key) {
+            Some(0) | None => false,
+            Some(_) => {
+                self.put_raw(t, key, 0);
+                true
+            }
+        }
+    }
+
+    /// Executes one workload operation.
+    pub fn run_op(&self, t: &PmThread, op: &Op) {
+        match op {
+            Op::Insert { key, value } | Op::Update { key, value } => self.put(t, *key, *value),
+            Op::Get { key } => {
+                self.get(t, *key);
+            }
+            Op::Delete { key } => {
+                self.remove(t, *key);
+            }
+        }
+    }
+}
+
+/// The Table 1 driver for WIPE.
+pub struct WipeApp;
+
+impl Application for WipeApp {
+    fn name(&self) -> &'static str {
+        "WIPE"
+    }
+
+    fn sync_method(&self) -> &'static str {
+        "Lock"
+    }
+
+    fn known_races(&self) -> Vec<KnownRace> {
+        vec![
+            KnownRace::malign(16, true, "wipe::bentry_insert_key", "wipe::get_key", "load unpersisted key"),
+            KnownRace::malign(17, true, "wipe::bentry_insert_value", "wipe::get_value", "load unpersisted value"),
+            KnownRace::malign(18, true, "wipe::expand_swap", "wipe::traverse", "load unpersisted pointer"),
+            KnownRace::benign("wipe::put", "wipe::get_value", "in-place update persisted in CS"),
+            KnownRace::benign("wipe::put", "wipe::get_key", "buffer scan during update"),
+            KnownRace::benign("wipe::expand_copy", "wipe::get_key", "copy persisted pre-publication"),
+            KnownRace::benign("wipe::expand_copy", "wipe::get_value", "copy persisted pre-publication"),
+            KnownRace::benign("wipe::bentry_insert_key", "wipe::get_value", "adjacent-slot read"),
+            KnownRace::benign("wipe::bentry_insert_value", "wipe::get_key", "adjacent-slot read"),
+            KnownRace::benign("wipe::remove", "wipe::get_key", "swap-remove persisted in CS"),
+            KnownRace::benign("wipe::remove", "wipe::get_value", "swap-remove persisted in CS"),
+            KnownRace::benign("wipe::create", "wipe::traverse", "directory initialization"),
+            KnownRace::benign("wipe::bentry_insert_key", "wipe::put", "deferred key read by a later put"),
+            KnownRace::benign("wipe::bentry_insert_key", "wipe::remove", "deferred key read by a later remove"),
+            KnownRace::benign("wipe::bentry_insert_key", "wipe::expand_copy", "deferred key copied by expansion"),
+            KnownRace::benign("wipe::bentry_insert_value", "wipe::put", "deferred value read by a later put"),
+            KnownRace::benign("wipe::bentry_insert_value", "wipe::remove", "deferred value read by a later remove"),
+            KnownRace::benign("wipe::bentry_insert_value", "wipe::expand_copy", "deferred value copied by expansion"),
+            KnownRace::benign("wipe::expand_swap", "wipe::put", "unpersisted swap re-read under the bentry lock"),
+            KnownRace::benign("wipe::expand_swap", "wipe::remove", "unpersisted swap re-read by a remover"),
+        ]
+    }
+
+    fn default_workload(&self, main_ops: u64, seed: u64) -> AppWorkload {
+        AppWorkload::Ycsb(WorkloadSpec::paper(main_ops, seed).generate())
+    }
+
+    fn execute_with(&self, workload: &AppWorkload, opts: &ExecOptions) -> ExecResult {
+        let AppWorkload::Ycsb(w) = workload else {
+            panic!("WIPE consumes YCSB workloads")
+        };
+        run_wipe(w, opts, WipeBugs::default())
+    }
+}
+
+/// Runs a YCSB workload against a fresh index.
+pub fn run_wipe(w: &Workload, opts: &ExecOptions, bugs: WipeBugs) -> ExecResult {
+    let env = env_for(opts);
+    let total = w.main_ops() as u64 + w.load.len() as u64;
+    let pool = env.map_pool("/mnt/pmem/wipe", (1 << 20) + total * 64);
+    let main = env.main_thread();
+    // Train on the load keys plus a sparse sample of the whole key space:
+    // without insert-range coverage the linear model clamps every fresh key
+    // into the last partition, which no real learned index would tolerate
+    // (ALEX/WIPE retrain or split on out-of-range inserts).
+    let max_key = w
+        .per_thread
+        .iter()
+        .flatten()
+        .map(|op| op.key())
+        .chain(w.load.iter().map(|op| op.key()))
+        .max()
+        .unwrap_or(1);
+    let mut train: Vec<u64> = w.load.iter().map(|op| op.key()).collect();
+    train.extend((0..=64u64).map(|i| max_key * i / 64));
+    let partitions = (total / 16).clamp(8, 4096);
+    let wipe = Arc::new(Wipe::create(&env, &pool, &main, &train, partitions, bugs));
+    for op in &w.load {
+        wipe.run_op(&main, op);
+    }
+    wipe.quiesce(&main);
+    let schedules = Arc::new(w.per_thread.clone());
+    let w2 = Arc::clone(&wipe);
+    run_workers(&env, &main, w.per_thread.len(), move |i, t| {
+        for op in &schedules[i] {
+            w2.run_op(t, op);
+        }
+    });
+    let observations = env.take_observations();
+    ExecResult { trace: env.finish(), observations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::score;
+    use hawkset_core::analysis::{analyze, AnalysisConfig};
+
+    fn fresh(partitions: u64) -> (PmEnv, Arc<Wipe>, PmThread) {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/wipe-test", 1 << 22);
+        let main = env.main_thread();
+        let train: Vec<u64> = (0..1000).collect();
+        let w = Arc::new(Wipe::create(&env, &pool, &main, &train, partitions, WipeBugs::default()));
+        (env, w, main)
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let (_env, w, t) = fresh(16);
+        for k in 0..300u64 {
+            w.put(&t, k, k + 5);
+        }
+        for k in 0..300u64 {
+            assert_eq!(w.get(&t, k), Some(k + 5), "key {k}");
+        }
+        assert!(w.remove(&t, 100));
+        assert_eq!(w.get(&t, 100), None);
+        assert!(!w.remove(&t, 100));
+    }
+
+    #[test]
+    fn update_wins_over_insert() {
+        let (_env, w, t) = fresh(8);
+        w.put(&t, 1, 10);
+        w.put(&t, 1, 20);
+        assert_eq!(w.get(&t, 1), Some(20));
+    }
+
+    #[test]
+    fn expansion_preserves_entries() {
+        let (_env, w, t) = fresh(4);
+        // 4 partitions x 8 buffer slots: 300 entries force many merges.
+        for k in 0..300u64 {
+            w.put(&t, k * 3, k + 1);
+        }
+        for k in 0..300u64 {
+            assert_eq!(w.get(&t, k * 3), Some(k + 1), "key {} lost in expansion", k * 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_survive() {
+        let (env, w, main) = fresh(32);
+        let w2 = Arc::clone(&w);
+        run_workers(&env, &main, 4, move |i, t| {
+            for k in 0..100u64 {
+                w2.put(t, i as u64 * 1000 + k, k + 1);
+            }
+        });
+        for i in 0..4u64 {
+            for k in 0..100u64 {
+                assert_eq!(w.get(&main, i * 1000 + k), Some(k + 1), "thread {i} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_bugs_16_17_18() {
+        let w = WorkloadSpec::paper(2000, 17).generate();
+        let res = run_wipe(&w, &ExecOptions::default(), WipeBugs::default());
+        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let b = score(&report.races, &WipeApp.known_races());
+        for id in [16, 17, 18] {
+            assert!(b.detected_ids.contains(&id), "bug #{id} missing: {:?}", b.detected_ids);
+        }
+    }
+
+    #[test]
+    fn expand_swap_report_carries_never_persisted_signature() {
+        let w = WorkloadSpec::paper(2000, 17).generate();
+        let res = run_wipe(&w, &ExecOptions::default(), WipeBugs::default());
+        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let swap = report.races.iter().find(|r| {
+            r.store_site.as_ref().is_some_and(|f| f.function == "wipe::expand_swap")
+                && r.load_site.as_ref().is_some_and(|f| f.function == "wipe::traverse")
+        });
+        let swap = swap.expect("bug #18 pair reported");
+        assert!(swap.store_never_persisted, "the swap is never flushed (letree.h:393)");
+        assert!(swap.store_atomic, "the swap is an atomic pointer store");
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks of the lockset-analysis stage (Algorithm 1's
+//! optimized implementation): pairing throughput as traces grow, and the
+//! effect of the memoization/interning optimizations of §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hawkset_bench::synthetic::{synthetic_trace, SyntheticSpec};
+use hawkset_core::analysis::{analyze, pair, AnalysisConfig};
+use hawkset_core::memsim::{simulate, SimConfig};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    for ops in [500u64, 2_000, 8_000] {
+        let trace = synthetic_trace(&SyntheticSpec::medium(ops));
+        g.throughput(Throughput::Elements(trace.events.len() as u64));
+        g.bench_with_input(BenchmarkId::new("analyze", ops), &trace, |b, t| {
+            b.iter(|| analyze(t, &AnalysisConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pairing_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pairing");
+    for ops in [500u64, 2_000, 8_000] {
+        let trace = synthetic_trace(&SyntheticSpec::medium(ops));
+        let access = simulate(&trace, &SimConfig::default());
+        g.throughput(Throughput::Elements(access.windows.len() as u64));
+        g.bench_with_input(BenchmarkId::new("pair", ops), &ops, |b, _| {
+            b.iter(|| pair(&trace, &access, &AnalysisConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_irh_ablation(c: &mut Criterion) {
+    let trace = synthetic_trace(&SyntheticSpec::medium(4_000));
+    let mut g = c.benchmark_group("irh-ablation");
+    g.bench_function("with-irh", |b| {
+        b.iter(|| analyze(&trace, &AnalysisConfig { irh: true, ..Default::default() }))
+    });
+    g.bench_function("without-irh", |b| {
+        b.iter(|| analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_pairing_stage, bench_irh_ablation);
+criterion_main!(benches);

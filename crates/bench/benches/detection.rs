@@ -1,0 +1,31 @@
+//! End-to-end detection microbenchmark: instrumented execution + analysis
+//! of a real application at small scale (the per-workload cost that
+//! Table 3's "avg time per execution" measures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hawkset_core::analysis::{analyze, AnalysisConfig};
+use pm_apps::{AppWorkload, Application};
+use pm_workloads::WorkloadSpec;
+
+fn bench_fastfair_end_to_end(c: &mut Criterion) {
+    let app = pm_apps::fastfair::FastFairApp;
+    let wl = app.default_workload(400, 7);
+    c.bench_function("fastfair-400ops-exec+analyze", |b| {
+        b.iter(|| {
+            let trace = app.execute(&wl);
+            analyze(&trace, &AnalysisConfig::default())
+        })
+    });
+}
+
+fn bench_analysis_only(c: &mut Criterion) {
+    let app = pm_apps::pclht::PclhtApp;
+    let wl = AppWorkload::Ycsb(WorkloadSpec::paper(1_000, 7).generate());
+    let trace = app.execute(&wl);
+    c.bench_function("pclht-1k-analysis-only", |b| {
+        b.iter(|| analyze(&trace, &AnalysisConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_fastfair_end_to_end, bench_analysis_only);
+criterion_main!(benches);

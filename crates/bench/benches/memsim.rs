@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of stage 1: worst-case cache simulation and
+//! the interning machinery (§4's sharing optimization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hawkset_bench::synthetic::{synthetic_trace, SyntheticSpec};
+use hawkset_core::intern::Interner;
+use hawkset_core::lockset::{LockEntry, Lockset};
+use hawkset_core::memsim::{simulate, SimConfig};
+use hawkset_core::trace::{LockId, LockMode};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim");
+    for ops in [500u64, 2_000, 8_000] {
+        let trace = synthetic_trace(&SyntheticSpec::medium(ops));
+        g.throughput(Throughput::Elements(trace.events.len() as u64));
+        g.bench_with_input(BenchmarkId::new("simulate", ops), &trace, |b, t| {
+            b.iter(|| simulate(t, &SimConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let locksets: Vec<Lockset> = (0..64u64)
+        .map(|i| {
+            Lockset::from_entries(
+                (0..(i % 4 + 1))
+                    .map(|j| LockEntry {
+                        lock: LockId(i % 8 + j),
+                        mode: LockMode::Exclusive,
+                        acq_ts: i,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    c.bench_function("intern-locksets-64k", |b| {
+        b.iter(|| {
+            let mut interner = Interner::new();
+            for _ in 0..1000 {
+                for ls in &locksets {
+                    criterion::black_box(interner.intern(ls.clone()));
+                }
+            }
+            interner.len()
+        })
+    });
+}
+
+fn bench_lockset_ops(c: &mut Criterion) {
+    let a = Lockset::from_entries(
+        (0..4).map(|i| LockEntry { lock: LockId(i), mode: LockMode::Exclusive, acq_ts: i }).collect(),
+    );
+    let b2 = Lockset::from_entries(
+        (2..6).map(|i| LockEntry { lock: LockId(i), mode: LockMode::Exclusive, acq_ts: i }).collect(),
+    );
+    c.bench_function("lockset-intersect", |b| {
+        b.iter(|| criterion::black_box(a.intersect_same_thread(&b2)))
+    });
+    c.bench_function("lockset-protects", |b| {
+        b.iter(|| criterion::black_box(a.protects_against(&b2)))
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_interning, bench_lockset_ops);
+criterion_main!(benches);

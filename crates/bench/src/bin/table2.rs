@@ -1,0 +1,76 @@
+//! Experiment E1 — regenerates **Table 2**: the persistency-induced races
+//! HawkSet detects across the nine applications.
+//!
+//! Each application runs its §5 workload (default 2 000 main-phase
+//! operations, 8 threads; `--ops N` to change, `--full` for the paper's
+//! 100k), the trace is analyzed, and every report matching a ground-truth
+//! malign entry is printed in Table 2's format. The expected outcome is
+//! all twenty bug ids, including the hard-to-reach TurboHash #3 (needs
+//! `--full`-scale workloads to fill buckets) and Fast-Fair #2.
+
+use hawkset_bench::{apps, arg_flag, arg_u64, run_app, TextTable};
+use hawkset_core::analysis::AnalysisConfig;
+use pm_apps::RaceClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = arg_flag(&args, "--full");
+    let ops = arg_u64(&args, "--ops", if full { 100_000 } else { 2_000 });
+    let seed = arg_u64(&args, "--seed", 42);
+    let cfg = AnalysisConfig::default();
+
+    println!("HawkSet reproduction — Table 2 (workload: {ops} ops, seed {seed})\n");
+    let mut table = TextTable::new(&["Application", "#", "New", "Store Access", "Load Access", "Description"]);
+    let mut detected_total = 0usize;
+    let mut new_total = 0usize;
+
+    for app in apps() {
+        let run = run_app(app.as_ref(), ops, seed, &cfg);
+        let known = app.known_races();
+        let mut ids = run.breakdown.detected_ids.clone();
+        ids.sort_unstable();
+        for id in ids {
+            // One row per (id, store site) as in the paper's Table 2.
+            let mut sites: Vec<&pm_apps::KnownRace> = known
+                .iter()
+                .filter(|k| k.id == id && k.class == RaceClass::Malign)
+                .filter(|k| run.report.races.iter().any(|r| k.matches(r)))
+                .collect();
+            sites.dedup_by_key(|k| k.store_fn);
+            let store_sites =
+                sites.iter().map(|k| k.store_fn).collect::<Vec<_>>().join(", ");
+            let load_sites = {
+                let mut l: Vec<&str> = sites.iter().map(|k| k.load_fn).collect();
+                l.dedup();
+                l.join(", ")
+            };
+            let k = sites.first().expect("detected id has entries");
+            table.row(vec![
+                app.name().to_string(),
+                id.to_string(),
+                if k.new { "yes".into() } else { "no".into() },
+                store_sites,
+                load_sites,
+                k.description.to_string(),
+            ]);
+            detected_total += 1;
+            if k.new {
+                new_total += 1;
+            }
+        }
+        for missed in &run.breakdown.missed {
+            eprintln!(
+                "note: {}: bug #{} ({} -> {}) not detected at this workload size — \
+                 expected for size-gated bugs (TurboHash #3 needs --full)",
+                app.name(),
+                missed.id,
+                missed.store_fn,
+                missed.load_fn,
+            );
+        }
+    }
+
+    println!("{}", table.render());
+    println!("{detected_total} distinct Table-2 bugs detected ({new_total} previously unknown).");
+    println!("Paper: 20 races, 7 previously unknown (store/load sites are frame names, not C line numbers).");
+}

@@ -1,0 +1,188 @@
+//! `hawkset` — command-line front end for the analysis pipeline.
+//!
+//! Traces recorded by the instrumented runtime (binary `.hwkt` files, see
+//! [`hawkset_core::trace::io`]) are analyzed offline, so a single recorded
+//! execution can be re-analyzed with different settings — IRH on/off,
+//! atomics included or not — without re-running the application.
+//!
+//! ```text
+//! hawkset analyze <trace.hwkt> [--no-irh] [--no-atomics] [--json]
+//! hawkset info    <trace.hwkt>
+//! hawkset demo    <out.hwkt>
+//! ```
+
+use std::process::ExitCode;
+
+use hawkset_core::analysis::{analyze, AnalysisConfig};
+use hawkset_core::trace::io;
+use hawkset_core::Trace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("hawkset: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+hawkset — automatic, application-agnostic concurrent PM bug detection
+
+USAGE:
+    hawkset analyze <trace.hwkt> [--no-irh] [--no-atomics] [--json]
+    hawkset info    <trace.hwkt>
+    hawkset demo    <out.hwkt>
+
+COMMANDS:
+    analyze   run the PM-aware lockset analysis on a recorded trace
+    info      print trace statistics (events, threads, PM regions)
+    demo      record the paper's Figure-1c example as a trace file
+
+ANALYZE OPTIONS:
+    --no-irh        disable the Initialization Removal Heuristic (§3.1.3)
+    --no-atomics    exclude atomic-instruction accesses from pairing
+    --no-hb         disable the inter-thread happens-before filter (§3.1.2)
+    --store-store   also pair stores against stores (off by design, §3.1.1)
+    --eadr          assume an eADR platform (§2.1): no race can exist
+    --json          emit machine-readable race reports
+
+EXIT STATUS:
+    0  no persistency-induced race found
+    1  races were reported
+    2  usage or I/O error
+";
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::decode(bytes::Bytes::from(raw)).map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut cfg = AnalysisConfig::default();
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--no-irh" => cfg.irh = false,
+            "--no-atomics" => cfg.include_atomics = false,
+            "--no-hb" => cfg.use_hb = false,
+            "--store-store" => cfg.check_store_store = true,
+            "--eadr" => cfg.eadr = true,
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("hawkset analyze: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            p => path = Some(p.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("hawkset analyze: missing trace path\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let trace = match load_trace(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hawkset: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = analyze(&trace, &cfg);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render(&trace));
+        let s = &report.stats;
+        println!(
+            "\n{} events ({} stores, {} loads, {} flushes, {} fences), \
+             {} windows, {} IRH-discarded, {} candidate pairs, {} races, {:?}",
+            s.sim.events,
+            s.sim.stores,
+            s.sim.loads,
+            s.sim.flushes,
+            s.sim.fences,
+            s.sim.windows_created,
+            s.sim.irh_discarded_windows,
+            s.pairing.candidate_pairs,
+            s.pairing.distinct_races,
+            s.duration,
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("hawkset info: missing trace path");
+        return ExitCode::from(2);
+    };
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hawkset: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("trace:        {path}");
+    println!("events:       {}", trace.events.len());
+    println!("threads:      {}", trace.thread_count);
+    println!("pm accesses:  {}", trace.access_count());
+    println!("stacks:       {}", trace.stacks.stack_count());
+    for r in &trace.regions {
+        println!("region:       {:#x}+{} ({})", r.base, r.len, r.path);
+    }
+    match trace.validate() {
+        Ok(()) => println!("validation:   ok"),
+        Err(e) => println!("validation:   FAILED ({e})"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Records the Figure-1c program — store under lock, persist outside it,
+/// concurrent load under the same lock — as a reusable demo trace.
+fn cmd_demo(args: &[String]) -> ExitCode {
+    use hawkset_core::addr::AddrRange;
+    use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, PmRegion, ThreadId, TraceBuilder};
+
+    let Some(path) = args.first() else {
+        eprintln!("hawkset demo: missing output path");
+        return ExitCode::from(2);
+    };
+    let mut b = TraceBuilder::new();
+    b.add_region(PmRegion { base: 0x1000, len: 4096, path: "/mnt/pmem/fig1c".into() });
+    let x = AddrRange::new(0x1000, 8);
+    let a = LockId(0xa);
+    let st = b.intern_stack([Frame::new("writer", "fig1c.c", 12), Frame::new("main", "fig1c.c", 40)]);
+    let ld = b.intern_stack([Frame::new("reader", "fig1c.c", 25), Frame::new("main", "fig1c.c", 41)]);
+    b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
+    b.push(ThreadId(0), st, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+    b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+    b.push(ThreadId(0), st, EventKind::Release { lock: a });
+    b.push(ThreadId(1), ld, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+    b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+    b.push(ThreadId(1), ld, EventKind::Release { lock: a });
+    b.push(ThreadId(0), st, EventKind::Flush { addr: 0x1000 });
+    b.push(ThreadId(0), st, EventKind::Fence);
+    b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+    let trace = b.finish();
+    let encoded = io::encode(&trace);
+    if let Err(e) = std::fs::write(path, &encoded) {
+        eprintln!("hawkset: cannot write {path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {} bytes to {path} — try: hawkset analyze {path}", encoded.len());
+    ExitCode::SUCCESS
+}

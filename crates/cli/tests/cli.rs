@@ -1,0 +1,88 @@
+//! Integration tests driving the `hawkset` binary end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hawkset() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hawkset"))
+}
+
+fn demo_trace(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hawkset-cli-test-{name}.hwkt"));
+    let out = hawkset().args(["demo", path.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success(), "demo failed: {}", String::from_utf8_lossy(&out.stderr));
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = hawkset().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("analyze"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = hawkset().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn demo_info_analyze_pipeline() {
+    let path = demo_trace("pipeline");
+
+    let out = hawkset().args(["info", path.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("events:       10"), "info output:\n{text}");
+    assert!(text.contains("validation:   ok"));
+
+    // The demo trace contains the Figure-1c race: exit code 1.
+    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 persistency-induced race(s) detected"), "analyze output:\n{text}");
+    assert!(text.contains("fig1c.c:12"), "store site resolved:\n{text}");
+    assert!(text.contains("fig1c.c:25"), "load site resolved:\n{text}");
+}
+
+#[test]
+fn analyze_json_is_machine_readable() {
+    let path = demo_trace("json");
+    let out = hawkset()
+        .args(["analyze", "--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    assert_eq!(parsed.as_array().map(Vec::len), Some(1));
+    assert_eq!(parsed[0]["store_site"]["line"], 12);
+}
+
+#[test]
+fn eadr_flag_silences_the_demo_race() {
+    let path = demo_trace("eadr");
+    let out = hawkset()
+        .args(["analyze", "--eadr", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "no race can exist under eADR");
+}
+
+#[test]
+fn analyze_rejects_garbage_input() {
+    let path = std::env::temp_dir().join("hawkset-cli-test-garbage.hwkt");
+    std::fs::write(&path, b"not a trace at all").unwrap();
+    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad magic"));
+}
+
+#[test]
+fn analyze_rejects_unknown_flags() {
+    let out = hawkset().args(["analyze", "--frobnicate", "x.hwkt"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,553 @@
+//! PM-Aware Lockset Analysis (pipeline stage 3, Algorithm 1).
+//!
+//! The analysis pairs every store window with every load to an overlapping
+//! address from a different thread that may execute concurrently under the
+//! inter-thread happens-before relation, and reports a persistency-induced
+//! race when the store's *effective lockset* shares no protecting lock with
+//! the load's lockset.
+//!
+//! The implementation follows §4 rather than the didactic pseudocode:
+//! accesses are grouped by address word, lockset/vector-clock checks are
+//! memoized on interned ids, and reports are deduplicated by the (store
+//! backtrace, load backtrace) pair.
+
+pub mod report;
+
+use std::collections::HashMap;
+
+use crate::lockset::{LockEntry, Lockset};
+use crate::memsim::{simulate, AccessSet, CloseReason, SimConfig, SimStats};
+use crate::trace::Trace;
+use crate::vclock::ClockOrder;
+
+pub use report::{AnalysisReport, Race, RaceKey};
+
+/// Analysis options.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Apply the Initialization Removal Heuristic (§3.1.3). On by default;
+    /// Table 4 compares both settings.
+    pub irh: bool,
+    /// Include accesses performed by atomic instructions. The original tool
+    /// instruments lock-prefixed instructions and CAS; races on them are
+    /// frequently benign (lock-free designs) but must still be reported —
+    /// classification is the developer's job (§3.3).
+    pub include_atomics: bool,
+    /// Assume an eADR platform (§2.1): stores are durable as soon as they
+    /// are visible, so no persistency-induced race exists by construction.
+    /// Off by default — "applications should not depend on the
+    /// availability of eADR".
+    pub eadr: bool,
+    /// Apply the inter-thread happens-before filter (§3.1.2). Disabling it
+    /// is the Figure 3 ablation: accesses ordered by thread creation/join
+    /// are then paired anyway, producing the false positives vector clocks
+    /// exist to remove.
+    pub use_hb: bool,
+    /// Also pair stores against stores. HawkSet deliberately does NOT
+    /// (§3.1.1): a persistency-induced race needs the causal dependency of
+    /// a load's side effect on a losable value, which store/store pairs
+    /// lack. The switch exists to demonstrate the report explosion the
+    /// design decision avoids.
+    pub check_store_store: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            irh: true,
+            include_atomics: true,
+            eadr: false,
+            use_hb: true,
+            check_store_store: false,
+        }
+    }
+}
+
+/// Pairing-stage counters, for the §5.3 cost study and the ablation bench.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PairingStats {
+    /// Store windows considered (IRH survivors).
+    pub live_windows: u64,
+    /// Loads considered (IRH survivors).
+    pub live_loads: u64,
+    /// (window, load) pairs that overlapped in address.
+    pub candidate_pairs: u64,
+    /// Pairs pruned by the inter-thread happens-before filter.
+    pub hb_pruned: u64,
+    /// Pairs protected by a common lock.
+    pub lockset_protected: u64,
+    /// Racy pairs (before backtrace deduplication).
+    pub racy_pairs: u64,
+    /// Distinct races reported.
+    pub distinct_races: u64,
+    /// Memoized HB checks that hit the cache.
+    pub hb_memo_hits: u64,
+    /// Memoized lockset checks that hit the cache.
+    pub lockset_memo_hits: u64,
+}
+
+/// Combined pipeline statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Stage-1 (simulation + IRH) counters.
+    pub sim: SimStats,
+    /// Stage-3 (pairing) counters.
+    pub pairing: PairingStats,
+    /// Wall-clock duration of the whole pipeline.
+    pub duration: std::time::Duration,
+}
+
+/// Runs the full HawkSet pipeline on a trace.
+///
+/// This is the library's front door: instrumentation produces a [`Trace`],
+/// `analyze` returns the persistency-induced races.
+pub fn analyze(trace: &Trace, cfg: &AnalysisConfig) -> AnalysisReport {
+    let started = std::time::Instant::now();
+    let access = simulate(trace, &SimConfig { irh: cfg.irh, eadr: cfg.eadr });
+    let mut report = pair(trace, &access, cfg);
+    report.stats.sim = access.stats.clone();
+    report.stats.duration = started.elapsed();
+    report
+}
+
+/// Equivalence-class key of a store window for §4-style grouping:
+/// `(start, len, tid, reserved, store-clock, effective-lockset, close-clock,
+/// stack, close/atomic/nt bits)`.
+type WinKey = (u64, u32, u32, u32, u32, u32, u32, u32, u8);
+
+/// Equivalence-class key of a load: `(start, len, tid, lockset, clock,
+/// stack, atomic)`.
+type LoadKey = (u64, u32, u32, u32, u32, u32, bool);
+
+/// Stage 3: pair store windows with loads (optimized Algorithm 1).
+pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> AnalysisReport {
+    let mut stats = PairingStats::default();
+
+    // The inter-thread lockset intersection ignores acquisition timestamps
+    // (§3.1.2: they are "only meaningful in the thread-local context"), so
+    // locksets are first *normalized* — timestamps stripped and the result
+    // re-interned. Without this, every critical section carries a distinct
+    // lockset id and the grouping below cannot collapse locked accesses.
+    let mut norm_of_raw: Vec<u32> = Vec::with_capacity(access.locksets.len());
+    let mut norm_sets: Vec<Lockset> = Vec::new();
+    {
+        let mut index: HashMap<Lockset, u32> = HashMap::new();
+        for (_, ls) in access.locksets.iter() {
+            let stripped = Lockset::from_entries(
+                ls.iter()
+                    .map(|e| LockEntry { lock: e.lock, mode: e.mode, acq_ts: 0 })
+                    .collect(),
+            );
+            let id = *index.entry(stripped.clone()).or_insert_with(|| {
+                norm_sets.push(stripped);
+                (norm_sets.len() - 1) as u32
+            });
+            norm_of_raw.push(id);
+        }
+    }
+    let norm = |raw: crate::memsim::LsId| norm_of_raw[raw.id() as usize];
+
+    // §4: "we group PM accesses by thread id and address" — accesses with
+    // identical (range, thread, lockset, vector clock, backtrace) are
+    // interchangeable for Algorithm 1 (every check reads only those
+    // fields), so each equivalence class is paired once and its population
+    // multiplies the pair counts. On zipfian workloads this collapses the
+    // hot keys' millions of accesses into a handful of groups.
+    let mut load_groups: Vec<(u32, u64)> = Vec::new(); // (repr index, count)
+    {
+        let mut index: HashMap<LoadKey, u32> = HashMap::new();
+        for (i, ld) in access.loads.iter().enumerate() {
+            if !ld.live() || (!cfg.include_atomics && ld.atomic) {
+                continue;
+            }
+            stats.live_loads += 1;
+            let key = (
+                ld.range.start,
+                ld.range.len,
+                ld.tid.0,
+                norm(ld.ls),
+                ld.vc.id(),
+                ld.stack,
+                ld.atomic,
+            );
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    load_groups[*e.get() as usize].1 += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(load_groups.len() as u32);
+                    load_groups.push((i as u32, 1));
+                }
+            }
+        }
+    }
+    let mut window_groups: Vec<(u32, u64)> = Vec::new();
+    {
+        let mut index: HashMap<WinKey, u32> = HashMap::new();
+        for (i, w) in access.windows.iter().enumerate() {
+            if !w.live() || (!cfg.include_atomics && w.atomic) {
+                continue;
+            }
+            stats.live_windows += 1;
+            let close_bits = match w.close {
+                crate::memsim::CloseReason::Persisted => 0u8,
+                crate::memsim::CloseReason::Overwritten => 1,
+                crate::memsim::CloseReason::NeverPersisted => 2,
+            } | (u8::from(w.atomic) << 2)
+                | (u8::from(w.non_temporal) << 3);
+            // The raw store lockset is irrelevant to pairing (only the
+            // effective lockset is consulted), so it is not in the key.
+            let key = (
+                w.range.start,
+                w.range.len,
+                w.tid.0,
+                0,
+                w.store_vc.id(),
+                norm(w.effective_ls),
+                w.close_vc.map(|c| c.id()).unwrap_or(u32::MAX),
+                w.stack,
+                close_bits,
+            );
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    window_groups[*e.get() as usize].1 += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(window_groups.len() as u32);
+                    window_groups.push((i as u32, 1));
+                }
+            }
+        }
+    }
+
+    // Index load groups by 8-byte word.
+    let mut by_word: HashMap<u64, Vec<u32>> = HashMap::new();
+    for (gi, &(li, _)) in load_groups.iter().enumerate() {
+        for w in access.loads[li as usize].range.words() {
+            by_word.entry(w).or_default().push(gi as u32);
+        }
+    }
+
+    // Memo tables keyed on interned ids (§4: "direct comparison").
+    let mut protected_memo: HashMap<(u32, u32), bool> = HashMap::new();
+    let mut hb_memo: HashMap<(u32, u32, u32), bool> = HashMap::new();
+
+    // Reports are deduplicated at the granularity of Table 2: the pair of
+    // *sites* (the functions containing the store and the load). Backtraces
+    // of the first witness are kept for rendering. Stacks without site
+    // information fall back to exact-backtrace identity.
+    #[derive(PartialEq, Eq, Hash)]
+    enum SiteKey {
+        Functions(String, String),
+        Stacks(u32, u32),
+    }
+    let mut races: HashMap<SiteKey, Race> = HashMap::new();
+    let mut candidates: Vec<u32> = Vec::new();
+
+    // Under eADR (§2.1) every store is durable the instant it is visible:
+    // the visible-but-not-durable window Definition 1 requires has zero
+    // length, so no persistency-induced race can exist and pairing is
+    // skipped wholesale.
+    let window_groups_live: &[(u32, u64)] = if cfg.eadr { &[] } else { &window_groups };
+
+    for &(wi, wcount) in window_groups_live {
+        let win = &access.windows[wi as usize];
+
+        candidates.clear();
+        for w in win.range.words() {
+            if let Some(loads) = by_word.get(&w) {
+                candidates.extend_from_slice(loads);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        for &gi in &candidates {
+            let (li, lcount) = load_groups[gi as usize];
+            let ld = &access.loads[li as usize];
+            // Algorithm 1 line 16: same-thread pairs cannot race.
+            if ld.tid == win.tid {
+                continue;
+            }
+            // Line 15 (refined): byte-level overlap, not just word sharing.
+            if !ld.range.overlaps(&win.range) {
+                continue;
+            }
+            let pairs = wcount * lcount;
+            stats.candidate_pairs += pairs;
+
+            // Line 17: inter-thread happens-before filter over the window
+            // [store_vc, close_vc]. The pair is impossible if the load
+            // happened-before the store became visible, or the value was
+            // guaranteed persisted (or gone) before the load could run.
+            // (Disabled by the Figure 3 ablation, `use_hb = false`.)
+            let close_raw = win.close_vc.map(|c| c.id()).unwrap_or(u32::MAX);
+            let key = (win.store_vc.id(), close_raw, ld.vc.id());
+            let ordered = cfg.use_hb
+                && match hb_memo.get(&key) {
+                Some(&v) => {
+                    stats.hb_memo_hits += 1;
+                    v
+                }
+                None => {
+                    let store_vc = access.vclocks.get(win.store_vc);
+                    let load_vc = access.vclocks.get(ld.vc);
+                    let load_before_store = matches!(
+                        load_vc.compare(store_vc),
+                        ClockOrder::Before | ClockOrder::Equal
+                    );
+                    let closed_before_load = match win.close_vc {
+                        Some(cvc) => matches!(
+                            access.vclocks.get(cvc).compare(load_vc),
+                            ClockOrder::Before | ClockOrder::Equal
+                        ),
+                        // Never persisted: the window is unbounded.
+                        None => false,
+                    };
+                    let v = load_before_store || closed_before_load;
+                    hb_memo.insert(key, v);
+                    v
+                }
+            };
+            if ordered {
+                stats.hb_pruned += pairs;
+                continue;
+            }
+
+            // Line 18: effective lockset ∩ load lockset (normalized ids).
+            let lkey = (norm(win.effective_ls), norm(ld.ls));
+            let protected = match protected_memo.get(&lkey) {
+                Some(&v) => {
+                    stats.lockset_memo_hits += 1;
+                    v
+                }
+                None => {
+                    let v = norm_sets[lkey.0 as usize]
+                        .protects_against(&norm_sets[lkey.1 as usize]);
+                    protected_memo.insert(lkey, v);
+                    v
+                }
+            };
+            if protected {
+                stats.lockset_protected += pairs;
+                continue;
+            }
+
+            // Line 19: report, deduplicated by site pair.
+            stats.racy_pairs += pairs;
+            let store_site = trace.stacks.site(win.stack);
+            let load_site = trace.stacks.site(ld.stack);
+            let key = match (store_site, load_site) {
+                (Some(s), Some(l)) => {
+                    SiteKey::Functions(s.function.clone(), l.function.clone())
+                }
+                _ => SiteKey::Stacks(win.stack, ld.stack),
+            };
+            let race = races.entry(key).or_insert_with(|| Race {
+                key: RaceKey { store_stack: win.stack, load_stack: ld.stack },
+                store_site: trace.stacks.site(win.stack).cloned(),
+                load_site: trace.stacks.site(ld.stack).cloned(),
+                store_tid: win.tid,
+                load_tid: ld.tid,
+                example_range: win.range.intersection(&ld.range).unwrap_or(win.range),
+                pair_count: 0,
+                store_atomic: win.atomic,
+                load_atomic: ld.atomic,
+                store_non_temporal: win.non_temporal,
+                store_never_persisted: false,
+                effective_lockset_empty: false,
+                store_store: false,
+            });
+            race.pair_count += pairs;
+            if win.close == CloseReason::NeverPersisted {
+                race.store_never_persisted = true;
+            }
+            if access.locksets.get(win.effective_ls).is_empty() {
+                race.effective_lockset_empty = true;
+            }
+        }
+    }
+
+    // Optional store/store pass — the §3.1.1 ablation. HawkSet's default
+    // skips it: two stores lack the load-side-effect dependency that makes
+    // a persistency-induced race harmful, and pairing them explodes the
+    // report count on lock-free designs.
+    if cfg.check_store_store && !cfg.eadr {
+        let mut by_word_stores: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (gi, &(wi, _)) in window_groups.iter().enumerate() {
+            for word in access.windows[wi as usize].range.words() {
+                by_word_stores.entry(word).or_default().push(gi as u32);
+            }
+        }
+        for (g1, &(i1, c1)) in window_groups.iter().enumerate() {
+            let w1 = &access.windows[i1 as usize];
+            candidates.clear();
+            for word in w1.range.words() {
+                if let Some(v) = by_word_stores.get(&word) {
+                    candidates.extend_from_slice(v);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for &g2 in &candidates {
+                if (g2 as usize) <= g1 {
+                    continue; // each unordered pair once
+                }
+                let (i2, c2) = window_groups[g2 as usize];
+                let w2 = &access.windows[i2 as usize];
+                if w2.tid == w1.tid || !w2.range.overlaps(&w1.range) {
+                    continue;
+                }
+                if cfg.use_hb {
+                    // Windows must overlap in the happens-before order.
+                    let w1_closed_before_w2 = match w1.close_vc {
+                        Some(c) => access
+                            .vclocks
+                            .get(c)
+                            .happens_before(access.vclocks.get(w2.store_vc)),
+                        None => false,
+                    };
+                    let w2_closed_before_w1 = match w2.close_vc {
+                        Some(c) => access
+                            .vclocks
+                            .get(c)
+                            .happens_before(access.vclocks.get(w1.store_vc)),
+                        None => false,
+                    };
+                    if w1_closed_before_w2 || w2_closed_before_w1 {
+                        continue;
+                    }
+                }
+                let eff1 = &norm_sets[norm(w1.effective_ls) as usize];
+                let eff2 = &norm_sets[norm(w2.effective_ls) as usize];
+                if eff1.protects_against(eff2) {
+                    continue;
+                }
+                let s1 = trace.stacks.site(w1.stack);
+                let s2 = trace.stacks.site(w2.stack);
+                let key = match (s1, s2) {
+                    (Some(a), Some(b)) => {
+                        SiteKey::Functions(format!("ss:{}", a.function), b.function.clone())
+                    }
+                    _ => SiteKey::Stacks(w1.stack ^ 0x8000_0000, w2.stack),
+                };
+                let race = races.entry(key).or_insert_with(|| Race {
+                    key: RaceKey { store_stack: w1.stack, load_stack: w2.stack },
+                    store_site: s1.cloned(),
+                    load_site: s2.cloned(),
+                    store_tid: w1.tid,
+                    load_tid: w2.tid,
+                    example_range: w1.range.intersection(&w2.range).unwrap_or(w1.range),
+                    pair_count: 0,
+                    store_atomic: w1.atomic,
+                    load_atomic: w2.atomic,
+                    store_non_temporal: w1.non_temporal,
+                    store_never_persisted: false,
+                    effective_lockset_empty: false,
+                    store_store: true,
+                });
+                race.pair_count += c1 * c2;
+            }
+        }
+    }
+
+    let mut races: Vec<Race> = races.into_values().collect();
+    races.sort_by(|a, b| {
+        b.pair_count.cmp(&a.pair_count).then_with(|| a.key.cmp(&b.key))
+    });
+    stats.distinct_races = races.len() as u64;
+
+    AnalysisReport {
+        races,
+        stats: PipelineStats { sim: SimStats::default(), pairing: stats, duration: Default::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrRange;
+    use crate::trace::{EventKind, Frame, LockId, LockMode, ThreadId, TraceBuilder};
+
+    /// The Figure-1c trace used throughout: store under lock A, persist
+    /// outside it, concurrent load under lock A.
+    fn fig1c() -> crate::Trace {
+        let mut b = TraceBuilder::new();
+        let x = AddrRange::new(0x1000, 8);
+        let a = LockId(0xa);
+        let st = b.intern_stack([Frame::new("writer", "f.rs", 1)]);
+        let ld = b.intern_stack([Frame::new("reader", "f.rs", 2)]);
+        b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(0), st, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+        b.push(ThreadId(0), st, EventKind::Release { lock: a });
+        b.push(ThreadId(1), ld, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+        b.push(ThreadId(1), ld, EventKind::Release { lock: a });
+        b.push(ThreadId(0), st, EventKind::Flush { addr: 0x1000 });
+        b.push(ThreadId(0), st, EventKind::Fence);
+        b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.finish()
+    }
+
+    #[test]
+    fn eadr_mode_silences_persistency_races() {
+        let trace = fig1c();
+        let normal = analyze(&trace, &AnalysisConfig::default());
+        assert_eq!(normal.races.len(), 1);
+        let eadr = analyze(&trace, &AnalysisConfig { eadr: true, ..Default::default() });
+        assert!(
+            eadr.is_clean(),
+            "with the persistent domain extended to the cache, visibility implies \
+             durability and the Figure-1c race disappears"
+        );
+    }
+
+    /// Figure 3: an unlocked init store that happens-before every other
+    /// thread must be pruned by the HB filter and reappear without it.
+    #[test]
+    fn hb_ablation_reintroduces_figure3_false_positive() {
+        let mut b = TraceBuilder::new();
+        let x = AddrRange::new(0x100, 8);
+        let st = b.intern_stack([Frame::new("init", "f.rs", 1)]);
+        let ld = b.intern_stack([Frame::new("reader", "f.rs", 2)]);
+        // T0: store + persist X (no lock), then create T2 which loads X.
+        b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+        b.push(ThreadId(0), st, EventKind::Flush { addr: 0x100 });
+        b.push(ThreadId(0), st, EventKind::Fence);
+        b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+        b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+        let trace = b.finish();
+
+        let with_hb = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
+        assert!(with_hb.is_clean(), "persist happens-before the child load");
+        let without_hb = analyze(
+            &trace,
+            &AnalysisConfig { irh: false, use_hb: false, ..Default::default() },
+        );
+        assert_eq!(without_hb.races.len(), 1, "the Figure 3 false positive returns");
+    }
+
+    #[test]
+    fn store_store_pass_is_off_by_default_and_reports_when_on() {
+        let mut b = TraceBuilder::new();
+        let x = AddrRange::new(0x100, 8);
+        let s1 = b.intern_stack([Frame::new("w1", "f.rs", 1)]);
+        let s2 = b.intern_stack([Frame::new("w2", "f.rs", 2)]);
+        b.push(ThreadId(0), s1, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(0), s1, EventKind::Store { range: x, non_temporal: false, atomic: false });
+        b.push(ThreadId(1), s2, EventKind::Store { range: x, non_temporal: false, atomic: false });
+        b.push(ThreadId(0), s1, EventKind::ThreadJoin { child: ThreadId(1) });
+        let trace = b.finish();
+        let default = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
+        assert!(default.is_clean(), "no load, no persistency-induced race (3.1.1)");
+        let with_ss = analyze(
+            &trace,
+            &AnalysisConfig { irh: false, check_store_store: true, ..Default::default() },
+        );
+        assert_eq!(with_ss.races.len(), 1);
+        assert!(with_ss.races[0].store_store);
+        assert!(with_ss.races[0].summary().contains("store-store"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Race reports.
+//!
+//! A report entry corresponds to one distinct (store backtrace, load
+//! backtrace) pair — the same identity the paper uses in Table 2, where a
+//! race is named by its store and load source locations. All concrete
+//! (window, load) pairs with the same backtraces are collapsed into one
+//! entry with a pair count.
+
+use serde::{Deserialize, Serialize};
+
+use super::PipelineStats;
+use crate::addr::AddrRange;
+use crate::trace::{Frame, StackId, ThreadId, Trace};
+
+/// Deduplication key of a race: the two backtraces.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct RaceKey {
+    /// Backtrace of the store.
+    pub store_stack: StackId,
+    /// Backtrace of the load.
+    pub load_stack: StackId,
+}
+
+/// One reported persistency-induced race.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Race {
+    /// Deduplication key (stack ids, resolvable via the trace).
+    pub key: RaceKey,
+    /// Innermost frame of the store backtrace (the store site).
+    pub store_site: Option<Frame>,
+    /// Innermost frame of the load backtrace (the load site).
+    pub load_site: Option<Frame>,
+    /// Thread of the first observed racy store.
+    pub store_tid: ThreadId,
+    /// Thread of the first observed racy load.
+    pub load_tid: ThreadId,
+    /// Example overlapping byte range.
+    pub example_range: AddrRange,
+    /// Number of concrete racy (window, load) pairs collapsed here.
+    pub pair_count: u64,
+    /// The store was part of an atomic instruction.
+    pub store_atomic: bool,
+    /// The load was part of an atomic instruction.
+    pub load_atomic: bool,
+    /// The store was non-temporal.
+    pub store_non_temporal: bool,
+    /// At least one racy window was never explicitly persisted — a missing
+    /// flush/fence rather than a mis-ordered one.
+    pub store_never_persisted: bool,
+    /// At least one racy window had an **empty effective lockset**: no lock
+    /// spanned the store→persist window at all. This is the signature of a
+    /// store that can be lost while its critical section has already ended
+    /// (Figure 2) — as opposed to races that exist only because the reader
+    /// is lock-free.
+    pub effective_lockset_empty: bool,
+    /// `true` for store/store pairs, only produced when
+    /// [`AnalysisConfig::check_store_store`] is enabled (HawkSet's default
+    /// deliberately skips them, §3.1.1). The "load" fields then describe
+    /// the second store.
+    ///
+    /// [`AnalysisConfig::check_store_store`]: super::AnalysisConfig::check_store_store
+    #[serde(default)]
+    pub store_store: bool,
+}
+
+impl Race {
+    /// `file:line (function)` of the store site, or a placeholder.
+    pub fn store_site_str(&self) -> String {
+        self.store_site.as_ref().map(|f| f.render()).unwrap_or_else(|| "<unknown>".into())
+    }
+
+    /// `file:line (function)` of the load site, or a placeholder.
+    pub fn load_site_str(&self) -> String {
+        self.load_site.as_ref().map(|f| f.render()).unwrap_or_else(|| "<unknown>".into())
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        if self.store_store {
+            return format!(
+                "store-store pair: {} vs {} ({} pairs, {})",
+                self.store_site_str(),
+                self.load_site_str(),
+                self.pair_count,
+                self.example_range,
+            );
+        }
+        let kind = if self.store_never_persisted { "unpersisted store" } else { "late persist" };
+        format!(
+            "{} by {} at {} raced with load by {} at {} ({} pairs, {})",
+            kind,
+            self.store_tid,
+            self.store_site_str(),
+            self.load_tid,
+            self.load_site_str(),
+            self.pair_count,
+            self.example_range,
+        )
+    }
+}
+
+/// The result of analyzing one trace.
+#[derive(Debug, Default)]
+pub struct AnalysisReport {
+    /// Distinct races, most frequent first.
+    pub races: Vec<Race>,
+    /// Pipeline statistics.
+    pub stats: PipelineStats,
+}
+
+impl AnalysisReport {
+    /// Renders a human-readable report with full backtraces.
+    pub fn render(&self, trace: &Trace) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "HawkSet: {} persistency-induced race(s) detected\n",
+            self.races.len()
+        ));
+        for (i, race) in self.races.iter().enumerate() {
+            out.push_str(&format!("\n== race #{} ({} racy pairs) ==\n", i + 1, race.pair_count));
+            out.push_str(&format!(
+                "store  [{}{}{}] by {} touching {}\n",
+                if race.store_never_persisted { "never-persisted" } else { "persisted-late" },
+                if race.store_atomic { ", atomic" } else { "" },
+                if race.store_non_temporal { ", non-temporal" } else { "" },
+                race.store_tid,
+                race.example_range,
+            ));
+            out.push_str(&trace.stacks.render(race.key.store_stack));
+            out.push_str(&format!(
+                "load   [{}] by {}\n",
+                if race.load_atomic { "atomic" } else { "plain" },
+                race.load_tid,
+            ));
+            out.push_str(&trace.stacks.render(race.key.load_stack));
+        }
+        out
+    }
+
+    /// Serializes the races to JSON (the CLI's machine-readable output).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.races).expect("race serialization cannot fail")
+    }
+
+    /// True when no race was found.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_race() -> Race {
+        Race {
+            key: RaceKey { store_stack: 1, load_stack: 2 },
+            store_site: Some(Frame::new("insert", "btree.h", 560)),
+            load_site: Some(Frame::new("search", "btree.h", 878)),
+            store_tid: ThreadId(0),
+            load_tid: ThreadId(1),
+            example_range: AddrRange::new(0x1000, 8),
+            pair_count: 3,
+            store_atomic: false,
+            load_atomic: true,
+            store_non_temporal: false,
+            store_never_persisted: true,
+            effective_lockset_empty: true,
+            store_store: false,
+        }
+    }
+
+    #[test]
+    fn summary_mentions_sites_and_kind() {
+        let s = sample_race().summary();
+        assert!(s.contains("btree.h:560"));
+        assert!(s.contains("btree.h:878"));
+        assert!(s.contains("unpersisted store"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let race = sample_race();
+        let report = AnalysisReport {
+            races: vec![race],
+            stats: PipelineStats::default(),
+        };
+        let json = report.to_json();
+        let back: Vec<Race> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].pair_count, 3);
+        assert_eq!(back[0].store_site.as_ref().unwrap().line, 560);
+    }
+
+    #[test]
+    fn clean_report() {
+        let report = AnalysisReport::default();
+        assert!(report.is_clean());
+        assert!(report.to_json().contains("[]"));
+    }
+}

@@ -1,0 +1,922 @@
+//! Worst-case persistence simulation (pipeline stage 1, §3.2 Ⓐ–Ⓒ).
+//!
+//! The simulator replays the trace in observation order, maintaining:
+//!
+//! * **Memory Simulation** Ⓐ — a worst-case cache that considers a store
+//!   persisted *only* after an explicit flush of its cache line followed by
+//!   a fence from the flushing thread (arbitrary cache evictions give no
+//!   guarantee, so they are ignored);
+//! * **Lock Tracking** Ⓑ — each thread's current lockset, with per-entry
+//!   acquisition timestamps from a thread-local logical clock;
+//! * **Thread Tracking** Ⓒ — per-thread vector clocks with the batching
+//!   optimization of §4 (only the first PM operation after a thread
+//!   create/join boundary bumps the local counter);
+//! * the Initialization Removal Heuristic, applied online alongside the
+//!   instrumentation exactly as in the original implementation (§4).
+//!
+//! The output is an [`AccessSet`]: closed [`StoreWindow`]s, [`LoadAccess`]es
+//! and the interning tables shared by both — the input of the lockset
+//! analysis stage.
+
+pub mod window;
+
+use std::collections::{HashMap, HashSet};
+
+use crate::addr::{line_of, AddrRange, LineId};
+use crate::intern::Interner;
+use crate::irh::PublicationTracker;
+use crate::lockset::{LockEntry, Lockset};
+use crate::trace::{EventKind, StackId, ThreadId, Trace};
+use crate::vclock::VectorClock;
+
+pub use window::{CloseReason, LoadAccess, LsId, StoreWindow, VcId};
+
+/// Counters describing one simulation run, reported alongside the analysis
+/// (§5.3 cost study and the sharing ratios of §4).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total events replayed.
+    pub events: u64,
+    /// PM stores seen.
+    pub stores: u64,
+    /// PM loads seen.
+    pub loads: u64,
+    /// Flush instructions seen.
+    pub flushes: u64,
+    /// Fence instructions seen.
+    pub fences: u64,
+    /// Store windows created (≥ stores: cross-line stores split).
+    pub windows_created: u64,
+    /// Windows closed by explicit persistence.
+    pub windows_persisted: u64,
+    /// Windows closed by overwrite.
+    pub windows_overwritten: u64,
+    /// Windows still unpersisted at the end of the execution.
+    pub windows_unpersisted: u64,
+    /// Windows discarded by the Initialization Removal Heuristic.
+    pub irh_discarded_windows: u64,
+    /// Loads dropped by the Initialization Removal Heuristic.
+    pub irh_dropped_loads: u64,
+    /// Distinct locksets interned.
+    pub distinct_locksets: u64,
+    /// Distinct vector clocks interned.
+    pub distinct_vclocks: u64,
+    /// Lockset/vector-clock intern requests (sharing-ratio numerator).
+    pub intern_requests: u64,
+    /// Words tracked by the publication tracker.
+    pub tracked_words: u64,
+    /// Accesses ignored because they fell outside every registered PM
+    /// region (only possible when the trace registers regions).
+    pub non_pm_accesses: u64,
+}
+
+/// Everything stage 1 + 2 hand to the lockset analysis.
+#[derive(Debug)]
+pub struct AccessSet {
+    /// All store windows (including IRH-discarded ones, flagged).
+    pub windows: Vec<StoreWindow>,
+    /// All loads (including IRH-dropped ones, flagged).
+    pub loads: Vec<LoadAccess>,
+    /// Interned locksets referenced by windows and loads.
+    pub locksets: Interner<Lockset>,
+    /// Interned vector clocks referenced by windows and loads.
+    pub vclocks: Interner<VectorClock>,
+    /// Simulation counters.
+    pub stats: SimStats,
+}
+
+/// Per-thread simulation state.
+struct ThreadState {
+    lockset: Lockset,
+    ls_id: LsId,
+    /// Thread-local logical clock: bumped on every lock acquisition.
+    logical_clock: u64,
+    vc: VectorClock,
+    vc_id: VcId,
+    /// Set after create/join boundaries; the next PM operation ticks the
+    /// vector clock (the §4 batching optimization).
+    needs_tick: bool,
+}
+
+/// An open (still unpersisted, not overwritten) piece of a store, confined
+/// to a single cache line.
+struct OpenPiece {
+    tid: ThreadId,
+    store_seq: u64,
+    stack: StackId,
+    range: AddrRange,
+    store_ls: LsId,
+    store_vc: VcId,
+    atomic: bool,
+    non_temporal: bool,
+    /// Threads whose next fence persists this piece (they flushed the line
+    /// after the store, or issued the store non-temporally).
+    pending_fence: Vec<ThreadId>,
+}
+
+/// Options controlling the simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Apply the Initialization Removal Heuristic (§3.1.3). Table 4 runs
+    /// the pipeline both ways.
+    pub irh: bool,
+    /// Simulate an eADR platform (§2.1): the persistent domain extends to
+    /// the cache, so every store is durable the moment it becomes visible.
+    /// Store windows close instantly (`Persisted` at the store's own
+    /// clock/lockset) and no persistency-induced race can exist — the
+    /// paper's argument for why software must not *assume* eADR is that
+    /// this convenient world is not the one most deployments run in.
+    pub eadr: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { irh: true, eadr: false }
+    }
+}
+
+/// Runs the worst-case persistence simulation over a trace.
+pub fn simulate(trace: &Trace, cfg: &SimConfig) -> AccessSet {
+    Simulator::new(trace, cfg.clone()).run()
+}
+
+struct Simulator<'t> {
+    trace: &'t Trace,
+    cfg: SimConfig,
+    threads: Vec<ThreadState>,
+    /// Open store pieces, indexed by cache line.
+    lines: HashMap<LineId, Vec<OpenPiece>>,
+    /// For each thread, the lines that may hold pieces pending on its fence.
+    fence_watch: HashMap<ThreadId, HashSet<LineId>>,
+    publication: PublicationTracker,
+    locksets: Interner<Lockset>,
+    vclocks: Interner<VectorClock>,
+    windows: Vec<StoreWindow>,
+    loads: Vec<LoadAccess>,
+    stats: SimStats,
+}
+
+impl<'t> Simulator<'t> {
+    fn new(trace: &'t Trace, cfg: SimConfig) -> Self {
+        let mut locksets = Interner::new();
+        let mut vclocks = Interner::new();
+        let empty_ls = locksets.intern(Lockset::empty());
+        let zero_vc = vclocks.intern(VectorClock::new());
+        let threads = (0..trace.thread_count.max(1))
+            .map(|_| ThreadState {
+                lockset: Lockset::empty(),
+                ls_id: empty_ls,
+                logical_clock: 0,
+                vc: VectorClock::new(),
+                vc_id: zero_vc,
+                needs_tick: true,
+            })
+            .collect();
+        Self {
+            trace,
+            cfg,
+            threads,
+            lines: HashMap::new(),
+            fence_watch: HashMap::new(),
+            publication: PublicationTracker::new(),
+            locksets,
+            vclocks,
+            windows: Vec::new(),
+            loads: Vec::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    fn run(mut self) -> AccessSet {
+        let filter_pm = !self.trace.regions.is_empty();
+        for ev in &self.trace.events {
+            self.stats.events += 1;
+            match &ev.kind {
+                EventKind::Store { range, non_temporal, atomic } => {
+                    if filter_pm && !self.trace.is_pm(range) {
+                        self.stats.non_pm_accesses += 1;
+                        continue;
+                    }
+                    self.stats.stores += 1;
+                    self.tick_if_needed(ev.tid);
+                    self.on_store(ev.tid, ev.seq, ev.stack, *range, *non_temporal, *atomic);
+                }
+                EventKind::Load { range, atomic } => {
+                    if filter_pm && !self.trace.is_pm(range) {
+                        self.stats.non_pm_accesses += 1;
+                        continue;
+                    }
+                    self.stats.loads += 1;
+                    self.tick_if_needed(ev.tid);
+                    self.on_load(ev.tid, ev.seq, ev.stack, *range, *atomic);
+                }
+                EventKind::Flush { addr } => {
+                    self.stats.flushes += 1;
+                    self.tick_if_needed(ev.tid);
+                    self.on_flush(ev.tid, *addr);
+                }
+                EventKind::Fence => {
+                    self.stats.fences += 1;
+                    self.tick_if_needed(ev.tid);
+                    self.on_fence(ev.tid);
+                }
+                EventKind::Acquire { lock, mode } => {
+                    let t = &mut self.threads[ev.tid.index()];
+                    t.logical_clock += 1;
+                    let entry = LockEntry { lock: *lock, mode: *mode, acq_ts: t.logical_clock };
+                    t.lockset = t.lockset.with(entry);
+                    let ls = t.lockset.clone();
+                    self.threads[ev.tid.index()].ls_id = self.locksets.intern(ls);
+                }
+                EventKind::Release { lock } => {
+                    let t = &mut self.threads[ev.tid.index()];
+                    t.lockset = t.lockset.without(*lock);
+                    let ls = t.lockset.clone();
+                    self.threads[ev.tid.index()].ls_id = self.locksets.intern(ls);
+                }
+                EventKind::ThreadCreate { child } => {
+                    self.ensure_thread(*child);
+                    let parent = ev.tid.index();
+                    self.threads[parent].vc.tick(ev.tid);
+                    let mut child_vc = self.threads[parent].vc.clone();
+                    child_vc.tick(*child);
+                    let parent_vc = self.threads[parent].vc.clone();
+                    self.threads[parent].vc_id = self.vclocks.intern(parent_vc);
+                    self.threads[parent].needs_tick = true;
+                    let c = &mut self.threads[child.index()];
+                    c.vc = child_vc;
+                    let cvc = c.vc.clone();
+                    self.threads[child.index()].vc_id = self.vclocks.intern(cvc);
+                    self.threads[child.index()].needs_tick = true;
+                }
+                EventKind::ThreadJoin { child } => {
+                    let child_vc = self.threads[child.index()].vc.clone();
+                    let w = &mut self.threads[ev.tid.index()];
+                    w.vc.merge(&child_vc);
+                    let wvc = w.vc.clone();
+                    self.threads[ev.tid.index()].vc_id = self.vclocks.intern(wvc);
+                    self.threads[ev.tid.index()].needs_tick = true;
+                }
+            }
+        }
+        self.close_remaining();
+        self.stats.distinct_locksets = self.locksets.len() as u64;
+        self.stats.distinct_vclocks = self.vclocks.len() as u64;
+        self.stats.intern_requests = self.locksets.requests() + self.vclocks.requests();
+        self.stats.tracked_words = self.publication.tracked_words() as u64;
+        AccessSet {
+            windows: self.windows,
+            loads: self.loads,
+            locksets: self.locksets,
+            vclocks: self.vclocks,
+            stats: self.stats,
+        }
+    }
+
+    fn ensure_thread(&mut self, tid: ThreadId) {
+        if self.threads.len() <= tid.index() {
+            let empty_ls = self.locksets.intern(Lockset::empty());
+            let zero_vc = self.vclocks.intern(VectorClock::new());
+            self.threads.resize_with(tid.index() + 1, || ThreadState {
+                lockset: Lockset::empty(),
+                ls_id: empty_ls,
+                logical_clock: 0,
+                vc: VectorClock::new(),
+                vc_id: zero_vc,
+                needs_tick: true,
+            });
+        }
+    }
+
+    /// §4 batching: bump the vector clock only on the first PM operation
+    /// after a create/join boundary.
+    fn tick_if_needed(&mut self, tid: ThreadId) {
+        let t = &mut self.threads[tid.index()];
+        if t.needs_tick {
+            t.vc.tick(tid);
+            t.needs_tick = false;
+            let vc = t.vc.clone();
+            self.threads[tid.index()].vc_id = self.vclocks.intern(vc);
+        }
+    }
+
+    fn on_store(
+        &mut self,
+        tid: ThreadId,
+        seq: u64,
+        stack: StackId,
+        range: AddrRange,
+        non_temporal: bool,
+        atomic: bool,
+    ) {
+        self.publication.record_access(tid, &range);
+        // Close / shrink overlapping open pieces: the overwritten bytes'
+        // visibility window ends here.
+        let closer_ls = self.threads[tid.index()].lockset.clone();
+        let closer_vc = self.threads[tid.index()].vc_id;
+        for line in range.lines() {
+            let Some(pieces) = self.lines.get_mut(&line) else { continue };
+            let mut replacement = Vec::with_capacity(pieces.len());
+            for piece in pieces.drain(..) {
+                if !piece.range.overlaps(&range) {
+                    replacement.push(piece);
+                    continue;
+                }
+                let hit = piece.range.intersection(&range).expect("overlap checked");
+                let (head, tail) = piece.range.subtract(&range);
+                // The overwritten part closes now.
+                let effective = if piece.tid == tid {
+                    let store_ls = self.locksets.get(piece.store_ls).clone();
+                    store_ls.intersect_same_thread(&closer_ls)
+                } else {
+                    let store_ls = self.locksets.get(piece.store_ls).clone();
+                    store_ls.intersect_cross_thread(&closer_ls)
+                };
+                let effective_ls = self.locksets.intern(effective);
+                let discarded = false; // overwritten stores are never IRH-discarded (§3.1.3)
+                self.stats.windows_overwritten += 1;
+                self.windows.push(StoreWindow {
+                    tid: piece.tid,
+                    store_seq: piece.store_seq,
+                    stack: piece.stack,
+                    range: hit,
+                    store_ls: piece.store_ls,
+                    store_vc: piece.store_vc,
+                    effective_ls,
+                    close_vc: Some(closer_vc),
+                    close: CloseReason::Overwritten,
+                    atomic: piece.atomic,
+                    non_temporal: piece.non_temporal,
+                    irh_discarded: discarded,
+                });
+                for rem in [head, tail].into_iter().flatten() {
+                    replacement.push(OpenPiece {
+                        tid: piece.tid,
+                        store_seq: piece.store_seq,
+                        stack: piece.stack,
+                        range: rem,
+                        store_ls: piece.store_ls,
+                        store_vc: piece.store_vc,
+                        atomic: piece.atomic,
+                        non_temporal: piece.non_temporal,
+                        pending_fence: piece.pending_fence.clone(),
+                    });
+                }
+            }
+            *pieces = replacement;
+        }
+        // Open one new piece per touched cache line.
+        let t = &self.threads[tid.index()];
+        let (store_ls, store_vc) = (t.ls_id, t.vc_id);
+        for line in range.lines() {
+            let start = crate::addr::line_base(line).max(range.start);
+            let end = (crate::addr::line_base(line) + crate::addr::CACHE_LINE).min(range.end());
+            let piece_range = AddrRange::new(start, (end - start) as u32);
+            self.stats.windows_created += 1;
+            if self.cfg.eadr {
+                // eADR: visibility implies durability — the window is
+                // zero-length and fully protected by the store's lockset.
+                let discarded =
+                    self.cfg.irh && self.publication.all_private_to(tid, &piece_range);
+                self.stats.windows_persisted += 1;
+                if discarded {
+                    self.stats.irh_discarded_windows += 1;
+                }
+                self.windows.push(StoreWindow {
+                    tid,
+                    store_seq: seq,
+                    stack,
+                    range: piece_range,
+                    store_ls,
+                    store_vc,
+                    effective_ls: store_ls,
+                    close_vc: Some(store_vc),
+                    close: CloseReason::Persisted,
+                    atomic,
+                    non_temporal,
+                    irh_discarded: discarded,
+                });
+                continue;
+            }
+            let pending = if non_temporal {
+                self.fence_watch.entry(tid).or_default().insert(line);
+                vec![tid]
+            } else {
+                Vec::new()
+            };
+            self.lines.entry(line).or_default().push(OpenPiece {
+                tid,
+                store_seq: seq,
+                stack,
+                range: piece_range,
+                store_ls,
+                store_vc,
+                atomic,
+                non_temporal,
+                pending_fence: pending,
+            });
+        }
+    }
+
+    fn on_load(&mut self, tid: ThreadId, seq: u64, stack: StackId, range: AddrRange, atomic: bool) {
+        self.publication.record_access(tid, &range);
+        let dropped = self.cfg.irh && self.publication.all_private_to(tid, &range);
+        if dropped {
+            self.stats.irh_dropped_loads += 1;
+        }
+        let t = &self.threads[tid.index()];
+        self.loads.push(LoadAccess {
+            tid,
+            seq,
+            stack,
+            range,
+            ls: t.ls_id,
+            vc: t.vc_id,
+            atomic,
+            irh_dropped: dropped,
+        });
+    }
+
+    fn on_flush(&mut self, tid: ThreadId, addr: u64) {
+        let line = line_of(addr);
+        let Some(pieces) = self.lines.get_mut(&line) else { return };
+        let mut watched = false;
+        for piece in pieces.iter_mut() {
+            if !piece.pending_fence.contains(&tid) {
+                piece.pending_fence.push(tid);
+            }
+            watched = true;
+        }
+        if watched {
+            self.fence_watch.entry(tid).or_default().insert(line);
+        }
+    }
+
+    fn on_fence(&mut self, tid: ThreadId) {
+        let Some(lines) = self.fence_watch.remove(&tid) else { return };
+        let fencer_ls = self.threads[tid.index()].lockset.clone();
+        let fencer_vc = self.threads[tid.index()].vc_id;
+        for line in lines {
+            let Some(pieces) = self.lines.get_mut(&line) else { continue };
+            let mut kept = Vec::with_capacity(pieces.len());
+            for piece in pieces.drain(..) {
+                if !piece.pending_fence.contains(&tid) {
+                    kept.push(piece);
+                    continue;
+                }
+                let effective = if piece.tid == tid {
+                    let store_ls = self.locksets.get(piece.store_ls).clone();
+                    store_ls.intersect_same_thread(&fencer_ls)
+                } else {
+                    let store_ls = self.locksets.get(piece.store_ls).clone();
+                    store_ls.intersect_cross_thread(&fencer_ls)
+                };
+                let effective_ls = self.locksets.intern(effective);
+                let discarded =
+                    self.cfg.irh && self.publication.all_private_to(piece.tid, &piece.range);
+                self.stats.windows_persisted += 1;
+                if discarded {
+                    self.stats.irh_discarded_windows += 1;
+                }
+                self.windows.push(StoreWindow {
+                    tid: piece.tid,
+                    store_seq: piece.store_seq,
+                    stack: piece.stack,
+                    range: piece.range,
+                    store_ls: piece.store_ls,
+                    store_vc: piece.store_vc,
+                    effective_ls,
+                    close_vc: Some(fencer_vc),
+                    close: CloseReason::Persisted,
+                    atomic: piece.atomic,
+                    non_temporal: piece.non_temporal,
+                    irh_discarded: discarded,
+                });
+            }
+            if kept.is_empty() {
+                self.lines.remove(&line);
+            } else {
+                *self.lines.get_mut(&line).expect("line present") = kept;
+            }
+        }
+    }
+
+    /// Closes every still-open piece as never-persisted: the value's
+    /// vulnerability window extends to the end of the execution, no lock
+    /// protected a persist that never happened, so the effective lockset is
+    /// empty and the close clock unbounded.
+    fn close_remaining(&mut self) {
+        let empty_ls = self.locksets.intern(Lockset::empty());
+        let mut lines: Vec<_> = std::mem::take(&mut self.lines).into_iter().collect();
+        lines.sort_by_key(|(l, _)| *l);
+        for (_, pieces) in lines {
+            for piece in pieces {
+                self.stats.windows_unpersisted += 1;
+                self.windows.push(StoreWindow {
+                    tid: piece.tid,
+                    store_seq: piece.store_seq,
+                    stack: piece.stack,
+                    range: piece.range,
+                    store_ls: piece.store_ls,
+                    store_vc: piece.store_vc,
+                    effective_ls: empty_ls,
+                    close_vc: None,
+                    close: CloseReason::NeverPersisted,
+                    atomic: piece.atomic,
+                    non_temporal: piece.non_temporal,
+                    irh_discarded: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Frame, LockId, LockMode, TraceBuilder};
+
+    fn builder() -> TraceBuilder {
+        TraceBuilder::new()
+    }
+
+    fn store(range: AddrRange) -> EventKind {
+        EventKind::Store { range, non_temporal: false, atomic: false }
+    }
+
+    fn ntstore(range: AddrRange) -> EventKind {
+        EventKind::Store { range, non_temporal: true, atomic: false }
+    }
+
+    fn load(range: AddrRange) -> EventKind {
+        EventKind::Load { range, atomic: false }
+    }
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    fn sim(trace: &Trace) -> AccessSet {
+        simulate(trace, &SimConfig { irh: false, eadr: false })
+    }
+
+    #[test]
+    fn store_flush_fence_persists() {
+        let mut b = builder();
+        let s = b.intern_stack([Frame::new("w", "t.rs", 1)]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        assert_eq!(out.windows.len(), 1);
+        assert_eq!(out.windows[0].close, CloseReason::Persisted);
+        assert!(out.windows[0].close_vc.is_some());
+    }
+
+    #[test]
+    fn flush_without_fence_does_not_persist() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        let out = sim(&b.finish());
+        assert_eq!(out.windows.len(), 1);
+        assert_eq!(out.windows[0].close, CloseReason::NeverPersisted);
+        assert!(out.windows[0].close_vc.is_none());
+    }
+
+    #[test]
+    fn fence_without_flush_does_not_persist() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::NeverPersisted);
+    }
+
+    #[test]
+    fn flush_before_store_gives_no_guarantee() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::NeverPersisted);
+    }
+
+    #[test]
+    fn store_after_flush_not_covered_by_that_flush() {
+        // store A; flush; store B (different bytes, same line); fence.
+        // A persists; B does not (worst case: the flush captured pre-B
+        // content).
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, store(AddrRange::new(0x108, 8)));
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        let a = out.windows.iter().find(|w| w.range.start == 0x100).unwrap();
+        let bb = out.windows.iter().find(|w| w.range.start == 0x108).unwrap();
+        assert_eq!(a.close, CloseReason::Persisted);
+        assert_eq!(bb.close, CloseReason::NeverPersisted);
+    }
+
+    #[test]
+    fn non_temporal_store_persists_at_fence_without_flush() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, ntstore(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::Persisted);
+        assert!(out.windows[0].non_temporal);
+    }
+
+    #[test]
+    fn non_temporal_store_without_fence_is_unpersisted() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, ntstore(AddrRange::new(0x100, 8)));
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::NeverPersisted);
+    }
+
+    #[test]
+    fn fence_only_acts_for_the_flushing_thread() {
+        // T0 stores and flushes; T1 fences. No persistence guarantee: the
+        // fence must come from the thread that issued the flush.
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T1, s, EventKind::Fence);
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::NeverPersisted);
+    }
+
+    #[test]
+    fn cross_thread_flush_and_fence_persist() {
+        // T0 stores; T1 flushes and fences: persisted (helper-thread
+        // persistence is a real PM pattern).
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T1, s, EventKind::Flush { addr: 0x100 });
+        b.push(T1, s, EventKind::Fence);
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::Persisted);
+    }
+
+    #[test]
+    fn cross_line_store_splits_and_persists_per_line() {
+        // The TurboHash #3 pattern: a 16-byte entry straddles two lines but
+        // only the first line is flushed.
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x138, 16))); // lines 4 and 5
+        b.push(T0, s, EventKind::Flush { addr: 0x100 }); // line 4 only
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        assert_eq!(out.windows.len(), 2);
+        let first = out.windows.iter().find(|w| w.range.start == 0x138).unwrap();
+        let second = out.windows.iter().find(|w| w.range.start == 0x140).unwrap();
+        assert_eq!(first.range.len, 8);
+        assert_eq!(first.close, CloseReason::Persisted);
+        assert_eq!(second.range.len, 8);
+        assert_eq!(second.close, CloseReason::NeverPersisted);
+    }
+
+    #[test]
+    fn overwrite_closes_window() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        assert_eq!(out.windows.len(), 2);
+        let first = out.windows.iter().find(|w| w.store_seq == 0).unwrap();
+        let second = out.windows.iter().find(|w| w.store_seq == 1).unwrap();
+        assert_eq!(first.close, CloseReason::Overwritten);
+        assert_eq!(second.close, CloseReason::Persisted);
+    }
+
+    #[test]
+    fn partial_overwrite_keeps_remainder_open() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 24)));
+        b.push(T0, s, store(AddrRange::new(0x108, 8))); // punches the middle
+        let out = sim(&b.finish());
+        // First store: overwritten middle (closed) + head + tail (open, then
+        // never persisted). Second store: never persisted.
+        let overwritten: Vec<_> =
+            out.windows.iter().filter(|w| w.close == CloseReason::Overwritten).collect();
+        assert_eq!(overwritten.len(), 1);
+        assert_eq!(overwritten[0].range, AddrRange::new(0x108, 8));
+        let unpersisted: Vec<_> =
+            out.windows.iter().filter(|w| w.close == CloseReason::NeverPersisted).collect();
+        let head = unpersisted.iter().find(|w| w.range == AddrRange::new(0x100, 8));
+        let tail = unpersisted.iter().find(|w| w.range == AddrRange::new(0x110, 8));
+        assert!(head.is_some() && tail.is_some());
+    }
+
+    #[test]
+    fn effective_lockset_empty_when_persist_outside_lock() {
+        // Figure 2a/2c.
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        let a = LockId(0xa);
+        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Release { lock: a });
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::Persisted);
+        assert!(out.locksets.get(out.windows[0].effective_ls).is_empty());
+    }
+
+    #[test]
+    fn effective_lockset_kept_within_one_critical_section() {
+        // Figure 2b-with-2d-fix: same critical section keeps the lock.
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        let a = LockId(0xa);
+        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        b.push(T0, s, EventKind::Release { lock: a });
+        let out = sim(&b.finish());
+        assert_eq!(out.locksets.get(out.windows[0].effective_ls).len(), 1);
+    }
+
+    #[test]
+    fn effective_lockset_empty_on_release_reacquire() {
+        // Figure 2d: lock released and re-acquired between store and
+        // persist — the logical timestamp differs, the intersection is
+        // empty even though the lock id matches.
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        let a = LockId(0xa);
+        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Release { lock: a });
+        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        b.push(T0, s, EventKind::Release { lock: a });
+        let out = sim(&b.finish());
+        assert_eq!(out.windows[0].close, CloseReason::Persisted);
+        assert!(out.locksets.get(out.windows[0].effective_ls).is_empty());
+    }
+
+    #[test]
+    fn vector_clocks_follow_figure3() {
+        // T0 creates T1, then T2; accesses in between (Figure 3, threads
+        // renumbered from 1-based to 0-based).
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8))); // Store1
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence); // Persist1
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        b.push(T1, s, load(AddrRange::new(0x100, 8))); // Load1 in T1
+        b.push(T0, s, store(AddrRange::new(0x140, 8))); // Store3 (Y)
+        b.push(T0, s, EventKind::ThreadCreate { child: ThreadId(2) });
+        b.push(ThreadId(2), s, load(AddrRange::new(0x140, 8))); // Load in T2
+        b.push(T0, s, EventKind::Flush { addr: 0x140 });
+        b.push(T0, s, EventKind::Fence); // Persist3
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        b.push(T0, s, EventKind::ThreadJoin { child: ThreadId(2) });
+        let out = sim(&b.finish());
+
+        // Store1's persist clock happens-before both loads.
+        let w1 = out.windows.iter().find(|w| w.range.start == 0x100).unwrap();
+        let persist1 = out.vclocks.get(w1.close_vc.unwrap());
+        let l1 = out.loads.iter().find(|l| l.tid == T1).unwrap();
+        let l2 = out.loads.iter().find(|l| l.tid == ThreadId(2)).unwrap();
+        assert!(persist1.happens_before(out.vclocks.get(l1.vc)));
+
+        // Store3's *store* clock precedes T2's load, but its *persist*
+        // clock is concurrent with it — the §3.1.2 example.
+        let w3 = out.windows.iter().find(|w| w.range.start == 0x140).unwrap();
+        let store3 = out.vclocks.get(w3.store_vc);
+        let persist3 = out.vclocks.get(w3.close_vc.unwrap());
+        assert!(store3.happens_before(out.vclocks.get(l2.vc)));
+        assert!(persist3.concurrent_with(out.vclocks.get(l2.vc)));
+    }
+
+    #[test]
+    fn irh_discards_persisted_private_stores_only() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        // Private init, persisted: discarded.
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        // Private init, NOT persisted: kept (the §3.1.3 publish-without-
+        // persist race must remain detectable).
+        b.push(T0, s, store(AddrRange::new(0x200, 8)));
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        b.push(T1, s, load(AddrRange::new(0x100, 8)));
+        b.push(T1, s, load(AddrRange::new(0x200, 8)));
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        let out = simulate(&b.finish(), &SimConfig { irh: true, eadr: false });
+        let w_persisted = out.windows.iter().find(|w| w.range.start == 0x100).unwrap();
+        let w_unpersisted = out.windows.iter().find(|w| w.range.start == 0x200).unwrap();
+        assert!(w_persisted.irh_discarded);
+        assert!(!w_unpersisted.irh_discarded);
+        assert_eq!(out.stats.irh_discarded_windows, 1);
+    }
+
+    #[test]
+    fn irh_keeps_post_publication_stores() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        b.push(T1, s, load(AddrRange::new(0x100, 8))); // T1 touches first
+        b.push(T0, s, store(AddrRange::new(0x100, 8))); // publishes
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        let out = simulate(&b.finish(), &SimConfig { irh: true, eadr: false });
+        assert!(!out.windows[0].irh_discarded);
+    }
+
+    #[test]
+    fn irh_drops_private_loads() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, load(AddrRange::new(0x100, 8))); // private load: dropped
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        b.push(T1, s, load(AddrRange::new(0x100, 8))); // publishes: kept
+        b.push(T0, s, load(AddrRange::new(0x100, 8))); // public now: kept
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        let out = simulate(&b.finish(), &SimConfig { irh: true, eadr: false });
+        assert_eq!(out.loads.len(), 3);
+        assert!(out.loads[0].irh_dropped);
+        assert!(!out.loads[1].irh_dropped);
+        assert!(!out.loads[2].irh_dropped);
+        assert_eq!(out.stats.irh_dropped_loads, 1);
+    }
+
+    #[test]
+    fn pm_region_filter_skips_volatile_accesses() {
+        let mut b = builder();
+        b.add_region(crate::trace::PmRegion { base: 0x1000, len: 0x1000, path: "pm".into() });
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8))); // volatile
+        b.push(T0, s, store(AddrRange::new(0x1000, 8))); // PM
+        let out = sim(&b.finish());
+        assert_eq!(out.stats.non_pm_accesses, 1);
+        assert_eq!(out.stats.stores, 1);
+        assert_eq!(out.windows.len(), 1);
+        assert_eq!(out.windows[0].range.start, 0x1000);
+    }
+
+    #[test]
+    fn eadr_mode_closes_windows_at_the_store() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8))); // no flush, no fence
+        let out = simulate(&b.finish(), &SimConfig { irh: false, eadr: true });
+        assert_eq!(out.windows.len(), 1);
+        assert_eq!(out.windows[0].close, CloseReason::Persisted);
+        assert_eq!(out.windows[0].close_vc, Some(out.windows[0].store_vc));
+        assert_eq!(out.windows[0].effective_ls, out.windows[0].store_ls);
+        assert_eq!(out.stats.windows_unpersisted, 0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        b.push(T0, s, load(AddrRange::new(0x100, 8)));
+        let out = sim(&b.finish());
+        assert_eq!(out.stats.stores, 2);
+        assert_eq!(out.stats.loads, 1);
+        assert_eq!(out.stats.flushes, 1);
+        assert_eq!(out.stats.fences, 1);
+        assert_eq!(out.stats.windows_created, 2);
+        assert_eq!(
+            out.stats.windows_persisted
+                + out.stats.windows_overwritten
+                + out.stats.windows_unpersisted,
+            out.windows.len() as u64
+        );
+    }
+}

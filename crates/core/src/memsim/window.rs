@@ -1,0 +1,104 @@
+//! Store visibility windows.
+//!
+//! The effective lockset (§3.1.2) is defined over the *lifetime of the
+//! unpersisted value*: from the store that makes it visible until its
+//! explicit persistence (flush + fence) or its overwrite by another store.
+//! The memory simulation turns every PM store into one or more
+//! [`StoreWindow`]s — one per cache line the store touches, because
+//! persistence is a per-line affair — each describing that lifetime.
+
+use crate::addr::AddrRange;
+use crate::intern::Interned;
+use crate::lockset::Lockset;
+use crate::trace::{StackId, ThreadId};
+use crate::vclock::VectorClock;
+
+/// Interned lockset id.
+pub type LsId = Interned<Lockset>;
+/// Interned vector-clock id.
+pub type VcId = Interned<VectorClock>;
+
+/// How a store window was closed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CloseReason {
+    /// The line was flushed and the flushing thread fenced: the value is
+    /// guaranteed persisted from the closing point on.
+    Persisted,
+    /// The bytes were overwritten by a later store before being persisted;
+    /// the old value can no longer be loaded after the closing point.
+    Overwritten,
+    /// The execution ended with the value still unpersisted. The window is
+    /// unbounded: no lock can have protected a persist that never happened,
+    /// so the effective lockset is empty.
+    NeverPersisted,
+}
+
+/// The visibility window of (part of) one store.
+#[derive(Clone, Debug)]
+pub struct StoreWindow {
+    /// Thread that issued the store.
+    pub tid: ThreadId,
+    /// Global sequence number of the store event.
+    pub store_seq: u64,
+    /// Call stack of the store.
+    pub stack: StackId,
+    /// The byte range this window covers (a sub-range of the original store,
+    /// confined to one cache line).
+    pub range: AddrRange,
+    /// Lockset held by `tid` at the store.
+    pub store_ls: LsId,
+    /// Vector clock of `tid` at the store.
+    pub store_vc: VcId,
+    /// Effective lockset of the window: store lockset ∩ persist/overwrite
+    /// lockset (timestamp-sensitive within a thread). Empty for
+    /// [`CloseReason::NeverPersisted`].
+    pub effective_ls: LsId,
+    /// Vector clock at the closing point; `None` when never persisted
+    /// (the window extends to the end of the execution).
+    pub close_vc: Option<VcId>,
+    /// Why the window closed.
+    pub close: CloseReason,
+    /// `true` if the store was part of an atomic instruction.
+    pub atomic: bool,
+    /// `true` for non-temporal stores.
+    pub non_temporal: bool,
+    /// Set when the Initialization Removal Heuristic discarded the window
+    /// (persisted by its sole-accessor thread before publication, §3.1.3).
+    pub irh_discarded: bool,
+}
+
+impl StoreWindow {
+    /// Returns `true` if the analysis should consider this window.
+    pub fn live(&self) -> bool {
+        !self.irh_discarded
+    }
+}
+
+/// One PM load as seen by the analysis (Algorithm 1's `LoadData`).
+#[derive(Clone, Debug)]
+pub struct LoadAccess {
+    /// Thread that issued the load.
+    pub tid: ThreadId,
+    /// Global sequence number of the load event.
+    pub seq: u64,
+    /// Call stack of the load.
+    pub stack: StackId,
+    /// Bytes read.
+    pub range: AddrRange,
+    /// Lockset held at the load.
+    pub ls: LsId,
+    /// Vector clock at the load.
+    pub vc: VcId,
+    /// `true` if the load was part of an atomic instruction.
+    pub atomic: bool,
+    /// Set when the IRH dropped the load (sole-accessor thread, before the
+    /// address was published).
+    pub irh_dropped: bool,
+}
+
+impl LoadAccess {
+    /// Returns `true` if the analysis should consider this load.
+    pub fn live(&self) -> bool {
+        !self.irh_dropped
+    }
+}

@@ -1,0 +1,137 @@
+//! Cost accounting for the §5.3 performance study.
+//!
+//! Figure 6 reports testing time and peak memory across workload sizes.
+//! Wall-clock time comes from [`PipelineStats::duration`]; memory is
+//! measured two ways: an analysis-internal estimate (events + intern
+//! tables) and, in the benchmark harness, a counting global allocator that
+//! observes true peak heap usage.
+//!
+//! [`PipelineStats::duration`]: crate::analysis::PipelineStats
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `#[global_allocator]` wrapper that tracks live and peak heap bytes.
+///
+/// # Examples
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: hawkset_core::stats::CountingAllocator = hawkset_core::stats::CountingAllocator::new();
+/// ```
+pub struct CountingAllocator {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingAllocator {
+    /// Creates the allocator (const, usable in statics).
+    pub const fn new() -> Self {
+        Self { live: AtomicUsize::new(0), peak: AtomicUsize::new(0) }
+    }
+
+    /// Currently allocated bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`reset_peak`].
+    ///
+    /// [`reset_peak`]: CountingAllocator::reset_peak
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live size.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn add(&self, size: usize) {
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn sub(&self, size: usize) {
+        self.live.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers all allocation to `System` and only adds relaxed atomic
+// bookkeeping, which cannot violate the `GlobalAlloc` contract.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            self.add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.dealloc(ptr, layout) };
+        self.sub(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            self.sub(layout.size());
+            self.add(new_size);
+        }
+        p
+    }
+}
+
+/// Human-friendly byte formatting (`4.0 GiB`, `312.5 MiB`, ...).
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_allocator_tracks_peak() {
+        let a = CountingAllocator::new();
+        a.add(100);
+        a.add(200);
+        assert_eq!(a.live_bytes(), 300);
+        assert_eq!(a.peak_bytes(), 300);
+        a.sub(250);
+        assert_eq!(a.live_bytes(), 50);
+        assert_eq!(a.peak_bytes(), 300);
+        a.reset_peak();
+        assert_eq!(a.peak_bytes(), 50);
+        a.add(10);
+        assert_eq!(a.peak_bytes(), 60);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(4 * 1024 * 1024 * 1024), "4.0 GiB");
+    }
+}

@@ -1,0 +1,210 @@
+//! Synchronization-primitive configuration (§4, §5.5).
+//!
+//! HawkSet ships built-in support for pthread-style primitives; anything
+//! else — TurboHash's and P-ART's custom spinlocks, P-CLHT's and APEX's
+//! CAS-based control — is described in a small configuration file that
+//! names the functions with acquire/release semantics and, for tentative
+//! acquires (`pthread_mutex_trylock`-style), the return value that signals
+//! success. The paper argues this keeps the tool automatic: the file takes
+//! minutes to write and is reusable across applications sharing a library.
+//!
+//! The runtime substrate consults a [`SyncConfig`] when an application
+//! routes a custom primitive through it, turning calls into `Acquire` /
+//! `Release` trace events.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::LockMode;
+
+/// Semantics of one configured function.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PrimitiveSemantics {
+    /// The function acquires its first argument as a lock.
+    Acquire {
+        /// Exclusive or shared acquisition.
+        mode: LockMode,
+        /// For tentative acquires: the return value meaning "acquired".
+        /// `None` for unconditional acquires.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        success_return: Option<u64>,
+    },
+    /// The function releases its first argument.
+    Release,
+}
+
+/// A named custom primitive.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrimitiveSpec {
+    /// Function name as it appears in the target application.
+    pub function: String,
+    /// What the function does.
+    #[serde(flatten)]
+    pub semantics: PrimitiveSemantics,
+}
+
+/// A full synchronization configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncConfig {
+    /// The configured primitives.
+    pub primitives: Vec<PrimitiveSpec>,
+}
+
+impl SyncConfig {
+    /// The built-in pthread-equivalent configuration: plain mutexes and
+    /// reader–writer locks need no user-provided file.
+    pub fn builtin_pthread() -> Self {
+        let ex = |f: &str| PrimitiveSpec {
+            function: f.into(),
+            semantics: PrimitiveSemantics::Acquire { mode: LockMode::Exclusive, success_return: None },
+        };
+        let sh = |f: &str| PrimitiveSpec {
+            function: f.into(),
+            semantics: PrimitiveSemantics::Acquire { mode: LockMode::Shared, success_return: None },
+        };
+        let rel = |f: &str| PrimitiveSpec { function: f.into(), semantics: PrimitiveSemantics::Release };
+        Self {
+            primitives: vec![
+                ex("pthread_mutex_lock"),
+                PrimitiveSpec {
+                    function: "pthread_mutex_trylock".into(),
+                    semantics: PrimitiveSemantics::Acquire {
+                        mode: LockMode::Exclusive,
+                        success_return: Some(0),
+                    },
+                },
+                rel("pthread_mutex_unlock"),
+                sh("pthread_rwlock_rdlock"),
+                ex("pthread_rwlock_wrlock"),
+                rel("pthread_rwlock_unlock"),
+            ],
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn lookup(&self, function: &str) -> Option<&PrimitiveSemantics> {
+        self.primitives.iter().find(|p| p.function == function).map(|p| &p.semantics)
+    }
+
+    /// Merges `other` into `self` (later entries win on name clashes).
+    pub fn merge(&mut self, other: SyncConfig) {
+        let mut by_name: HashMap<String, PrimitiveSpec> =
+            self.primitives.drain(..).map(|p| (p.function.clone(), p)).collect();
+        for p in other.primitives {
+            by_name.insert(p.function.clone(), p);
+        }
+        let mut merged: Vec<_> = by_name.into_values().collect();
+        merged.sort_by(|a, b| a.function.cmp(&b.function));
+        self.primitives = merged;
+    }
+
+    /// Parses a configuration from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the configuration to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sync config serialization cannot fail")
+    }
+
+    /// Decides whether a call to `function` returning `ret` acquires,
+    /// releases, or does nothing.
+    pub fn classify_call(&self, function: &str, ret: Option<u64>) -> CallEffect {
+        match self.lookup(function) {
+            Some(PrimitiveSemantics::Acquire { mode, success_return }) => match success_return {
+                None => CallEffect::Acquire(*mode),
+                Some(ok) if ret == Some(*ok) => CallEffect::Acquire(*mode),
+                Some(_) => CallEffect::FailedAcquire,
+            },
+            Some(PrimitiveSemantics::Release) => CallEffect::Release,
+            None => CallEffect::NotSync,
+        }
+    }
+}
+
+/// The effect of one observed call, per [`SyncConfig::classify_call`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallEffect {
+    /// Successful acquisition in the given mode.
+    Acquire(LockMode),
+    /// A tentative acquire that failed; no lockset change.
+    FailedAcquire,
+    /// A release.
+    Release,
+    /// Not a configured primitive.
+    NotSync,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_pthread() {
+        let c = SyncConfig::builtin_pthread();
+        assert_eq!(
+            c.classify_call("pthread_mutex_lock", None),
+            CallEffect::Acquire(LockMode::Exclusive)
+        );
+        assert_eq!(
+            c.classify_call("pthread_rwlock_rdlock", None),
+            CallEffect::Acquire(LockMode::Shared)
+        );
+        assert_eq!(c.classify_call("pthread_mutex_unlock", None), CallEffect::Release);
+        assert_eq!(c.classify_call("memcpy", None), CallEffect::NotSync);
+    }
+
+    #[test]
+    fn trylock_needs_matching_return() {
+        let c = SyncConfig::builtin_pthread();
+        assert_eq!(
+            c.classify_call("pthread_mutex_trylock", Some(0)),
+            CallEffect::Acquire(LockMode::Exclusive)
+        );
+        assert_eq!(c.classify_call("pthread_mutex_trylock", Some(16)), CallEffect::FailedAcquire);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = SyncConfig::builtin_pthread();
+        let json = c.to_json();
+        let back = SyncConfig::from_json(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn custom_config_like_turbohash() {
+        // The kind of file §5.5 describes: a handful of lines naming the
+        // application's custom primitives.
+        let json = r#"{
+            "primitives": [
+                {"function": "bucket_spin_lock", "kind": "acquire", "mode": "Exclusive"},
+                {"function": "bucket_spin_unlock", "kind": "release"},
+                {"function": "try_lock_cell", "kind": "acquire", "mode": "Exclusive", "success_return": 1}
+            ]
+        }"#;
+        let c = SyncConfig::from_json(json).unwrap();
+        assert_eq!(
+            c.classify_call("bucket_spin_lock", None),
+            CallEffect::Acquire(LockMode::Exclusive)
+        );
+        assert_eq!(c.classify_call("try_lock_cell", Some(1)), CallEffect::Acquire(LockMode::Exclusive));
+        assert_eq!(c.classify_call("try_lock_cell", Some(0)), CallEffect::FailedAcquire);
+    }
+
+    #[test]
+    fn merge_prefers_later_entries() {
+        let mut base = SyncConfig::builtin_pthread();
+        let override_cfg = SyncConfig {
+            primitives: vec![PrimitiveSpec {
+                function: "pthread_mutex_lock".into(),
+                semantics: PrimitiveSemantics::Release,
+            }],
+        };
+        base.merge(override_cfg);
+        assert_eq!(base.classify_call("pthread_mutex_lock", None), CallEffect::Release);
+    }
+}

@@ -1,0 +1,230 @@
+//! Trace event model.
+//!
+//! An execution of the target application under instrumentation produces a
+//! totally-ordered stream of [`Event`]s — the observation order of the
+//! instrumentation callbacks, exactly as Intel PIN serializes analysis
+//! routines in the original tool. The analysis pipeline (§3.2) consumes only
+//! this stream; it never re-executes the application.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{AddrRange, PmAddr};
+
+/// Identifier of a thread in the traced execution.
+///
+/// Thread ids are dense and assigned in spawn order: the initial thread is
+/// thread `0`. Vector clocks are indexed by `ThreadId`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main thread of the traced program.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// The id as a vector-clock index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl core::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a synchronization object (mutex, rwlock, or a custom
+/// primitive declared via the sync configuration).
+///
+/// In the original tool this is the runtime address of the lock object; the
+/// runtime substrate does the same, so distinct locks never collide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LockId(pub u64);
+
+impl core::fmt::Debug for LockId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// How a lock is held.
+///
+/// HawkSet instruments pthread mutexes and rwlocks. A common lock protects a
+/// pair of critical sections unless *both* sides hold it in [`Shared`] mode
+/// (two readers do not exclude each other).
+///
+/// [`Shared`]: LockMode::Shared
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Mutex or write side of a rwlock.
+    Exclusive,
+    /// Read side of a rwlock.
+    Shared,
+}
+
+/// Interned identifier of a call stack (see [`StackTable`]).
+///
+/// [`StackTable`]: crate::trace::stack::StackTable
+pub type StackId = u32;
+
+/// A single event observed by the instrumentation layer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Position in the global observation order (dense, starting at 0).
+    pub seq: u64,
+    /// Thread that issued the event.
+    pub tid: ThreadId,
+    /// Call stack at the event, interned in the trace's stack table.
+    pub stack: StackId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A store to PM.
+    Store {
+        /// Bytes written.
+        range: AddrRange,
+        /// `true` for non-temporal stores, which bypass the cache and
+        /// persist at the issuing thread's next fence without a flush.
+        non_temporal: bool,
+        /// `true` when the store is part of an atomic instruction
+        /// (lock-prefixed or CAS). Atomicity does not change the persistence
+        /// analysis but is surfaced in reports to aid manual triage.
+        atomic: bool,
+    },
+    /// A load from PM.
+    Load {
+        /// Bytes read.
+        range: AddrRange,
+        /// `true` when the load is part of an atomic instruction.
+        atomic: bool,
+    },
+    /// A cache-line write-back (`clwb`/`clflushopt`/`clflush`) of the line
+    /// containing `addr`.
+    Flush {
+        /// Any byte address inside the flushed line.
+        addr: PmAddr,
+    },
+    /// A store fence (`sfence`/`mfence`): all flushes and non-temporal
+    /// stores previously issued by this thread are now persistent.
+    Fence,
+    /// A successful lock acquisition.
+    Acquire {
+        /// The lock object.
+        lock: LockId,
+        /// Exclusive (mutex / write) or shared (read) acquisition.
+        mode: LockMode,
+    },
+    /// A lock release.
+    Release {
+        /// The lock object.
+        lock: LockId,
+    },
+    /// The issuing thread created thread `child`.
+    ThreadCreate {
+        /// The newly spawned thread.
+        child: ThreadId,
+    },
+    /// The issuing thread joined thread `child` (which has terminated).
+    ThreadJoin {
+        /// The joined thread.
+        child: ThreadId,
+    },
+}
+
+impl EventKind {
+    /// Returns the accessed byte range for store and load events.
+    pub fn range(&self) -> Option<AddrRange> {
+        match self {
+            EventKind::Store { range, .. } | EventKind::Load { range, .. } => Some(*range),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for store events (temporal or non-temporal).
+    pub fn is_store(&self) -> bool {
+        matches!(self, EventKind::Store { .. })
+    }
+
+    /// Returns `true` for load events.
+    pub fn is_load(&self) -> bool {
+        matches!(self, EventKind::Load { .. })
+    }
+
+    /// Returns `true` for events that touch PM data (stores and loads).
+    pub fn is_access(&self) -> bool {
+        self.is_store() || self.is_load()
+    }
+
+    /// A short mnemonic used in textual reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            EventKind::Store { non_temporal: true, .. } => "ntstore",
+            EventKind::Store { atomic: true, .. } => "store.atomic",
+            EventKind::Store { .. } => "store",
+            EventKind::Load { atomic: true, .. } => "load.atomic",
+            EventKind::Load { .. } => "load",
+            EventKind::Flush { .. } => "flush",
+            EventKind::Fence => "fence",
+            EventKind::Acquire { mode: LockMode::Exclusive, .. } => "acquire",
+            EventKind::Acquire { mode: LockMode::Shared, .. } => "acquire.rd",
+            EventKind::Release { .. } => "release",
+            EventKind::ThreadCreate { .. } => "create",
+            EventKind::ThreadJoin { .. } => "join",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_only_on_accesses() {
+        let st = EventKind::Store { range: AddrRange::new(0, 8), non_temporal: false, atomic: false };
+        let ld = EventKind::Load { range: AddrRange::new(8, 8), atomic: false };
+        assert_eq!(st.range(), Some(AddrRange::new(0, 8)));
+        assert_eq!(ld.range(), Some(AddrRange::new(8, 8)));
+        assert_eq!(EventKind::Fence.range(), None);
+        assert_eq!(EventKind::Flush { addr: 0 }.range(), None);
+    }
+
+    #[test]
+    fn access_predicates() {
+        let st = EventKind::Store { range: AddrRange::new(0, 8), non_temporal: false, atomic: false };
+        assert!(st.is_store() && st.is_access() && !st.is_load());
+        let ld = EventKind::Load { range: AddrRange::new(0, 8), atomic: false };
+        assert!(ld.is_load() && ld.is_access() && !ld.is_store());
+        assert!(!EventKind::Fence.is_access());
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(
+            EventKind::Store { range: AddrRange::new(0, 1), non_temporal: true, atomic: false }
+                .mnemonic(),
+            "ntstore"
+        );
+        assert_eq!(EventKind::Fence.mnemonic(), "fence");
+        assert_eq!(
+            EventKind::Acquire { lock: LockId(1), mode: LockMode::Shared }.mnemonic(),
+            "acquire.rd"
+        );
+    }
+
+    #[test]
+    fn thread_id_display() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(ThreadId::MAIN.index(), 0);
+    }
+}

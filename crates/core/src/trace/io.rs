@@ -1,0 +1,392 @@
+//! Compact binary trace codec.
+//!
+//! The CLI front end decouples trace collection from analysis — traces are
+//! recorded once and can be re-analyzed with different settings (IRH on/off,
+//! different sync configurations). The format is a simple length-prefixed
+//! binary layout with LEB128 varints, built on [`bytes`].
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "HWKT" | version u8 | thread_count varint
+//! regions:  count, then (base varint, len varint, path string)
+//! strings:  count, then (len varint, utf-8 bytes)       -- file/function pool
+//! frames:   count, then (function str-id, file str-id, line) varints
+//! stacks:   count, then (depth, frame ids...) varints
+//! events:   count, then (tag u8, tid, stack, fields...) varints
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use super::event::{Event, EventKind, LockId, LockMode, ThreadId};
+use super::stack::Frame;
+use super::{PmRegion, Trace};
+use crate::addr::AddrRange;
+
+/// Errors produced while decoding a trace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the `HWKT` magic.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u8),
+    /// The buffer ended in the middle of a field.
+    Truncated,
+    /// A string was not valid UTF-8.
+    BadString,
+    /// An unknown event tag was encountered.
+    BadTag(u8),
+    /// An index referenced a missing table entry.
+    BadIndex,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a HawkSet trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "truncated trace"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 in trace string"),
+            DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            DecodeError::BadIndex => write!(f, "dangling table index in trace"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"HWKT";
+const VERSION: u8 = 1;
+
+const TAG_STORE: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_FLUSH: u8 = 2;
+const TAG_FENCE: u8 = 3;
+const TAG_ACQUIRE_EX: u8 = 4;
+const TAG_ACQUIRE_SH: u8 = 5;
+const TAG_RELEASE: u8 = 6;
+const TAG_CREATE: u8 = 7;
+const TAG_JOIN: u8 = 8;
+const STORE_FLAG_NT: u8 = 1;
+const STORE_FLAG_ATOMIC: u8 = 2;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(DecodeError::Truncated);
+        }
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadString)
+}
+
+/// Serializes a trace to its binary representation.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(trace.events.len() * 8 + 1024);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    put_varint(&mut buf, u64::from(trace.thread_count));
+
+    put_varint(&mut buf, trace.regions.len() as u64);
+    for r in &trace.regions {
+        put_varint(&mut buf, r.base);
+        put_varint(&mut buf, r.len);
+        put_str(&mut buf, &r.path);
+    }
+
+    // String pool for frame functions and files.
+    let mut strings: Vec<&str> = Vec::new();
+    let mut string_ids: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    let frame_count = (0..trace.stacks.frame_count()).map(|i| trace.stacks.frame(i as u32));
+    for f in frame_count.clone() {
+        for s in [f.function.as_str(), f.file.as_str()] {
+            if !string_ids.contains_key(s) {
+                string_ids.insert(s, strings.len() as u64);
+                strings.push(s);
+            }
+        }
+    }
+    put_varint(&mut buf, strings.len() as u64);
+    for s in &strings {
+        put_str(&mut buf, s);
+    }
+
+    put_varint(&mut buf, trace.stacks.frame_count() as u64);
+    for f in frame_count {
+        put_varint(&mut buf, string_ids[f.function.as_str()]);
+        put_varint(&mut buf, string_ids[f.file.as_str()]);
+        put_varint(&mut buf, u64::from(f.line));
+    }
+
+    put_varint(&mut buf, trace.stacks.stack_count() as u64);
+    for i in 0..trace.stacks.stack_count() {
+        let stack = trace.stacks.stack(i as u32);
+        put_varint(&mut buf, stack.len() as u64);
+        for &fid in stack {
+            put_varint(&mut buf, u64::from(fid));
+        }
+    }
+
+    put_varint(&mut buf, trace.events.len() as u64);
+    for ev in &trace.events {
+        let (tag, flags) = match &ev.kind {
+            EventKind::Store { non_temporal, atomic, .. } => {
+                let mut fl = 0u8;
+                if *non_temporal {
+                    fl |= STORE_FLAG_NT;
+                }
+                if *atomic {
+                    fl |= STORE_FLAG_ATOMIC;
+                }
+                (TAG_STORE, fl)
+            }
+            EventKind::Load { atomic, .. } => (TAG_LOAD, u8::from(*atomic)),
+            EventKind::Flush { .. } => (TAG_FLUSH, 0),
+            EventKind::Fence => (TAG_FENCE, 0),
+            EventKind::Acquire { mode: LockMode::Exclusive, .. } => (TAG_ACQUIRE_EX, 0),
+            EventKind::Acquire { mode: LockMode::Shared, .. } => (TAG_ACQUIRE_SH, 0),
+            EventKind::Release { .. } => (TAG_RELEASE, 0),
+            EventKind::ThreadCreate { .. } => (TAG_CREATE, 0),
+            EventKind::ThreadJoin { .. } => (TAG_JOIN, 0),
+        };
+        buf.put_u8(tag);
+        buf.put_u8(flags);
+        put_varint(&mut buf, u64::from(ev.tid.0));
+        put_varint(&mut buf, u64::from(ev.stack));
+        match &ev.kind {
+            EventKind::Store { range, .. } | EventKind::Load { range, .. } => {
+                put_varint(&mut buf, range.start);
+                put_varint(&mut buf, u64::from(range.len));
+            }
+            EventKind::Flush { addr } => put_varint(&mut buf, *addr),
+            EventKind::Fence => {}
+            EventKind::Acquire { lock, .. } | EventKind::Release { lock } => {
+                put_varint(&mut buf, lock.0)
+            }
+            EventKind::ThreadCreate { child } | EventKind::ThreadJoin { child } => {
+                put_varint(&mut buf, u64::from(child.0))
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace from its binary representation.
+pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
+    if buf.remaining() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let mut trace = Trace::new();
+    trace.thread_count = get_varint(&mut buf)? as u32;
+
+    let region_count = get_varint(&mut buf)?;
+    for _ in 0..region_count {
+        let base = get_varint(&mut buf)?;
+        let len = get_varint(&mut buf)?;
+        let path = get_str(&mut buf)?;
+        trace.regions.push(PmRegion { base, len, path });
+    }
+
+    let string_count = get_varint(&mut buf)?;
+    let mut strings = Vec::with_capacity(string_count as usize);
+    for _ in 0..string_count {
+        strings.push(get_str(&mut buf)?);
+    }
+    let lookup = |id: u64| strings.get(id as usize).cloned().ok_or(DecodeError::BadIndex);
+
+    let frame_count = get_varint(&mut buf)?;
+    let mut stacks = super::stack::StackTable::new();
+    let mut frame_map = Vec::with_capacity(frame_count as usize);
+    for _ in 0..frame_count {
+        let function = lookup(get_varint(&mut buf)?)?;
+        let file = lookup(get_varint(&mut buf)?)?;
+        let line = get_varint(&mut buf)? as u32;
+        frame_map.push(stacks.intern_frame(Frame { function, file, line }));
+    }
+
+    let stack_count = get_varint(&mut buf)?;
+    let mut stack_map = Vec::with_capacity(stack_count as usize);
+    for _ in 0..stack_count {
+        let depth = get_varint(&mut buf)?;
+        let mut frames = Vec::with_capacity(depth as usize);
+        for _ in 0..depth {
+            let fid = get_varint(&mut buf)? as usize;
+            frames.push(*frame_map.get(fid).ok_or(DecodeError::BadIndex)?);
+        }
+        stack_map.push(stacks.intern_frames(frames));
+    }
+    trace.stacks = stacks;
+
+    let event_count = get_varint(&mut buf)?;
+    for seq in 0..event_count {
+        if buf.remaining() < 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let flags = buf.get_u8();
+        let tid = ThreadId(get_varint(&mut buf)? as u32);
+        let stack_idx = get_varint(&mut buf)? as usize;
+        let stack = *stack_map.get(stack_idx).ok_or(DecodeError::BadIndex)?;
+        let kind = match tag {
+            TAG_STORE => {
+                let start = get_varint(&mut buf)?;
+                let len = get_varint(&mut buf)? as u32;
+                EventKind::Store {
+                    range: AddrRange::new(start, len),
+                    non_temporal: flags & STORE_FLAG_NT != 0,
+                    atomic: flags & STORE_FLAG_ATOMIC != 0,
+                }
+            }
+            TAG_LOAD => {
+                let start = get_varint(&mut buf)?;
+                let len = get_varint(&mut buf)? as u32;
+                EventKind::Load { range: AddrRange::new(start, len), atomic: flags != 0 }
+            }
+            TAG_FLUSH => EventKind::Flush { addr: get_varint(&mut buf)? },
+            TAG_FENCE => EventKind::Fence,
+            TAG_ACQUIRE_EX => EventKind::Acquire {
+                lock: LockId(get_varint(&mut buf)?),
+                mode: LockMode::Exclusive,
+            },
+            TAG_ACQUIRE_SH => {
+                EventKind::Acquire { lock: LockId(get_varint(&mut buf)?), mode: LockMode::Shared }
+            }
+            TAG_RELEASE => EventKind::Release { lock: LockId(get_varint(&mut buf)?) },
+            TAG_CREATE => {
+                EventKind::ThreadCreate { child: ThreadId(get_varint(&mut buf)? as u32) }
+            }
+            TAG_JOIN => EventKind::ThreadJoin { child: ThreadId(get_varint(&mut buf)? as u32) },
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        trace.events.push(Event { seq, tid, stack, kind });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.add_region(PmRegion { base: 0x1000, len: 4096, path: "/mnt/pmem/pool".into() });
+        let s0 = b.intern_stack([Frame::new("main", "main.rs", 1)]);
+        let s1 = b.intern_stack([Frame::new("insert", "btree.rs", 42), Frame::new("main", "main.rs", 7)]);
+        b.push(ThreadId(0), s0, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(0), s0, EventKind::Acquire { lock: LockId(0xbeef), mode: LockMode::Exclusive });
+        b.push(
+            ThreadId(0),
+            s1,
+            EventKind::Store { range: AddrRange::new(0x1000, 8), non_temporal: false, atomic: false },
+        );
+        b.push(ThreadId(0), s1, EventKind::Flush { addr: 0x1000 });
+        b.push(ThreadId(0), s1, EventKind::Fence);
+        b.push(ThreadId(0), s0, EventKind::Release { lock: LockId(0xbeef) });
+        b.push(ThreadId(1), s1, EventKind::Load { range: AddrRange::new(0x1000, 8), atomic: true });
+        b.push(
+            ThreadId(1),
+            s1,
+            EventKind::Store { range: AddrRange::new(0x1040, 16), non_temporal: true, atomic: false },
+        );
+        b.push(ThreadId(0), s0, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let bytes = encode(&t);
+        let back = decode(bytes).unwrap();
+        assert_eq!(back.thread_count, t.thread_count);
+        assert_eq!(back.regions, t.regions);
+        assert_eq!(back.events, t.events);
+        assert_eq!(back.stacks.stack_count(), t.stacks.stack_count());
+        for i in 0..t.stacks.stack_count() {
+            let a: Vec<_> = t.stacks.frames_of(i as u32).cloned().collect();
+            let b: Vec<_> = back.stacks.frames_of(i as u32).cloned().collect();
+            assert_eq!(a, b);
+        }
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let res = decode(Bytes::from_static(b"NOPE\x01\x00"));
+        assert_eq!(res.unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = encode(&sample_trace()).to_vec();
+        raw[4] = 99;
+        assert_eq!(decode(Bytes::from(raw)).unwrap_err(), DecodeError::BadVersion(99));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let raw = encode(&sample_trace()).to_vec();
+        // Chop the buffer at every prefix length; none may panic, all must
+        // return an error (or, for the full buffer, succeed).
+        for cut in 0..raw.len() {
+            let res = decode(Bytes::from(raw[..cut].to_vec()));
+            assert!(res.is_err(), "decode succeeded on a {cut}-byte prefix");
+        }
+        assert!(decode(Bytes::from(raw)).is_ok());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+            assert!(!b.has_remaining());
+        }
+    }
+}

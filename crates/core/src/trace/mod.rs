@@ -1,0 +1,241 @@
+//! Execution traces: the interface between instrumentation and analysis.
+
+pub mod event;
+pub mod io;
+pub mod stack;
+
+use serde::{Deserialize, Serialize};
+
+pub use event::{Event, EventKind, LockId, LockMode, StackId, ThreadId};
+pub use stack::{Frame, FrameId, StackTable, EMPTY_STACK};
+
+use crate::addr::{AddrRange, PmAddr};
+
+/// A registered persistent-memory mapping.
+///
+/// The original tool records `mmap` calls on files under the PM mount and
+/// classifies accesses by comparing target addresses against these regions
+/// (§4). The runtime substrate registers each simulated pool here.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmRegion {
+    /// Base address of the mapping.
+    pub base: PmAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Path of the backing file (informational).
+    pub path: String,
+}
+
+impl PmRegion {
+    /// Returns `true` if the byte range falls entirely inside the region.
+    pub fn contains(&self, range: &AddrRange) -> bool {
+        range.start >= self.base && range.end() <= self.base + self.len
+    }
+}
+
+/// A complete recorded execution.
+///
+/// Events are totally ordered by `seq` — the order in which the
+/// instrumentation observed them, which is a legal linearization of the real
+/// concurrent execution (each event is recorded atomically with the action
+/// it describes).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// All events, sorted by `seq`.
+    pub events: Vec<Event>,
+    /// Interned call stacks referenced by the events.
+    pub stacks: StackTable,
+    /// Registered PM mappings.
+    pub regions: Vec<PmRegion>,
+    /// Number of threads that appear in the trace.
+    pub thread_count: u32,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self { events: Vec::new(), stacks: StackTable::new(), regions: Vec::new(), thread_count: 1 }
+    }
+
+    /// Returns `true` if `range` lies within a registered PM region.
+    pub fn is_pm(&self, range: &AddrRange) -> bool {
+        self.regions.iter().any(|r| r.contains(range))
+    }
+
+    /// Iterates over events in observation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of PM access events (stores + loads).
+    pub fn access_count(&self) -> usize {
+        self.events.iter().filter(|e| e.kind.is_access()).count()
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found, if any.
+    ///
+    /// Checked invariants: `seq` is dense and strictly increasing, stack ids
+    /// are valid, thread ids are below `thread_count`, thread creation
+    /// precedes any event of the child, and joins follow the child's last
+    /// event.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut first_event: Vec<Option<u64>> = vec![None; self.thread_count as usize];
+        let mut last_event: Vec<Option<u64>> = vec![None; self.thread_count as usize];
+        let mut created: Vec<Option<u64>> = vec![None; self.thread_count as usize];
+        created[ThreadId::MAIN.index()] = Some(0);
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.seq != i as u64 {
+                return Err(format!("event {i} has seq {}, expected {i}", ev.seq));
+            }
+            if ev.tid.index() >= self.thread_count as usize {
+                return Err(format!("event {i} has tid {} >= thread_count", ev.tid));
+            }
+            if ev.stack as usize >= self.stacks.stack_count() {
+                return Err(format!("event {i} references unknown stack {}", ev.stack));
+            }
+            first_event[ev.tid.index()].get_or_insert(ev.seq);
+            last_event[ev.tid.index()] = Some(ev.seq);
+            if let EventKind::ThreadCreate { child } = ev.kind {
+                if child.index() >= self.thread_count as usize {
+                    return Err(format!("event {i} creates unknown thread {child}"));
+                }
+                if created[child.index()].is_some() {
+                    return Err(format!("thread {child} created twice"));
+                }
+                created[child.index()] = Some(ev.seq);
+            }
+        }
+        for tid in 0..self.thread_count as usize {
+            match (created[tid], first_event[tid]) {
+                (None, Some(first)) => {
+                    return Err(format!("thread T{tid} has event at seq {first} but no creation"))
+                }
+                (Some(c), Some(first)) if tid != ThreadId::MAIN.index() && first < c => {
+                    return Err(format!(
+                        "thread T{tid} has event at seq {first} before its creation at {c}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for ev in &self.events {
+            if let EventKind::ThreadJoin { child } = ev.kind {
+                if let Some(last) = last_event[child.index()] {
+                    if last > ev.seq {
+                        return Err(format!(
+                            "join of {child} at seq {} precedes its last event at {last}",
+                            ev.seq
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap footprint in bytes, for the Figure 6 cost study.
+    pub fn approx_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<Event>() + self.stacks.approx_bytes()
+    }
+}
+
+/// Incremental construction of a [`Trace`] from a single logical stream.
+///
+/// The runtime substrate funnels per-thread observations through a global
+/// sequencer and appends them here. Builders are intentionally not
+/// thread-safe: synchronization is the runtime's concern.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+}
+
+impl TraceBuilder {
+    /// Creates a builder with an empty trace.
+    pub fn new() -> Self {
+        Self { trace: Trace::new() }
+    }
+
+    /// Registers a PM mapping.
+    pub fn add_region(&mut self, region: PmRegion) {
+        self.trace.regions.push(region);
+    }
+
+    /// Interns a stack and returns its id.
+    pub fn intern_stack(&mut self, frames: impl IntoIterator<Item = Frame>) -> StackId {
+        self.trace.stacks.intern_stack(frames)
+    }
+
+    /// Appends an event; its `seq` is assigned automatically.
+    pub fn push(&mut self, tid: ThreadId, stack: StackId, kind: EventKind) {
+        let seq = self.trace.events.len() as u64;
+        if tid.index() as u32 >= self.trace.thread_count {
+            self.trace.thread_count = tid.0 + 1;
+        }
+        if let EventKind::ThreadCreate { child } = kind {
+            if child.0 >= self.trace.thread_count {
+                self.trace.thread_count = child.0 + 1;
+            }
+        }
+        self.trace.events.push(Event { seq, tid, stack, kind });
+    }
+
+    /// Finalizes the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(range: AddrRange) -> EventKind {
+        EventKind::Store { range, non_temporal: false, atomic: false }
+    }
+
+    #[test]
+    fn builder_assigns_dense_seq_and_thread_count() {
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([Frame::new("f", "x.rs", 1)]);
+        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(1), s, store(AddrRange::new(0, 8)));
+        b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
+        let t = b.finish();
+        assert_eq!(t.thread_count, 2);
+        assert_eq!(t.events.len(), 3);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.access_count(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_event_before_creation() {
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(1), s, store(AddrRange::new(0, 8)));
+        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
+        let t = b.finish();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_join_before_child_last_event() {
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.push(ThreadId(1), s, store(AddrRange::new(0, 8)));
+        let t = b.finish();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn pm_region_classification() {
+        let mut t = Trace::new();
+        t.regions.push(PmRegion { base: 0x1000, len: 0x1000, path: "/mnt/pmem/pool".into() });
+        assert!(t.is_pm(&AddrRange::new(0x1000, 8)));
+        assert!(t.is_pm(&AddrRange::new(0x1ff8, 8)));
+        assert!(!t.is_pm(&AddrRange::new(0x1ffc, 8))); // straddles the end
+        assert!(!t.is_pm(&AddrRange::new(0x800, 8)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Interned call stacks.
+//!
+//! The original tool replaces the prohibitively expensive `PIN_Backtrace`
+//! with call/return instrumentation (§4). Either way, every PM access in a
+//! trace carries a call stack, and because the same program points execute
+//! millions of times, stacks are heavily duplicated. We intern frames and
+//! stacks into dense `u32` ids so that comparing, hashing and storing a
+//! stack is O(1) — one of the §4 optimizations that makes the analysis
+//! scale.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use super::event::StackId;
+
+/// One stack frame: a function plus the source location of the call site
+/// (or of the PM access itself for the innermost frame).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Frame {
+    /// Function (or labeled operation) name.
+    pub function: String,
+    /// Source file.
+    pub file: String,
+    /// Line number.
+    pub line: u32,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(function: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        Self { function: function.into(), file: file.into(), line }
+    }
+
+    /// A compact `file:line (function)` rendering.
+    pub fn render(&self) -> String {
+        format!("{}:{} ({})", self.file, self.line, self.function)
+    }
+}
+
+impl core::fmt::Display for Frame {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{} ({})", self.file, self.line, self.function)
+    }
+}
+
+/// Interned frame identifier.
+pub type FrameId = u32;
+
+/// Hash-consed table of frames and stacks.
+///
+/// Stacks are stored innermost-frame-first: `stack[0]` is the PM access
+/// site, `stack[last]` is the outermost caller.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StackTable {
+    frames: Vec<Frame>,
+    #[serde(skip)]
+    frame_ids: HashMap<Frame, FrameId>,
+    stacks: Vec<Vec<FrameId>>,
+    #[serde(skip)]
+    stack_ids: HashMap<Vec<FrameId>, StackId>,
+}
+
+impl StackTable {
+    /// Creates an empty table containing only the empty stack (id 0).
+    pub fn new() -> Self {
+        let mut t = Self::default();
+        let id = t.intern_frames(Vec::new());
+        debug_assert_eq!(id, EMPTY_STACK);
+        t
+    }
+
+    /// Interns a single frame, returning its id.
+    pub fn intern_frame(&mut self, frame: Frame) -> FrameId {
+        if let Some(&id) = self.frame_ids.get(&frame) {
+            return id;
+        }
+        let id = self.frames.len() as FrameId;
+        self.frame_ids.insert(frame.clone(), id);
+        self.frames.push(frame);
+        id
+    }
+
+    /// Interns a stack given as frame ids (innermost first).
+    pub fn intern_frames(&mut self, frames: Vec<FrameId>) -> StackId {
+        if let Some(&id) = self.stack_ids.get(&frames) {
+            return id;
+        }
+        let id = self.stacks.len() as StackId;
+        self.stack_ids.insert(frames.clone(), id);
+        self.stacks.push(frames);
+        id
+    }
+
+    /// Interns a stack given as frames (innermost first).
+    pub fn intern_stack(&mut self, frames: impl IntoIterator<Item = Frame>) -> StackId {
+        let ids: Vec<FrameId> = frames.into_iter().map(|f| self.intern_frame(f)).collect();
+        self.intern_frames(ids)
+    }
+
+    /// Returns the frame for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn frame(&self, id: FrameId) -> &Frame {
+        &self.frames[id as usize]
+    }
+
+    /// Returns the frame ids of stack `id` (innermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn stack(&self, id: StackId) -> &[FrameId] {
+        &self.stacks[id as usize]
+    }
+
+    /// Returns the frames of stack `id`, innermost first.
+    pub fn frames_of(&self, id: StackId) -> impl Iterator<Item = &Frame> {
+        self.stacks[id as usize].iter().map(|&f| &self.frames[f as usize])
+    }
+
+    /// The innermost frame of stack `id` — the PM access site itself.
+    pub fn site(&self, id: StackId) -> Option<&Frame> {
+        self.stacks[id as usize].first().map(|&f| &self.frames[f as usize])
+    }
+
+    /// Renders stack `id` as a multi-line backtrace, innermost first.
+    pub fn render(&self, id: StackId) -> String {
+        let mut out = String::new();
+        for (depth, frame) in self.frames_of(id).enumerate() {
+            out.push_str(&format!("  #{depth} {frame}\n"));
+        }
+        if out.is_empty() {
+            out.push_str("  <no stack>\n");
+        }
+        out
+    }
+
+    /// Number of distinct frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of distinct stacks.
+    pub fn stack_count(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Rebuilds the lookup maps after deserialization (they are not stored).
+    pub fn rebuild_index(&mut self) {
+        self.frame_ids =
+            self.frames.iter().enumerate().map(|(i, f)| (f.clone(), i as FrameId)).collect();
+        self.stack_ids =
+            self.stacks.iter().enumerate().map(|(i, s)| (s.clone(), i as StackId)).collect();
+    }
+
+    /// Approximate heap footprint in bytes, for the Figure 6 cost study.
+    pub fn approx_bytes(&self) -> usize {
+        let frames: usize = self
+            .frames
+            .iter()
+            .map(|f| f.function.len() + f.file.len() + std::mem::size_of::<Frame>())
+            .sum();
+        let stacks: usize =
+            self.stacks.iter().map(|s| s.len() * 4 + std::mem::size_of::<Vec<FrameId>>()).sum();
+        frames + stacks
+    }
+}
+
+/// Id of the empty stack, present in every table.
+pub const EMPTY_STACK: StackId = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stack_is_id_zero() {
+        let t = StackTable::new();
+        assert_eq!(t.stack(EMPTY_STACK), &[] as &[FrameId]);
+        assert_eq!(t.site(EMPTY_STACK), None);
+    }
+
+    #[test]
+    fn interning_dedups() {
+        let mut t = StackTable::new();
+        let s1 = t.intern_stack([Frame::new("insert", "btree.h", 560), Frame::new("main", "m.c", 1)]);
+        let s2 = t.intern_stack([Frame::new("insert", "btree.h", 560), Frame::new("main", "m.c", 1)]);
+        let s3 = t.intern_stack([Frame::new("insert", "btree.h", 571)]);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(t.frame_count(), 3);
+        assert_eq!(t.stack_count(), 3); // empty + two distinct
+    }
+
+    #[test]
+    fn site_is_innermost() {
+        let mut t = StackTable::new();
+        let s = t.intern_stack([Frame::new("leaf", "a.rs", 10), Frame::new("caller", "b.rs", 20)]);
+        assert_eq!(t.site(s).unwrap().function, "leaf");
+        let rendered = t.render(s);
+        assert!(rendered.contains("#0 a.rs:10 (leaf)"));
+        assert!(rendered.contains("#1 b.rs:20 (caller)"));
+    }
+
+    #[test]
+    fn rebuild_index_roundtrip() {
+        let mut t = StackTable::new();
+        let s = t.intern_stack([Frame::new("f", "x.rs", 1)]);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: StackTable = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        // Interning the same stack again must return the same id.
+        let s2 = back.intern_stack([Frame::new("f", "x.rs", 1)]);
+        assert_eq!(s, s2);
+    }
+}

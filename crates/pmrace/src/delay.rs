@@ -1,0 +1,114 @@
+//! Delay injection.
+//!
+//! PMRace combines fuzzing with "specialized delay injection techniques to
+//! improve the chance of observing interleavings that constitute a
+//! persistency-induced race" (§6.3). The injector hooks every PM operation
+//! of the instrumented runtime and sleeps with a configurable probability,
+//! stretching the visible-but-not-durable windows so that another thread's
+//! load can land inside them.
+//!
+//! Decisions are deterministic in `(seed, thread, op-index, address)` so a
+//! campaign round is reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hawkset_core::trace::ThreadId;
+use pm_runtime::{Hook, HookPoint};
+
+/// Deterministic, probability-driven PM-operation delayer.
+pub struct DelayInjector {
+    seed: u64,
+    /// Delay probability in 1/1024 units.
+    prob_1024: u64,
+    max_delay_us: u64,
+    counter: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl DelayInjector {
+    /// Creates an injector firing with probability `prob` (clamped to
+    /// [0, 1]) and uniform delays up to `max_delay_us` microseconds.
+    pub fn new(seed: u64, prob: f64, max_delay_us: u64) -> Arc<Self> {
+        let prob_1024 = (prob.clamp(0.0, 1.0) * 1024.0) as u64;
+        Arc::new(Self {
+            seed,
+            prob_1024,
+            max_delay_us: max_delay_us.max(1),
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of delays injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Wraps the injector as a runtime hook.
+    pub fn hook(self: &Arc<Self>) -> Hook {
+        let me = Arc::clone(self);
+        Arc::new(move |tid: ThreadId, point: HookPoint| {
+            let n = me.counter.fetch_add(1, Ordering::Relaxed);
+            let addr = match point {
+                HookPoint::BeforeStore(a)
+                | HookPoint::BeforeLoad(a)
+                | HookPoint::BeforeFlush(a) => a,
+                HookPoint::BeforeFence => 0,
+            };
+            let h = pm_workloads::zipfian::fnv1a(
+                me.seed ^ n.rotate_left(17) ^ u64::from(tid.0).rotate_left(33) ^ addr,
+            );
+            if h % 1024 < me.prob_1024 {
+                // Bias delays toward the persistency path: stretching the
+                // store→fence window is what exposes the races.
+                let bias = match point {
+                    HookPoint::BeforeFence | HookPoint::BeforeFlush(_) => 4,
+                    HookPoint::BeforeStore(_) => 2,
+                    HookPoint::BeforeLoad(_) => 1,
+                };
+                let us = (h >> 10) % (me.max_delay_us * bias) + 1;
+                me.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let inj = DelayInjector::new(1, 0.0, 100);
+        let hook = inj.hook();
+        for i in 0..1000 {
+            hook(ThreadId(0), HookPoint::BeforeStore(i));
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn full_probability_always_fires() {
+        let inj = DelayInjector::new(1, 1.0, 1);
+        let hook = inj.hook();
+        for i in 0..50 {
+            hook(ThreadId(0), HookPoint::BeforeLoad(i));
+        }
+        assert_eq!(inj.injected(), 50);
+    }
+
+    #[test]
+    fn moderate_probability_fires_sometimes() {
+        let inj = DelayInjector::new(7, 0.25, 1);
+        let hook = inj.hook();
+        for i in 0..400 {
+            hook(ThreadId(1), HookPoint::BeforeFence);
+            let _ = i;
+        }
+        let n = inj.injected();
+        assert!(n > 40 && n < 180, "expected ≈100 of 400, got {n}");
+    }
+}

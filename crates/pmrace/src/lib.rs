@@ -1,0 +1,28 @@
+//! # pmrace
+//!
+//! An observation-based concurrent PM bug detection baseline, modelled on
+//! PMRace (ASPLOS'22) as described in §5.2 and §6.3 of the HawkSet paper.
+//!
+//! PMRace's first stage — the one HawkSet is compared against — detects a
+//! *PM inter-thread inconsistency* only when a concrete execution actually
+//! performs a load of data that another thread wrote and has not yet
+//! persisted. To make such interleavings more likely it runs fuzzing
+//! campaigns: each seed workload is executed repeatedly, mutated between
+//! rounds, with random delays injected at PM operations.
+//!
+//! This crate reproduces exactly that shape on top of the same
+//! instrumented runtime the HawkSet pipeline uses:
+//!
+//! * the runtime's shadow persistence state flags every *observed* read of
+//!   unpersisted foreign data ([`pm_runtime::Observation`]);
+//! * [`DelayInjector`] perturbs schedules at PM-operation granularity;
+//! * [`fuzz_app`] drives mutation rounds and aggregates observations;
+//! * [`expected_time_to_race`] implements the paper's Table 3 metric.
+
+pub mod campaign;
+pub mod delay;
+pub mod metric;
+
+pub use campaign::{fuzz_app, CampaignConfig, CampaignResult, ObservedRace};
+pub use delay::DelayInjector;
+pub use metric::expected_time_to_race;

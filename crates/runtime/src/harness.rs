@@ -1,0 +1,45 @@
+//! Convenience harness for multi-threaded instrumented runs.
+//!
+//! Most experiments follow the same shape: map a pool, run a load phase on
+//! the main thread, fan out N worker threads, join them, and hand the
+//! trace to the analysis. [`run_workers`] captures the fan-out/join part.
+
+use std::sync::Arc;
+
+use crate::env::PmEnv;
+use crate::thread::PmThread;
+
+/// Spawns `n` instrumented workers running `f(worker_index, thread)` and
+/// joins them all on `main`.
+///
+/// # Examples
+///
+/// ```
+/// use pm_runtime::{PmEnv, run_workers};
+///
+/// let env = PmEnv::new();
+/// let pool = env.map_pool("/mnt/pmem/demo", 4096);
+/// let main = env.main_thread();
+/// let base = pool.base();
+/// let p = pool.clone();
+/// run_workers(&env, &main, 4, move |i, t| {
+///     p.store_u64(t, base + 64 * i as u64, i as u64);
+/// });
+/// let trace = env.finish();
+/// assert_eq!(trace.thread_count, 5);
+/// ```
+pub fn run_workers<F>(env: &PmEnv, main: &PmThread, n: usize, f: F)
+where
+    F: Fn(usize, &PmThread) + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let f = Arc::clone(&f);
+            env.spawn(main, move |t| f(i, t))
+        })
+        .collect();
+    for h in handles {
+        h.join(main);
+    }
+}

@@ -1,0 +1,134 @@
+//! Instrumented threads and synthetic call stacks.
+//!
+//! The original tool replaces `PIN_Backtrace` with cheap call/return
+//! instrumentation (§4). Our substrate does the analogue: application code
+//! pushes named frames ([`PmThread::frame`]) around logical operations, and
+//! every PM access captures the current frame stack plus its own
+//! `#[track_caller]` source location as the innermost frame. The result is
+//! the backtrace attached to every event — what lets a race report say
+//! "store at `btree.h:560` in `fastfair::insert`".
+
+use std::cell::RefCell;
+use std::panic::Location;
+
+use hawkset_core::trace::{Frame, ThreadId};
+
+use crate::env::PmEnv;
+
+/// One pushed application frame.
+#[derive(Clone, Debug)]
+pub(crate) struct AppFrame {
+    pub name: String,
+    pub file: &'static str,
+    pub line: u32,
+}
+
+/// Per-thread instrumentation context.
+///
+/// A `PmThread` is created for you by [`PmEnv::main_thread`] and
+/// [`PmEnv::spawn`]; every instrumented operation takes `&PmThread` so the
+/// runtime knows the issuing thread and its current call stack.
+pub struct PmThread {
+    env: PmEnv,
+    tid: ThreadId,
+    frames: RefCell<Vec<AppFrame>>,
+}
+
+impl PmThread {
+    pub(crate) fn new(env: PmEnv, tid: ThreadId) -> Self {
+        Self { env, tid, frames: RefCell::new(Vec::new()) }
+    }
+
+    /// The thread's id in the trace.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The environment this thread belongs to.
+    pub fn env(&self) -> &PmEnv {
+        &self.env
+    }
+
+    /// Pushes a named frame for the duration of the returned guard.
+    ///
+    /// # Examples
+    ///
+    /// ```ignore
+    /// let _f = t.frame("fastfair::insert");
+    /// // ... PM accesses recorded inside carry this frame ...
+    /// ```
+    #[track_caller]
+    pub fn frame(&self, name: impl Into<String>) -> FrameGuard<'_> {
+        let loc = Location::caller();
+        self.frames.borrow_mut().push(AppFrame {
+            name: name.into(),
+            file: loc.file(),
+            line: loc.line(),
+        });
+        FrameGuard { thread: self }
+    }
+
+    /// Issues a store fence (`sfence`): everything this thread flushed (and
+    /// every non-temporal store it issued) is persistent afterwards.
+    #[track_caller]
+    pub fn fence(&self) {
+        self.env.fence_at(self, Location::caller());
+    }
+
+    /// Builds the current backtrace, innermost first, with `loc` as the
+    /// access site. The innermost frame borrows the enclosing frame's name
+    /// (or `<app>` at top level), mirroring how a PC-based backtrace names
+    /// the containing function.
+    pub(crate) fn capture_stack(&self, loc: &'static Location<'static>) -> Vec<Frame> {
+        let frames = self.frames.borrow();
+        let top_name = frames.last().map(|f| f.name.clone()).unwrap_or_else(|| "<app>".into());
+        let mut stack = Vec::with_capacity(frames.len() + 1);
+        stack.push(Frame::new(top_name, loc.file(), loc.line()));
+        for f in frames.iter().rev() {
+            stack.push(Frame::new(f.name.clone(), f.file, f.line));
+        }
+        stack
+    }
+}
+
+/// Pops its frame when dropped. Created by [`PmThread::frame`].
+pub struct FrameGuard<'t> {
+    thread: &'t PmThread,
+}
+
+impl Drop for FrameGuard<'_> {
+    fn drop(&mut self) {
+        self.thread.frames.borrow_mut().pop();
+    }
+}
+
+/// Handle to an instrumented spawned thread.
+///
+/// Joining through [`PmJoinHandle::join`] records the `ThreadJoin` event
+/// that establishes the happens-before edge used by the analysis.
+pub struct PmJoinHandle<R> {
+    pub(crate) inner: std::thread::JoinHandle<R>,
+    pub(crate) child: ThreadId,
+}
+
+impl<R> PmJoinHandle<R> {
+    /// The spawned thread's id.
+    pub fn child_tid(&self) -> ThreadId {
+        self.child
+    }
+
+    /// Waits for the thread and records the join edge on behalf of
+    /// `joiner`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the joined thread, like
+    /// [`std::thread::JoinHandle::join`] + `unwrap`.
+    #[track_caller]
+    pub fn join(self, joiner: &PmThread) -> R {
+        let loc = Location::caller();
+        let out = self.inner.join().expect("instrumented thread panicked");
+        joiner.env().join_at(joiner, self.child, loc);
+        out
+    }
+}

@@ -1,0 +1,20 @@
+//! # pm-workloads
+//!
+//! Workload generation for the HawkSet evaluation: YCSB-style key-value
+//! schedules (zipfian/uniform/scrambled distributions, the paper's
+//! 30/30/30/10 mix), the MadFS shared-file benchmark, the memcached
+//! full-palette benchmark, and PMRace-style seed mutation.
+//!
+//! Everything is deterministic given a seed, so experiments are
+//! reproducible and the fuzzing baseline can be compared with HawkSet on
+//! identical inputs (§5.2).
+
+pub mod mutate;
+pub mod special;
+pub mod ycsb;
+pub mod zipfian;
+
+pub use mutate::mutate;
+pub use special::{madfs_workload, memcached_workload, CacheOp, FsOp};
+pub use ycsb::{Op, OpMix, Workload, WorkloadSpec};
+pub use zipfian::{Distribution, KeyDistribution, ScrambledZipfian, Uniform, Zipfian};

@@ -1,0 +1,134 @@
+//! Workload mutation for the fuzzing baseline.
+//!
+//! PMRace "starts with an initial workload, called the seed … On subsequent
+//! executions, it mutates the workload and executes again" (§5.2). The
+//! `pmrace` crate drives its campaigns with these mutators: key
+//! perturbation, operation-kind flips, op duplication and truncation —
+//! enough variety to move a schedule between interleaving-relevant shapes
+//! while staying close to the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ycsb::{Op, Workload};
+
+/// Mutates `seed_workload` into a nearby variant, deterministically from
+/// `round`.
+pub fn mutate(seed_workload: &Workload, seed: u64, round: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut out = seed_workload.clone();
+    let mutations = 1 + rng.gen_range(0..4);
+    for _ in 0..mutations {
+        match rng.gen_range(0..4) {
+            0 => perturb_key(&mut out, &mut rng),
+            1 => flip_kind(&mut out, &mut rng),
+            2 => duplicate_op(&mut out, &mut rng),
+            _ => drop_op(&mut out, &mut rng),
+        }
+    }
+    out
+}
+
+fn pick_slot<'w>(w: &'w mut Workload, rng: &mut StdRng) -> Option<&'w mut Vec<Op>> {
+    let non_empty: Vec<usize> =
+        w.per_thread.iter().enumerate().filter(|(_, v)| !v.is_empty()).map(|(i, _)| i).collect();
+    if non_empty.is_empty() {
+        return None;
+    }
+    let t = non_empty[rng.gen_range(0..non_empty.len())];
+    Some(&mut w.per_thread[t])
+}
+
+fn perturb_key(w: &mut Workload, rng: &mut StdRng) {
+    let delta = rng.gen_range(1..16u64);
+    let Some(ops) = pick_slot(w, rng) else { return };
+    let i = rng.gen_range(0..ops.len());
+    ops[i] = match ops[i] {
+        Op::Insert { key, value } => Op::Insert { key: key.wrapping_add(delta), value },
+        Op::Update { key, value } => Op::Update { key: key.wrapping_add(delta), value },
+        Op::Get { key } => Op::Get { key: key.wrapping_add(delta) },
+        Op::Delete { key } => Op::Delete { key: key.wrapping_add(delta) },
+    };
+}
+
+fn flip_kind(w: &mut Workload, rng: &mut StdRng) {
+    // Mutations stay within the seed's operation palette: a read-only seed
+    // never grows a write, mirroring how PMRace's fuzzer mutates inputs
+    // without inventing operations the seed grammar lacks.
+    let mut kinds = [false; 4];
+    for op in w.per_thread.iter().flatten() {
+        match op {
+            Op::Insert { .. } => kinds[0] = true,
+            Op::Update { .. } => kinds[1] = true,
+            Op::Get { .. } => kinds[2] = true,
+            Op::Delete { .. } => kinds[3] = true,
+        }
+    }
+    let present: Vec<usize> = (0..4).filter(|&k| kinds[k]).collect();
+    if present.is_empty() {
+        return;
+    }
+    let roll = present[rng.gen_range(0..present.len())];
+    let Some(ops) = pick_slot(w, rng) else { return };
+    let i = rng.gen_range(0..ops.len());
+    let key = ops[i].key();
+    ops[i] = match roll {
+        0 => Op::Insert { key, value: key | 1 },
+        1 => Op::Update { key, value: key.rotate_left(7) | 1 },
+        2 => Op::Get { key },
+        _ => Op::Delete { key },
+    };
+}
+
+fn duplicate_op(w: &mut Workload, rng: &mut StdRng) {
+    let Some(ops) = pick_slot(w, rng) else { return };
+    let i = rng.gen_range(0..ops.len());
+    let op = ops[i];
+    let at = rng.gen_range(0..=ops.len());
+    ops.insert(at, op);
+}
+
+fn drop_op(w: &mut Workload, rng: &mut StdRng) {
+    let Some(ops) = pick_slot(w, rng) else { return };
+    if ops.len() > 1 {
+        let i = rng.gen_range(0..ops.len());
+        ops.remove(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::WorkloadSpec;
+
+    #[test]
+    fn mutation_is_deterministic_per_round() {
+        let base = WorkloadSpec::pmrace_seed(1).generate();
+        let a = mutate(&base, 1, 3);
+        let b = mutate(&base, 1, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_rounds_differ() {
+        let base = WorkloadSpec::pmrace_seed(1).generate();
+        let a = mutate(&base, 1, 1);
+        let b = mutate(&base, 1, 2);
+        // Extremely unlikely to collide; both stay near the seed size.
+        assert_ne!(a, b);
+        let near = |w: &Workload| {
+            let n = w.main_ops() as i64;
+            (n - base.main_ops() as i64).abs() <= 8
+        };
+        assert!(near(&a) && near(&b));
+    }
+
+    #[test]
+    fn mutating_preserves_thread_count() {
+        let base = WorkloadSpec::pmrace_seed(2).generate();
+        for round in 0..20 {
+            let m = mutate(&base, 2, round);
+            assert_eq!(m.per_thread.len(), base.per_thread.len());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Non-key-value workloads: MadFS and memcached (§5, Workloads).
+//!
+//! "MadFS's benchmark performs 4kb write operations in a shared file
+//! amongst all threads. The target offset of the operation is randomized
+//! following a zipfian distribution." — and memcached's benchmark runs a
+//! 1000-set load phase followed by the full operation palette (set, get,
+//! add, replace, append, prepend, CAS, delete, increment, decrement) over
+//! a zipfian key choice.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::zipfian::{KeyDistribution, Zipfian};
+
+/// One MadFS file operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsOp {
+    /// Write `len` bytes at block-aligned `offset`.
+    Write {
+        /// Byte offset into the shared file.
+        offset: u64,
+        /// Write size in bytes.
+        len: u32,
+    },
+    /// Read `len` bytes at `offset`.
+    Read {
+        /// Byte offset into the shared file.
+        offset: u64,
+        /// Read size in bytes.
+        len: u32,
+    },
+    /// Make everything written so far durable.
+    Fsync,
+}
+
+/// Generates the MadFS benchmark: per-thread schedules of 4 KiB writes at
+/// zipfian offsets into a shared file of `file_blocks` 4 KiB blocks, with a
+/// sprinkling of reads and periodic fsync.
+pub fn madfs_workload(
+    ops: u64,
+    threads: u32,
+    file_blocks: u64,
+    seed: u64,
+) -> Vec<Vec<FsOp>> {
+    const BLOCK: u64 = 4096;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dist = Zipfian::new(file_blocks.max(1));
+    let mut per_thread = vec![Vec::new(); threads.max(1) as usize];
+    for i in 0..ops {
+        let t = (i % threads.max(1) as u64) as usize;
+        let block = dist.next(&mut rng);
+        let roll = rng.gen_range(0..100u8);
+        let op = if roll < 70 {
+            FsOp::Write { offset: block * BLOCK, len: BLOCK as u32 }
+        } else if roll < 95 {
+            FsOp::Read { offset: block * BLOCK, len: BLOCK as u32 }
+        } else {
+            FsOp::Fsync
+        };
+        per_thread[t].push(op);
+    }
+    per_thread
+}
+
+/// One memcached protocol operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheOp {
+    /// Unconditional store.
+    Set {
+        /// Item key.
+        key: u64,
+        /// Item value.
+        value: u64,
+    },
+    /// Point lookup.
+    Get {
+        /// Item key.
+        key: u64,
+    },
+    /// Store only if absent.
+    Add {
+        /// Item key.
+        key: u64,
+        /// Item value.
+        value: u64,
+    },
+    /// Store only if present.
+    Replace {
+        /// Item key.
+        key: u64,
+        /// Item value.
+        value: u64,
+    },
+    /// Append to the existing value.
+    Append {
+        /// Item key.
+        key: u64,
+        /// Suffix payload.
+        value: u64,
+    },
+    /// Prepend to the existing value.
+    Prepend {
+        /// Item key.
+        key: u64,
+        /// Prefix payload.
+        value: u64,
+    },
+    /// Compare-and-swap on the item's cas token.
+    Cas {
+        /// Item key.
+        key: u64,
+        /// New value if the token matches.
+        value: u64,
+    },
+    /// Remove the item.
+    Delete {
+        /// Item key.
+        key: u64,
+    },
+    /// Numeric increment.
+    Incr {
+        /// Item key.
+        key: u64,
+    },
+    /// Numeric decrement.
+    Decr {
+        /// Item key.
+        key: u64,
+    },
+}
+
+/// The memcached benchmark: a load phase of `load_sets` sets plus
+/// per-thread zipfian schedules covering the whole operation palette.
+pub fn memcached_workload(
+    load_sets: u64,
+    ops: u64,
+    threads: u32,
+    seed: u64,
+) -> (Vec<CacheOp>, Vec<Vec<CacheOp>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key_space = load_sets + ops / 4;
+    let mut dist = Zipfian::new(key_space.max(1));
+    let load: Vec<CacheOp> =
+        (0..load_sets).map(|k| CacheOp::Set { key: k, value: k.rotate_left(13) | 1 }).collect();
+    let mut per_thread = vec![Vec::new(); threads.max(1) as usize];
+    for i in 0..ops {
+        let t = (i % threads.max(1) as u64) as usize;
+        let key = dist.next(&mut rng);
+        let value = key.wrapping_mul(0x9e37_79b9) | 1;
+        let op = match rng.gen_range(0..10u8) {
+            0 => CacheOp::Set { key, value },
+            1 => CacheOp::Get { key },
+            2 => CacheOp::Add { key, value },
+            3 => CacheOp::Replace { key, value },
+            4 => CacheOp::Append { key, value },
+            5 => CacheOp::Prepend { key, value },
+            6 => CacheOp::Cas { key, value },
+            7 => CacheOp::Delete { key },
+            8 => CacheOp::Incr { key },
+            _ => CacheOp::Decr { key },
+        };
+        per_thread[t].push(op);
+    }
+    (load, per_thread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn madfs_offsets_are_block_aligned_and_bounded() {
+        let w = madfs_workload(1000, 8, 64, 11);
+        assert_eq!(w.len(), 8);
+        let total: usize = w.iter().map(Vec::len).sum();
+        assert_eq!(total, 1000);
+        for op in w.iter().flatten() {
+            if let FsOp::Write { offset, len } | FsOp::Read { offset, len } = op {
+                assert_eq!(offset % 4096, 0);
+                assert_eq!(*len, 4096);
+                assert!(*offset < 64 * 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn madfs_contains_fsync_and_reads() {
+        let w = madfs_workload(2000, 4, 32, 3);
+        let flat: Vec<&FsOp> = w.iter().flatten().collect();
+        assert!(flat.iter().any(|op| matches!(op, FsOp::Fsync)));
+        assert!(flat.iter().any(|op| matches!(op, FsOp::Read { .. })));
+        assert!(flat.iter().any(|op| matches!(op, FsOp::Write { .. })));
+    }
+
+    #[test]
+    fn memcached_covers_the_whole_palette() {
+        let (load, main) = memcached_workload(1000, 5000, 8, 5);
+        assert_eq!(load.len(), 1000);
+        let flat: Vec<&CacheOp> = main.iter().flatten().collect();
+        assert_eq!(flat.len(), 5000);
+        let has = |f: fn(&CacheOp) -> bool| flat.iter().any(|op| f(op));
+        assert!(has(|o| matches!(o, CacheOp::Set { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Get { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Add { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Replace { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Append { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Prepend { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Cas { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Delete { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Incr { .. })));
+        assert!(has(|o| matches!(o, CacheOp::Decr { .. })));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(madfs_workload(100, 2, 8, 1), madfs_workload(100, 2, 8, 1));
+        assert_eq!(memcached_workload(10, 100, 2, 1), memcached_workload(10, 100, 2, 1));
+    }
+}

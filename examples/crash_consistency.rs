@@ -1,0 +1,88 @@
+//! Why persistency-induced races matter: simulate the crash.
+//!
+//! The runtime maintains a worst-case *persistent image* next to the
+//! volatile (cache-visible) contents: a store only reaches the image after
+//! an explicit flush + fence. This example performs the Figure-1c sequence
+//! and then "crashes" at the worst moment, showing that:
+//!
+//! * the reader thread **saw** the new value (it was in the cache), but
+//! * the crash image still holds the old value — any side effect the
+//!   reader produced is now inconsistent with post-crash state.
+//!
+//! Run with: `cargo run --example crash_consistency`
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use hawkset::runtime::{PmEnv, PmMutex};
+
+fn main() {
+    let env = PmEnv::new();
+    let pool = env.map_pool("/mnt/pmem/crash-demo", 4096);
+    let main = env.main_thread();
+    let x = pool.base();
+    let lock = Arc::new(PmMutex::new(&env, ()));
+
+    pool.store_u64(&main, x, 1);
+    pool.persist(&main, x, 8);
+    println!("initial state: X = 1 (persisted)");
+
+    // Writer: store X = 2 under the lock, but DO NOT persist yet. Hand an
+    // explicit baton to the reader so the racy interleaving is guaranteed.
+    let (baton_tx, baton_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let (p, l) = (pool.clone(), Arc::clone(&lock));
+    let writer = env.spawn(&main, move |t| {
+        {
+            let _g = l.lock(t);
+            p.store_u64(t, x, 2);
+        }
+        baton_tx.send(()).expect("reader alive"); // X visible, not durable
+        done_rx.recv().expect("reader finished"); // crash happens before this persist
+        p.persist(t, x, 8);
+    });
+
+    let (p, l) = (pool.clone(), Arc::clone(&lock));
+    let reader = env.spawn(&main, move |t| {
+        baton_rx.recv().expect("writer alive");
+        let v = {
+            let _g = l.lock(t);
+            p.load_u64(t, x)
+        };
+        // Side effect based on the read: in a real system, a client reply.
+        println!("reader: observed X = {v} and replied to the client");
+        v
+    });
+
+    let observed = reader.join(&main);
+    // --- CRASH ---: take the worst-case persistent image *before* the
+    // writer gets to persist.
+    let image = pool.crash_image();
+    let durable = u64::from_le_bytes(image[0..8].try_into().unwrap());
+    println!("\n*** simulated crash ***");
+    println!("reader had observed:     X = {observed}");
+    println!("durable state after crash: X = {durable}");
+    assert_eq!(observed, 2, "the baton guarantees the reader saw the new value");
+    assert_eq!(durable, 1, "the store was never flushed+fenced, so the crash loses it");
+    println!(
+        "\nthe client was told X = 2, but recovery will see X = 1 — the inconsistency a \
+         persistency-induced race produces (Definition 1)."
+    );
+
+    // Let the writer finish so the run shuts down cleanly; afterwards the
+    // value IS durable.
+    done_tx.send(()).expect("writer alive");
+    writer.join(&main);
+    let durable_after = pool.persistent_u64(x);
+    println!("after the late persist completes: X = {durable_after} (now durable)");
+    assert_eq!(durable_after, 2);
+
+    // Recovery demo: reopen a pool from the crash image in a fresh
+    // environment, exactly like a post-crash restart would.
+    let recovery_env = PmEnv::new();
+    let recovered = recovery_env.map_pool_from_image("/mnt/pmem/crash-demo", image);
+    let rt = recovery_env.main_thread();
+    let v = recovered.load_u64(&rt, recovered.base());
+    println!("recovery run reads X = {v} from the reopened pool");
+    assert_eq!(v, 1);
+}

@@ -1,0 +1,73 @@
+//! Custom synchronization primitives and the §5.5 configuration file.
+//!
+//! HawkSet is automatic for pthread-style locking, but applications like
+//! TurboHash and P-ART bring their own primitives; the analysis then needs
+//! a small configuration naming the functions with acquire/release
+//! semantics. This example runs the same custom-spinlock program twice:
+//!
+//! * **without** the configuration, the instrumentation cannot see the
+//!   lock, so a perfectly synchronized (and promptly persisted) program is
+//!   flooded with spurious reports;
+//! * **with** the configuration, the locksets protect the accesses and the
+//!   report is clean.
+//!
+//! Run with: `cargo run --example custom_sync`
+
+use std::sync::Arc;
+
+use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::sync_config::SyncConfig;
+use hawkset::runtime::{run_workers, CustomSpinLock, PmEnv};
+
+/// The configuration file a TurboHash-style application ships (§5.5 says
+/// writing one "took a few minutes").
+const CONFIG_JSON: &str = r#"{
+    "primitives": [
+        {"function": "my_spin_lock",   "kind": "acquire", "mode": "Exclusive"},
+        {"function": "my_spin_unlock", "kind": "release"}
+    ]
+}"#;
+
+fn run(with_config: bool) -> usize {
+    let env = PmEnv::new();
+    if with_config {
+        env.add_sync_config(SyncConfig::from_json(CONFIG_JSON).expect("valid config"));
+    }
+    let pool = env.map_pool("/mnt/pmem/custom-sync", 4096);
+    let main = env.main_thread();
+    let counter = pool.base();
+    pool.store_u64(&main, counter, 0);
+    pool.persist(&main, counter, 8);
+
+    let lock = Arc::new(CustomSpinLock::new(&env, "my_spin_lock", "my_spin_unlock"));
+    let p = pool.clone();
+    run_workers(&env, &main, 4, move |_, t| {
+        for _ in 0..50 {
+            lock.lock(t);
+            let v = p.load_u64(t, counter);
+            p.store_u64(t, counter, v + 1);
+            p.persist(t, counter, 8); // correctly persisted inside the CS
+            lock.unlock(t);
+        }
+    });
+    let final_value = pool.load_u64(&main, counter);
+    assert_eq!(final_value, 200, "the spinlock is real: no lost updates");
+
+    let trace = env.finish();
+    let report = analyze(&trace, &AnalysisConfig::default());
+    report.races.len()
+}
+
+fn main() {
+    let without = run(false);
+    let with = run(true);
+    println!("custom spinlock program, 4 threads x 50 locked increments");
+    println!("races reported WITHOUT sync config: {without}");
+    println!("races reported WITH    sync config: {with}");
+    assert!(without > 0, "an invisible lock must produce spurious reports");
+    assert_eq!(with, 0, "the configured lock protects every access");
+    println!(
+        "\nthe config is all HawkSet needs — no annotations, drivers or source changes \
+         (the paper reports the P-CLHT/APEX extraction took under an hour, §5.5)."
+    );
+}

@@ -1,0 +1,51 @@
+//! Hunt the Fast-Fair bugs with a YCSB workload — the §5.1 experience in
+//! one binary.
+//!
+//! Drives the Fast-Fair PM B+-tree with the paper's workload shape (1k-
+//! insert load phase, 8 threads, 30/30/30/10 zipfian mix), runs the
+//! analysis, scores the reports against the ground truth, and prints a
+//! Table 2-style summary: bug #1 (the known grow-split race) and bug #2
+//! (the previously unknown cascading-split edge case) both surface from a
+//! single execution.
+//!
+//! Run with: `cargo run --example fastfair_hunt [ops]`
+
+use hawkset::apps::fastfair::FastFairApp;
+use hawkset::apps::{score, Application, RaceClass};
+use hawkset::core::analysis::{analyze, AnalysisConfig};
+
+fn main() {
+    let ops = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let app = FastFairApp;
+    println!("running Fast-Fair with {ops} main-phase operations on 8 threads...");
+    let wl = app.default_workload(ops, 42);
+    let trace = app.execute(&wl);
+    println!("recorded {} events ({} PM accesses)", trace.events.len(), trace.access_count());
+
+    let report = analyze(&trace, &AnalysisConfig::default());
+    let breakdown = score(&report.races, &app.known_races());
+
+    println!("\n{} distinct persistency-induced races reported:", report.races.len());
+    for race in &report.races {
+        let class = app
+            .known_races()
+            .iter()
+            .find(|k| k.matches(race))
+            .map(|k| match (k.class, k.id) {
+                (RaceClass::Malign, id) => format!("MALIGN (Table 2 bug #{id})"),
+                (RaceClass::Benign, _) => "benign".to_string(),
+            })
+            .unwrap_or_else(|| "unclassified".to_string());
+        println!("  [{class}] {}", race.summary());
+    }
+
+    println!("\ndetected Table 2 bug ids: {:?}", breakdown.detected_ids);
+    let (mr, br, fp) = breakdown.counts();
+    println!("breakdown: {mr} malign / {br} benign / {fp} false positives");
+    if breakdown.detected_ids.contains(&1) && breakdown.detected_ids.contains(&2) {
+        println!("\nboth Fast-Fair bugs found in ONE execution — no guided schedules needed.");
+    } else {
+        println!("\nworkload lacked coverage for some bug (try more ops): a workload must");
+        println!("exercise the racy operations for lockset analysis to see them (§5.2).");
+    }
+}

@@ -1,0 +1,60 @@
+//! # HawkSet (Rust reproduction)
+//!
+//! Automatic, application-agnostic, and efficient concurrent PM bug
+//! detection — a from-scratch Rust reproduction of the EuroSys 2025 paper
+//! *HawkSet* by Oliveira, Gonçalves and Matos.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] ([`hawkset_core`]) — the paper's contribution: trace model,
+//!   worst-case persistence simulation, Initialization Removal Heuristic,
+//!   and the PM-aware lockset analysis with effective locksets and
+//!   inter-thread happens-before pruning;
+//! * [`runtime`] ([`pm_runtime`]) — the instrumentation substrate standing
+//!   in for Intel PIN: simulated PM pools, `clwb`/`sfence` primitives,
+//!   instrumented locks/threads, crash images;
+//! * [`apps`] ([`pm_apps`]) — the nine evaluated PM applications with
+//!   their historical bugs (Table 1 / Table 2);
+//! * [`baseline`] ([`pmrace`]) — the observation-based fuzzing baseline;
+//! * [`workloads`] ([`pm_workloads`]) — YCSB-style workload generation.
+//!
+//! # Examples
+//!
+//! Detect the paper's Figure-1c race in five lines of setup:
+//!
+//! ```
+//! use hawkset::core::analysis::{analyze, AnalysisConfig};
+//! use hawkset::runtime::{PmEnv, PmMutex};
+//! use std::sync::Arc;
+//!
+//! let env = PmEnv::new();
+//! let pool = env.map_pool("/mnt/pmem/demo", 4096);
+//! let main = env.main_thread();
+//! let (x, lock) = (pool.base(), Arc::new(PmMutex::new(&env, ())));
+//! pool.store_u64(&main, x, 0);
+//! pool.persist(&main, x, 8);
+//!
+//! let (p, l) = (pool.clone(), Arc::clone(&lock));
+//! let t1 = env.spawn(&main, move |t| {
+//!     let g = l.lock(t);
+//!     p.store_u64(t, x, 42);
+//!     drop(g);
+//!     p.persist(t, x, 8); // persisted outside the critical section
+//! });
+//! let (p, l) = (pool.clone(), Arc::clone(&lock));
+//! let t2 = env.spawn(&main, move |t| {
+//!     let _g = l.lock(t);
+//!     p.load_u64(t, x)
+//! });
+//! t1.join(&main);
+//! t2.join(&main);
+//!
+//! let report = analyze(&env.finish(), &AnalysisConfig::default());
+//! assert_eq!(report.races.len(), 1);
+//! ```
+
+pub use hawkset_core as core;
+pub use pm_apps as apps;
+pub use pm_runtime as runtime;
+pub use pm_workloads as workloads;
+pub use pmrace as baseline;

@@ -1,0 +1,95 @@
+//! End-to-end crash consequence: the malign races of Table 2 are malign
+//! because a crash in the window loses data another thread already acted
+//! on. This test forces the Fast-Fair bug #1 interleaving with explicit
+//! batons, crashes inside the window, and verifies the loss in the
+//! recovered tree — then shows the fixed configuration survives the same
+//! schedule.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use hawkset::apps::fastfair::{FastFair, FastFairBugs};
+use hawkset::runtime::PmEnv;
+
+/// Count keys reachable in a recovered pool by reopening it in a fresh
+/// environment and probing every inserted key.
+fn recovered_hits(image: Vec<u8>, keys: &[u64]) -> usize {
+    let env = PmEnv::new();
+    let pool = env.map_pool_from_image("/mnt/pmem/ff-recovered", image);
+    let t = env.main_thread();
+    let tree = FastFair::open(&env, &pool, FastFairBugs::default());
+    keys.iter().filter(|&&k| tree.get(&t, k).is_some()).count()
+}
+
+fn run(bugs: FastFairBugs) -> (usize, usize, Vec<u64>) {
+    let env = PmEnv::new();
+    let pool = env.map_pool("/mnt/pmem/ff-crash", 1 << 22);
+    let main = env.main_thread();
+    let tree = Arc::new(FastFair::create(&env, &pool, &main, bugs));
+
+    // Grow the tree enough that inserts go through parent updates, and
+    // make everything so far durable.
+    let setup_keys: Vec<u64> = (0..64).map(|i| i * 10).collect();
+    for &k in &setup_keys {
+        tree.insert(&main, k, k + 1);
+    }
+    tree.quiesce(&main);
+
+    // Writer: one more burst of inserts that split leaves and update
+    // parents (the bug-#1 window), then hand the baton over WITHOUT
+    // quiescing — with the bug, the parent entries are not yet durable.
+    let burst: Vec<u64> = (0..24).map(|i| 1_000 + i).collect();
+    let (tx, rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let t1 = {
+        let tree = Arc::clone(&tree);
+        let burst = burst.clone();
+        env.spawn(&main, move |t| {
+            for &k in &burst {
+                tree.insert(t, k, k + 1);
+            }
+            tx.send(()).expect("reader alive");
+            done_rx.recv().expect("main alive"); // crash happens before this
+            tree.quiesce(t); // the late persists, post-crash-point
+        })
+    };
+    // Reader: observes the burst (acts on the unpersisted state).
+    let observed = {
+        let tree = Arc::clone(&tree);
+        let burst = burst.clone();
+        env.spawn(&main, move |t| {
+            rx.recv().expect("writer alive");
+            burst.iter().filter(|&&k| tree.get(t, k).is_some()).count()
+        })
+    }
+    .join(&main);
+
+    // --- CRASH --- while the writer's parent persists are still pending.
+    let image = pool.crash_image();
+    done_tx.send(()).expect("writer alive");
+    t1.join(&main);
+    let survived = recovered_hits(image, &burst);
+    (observed, survived, burst)
+}
+
+#[test]
+fn bug1_crash_loses_data_a_reader_already_observed() {
+    let (observed, survived, burst) = run(FastFairBugs::default());
+    assert_eq!(observed, burst.len(), "the reader saw every burst key (visible)");
+    assert!(
+        survived < burst.len(),
+        "with the bug, the crash must lose burst keys the reader observed \
+         (observed {observed}, survived {survived})"
+    );
+}
+
+#[test]
+fn fixed_tree_survives_the_same_schedule() {
+    let (observed, survived, burst) = run(FastFairBugs { late_parent_persist: false });
+    assert_eq!(observed, burst.len());
+    assert_eq!(
+        survived,
+        burst.len(),
+        "with persists inside the critical sections, nothing is lost"
+    );
+}

@@ -1,0 +1,223 @@
+//! Cross-crate integration tests: runtime → trace → (codec) → analysis.
+
+use std::sync::Arc;
+
+use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::sync_config::SyncConfig;
+use hawkset::core::trace::io;
+use hawkset::runtime::{run_workers, CustomSpinLock, PmEnv, PmMutex, PmRwLock};
+
+/// Figure 1c through the real runtime: detected regardless of interleaving.
+#[test]
+fn figure_1c_detected_end_to_end() {
+    let env = PmEnv::new();
+    let pool = env.map_pool("/mnt/pmem/e2e-fig1c", 4096);
+    let main = env.main_thread();
+    let x = pool.base();
+    let lock = Arc::new(PmMutex::new(&env, ()));
+    pool.store_u64(&main, x, 0);
+    pool.persist(&main, x, 8);
+
+    let (p, l) = (pool.clone(), Arc::clone(&lock));
+    let t1 = env.spawn(&main, move |t| {
+        let g = l.lock(t);
+        p.store_u64(t, x, 42);
+        drop(g);
+        p.persist(t, x, 8);
+    });
+    let (p, l) = (pool.clone(), Arc::clone(&lock));
+    let t2 = env.spawn(&main, move |t| {
+        let _g = l.lock(t);
+        p.load_u64(t, x)
+    });
+    t1.join(&main);
+    t2.join(&main);
+
+    let trace = env.finish();
+    assert!(trace.validate().is_ok());
+    let report = analyze(&trace, &AnalysisConfig::default());
+    assert_eq!(report.races.len(), 1);
+    assert!(report.races[0].effective_lockset_empty);
+}
+
+/// The same program with the persist inside the critical section and the
+/// reader under the lock is clean.
+#[test]
+fn correctly_synchronized_program_is_clean() {
+    let env = PmEnv::new();
+    let pool = env.map_pool("/mnt/pmem/e2e-clean", 4096);
+    let main = env.main_thread();
+    let x = pool.base();
+    let lock = Arc::new(PmMutex::new(&env, ()));
+    pool.store_u64(&main, x, 0);
+    pool.persist(&main, x, 8);
+
+    let p = pool.clone();
+    let l = Arc::clone(&lock);
+    run_workers(&env, &main, 4, move |i, t| {
+        for _ in 0..20 {
+            let _g = l.lock(t);
+            if i % 2 == 0 {
+                p.store_u64(t, x, i as u64);
+                p.persist(t, x, 8);
+            } else {
+                p.load_u64(t, x);
+            }
+        }
+    });
+    let report = analyze(&env.finish(), &AnalysisConfig::default());
+    assert!(
+        report.is_clean(),
+        "locked store+persist vs locked load cannot race: {:?}",
+        report.races.iter().map(|r| r.summary()).collect::<Vec<_>>()
+    );
+}
+
+/// rwlock semantics: two shared holders do not exclude each other, so a
+/// reader-locked load still races with a writer whose persist escaped the
+/// write critical section.
+#[test]
+fn rwlock_modes_are_understood() {
+    let env = PmEnv::new();
+    let pool = env.map_pool("/mnt/pmem/e2e-rw", 4096);
+    let main = env.main_thread();
+    let x = pool.base();
+    let rw = Arc::new(PmRwLock::new(&env, ()));
+    pool.store_u64(&main, x, 0);
+    pool.persist(&main, x, 8);
+
+    // Writer: store under the write lock, persist inside — proper.
+    let (p, l) = (pool.clone(), Arc::clone(&rw));
+    let w = env.spawn(&main, move |t| {
+        let _g = l.write(t);
+        p.store_u64(t, x, 1);
+        p.persist(t, x, 8);
+    });
+    // Reader: load under the read lock.
+    let (p, l) = (pool.clone(), Arc::clone(&rw));
+    let r = env.spawn(&main, move |t| {
+        let _g = l.read(t);
+        p.load_u64(t, x)
+    });
+    w.join(&main);
+    r.join(&main);
+    let report = analyze(&env.finish(), &AnalysisConfig::default());
+    assert!(
+        report.is_clean(),
+        "write-lock store+persist vs read-lock load is protected: {:?}",
+        report.races.iter().map(|r| r.summary()).collect::<Vec<_>>()
+    );
+}
+
+/// Traces survive the binary codec with identical analysis results.
+#[test]
+fn codec_roundtrip_preserves_analysis() {
+    let env = PmEnv::new();
+    let pool = env.map_pool("/mnt/pmem/e2e-codec", 1 << 16);
+    let main = env.main_thread();
+    let base = pool.base();
+    let p = pool.clone();
+    run_workers(&env, &main, 4, move |i, t| {
+        for k in 0..40u64 {
+            let addr = base + ((i as u64 * 41 + k) % 64) * 8;
+            if k % 3 == 0 {
+                p.store_u64(t, addr, k);
+                if k % 6 == 0 {
+                    p.persist(t, addr, 8);
+                }
+            } else {
+                p.load_u64(t, addr);
+            }
+        }
+    });
+    let trace = env.finish();
+    let decoded = io::decode(io::encode(&trace)).expect("roundtrip");
+    let a = analyze(&trace, &AnalysisConfig::default());
+    let b = analyze(&decoded, &AnalysisConfig::default());
+    assert_eq!(a.races.len(), b.races.len());
+    for (ra, rb) in a.races.iter().zip(&b.races) {
+        assert_eq!(ra.store_site_str(), rb.store_site_str());
+        assert_eq!(ra.load_site_str(), rb.load_site_str());
+        assert_eq!(ra.pair_count, rb.pair_count);
+    }
+    assert_eq!(a.stats.pairing.candidate_pairs, b.stats.pairing.candidate_pairs);
+}
+
+/// §5.5 end to end: an unconfigured custom primitive is invisible; the
+/// same run with the config is clean.
+#[test]
+fn sync_config_gates_custom_primitives() {
+    let run = |with_cfg: bool| {
+        let env = PmEnv::new();
+        if with_cfg {
+            env.add_sync_config(
+                SyncConfig::from_json(
+                    r#"{"primitives": [
+                        {"function": "l", "kind": "acquire", "mode": "Exclusive"},
+                        {"function": "u", "kind": "release"}
+                    ]}"#,
+                )
+                .unwrap(),
+            );
+        }
+        let pool = env.map_pool("/mnt/pmem/e2e-cfg", 4096);
+        let main = env.main_thread();
+        let x = pool.base();
+        pool.store_u64(&main, x, 0);
+        pool.persist(&main, x, 8);
+        let lock = Arc::new(CustomSpinLock::new(&env, "l", "u"));
+        let p = pool.clone();
+        run_workers(&env, &main, 3, move |i, t| {
+            for _ in 0..10 {
+                lock.lock(t);
+                if i == 0 {
+                    p.store_u64(t, x, 7);
+                    p.persist(t, x, 8);
+                } else {
+                    p.load_u64(t, x);
+                }
+                lock.unlock(t);
+            }
+        });
+        analyze(&env.finish(), &AnalysisConfig::default()).races.len()
+    };
+    assert!(run(false) > 0);
+    assert_eq!(run(true), 0);
+}
+
+/// Crash-image semantics across the runtime: only flushed+fenced bytes
+/// survive; `map_pool_from_image` reopens the state for recovery.
+#[test]
+fn crash_image_recovery_cycle() {
+    let env = PmEnv::new();
+    let pool = env.map_pool("/mnt/pmem/e2e-crash", 4096);
+    let main = env.main_thread();
+    let base = pool.base();
+    pool.store_u64(&main, base, 0xAAAA);
+    pool.persist(&main, base, 8);
+    pool.store_u64(&main, base + 8, 0xBBBB); // never persisted
+    pool.store_u64(&main, base + 64, 0xCCCC);
+    pool.flush(&main, base + 64); // flushed but never fenced
+
+    let image = pool.crash_image();
+    let env2 = PmEnv::new();
+    let recovered = env2.map_pool_from_image("/mnt/pmem/e2e-crash", image);
+    let t = env2.main_thread();
+    assert_eq!(recovered.load_u64(&t, recovered.base()), 0xAAAA);
+    assert_eq!(recovered.load_u64(&t, recovered.base() + 8), 0, "unpersisted store lost");
+    assert_eq!(recovered.load_u64(&t, recovered.base() + 64), 0, "unfenced flush lost");
+}
+
+/// The analysis is deterministic: analyzing the same trace twice yields
+/// identical reports.
+#[test]
+fn analysis_is_deterministic() {
+    let app = hawkset::apps::fastfair::FastFairApp;
+    use hawkset::apps::Application;
+    let wl = app.default_workload(300, 5);
+    let trace = app.execute(&wl);
+    let a = analyze(&trace, &AnalysisConfig::default());
+    let b = analyze(&trace, &AnalysisConfig::default());
+    assert_eq!(a.races.len(), b.races.len());
+    assert_eq!(a.stats.pairing, b.stats.pairing);
+}

@@ -1,0 +1,101 @@
+//! Property-based tests over workload generation and the runtime
+//! allocator.
+
+use hawkset::runtime::{PmAllocator, PmEnv};
+use hawkset::workloads::zipfian::{KeyDistribution, ScrambledZipfian, Uniform, Zipfian};
+use hawkset::workloads::{mutate, OpMix, WorkloadSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// All distributions stay in range for arbitrary sizes and seeds.
+    #[test]
+    fn distributions_stay_in_range(n in 1u64..5_000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut u = Uniform::new(n);
+        let mut z = Zipfian::new(n);
+        let mut s = ScrambledZipfian::new(n);
+        for _ in 0..64 {
+            prop_assert!(u.next(&mut rng) < n);
+            prop_assert!(z.next(&mut rng) < n);
+            prop_assert!(s.next(&mut rng) < n);
+        }
+    }
+
+    /// Workload generation is a pure function of the spec.
+    #[test]
+    fn workloads_are_deterministic(ops in 1u64..2_000, seed in any::<u64>(), threads in 1u32..12) {
+        let spec = WorkloadSpec {
+            load_ops: 50,
+            main_ops: ops,
+            threads,
+            mix: OpMix::PAPER,
+            distribution: hawkset::workloads::Distribution::Zipfian,
+            key_space: 100 + ops,
+            seed,
+            fresh_ratio: 33,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.main_ops() as u64, ops);
+        prop_assert_eq!(a.per_thread.len(), threads as usize);
+        prop_assert_eq!(a.load.len(), 50);
+    }
+
+    /// Mutation keeps workloads near the seed: same thread count, size
+    /// within a small delta, and determinism per round.
+    #[test]
+    fn mutation_stays_near_the_seed(seed in any::<u64>(), round in 1u64..50) {
+        let base = WorkloadSpec::pmrace_seed(seed % 1000).generate();
+        let m1 = mutate(&base, seed, round);
+        let m2 = mutate(&base, seed, round);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(m1.per_thread.len(), base.per_thread.len());
+        let delta = (m1.main_ops() as i64 - base.main_ops() as i64).abs();
+        prop_assert!(delta <= 8, "mutation moved too far: {delta}");
+    }
+
+    /// The PM allocator hands out disjoint, in-bounds, aligned blocks.
+    #[test]
+    fn allocator_blocks_are_disjoint(sizes in proptest::collection::vec(1u64..512, 1..40)) {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/prop-alloc", 1 << 18);
+        let alloc = PmAllocator::new(&pool, 64);
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for size in sizes {
+            let Ok(addr) = alloc.alloc(size) else { break };
+            prop_assert_eq!(addr % 64, 0);
+            prop_assert!(addr >= pool.base() + 64);
+            prop_assert!(addr + size <= pool.base() + pool.len());
+            for &(a, s) in &blocks {
+                prop_assert!(addr + size <= a || a + s <= addr, "blocks overlap");
+            }
+            blocks.push((addr, size));
+        }
+    }
+
+    /// Free + alloc of the same class reuses addresses (the IRH-defeating
+    /// behaviour) and never double-hands a live block.
+    #[test]
+    fn allocator_reuse_is_sound(n in 1usize..20) {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/prop-reuse", 1 << 18);
+        let alloc = PmAllocator::new(&pool, 0);
+        let blocks: Vec<u64> = (0..n).map(|_| alloc.alloc(64).unwrap()).collect();
+        for &b in &blocks {
+            alloc.free(b);
+        }
+        let again: Vec<u64> = (0..n).map(|_| alloc.alloc(64).unwrap()).collect();
+        // Every reallocation reuses one of the freed addresses...
+        for &b in &again {
+            prop_assert!(blocks.contains(&b));
+        }
+        // ...and no address is handed out twice.
+        let mut sorted = again.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), again.len());
+    }
+}
