@@ -7,15 +7,16 @@
 //!
 //! ```text
 //! hawkset analyze <trace.hwkt> [--no-irh] [--no-atomics] [--json]
+//!                              [--lenient] [--salvage] [--max-pairs N]
 //! hawkset info    <trace.hwkt>
 //! hawkset demo    <out.hwkt>
 //! ```
 
 use std::process::ExitCode;
 
-use hawkset_core::analysis::{analyze, AnalysisConfig};
+use hawkset_core::analysis::{try_analyze, AnalysisConfig, Strictness};
 use hawkset_core::trace::io;
-use hawkset_core::Trace;
+use hawkset_core::{HawkSetError, Trace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +39,7 @@ const USAGE: &str = "\
 hawkset — automatic, application-agnostic concurrent PM bug detection
 
 USAGE:
-    hawkset analyze <trace.hwkt> [--no-irh] [--no-atomics] [--json]
+    hawkset analyze <trace.hwkt> [OPTIONS]
     hawkset info    <trace.hwkt>
     hawkset demo    <out.hwkt>
 
@@ -54,23 +55,67 @@ ANALYZE OPTIONS:
     --store-store   also pair stores against stores (off by design, §3.1.1)
     --eadr          assume an eADR platform (§2.1): no race can exist
     --json          emit machine-readable race reports
+    --strict        reject ill-formed traces up front (default)
+    --lenient       quarantine ill-formed events and analyze the rest
+    --salvage       recover the longest valid event prefix of a corrupted
+                    trace file instead of rejecting it
+    --max-pairs N   stop pairing after N candidate pairs (report marked
+                    truncated; races found in budget are still reported)
+    --max-events N  analyze only the first N events of the trace
 
 EXIT STATUS:
     0  no persistency-induced race found
-    1  races were reported
-    2  usage or I/O error
+    1  races were reported (analyze); trace failed validation (info)
+    2  usage, I/O, decode or strict-mode validation error
 ";
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    io::decode(bytes::Bytes::from(raw)).map_err(|e| format!("cannot decode {path}: {e}"))
+/// Parses `--flag N` / `--flag=N` style values; advances `i` past a
+/// space-separated value.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String> {
+    let a = &args[*i];
+    let raw = if let Some(rest) = a.strip_prefix(&format!("{flag}=")) {
+        rest.to_string()
+    } else {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))?
+    };
+    raw.parse::<u64>().map_err(|_| format!("{flag} needs an integer, got `{raw}`"))
+}
+
+fn load_trace(path: &str) -> Result<Trace, HawkSetError> {
+    io::load_file(std::path::Path::new(path), None)
+}
+
+/// Loads with lossy salvage: a clean file loads fully; a truncated or
+/// tail-corrupted file yields its longest valid event prefix, with a note
+/// on stderr. Corruption that precedes the event stream (header, tables)
+/// is not salvageable and still fails.
+fn load_trace_salvage(path: &str) -> Result<Trace, HawkSetError> {
+    let raw = std::fs::read(path).map_err(HawkSetError::Io)?;
+    let salvage = io::decode_lossy(bytes::Bytes::from(raw))?;
+    if !salvage.is_complete() {
+        eprintln!(
+            "hawkset: salvaged {} event(s) from {path}: dropped {} event(s) and {} byte(s){}",
+            salvage.trace.events.len(),
+            salvage.dropped_events,
+            salvage.dropped_bytes,
+            match salvage.reason {
+                Some(e) => format!(" ({e})"),
+                None => String::new(),
+            },
+        );
+    }
+    Ok(salvage.trace)
 }
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut path = None;
     let mut cfg = AnalysisConfig::default();
     let mut json = false;
-    for a in args {
+    let mut salvage = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
         match a.as_str() {
             "--no-irh" => cfg.irh = false,
             "--no-atomics" => cfg.include_atomics = false,
@@ -78,25 +123,54 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--store-store" => cfg.check_store_store = true,
             "--eadr" => cfg.eadr = true,
             "--json" => json = true,
+            "--strict" => cfg.strictness = Strictness::Strict,
+            "--lenient" => cfg.strictness = Strictness::Lenient,
+            "--salvage" => salvage = true,
+            flag if flag == "--max-pairs" || flag.starts_with("--max-pairs=") => {
+                match flag_value(args, &mut i, "--max-pairs") {
+                    Ok(v) => cfg.budget.max_candidate_pairs = Some(v),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--max-events" || flag.starts_with("--max-events=") => {
+                match flag_value(args, &mut i, "--max-events") {
+                    Ok(v) => cfg.budget.max_events = Some(v),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("hawkset analyze: unknown flag {flag}");
                 return ExitCode::from(2);
             }
             p => path = Some(p.to_string()),
         }
+        i += 1;
     }
     let Some(path) = path else {
         eprintln!("hawkset analyze: missing trace path\n{USAGE}");
         return ExitCode::from(2);
     };
-    let trace = match load_trace(&path) {
+    let loaded = if salvage { load_trace_salvage(&path) } else { load_trace(&path) };
+    let trace = match loaded {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("hawkset: {e}");
+            eprintln!("hawkset: {path}: {e}");
             return ExitCode::from(2);
         }
     };
-    let report = analyze(&trace, &cfg);
+    let report = match try_analyze(&trace, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hawkset: {path}: {e} (use --lenient to quarantine and continue)");
+            return ExitCode::from(2);
+        }
+    };
     if json {
         println!("{}", report.to_json());
     } else {
@@ -104,7 +178,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         let s = &report.stats;
         println!(
             "\n{} events ({} stores, {} loads, {} flushes, {} fences), \
-             {} windows, {} IRH-discarded, {} candidate pairs, {} races, {:?}",
+             {} windows, {} IRH-discarded, {} candidate pairs, {} races, {}",
             s.sim.events,
             s.sim.stores,
             s.sim.loads,
@@ -114,7 +188,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             s.sim.irh_discarded_windows,
             s.pairing.candidate_pairs,
             s.pairing.distinct_races,
-            s.duration,
+            format_duration(s.duration),
         );
     }
     if report.is_clean() {
@@ -124,15 +198,31 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     }
 }
 
+/// Fixed-format duration rendering (`1.84 ms`), stable across locales and
+/// `Duration`'s unit-switching `Debug` output.
+fn format_duration(d: std::time::Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
 fn cmd_info(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
+    let mut path = None;
+    for a in args {
+        match a.as_str() {
+            flag if flag.starts_with("--") => {
+                eprintln!("hawkset info: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            p => path = Some(p.to_string()),
+        }
+    }
+    let Some(path) = path else {
         eprintln!("hawkset info: missing trace path");
         return ExitCode::from(2);
     };
-    let trace = match load_trace(path) {
+    let trace = match load_trace(&path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("hawkset: {e}");
+            eprintln!("hawkset: {path}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -145,10 +235,15 @@ fn cmd_info(args: &[String]) -> ExitCode {
         println!("region:       {:#x}+{} ({})", r.base, r.len, r.path);
     }
     match trace.validate() {
-        Ok(()) => println!("validation:   ok"),
-        Err(e) => println!("validation:   FAILED ({e})"),
+        Ok(()) => {
+            println!("validation:   ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("validation:   FAILED ({e})");
+            ExitCode::from(1)
+        }
     }
-    ExitCode::SUCCESS
 }
 
 /// Records the Figure-1c program — store under lock, persist outside it,
@@ -157,7 +252,17 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     use hawkset_core::addr::AddrRange;
     use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, PmRegion, ThreadId, TraceBuilder};
 
-    let Some(path) = args.first() else {
+    let mut path = None;
+    for a in args {
+        match a.as_str() {
+            flag if flag.starts_with("--") => {
+                eprintln!("hawkset demo: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            p => path = Some(p.to_string()),
+        }
+    }
+    let Some(path) = path else {
         eprintln!("hawkset demo: missing output path");
         return ExitCode::from(2);
     };
@@ -179,7 +284,7 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
     let trace = b.finish();
     let encoded = io::encode(&trace);
-    if let Err(e) = std::fs::write(path, &encoded) {
+    if let Err(e) = std::fs::write(&path, &encoded) {
         eprintln!("hawkset: cannot write {path}: {e}");
         return ExitCode::from(2);
     }

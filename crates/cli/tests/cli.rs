@@ -86,3 +86,160 @@ fn analyze_rejects_unknown_flags() {
     let out = hawkset().args(["analyze", "--frobnicate", "x.hwkt"]).output().expect("spawn");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn info_and_demo_reject_unknown_flags() {
+    let out = hawkset().args(["info", "--frobnicate", "x.hwkt"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+    let out = hawkset().args(["demo", "--frobnicate", "x.hwkt"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn stats_line_renders_duration_in_fixed_ms() {
+    let path = demo_trace("duration");
+    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let stats = text.lines().last().unwrap();
+    assert!(stats.ends_with(" ms"), "stats line must use fixed ms units:\n{stats}");
+    assert!(!stats.contains("µs") && !stats.contains("ns"), "no Debug unit switching:\n{stats}");
+}
+
+/// Rewrites the demo trace with semantically ill-formed events spliced in —
+/// a release of a lock nobody holds and an access by a thread that is never
+/// created — structurally valid, so it decodes, but strict validation must
+/// reject it.
+fn ill_formed_trace(name: &str) -> PathBuf {
+    use hawkset_core::trace::io;
+    use hawkset_core::trace::{Event, EventKind, LockId, ThreadId};
+
+    let demo = demo_trace(name);
+    let raw = std::fs::read(&demo).unwrap();
+    let mut trace = io::decode(bytes::Bytes::from(raw)).unwrap();
+    let stack = trace.events[0].stack;
+    trace.events.insert(
+        0,
+        Event { seq: 0, tid: ThreadId(0), stack, kind: EventKind::Release { lock: LockId(0xbad) } },
+    );
+    // Room for a thread id that passes decode's range check but is never
+    // ThreadCreate'd: an orphan.
+    trace.thread_count += 1;
+    let orphan = ThreadId(trace.thread_count - 1);
+    trace.events.push(Event { seq: 0, tid: orphan, stack, kind: EventKind::Fence });
+    for (i, ev) in trace.events.iter_mut().enumerate() {
+        ev.seq = i as u64;
+    }
+    let path = std::env::temp_dir().join(format!("hawkset-cli-test-{name}-ill.hwkt"));
+    std::fs::write(&path, io::encode(&trace)).unwrap();
+    path
+}
+
+#[test]
+fn strict_mode_rejects_ill_formed_trace_with_exit_2() {
+    let path = ill_formed_trace("strict");
+    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("validation failed"), "stderr:\n{err}");
+    assert!(err.contains("--lenient"), "stderr should hint at lenient mode:\n{err}");
+}
+
+#[test]
+fn lenient_mode_quarantines_and_still_reports_the_race() {
+    let path = ill_formed_trace("lenient");
+    let out = hawkset()
+        .args(["analyze", "--lenient", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "the Figure-1c race must still be found");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 persistency-induced race(s) detected"), "stdout:\n{text}");
+    assert!(text.contains("quarantined 2 ill-formed event(s)"), "stdout:\n{text}");
+    assert!(text.contains("1 dangling release"), "stdout:\n{text}");
+    assert!(text.contains("1 orphan thread"), "stdout:\n{text}");
+
+    // Same races as the clean demo trace, site for site.
+    let clean = demo_trace("lenient-clean");
+    let clean_out = hawkset()
+        .args(["analyze", "--json", clean.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    let ill_out = hawkset()
+        .args(["analyze", "--json", "--lenient", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    let clean_races: serde_json::Value = serde_json::from_slice(&clean_out.stdout).unwrap();
+    let ill_races: serde_json::Value = serde_json::from_slice(&ill_out.stdout).unwrap();
+    assert_eq!(clean_races, ill_races, "quarantine must not change the race report");
+}
+
+#[test]
+fn info_exits_1_on_failed_validation() {
+    let path = ill_formed_trace("info");
+    let out = hawkset().args(["info", path.to_str().unwrap()]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("validation:   FAILED"), "stdout:\n{text}");
+}
+
+#[test]
+fn salvage_recovers_truncated_trace() {
+    let demo = demo_trace("salvage");
+    let raw = std::fs::read(&demo).unwrap();
+    let cut = std::env::temp_dir().join("hawkset-cli-test-salvage-cut.hwkt");
+    std::fs::write(&cut, &raw[..raw.len() - 3]).unwrap();
+
+    // Without --salvage the truncated file is a hard decode error.
+    let out = hawkset().args(["analyze", cut.to_str().unwrap()]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+
+    // With --salvage the valid event prefix is analyzed. The demo race's
+    // flush/fence/join tail is cut off, which makes the store
+    // never-persisted — still a race, exit 1.
+    let out = hawkset()
+        .args(["analyze", "--salvage", cut.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("salvaged"));
+}
+
+#[test]
+fn max_pairs_budget_truncates_the_report() {
+    let path = demo_trace("budget");
+    let out = hawkset()
+        .args(["analyze", "--max-pairs", "0", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "nothing in budget, nothing reported");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("analysis truncated by candidate-pair budget"),
+        "stdout:\n{text}"
+    );
+
+    // A generous budget behaves exactly like no budget.
+    let out = hawkset()
+        .args(["analyze", "--max-pairs=1000", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("truncated"));
+}
+
+#[test]
+fn max_pairs_rejects_non_integer_values() {
+    let out = hawkset()
+        .args(["analyze", "--max-pairs", "lots", "x.hwkt"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("integer"));
+}

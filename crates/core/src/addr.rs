@@ -56,9 +56,13 @@ impl AddrRange {
     }
 
     /// One byte past the end of the range.
+    ///
+    /// Saturating: a corrupt trace can carry a range whose end would wrap
+    /// past the address space, and the analysis must degrade rather than
+    /// panic on it (real accesses never get near the top of the space).
     #[inline]
     pub const fn end(&self) -> PmAddr {
-        self.start + self.len as u64
+        self.start.saturating_add(self.len as u64)
     }
 
     /// Returns `true` if the two ranges share at least one byte.

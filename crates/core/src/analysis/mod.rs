@@ -15,12 +15,105 @@ pub mod report;
 
 use std::collections::HashMap;
 
+use crate::error::HawkSetError;
 use crate::lockset::{LockEntry, Lockset};
 use crate::memsim::{simulate, AccessSet, CloseReason, SimConfig, SimStats};
-use crate::trace::Trace;
+use crate::trace::{Event, EventKind, LockId, ThreadId, Trace};
 use crate::vclock::ClockOrder;
 
 pub use report::{AnalysisReport, Race, RaceKey};
+
+/// How [`try_analyze`] treats an ill-formed trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strictness {
+    /// Reject the trace up front if [`Trace::validate`] fails.
+    #[default]
+    Strict,
+    /// Quarantine ill-formed events (counted per category in
+    /// [`QuarantineStats`]) and analyze the rest.
+    Lenient,
+}
+
+/// Resource budget for one analysis run. Exceeding a budget stops the run
+/// early and marks the report as truncated ([`Coverage`]) — it is never an
+/// error: a partial race report from a bounded run is the point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisBudget {
+    /// Stop pairing once this many candidate pairs have been examined.
+    pub max_candidate_pairs: Option<u64>,
+    /// Feed at most this many leading events into the pipeline.
+    pub max_events: Option<u64>,
+    /// Stop pairing when this much wall-clock time has elapsed.
+    pub deadline: Option<std::time::Duration>,
+}
+
+/// Which budget stopped a truncated run first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// [`AnalysisBudget::max_events`].
+    Events,
+    /// [`AnalysisBudget::max_candidate_pairs`].
+    CandidatePairs,
+    /// [`AnalysisBudget::deadline`].
+    Deadline,
+}
+
+impl core::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BudgetExceeded::Events => write!(f, "event budget"),
+            BudgetExceeded::CandidatePairs => write!(f, "candidate-pair budget"),
+            BudgetExceeded::Deadline => write!(f, "deadline"),
+        }
+    }
+}
+
+/// How much of the trace a (possibly budget-truncated) run covered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// True when a budget stopped the run before full coverage.
+    pub truncated: bool,
+    /// The budget that stopped the run, when truncated.
+    pub reason: Option<BudgetExceeded>,
+    /// Events fed to the pipeline.
+    pub events_analyzed: u64,
+    /// Events in the input trace.
+    pub events_total: u64,
+    /// Store-window groups paired before the run stopped.
+    pub window_groups_examined: u64,
+    /// Store-window groups eligible for pairing.
+    pub window_groups_total: u64,
+}
+
+/// Per-category counters of events dropped by the lenient-mode quarantine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuarantineStats {
+    /// Releases of locks no thread held.
+    pub dangling_release: u64,
+    /// Events by threads that were never created (or out of range).
+    pub orphan_thread: u64,
+    /// Joins of threads that were never created.
+    pub join_before_create: u64,
+    /// Second (and later) creations of an already-created thread.
+    pub double_create: u64,
+    /// Events referencing stack ids with no table entry.
+    pub bad_stack: u64,
+    /// Accesses whose byte range is implausibly large or overflows the
+    /// address space — a corrupt length, not a real access.
+    pub wild_range: u64,
+}
+
+impl QuarantineStats {
+    /// Total quarantined events across all categories.
+    pub fn total(&self) -> u64 {
+        self.dangling_release
+            + self.orphan_thread
+            + self.join_before_create
+            + self.double_create
+            + self.bad_stack
+            + self.wild_range
+    }
+}
 
 /// Analysis options.
 #[derive(Clone, Debug)]
@@ -49,6 +142,11 @@ pub struct AnalysisConfig {
     /// lack. The switch exists to demonstrate the report explosion the
     /// design decision avoids.
     pub check_store_store: bool,
+    /// How [`try_analyze`] treats an ill-formed trace. [`analyze`] ignores
+    /// this: it never validates.
+    pub strictness: Strictness,
+    /// Resource budget; exceeding it truncates the run (see [`Coverage`]).
+    pub budget: AnalysisBudget,
 }
 
 impl Default for AnalysisConfig {
@@ -59,6 +157,8 @@ impl Default for AnalysisConfig {
             eadr: false,
             use_hb: true,
             check_store_store: false,
+            strictness: Strictness::Strict,
+            budget: AnalysisBudget::default(),
         }
     }
 }
@@ -93,6 +193,9 @@ pub struct PipelineStats {
     pub sim: SimStats,
     /// Stage-3 (pairing) counters.
     pub pairing: PairingStats,
+    /// Events dropped by the lenient-mode quarantine (all zero under
+    /// [`Strictness::Strict`] or plain [`analyze`]).
+    pub quarantine: QuarantineStats,
     /// Wall-clock duration of the whole pipeline.
     pub duration: std::time::Duration,
 }
@@ -100,14 +203,137 @@ pub struct PipelineStats {
 /// Runs the full HawkSet pipeline on a trace.
 ///
 /// This is the library's front door: instrumentation produces a [`Trace`],
-/// `analyze` returns the persistency-induced races.
+/// `analyze` returns the persistency-induced races. The trace is assumed
+/// well-formed (builder-produced or validated); for traces of unknown
+/// provenance use [`try_analyze`], which honors
+/// [`AnalysisConfig::strictness`].
 pub fn analyze(trace: &Trace, cfg: &AnalysisConfig) -> AnalysisReport {
     let started = std::time::Instant::now();
-    let access = simulate(trace, &SimConfig { irh: cfg.irh, eadr: cfg.eadr });
-    let mut report = pair(trace, &access, cfg);
+    let events_total = trace.events.len() as u64;
+    let capped;
+    let (trace_run, events_analyzed) = match cfg.budget.max_events {
+        Some(max) if events_total > max => {
+            capped = Trace {
+                events: trace.events[..max as usize].to_vec(),
+                stacks: trace.stacks.clone(),
+                regions: trace.regions.clone(),
+                thread_count: trace.thread_count,
+            };
+            (&capped, max)
+        }
+        _ => (trace, events_total),
+    };
+    let access = simulate(trace_run, &SimConfig { irh: cfg.irh, eadr: cfg.eadr });
+    let mut report = pair(trace_run, &access, cfg);
     report.stats.sim = access.stats.clone();
+    report.coverage.events_analyzed = events_analyzed;
+    report.coverage.events_total = events_total;
+    if events_analyzed < events_total {
+        report.coverage.truncated = true;
+        report.coverage.reason = Some(BudgetExceeded::Events);
+    }
     report.stats.duration = started.elapsed();
     report
+}
+
+/// Runs the pipeline with up-front strictness handling.
+///
+/// Under [`Strictness::Strict`] an ill-formed trace is rejected with a
+/// typed [`HawkSetError::Validate`]. Under [`Strictness::Lenient`] the
+/// ill-formed events are [quarantined](quarantine) — counted per category
+/// in [`PipelineStats::quarantine`] — and the remaining well-formed
+/// majority is analyzed normally.
+pub fn try_analyze(trace: &Trace, cfg: &AnalysisConfig) -> Result<AnalysisReport, HawkSetError> {
+    match cfg.strictness {
+        Strictness::Strict => {
+            trace.validate()?;
+            Ok(analyze(trace, cfg))
+        }
+        Strictness::Lenient => {
+            let (kept, stats) = quarantine(trace);
+            let mut report = analyze(&kept, cfg);
+            report.stats.quarantine = stats;
+            Ok(report)
+        }
+    }
+}
+
+/// Largest access size the quarantine accepts. Real PM accesses are at most
+/// a few cache lines; anything bigger in an untrusted trace is a corrupt
+/// length that would blow up the per-line simulation.
+const MAX_SANE_ACCESS_BYTES: u32 = 1 << 20;
+
+/// Splits a trace into its well-formed majority and per-category counts of
+/// the events that had to be dropped.
+///
+/// The kept trace preserves event order (re-sequenced densely) and shares
+/// the original's stacks and regions. Categories mirror
+/// [`QuarantineStats`]; the checks are the event-local subset of
+/// [`Trace::validate`] — global temporal invariants (join after the child's
+/// last event) do not make an event dangerous to analyze and are left in.
+pub fn quarantine(trace: &Trace) -> (Trace, QuarantineStats) {
+    let mut stats = QuarantineStats::default();
+    let thread_count = trace.thread_count.max(1) as usize;
+    let mut created = vec![false; thread_count];
+    created[ThreadId::MAIN.index()] = true;
+    let mut held: HashMap<LockId, u64> = HashMap::new();
+    let wild = |r: &crate::addr::AddrRange| {
+        r.len > MAX_SANE_ACCESS_BYTES || r.start.checked_add(u64::from(r.len)).is_none()
+    };
+    let mut kept = Trace {
+        events: Vec::with_capacity(trace.events.len()),
+        stacks: trace.stacks.clone(),
+        regions: trace.regions.clone(),
+        thread_count: thread_count as u32,
+    };
+    for ev in &trace.events {
+        if ev.tid.index() >= thread_count || !created[ev.tid.index()] {
+            stats.orphan_thread += 1;
+            continue;
+        }
+        if ev.stack as usize >= trace.stacks.stack_count() {
+            stats.bad_stack += 1;
+            continue;
+        }
+        match ev.kind {
+            EventKind::Store { range, .. } | EventKind::Load { range, .. } if wild(&range) => {
+                stats.wild_range += 1;
+                continue;
+            }
+            EventKind::ThreadCreate { child } => {
+                if child.index() >= thread_count {
+                    stats.orphan_thread += 1;
+                    continue;
+                }
+                if created[child.index()] {
+                    stats.double_create += 1;
+                    continue;
+                }
+                created[child.index()] = true;
+            }
+            EventKind::ThreadJoin { child }
+                if child.index() >= thread_count || !created[child.index()] =>
+            {
+                stats.join_before_create += 1;
+                continue;
+            }
+            EventKind::Acquire { lock, .. } => {
+                *held.entry(lock).or_insert(0) += 1;
+            }
+            EventKind::Release { lock } => {
+                let count = held.entry(lock).or_insert(0);
+                if *count == 0 {
+                    stats.dangling_release += 1;
+                    continue;
+                }
+                *count -= 1;
+            }
+            _ => {}
+        }
+        let seq = kept.events.len() as u64;
+        kept.events.push(Event { seq, ..ev.clone() });
+    }
+    (kept, stats)
 }
 
 /// Equivalence-class key of a store window for §4-style grouping:
@@ -120,8 +346,28 @@ type WinKey = (u64, u32, u32, u32, u32, u32, u32, u32, u8);
 type LoadKey = (u64, u32, u32, u32, u32, u32, bool);
 
 /// Stage 3: pair store windows with loads (optimized Algorithm 1).
+///
+/// Honors [`AnalysisBudget::max_candidate_pairs`] and
+/// [`AnalysisBudget::deadline`] (the deadline clock starts when `pair` is
+/// entered); a budgeted stop keeps every race found so far and marks the
+/// report's [`Coverage`] as truncated.
 pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> AnalysisReport {
     let mut stats = PairingStats::default();
+    let mut coverage = Coverage::default();
+    let deadline = cfg.budget.deadline.map(|d| std::time::Instant::now() + d);
+    let over_budget = |candidate_pairs: u64| -> Option<BudgetExceeded> {
+        if let Some(max) = cfg.budget.max_candidate_pairs {
+            if candidate_pairs >= max {
+                return Some(BudgetExceeded::CandidatePairs);
+            }
+        }
+        if let Some(at) = deadline {
+            if std::time::Instant::now() >= at {
+                return Some(BudgetExceeded::Deadline);
+            }
+        }
+        None
+    };
 
     // The inter-thread lockset intersection ignores acquisition timestamps
     // (§3.1.2: they are "only meaningful in the thread-local context"), so
@@ -249,8 +495,15 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
     // length, so no persistency-induced race can exist and pairing is
     // skipped wholesale.
     let window_groups_live: &[(u32, u64)] = if cfg.eadr { &[] } else { &window_groups };
+    coverage.window_groups_total = window_groups_live.len() as u64;
 
     for &(wi, wcount) in window_groups_live {
+        if let Some(reason) = over_budget(stats.candidate_pairs) {
+            coverage.truncated = true;
+            coverage.reason = Some(reason);
+            break;
+        }
+        coverage.window_groups_examined += 1;
         let win = &access.windows[wi as usize];
 
         candidates.clear();
@@ -372,7 +625,7 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
     // skips it: two stores lack the load-side-effect dependency that makes
     // a persistency-induced race harmful, and pairing them explodes the
     // report count on lock-free designs.
-    if cfg.check_store_store && !cfg.eadr {
+    if cfg.check_store_store && !cfg.eadr && !coverage.truncated {
         let mut by_word_stores: HashMap<u64, Vec<u32>> = HashMap::new();
         for (gi, &(wi, _)) in window_groups.iter().enumerate() {
             for word in access.windows[wi as usize].range.words() {
@@ -459,7 +712,13 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
 
     AnalysisReport {
         races,
-        stats: PipelineStats { sim: SimStats::default(), pairing: stats, duration: Default::default() },
+        stats: PipelineStats {
+            sim: SimStats::default(),
+            pairing: stats,
+            quarantine: QuarantineStats::default(),
+            duration: Default::default(),
+        },
+        coverage,
     }
 }
 
@@ -549,5 +808,157 @@ mod tests {
         assert_eq!(with_ss.races.len(), 1);
         assert!(with_ss.races[0].store_store);
         assert!(with_ss.races[0].summary().contains("store-store"));
+    }
+
+    /// Figure-1c trace with a dangling release of a never-acquired lock
+    /// spliced into the middle — semantically ill-formed, structurally fine.
+    fn fig1c_with_dangling_release() -> crate::Trace {
+        let mut trace = fig1c();
+        let bad = Event {
+            seq: 0,
+            tid: ThreadId(0),
+            stack: trace.events[0].stack,
+            kind: EventKind::Release { lock: LockId(0xbad) },
+        };
+        trace.events.insert(4, bad);
+        for (i, ev) in trace.events.iter_mut().enumerate() {
+            ev.seq = i as u64;
+        }
+        trace
+    }
+
+    #[test]
+    fn strict_try_analyze_rejects_ill_formed_trace() {
+        let trace = fig1c_with_dangling_release();
+        let err = try_analyze(&trace, &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, HawkSetError::Validate(_)));
+        assert!(err.to_string().contains("validation failed"));
+    }
+
+    #[test]
+    fn lenient_try_analyze_quarantines_and_still_finds_the_race() {
+        let trace = fig1c_with_dangling_release();
+        let cfg = AnalysisConfig { strictness: Strictness::Lenient, ..Default::default() };
+        let report = try_analyze(&trace, &cfg).unwrap();
+        assert_eq!(report.stats.quarantine.dangling_release, 1);
+        assert_eq!(report.stats.quarantine.total(), 1);
+        assert_eq!(report.races.len(), 1, "the Figure-1c race survives quarantine");
+        assert!(!report.coverage.truncated);
+    }
+
+    #[test]
+    fn lenient_matches_clean_run_on_well_formed_trace() {
+        let trace = fig1c();
+        let strict = try_analyze(&trace, &AnalysisConfig::default()).unwrap();
+        let lenient = try_analyze(
+            &trace,
+            &AnalysisConfig { strictness: Strictness::Lenient, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(strict.races.len(), lenient.races.len());
+        assert_eq!(lenient.stats.quarantine.total(), 0);
+    }
+
+    #[test]
+    fn max_events_budget_truncates_with_coverage() {
+        let trace = fig1c();
+        let cfg = AnalysisConfig {
+            budget: AnalysisBudget { max_events: Some(3), ..Default::default() },
+            ..Default::default()
+        };
+        let report = analyze(&trace, &cfg);
+        assert!(report.coverage.truncated);
+        assert_eq!(report.coverage.reason, Some(BudgetExceeded::Events));
+        assert_eq!(report.coverage.events_analyzed, 3);
+        assert_eq!(report.coverage.events_total, trace.events.len() as u64);
+        assert!(report.render(&trace).contains("analysis truncated by event budget"));
+    }
+
+    #[test]
+    fn max_candidate_pairs_budget_stops_pairing_but_keeps_found_races() {
+        // Two independent racy pairs on disjoint words; a budget of one
+        // candidate pair lets the first window group through and stops
+        // before the second.
+        let mut b = TraceBuilder::new();
+        let x = AddrRange::new(0x1000, 8);
+        let y = AddrRange::new(0x2000, 8);
+        let st = b.intern_stack([Frame::new("writer", "f.rs", 1)]);
+        let ld = b.intern_stack([Frame::new("reader", "f.rs", 2)]);
+        let st2 = b.intern_stack([Frame::new("writer2", "f.rs", 3)]);
+        let ld2 = b.intern_stack([Frame::new("reader2", "f.rs", 4)]);
+        b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+        b.push(ThreadId(0), st2, EventKind::Store { range: y, non_temporal: false, atomic: false });
+        b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+        b.push(ThreadId(1), ld2, EventKind::Load { range: y, atomic: false });
+        b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+        let trace = b.finish();
+
+        let full = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
+        assert_eq!(full.races.len(), 2);
+        assert!(!full.coverage.truncated);
+        assert_eq!(
+            full.coverage.window_groups_examined,
+            full.coverage.window_groups_total
+        );
+
+        let budgeted = analyze(
+            &trace,
+            &AnalysisConfig {
+                irh: false,
+                budget: AnalysisBudget { max_candidate_pairs: Some(1), ..Default::default() },
+                ..Default::default()
+            },
+        );
+        assert!(budgeted.coverage.truncated);
+        assert_eq!(budgeted.coverage.reason, Some(BudgetExceeded::CandidatePairs));
+        assert_eq!(budgeted.races.len(), 1, "the in-budget race is still reported");
+        assert!(
+            budgeted.coverage.window_groups_examined < budgeted.coverage.window_groups_total
+        );
+    }
+
+    #[test]
+    fn zero_deadline_truncates_immediately() {
+        let trace = fig1c();
+        let cfg = AnalysisConfig {
+            budget: AnalysisBudget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = analyze(&trace, &cfg);
+        assert!(report.coverage.truncated);
+        assert_eq!(report.coverage.reason, Some(BudgetExceeded::Deadline));
+        assert!(report.is_clean(), "nothing was examined before the deadline");
+    }
+
+    #[test]
+    fn quarantine_drops_wild_ranges_and_orphans() {
+        let mut trace = fig1c();
+        let stack = trace.events[0].stack;
+        // A load with a corrupt (4 GiB) length and an access by a thread id
+        // far beyond the thread table.
+        trace.events.push(Event {
+            seq: trace.events.len() as u64,
+            tid: ThreadId(0),
+            stack,
+            kind: EventKind::Load {
+                range: AddrRange::new(u64::MAX - 4, u32::MAX),
+                atomic: false,
+            },
+        });
+        trace.events.push(Event {
+            seq: trace.events.len() as u64,
+            tid: ThreadId(7000),
+            stack,
+            kind: EventKind::Fence,
+        });
+        let (kept, stats) = quarantine(&trace);
+        assert_eq!(stats.wild_range, 1);
+        assert_eq!(stats.orphan_thread, 1);
+        assert_eq!(kept.events.len(), trace.events.len() - 2);
+        kept.validate().expect("quarantined trace must be well-formed");
     }
 }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use super::PipelineStats;
+use super::{Coverage, PipelineStats};
 use crate::addr::AddrRange;
 use crate::trace::{Frame, StackId, ThreadId, Trace};
 
@@ -106,6 +106,10 @@ pub struct AnalysisReport {
     pub races: Vec<Race>,
     /// Pipeline statistics.
     pub stats: PipelineStats,
+    /// How much of the trace the run covered; `coverage.truncated` means a
+    /// resource budget stopped the run early, so absence of a race from
+    /// [`races`](Self::races) is not evidence of absence.
+    pub coverage: Coverage,
 }
 
 impl AnalysisReport {
@@ -133,6 +137,37 @@ impl AnalysisReport {
                 race.load_tid,
             ));
             out.push_str(&trace.stacks.render(race.key.load_stack));
+        }
+        if self.coverage.truncated {
+            let reason = self
+                .coverage
+                .reason
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "budget".into());
+            out.push_str(&format!(
+                "\nWARNING: analysis truncated by {} — covered {}/{} events, \
+                 {}/{} store-window groups; absent races are not ruled out\n",
+                reason,
+                self.coverage.events_analyzed,
+                self.coverage.events_total,
+                self.coverage.window_groups_examined,
+                self.coverage.window_groups_total,
+            ));
+        }
+        let q = &self.stats.quarantine;
+        if q.total() > 0 {
+            out.push_str(&format!(
+                "\nquarantined {} ill-formed event(s): {} dangling release, \
+                 {} orphan thread, {} join-before-create, {} double create, \
+                 {} bad stack, {} wild range\n",
+                q.total(),
+                q.dangling_release,
+                q.orphan_thread,
+                q.join_before_create,
+                q.double_create,
+                q.bad_stack,
+                q.wild_range,
+            ));
         }
         out
     }
@@ -184,6 +219,7 @@ mod tests {
         let report = AnalysisReport {
             races: vec![race],
             stats: PipelineStats::default(),
+            coverage: Coverage::default(),
         };
         let json = report.to_json();
         let back: Vec<Race> = serde_json::from_str(&json).unwrap();

@@ -1,0 +1,125 @@
+//! Workspace-wide error taxonomy.
+//!
+//! Every fallible entry point of the pipeline reports a [`HawkSetError`]:
+//! a small, source-chained enum that distinguishes the four failure
+//! families a trace consumer has to handle differently:
+//!
+//! * [`Decode`](HawkSetError::Decode) — the bytes are not a well-formed
+//!   `.hwkt` trace. Recovery: retry with the lossy decoder
+//!   ([`decode_lossy`](crate::trace::io::decode_lossy)).
+//! * [`Validate`](HawkSetError::Validate) — the trace decoded but violates
+//!   a semantic invariant (dangling release, event before thread creation,
+//!   …). Recovery: analyze leniently with event quarantine
+//!   ([`Strictness::Lenient`](crate::analysis::Strictness)).
+//! * [`Resource`](HawkSetError::Resource) — an input exceeds a configured
+//!   size limit. Not recoverable by degradation; raise the limit.
+//! * [`Io`](HawkSetError::Io) — the operating system failed us.
+
+use core::fmt;
+
+use crate::trace::io::DecodeError;
+use crate::trace::ValidateError;
+
+/// An input exceeded a configured resource limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceError {
+    /// What was limited (e.g. `"trace file size"`).
+    pub what: &'static str,
+    /// The configured limit.
+    pub limit: u64,
+    /// The amount the input required.
+    pub requested: u64,
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} exceeds the limit of {}", self.what, self.requested, self.limit)
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// Top-level error of the analysis pipeline.
+#[derive(Debug)]
+pub enum HawkSetError {
+    /// The input bytes are not a well-formed trace.
+    Decode(DecodeError),
+    /// The trace violates a semantic invariant.
+    Validate(ValidateError),
+    /// An input exceeded a configured resource limit.
+    Resource(ResourceError),
+    /// An I/O operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HawkSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HawkSetError::Decode(e) => write!(f, "trace decode failed: {e}"),
+            HawkSetError::Validate(e) => write!(f, "trace validation failed: {e}"),
+            HawkSetError::Resource(e) => write!(f, "resource limit exceeded: {e}"),
+            HawkSetError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HawkSetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HawkSetError::Decode(e) => Some(e),
+            HawkSetError::Validate(e) => Some(e),
+            HawkSetError::Resource(e) => Some(e),
+            HawkSetError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecodeError> for HawkSetError {
+    fn from(e: DecodeError) -> Self {
+        HawkSetError::Decode(e)
+    }
+}
+
+impl From<ValidateError> for HawkSetError {
+    fn from(e: ValidateError) -> Self {
+        HawkSetError::Validate(e)
+    }
+}
+
+impl From<ResourceError> for HawkSetError {
+    fn from(e: ResourceError) -> Self {
+        HawkSetError::Resource(e)
+    }
+}
+
+impl From<std::io::Error> for HawkSetError {
+    fn from(e: std::io::Error) -> Self {
+        HawkSetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::error::Error;
+
+    use super::*;
+
+    #[test]
+    fn variants_chain_their_source() {
+        let e = HawkSetError::from(DecodeError::BadMagic);
+        assert!(e.to_string().contains("bad magic"));
+        assert!(e.source().unwrap().downcast_ref::<DecodeError>().is_some());
+
+        let e = HawkSetError::from(ResourceError {
+            what: "trace file size",
+            limit: 10,
+            requested: 20,
+        });
+        assert!(e.to_string().contains("exceeds the limit"));
+        assert!(e.source().unwrap().downcast_ref::<ResourceError>().is_some());
+
+        let e = HawkSetError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(matches!(e, HawkSetError::Io(_)));
+        assert!(e.source().is_some());
+    }
+}

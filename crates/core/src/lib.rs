@@ -51,6 +51,8 @@
 
 pub mod addr;
 pub mod analysis;
+pub mod error;
+pub mod faults;
 pub mod intern;
 pub mod irh;
 pub mod lockset;
@@ -60,5 +62,6 @@ pub mod sync_config;
 pub mod trace;
 pub mod vclock;
 
-pub use analysis::{analyze, AnalysisConfig, AnalysisReport, Race};
+pub use analysis::{analyze, try_analyze, AnalysisConfig, AnalysisReport, Race, Strictness};
+pub use error::{HawkSetError, ResourceError};
 pub use trace::{Trace, TraceBuilder};

@@ -191,6 +191,13 @@ impl<'t> Simulator<'t> {
         let filter_pm = !self.trace.regions.is_empty();
         for ev in &self.trace.events {
             self.stats.events += 1;
+            // A trace that bypassed the builder (or was salvaged from a
+            // corrupt file) can name threads beyond the header count; grow
+            // the table instead of indexing out of bounds.
+            self.ensure_thread(ev.tid);
+            if let EventKind::ThreadJoin { child } = &ev.kind {
+                self.ensure_thread(*child);
+            }
             match &ev.kind {
                 EventKind::Store { range, non_temporal, atomic } => {
                     if filter_pm && !self.trace.is_pm(range) {

@@ -24,7 +24,7 @@ use super::{PmRegion, Trace};
 use crate::addr::AddrRange;
 
 /// Errors produced while decoding a trace.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
     /// The buffer does not start with the `HWKT` magic.
     BadMagic,
@@ -32,12 +32,17 @@ pub enum DecodeError {
     BadVersion(u8),
     /// The buffer ended in the middle of a field.
     Truncated,
+    /// A varint kept its continuation bit set past 64 value bits.
+    VarintOverflow,
     /// A string was not valid UTF-8.
     BadString,
     /// An unknown event tag was encountered.
     BadTag(u8),
     /// An index referenced a missing table entry.
     BadIndex,
+    /// A declared count exceeds what any real trace could hold — decoding
+    /// it would be a decompression bomb, not a trace.
+    LimitExceeded(&'static str),
 }
 
 impl core::fmt::Display for DecodeError {
@@ -46,14 +51,21 @@ impl core::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not a HawkSet trace (bad magic)"),
             DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             DecodeError::Truncated => write!(f, "truncated trace"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             DecodeError::BadString => write!(f, "invalid UTF-8 in trace string"),
             DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
             DecodeError::BadIndex => write!(f, "dangling table index in trace"),
+            DecodeError::LimitExceeded(what) => write!(f, "implausible {what} count in trace"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Hard ceiling on the thread count a trace may declare. The simulator
+/// allocates per-thread state eagerly, so an unchecked varint here would let
+/// a 10-byte corruption demand gigabytes.
+pub const MAX_THREADS: u32 = 1 << 16;
 
 const MAGIC: &[u8; 4] = b"HWKT";
 const VERSION: u8 = 1;
@@ -96,9 +108,23 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
         }
         shift += 7;
         if shift >= 64 {
-            return Err(DecodeError::Truncated);
+            return Err(DecodeError::VarintOverflow);
         }
     }
+}
+
+/// Caps an untrusted element count before preallocating: every element
+/// occupies at least one encoded byte, so a count beyond the remaining
+/// buffer length is a corruption that must not drive `Vec::with_capacity`.
+fn checked_count(
+    count: u64,
+    remaining: usize,
+    what: &'static str,
+) -> Result<usize, DecodeError> {
+    if count > remaining as u64 {
+        return Err(DecodeError::LimitExceeded(what));
+    }
+    Ok(count as usize)
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -206,8 +232,53 @@ pub fn encode(trace: &Trace) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a trace from its binary representation.
-pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
+/// The outcome of a lossy decode: the longest well-formed prefix the bytes
+/// contain, plus an account of what was lost.
+#[derive(Debug)]
+pub struct Salvage {
+    /// The recovered trace (all events up to the first corruption).
+    pub trace: Trace,
+    /// Bytes that were not turned into events.
+    pub dropped_bytes: usize,
+    /// Events declared by the header but not recovered.
+    pub dropped_events: u64,
+    /// The error that stopped the full decode, if any. `None` means the
+    /// buffer decoded completely (modulo trailing bytes).
+    pub reason: Option<DecodeError>,
+}
+
+impl Salvage {
+    /// True when nothing was lost: the salvage IS the full trace.
+    pub fn is_complete(&self) -> bool {
+        self.reason.is_none() && self.dropped_events == 0 && self.dropped_bytes == 0
+    }
+}
+
+/// Deserializes a trace from its binary representation, rejecting any
+/// corruption. See [`decode_lossy`] for the degraded-mode alternative.
+pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
+    let salvage = decode_lossy(buf)?;
+    match salvage.reason {
+        Some(e) => Err(e),
+        None if salvage.dropped_bytes > 0 => Err(DecodeError::Truncated),
+        None => Ok(salvage.trace),
+    }
+}
+
+/// Deserializes as much of a trace as the bytes allow.
+///
+/// The header and the interning tables (regions, strings, frames, stacks)
+/// must decode cleanly — without them no event is interpretable, so their
+/// corruption is fatal. The event stream, however, is salvaged: decoding
+/// stops at the first ill-formed event and everything before it is returned
+/// as a structurally valid trace, with drop counters and the stopping error
+/// in the [`Salvage`].
+///
+/// Structural guarantees on the salvaged trace: dense `seq`, every stack id
+/// resolvable, every `tid` and child id below `thread_count`. *Semantic*
+/// invariants (creation order, lock balance) are NOT guaranteed — run
+/// [`Trace::validate`] or analyze leniently.
+pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
     if buf.remaining() < 5 {
         return Err(DecodeError::Truncated);
     }
@@ -221,7 +292,11 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let mut trace = Trace::new();
-    trace.thread_count = get_varint(&mut buf)? as u32;
+    let thread_count = get_varint(&mut buf)?;
+    if thread_count > u64::from(MAX_THREADS) {
+        return Err(DecodeError::LimitExceeded("thread"));
+    }
+    trace.thread_count = (thread_count as u32).max(1);
 
     let region_count = get_varint(&mut buf)?;
     for _ in 0..region_count {
@@ -232,7 +307,7 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
     }
 
     let string_count = get_varint(&mut buf)?;
-    let mut strings = Vec::with_capacity(string_count as usize);
+    let mut strings = Vec::with_capacity(checked_count(string_count, buf.remaining(), "string")?);
     for _ in 0..string_count {
         strings.push(get_str(&mut buf)?);
     }
@@ -240,7 +315,7 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
 
     let frame_count = get_varint(&mut buf)?;
     let mut stacks = super::stack::StackTable::new();
-    let mut frame_map = Vec::with_capacity(frame_count as usize);
+    let mut frame_map = Vec::with_capacity(checked_count(frame_count, buf.remaining(), "frame")?);
     for _ in 0..frame_count {
         let function = lookup(get_varint(&mut buf)?)?;
         let file = lookup(get_varint(&mut buf)?)?;
@@ -249,10 +324,10 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
     }
 
     let stack_count = get_varint(&mut buf)?;
-    let mut stack_map = Vec::with_capacity(stack_count as usize);
+    let mut stack_map = Vec::with_capacity(checked_count(stack_count, buf.remaining(), "stack")?);
     for _ in 0..stack_count {
         let depth = get_varint(&mut buf)?;
-        let mut frames = Vec::with_capacity(depth as usize);
+        let mut frames = Vec::with_capacity(checked_count(depth, buf.remaining(), "frame id")?);
         for _ in 0..depth {
             let fid = get_varint(&mut buf)? as usize;
             frames.push(*frame_map.get(fid).ok_or(DecodeError::BadIndex)?);
@@ -262,49 +337,109 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, DecodeError> {
     trace.stacks = stacks;
 
     let event_count = get_varint(&mut buf)?;
+    let mut reason = None;
+    let mut dropped_events = 0;
+    let mut dropped_bytes = 0;
     for seq in 0..event_count {
-        if buf.remaining() < 2 {
-            return Err(DecodeError::Truncated);
+        let before = buf.remaining();
+        match decode_event(&mut buf, seq, trace.thread_count, &stack_map) {
+            Ok(ev) => trace.events.push(ev),
+            Err(e) => {
+                reason = Some(e);
+                dropped_events = event_count - seq;
+                dropped_bytes = before;
+                break;
+            }
         }
-        let tag = buf.get_u8();
-        let flags = buf.get_u8();
-        let tid = ThreadId(get_varint(&mut buf)? as u32);
-        let stack_idx = get_varint(&mut buf)? as usize;
-        let stack = *stack_map.get(stack_idx).ok_or(DecodeError::BadIndex)?;
-        let kind = match tag {
-            TAG_STORE => {
-                let start = get_varint(&mut buf)?;
-                let len = get_varint(&mut buf)? as u32;
-                EventKind::Store {
-                    range: AddrRange::new(start, len),
-                    non_temporal: flags & STORE_FLAG_NT != 0,
-                    atomic: flags & STORE_FLAG_ATOMIC != 0,
-                }
-            }
-            TAG_LOAD => {
-                let start = get_varint(&mut buf)?;
-                let len = get_varint(&mut buf)? as u32;
-                EventKind::Load { range: AddrRange::new(start, len), atomic: flags != 0 }
-            }
-            TAG_FLUSH => EventKind::Flush { addr: get_varint(&mut buf)? },
-            TAG_FENCE => EventKind::Fence,
-            TAG_ACQUIRE_EX => EventKind::Acquire {
-                lock: LockId(get_varint(&mut buf)?),
-                mode: LockMode::Exclusive,
-            },
-            TAG_ACQUIRE_SH => {
-                EventKind::Acquire { lock: LockId(get_varint(&mut buf)?), mode: LockMode::Shared }
-            }
-            TAG_RELEASE => EventKind::Release { lock: LockId(get_varint(&mut buf)?) },
-            TAG_CREATE => {
-                EventKind::ThreadCreate { child: ThreadId(get_varint(&mut buf)? as u32) }
-            }
-            TAG_JOIN => EventKind::ThreadJoin { child: ThreadId(get_varint(&mut buf)? as u32) },
-            other => return Err(DecodeError::BadTag(other)),
-        };
-        trace.events.push(Event { seq, tid, stack, kind });
     }
-    Ok(trace)
+    if reason.is_none() {
+        // Trailing bytes past the declared events are corruption too, but a
+        // kind that costs no events.
+        dropped_bytes = buf.remaining();
+    }
+    Ok(Salvage { trace, dropped_bytes, dropped_events, reason })
+}
+
+/// Default ceiling on the trace file size [`load_file`] accepts (1 GiB).
+pub const DEFAULT_MAX_FILE_BYTES: u64 = 1 << 30;
+
+/// Reads and decodes a trace file, with a size ceiling.
+///
+/// The three failure families map onto the [`HawkSetError`] taxonomy:
+/// unreadable file → `Io`, file larger than `max_bytes` (default
+/// [`DEFAULT_MAX_FILE_BYTES`]) → `Resource`, ill-formed bytes → `Decode`.
+pub fn load_file(
+    path: &std::path::Path,
+    max_bytes: Option<u64>,
+) -> Result<Trace, crate::error::HawkSetError> {
+    let limit = max_bytes.unwrap_or(DEFAULT_MAX_FILE_BYTES);
+    let meta = std::fs::metadata(path)?;
+    if meta.len() > limit {
+        return Err(crate::error::ResourceError {
+            what: "trace file size",
+            limit,
+            requested: meta.len(),
+        }
+        .into());
+    }
+    let raw = std::fs::read(path)?;
+    Ok(decode(Bytes::from(raw))?)
+}
+
+fn decode_event(
+    buf: &mut Bytes,
+    seq: u64,
+    thread_count: u32,
+    stack_map: &[u32],
+) -> Result<Event, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let flags = buf.get_u8();
+    let tid_raw = get_varint(buf)?;
+    if tid_raw >= u64::from(thread_count) {
+        return Err(DecodeError::BadIndex);
+    }
+    let tid = ThreadId(tid_raw as u32);
+    let stack_idx = get_varint(buf)? as usize;
+    let stack = *stack_map.get(stack_idx).ok_or(DecodeError::BadIndex)?;
+    let child_id = |raw: u64| {
+        if raw >= u64::from(thread_count) {
+            Err(DecodeError::BadIndex)
+        } else {
+            Ok(ThreadId(raw as u32))
+        }
+    };
+    let kind = match tag {
+        TAG_STORE => {
+            let start = get_varint(buf)?;
+            let len = get_varint(buf)? as u32;
+            EventKind::Store {
+                range: AddrRange::new(start, len),
+                non_temporal: flags & STORE_FLAG_NT != 0,
+                atomic: flags & STORE_FLAG_ATOMIC != 0,
+            }
+        }
+        TAG_LOAD => {
+            let start = get_varint(buf)?;
+            let len = get_varint(buf)? as u32;
+            EventKind::Load { range: AddrRange::new(start, len), atomic: flags != 0 }
+        }
+        TAG_FLUSH => EventKind::Flush { addr: get_varint(buf)? },
+        TAG_FENCE => EventKind::Fence,
+        TAG_ACQUIRE_EX => {
+            EventKind::Acquire { lock: LockId(get_varint(buf)?), mode: LockMode::Exclusive }
+        }
+        TAG_ACQUIRE_SH => {
+            EventKind::Acquire { lock: LockId(get_varint(buf)?), mode: LockMode::Shared }
+        }
+        TAG_RELEASE => EventKind::Release { lock: LockId(get_varint(buf)?) },
+        TAG_CREATE => EventKind::ThreadCreate { child: child_id(get_varint(buf)?)? },
+        TAG_JOIN => EventKind::ThreadJoin { child: child_id(get_varint(buf)?)? },
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    Ok(Event { seq, tid, stack, kind })
 }
 
 #[cfg(test)]
@@ -377,6 +512,102 @@ mod tests {
             assert!(res.is_err(), "decode succeeded on a {cut}-byte prefix");
         }
         assert!(decode(Bytes::from(raw)).is_ok());
+    }
+
+    #[test]
+    fn varint_overflow_is_its_own_error() {
+        // Eleven continuation bytes: more than 64 bits of payload.
+        let mut b = Bytes::from(vec![0xffu8; 11]);
+        assert_eq!(get_varint(&mut b).unwrap_err(), DecodeError::VarintOverflow);
+    }
+
+    #[test]
+    fn rejects_implausible_thread_count() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        put_varint(&mut buf, u64::from(MAX_THREADS) + 1);
+        assert_eq!(
+            decode(buf.freeze()).unwrap_err(),
+            DecodeError::LimitExceeded("thread")
+        );
+    }
+
+    #[test]
+    fn rejects_implausible_table_counts() {
+        // Header + no regions, then a string count far beyond the buffer.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        put_varint(&mut buf, 1); // thread_count
+        put_varint(&mut buf, 0); // regions
+        put_varint(&mut buf, 1 << 40); // strings: bomb
+        assert_eq!(
+            decode(buf.freeze()).unwrap_err(),
+            DecodeError::LimitExceeded("string")
+        );
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_tid() {
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(0), s, EventKind::Fence);
+        let mut bad = encode(&b.finish()).to_vec();
+        // Layout of the tail: ..., event_count=1, tag, flags, tid=0,
+        // stack=0 — the tid byte is second from the end.
+        let tid_at = bad.len() - 2;
+        bad[tid_at] = 9; // tid 9 >= thread_count 1
+        assert_eq!(decode(Bytes::from(bad)).unwrap_err(), DecodeError::BadIndex);
+    }
+
+    #[test]
+    fn decode_lossy_full_roundtrip_drops_nothing() {
+        let t = sample_trace();
+        let salvage = decode_lossy(encode(&t)).unwrap();
+        assert!(salvage.is_complete());
+        assert_eq!(salvage.dropped_bytes, 0);
+        assert_eq!(salvage.dropped_events, 0);
+        assert!(salvage.reason.is_none());
+        assert_eq!(salvage.trace.events, t.events);
+    }
+
+    #[test]
+    fn decode_lossy_salvages_event_prefix_on_truncation() {
+        let t = sample_trace();
+        let raw = encode(&t).to_vec();
+        // Cut 3 bytes before the end: inside the last event.
+        let cut = raw.len() - 3;
+        let salvage = decode_lossy(Bytes::from(raw[..cut].to_vec())).unwrap();
+        assert!(!salvage.trace.events.is_empty());
+        assert!(salvage.trace.events.len() < t.events.len());
+        assert!(salvage.dropped_events > 0);
+        assert_eq!(salvage.reason, Some(DecodeError::Truncated));
+        // The salvaged prefix matches the original event-for-event.
+        for (a, b) in salvage.trace.events.iter().zip(&t.events) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn decode_lossy_is_fatal_on_table_corruption() {
+        let raw = encode(&sample_trace()).to_vec();
+        // Destroy the magic: nothing is salvageable.
+        let mut bad = raw.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_lossy(Bytes::from(bad)).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut raw = encode(&sample_trace()).to_vec();
+        raw.extend_from_slice(b"junk");
+        assert_eq!(decode(Bytes::from(raw.clone())).unwrap_err(), DecodeError::Truncated);
+        // The lossy path still recovers the full trace.
+        let salvage = decode_lossy(Bytes::from(raw)).unwrap();
+        assert_eq!(salvage.dropped_events, 0);
+        assert_eq!(salvage.dropped_bytes, 4);
+        assert!(salvage.reason.is_none());
     }
 
     #[test]

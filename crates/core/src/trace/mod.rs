@@ -11,6 +11,114 @@ pub use stack::{Frame, FrameId, StackTable, EMPTY_STACK};
 
 use crate::addr::{AddrRange, PmAddr};
 
+/// A semantic invariant violated by a trace.
+///
+/// Decoding guarantees only structural well-formedness; these are the
+/// *semantic* invariants checked by [`Trace::validate`] (and quarantined,
+/// rather than rejected, by the lenient analysis mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An event's `seq` does not equal its position.
+    NonDenseSeq {
+        /// Position of the offending event.
+        index: usize,
+        /// The `seq` it carries.
+        seq: u64,
+    },
+    /// An event's thread id is not below `thread_count`.
+    TidOutOfRange {
+        /// Position of the offending event.
+        index: usize,
+        /// The out-of-range thread.
+        tid: ThreadId,
+    },
+    /// An event references a stack id with no table entry.
+    UnknownStack {
+        /// Position of the offending event.
+        index: usize,
+        /// The dangling stack id.
+        stack: StackId,
+    },
+    /// A `ThreadCreate` names a child outside `thread_count`.
+    UnknownChild {
+        /// Position of the offending event.
+        index: usize,
+        /// The out-of-range child.
+        child: ThreadId,
+    },
+    /// A thread was created twice.
+    DoubleCreate {
+        /// The twice-created thread.
+        child: ThreadId,
+    },
+    /// A thread has events but no `ThreadCreate`.
+    OrphanThread {
+        /// The never-created thread.
+        tid: ThreadId,
+        /// Sequence number of its first event.
+        first: u64,
+    },
+    /// A thread's first event precedes its creation.
+    EventBeforeCreation {
+        /// The offending thread.
+        tid: ThreadId,
+        /// Sequence number of its first event.
+        first: u64,
+        /// Sequence number of its creation.
+        created: u64,
+    },
+    /// A join precedes the joined thread's last event.
+    JoinBeforeChildLastEvent {
+        /// The joined thread.
+        child: ThreadId,
+        /// Sequence number of the join.
+        join_seq: u64,
+        /// Sequence number of the child's last event.
+        last: u64,
+    },
+    /// A lock was released while no thread held it.
+    DanglingRelease {
+        /// Position of the offending event.
+        index: usize,
+        /// The lock that was not held.
+        lock: LockId,
+    },
+}
+
+impl core::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidateError::NonDenseSeq { index, seq } => {
+                write!(f, "event {index} has seq {seq}, expected {index}")
+            }
+            ValidateError::TidOutOfRange { index, tid } => {
+                write!(f, "event {index} has tid {tid} >= thread_count")
+            }
+            ValidateError::UnknownStack { index, stack } => {
+                write!(f, "event {index} references unknown stack {stack}")
+            }
+            ValidateError::UnknownChild { index, child } => {
+                write!(f, "event {index} creates unknown thread {child}")
+            }
+            ValidateError::DoubleCreate { child } => write!(f, "thread {child} created twice"),
+            ValidateError::OrphanThread { tid, first } => {
+                write!(f, "thread {tid} has event at seq {first} but no creation")
+            }
+            ValidateError::EventBeforeCreation { tid, first, created } => {
+                write!(f, "thread {tid} has event at seq {first} before its creation at {created}")
+            }
+            ValidateError::JoinBeforeChildLastEvent { child, join_seq, last } => {
+                write!(f, "join of {child} at seq {join_seq} precedes its last event at {last}")
+            }
+            ValidateError::DanglingRelease { index, lock } => {
+                write!(f, "event {index} releases lock {lock:?} which is not held")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 /// A registered persistent-memory mapping.
 ///
 /// The original tool records `mmap` calls on files under the PM mount and
@@ -72,49 +180,71 @@ impl Trace {
         self.events.iter().filter(|e| e.kind.is_access()).count()
     }
 
-    /// Validates internal consistency; returns a description of the first
-    /// problem found, if any.
+    /// Validates internal consistency; returns the first violated invariant.
     ///
     /// Checked invariants: `seq` is dense and strictly increasing, stack ids
     /// are valid, thread ids are below `thread_count`, thread creation
-    /// precedes any event of the child, and joins follow the child's last
-    /// event.
-    pub fn validate(&self) -> Result<(), String> {
+    /// precedes any event of the child, joins follow the child's last event,
+    /// and every release matches an earlier acquisition of the same lock.
+    /// (The lock balance is tracked globally, not per thread: cross-thread
+    /// lock handoff is a legal pattern the runtime can record.)
+    pub fn validate(&self) -> Result<(), ValidateError> {
         let mut first_event: Vec<Option<u64>> = vec![None; self.thread_count as usize];
         let mut last_event: Vec<Option<u64>> = vec![None; self.thread_count as usize];
         let mut created: Vec<Option<u64>> = vec![None; self.thread_count as usize];
+        let mut held: std::collections::HashMap<LockId, u64> = std::collections::HashMap::new();
         created[ThreadId::MAIN.index()] = Some(0);
         for (i, ev) in self.events.iter().enumerate() {
             if ev.seq != i as u64 {
-                return Err(format!("event {i} has seq {}, expected {i}", ev.seq));
+                return Err(ValidateError::NonDenseSeq { index: i, seq: ev.seq });
             }
             if ev.tid.index() >= self.thread_count as usize {
-                return Err(format!("event {i} has tid {} >= thread_count", ev.tid));
+                return Err(ValidateError::TidOutOfRange { index: i, tid: ev.tid });
             }
             if ev.stack as usize >= self.stacks.stack_count() {
-                return Err(format!("event {i} references unknown stack {}", ev.stack));
+                return Err(ValidateError::UnknownStack { index: i, stack: ev.stack });
             }
             first_event[ev.tid.index()].get_or_insert(ev.seq);
             last_event[ev.tid.index()] = Some(ev.seq);
-            if let EventKind::ThreadCreate { child } = ev.kind {
-                if child.index() >= self.thread_count as usize {
-                    return Err(format!("event {i} creates unknown thread {child}"));
+            match ev.kind {
+                EventKind::ThreadCreate { child } => {
+                    if child.index() >= self.thread_count as usize {
+                        return Err(ValidateError::UnknownChild { index: i, child });
+                    }
+                    if created[child.index()].is_some() {
+                        return Err(ValidateError::DoubleCreate { child });
+                    }
+                    created[child.index()] = Some(ev.seq);
                 }
-                if created[child.index()].is_some() {
-                    return Err(format!("thread {child} created twice"));
+                EventKind::ThreadJoin { child }
+                    if child.index() >= self.thread_count as usize =>
+                {
+                    return Err(ValidateError::UnknownChild { index: i, child });
                 }
-                created[child.index()] = Some(ev.seq);
+                EventKind::Acquire { lock, .. } => {
+                    *held.entry(lock).or_insert(0) += 1;
+                }
+                EventKind::Release { lock } => {
+                    let count = held.entry(lock).or_insert(0);
+                    if *count == 0 {
+                        return Err(ValidateError::DanglingRelease { index: i, lock });
+                    }
+                    *count -= 1;
+                }
+                _ => {}
             }
         }
         for tid in 0..self.thread_count as usize {
             match (created[tid], first_event[tid]) {
                 (None, Some(first)) => {
-                    return Err(format!("thread T{tid} has event at seq {first} but no creation"))
+                    return Err(ValidateError::OrphanThread { tid: ThreadId(tid as u32), first })
                 }
                 (Some(c), Some(first)) if tid != ThreadId::MAIN.index() && first < c => {
-                    return Err(format!(
-                        "thread T{tid} has event at seq {first} before its creation at {c}"
-                    ));
+                    return Err(ValidateError::EventBeforeCreation {
+                        tid: ThreadId(tid as u32),
+                        first,
+                        created: c,
+                    });
                 }
                 _ => {}
             }
@@ -123,10 +253,11 @@ impl Trace {
             if let EventKind::ThreadJoin { child } = ev.kind {
                 if let Some(last) = last_event[child.index()] {
                     if last > ev.seq {
-                        return Err(format!(
-                            "join of {child} at seq {} precedes its last event at {last}",
-                            ev.seq
-                        ));
+                        return Err(ValidateError::JoinBeforeChildLastEvent {
+                            child,
+                            join_seq: ev.seq,
+                            last,
+                        });
                     }
                 }
             }
@@ -184,6 +315,16 @@ impl TraceBuilder {
     pub fn finish(self) -> Trace {
         self.trace
     }
+
+    /// Returns a copy of the trace recorded so far without consuming the
+    /// builder.
+    ///
+    /// This is what makes crash-resilient recording possible: a drop guard
+    /// can persist the well-formed prefix observed up to a panic while the
+    /// builder keeps accepting events.
+    pub fn snapshot(&self) -> Trace {
+        self.trace.clone()
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +368,45 @@ mod tests {
         b.push(ThreadId(1), s, store(AddrRange::new(0, 8)));
         let t = b.finish();
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_release() {
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(0), s, EventKind::Release { lock: LockId(7) });
+        let t = b.finish();
+        assert!(matches!(
+            t.validate(),
+            Err(ValidateError::DanglingRelease { index: 0, lock: LockId(7) })
+        ));
+    }
+
+    #[test]
+    fn validate_allows_cross_thread_lock_handoff() {
+        // T0 acquires, T1 releases: unusual, but legal (global balance).
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(ThreadId(0), s, EventKind::Acquire { lock: LockId(7), mode: LockMode::Exclusive });
+        b.push(ThreadId(1), s, EventKind::Release { lock: LockId(7) });
+        b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
+        let t = b.finish();
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn snapshot_is_a_prefix_of_the_final_trace() {
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([Frame::new("f", "x.rs", 1)]);
+        b.push(ThreadId(0), s, store(AddrRange::new(0, 8)));
+        let snap = b.snapshot();
+        b.push(ThreadId(0), s, store(AddrRange::new(8, 8)));
+        let full = b.finish();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(full.events.len(), 2);
+        assert_eq!(snap.events[0], full.events[0]);
+        assert!(snap.validate().is_ok());
     }
 
     #[test]

@@ -231,6 +231,16 @@ impl PmEnv {
         std::mem::take(&mut st.builder).finish()
     }
 
+    /// Returns a copy of the trace recorded *so far*, without finalizing.
+    ///
+    /// The environment keeps recording afterwards; the snapshot is the
+    /// prefix of whatever [`finish`](Self::finish) would eventually return.
+    /// This is what [`TraceGuard`](crate::guard::TraceGuard) flushes when a
+    /// workload panics mid-run.
+    pub fn snapshot(&self) -> Trace {
+        self.inner.state.lock().builder.snapshot()
+    }
+
     /// Returns the crash image of pool `index`: exactly the bytes
     /// guaranteed to be in PM at this instant (unpersisted stores are NOT
     /// in it).

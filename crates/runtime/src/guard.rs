@@ -1,0 +1,127 @@
+//! Crash-safe trace flushing.
+//!
+//! A harness that drives an instrumented workload can die mid-run — an
+//! assertion fires, an injected perturbation trips a real bug, a worker
+//! panics. Without precautions the events recorded up to that point are
+//! lost with the process, which is exactly when they are most valuable:
+//! the prefix leading up to the failure is the trace you want to analyze.
+//!
+//! [`TraceGuard`] is a drop guard over a [`PmEnv`]: while armed, dropping
+//! it — including during panic unwinding — encodes a snapshot of the trace
+//! recorded so far and writes it to the configured path. The snapshot is a
+//! well-formed `.hwkt` file (the builder only ever holds complete events),
+//! so [`decode`](hawkset_core::trace::io::decode) accepts it without any
+//! salvage step. On a clean run, call [`disarm`](TraceGuard::disarm) after
+//! [`PmEnv::finish`] to skip the redundant write.
+
+use std::path::PathBuf;
+
+use hawkset_core::trace::io;
+
+use crate::env::PmEnv;
+
+/// Flushes the recorded trace prefix to disk on drop (unless disarmed).
+///
+/// ```no_run
+/// use pm_runtime::{PmEnv, TraceGuard};
+///
+/// let env = PmEnv::new();
+/// let guard = TraceGuard::new(env.clone(), "/tmp/run.hwkt");
+/// // ... drive the workload; a panic here still flushes the prefix ...
+/// let trace = env.finish();
+/// guard.disarm(); // clean exit: the caller owns the full trace
+/// ```
+pub struct TraceGuard {
+    env: PmEnv,
+    path: PathBuf,
+    armed: bool,
+}
+
+impl TraceGuard {
+    /// Arms a guard that will flush `env`'s trace snapshot to `path`.
+    pub fn new(env: PmEnv, path: impl Into<PathBuf>) -> Self {
+        Self { env, path: path.into(), armed: true }
+    }
+
+    /// Disarms the guard: the drop becomes a no-op.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+
+    /// Flushes the current snapshot immediately, reporting I/O failure.
+    ///
+    /// The drop path calls this and ignores the result (a destructor cannot
+    /// propagate errors, and panicking during unwind would abort).
+    pub fn flush(&self) -> std::io::Result<()> {
+        let bytes = io::encode(&self.env.snapshot());
+        std::fs::write(&self.path, bytes)
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkset_core::trace::EventKind;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hawkset-guard-{}-{}.hwkt", std::process::id(), name))
+    }
+
+    #[test]
+    fn panicking_thread_still_flushes_a_decodable_prefix() {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/guard", 4096);
+        let main = env.main_thread();
+        let path = temp_path("panic");
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = TraceGuard::new(env.clone(), &path);
+            pool.store_u64(&main, pool.base(), 1);
+            pool.persist(&main, pool.base(), 8);
+            panic!("injected workload failure");
+        }));
+        assert!(result.is_err(), "the workload must have panicked");
+
+        let bytes = std::fs::read(&path).expect("guard must have written the trace");
+        std::fs::remove_file(&path).ok();
+        let trace = io::decode(bytes.into()).expect("flushed prefix must be well-formed");
+        assert!(
+            trace.events.iter().any(|e| matches!(e.kind, EventKind::Store { .. })),
+            "the pre-panic store must be in the flushed prefix"
+        );
+        trace.validate().expect("flushed prefix must validate");
+    }
+
+    #[test]
+    fn disarm_skips_the_write() {
+        let env = PmEnv::new();
+        let path = temp_path("disarm");
+        std::fs::remove_file(&path).ok();
+        let guard = TraceGuard::new(env, &path);
+        guard.disarm();
+        assert!(!path.exists(), "a disarmed guard must not write");
+    }
+
+    #[test]
+    fn snapshot_tracks_recording_progress() {
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/snap", 4096);
+        let main = env.main_thread();
+        assert_eq!(env.snapshot().events.len(), 0);
+        pool.store_u64(&main, pool.base(), 7);
+        let mid = env.snapshot();
+        assert_eq!(mid.events.len(), 1);
+        pool.persist(&main, pool.base(), 8);
+        let done = env.finish();
+        assert!(done.events.len() > mid.events.len());
+        assert_eq!(&done.events[..mid.events.len()], &mid.events[..]);
+    }
+}

@@ -73,6 +73,7 @@
 
 pub mod alloc;
 pub mod env;
+pub mod guard;
 pub mod harness;
 pub mod mutex;
 pub mod pool;
@@ -81,6 +82,7 @@ pub mod thread;
 
 pub use alloc::{AllocError, PmAllocator};
 pub use env::{Hook, HookPoint, Observation, PmEnv};
+pub use guard::TraceGuard;
 pub use harness::run_workers;
 pub use mutex::{CustomSpinLock, PmMutex, PmRwLock};
 pub use pool::PmPool;

@@ -1,0 +1,191 @@
+//! Corruption fault injection over the `.hwkt` codec and the analysis
+//! pipeline (tier-1 robustness suite).
+//!
+//! The contract under test: no input — truncated, bit-flipped, overwritten,
+//! or varint-bombed — may make `decode`, `decode_lossy`, or a lenient
+//! budgeted analysis panic. Truncation mid-event-stream must additionally
+//! salvage a non-empty, analyzable prefix.
+
+use bytes::Bytes;
+use hawkset::core::analysis::{try_analyze, AnalysisBudget, AnalysisConfig, Strictness};
+use hawkset::core::faults::{apply, truncations, Fault, FaultRng};
+use hawkset::core::trace::io;
+use hawkset::core::trace::{EventKind, Frame, LockId, LockMode, ThreadId, Trace, TraceBuilder};
+use hawkset::core::addr::AddrRange;
+use proptest::prelude::*;
+
+/// A multi-thread trace exercising every event tag: creates, lock handoff,
+/// plain/NT/atomic stores, loads, flushes, fences, joins.
+fn rich_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let x = AddrRange::new(0x1000, 8);
+    let y = AddrRange::new(0x2040, 16);
+    let a = LockId(0xa);
+    let r = LockId(0xb);
+    let st = b.intern_stack([Frame::new("writer", "app.c", 10), Frame::new("main", "app.c", 90)]);
+    let ld = b.intern_stack([Frame::new("reader", "app.c", 20)]);
+    let nt = b.intern_stack([Frame::new("nt_writer", "app.c", 30)]);
+    b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
+    b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(2) });
+    b.push(ThreadId(0), st, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+    b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+    b.push(ThreadId(0), st, EventKind::Release { lock: a });
+    b.push(ThreadId(1), ld, EventKind::Acquire { lock: r, mode: LockMode::Shared });
+    b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+    b.push(ThreadId(1), ld, EventKind::Release { lock: r });
+    b.push(ThreadId(2), nt, EventKind::Store { range: y, non_temporal: true, atomic: false });
+    b.push(ThreadId(2), nt, EventKind::Fence);
+    b.push(ThreadId(2), nt, EventKind::Store { range: y, non_temporal: false, atomic: true });
+    b.push(ThreadId(2), nt, EventKind::Load { range: y, atomic: true });
+    b.push(ThreadId(0), st, EventKind::Flush { addr: 0x1000 });
+    b.push(ThreadId(0), st, EventKind::Fence);
+    b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+    b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(2) });
+    b.finish()
+}
+
+/// Lenient, budgeted configuration — what a harness would run on a trace of
+/// unknown provenance.
+fn lenient_budgeted() -> AnalysisConfig {
+    AnalysisConfig {
+        strictness: Strictness::Lenient,
+        budget: AnalysisBudget {
+            max_candidate_pairs: Some(100_000),
+            max_events: Some(100_000),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Every byte-boundary truncation decodes to an error (never a panic), and
+/// `decode_lossy` either salvages an analyzable prefix or reports a
+/// table-level corruption. Some mid-event-stream cut must salvage a
+/// non-empty prefix.
+#[test]
+fn truncation_at_every_byte_boundary_never_panics() {
+    let encoded = io::encode(&rich_trace());
+    let mut salvaged_nonempty = 0usize;
+    for cut in truncations(&encoded) {
+        let cut_len = cut.len();
+        assert!(
+            io::decode(Bytes::from(cut.clone())).is_err(),
+            "a proper prefix (len {cut_len}) must not decode cleanly"
+        );
+        match io::decode_lossy(Bytes::from(cut)) {
+            Ok(salvage) => {
+                // A truncation-salvaged prefix is semantically clean: the
+                // full strict pipeline must accept it.
+                let report = try_analyze(&salvage.trace, &lenient_budgeted())
+                    .expect("lenient analysis of a salvage cannot fail");
+                assert_eq!(report.stats.quarantine.total(), 0,
+                    "truncation salvage (cut at {cut_len}) must need no quarantine");
+                if !salvage.trace.events.is_empty() {
+                    salvaged_nonempty += 1;
+                }
+            }
+            Err(_) => {
+                // Cut inside the header or tables: nothing to salvage.
+            }
+        }
+    }
+    assert!(
+        salvaged_nonempty > 10,
+        "cuts inside the event stream must salvage non-empty prefixes \
+         (got {salvaged_nonempty})"
+    );
+}
+
+/// 256+ random corruptions (bit flips, byte overwrites, varint bombs,
+/// truncations) of the rich trace: the decoders never panic, and whatever
+/// they salvage is analyzable in lenient budgeted mode.
+#[test]
+fn random_corruptions_never_panic() {
+    let encoded = io::encode(&rich_trace()).to_vec();
+    let mut rng = FaultRng::new(0x5eed_cafe);
+    let mut decoded_ok = 0usize;
+    for round in 0..256 {
+        // Escalate: one fault, then stacked pairs of faults.
+        let mut bytes = encoded.clone();
+        for _ in 0..(1 + round % 3) {
+            let fault = rng.fault(bytes.len());
+            bytes = apply(&bytes, fault);
+        }
+        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes.clone())) {
+            decoded_ok += 1;
+            try_analyze(&salvage.trace, &lenient_budgeted())
+                .expect("lenient analysis of salvaged corruption cannot fail");
+        }
+        // Strict decode must agree or reject — never panic.
+        let _ = io::decode(Bytes::from(bytes));
+    }
+    assert!(decoded_ok > 0, "some corruptions hit the salvageable tail");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup never panics the decoders.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = io::decode(Bytes::from(bytes.clone()));
+        let _ = io::decode_lossy(Bytes::from(bytes));
+    }
+
+    /// Arbitrary bytes stitched behind a valid header prefix never panic.
+    #[test]
+    fn decode_valid_prefix_plus_noise_never_panics(
+        keep in 0usize..200,
+        noise in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let encoded = io::encode(&rich_trace());
+        let keep = keep.min(encoded.len());
+        let mut bytes = encoded[..keep].to_vec();
+        bytes.extend_from_slice(&noise);
+        let _ = io::decode(Bytes::from(bytes.clone()));
+        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
+            let _ = try_analyze(&salvage.trace, &lenient_budgeted());
+        }
+    }
+
+    /// Single seeded faults, exhaustively across seeds: decoders and the
+    /// lenient pipeline stay panic-free.
+    #[test]
+    fn seeded_single_faults_never_panic(seed in any::<u64>()) {
+        let encoded = io::encode(&rich_trace());
+        let fault = FaultRng::new(seed).fault(encoded.len());
+        let bytes = apply(&encoded, fault);
+        let _ = io::decode(Bytes::from(bytes.clone()));
+        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
+            let _ = try_analyze(&salvage.trace, &lenient_budgeted());
+        }
+    }
+}
+
+/// A clean encoding round-trips through `decode_lossy` with zero drops.
+#[test]
+fn decode_lossy_roundtrip_on_clean_trace_is_complete() {
+    let trace = rich_trace();
+    let salvage = io::decode_lossy(io::encode(&trace)).expect("clean trace decodes");
+    assert!(salvage.is_complete());
+    assert_eq!(salvage.dropped_bytes, 0);
+    assert_eq!(salvage.dropped_events, 0);
+    assert!(salvage.reason.is_none());
+    assert_eq!(salvage.trace.events, trace.events);
+}
+
+/// Explicit varint-bomb placements at every offset: the LEB128 reader hits
+/// its shift guard, never an overflow panic.
+#[test]
+fn varint_bombs_at_every_offset_never_panic() {
+    let encoded = io::encode(&rich_trace());
+    for offset in 0..encoded.len() {
+        let bytes = apply(&encoded, Fault::OverflowVarint { offset });
+        let _ = io::decode(Bytes::from(bytes.clone()));
+        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
+            let _ = try_analyze(&salvage.trace, &lenient_budgeted());
+        }
+    }
+}

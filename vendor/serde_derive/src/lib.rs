@@ -1,0 +1,669 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The build environment has no access to crates.io, so these derive macros
+//! are hand-rolled on top of `proc_macro` alone (no `syn`/`quote`). They
+//! target the companion vendored `serde` crate's Value-based traits and
+//! support exactly the shapes this workspace uses:
+//!
+//! - named-field structs, tuple structs (newtypes serialize transparently),
+//!   and unit structs;
+//! - enums with unit / newtype / tuple / struct variants, externally tagged
+//!   by default or internally tagged via `#[serde(tag = "...")]`;
+//! - the attributes `skip`, `default`, `skip_serializing_if = "path"`,
+//!   `flatten`, and `rename_all = "snake_case"` (on enums).
+//!
+//! Generics are intentionally unsupported — the workspace derives only on
+//! concrete types — and hitting one panics with a clear message at compile
+//! time rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One `key` or `key = "value"` entry from a `#[serde(...)]` attribute.
+#[derive(Clone, Debug)]
+struct SerdeMeta {
+    key: String,
+    value: Option<String>,
+}
+
+#[derive(Clone, Debug)]
+struct Field {
+    name: String,
+    metas: Vec<SerdeMeta>,
+}
+
+impl Field {
+    fn has(&self, key: &str) -> bool {
+        self.metas.iter().any(|m| m.key == key)
+    }
+
+    fn value_of(&self, key: &str) -> Option<&str> {
+        self.metas.iter().find(|m| m.key == key).and_then(|m| m.value.as_deref())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Clone, Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, tag: Option<String>, rename_all: Option<String>, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, returning the serde metas among them.
+    fn eat_attrs(&mut self) -> Vec<SerdeMeta> {
+        let mut metas = Vec::new();
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if let Some(TokenTree::Ident(head)) = inner.peek() {
+                        if head.to_string() == "serde" {
+                            inner.next();
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                metas.extend(parse_serde_metas(args.stream()));
+                            }
+                        }
+                    }
+                }
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            }
+        }
+        metas
+    }
+
+    /// Consumes an optional `pub` / `pub(...)` visibility.
+    fn eat_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips tokens up to a `,` at angle-bracket depth 0 (used to skip a
+    /// field's type). The comma itself is consumed.
+    fn skip_type(&mut self) {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_serde_metas(stream: TokenStream) -> Vec<SerdeMeta> {
+    let mut cur = Cursor::new(stream);
+    let mut metas = Vec::new();
+    while !cur.at_end() {
+        let key = cur.expect_ident("serde attribute key");
+        let value = if cur.eat_punct('=') {
+            match cur.next() {
+                Some(TokenTree::Literal(l)) => {
+                    let s = l.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!("serde derive: expected literal after `=`, found {other:?}"),
+            }
+        } else {
+            None
+        };
+        metas.push(SerdeMeta { key, value });
+        cur.eat_punct(',');
+    }
+    metas
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let metas = cur.eat_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.eat_visibility();
+        let name = cur.expect_ident("field name");
+        if !cur.eat_punct(':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        cur.skip_type();
+        fields.push(Field { name, metas });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        cur.eat_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.eat_visibility();
+        count += 1;
+        cur.skip_type();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.eat_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream());
+                cur.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        cur.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let item_metas = cur.eat_attrs();
+    cur.eat_visibility();
+    let kw = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let tag = item_metas
+                .iter()
+                .find(|m| m.key == "tag")
+                .and_then(|m| m.value.clone());
+            let rename_all = item_metas
+                .iter()
+                .find(|m| m.key == "rename_all")
+                .and_then(|m| m.value.clone());
+            let variants = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, tag, rename_all, variants }
+        }
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Applies `rename_all = "snake_case"` (the only convention the workspace
+/// uses) to a variant name.
+fn rename(name: &str, convention: Option<&str>) -> String {
+    match convention {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde derive (vendored): rename_all = \"{other}\" not supported"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+/// Emits statements that insert `fields` (reachable via `prefix`, e.g.
+/// `&self.name` or a match binding) into a `Map` named `__m`.
+fn ser_named_fields(out: &mut String, fields: &[Field], expr_of: impl Fn(&str) -> String) {
+    for f in fields {
+        if f.has("skip") {
+            continue;
+        }
+        let expr = expr_of(&f.name);
+        let insert = format!(
+            "__m.insert(\"{}\", ::serde::Serialize::serialize_value({expr}));\n",
+            f.name
+        );
+        if f.has("flatten") {
+            out.push_str(&format!(
+                "match ::serde::Serialize::serialize_value({expr}) {{\n\
+                     ::serde::Value::Object(__inner) => {{ for (__k, __v) in __inner {{ __m.insert(__k, __v); }} }}\n\
+                     __other => {{ __m.insert(\"{}\", __other); }}\n\
+                 }}\n",
+                f.name
+            ));
+        } else if let Some(pred) = f.value_of("skip_serializing_if") {
+            out.push_str(&format!("if !{pred}({expr}) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::Struct { name, shape } => {
+            match shape {
+                Shape::Unit => body.push_str("::serde::Value::Null\n"),
+                Shape::Tuple(1) => {
+                    body.push_str("::serde::Serialize::serialize_value(&self.0)\n");
+                }
+                Shape::Tuple(n) => {
+                    body.push_str("::serde::Value::Array(vec![\n");
+                    for i in 0..*n {
+                        body.push_str(&format!(
+                            "::serde::Serialize::serialize_value(&self.{i}),\n"
+                        ));
+                    }
+                    body.push_str("])\n");
+                }
+                Shape::Named(fields) => {
+                    body.push_str("let mut __m = ::serde::Map::new();\n");
+                    ser_named_fields(&mut body, fields, |f| format!("&self.{f}"));
+                    body.push_str("::serde::Value::Object(__m)\n");
+                }
+            }
+            name
+        }
+        Item::Enum { name, tag, rename_all, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = rename(&v.name, rename_all.as_deref());
+                match (&v.shape, tag) {
+                    (Shape::Unit, None) => {
+                        body.push_str(&format!(
+                            "{name}::{} => ::serde::Value::String(\"{vname}\".to_string()),\n",
+                            v.name
+                        ));
+                    }
+                    (Shape::Unit, Some(tag)) => {
+                        body.push_str(&format!(
+                            "{name}::{} => {{ let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{tag}\", ::serde::Value::String(\"{vname}\".to_string()));\n\
+                             ::serde::Value::Object(__m) }}\n",
+                            v.name
+                        ));
+                    }
+                    (Shape::Named(fields), None) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{} {{ {} }} => {{ let mut __m = ::serde::Map::new();\n",
+                            v.name,
+                            binds.join(", ")
+                        ));
+                        ser_named_fields(&mut body, fields, |f| f.to_string());
+                        body.push_str(&format!(
+                            "let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vname}\", ::serde::Value::Object(__m));\n\
+                             ::serde::Value::Object(__outer) }}\n"
+                        ));
+                    }
+                    (Shape::Named(fields), Some(tag)) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!(
+                            "{name}::{} {{ {} }} => {{ let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{tag}\", ::serde::Value::String(\"{vname}\".to_string()));\n",
+                            v.name,
+                            binds.join(", ")
+                        ));
+                        ser_named_fields(&mut body, fields, |f| f.to_string());
+                        body.push_str("::serde::Value::Object(__m) }\n");
+                    }
+                    (Shape::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__x0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        body.push_str(&format!(
+                            "{name}::{}({}) => {{ let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vname}\", {inner});\n\
+                             ::serde::Value::Object(__outer) }}\n",
+                            v.name,
+                            binds.join(", ")
+                        ));
+                    }
+                    (Shape::Tuple(_), Some(_)) => panic!(
+                        "serde derive (vendored): tuple variants cannot be internally tagged"
+                    ),
+                }
+            }
+            body.push_str("}\n");
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Emits a `name: expr,` struct-literal line per field, reading from a map
+/// named `__obj` (and the whole value `__whole` for `flatten`).
+fn de_named_fields(out: &mut String, fields: &[Field]) {
+    for f in fields {
+        let n = &f.name;
+        if f.has("skip") {
+            out.push_str(&format!("{n}: ::std::default::Default::default(),\n"));
+        } else if f.has("flatten") {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::deserialize_value(__whole)?,\n"
+            ));
+        } else if f.has("default") {
+            out.push_str(&format!(
+                "{n}: match __obj.get(\"{n}\") {{\n\
+                     Some(__x) if !__x.is_null() => ::serde::Deserialize::deserialize_value(__x)?,\n\
+                     _ => ::std::default::Default::default(),\n\
+                 }},\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::deserialize_value(\
+                     __obj.get(\"{n}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|__e| ::serde::DeError::new(\
+                         format!(\"field `{n}`: {{__e}}\")))?,\n"
+            ));
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::Struct { name, shape } => {
+            match shape {
+                Shape::Unit => body.push_str(&format!(
+                    "::std::result::Result::Ok({name})\n"
+                )),
+                Shape::Tuple(1) => body.push_str(&format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))\n"
+                )),
+                Shape::Tuple(n) => {
+                    body.push_str(&format!(
+                        "let __arr = __v.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array for {name}\", __v))?;\n\
+                         if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::new(\"wrong tuple length for {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}(\n"
+                    ));
+                    for i in 0..*n {
+                        body.push_str(&format!(
+                            "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                        ));
+                    }
+                    body.push_str("))\n");
+                }
+                Shape::Named(fields) => {
+                    body.push_str(&format!(
+                        "let __whole = __v;\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for {name}\", __v))?;\n\
+                         let _ = (__whole, __obj);\n\
+                         ::std::result::Result::Ok({name} {{\n"
+                    ));
+                    de_named_fields(&mut body, fields);
+                    body.push_str("})\n");
+                }
+            }
+            name
+        }
+        Item::Enum { name, tag, rename_all, variants } => {
+            match tag {
+                None => {
+                    // Externally tagged: a bare string for unit variants, a
+                    // single-key object otherwise.
+                    body.push_str("match __v {\n::serde::Value::String(__s) => match __s.as_str() {\n");
+                    for v in variants {
+                        if matches!(v.shape, Shape::Unit) {
+                            let vname = rename(&v.name, rename_all.as_deref());
+                            body.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{}),\n",
+                                v.name
+                            ));
+                        }
+                    }
+                    body.push_str(&format!(
+                        "__other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n"
+                    ));
+                    body.push_str(
+                        "::serde::Value::Object(__m) if __m.len() == 1 => {\n\
+                             let (__k, __inner) = __m.iter().next().unwrap();\n\
+                             match __k.as_str() {\n",
+                    );
+                    for v in variants {
+                        let vname = rename(&v.name, rename_all.as_deref());
+                        match &v.shape {
+                            Shape::Unit => {
+                                body.push_str(&format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok({name}::{}),\n",
+                                    v.name
+                                ));
+                            }
+                            Shape::Tuple(1) => {
+                                body.push_str(&format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok({name}::{}(\
+                                         ::serde::Deserialize::deserialize_value(__inner)?)),\n",
+                                    v.name
+                                ));
+                            }
+                            Shape::Tuple(n) => {
+                                body.push_str(&format!(
+                                    "\"{vname}\" => {{\n\
+                                         let __arr = __inner.as_array().ok_or_else(|| \
+                                             ::serde::DeError::expected(\"array\", __inner))?;\n\
+                                         if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                             ::serde::DeError::new(\"wrong tuple length\")); }}\n\
+                                         ::std::result::Result::Ok({name}::{}(\n",
+                                    v.name
+                                ));
+                                for i in 0..*n {
+                                    body.push_str(&format!(
+                                        "::serde::Deserialize::deserialize_value(&__arr[{i}])?,\n"
+                                    ));
+                                }
+                                body.push_str("))\n}\n");
+                            }
+                            Shape::Named(fields) => {
+                                body.push_str(&format!(
+                                    "\"{vname}\" => {{\n\
+                                         let __whole = __inner;\n\
+                                         let __obj = __inner.as_object().ok_or_else(|| \
+                                             ::serde::DeError::expected(\"object\", __inner))?;\n\
+                                         let _ = (__whole, __obj);\n\
+                                         ::std::result::Result::Ok({name}::{} {{\n",
+                                    v.name
+                                ));
+                                de_named_fields(&mut body, fields);
+                                body.push_str("})\n}\n");
+                            }
+                        }
+                    }
+                    body.push_str(&format!(
+                        "__other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n}}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"{name}\", __other)),\n}}\n"
+                    ));
+                }
+                Some(tag) => {
+                    body.push_str(&format!(
+                        "let __whole = __v;\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for {name}\", __v))?;\n\
+                         let _ = __whole;\n\
+                         let __tag = __obj.get(\"{tag}\").and_then(|__t| __t.as_str()).ok_or_else(|| \
+                             ::serde::DeError::new(\"missing `{tag}` tag for {name}\"))?;\n\
+                         match __tag {{\n"
+                    ));
+                    for v in variants {
+                        let vname = rename(&v.name, rename_all.as_deref());
+                        match &v.shape {
+                            Shape::Unit => {
+                                body.push_str(&format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok({name}::{}),\n",
+                                    v.name
+                                ));
+                            }
+                            Shape::Named(fields) => {
+                                body.push_str(&format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok({name}::{} {{\n",
+                                    v.name
+                                ));
+                                de_named_fields(&mut body, fields);
+                                body.push_str("}),\n");
+                            }
+                            Shape::Tuple(_) => panic!(
+                                "serde derive (vendored): tuple variants cannot be internally tagged"
+                            ),
+                        }
+                    }
+                    body.push_str(&format!(
+                        "__other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n"
+                    ));
+                }
+            }
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derives `serde::Serialize` for the subset of shapes this workspace uses.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for the subset of shapes this workspace uses.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde derive: generated Deserialize impl must parse")
+}
