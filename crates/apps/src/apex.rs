@@ -109,7 +109,8 @@ impl Apex {
             let node = apex.new_node(t, INITIAL_CAP);
             apex.pool.store_u64(t, apex.dir_slot(p), node);
         }
-        apex.pool.persist(t, apex.pool.base(), (DIR_OFF + partitions * 8) as usize);
+        apex.pool
+            .persist(t, apex.pool.base(), (DIR_OFF + partitions * 8) as usize);
         apex
     }
 
@@ -118,7 +119,10 @@ impl Apex {
     }
 
     fn new_node(&self, t: &PmThread, cap: u64) -> PmAddr {
-        let addr = self.alloc.alloc(node_size(cap)).expect("apex pool exhausted");
+        let addr = self
+            .alloc
+            .alloc(node_size(cap))
+            .expect("apex pool exhausted");
         for w in (0..node_size(cap)).step_by(8) {
             self.pool.store_u64(t, addr + w, 0);
         }
@@ -272,10 +276,11 @@ impl Apex {
             let k = self.pool.load_u64(t, kaddr);
             if k == key + 1 {
                 self.pool.store_u64(t, kaddr, u64::MAX); // tombstone, not a gap:
-                // probes must continue past erased slots.
+                                                         // probes must continue past erased slots.
                 self.pool.persist(t, kaddr, 8);
                 let count = self.pool.load_u64(t, node + DN_COUNT);
-                self.pool.store_u64(t, node + DN_COUNT, count.saturating_sub(1));
+                self.pool
+                    .store_u64(t, node + DN_COUNT, count.saturating_sub(1));
                 self.pool.persist(t, node + DN_COUNT, 8);
                 return true;
             }
@@ -314,16 +319,48 @@ impl Application for ApexApp {
 
     fn known_races(&self) -> Vec<KnownRace> {
         vec![
-            KnownRace::malign(19, true, "apex::insert_value", "apex::search", "load unpersisted value"),
-            KnownRace::malign(20, true, "apex::insert_key", "apex::search_key", "load unpersisted key"),
-            KnownRace::benign("apex::insert_key", "apex::search", "key store vs payload read"),
-            KnownRace::benign("apex::insert_value", "apex::search_key", "value store vs key probe"),
+            KnownRace::malign(
+                19,
+                true,
+                "apex::insert_value",
+                "apex::search",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                20,
+                true,
+                "apex::insert_key",
+                "apex::search_key",
+                "load unpersisted key",
+            ),
+            KnownRace::benign(
+                "apex::insert_key",
+                "apex::search",
+                "key store vs payload read",
+            ),
+            KnownRace::benign(
+                "apex::insert_value",
+                "apex::search_key",
+                "value store vs key probe",
+            ),
             KnownRace::benign("apex::put", "apex::search_key", "count bump vs probe"),
             KnownRace::benign("apex::erase", "apex::search_key", "tombstone vs probe"),
             KnownRace::benign("apex::erase", "apex::search", "tombstone vs payload read"),
-            KnownRace::benign("apex::expand", "apex::traverse", "SMO swap persisted pre-publication"),
-            KnownRace::benign("apex::expand", "apex::search_key", "probe into the new node"),
-            KnownRace::benign("apex::expand", "apex::search", "payload read in the new node"),
+            KnownRace::benign(
+                "apex::expand",
+                "apex::traverse",
+                "SMO swap persisted pre-publication",
+            ),
+            KnownRace::benign(
+                "apex::expand",
+                "apex::search_key",
+                "probe into the new node",
+            ),
+            KnownRace::benign(
+                "apex::expand",
+                "apex::search",
+                "payload read in the new node",
+            ),
             KnownRace::benign("apex::create", "apex::traverse", "directory initialization"),
         ]
     }
@@ -374,7 +411,10 @@ pub fn run_apex(w: &Workload, opts: &ExecOptions, cfg: ApexConfig) -> ExecResult
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -389,7 +429,14 @@ mod tests {
         let pool = env.map_pool("/mnt/pmem/apex-test", 1 << 23);
         let main = env.main_thread();
         let train: Vec<u64> = (0..1000).collect();
-        let a = Arc::new(Apex::create(&env, &pool, &main, &train, partitions, ApexConfig::default()));
+        let a = Arc::new(Apex::create(
+            &env,
+            &pool,
+            &main,
+            &train,
+            partitions,
+            ApexConfig::default(),
+        ));
         (env, a, main)
     }
 
@@ -443,7 +490,11 @@ mod tests {
         });
         for i in 0..4u64 {
             for k in 0..100u64 {
-                assert_eq!(a.get(&main, i * 1000 + k), Some(k + 1), "thread {i} key {k}");
+                assert_eq!(
+                    a.get(&main, i * 1000 + k),
+                    Some(k + 1),
+                    "thread {i} key {k}"
+                );
             }
         }
     }
@@ -454,12 +505,24 @@ mod tests {
         let res = run_apex(&w, &ExecOptions::default(), ApexConfig::default());
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&report.races, &ApexApp.known_races());
-        assert!(b.detected_ids.contains(&19), "bug #19 missing: {:?}", b.detected_ids);
-        assert!(b.detected_ids.contains(&20), "bug #20 missing: {:?}", b.detected_ids);
+        assert!(
+            b.detected_ids.contains(&19),
+            "bug #19 missing: {:?}",
+            b.detected_ids
+        );
+        assert!(
+            b.detected_ids.contains(&20),
+            "bug #20 missing: {:?}",
+            b.detected_ids
+        );
         // The APEX races exist despite correct persists: the reports must
         // NOT carry the never-persisted signature.
         for race in b.malign.iter() {
-            assert!(!race.store_never_persisted, "APEX persists correctly: {}", race.summary());
+            assert!(
+                !race.store_never_persisted,
+                "APEX persists correctly: {}",
+                race.summary()
+            );
         }
     }
 }

@@ -6,8 +6,10 @@
 //! HawkSet analyses. The observation-based baseline uses the same entry
 //! point with [`ExecOptions::observe`] and a perturbation hook.
 
+use std::sync::Arc;
+
 use hawkset_core::trace::Trace;
-use pm_runtime::{Hook, Observation, PmEnv};
+use pm_runtime::{CrashInjector, Hook, Observation, PmEnv, PmPool, PmThread};
 use pm_workloads::{CacheOp, FsOp, Workload};
 
 use crate::registry::KnownRace;
@@ -46,6 +48,11 @@ pub struct ExecOptions {
     pub observe: bool,
     /// Perturbation hook (delay injection).
     pub hook: Option<Hook>,
+    /// Crash-point injector: captures persisted-only pool images at
+    /// deterministic op indices (and, in stop-the-world mode, kills the
+    /// triggering thread). Composed *after* the delay hook, so an injected
+    /// delay at the same op still happens before the crash fires.
+    pub crash: Option<Arc<CrashInjector>>,
 }
 
 /// The outcome of one instrumented run.
@@ -55,6 +62,37 @@ pub struct ExecResult {
     /// Observations (empty unless [`ExecOptions::observe`]).
     pub observations: Vec<Observation>,
 }
+
+/// One structural-consistency violation found while auditing a crash
+/// image — evidence that a crash at the captured point loses or corrupts
+/// data in a way recovery cannot repair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Short name of the violated invariant (e.g. `"fence-key"`,
+    /// `"null-child"`, `"duplicate-key"`).
+    pub invariant: String,
+    /// Human-readable specifics: where in the structure, which values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Recovery could not even reopen the structure (unreadable root,
+/// out-of-pool pointer where the format requires a valid one, …).
+#[derive(Clone, Debug)]
+pub struct RecoveryError(pub String);
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "recovery failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// One of the nine evaluated PM applications.
 pub trait Application: Send + Sync {
@@ -79,12 +117,52 @@ pub trait Application: Send + Sync {
     fn execute(&self, workload: &AppWorkload) -> Trace {
         self.execute_with(workload, &ExecOptions::default()).trace
     }
+
+    /// Whether [`recover`](Self::recover) and
+    /// [`check_invariants`](Self::check_invariants) are implemented for
+    /// this application. Campaign drivers skip the post-crash audit for
+    /// apps that return `false`.
+    fn supports_recovery(&self) -> bool {
+        false
+    }
+
+    /// Restarts the application from `pool` — a pool mapped from a crash
+    /// image via [`PmEnv::map_pool_from_image`] — the way its recovery
+    /// code would reopen a DAX file after a real crash. Returns an error
+    /// if the structure cannot be reopened at all.
+    ///
+    /// The default implementation accepts any image; override together
+    /// with [`check_invariants`](Self::check_invariants).
+    fn recover(&self, pool: &PmPool, t: &PmThread) -> Result<(), RecoveryError> {
+        let _ = (pool, t);
+        Ok(())
+    }
+
+    /// Audits the recovered structure for internal consistency, returning
+    /// every violation found (empty = consistent). Called after
+    /// [`recover`](Self::recover) succeeds.
+    fn check_invariants(&self, pool: &PmPool, t: &PmThread) -> Vec<InvariantViolation> {
+        let _ = (pool, t);
+        Vec::new()
+    }
 }
 
 /// Sets up an environment according to `opts` (shared by all apps).
 pub(crate) fn env_for(opts: &ExecOptions) -> PmEnv {
     let env = PmEnv::new();
     env.set_observe(opts.observe);
-    env.set_hook(opts.hook.clone());
+    let mut hook = opts.hook.clone();
+    if let Some(crash) = &opts.crash {
+        crash.attach(&env);
+        let crash_hook = crash.hook();
+        hook = Some(match hook {
+            Some(delay) => Arc::new(move |tid, point| {
+                delay(tid, point);
+                crash_hook(tid, point);
+            }) as Hook,
+            None => crash_hook,
+        });
+    }
+    env.set_hook(hook);
     env
 }

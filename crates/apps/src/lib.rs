@@ -16,16 +16,18 @@ pub mod apex;
 pub mod app;
 pub mod fastfair;
 pub mod madfs;
-pub mod model;
 pub mod masstree;
 pub mod memcached;
+pub mod model;
 pub mod part;
-pub mod wipe;
 pub mod pclht;
-pub mod turbohash;
 pub mod registry;
+pub mod turbohash;
+pub mod wipe;
 
-pub use app::{AppWorkload, Application, ExecOptions, ExecResult};
+pub use app::{
+    AppWorkload, Application, ExecOptions, ExecResult, InvariantViolation, RecoveryError,
+};
 pub use registry::{score, Breakdown, KnownRace, RaceClass};
 
 /// Volatile per-address lock table shared by the lock-based applications

@@ -87,8 +87,10 @@ impl MadFs {
         assert_eq!(offset % BLOCK, 0, "block-aligned writes only");
         assert!(data.len() as u64 <= BLOCK);
         let vblock = (offset / BLOCK) as u32;
-        let pblock =
-            self.next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % self.data_blocks;
+        let pblock = self
+            .next_block
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            % self.data_blocks;
         // Copy-on-write data path: non-temporal bulk store + fence.
         {
             let _d = t.frame("madfs::write_data");
@@ -99,8 +101,13 @@ impl MadFs {
         // Atomic 8-byte log append; visible immediately, durable at fsync.
         {
             let _l = t.frame("madfs::log_append");
-            let idx = self.pool.fetch_add_u64(t, self.pool.base() + OFF_LOG_COUNT, 1);
-            assert!(idx < self.log_cap, "log full: raise log_cap or fsync+truncate");
+            let idx = self
+                .pool
+                .fetch_add_u64(t, self.pool.base() + OFF_LOG_COUNT, 1);
+            assert!(
+                idx < self.log_cap,
+                "log full: raise log_cap or fsync+truncate"
+            );
             self.pool.atomic_store_u64(
                 t,
                 self.pool.base() + OFF_LOG + idx * 8,
@@ -137,7 +144,11 @@ impl MadFs {
         match self.resolve(t, (offset / BLOCK) as u32) {
             Some(pblock) => {
                 let _d = t.frame("madfs::read_data");
-                self.pool.load_bytes(t, self.data_base + u64::from(pblock) * BLOCK, len.min(BLOCK as usize))
+                self.pool.load_bytes(
+                    t,
+                    self.data_base + u64::from(pblock) * BLOCK,
+                    len.min(BLOCK as usize),
+                )
             }
             None => vec![0; len.min(BLOCK as usize)],
         }
@@ -151,7 +162,11 @@ impl MadFs {
             .pool
             .atomic_load_u64(t, self.pool.base() + OFF_LOG_COUNT)
             .min(self.log_cap);
-        self.pool.flush_range(t, self.pool.base() + OFF_LOG_COUNT, (OFF_LOG + count * 8) as usize);
+        self.pool.flush_range(
+            t,
+            self.pool.base() + OFF_LOG_COUNT,
+            (OFF_LOG + count * 8) as usize,
+        );
         t.fence();
     }
 
@@ -257,15 +272,18 @@ pub fn run_madfs(schedules: &[Vec<FsOp>], opts: &ExecOptions) -> ExecResult {
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pm_runtime::PmEnv;
     use crate::registry::{score, RaceClass};
     use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use pm_runtime::PmEnv;
 
     fn fresh() -> (PmEnv, Arc<MadFs>, PmThread) {
         let env = PmEnv::new();
@@ -283,7 +301,11 @@ mod tests {
         fs.write(&t, 8192, &[1u8; 4096]);
         assert_eq!(fs.read(&t, 0, 4096), data);
         assert_eq!(fs.read(&t, 8192, 16), vec![1u8; 16]);
-        assert_eq!(fs.read(&t, 4096, 8), vec![0u8; 8], "unwritten block reads zeros");
+        assert_eq!(
+            fs.read(&t, 4096, 8),
+            vec![0u8; 8],
+            "unwritten block reads zeros"
+        );
     }
 
     #[test]
@@ -291,7 +313,11 @@ mod tests {
         let (_env, fs, t) = fresh();
         fs.write(&t, 0, &[1u8; 4096]);
         fs.write(&t, 0, &[2u8; 4096]);
-        assert_eq!(fs.read(&t, 0, 4)[0], 2, "copy-on-write must resolve newest entry");
+        assert_eq!(
+            fs.read(&t, 0, 4)[0],
+            2,
+            "copy-on-write must resolve newest entry"
+        );
     }
 
     #[test]
@@ -324,14 +350,23 @@ mod tests {
         let res = run_madfs(&schedules, &ExecOptions::default());
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&report.races, &MadFsApp.known_races());
-        assert!(!report.races.is_empty(), "the benign population must be reported");
+        assert!(
+            !report.races.is_empty(),
+            "the benign population must be reported"
+        );
         assert!(b.malign.is_empty(), "MadFS has no malign race (Table 4)");
         assert!(
             b.false_positives.is_empty(),
             "unexpected FPs: {:?}",
-            b.false_positives.iter().map(|r| r.summary()).collect::<Vec<_>>()
+            b.false_positives
+                .iter()
+                .map(|r| r.summary())
+                .collect::<Vec<_>>()
         );
-        assert!(MadFsApp.known_races().iter().all(|k| k.class == RaceClass::Benign));
+        assert!(MadFsApp
+            .known_races()
+            .iter()
+            .all(|k| k.class == RaceClass::Benign));
     }
 
     #[test]
@@ -346,7 +381,11 @@ mod tests {
             }
         });
         for i in 0..4u64 {
-            assert_eq!(fs.read(&main, i * 4096, 8), vec![i as u8 + 1; 8], "writer {i}");
+            assert_eq!(
+                fs.read(&main, i * 4096, 8),
+                vec![i as u8 + 1; 8],
+                "writer {i}"
+            );
         }
     }
 }

@@ -104,7 +104,9 @@ pub struct MasstreeBugs {
 
 impl Default for MasstreeBugs {
     fn default() -> Self {
-        Self { late_perm_persist: true }
+        Self {
+            late_perm_persist: true,
+        }
     }
 }
 
@@ -120,7 +122,12 @@ impl Masstree {
     /// Creates an empty index.
     pub fn create(env: &PmEnv, pool: &PmPool, t: &PmThread, bugs: MasstreeBugs) -> Self {
         let alloc = Arc::new(PmAllocator::new(pool, 64));
-        let mt = Self { pool: pool.clone(), alloc, locks: LockTable::new(env), bugs };
+        let mt = Self {
+            pool: pool.clone(),
+            alloc,
+            locks: LockTable::new(env),
+            bugs,
+        };
         let _f = t.frame("masstree::create");
         let root = mt.new_node(t, true);
         mt.pool.store_u64(t, mt.pool.base() + ROOT_PTR_OFF, root);
@@ -129,7 +136,10 @@ impl Masstree {
     }
 
     fn new_node(&self, t: &PmThread, leaf: bool) -> PmAddr {
-        let addr = self.alloc.alloc(NODE_SIZE).expect("masstree pool exhausted");
+        let addr = self
+            .alloc
+            .alloc(NODE_SIZE)
+            .expect("masstree pool exhausted");
         for w in (0..NODE_SIZE).step_by(8) {
             self.pool.store_u64(t, addr + w, 0);
         }
@@ -145,7 +155,9 @@ impl Masstree {
         }
         let mut min = u64::MAX;
         for r in 0..perm::count(p) {
-            let k = self.pool.load_u64(t, node + OFF_KEYS + perm::slot(p, r) * 8);
+            let k = self
+                .pool
+                .load_u64(t, node + OFF_KEYS + perm::slot(p, r) * 8);
             min = min.min(k);
         }
         Some(min)
@@ -251,7 +263,11 @@ impl Masstree {
         enum After {
             Done,
             PersistPerm(PmAddr),
-            Split { left: PmAddr, sep: u64, right: PmAddr },
+            Split {
+                left: PmAddr,
+                sep: u64,
+                right: PmAddr,
+            },
         }
         let after = self.with_owning_leaf(t, start, key, |leaf| {
             let p = self.pool.load_u64(t, leaf + OFF_PERM);
@@ -275,10 +291,13 @@ impl Masstree {
                     self.pool.persist(t, leaf + OFF_VALS + s * 8, 8);
                     let rank = (0..perm::count(p))
                         .take_while(|&r| {
-                            self.pool.load_u64(t, leaf + OFF_KEYS + perm::slot(p, r) * 8) < key
+                            self.pool
+                                .load_u64(t, leaf + OFF_KEYS + perm::slot(p, r) * 8)
+                                < key
                         })
                         .count() as u64;
-                    self.pool.store_u64(t, leaf + OFF_PERM, perm::with_inserted(p, rank, s));
+                    self.pool
+                        .store_u64(t, leaf + OFF_PERM, perm::with_inserted(p, rank, s));
                     if !self.bugs.late_perm_persist {
                         self.pool.persist(t, leaf + OFF_PERM, 8);
                         After::Done
@@ -288,7 +307,11 @@ impl Masstree {
                 }
                 None => {
                     let (sep, right) = self.split_leaf(t, leaf, key, value);
-                    After::Split { left: leaf, sep, right }
+                    After::Split {
+                        left: leaf,
+                        sep,
+                        right,
+                    }
                 }
             }
         });
@@ -366,10 +389,13 @@ impl Masstree {
             self.pool.persist(t, target + OFF_VALS + s * 8, 8);
             let rank = (0..perm::count(tp))
                 .take_while(|&r| {
-                    self.pool.load_u64(t, target + OFF_KEYS + perm::slot(tp, r) * 8) < key
+                    self.pool
+                        .load_u64(t, target + OFF_KEYS + perm::slot(tp, r) * 8)
+                        < key
                 })
                 .count() as u64;
-            self.pool.store_u64(t, target + OFF_PERM, perm::with_inserted(tp, rank, s));
+            self.pool
+                .store_u64(t, target + OFF_PERM, perm::with_inserted(tp, rank, s));
             if !self.bugs.late_perm_persist {
                 self.pool.persist(t, target + OFF_PERM, 8);
             }
@@ -385,7 +411,14 @@ impl Masstree {
     /// Inserts a separator into the internal level above (sorted layout,
     /// persisted inside the lock — internal plumbing is not where the
     /// masstree bugs live).
-    fn insert_into_parent(&self, t: &PmThread, left: PmAddr, sep: u64, child: PmAddr, level: usize) {
+    fn insert_into_parent(
+        &self,
+        t: &PmThread,
+        left: PmAddr,
+        sep: u64,
+        child: PmAddr,
+        level: usize,
+    ) {
         loop {
             let (_, path) = self.descend(t, sep);
             if path.len() <= level {
@@ -397,7 +430,11 @@ impl Masstree {
             }
             enum Outcome {
                 Done,
-                Cascade { parent: PmAddr, promoted: u64, right: PmAddr },
+                Cascade {
+                    parent: PmAddr,
+                    promoted: u64,
+                    right: PmAddr,
+                },
             }
             let start = path[path.len() - 1 - level];
             let outcome = self.with_owning_leaf(t, start, sep, |parent| {
@@ -422,12 +459,20 @@ impl Masstree {
                     Outcome::Done
                 } else {
                     let (promoted, right) = self.split_internal(t, parent, sep, child);
-                    Outcome::Cascade { parent, promoted, right }
+                    Outcome::Cascade {
+                        parent,
+                        promoted,
+                        right,
+                    }
                 }
             });
             match outcome {
                 Outcome::Done => return,
-                Outcome::Cascade { parent, promoted, right } => {
+                Outcome::Cascade {
+                    parent,
+                    promoted,
+                    right,
+                } => {
                     self.insert_into_parent(t, parent, promoted, right, level + 1);
                     return;
                 }
@@ -448,13 +493,21 @@ impl Masstree {
             self.pool.store_u64(t, right + OFF_VALS + (i - half) * 8, v);
         }
         self.pool.store_u64(t, right + OFF_COUNT, CAP - half);
-        self.pool.store_u64(t, right + OFF_SIBLING, self.pool.load_u64(t, node + OFF_SIBLING));
+        self.pool.store_u64(
+            t,
+            right + OFF_SIBLING,
+            self.pool.load_u64(t, node + OFF_SIBLING),
+        );
         self.pool.persist(t, right, NODE_SIZE as usize);
         self.pool.store_u64(t, node + OFF_SIBLING, right);
         self.pool.store_u64(t, node + OFF_COUNT, half);
         self.pool.persist(t, node, NODE_SIZE as usize);
         let promoted = self.pool.load_u64(t, right + OFF_KEYS);
-        let (target, base) = if sep < promoted { (node, half) } else { (right, CAP - half) };
+        let (target, base) = if sep < promoted {
+            (node, half)
+        } else {
+            (right, CAP - half)
+        };
         let count = base;
         let mut i = count;
         while i > 0 {
@@ -506,7 +559,8 @@ impl Masstree {
                 let s = perm::slot(p, r);
                 if self.pool.load_u64(t, leaf + OFF_KEYS + s * 8) == key {
                     let _b = t.frame("masstree::remove_leaf");
-                    self.pool.store_u64(t, leaf + OFF_PERM, perm::with_removed(p, r));
+                    self.pool
+                        .store_u64(t, leaf + OFF_PERM, perm::with_removed(p, r));
                     if !self.bugs.late_perm_persist {
                         self.pool.persist(t, leaf + OFF_PERM, 8);
                         return Some(None);
@@ -592,35 +646,153 @@ impl Application for MasstreeApp {
 
     fn known_races(&self) -> Vec<KnownRace> {
         vec![
-            KnownRace::malign(5, false, "masstree::insert_leaf", "masstree::get", "load unpersisted value"),
-            KnownRace::malign(6, false, "masstree::split_insert", "masstree::get", "load unpersisted value"),
-            KnownRace::malign(7, false, "masstree::remove_leaf", "masstree::get", "unpersisted removal"),
-            KnownRace::benign("masstree::put", "masstree::get", "overwrite persisted in CS"),
-            KnownRace::benign("masstree::put", "masstree::descend", "descent overlapping put"),
-            KnownRace::benign("masstree::insert_leaf", "masstree::descend", "descent reads leaf entry"),
-            KnownRace::benign("masstree::split", "masstree::get", "split halves persisted pre-publication"),
-            KnownRace::benign("masstree::split", "masstree::descend", "descent during split"),
-            KnownRace::benign("masstree::split_insert", "masstree::descend", "descent during split insert"),
-            KnownRace::benign("masstree::remove_leaf", "masstree::descend", "descent during remove"),
-            KnownRace::benign("masstree::insert_internal", "masstree::descend", "internal insert persisted in CS"),
-            KnownRace::benign("masstree::split_internal", "masstree::descend", "internal split persisted in CS"),
-            KnownRace::benign("masstree::grow_root", "masstree::descend", "root swap persisted pre-publication"),
+            KnownRace::malign(
+                5,
+                false,
+                "masstree::insert_leaf",
+                "masstree::get",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                6,
+                false,
+                "masstree::split_insert",
+                "masstree::get",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                7,
+                false,
+                "masstree::remove_leaf",
+                "masstree::get",
+                "unpersisted removal",
+            ),
+            KnownRace::benign(
+                "masstree::put",
+                "masstree::get",
+                "overwrite persisted in CS",
+            ),
+            KnownRace::benign(
+                "masstree::put",
+                "masstree::descend",
+                "descent overlapping put",
+            ),
+            KnownRace::benign(
+                "masstree::insert_leaf",
+                "masstree::descend",
+                "descent reads leaf entry",
+            ),
+            KnownRace::benign(
+                "masstree::split",
+                "masstree::get",
+                "split halves persisted pre-publication",
+            ),
+            KnownRace::benign(
+                "masstree::split",
+                "masstree::descend",
+                "descent during split",
+            ),
+            KnownRace::benign(
+                "masstree::split_insert",
+                "masstree::descend",
+                "descent during split insert",
+            ),
+            KnownRace::benign(
+                "masstree::remove_leaf",
+                "masstree::descend",
+                "descent during remove",
+            ),
+            KnownRace::benign(
+                "masstree::insert_internal",
+                "masstree::descend",
+                "internal insert persisted in CS",
+            ),
+            KnownRace::benign(
+                "masstree::split_internal",
+                "masstree::descend",
+                "internal split persisted in CS",
+            ),
+            KnownRace::benign(
+                "masstree::grow_root",
+                "masstree::descend",
+                "root swap persisted pre-publication",
+            ),
             KnownRace::benign("masstree::create", "masstree::descend", "initial root"),
-            KnownRace::benign("masstree::insert_leaf", "masstree::put", "deferred perm read by a later put"),
-            KnownRace::benign("masstree::insert_leaf", "masstree::remove", "deferred perm read by a later remove"),
-            KnownRace::benign("masstree::insert_leaf", "masstree::split", "deferred perm read during split"),
-            KnownRace::benign("masstree::split_insert", "masstree::put", "deferred perm (split path) read by a later put"),
-            KnownRace::benign("masstree::split_insert", "masstree::remove", "deferred perm (split path) read by a later remove"),
-            KnownRace::benign("masstree::split_insert", "masstree::split", "deferred perm (split path) read during split"),
-            KnownRace::benign("masstree::remove_leaf", "masstree::put", "deferred removal read by a later put"),
-            KnownRace::benign("masstree::remove_leaf", "masstree::remove", "deferred removal read by a later remove"),
-            KnownRace::benign("masstree::remove_leaf", "masstree::split", "deferred removal read during split"),
-            KnownRace::benign("masstree::split", "masstree::put", "move-right probe during split"),
-            KnownRace::benign("masstree::split", "masstree::remove", "move-right probe during split"),
-            KnownRace::benign("masstree::insert_internal", "masstree::put", "internal insert vs descent probe"),
-            KnownRace::benign("masstree::split_internal", "masstree::put", "internal split vs descent probe"),
-            KnownRace::benign("masstree::put", "masstree::remove", "overwrite vs remove scan"),
-            KnownRace::benign("masstree::put", "masstree::put", "overwrite vs concurrent put scan"),
+            KnownRace::benign(
+                "masstree::insert_leaf",
+                "masstree::put",
+                "deferred perm read by a later put",
+            ),
+            KnownRace::benign(
+                "masstree::insert_leaf",
+                "masstree::remove",
+                "deferred perm read by a later remove",
+            ),
+            KnownRace::benign(
+                "masstree::insert_leaf",
+                "masstree::split",
+                "deferred perm read during split",
+            ),
+            KnownRace::benign(
+                "masstree::split_insert",
+                "masstree::put",
+                "deferred perm (split path) read by a later put",
+            ),
+            KnownRace::benign(
+                "masstree::split_insert",
+                "masstree::remove",
+                "deferred perm (split path) read by a later remove",
+            ),
+            KnownRace::benign(
+                "masstree::split_insert",
+                "masstree::split",
+                "deferred perm (split path) read during split",
+            ),
+            KnownRace::benign(
+                "masstree::remove_leaf",
+                "masstree::put",
+                "deferred removal read by a later put",
+            ),
+            KnownRace::benign(
+                "masstree::remove_leaf",
+                "masstree::remove",
+                "deferred removal read by a later remove",
+            ),
+            KnownRace::benign(
+                "masstree::remove_leaf",
+                "masstree::split",
+                "deferred removal read during split",
+            ),
+            KnownRace::benign(
+                "masstree::split",
+                "masstree::put",
+                "move-right probe during split",
+            ),
+            KnownRace::benign(
+                "masstree::split",
+                "masstree::remove",
+                "move-right probe during split",
+            ),
+            KnownRace::benign(
+                "masstree::insert_internal",
+                "masstree::put",
+                "internal insert vs descent probe",
+            ),
+            KnownRace::benign(
+                "masstree::split_internal",
+                "masstree::put",
+                "internal split vs descent probe",
+            ),
+            KnownRace::benign(
+                "masstree::put",
+                "masstree::remove",
+                "overwrite vs remove scan",
+            ),
+            KnownRace::benign(
+                "masstree::put",
+                "masstree::put",
+                "overwrite vs concurrent put scan",
+            ),
         ]
     }
 
@@ -654,7 +826,10 @@ pub fn run_masstree(w: &Workload, opts: &ExecOptions, bugs: MasstreeBugs) -> Exe
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -667,7 +842,12 @@ mod tests {
         let env = PmEnv::new();
         let pool = env.map_pool("/mnt/pmem/mt-test", 1 << 22);
         let main = env.main_thread();
-        let mt = Arc::new(Masstree::create(&env, &pool, &main, MasstreeBugs::default()));
+        let mt = Arc::new(Masstree::create(
+            &env,
+            &pool,
+            &main,
+            MasstreeBugs::default(),
+        ));
         (env, mt, main)
     }
 
@@ -733,7 +913,11 @@ mod tests {
         });
         for i in 0..4u64 {
             for k in 0..120u64 {
-                assert_eq!(mt.get(&main, i * 1000 + k), Some(k + 1), "thread {i} key {k}");
+                assert_eq!(
+                    mt.get(&main, i * 1000 + k),
+                    Some(k + 1),
+                    "thread {i} key {k}"
+                );
             }
         }
     }
@@ -758,7 +942,11 @@ mod tests {
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&report.races, &MasstreeApp.known_races());
         for id in [5, 6, 7] {
-            assert!(b.detected_ids.contains(&id), "bug #{id} missing: {:?}", b.detected_ids);
+            assert!(
+                b.detected_ids.contains(&id),
+                "bug #{id} missing: {:?}",
+                b.detected_ids
+            );
         }
     }
 }

@@ -107,9 +107,11 @@ impl Memcached {
         mc.pool.store_u64(t, mc.pool.base() + OFF_LRU_TAIL, 0);
         mc.pool.store_u64(t, mc.pool.base() + OFF_SLAB_HEAD, 0);
         for b in 0..NBUCKETS {
-            mc.pool.store_u64(t, mc.pool.base() + OFF_BUCKETS + b * 8, 0);
+            mc.pool
+                .store_u64(t, mc.pool.base() + OFF_BUCKETS + b * 8, 0);
         }
-        mc.pool.persist(t, mc.pool.base(), (OFF_BUCKETS + NBUCKETS * 8) as usize);
+        mc.pool
+            .persist(t, mc.pool.base(), (OFF_BUCKETS + NBUCKETS * 8) as usize);
         mc
     }
 
@@ -124,7 +126,8 @@ impl Memcached {
     }
 
     fn now(&self) -> u64 {
-        self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        self.clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     // ---- slab allocator (#13) ----
@@ -137,14 +140,17 @@ impl Memcached {
         let head = self.pool.load_u64(t, self.pool.base() + OFF_SLAB_HEAD);
         if head != 0 {
             let next = self.pool.load_u64(t, head + IT_H_NEXT);
-            self.pool.store_u64(t, self.pool.base() + OFF_SLAB_HEAD, next);
+            self.pool
+                .store_u64(t, self.pool.base() + OFF_SLAB_HEAD, next);
             // The head update is persisted (the *free* side is the buggy
             // one, mirroring slabs.c:549 on the push path).
             self.pool.persist(t, self.pool.base() + OFF_SLAB_HEAD, 8);
             return head;
         }
         drop(_f);
-        self.alloc.alloc(ITEM_SIZE).expect("memcached pool exhausted")
+        self.alloc
+            .alloc(ITEM_SIZE)
+            .expect("memcached pool exhausted")
     }
 
     /// Pushes a slot onto the PM free list. **Bug #13**: the head store is
@@ -155,7 +161,8 @@ impl Memcached {
         let head = self.pool.load_u64(t, self.pool.base() + OFF_SLAB_HEAD);
         self.pool.store_u64(t, item + IT_H_NEXT, head);
         self.pool.persist(t, item + IT_H_NEXT, 8);
-        self.pool.store_u64(t, self.pool.base() + OFF_SLAB_HEAD, item);
+        self.pool
+            .store_u64(t, self.pool.base() + OFF_SLAB_HEAD, item);
         if !self.bugs.unpersisted_slab_head {
             self.pool.persist(t, self.pool.base() + OFF_SLAB_HEAD, 8);
         }
@@ -200,9 +207,11 @@ impl Memcached {
         if head != 0 {
             self.pool.store_u64(t, head + IT_LRU_PREV, item);
         } else {
-            self.pool.store_u64(t, self.pool.base() + OFF_LRU_TAIL, item);
+            self.pool
+                .store_u64(t, self.pool.base() + OFF_LRU_TAIL, item);
         }
-        self.pool.store_u64(t, self.pool.base() + OFF_LRU_HEAD, item);
+        self.pool
+            .store_u64(t, self.pool.base() + OFF_LRU_HEAD, item);
         if !self.bugs.unpersisted_lru {
             self.pool.persist(t, item + IT_LRU_NEXT, 16);
             self.pool.persist(t, self.pool.base() + OFF_LRU_HEAD, 16);
@@ -242,12 +251,14 @@ impl Memcached {
         if prev != 0 {
             self.pool.store_u64(t, prev + IT_LRU_NEXT, next);
         } else {
-            self.pool.store_u64(t, self.pool.base() + OFF_LRU_HEAD, next);
+            self.pool
+                .store_u64(t, self.pool.base() + OFF_LRU_HEAD, next);
         }
         if next != 0 {
             self.pool.store_u64(t, next + IT_LRU_PREV, prev);
         } else {
-            self.pool.store_u64(t, self.pool.base() + OFF_LRU_TAIL, prev);
+            self.pool
+                .store_u64(t, self.pool.base() + OFF_LRU_TAIL, prev);
         }
         if !self.bugs.unpersisted_lru {
             self.pool.persist(t, self.pool.base() + OFF_LRU_HEAD, 16);
@@ -307,7 +318,8 @@ impl Memcached {
                 if next != 0 {
                     self.pool.store_u64(t, next + IT_LRU_PREV, prev);
                 } else {
-                    self.pool.store_u64(t, self.pool.base() + OFF_LRU_TAIL, prev);
+                    self.pool
+                        .store_u64(t, self.pool.base() + OFF_LRU_TAIL, prev);
                 }
                 let head = self.pool.load_u64(t, self.pool.base() + OFF_LRU_HEAD);
                 self.pool.store_u64(t, item + IT_LRU_NEXT, head);
@@ -315,7 +327,8 @@ impl Memcached {
                 if head != 0 {
                     self.pool.store_u64(t, head + IT_LRU_PREV, item);
                 }
-                self.pool.store_u64(t, self.pool.base() + OFF_LRU_HEAD, item);
+                self.pool
+                    .store_u64(t, self.pool.base() + OFF_LRU_HEAD, item);
                 if !self.bugs.unpersisted_lru {
                     self.pool.persist(t, item + IT_LRU_NEXT, 16);
                 }
@@ -371,9 +384,15 @@ impl Memcached {
     /// Append/prepend: build a **new** item from the old one — bugs
     /// #10/#11: the new item's size and data are published unpersisted.
     pub fn concat(&self, t: &PmThread, key: u64, value: u64, append: bool) -> bool {
-        let _op = t.frame(if append { "memcached::append" } else { "memcached::prepend" });
+        let _op = t.frame(if append {
+            "memcached::append"
+        } else {
+            "memcached::prepend"
+        });
         let _g = self.segment(key).lock(t);
-        let Some(old) = self.find(t, key) else { return false };
+        let Some(old) = self.find(t, key) else {
+            return false;
+        };
         let old_val = self.pool.load_u64(t, old + IT_DATA);
         let old_nbytes = self.pool.load_u64(t, old + IT_NBYTES);
         let item = self.slabs_alloc(t);
@@ -389,7 +408,11 @@ impl Memcached {
         {
             // `memcached.c:4293`: …and the combined payload.
             let _f = t.frame("memcached::store_append_data");
-            let (base, ext) = if append { (old_val, value) } else { (value, old_val) };
+            let (base, ext) = if append {
+                (old_val, value)
+            } else {
+                (value, old_val)
+            };
             self.pool.store_u64(t, item + IT_DATA, base);
             self.pool.store_u64(t, item + IT_DATA + 8, ext);
             if !self.bugs.unpersisted_append {
@@ -429,7 +452,8 @@ impl Memcached {
         match self.find(t, key) {
             Some(item) => {
                 let v = self.pool.load_u64(t, item + IT_DATA);
-                self.pool.store_u64(t, item + IT_DATA, v.wrapping_add_signed(delta));
+                self.pool
+                    .store_u64(t, item + IT_DATA, v.wrapping_add_signed(delta));
                 self.pool.persist(t, item + IT_DATA, 8);
                 true
             }
@@ -513,46 +537,218 @@ impl Application for MemcachedApp {
 
     fn known_races(&self) -> Vec<KnownRace> {
         vec![
-            KnownRace::malign(10, false, "memcached::store_append_meta", "memcached::process_get_meta", "load unpersisted value"),
-            KnownRace::malign(11, false, "memcached::store_append_data", "memcached::process_get", "load unpersisted value"),
-            KnownRace::malign(12, false, "memcached::item_link_lru", "memcached::lru_walk", "load unpersisted value"),
-            KnownRace::malign(13, false, "memcached::slabs_free", "memcached::slabs_alloc", "load unpersisted pointer"),
-            KnownRace::malign(14, false, "memcached::item_bump", "memcached::process_get_meta", "load unpersisted metadata"),
-            KnownRace::malign(15, false, "memcached::item_update_time", "memcached::item_time_check", "load unpersisted metadata"),
-            KnownRace::benign("memcached::set", "memcached::process_get", "locked store vs lock-free get"),
-            KnownRace::benign("memcached::set", "memcached::process_get_meta", "cas bump vs metadata read"),
-            KnownRace::benign("memcached::replace", "memcached::process_get", "locked replace vs get"),
-            KnownRace::benign("memcached::incr_decr", "memcached::process_get", "locked delta vs get"),
-            KnownRace::benign("memcached::cas", "memcached::process_get", "locked cas vs get"),
-            KnownRace::benign("memcached::cas", "memcached::process_get_meta", "cas token bump vs metadata read"),
-            KnownRace::benign("memcached::item_link", "memcached::process_get", "bucket relink vs walk"),
-            KnownRace::benign("memcached::item_unlink", "memcached::process_get", "bucket unlink vs walk"),
-            KnownRace::benign("memcached::item_link_lru", "memcached::process_get_meta", "LRU linkage vs metadata read"),
-            KnownRace::benign("memcached::item_unlink_lru", "memcached::process_get_meta", "LRU unlink vs metadata read"),
-            KnownRace::benign("memcached::item_unlink_lru", "memcached::lru_walk", "LRU unlink vs crawler"),
-            KnownRace::benign("memcached::item_bump", "memcached::lru_walk", "bump vs crawler"),
-            KnownRace::benign("memcached::item_bump", "memcached::process_get", "bump vs value read"),
-            KnownRace::benign("memcached::item_update_time", "memcached::process_get_meta", "time store vs metadata read"),
-            KnownRace::benign("memcached::item_update_time", "memcached::lru_walk", "time store vs crawler"),
-            KnownRace::benign("memcached::store_append_meta", "memcached::lru_walk", "new item metadata vs crawler"),
-            KnownRace::benign("memcached::store_append_data", "memcached::process_get_meta", "payload vs metadata read"),
-            KnownRace::benign("memcached::item_bump", "memcached::item_bump", "unpersisted LRU window read by a later bump"),
-            KnownRace::benign("memcached::item_bump", "memcached::item_link_lru", "unpersisted LRU window read while linking"),
-            KnownRace::benign("memcached::item_bump", "memcached::item_unlink_lru", "unpersisted LRU window read while unlinking"),
-            KnownRace::benign("memcached::item_link_lru", "memcached::item_bump", "unpersisted linkage read by a bump"),
-            KnownRace::benign("memcached::item_link_lru", "memcached::item_link_lru", "unpersisted linkage read while linking"),
-            KnownRace::benign("memcached::item_link_lru", "memcached::item_unlink_lru", "unpersisted linkage read while unlinking"),
-            KnownRace::benign("memcached::item_unlink_lru", "memcached::item_bump", "unpersisted unlink read by a bump"),
-            KnownRace::benign("memcached::item_unlink_lru", "memcached::item_link_lru", "unpersisted unlink read while linking"),
-            KnownRace::benign("memcached::item_unlink_lru", "memcached::item_unlink_lru", "unpersisted unlink read while unlinking"),
-            KnownRace::benign("memcached::slabs_free", "memcached::slabs_free", "unpersisted free-list head read by a later free"),
-            KnownRace::benign("memcached::store_append_meta", "memcached::append", "unpersisted size read by a later concat"),
-            KnownRace::benign("memcached::store_append_meta", "memcached::prepend", "unpersisted size read by a later concat"),
-            KnownRace::benign("memcached::store_append_data", "memcached::append", "unpersisted payload read by a later concat"),
-            KnownRace::benign("memcached::store_append_data", "memcached::prepend", "unpersisted payload read by a later concat"),
-            KnownRace::benign("memcached::store_append_data", "memcached::incr_decr", "unpersisted payload read by a delta"),
-            KnownRace::benign("memcached::item_link", "memcached::item_unlink", "bucket relink vs unlink walk"),
-            KnownRace::benign("memcached::item_unlink", "memcached::item_unlink", "bucket unlink vs unlink walk"),
+            KnownRace::malign(
+                10,
+                false,
+                "memcached::store_append_meta",
+                "memcached::process_get_meta",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                11,
+                false,
+                "memcached::store_append_data",
+                "memcached::process_get",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                12,
+                false,
+                "memcached::item_link_lru",
+                "memcached::lru_walk",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                13,
+                false,
+                "memcached::slabs_free",
+                "memcached::slabs_alloc",
+                "load unpersisted pointer",
+            ),
+            KnownRace::malign(
+                14,
+                false,
+                "memcached::item_bump",
+                "memcached::process_get_meta",
+                "load unpersisted metadata",
+            ),
+            KnownRace::malign(
+                15,
+                false,
+                "memcached::item_update_time",
+                "memcached::item_time_check",
+                "load unpersisted metadata",
+            ),
+            KnownRace::benign(
+                "memcached::set",
+                "memcached::process_get",
+                "locked store vs lock-free get",
+            ),
+            KnownRace::benign(
+                "memcached::set",
+                "memcached::process_get_meta",
+                "cas bump vs metadata read",
+            ),
+            KnownRace::benign(
+                "memcached::replace",
+                "memcached::process_get",
+                "locked replace vs get",
+            ),
+            KnownRace::benign(
+                "memcached::incr_decr",
+                "memcached::process_get",
+                "locked delta vs get",
+            ),
+            KnownRace::benign(
+                "memcached::cas",
+                "memcached::process_get",
+                "locked cas vs get",
+            ),
+            KnownRace::benign(
+                "memcached::cas",
+                "memcached::process_get_meta",
+                "cas token bump vs metadata read",
+            ),
+            KnownRace::benign(
+                "memcached::item_link",
+                "memcached::process_get",
+                "bucket relink vs walk",
+            ),
+            KnownRace::benign(
+                "memcached::item_unlink",
+                "memcached::process_get",
+                "bucket unlink vs walk",
+            ),
+            KnownRace::benign(
+                "memcached::item_link_lru",
+                "memcached::process_get_meta",
+                "LRU linkage vs metadata read",
+            ),
+            KnownRace::benign(
+                "memcached::item_unlink_lru",
+                "memcached::process_get_meta",
+                "LRU unlink vs metadata read",
+            ),
+            KnownRace::benign(
+                "memcached::item_unlink_lru",
+                "memcached::lru_walk",
+                "LRU unlink vs crawler",
+            ),
+            KnownRace::benign(
+                "memcached::item_bump",
+                "memcached::lru_walk",
+                "bump vs crawler",
+            ),
+            KnownRace::benign(
+                "memcached::item_bump",
+                "memcached::process_get",
+                "bump vs value read",
+            ),
+            KnownRace::benign(
+                "memcached::item_update_time",
+                "memcached::process_get_meta",
+                "time store vs metadata read",
+            ),
+            KnownRace::benign(
+                "memcached::item_update_time",
+                "memcached::lru_walk",
+                "time store vs crawler",
+            ),
+            KnownRace::benign(
+                "memcached::store_append_meta",
+                "memcached::lru_walk",
+                "new item metadata vs crawler",
+            ),
+            KnownRace::benign(
+                "memcached::store_append_data",
+                "memcached::process_get_meta",
+                "payload vs metadata read",
+            ),
+            KnownRace::benign(
+                "memcached::item_bump",
+                "memcached::item_bump",
+                "unpersisted LRU window read by a later bump",
+            ),
+            KnownRace::benign(
+                "memcached::item_bump",
+                "memcached::item_link_lru",
+                "unpersisted LRU window read while linking",
+            ),
+            KnownRace::benign(
+                "memcached::item_bump",
+                "memcached::item_unlink_lru",
+                "unpersisted LRU window read while unlinking",
+            ),
+            KnownRace::benign(
+                "memcached::item_link_lru",
+                "memcached::item_bump",
+                "unpersisted linkage read by a bump",
+            ),
+            KnownRace::benign(
+                "memcached::item_link_lru",
+                "memcached::item_link_lru",
+                "unpersisted linkage read while linking",
+            ),
+            KnownRace::benign(
+                "memcached::item_link_lru",
+                "memcached::item_unlink_lru",
+                "unpersisted linkage read while unlinking",
+            ),
+            KnownRace::benign(
+                "memcached::item_unlink_lru",
+                "memcached::item_bump",
+                "unpersisted unlink read by a bump",
+            ),
+            KnownRace::benign(
+                "memcached::item_unlink_lru",
+                "memcached::item_link_lru",
+                "unpersisted unlink read while linking",
+            ),
+            KnownRace::benign(
+                "memcached::item_unlink_lru",
+                "memcached::item_unlink_lru",
+                "unpersisted unlink read while unlinking",
+            ),
+            KnownRace::benign(
+                "memcached::slabs_free",
+                "memcached::slabs_free",
+                "unpersisted free-list head read by a later free",
+            ),
+            KnownRace::benign(
+                "memcached::store_append_meta",
+                "memcached::append",
+                "unpersisted size read by a later concat",
+            ),
+            KnownRace::benign(
+                "memcached::store_append_meta",
+                "memcached::prepend",
+                "unpersisted size read by a later concat",
+            ),
+            KnownRace::benign(
+                "memcached::store_append_data",
+                "memcached::append",
+                "unpersisted payload read by a later concat",
+            ),
+            KnownRace::benign(
+                "memcached::store_append_data",
+                "memcached::prepend",
+                "unpersisted payload read by a later concat",
+            ),
+            KnownRace::benign(
+                "memcached::store_append_data",
+                "memcached::incr_decr",
+                "unpersisted payload read by a delta",
+            ),
+            KnownRace::benign(
+                "memcached::item_link",
+                "memcached::item_unlink",
+                "bucket relink vs unlink walk",
+            ),
+            KnownRace::benign(
+                "memcached::item_unlink",
+                "memcached::item_unlink",
+                "bucket unlink vs unlink walk",
+            ),
         ]
     }
 
@@ -595,7 +791,10 @@ pub fn run_memcached(
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -608,7 +807,12 @@ mod tests {
         let env = PmEnv::new();
         let pool = env.map_pool("/mnt/pmem/mc-test", 1 << 22);
         let main = env.main_thread();
-        let mc = Arc::new(Memcached::create(&env, &pool, &main, MemcachedBugs::default()));
+        let mc = Arc::new(Memcached::create(
+            &env,
+            &pool,
+            &main,
+            MemcachedBugs::default(),
+        ));
         (env, mc, main)
     }
 
@@ -678,11 +882,20 @@ mod tests {
     #[test]
     fn detects_bugs_10_to_15() {
         let (load, per_thread) = memcached_workload(200, 3000, 8, 21);
-        let res = run_memcached(&load, &per_thread, &ExecOptions::default(), MemcachedBugs::default());
+        let res = run_memcached(
+            &load,
+            &per_thread,
+            &ExecOptions::default(),
+            MemcachedBugs::default(),
+        );
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&report.races, &MemcachedApp.known_races());
         for id in [10, 11, 12, 13, 14, 15] {
-            assert!(b.detected_ids.contains(&id), "bug #{id} missing: {:?}", b.detected_ids);
+            assert!(
+                b.detected_ids.contains(&id),
+                "bug #{id} missing: {:?}",
+                b.detected_ids
+            );
         }
     }
 
@@ -691,7 +904,12 @@ mod tests {
     #[test]
     fn irh_cannot_prune_reuse_fps() {
         let (load, per_thread) = memcached_workload(200, 2000, 8, 22);
-        let res = run_memcached(&load, &per_thread, &ExecOptions::default(), MemcachedBugs::default());
+        let res = run_memcached(
+            &load,
+            &per_thread,
+            &ExecOptions::default(),
+            MemcachedBugs::default(),
+        );
         let with_irh = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&with_irh.races, &MemcachedApp.known_races());
         assert!(

@@ -29,7 +29,10 @@ impl LinearModel {
         let n = sorted.len();
         if n < 2 {
             let span = sorted.first().copied().unwrap_or(1).max(1) as f64 * 2.0;
-            return Self { slope: partitions as f64 / span, intercept: 0.0 };
+            return Self {
+                slope: partitions as f64 / span,
+                intercept: 0.0,
+            };
         }
         // Least squares of rank (scaled to partitions) on key.
         let scale = partitions as f64 / n as f64;
@@ -44,7 +47,10 @@ impl LinearModel {
             sxy += dx * dy;
         }
         if sxx == 0.0 {
-            return Self { slope: 0.0, intercept: mean_y };
+            return Self {
+                slope: 0.0,
+                intercept: mean_y,
+            };
         }
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
@@ -107,6 +113,9 @@ mod tests {
         let lo = *preds.iter().min().unwrap();
         let hi = *preds.iter().max().unwrap();
         assert!(hi > lo, "regression must discriminate keys");
-        assert!(hi - lo >= 8, "regression should cover at least half the range, got [{lo}, {hi}]");
+        assert!(
+            hi - lo >= 8,
+            "regression should cover at least half the range, got [{lo}, {hi}]"
+        );
     }
 }

@@ -69,7 +69,10 @@ pub struct PartBugs {
 
 impl Default for PartBugs {
     fn default() -> Self {
-        Self { late_slot_persist: true, late_grow_persist: true }
+        Self {
+            late_slot_persist: true,
+            late_grow_persist: true,
+        }
     }
 }
 
@@ -139,7 +142,10 @@ impl Part {
     /// Allocates and persists a leaf before it is published.
     fn new_leaf(&self, t: &PmThread, key: u64, value: u64) -> PmAddr {
         let _f = t.frame("part::new_leaf");
-        let addr = self.alloc.alloc(Self::node_size(T_LEAF)).expect("part pool exhausted");
+        let addr = self
+            .alloc
+            .alloc(Self::node_size(T_LEAF))
+            .expect("part pool exhausted");
         self.pool.store_u64(t, addr + OFF_TYPE, T_LEAF);
         self.pool.store_u64(t, addr + OFF_COUNT, 0);
         self.pool.store_u64(t, addr + OFF_BODY, key);
@@ -151,8 +157,9 @@ impl Part {
     fn lock_of(&self, node: PmAddr) -> Arc<CustomSpinLock> {
         let mut map = self.locks.lock();
         Arc::clone(
-            map.entry(node)
-                .or_insert_with(|| Arc::new(CustomSpinLock::new(&self.env, "art_lock", "art_unlock"))),
+            map.entry(node).or_insert_with(|| {
+                Arc::new(CustomSpinLock::new(&self.env, "art_lock", "art_unlock"))
+            }),
         )
     }
 
@@ -255,7 +262,8 @@ impl Part {
                 if count >= 48 {
                     return None;
                 }
-                self.pool.store_u8(t, node + OFF_BODY + byte, count as u8 + 1);
+                self.pool
+                    .store_u8(t, node + OFF_BODY + byte, count as u8 + 1);
                 let slot = node + OFF_BODY + 256 + count * 8;
                 self.pool.store_u64(t, slot, child);
                 self.pool.store_u64(t, node + OFF_COUNT, count + 1);
@@ -311,8 +319,9 @@ impl Part {
                 for byte in 0..256u64 {
                     let idx = self.pool.load_u8(t, node + OFF_BODY + byte);
                     if idx != 0 {
-                        let child =
-                            self.pool.load_u64(t, node + OFF_BODY + 256 + (idx as u64 - 1) * 8);
+                        let child = self
+                            .pool
+                            .load_u64(t, node + OFF_BODY + 256 + (idx as u64 - 1) * 8);
                         if child != 0 {
                             self.node_insert(t, new, new_ty, byte, child);
                         }
@@ -358,8 +367,7 @@ impl Part {
                         if child == 0 {
                             // N256 slot (or cleared slot): place the leaf.
                             let leaf = self.new_leaf(t, key, value);
-                            let wslot = self
-                                .node_insert_existing_slot(t, node, ty, slot, leaf);
+                            let wslot = self.node_insert_existing_slot(t, node, ty, slot, leaf);
                             lock.unlock(t);
                             unlock_parent(&parent_lock);
                             self.deferred_slot_persist(t, wslot);
@@ -581,39 +589,169 @@ impl Application for PartApp {
 
     fn known_races(&self) -> Vec<KnownRace> {
         let mut v = vec![
-            KnownRace::malign(8, false, "part::n4_insert", "part::get_child", "load unpersisted value"),
-            KnownRace::malign(8, false, "part::n16_insert", "part::get_child", "load unpersisted value"),
-            KnownRace::malign(8, false, "part::n48_insert", "part::get_child", "load unpersisted value"),
-            KnownRace::malign(8, false, "part::n256_insert", "part::get_child", "load unpersisted value"),
-            KnownRace::malign(9, false, "part::n4_grow", "part::get_child", "load unpersisted value"),
-            KnownRace::malign(9, false, "part::n16_grow", "part::get_child", "load unpersisted value"),
-            KnownRace::malign(9, false, "part::n48_grow", "part::get_child", "load unpersisted value"),
+            KnownRace::malign(
+                8,
+                false,
+                "part::n4_insert",
+                "part::get_child",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                8,
+                false,
+                "part::n16_insert",
+                "part::get_child",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                8,
+                false,
+                "part::n48_insert",
+                "part::get_child",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                8,
+                false,
+                "part::n256_insert",
+                "part::get_child",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                9,
+                false,
+                "part::n4_grow",
+                "part::get_child",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                9,
+                false,
+                "part::n16_grow",
+                "part::get_child",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                9,
+                false,
+                "part::n48_grow",
+                "part::get_child",
+                "load unpersisted value",
+            ),
         ];
         v.extend([
-            KnownRace::benign("part::put", "part::get", "in-place value update persisted in CS"),
+            KnownRace::benign(
+                "part::put",
+                "part::get",
+                "in-place value update persisted in CS",
+            ),
             KnownRace::benign("part::put", "part::get_child", "descent overlapping put"),
-            KnownRace::benign("part::expand_leaf", "part::get_child", "leaf expansion persisted in CS"),
-            KnownRace::benign("part::new_leaf", "part::get", "leaf contents persisted pre-publication"),
-            KnownRace::benign("part::new_leaf", "part::get_child", "leaf header read during descent"),
-            KnownRace::benign("part::remove", "part::get_child", "slot clear persisted in CS"),
+            KnownRace::benign(
+                "part::expand_leaf",
+                "part::get_child",
+                "leaf expansion persisted in CS",
+            ),
+            KnownRace::benign(
+                "part::new_leaf",
+                "part::get",
+                "leaf contents persisted pre-publication",
+            ),
+            KnownRace::benign(
+                "part::new_leaf",
+                "part::get_child",
+                "leaf header read during descent",
+            ),
+            KnownRace::benign(
+                "part::remove",
+                "part::get_child",
+                "slot clear persisted in CS",
+            ),
             KnownRace::benign("part::create", "part::get_child", "root initialization"),
-            KnownRace::benign("part::n4_insert", "part::put", "deferred slot read by a crabbing writer"),
-            KnownRace::benign("part::n16_insert", "part::put", "deferred slot read by a crabbing writer"),
-            KnownRace::benign("part::n48_insert", "part::put", "deferred slot read by a crabbing writer"),
-            KnownRace::benign("part::n256_insert", "part::put", "deferred slot read by a crabbing writer"),
-            KnownRace::benign("part::n4_insert", "part::remove", "deferred slot read by a remover"),
-            KnownRace::benign("part::n16_insert", "part::remove", "deferred slot read by a remover"),
-            KnownRace::benign("part::n48_insert", "part::remove", "deferred slot read by a remover"),
-            KnownRace::benign("part::n256_insert", "part::remove", "deferred slot read by a remover"),
-            KnownRace::benign("part::n4_insert", "part::n4_grow", "deferred slot copied during growth"),
-            KnownRace::benign("part::n16_insert", "part::n16_grow", "deferred slot copied during growth"),
-            KnownRace::benign("part::n48_insert", "part::n48_grow", "deferred slot copied during growth"),
-            KnownRace::benign("part::n4_grow", "part::put", "deferred swap read by a crabbing writer"),
-            KnownRace::benign("part::n16_grow", "part::put", "deferred swap read by a crabbing writer"),
-            KnownRace::benign("part::n48_grow", "part::put", "deferred swap read by a crabbing writer"),
-            KnownRace::benign("part::n4_grow", "part::remove", "deferred swap read by a remover"),
-            KnownRace::benign("part::n16_grow", "part::remove", "deferred swap read by a remover"),
-            KnownRace::benign("part::n48_grow", "part::remove", "deferred swap read by a remover"),
+            KnownRace::benign(
+                "part::n4_insert",
+                "part::put",
+                "deferred slot read by a crabbing writer",
+            ),
+            KnownRace::benign(
+                "part::n16_insert",
+                "part::put",
+                "deferred slot read by a crabbing writer",
+            ),
+            KnownRace::benign(
+                "part::n48_insert",
+                "part::put",
+                "deferred slot read by a crabbing writer",
+            ),
+            KnownRace::benign(
+                "part::n256_insert",
+                "part::put",
+                "deferred slot read by a crabbing writer",
+            ),
+            KnownRace::benign(
+                "part::n4_insert",
+                "part::remove",
+                "deferred slot read by a remover",
+            ),
+            KnownRace::benign(
+                "part::n16_insert",
+                "part::remove",
+                "deferred slot read by a remover",
+            ),
+            KnownRace::benign(
+                "part::n48_insert",
+                "part::remove",
+                "deferred slot read by a remover",
+            ),
+            KnownRace::benign(
+                "part::n256_insert",
+                "part::remove",
+                "deferred slot read by a remover",
+            ),
+            KnownRace::benign(
+                "part::n4_insert",
+                "part::n4_grow",
+                "deferred slot copied during growth",
+            ),
+            KnownRace::benign(
+                "part::n16_insert",
+                "part::n16_grow",
+                "deferred slot copied during growth",
+            ),
+            KnownRace::benign(
+                "part::n48_insert",
+                "part::n48_grow",
+                "deferred slot copied during growth",
+            ),
+            KnownRace::benign(
+                "part::n4_grow",
+                "part::put",
+                "deferred swap read by a crabbing writer",
+            ),
+            KnownRace::benign(
+                "part::n16_grow",
+                "part::put",
+                "deferred swap read by a crabbing writer",
+            ),
+            KnownRace::benign(
+                "part::n48_grow",
+                "part::put",
+                "deferred swap read by a crabbing writer",
+            ),
+            KnownRace::benign(
+                "part::n4_grow",
+                "part::remove",
+                "deferred swap read by a remover",
+            ),
+            KnownRace::benign(
+                "part::n16_grow",
+                "part::remove",
+                "deferred swap read by a remover",
+            ),
+            KnownRace::benign(
+                "part::n48_grow",
+                "part::remove",
+                "deferred swap read by a remover",
+            ),
         ]);
         v
     }
@@ -651,7 +789,10 @@ pub fn run_part(w: &Workload, opts: &ExecOptions, bugs: PartBugs) -> ExecResult 
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -746,7 +887,11 @@ mod tests {
         });
         for i in 0..4u64 {
             for k in 0..100u64 {
-                assert_eq!(art.get(&main, i << 40 | k), Some(k + 1), "thread {i} key {k}");
+                assert_eq!(
+                    art.get(&main, i << 40 | k),
+                    Some(k + 1),
+                    "thread {i} key {k}"
+                );
             }
         }
     }
@@ -757,7 +902,15 @@ mod tests {
         let res = run_part(&w, &ExecOptions::default(), PartBugs::default());
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&report.races, &PartApp.known_races());
-        assert!(b.detected_ids.contains(&8), "bug #8 missing: {:?}", b.detected_ids);
-        assert!(b.detected_ids.contains(&9), "bug #9 missing: {:?}", b.detected_ids);
+        assert!(
+            b.detected_ids.contains(&8),
+            "bug #8 missing: {:?}",
+            b.detected_ids
+        );
+        assert!(
+            b.detected_ids.contains(&9),
+            "bug #9 missing: {:?}",
+            b.detected_ids
+        );
     }
 }

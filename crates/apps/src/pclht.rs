@@ -24,7 +24,9 @@ use hawkset_core::sync_config::SyncConfig;
 use pm_runtime::{run_workers, CustomSpinLock, PmAllocator, PmEnv, PmPool, PmThread};
 use pm_workloads::{Op, Workload, WorkloadSpec};
 
-use crate::app::{env_for, AppWorkload, Application, ExecOptions, ExecResult};
+use crate::app::{
+    env_for, AppWorkload, Application, ExecOptions, ExecResult, InvariantViolation, RecoveryError,
+};
 use crate::registry::KnownRace;
 
 /// Entries per cache-line bucket: 3 key/value pairs + overflow pointer.
@@ -72,7 +74,9 @@ pub struct PclhtBugs {
 
 impl Default for PclhtBugs {
     fn default() -> Self {
-        Self { late_root_persist: true }
+        Self {
+            late_root_persist: true,
+        }
     }
 }
 
@@ -90,7 +94,13 @@ pub struct Pclht {
 
 impl Pclht {
     /// Creates a table with `nbuckets` buckets and persists it.
-    pub fn create(env: &PmEnv, pool: &PmPool, t: &PmThread, nbuckets: u64, bugs: PclhtBugs) -> Self {
+    pub fn create(
+        env: &PmEnv,
+        pool: &PmPool,
+        t: &PmThread,
+        nbuckets: u64,
+        bugs: PclhtBugs,
+    ) -> Self {
         let alloc = Arc::new(PmAllocator::new(pool, 64));
         let ht = Self {
             env: env.clone(),
@@ -107,6 +117,122 @@ impl Pclht {
         ht.pool.store_u64(t, ht.pool.base() + ROOT_PTR_OFF, table);
         ht.pool.persist(t, ht.pool.base() + ROOT_PTR_OFF, 8);
         ht
+    }
+
+    /// Reopens a table persisted in `pool` (recovery path): state is read
+    /// back through the root pointer; volatile lock tables start empty.
+    pub fn open(env: &PmEnv, pool: &PmPool, bugs: PclhtBugs) -> Self {
+        let alloc = Arc::new(PmAllocator::new(pool, 64));
+        Self {
+            env: env.clone(),
+            pool: pool.clone(),
+            alloc,
+            bucket_locks: parking_lot::Mutex::new(HashMap::new()),
+            resize_lock: CustomSpinLock::new(env, "clht_resize_lock", "clht_resize_unlock"),
+            resizing: AtomicBool::new(false),
+            items: AtomicU64::new(0),
+            bugs,
+        }
+    }
+
+    /// Minimal post-crash reopen check: the root table pointer must name a
+    /// table whose header and bucket array lie inside the pool.
+    pub fn recovery_probe(&self, t: &PmThread) -> Result<(), RecoveryError> {
+        let _f = t.frame("pclht::recover");
+        let base = self.pool.base();
+        let table = self.pool.load_u64(t, base + ROOT_PTR_OFF);
+        if table == 0 {
+            // Crash before the table pointer was first persisted: an
+            // uninitialized pool, which recovery re-initializes.
+            return Ok(());
+        }
+        if table < base || table + TBL_HEADER > base + self.pool.len() {
+            return Err(RecoveryError(format!(
+                "root table pointer {table:#x} outside the pool"
+            )));
+        }
+        let nbuckets = self.pool.load_u64(t, table + TBL_OFF_NBUCKETS);
+        if nbuckets == 0 {
+            return Err(RecoveryError("table header says 0 buckets".into()));
+        }
+        let Some(arr) = nbuckets.checked_mul(BUCKET_SIZE) else {
+            return Err(RecoveryError(format!("bucket count {nbuckets} overflows")));
+        };
+        if table + TBL_HEADER + arr > base + self.pool.len() {
+            return Err(RecoveryError(format!(
+                "bucket array of {nbuckets} buckets does not fit the pool"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Structural audit of the table as persisted: every bucket chain must
+    /// stay inside the pool and terminate, and no key may be durable in
+    /// two slots (a torn rehash that persisted a copy *and* kept the
+    /// original reachable would double-insert on recovery).
+    pub fn check_invariants(&self, t: &PmThread) -> Vec<InvariantViolation> {
+        let _f = t.frame("pclht::check_invariants");
+        let mut out = Vec::new();
+        if let Err(e) = self.recovery_probe(t) {
+            out.push(InvariantViolation {
+                invariant: "root".into(),
+                detail: e.0,
+            });
+            return out;
+        }
+        let base = self.pool.base();
+        let table = self.pool.load_u64(t, base + ROOT_PTR_OFF);
+        if table == 0 {
+            return out; // uninitialized pool: nothing to audit
+        }
+        let nbuckets = self.pool.load_u64(t, table + TBL_OFF_NBUCKETS);
+        let in_pool = |b: PmAddr| {
+            b >= base
+                && b.checked_add(BUCKET_SIZE)
+                    .is_some_and(|e| e <= base + self.pool.len())
+        };
+        let mut seen: HashMap<u64, PmAddr> = HashMap::new();
+        for b in 0..nbuckets {
+            let head = table + TBL_HEADER + b * BUCKET_SIZE;
+            let mut bucket = head;
+            let mut hops = 0;
+            while bucket != 0 {
+                hops += 1;
+                if hops > 64 {
+                    out.push(InvariantViolation {
+                        invariant: "chain-length".into(),
+                        detail: format!("bucket {b} chain exceeds 64 hops (cycle or corruption)"),
+                    });
+                    break;
+                }
+                if !in_pool(bucket) {
+                    out.push(InvariantViolation {
+                        invariant: "dangling-bucket".into(),
+                        detail: format!("bucket {b} chain points outside the pool ({bucket:#x})"),
+                    });
+                    break;
+                }
+                for i in 0..ENTRIES {
+                    let k = self.pool.load_u64(t, bucket + OFF_KEYS + i * 8);
+                    if k == 0 {
+                        continue;
+                    }
+                    if let Some(other) = seen.insert(k, bucket) {
+                        if other != bucket {
+                            out.push(InvariantViolation {
+                                invariant: "duplicate-key".into(),
+                                detail: format!(
+                                    "key {} durable in buckets {other:#x} and {bucket:#x}",
+                                    k - 1
+                                ),
+                            });
+                        }
+                    }
+                }
+                bucket = self.pool.load_u64(t, bucket + OFF_NEXT);
+            }
+        }
+        out
     }
 
     fn new_table(&self, t: &PmThread, nbuckets: u64) -> PmAddr {
@@ -127,7 +253,11 @@ impl Pclht {
     fn lock_of(&self, bucket: PmAddr) -> Arc<CustomSpinLock> {
         let mut map = self.bucket_locks.lock();
         Arc::clone(map.entry(bucket).or_insert_with(|| {
-            Arc::new(CustomSpinLock::new(&self.env, "clht_bucket_lock", "clht_bucket_unlock"))
+            Arc::new(CustomSpinLock::new(
+                &self.env,
+                "clht_bucket_lock",
+                "clht_bucket_unlock",
+            ))
         }))
     }
 
@@ -225,7 +355,8 @@ impl Pclht {
         // for lock-free readers.
         let bucket_base = slot - (slot - OFF_KEYS) % BUCKET_SIZE;
         let i = (slot - bucket_base - OFF_KEYS) / 8;
-        self.pool.store_u64(t, bucket_base + OFF_VALS + i * 8, value);
+        self.pool
+            .store_u64(t, bucket_base + OFF_VALS + i * 8, value);
         self.pool.store_u64(t, slot, enc(key));
         self.pool.persist(t, bucket_base, BUCKET_SIZE as usize);
         self.items.fetch_add(1, Ordering::Relaxed);
@@ -373,8 +504,16 @@ impl Application for PclhtApp {
                 "pclht::table_lookup",
                 "load unpersisted pointer",
             ),
-            KnownRace::benign("pclht::put", "pclht::get", "lock-free get of persisted insert"),
-            KnownRace::benign("pclht::put", "pclht::table_lookup", "bucket scan during put"),
+            KnownRace::benign(
+                "pclht::put",
+                "pclht::get",
+                "lock-free get of persisted insert",
+            ),
+            KnownRace::benign(
+                "pclht::put",
+                "pclht::table_lookup",
+                "bucket scan during put",
+            ),
             KnownRace::benign("pclht::delete", "pclht::get", "lock-free get during delete"),
             KnownRace::benign(
                 "pclht::rehash_copy",
@@ -391,14 +530,42 @@ impl Application for PclhtApp {
                 "pclht::get",
                 "get resolves the root during the swap",
             ),
-            KnownRace::benign("pclht::create", "pclht::get", "initial table visible to readers"),
-            KnownRace::benign("pclht::rehash_swap_root", "pclht::put", "put re-reads the root during the (unpersisted) swap"),
-            KnownRace::benign("pclht::rehash_swap_root", "pclht::delete", "delete re-reads the root during the swap"),
-            KnownRace::benign("pclht::rehash_swap_root", "pclht::needs_resize", "resize probe reads the root during the swap"),
-            KnownRace::benign("pclht::put", "pclht::put", "bucket scan of a different bucket's lock holder"),
+            KnownRace::benign(
+                "pclht::create",
+                "pclht::get",
+                "initial table visible to readers",
+            ),
+            KnownRace::benign(
+                "pclht::rehash_swap_root",
+                "pclht::put",
+                "put re-reads the root during the (unpersisted) swap",
+            ),
+            KnownRace::benign(
+                "pclht::rehash_swap_root",
+                "pclht::delete",
+                "delete re-reads the root during the swap",
+            ),
+            KnownRace::benign(
+                "pclht::rehash_swap_root",
+                "pclht::needs_resize",
+                "resize probe reads the root during the swap",
+            ),
+            KnownRace::benign(
+                "pclht::put",
+                "pclht::put",
+                "bucket scan of a different bucket's lock holder",
+            ),
             KnownRace::benign("pclht::put", "pclht::delete", "bucket scan during delete"),
-            KnownRace::benign("pclht::rehash_copy", "pclht::put", "copied entries read by a writer"),
-            KnownRace::benign("pclht::rehash_copy", "pclht::delete", "copied entries read during delete"),
+            KnownRace::benign(
+                "pclht::rehash_copy",
+                "pclht::put",
+                "copied entries read by a writer",
+            ),
+            KnownRace::benign(
+                "pclht::rehash_copy",
+                "pclht::delete",
+                "copied entries read during delete",
+            ),
         ]
     }
 
@@ -411,6 +578,18 @@ impl Application for PclhtApp {
             panic!("P-CLHT consumes YCSB workloads")
         };
         run_pclht(w, opts, PclhtBugs::default())
+    }
+
+    fn supports_recovery(&self) -> bool {
+        true
+    }
+
+    fn recover(&self, pool: &PmPool, t: &PmThread) -> Result<(), RecoveryError> {
+        Pclht::open(pool.env(), pool, PclhtBugs::default()).recovery_probe(t)
+    }
+
+    fn check_invariants(&self, pool: &PmPool, t: &PmThread) -> Vec<InvariantViolation> {
+        Pclht::open(pool.env(), pool, PclhtBugs::default()).check_invariants(t)
     }
 }
 
@@ -433,7 +612,10 @@ pub fn run_pclht(w: &Workload, opts: &ExecOptions, bugs: PclhtBugs) -> ExecResul
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -506,7 +688,11 @@ mod tests {
         });
         for i in 0..4u64 {
             for k in 0..100u64 {
-                assert_eq!(ht.get(&main, i * 1000 + k), Some(k + 1), "thread {i} key {k}");
+                assert_eq!(
+                    ht.get(&main, i * 1000 + k),
+                    Some(k + 1),
+                    "thread {i} key {k}"
+                );
             }
         }
     }
@@ -517,7 +703,11 @@ mod tests {
         let res = run_pclht(&w, &ExecOptions::default(), PclhtBugs::default());
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&report.races, &PclhtApp.known_races());
-        assert!(b.detected_ids.contains(&4), "bug #4 must be detected: {:?}", b.detected_ids);
+        assert!(
+            b.detected_ids.contains(&4),
+            "bug #4 must be detected: {:?}",
+            b.detected_ids
+        );
     }
 
     /// Without the sync configuration, HawkSet cannot see P-CLHT's custom
@@ -545,7 +735,9 @@ mod tests {
                     ht2.run_op(t, op);
                 }
             });
-            analyze(&env.finish(), &AnalysisConfig::default()).races.len()
+            analyze(&env.finish(), &AnalysisConfig::default())
+                .races
+                .len()
         };
         assert!(
             without_cfg >= with_cfg,

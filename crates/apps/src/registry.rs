@@ -47,7 +47,14 @@ impl KnownRace {
         load_fn: &'static str,
         description: &'static str,
     ) -> Self {
-        Self { id, new, store_fn, load_fn, description, class: RaceClass::Malign }
+        Self {
+            id,
+            new,
+            store_fn,
+            load_fn,
+            description,
+            class: RaceClass::Malign,
+        }
     }
 
     /// Benign entry (no Table 2 id).
@@ -56,13 +63,26 @@ impl KnownRace {
         load_fn: &'static str,
         description: &'static str,
     ) -> Self {
-        Self { id: 0, new: false, store_fn, load_fn, description, class: RaceClass::Benign }
+        Self {
+            id: 0,
+            new: false,
+            store_fn,
+            load_fn,
+            description,
+            class: RaceClass::Benign,
+        }
     }
 
     /// Returns `true` if `race` matches this entry's site pair.
     pub fn matches(&self, race: &Race) -> bool {
-        let store_ok = race.store_site.as_ref().is_some_and(|f| f.function == self.store_fn);
-        let load_ok = race.load_site.as_ref().is_some_and(|f| f.function == self.load_fn);
+        let store_ok = race
+            .store_site
+            .as_ref()
+            .is_some_and(|f| f.function == self.store_fn);
+        let load_ok = race
+            .load_site
+            .as_ref()
+            .is_some_and(|f| f.function == self.load_fn);
         store_ok && load_ok
     }
 }
@@ -86,7 +106,11 @@ pub struct Breakdown {
 impl Breakdown {
     /// MR / BR / FP counts as in Table 4.
     pub fn counts(&self) -> (usize, usize, usize) {
-        (self.malign.len(), self.benign.len(), self.false_positives.len())
+        (
+            self.malign.len(),
+            self.benign.len(),
+            self.false_positives.len(),
+        )
     }
 
     /// Total distinct reports.
@@ -102,8 +126,12 @@ impl Breakdown {
 pub fn score(races: &[Race], known: &[KnownRace]) -> Breakdown {
     let mut out = Breakdown::default();
     for race in races {
-        let malign_hit = known.iter().find(|k| k.class == RaceClass::Malign && k.matches(race));
-        let benign_hit = known.iter().find(|k| k.class == RaceClass::Benign && k.matches(race));
+        let malign_hit = known
+            .iter()
+            .find(|k| k.class == RaceClass::Malign && k.matches(race));
+        let benign_hit = known
+            .iter()
+            .find(|k| k.class == RaceClass::Benign && k.matches(race));
         match (malign_hit, benign_hit) {
             (Some(k), _) => {
                 if k.id != 0 && !out.detected_ids.contains(&k.id) {
@@ -133,7 +161,10 @@ mod tests {
 
     fn race(store_fn: &str, load_fn: &str) -> Race {
         Race {
-            key: RaceKey { store_stack: 0, load_stack: 0 },
+            key: RaceKey {
+                store_stack: 0,
+                load_stack: 0,
+            },
             store_site: Some(Frame::new(store_fn, "app.rs", 1)),
             load_site: Some(Frame::new(load_fn, "app.rs", 2)),
             store_tid: ThreadId(1),
@@ -151,15 +182,28 @@ mod tests {
 
     fn ground_truth() -> Vec<KnownRace> {
         vec![
-            KnownRace::malign(1, false, "app::split", "app::search", "load unpersisted pointer"),
-            KnownRace::benign("app::update", "app::search", "lock-free read of persisted data"),
+            KnownRace::malign(
+                1,
+                false,
+                "app::split",
+                "app::search",
+                "load unpersisted pointer",
+            ),
+            KnownRace::benign(
+                "app::update",
+                "app::search",
+                "lock-free read of persisted data",
+            ),
         ]
     }
 
     #[test]
     fn scoring_splits_into_classes() {
-        let races =
-            vec![race("app::split", "app::search"), race("app::update", "app::search"), race("x", "y")];
+        let races = vec![
+            race("app::split", "app::search"),
+            race("app::update", "app::search"),
+            race("x", "y"),
+        ];
         let b = score(&races, &ground_truth());
         assert_eq!(b.counts(), (1, 1, 1));
         assert_eq!(b.detected_ids, vec![1]);

@@ -23,7 +23,9 @@ use hawkset_core::sync_config::SyncConfig;
 use pm_runtime::{run_workers, CustomSpinLock, PmEnv, PmPool, PmThread};
 use pm_workloads::{Op, Workload, WorkloadSpec};
 
-use crate::app::{env_for, AppWorkload, Application, ExecOptions, ExecResult};
+use crate::app::{
+    env_for, AppWorkload, Application, ExecOptions, ExecResult, InvariantViolation, RecoveryError,
+};
 use crate::registry::KnownRace;
 
 /// Bucket geometry: two cache lines.
@@ -67,7 +69,9 @@ pub struct TurboBugs {
 
 impl Default for TurboBugs {
     fn default() -> Self {
-        Self { flush_first_line_only: true }
+        Self {
+            flush_first_line_only: true,
+        }
     }
 }
 
@@ -83,8 +87,17 @@ pub struct TurboHash {
 
 impl TurboHash {
     /// Creates a zeroed table with `nbuckets` buckets.
-    pub fn create(env: &PmEnv, pool: &PmPool, t: &PmThread, nbuckets: u64, bugs: TurboBugs) -> Self {
-        assert!(pool.len() >= nbuckets * BUCKET_SIZE, "pool too small for directory");
+    pub fn create(
+        env: &PmEnv,
+        pool: &PmPool,
+        t: &PmThread,
+        nbuckets: u64,
+        bugs: TurboBugs,
+    ) -> Self {
+        assert!(
+            pool.len() >= nbuckets * BUCKET_SIZE,
+            "pool too small for directory"
+        );
         let ht = Self {
             env: env.clone(),
             pool: pool.clone(),
@@ -102,6 +115,76 @@ impl TurboHash {
         ht
     }
 
+    /// Reopens the table persisted in `pool` (recovery path). TurboHash
+    /// keeps no superblock: the directory *is* the pool, so the bucket
+    /// count is derived from the pool size.
+    pub fn open(env: &PmEnv, pool: &PmPool, bugs: TurboBugs) -> Self {
+        Self {
+            env: env.clone(),
+            pool: pool.clone(),
+            nbuckets: pool.len() / BUCKET_SIZE,
+            locks: parking_lot::Mutex::new(HashMap::new()),
+            bugs,
+        }
+    }
+
+    /// Minimal post-crash reopen check: the pool must hold at least one
+    /// whole bucket.
+    pub fn recovery_probe(&self, t: &PmThread) -> Result<(), RecoveryError> {
+        let _f = t.frame("turbohash::recover");
+        if self.nbuckets == 0 {
+            return Err(RecoveryError(format!(
+                "pool of {} bytes holds no complete bucket",
+                self.pool.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Structural audit of the directory as persisted: reserved meta bits
+    /// must be zero, every meta-visible cell must hold a written key, and
+    /// no key may be meta-visible in two cells (the single-`u64` meta flip
+    /// is what makes out-of-place updates atomic; two visible copies means
+    /// that atomicity was violated).
+    pub fn check_invariants(&self, t: &PmThread) -> Vec<InvariantViolation> {
+        let _f = t.frame("turbohash::check_invariants");
+        let mut out = Vec::new();
+        let mut seen: HashMap<u64, PmAddr> = HashMap::new();
+        let reserved: u64 = !((1 << CELLS) - 1) & !(1 << 63);
+        for b in 0..self.nbuckets {
+            let bucket = self.bucket_addr(b);
+            let meta = self.pool.load_u64(t, bucket + OFF_META);
+            if meta & reserved != 0 {
+                out.push(InvariantViolation {
+                    invariant: "meta-reserved".into(),
+                    detail: format!("bucket {b} meta {meta:#x} has reserved bits set"),
+                });
+                continue;
+            }
+            for i in 0..CELLS {
+                if meta & (1 << i) == 0 {
+                    continue;
+                }
+                let cell = bucket + cell_off(i);
+                let k = self.pool.load_u64(t, cell);
+                if k == 0 {
+                    out.push(InvariantViolation {
+                        invariant: "empty-occupied-cell".into(),
+                        detail: format!("bucket {b} cell {i} is meta-visible but holds no key"),
+                    });
+                    continue;
+                }
+                if let Some(other) = seen.insert(k, cell) {
+                    out.push(InvariantViolation {
+                        invariant: "duplicate-key".into(),
+                        detail: format!("key {} durable in cells {other:#x} and {cell:#x}", k - 1),
+                    });
+                }
+            }
+        }
+        out
+    }
+
     fn bucket_addr(&self, idx: u64) -> PmAddr {
         self.pool.base() + idx * BUCKET_SIZE
     }
@@ -109,7 +192,11 @@ impl TurboHash {
     fn lock_of(&self, idx: u64) -> Arc<CustomSpinLock> {
         let mut map = self.locks.lock();
         Arc::clone(map.entry(idx).or_insert_with(|| {
-            Arc::new(CustomSpinLock::new(&self.env, "turbo_bucket_lock", "turbo_bucket_unlock"))
+            Arc::new(CustomSpinLock::new(
+                &self.env,
+                "turbo_bucket_lock",
+                "turbo_bucket_unlock",
+            ))
         }))
     }
 
@@ -156,9 +243,7 @@ impl TurboHash {
             // Existing cell for the key? Out-of-place update if possible.
             let mut existing = None;
             for i in 0..CELLS {
-                if meta & (1 << i) != 0
-                    && self.pool.load_u64(t, bucket + cell_off(i)) == key + 1
-                {
+                if meta & (1 << i) != 0 && self.pool.load_u64(t, bucket + cell_off(i)) == key + 1 {
                     existing = Some(i);
                     break;
                 }
@@ -238,9 +323,7 @@ impl TurboHash {
             lock.lock(t);
             let meta = self.pool.load_u64(t, bucket + OFF_META);
             for i in 0..CELLS {
-                if meta & (1 << i) != 0
-                    && self.pool.load_u64(t, bucket + cell_off(i)) == key + 1
-                {
+                if meta & (1 << i) != 0 && self.pool.load_u64(t, bucket + cell_off(i)) == key + 1 {
                     self.write_meta(t, bucket, meta & !(1 << i));
                     lock.unlock(t);
                     return true;
@@ -298,8 +381,16 @@ impl Application for TurboHashApp {
                 "turbohash::probe",
                 "meta flip is persisted before the fence",
             ),
-            KnownRace::benign("turbohash::delete", "turbohash::probe", "meta clear vs probe"),
-            KnownRace::benign("turbohash::create", "turbohash::probe", "directory initialization"),
+            KnownRace::benign(
+                "turbohash::delete",
+                "turbohash::probe",
+                "meta clear vs probe",
+            ),
+            KnownRace::benign(
+                "turbohash::create",
+                "turbohash::probe",
+                "directory initialization",
+            ),
         ]
     }
 
@@ -312,6 +403,18 @@ impl Application for TurboHashApp {
             panic!("TurboHash consumes YCSB workloads")
         };
         run_turbohash(w, opts, TurboBugs::default(), 4096)
+    }
+
+    fn supports_recovery(&self) -> bool {
+        true
+    }
+
+    fn recover(&self, pool: &PmPool, t: &PmThread) -> Result<(), RecoveryError> {
+        TurboHash::open(pool.env(), pool, TurboBugs::default()).recovery_probe(t)
+    }
+
+    fn check_invariants(&self, pool: &PmPool, t: &PmThread) -> Vec<InvariantViolation> {
+        TurboHash::open(pool.env(), pool, TurboBugs::default()).check_invariants(t)
     }
 }
 
@@ -338,7 +441,10 @@ pub fn run_turbohash(
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -352,7 +458,13 @@ mod tests {
         env.add_sync_config(turbohash_sync_config());
         let pool = env.map_pool("/mnt/pmem/turbo-test", nbuckets * BUCKET_SIZE);
         let main = env.main_thread();
-        let ht = Arc::new(TurboHash::create(&env, &pool, &main, nbuckets, TurboBugs::default()));
+        let ht = Arc::new(TurboHash::create(
+            &env,
+            &pool,
+            &main,
+            nbuckets,
+            TurboBugs::default(),
+        ));
         (env, ht, main)
     }
 
@@ -398,7 +510,13 @@ mod tests {
         env.add_sync_config(turbohash_sync_config());
         let pool = env.map_pool("/mnt/pmem/turbo-fill", 4 * BUCKET_SIZE);
         let main = env.main_thread();
-        let ht = Arc::new(TurboHash::create(&env, &pool, &main, 4, TurboBugs::default()));
+        let ht = Arc::new(TurboHash::create(
+            &env,
+            &pool,
+            &main,
+            4,
+            TurboBugs::default(),
+        ));
         // Load phase: enough distinct keys to fill every cell of every
         // bucket including the straddler (64 keys over 4×7 cells).
         for k in 0..64u64 {
@@ -416,15 +534,22 @@ mod tests {
         });
         let report = analyze(&env.finish(), &AnalysisConfig::default());
         let b = score(&report.races, &TurboHashApp.known_races());
-        assert!(b.detected_ids.contains(&3), "bug #3 must appear once buckets fill");
+        assert!(
+            b.detected_ids.contains(&3),
+            "bug #3 must appear once buckets fill"
+        );
         // The report for the malign pair must carry the never-persisted
         // signature: the straddling tail has no flush at all.
         let malign = report
             .races
             .iter()
             .find(|r| {
-                r.store_site.as_ref().is_some_and(|f| f.function == "turbohash::insert_entry")
-                    && r.load_site.as_ref().is_some_and(|f| f.function == "turbohash::probe")
+                r.store_site
+                    .as_ref()
+                    .is_some_and(|f| f.function == "turbohash::insert_entry")
+                    && r.load_site
+                        .as_ref()
+                        .is_some_and(|f| f.function == "turbohash::probe")
             })
             .expect("malign pair reported");
         assert!(malign.store_never_persisted);
@@ -441,7 +566,9 @@ mod tests {
             &pool,
             &main,
             4,
-            TurboBugs { flush_first_line_only: false },
+            TurboBugs {
+                flush_first_line_only: false,
+            },
         ));
         for k in 0..64u64 {
             ht.put(&main, k, k);
@@ -483,7 +610,11 @@ mod tests {
         });
         for i in 0..4u64 {
             for k in 0..80u64 {
-                assert_eq!(ht.get(&main, i * 500 + k), Some(k + 1), "thread {i} key {k}");
+                assert_eq!(
+                    ht.get(&main, i * 500 + k),
+                    Some(k + 1),
+                    "thread {i} key {k}"
+                );
             }
         }
     }

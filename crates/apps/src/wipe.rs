@@ -72,7 +72,10 @@ pub struct WipeBugs {
 
 impl Default for WipeBugs {
     fn default() -> Self {
-        Self { late_buffer_persist: true, unpersisted_expand_swap: true }
+        Self {
+            late_buffer_persist: true,
+            unpersisted_expand_swap: true,
+        }
     }
 }
 
@@ -118,7 +121,8 @@ impl Wipe {
             let be = w.new_bentry(t, INITIAL_CAP);
             w.pool.store_u64(t, w.dir_slot(p), be);
         }
-        w.pool.persist(t, w.pool.base(), (DIR_OFF + partitions * 8) as usize);
+        w.pool
+            .persist(t, w.pool.base(), (DIR_OFF + partitions * 8) as usize);
         w
     }
 
@@ -127,7 +131,10 @@ impl Wipe {
     }
 
     fn new_bentry(&self, t: &PmThread, cap: u64) -> PmAddr {
-        let addr = self.alloc.alloc(bentry_size(cap)).expect("wipe pool exhausted");
+        let addr = self
+            .alloc
+            .alloc(bentry_size(cap))
+            .expect("wipe pool exhausted");
         self.pool.store_u64(t, addr + BE_SORTED_COUNT, 0);
         self.pool.store_u64(t, addr + BE_BUF_COUNT, 0);
         self.pool.store_u64(t, addr + BE_CAP, cap);
@@ -211,7 +218,12 @@ impl Wipe {
 
     /// Inserts, updates, or (with `value == 0`) tombstones `key`.
     fn put_raw(&self, t: &PmThread, key: u64, value: u64) {
-        if self.op_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 8 == 7 {
+        if self
+            .op_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            % 8
+            == 7
+        {
             self.flush_backlog(t);
         }
         loop {
@@ -311,13 +323,18 @@ impl Wipe {
             }
             entries.retain(|(_, v)| *v != 0);
             entries.sort_unstable();
-            let new_cap = (entries.len() as u64 + BUF).next_power_of_two().max(INITIAL_CAP);
+            let new_cap = (entries.len() as u64 + BUF)
+                .next_power_of_two()
+                .max(INITIAL_CAP);
             let new = self.new_bentry(t, new_cap);
             for (i, (k, v)) in entries.iter().enumerate() {
-                self.pool.store_u64(t, new + sorted_key(new_cap, i as u64), *k);
-                self.pool.store_u64(t, new + sorted_key(new_cap, i as u64) + 8, *v);
+                self.pool
+                    .store_u64(t, new + sorted_key(new_cap, i as u64), *k);
+                self.pool
+                    .store_u64(t, new + sorted_key(new_cap, i as u64) + 8, *v);
             }
-            self.pool.store_u64(t, new + BE_SORTED_COUNT, entries.len() as u64);
+            self.pool
+                .store_u64(t, new + BE_SORTED_COUNT, entries.len() as u64);
             self.pool.persist(t, new, bentry_size(new_cap) as usize);
             new
         };
@@ -377,26 +394,104 @@ impl Application for WipeApp {
 
     fn known_races(&self) -> Vec<KnownRace> {
         vec![
-            KnownRace::malign(16, true, "wipe::bentry_insert_key", "wipe::get_key", "load unpersisted key"),
-            KnownRace::malign(17, true, "wipe::bentry_insert_value", "wipe::get_value", "load unpersisted value"),
-            KnownRace::malign(18, true, "wipe::expand_swap", "wipe::traverse", "load unpersisted pointer"),
-            KnownRace::benign("wipe::put", "wipe::get_value", "in-place update persisted in CS"),
+            KnownRace::malign(
+                16,
+                true,
+                "wipe::bentry_insert_key",
+                "wipe::get_key",
+                "load unpersisted key",
+            ),
+            KnownRace::malign(
+                17,
+                true,
+                "wipe::bentry_insert_value",
+                "wipe::get_value",
+                "load unpersisted value",
+            ),
+            KnownRace::malign(
+                18,
+                true,
+                "wipe::expand_swap",
+                "wipe::traverse",
+                "load unpersisted pointer",
+            ),
+            KnownRace::benign(
+                "wipe::put",
+                "wipe::get_value",
+                "in-place update persisted in CS",
+            ),
             KnownRace::benign("wipe::put", "wipe::get_key", "buffer scan during update"),
-            KnownRace::benign("wipe::expand_copy", "wipe::get_key", "copy persisted pre-publication"),
-            KnownRace::benign("wipe::expand_copy", "wipe::get_value", "copy persisted pre-publication"),
-            KnownRace::benign("wipe::bentry_insert_key", "wipe::get_value", "adjacent-slot read"),
-            KnownRace::benign("wipe::bentry_insert_value", "wipe::get_key", "adjacent-slot read"),
-            KnownRace::benign("wipe::remove", "wipe::get_key", "swap-remove persisted in CS"),
-            KnownRace::benign("wipe::remove", "wipe::get_value", "swap-remove persisted in CS"),
+            KnownRace::benign(
+                "wipe::expand_copy",
+                "wipe::get_key",
+                "copy persisted pre-publication",
+            ),
+            KnownRace::benign(
+                "wipe::expand_copy",
+                "wipe::get_value",
+                "copy persisted pre-publication",
+            ),
+            KnownRace::benign(
+                "wipe::bentry_insert_key",
+                "wipe::get_value",
+                "adjacent-slot read",
+            ),
+            KnownRace::benign(
+                "wipe::bentry_insert_value",
+                "wipe::get_key",
+                "adjacent-slot read",
+            ),
+            KnownRace::benign(
+                "wipe::remove",
+                "wipe::get_key",
+                "swap-remove persisted in CS",
+            ),
+            KnownRace::benign(
+                "wipe::remove",
+                "wipe::get_value",
+                "swap-remove persisted in CS",
+            ),
             KnownRace::benign("wipe::create", "wipe::traverse", "directory initialization"),
-            KnownRace::benign("wipe::bentry_insert_key", "wipe::put", "deferred key read by a later put"),
-            KnownRace::benign("wipe::bentry_insert_key", "wipe::remove", "deferred key read by a later remove"),
-            KnownRace::benign("wipe::bentry_insert_key", "wipe::expand_copy", "deferred key copied by expansion"),
-            KnownRace::benign("wipe::bentry_insert_value", "wipe::put", "deferred value read by a later put"),
-            KnownRace::benign("wipe::bentry_insert_value", "wipe::remove", "deferred value read by a later remove"),
-            KnownRace::benign("wipe::bentry_insert_value", "wipe::expand_copy", "deferred value copied by expansion"),
-            KnownRace::benign("wipe::expand_swap", "wipe::put", "unpersisted swap re-read under the bentry lock"),
-            KnownRace::benign("wipe::expand_swap", "wipe::remove", "unpersisted swap re-read by a remover"),
+            KnownRace::benign(
+                "wipe::bentry_insert_key",
+                "wipe::put",
+                "deferred key read by a later put",
+            ),
+            KnownRace::benign(
+                "wipe::bentry_insert_key",
+                "wipe::remove",
+                "deferred key read by a later remove",
+            ),
+            KnownRace::benign(
+                "wipe::bentry_insert_key",
+                "wipe::expand_copy",
+                "deferred key copied by expansion",
+            ),
+            KnownRace::benign(
+                "wipe::bentry_insert_value",
+                "wipe::put",
+                "deferred value read by a later put",
+            ),
+            KnownRace::benign(
+                "wipe::bentry_insert_value",
+                "wipe::remove",
+                "deferred value read by a later remove",
+            ),
+            KnownRace::benign(
+                "wipe::bentry_insert_value",
+                "wipe::expand_copy",
+                "deferred value copied by expansion",
+            ),
+            KnownRace::benign(
+                "wipe::expand_swap",
+                "wipe::put",
+                "unpersisted swap re-read under the bentry lock",
+            ),
+            KnownRace::benign(
+                "wipe::expand_swap",
+                "wipe::remove",
+                "unpersisted swap re-read by a remover",
+            ),
         ]
     }
 
@@ -446,7 +541,10 @@ pub fn run_wipe(w: &Workload, opts: &ExecOptions, bugs: WipeBugs) -> ExecResult 
         }
     });
     let observations = env.take_observations();
-    ExecResult { trace: env.finish(), observations }
+    ExecResult {
+        trace: env.finish(),
+        observations,
+    }
 }
 
 #[cfg(test)]
@@ -460,7 +558,14 @@ mod tests {
         let pool = env.map_pool("/mnt/pmem/wipe-test", 1 << 22);
         let main = env.main_thread();
         let train: Vec<u64> = (0..1000).collect();
-        let w = Arc::new(Wipe::create(&env, &pool, &main, &train, partitions, WipeBugs::default()));
+        let w = Arc::new(Wipe::create(
+            &env,
+            &pool,
+            &main,
+            &train,
+            partitions,
+            WipeBugs::default(),
+        ));
         (env, w, main)
     }
 
@@ -494,7 +599,12 @@ mod tests {
             w.put(&t, k * 3, k + 1);
         }
         for k in 0..300u64 {
-            assert_eq!(w.get(&t, k * 3), Some(k + 1), "key {} lost in expansion", k * 3);
+            assert_eq!(
+                w.get(&t, k * 3),
+                Some(k + 1),
+                "key {} lost in expansion",
+                k * 3
+            );
         }
     }
 
@@ -509,7 +619,11 @@ mod tests {
         });
         for i in 0..4u64 {
             for k in 0..100u64 {
-                assert_eq!(w.get(&main, i * 1000 + k), Some(k + 1), "thread {i} key {k}");
+                assert_eq!(
+                    w.get(&main, i * 1000 + k),
+                    Some(k + 1),
+                    "thread {i} key {k}"
+                );
             }
         }
     }
@@ -521,7 +635,11 @@ mod tests {
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let b = score(&report.races, &WipeApp.known_races());
         for id in [16, 17, 18] {
-            assert!(b.detected_ids.contains(&id), "bug #{id} missing: {:?}", b.detected_ids);
+            assert!(
+                b.detected_ids.contains(&id),
+                "bug #{id} missing: {:?}",
+                b.detected_ids
+            );
         }
     }
 
@@ -531,11 +649,18 @@ mod tests {
         let res = run_wipe(&w, &ExecOptions::default(), WipeBugs::default());
         let report = analyze(&res.trace, &AnalysisConfig::default());
         let swap = report.races.iter().find(|r| {
-            r.store_site.as_ref().is_some_and(|f| f.function == "wipe::expand_swap")
-                && r.load_site.as_ref().is_some_and(|f| f.function == "wipe::traverse")
+            r.store_site
+                .as_ref()
+                .is_some_and(|f| f.function == "wipe::expand_swap")
+                && r.load_site
+                    .as_ref()
+                    .is_some_and(|f| f.function == "wipe::traverse")
         });
         let swap = swap.expect("bug #18 pair reported");
-        assert!(swap.store_never_persisted, "the swap is never flushed (letree.h:393)");
+        assert!(
+            swap.store_never_persisted,
+            "the swap is never flushed (letree.h:393)"
+        );
         assert!(swap.store_atomic, "the swap is an atomic pointer store");
     }
 }

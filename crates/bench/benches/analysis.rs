@@ -36,13 +36,34 @@ fn bench_irh_ablation(c: &mut Criterion) {
     let trace = synthetic_trace(&SyntheticSpec::medium(4_000));
     let mut g = c.benchmark_group("irh-ablation");
     g.bench_function("with-irh", |b| {
-        b.iter(|| analyze(&trace, &AnalysisConfig { irh: true, ..Default::default() }))
+        b.iter(|| {
+            analyze(
+                &trace,
+                &AnalysisConfig {
+                    irh: true,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.bench_function("without-irh", |b| {
-        b.iter(|| analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() }))
+        b.iter(|| {
+            analyze(
+                &trace,
+                &AnalysisConfig {
+                    irh: false,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_pairing_stage, bench_irh_ablation);
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_pairing_stage,
+    bench_irh_ablation
+);
 criterion_main!(benches);

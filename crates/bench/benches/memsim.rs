@@ -49,10 +49,22 @@ fn bench_interning(c: &mut Criterion) {
 
 fn bench_lockset_ops(c: &mut Criterion) {
     let a = Lockset::from_entries(
-        (0..4).map(|i| LockEntry { lock: LockId(i), mode: LockMode::Exclusive, acq_ts: i }).collect(),
+        (0..4)
+            .map(|i| LockEntry {
+                lock: LockId(i),
+                mode: LockMode::Exclusive,
+                acq_ts: i,
+            })
+            .collect(),
     );
     let b2 = Lockset::from_entries(
-        (2..6).map(|i| LockEntry { lock: LockId(i), mode: LockMode::Exclusive, acq_ts: i }).collect(),
+        (2..6)
+            .map(|i| LockEntry {
+                lock: LockId(i),
+                mode: LockMode::Exclusive,
+                acq_ts: i,
+            })
+            .collect(),
     );
     c.bench_function("lockset-intersect", |b| {
         b.iter(|| criterion::black_box(a.intersect_same_thread(&b2)))
@@ -62,5 +74,10 @@ fn bench_lockset_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulation, bench_interning, bench_lockset_ops);
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_interning,
+    bench_lockset_ops
+);
 criterion_main!(benches);

@@ -22,15 +22,45 @@ fn main() {
     let seed = arg_u64(&args, "--seed", 42);
 
     println!("HawkSet reproduction — design ablations (workload: {ops} ops, seed {seed})\n");
-    let mut table =
-        TextTable::new(&["Application", "default", "no IRH", "no HB", "store-store", "eADR"]);
+    let mut table = TextTable::new(&[
+        "Application",
+        "default",
+        "no IRH",
+        "no HB",
+        "store-store",
+        "eADR",
+    ]);
 
     let configs: [(&str, AnalysisConfig); 5] = [
         ("default", AnalysisConfig::default()),
-        ("no-irh", AnalysisConfig { irh: false, ..Default::default() }),
-        ("no-hb", AnalysisConfig { use_hb: false, ..Default::default() }),
-        ("store-store", AnalysisConfig { check_store_store: true, ..Default::default() }),
-        ("eadr", AnalysisConfig { eadr: true, ..Default::default() }),
+        (
+            "no-irh",
+            AnalysisConfig {
+                irh: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-hb",
+            AnalysisConfig {
+                use_hb: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "store-store",
+            AnalysisConfig {
+                check_store_store: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "eadr",
+            AnalysisConfig {
+                eadr: true,
+                ..Default::default()
+            },
+        ),
     ];
 
     for app in apps() {

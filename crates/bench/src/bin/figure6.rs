@@ -20,12 +20,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = arg_flag(&args, "--full");
     let seed = arg_u64(&args, "--seed", 42);
-    let sizes: Vec<u64> =
-        if full { vec![1_000, 10_000, 100_000] } else { vec![1_000, 4_000, 16_000] };
+    let sizes: Vec<u64> = if full {
+        vec![1_000, 10_000, 100_000]
+    } else {
+        vec![1_000, 4_000, 16_000]
+    };
     let cfg = AnalysisConfig::default();
 
     println!("HawkSet reproduction — Figure 6 (sizes {sizes:?}, seed {seed})\n");
-    let mut time_table = TextTable::new(&["Application", "1st size (s)", "2nd size (s)", "3rd size (s)"]);
+    let mut time_table = TextTable::new(&[
+        "Application",
+        "1st size (s)",
+        "2nd size (s)",
+        "3rd size (s)",
+    ]);
     let mut mem_table = TextTable::new(&["Application", "1st size", "2nd size", "3rd size"]);
     let mut csv = String::from("app,ops,events,exec_s,analysis_s,total_s,peak_bytes\n");
 
@@ -56,8 +64,14 @@ fn main() {
         });
     }
 
-    println!("(a) Testing time (execution + analysis):\n{}", time_table.render());
-    println!("(b) Peak memory usage during testing:\n{}", mem_table.render());
+    println!(
+        "(a) Testing time (execution + analysis):\n{}",
+        time_table.render()
+    );
+    println!(
+        "(b) Peak memory usage during testing:\n{}",
+        mem_table.render()
+    );
     println!("CSV:\n{csv}");
     println!(
         "Paper shape: both metrics grow sublinearly on log-log axes; the largest paper \

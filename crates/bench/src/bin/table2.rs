@@ -20,7 +20,14 @@ fn main() {
     let cfg = AnalysisConfig::default();
 
     println!("HawkSet reproduction — Table 2 (workload: {ops} ops, seed {seed})\n");
-    let mut table = TextTable::new(&["Application", "#", "New", "Store Access", "Load Access", "Description"]);
+    let mut table = TextTable::new(&[
+        "Application",
+        "#",
+        "New",
+        "Store Access",
+        "Load Access",
+        "Description",
+    ]);
     let mut detected_total = 0usize;
     let mut new_total = 0usize;
 
@@ -37,8 +44,11 @@ fn main() {
                 .filter(|k| run.report.races.iter().any(|r| k.matches(r)))
                 .collect();
             sites.dedup_by_key(|k| k.store_fn);
-            let store_sites =
-                sites.iter().map(|k| k.store_fn).collect::<Vec<_>>().join(", ");
+            let store_sites = sites
+                .iter()
+                .map(|k| k.store_fn)
+                .collect::<Vec<_>>()
+                .join(", ");
             let load_sites = {
                 let mut l: Vec<&str> = sites.iter().map(|k| k.load_fn).collect();
                 l.dedup();

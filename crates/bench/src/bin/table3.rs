@@ -21,8 +21,8 @@ use hawkset_bench::{arg_u64, TextTable};
 use hawkset_core::analysis::{analyze, AnalysisConfig};
 use pm_apps::fastfair::FastFairApp;
 use pm_apps::{score, AppWorkload, Application};
-use pmrace::{expected_time_to_race, fuzz_app, CampaignConfig};
 use pm_workloads::WorkloadSpec;
+use pmrace::{expected_time_to_race, fuzz_app, CampaignConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,7 +84,14 @@ fn main() {
 
     let hawkset_t = hawkset_time / seeds as f64;
     let baseline_t = baseline_time / seeds as f64;
-    let mut table = TextTable::new(&["Tool", "Bug", "Executions", "Racy Executions", "Avg Time/Exec (s)", "Avg Time to Race (s)"]);
+    let mut table = TextTable::new(&[
+        "Tool",
+        "Bug",
+        "Executions",
+        "Racy Executions",
+        "Avg Time/Exec (s)",
+        "Avg Time to Race (s)",
+    ]);
     let mut speedups = Vec::new();
     for (i, bug) in [1u32, 2u32].iter().enumerate() {
         let h = expected_time_to_race(seeds - hawkset_racy[i], hawkset_racy[i], hawkset_t);
@@ -95,7 +102,11 @@ fn main() {
             seeds.to_string(),
             baseline_racy[i].to_string(),
             format!("{baseline_t:.3}"),
-            if p.is_finite() { format!("{p:.2}") } else { "inf".into() },
+            if p.is_finite() {
+                format!("{p:.2}")
+            } else {
+                "inf".into()
+            },
         ]);
         table.row(vec![
             "HawkSet".into(),
@@ -103,7 +114,11 @@ fn main() {
             seeds.to_string(),
             hawkset_racy[i].to_string(),
             format!("{hawkset_t:.3}"),
-            if h.is_finite() { format!("{h:.2}") } else { "inf".into() },
+            if h.is_finite() {
+                format!("{h:.2}")
+            } else {
+                "inf".into()
+            },
         ]);
         if h.is_finite() && p.is_finite() {
             speedups.push(p / h);

@@ -17,7 +17,14 @@ fn main() {
     let seed = arg_u64(&args, "--seed", 42);
 
     println!("HawkSet reproduction — Table 4 (workload: {ops} ops, seed {seed})\n");
-    let mut table = TextTable::new(&["Application", "MR", "BR", "FP", "After IRH", "Reported (no IRH)"]);
+    let mut table = TextTable::new(&[
+        "Application",
+        "MR",
+        "BR",
+        "FP",
+        "After IRH",
+        "Reported (no IRH)",
+    ]);
     let mut malign_pruned = 0usize;
 
     for app in apps() {
@@ -29,7 +36,10 @@ fn main() {
         let (report_raw, scored_raw) = analyze_for(
             app.as_ref(),
             &trace,
-            &AnalysisConfig { irh: false, ..Default::default() },
+            &AnalysisConfig {
+                irh: false,
+                ..Default::default()
+            },
         );
         let (mr, br, fp) = scored_irh.counts();
         table.row(vec![

@@ -98,7 +98,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header arity).
@@ -166,8 +169,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--ops", "5000", "--full"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--ops", "5000", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_u64(&args, "--ops", 1), 5000);
         assert_eq!(arg_u64(&args, "--seeds", 7), 7);
         assert!(arg_flag(&args, "--full"));

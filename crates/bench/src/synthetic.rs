@@ -5,8 +5,8 @@
 //! discipline), independent of any application's logic.
 
 use hawkset_core::addr::AddrRange;
-use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, Trace, TraceBuilder};
 use hawkset_core::trace::ThreadId;
+use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, Trace, TraceBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,7 +58,11 @@ pub fn synthetic_trace(spec: &SyntheticSpec) -> Trace {
     let stack_sync = b.intern_stack([Frame::new("synthetic::sync", "synthetic.rs", 3)]);
 
     for t in 1..=spec.threads {
-        b.push(ThreadId(0), stack_sync, EventKind::ThreadCreate { child: ThreadId(t) });
+        b.push(
+            ThreadId(0),
+            stack_sync,
+            EventKind::ThreadCreate { child: ThreadId(t) },
+        );
     }
     for i in 0..spec.ops_per_thread {
         for t in 1..=spec.threads {
@@ -69,20 +73,38 @@ pub fn synthetic_trace(spec: &SyntheticSpec) -> Trace {
             let lock = LockId(loc % 32 + 1);
             let locked = rng.gen_range(0..100u8) < spec.locked_pct;
             if locked {
-                b.push(tid, stack_sync, EventKind::Acquire { lock, mode: LockMode::Exclusive });
+                b.push(
+                    tid,
+                    stack_sync,
+                    EventKind::Acquire {
+                        lock,
+                        mode: LockMode::Exclusive,
+                    },
+                );
             }
             if rng.gen_range(0..100u8) < spec.store_pct {
                 b.push(
                     tid,
                     stack_store,
-                    EventKind::Store { range, non_temporal: false, atomic: false },
+                    EventKind::Store {
+                        range,
+                        non_temporal: false,
+                        atomic: false,
+                    },
                 );
                 if rng.gen_range(0..100u8) < spec.persist_pct {
                     b.push(tid, stack_store, EventKind::Flush { addr });
                     b.push(tid, stack_store, EventKind::Fence);
                 }
             } else {
-                b.push(tid, stack_load, EventKind::Load { range, atomic: false });
+                b.push(
+                    tid,
+                    stack_load,
+                    EventKind::Load {
+                        range,
+                        atomic: false,
+                    },
+                );
             }
             if locked {
                 b.push(tid, stack_sync, EventKind::Release { lock });
@@ -91,7 +113,11 @@ pub fn synthetic_trace(spec: &SyntheticSpec) -> Trace {
         }
     }
     for t in 1..=spec.threads {
-        b.push(ThreadId(0), stack_sync, EventKind::ThreadJoin { child: ThreadId(t) });
+        b.push(
+            ThreadId(0),
+            stack_sync,
+            EventKind::ThreadJoin { child: ThreadId(t) },
+        );
     }
     b.finish()
 }

@@ -6,10 +6,11 @@
 //! atomics included or not — without re-running the application.
 //!
 //! ```text
-//! hawkset analyze <trace.hwkt> [--no-irh] [--no-atomics] [--json]
-//!                              [--lenient] [--salvage] [--max-pairs N]
-//! hawkset info    <trace.hwkt>
-//! hawkset demo    <out.hwkt>
+//! hawkset analyze   <trace.hwkt> [--no-irh] [--no-atomics] [--json]
+//!                                [--lenient] [--salvage] [--max-pairs N]
+//! hawkset info      <trace.hwkt>
+//! hawkset demo      <out.hwkt>
+//! hawkset crashtest <app> [--rounds N] [--crash-points N] [--resume P]
 //! ```
 
 use std::process::ExitCode;
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("crashtest") => cmd_crashtest(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -39,14 +41,19 @@ const USAGE: &str = "\
 hawkset — automatic, application-agnostic concurrent PM bug detection
 
 USAGE:
-    hawkset analyze <trace.hwkt> [OPTIONS]
-    hawkset info    <trace.hwkt>
-    hawkset demo    <out.hwkt>
+    hawkset analyze   <trace.hwkt> [OPTIONS]
+    hawkset info      <trace.hwkt>
+    hawkset demo      <out.hwkt>
+    hawkset crashtest <app> [OPTIONS]
 
 COMMANDS:
-    analyze   run the PM-aware lockset analysis on a recorded trace
-    info      print trace statistics (events, threads, PM regions)
-    demo      record the paper's Figure-1c example as a trace file
+    analyze    run the PM-aware lockset analysis on a recorded trace
+    info       print trace statistics (events, threads, PM regions)
+    demo       record the paper's Figure-1c example as a trace file
+    crashtest  run a supervised crash-injection campaign against one of
+               the built-in applications: crash at injected points,
+               restart from the persisted-only image, audit recovery,
+               and join failures with the HawkSet race report
 
 ANALYZE OPTIONS:
     --no-irh        disable the Initialization Removal Heuristic (§3.1.3)
@@ -63,9 +70,23 @@ ANALYZE OPTIONS:
                     truncated; races found in budget are still reported)
     --max-events N  analyze only the first N events of the trace
 
+CRASHTEST OPTIONS:
+    --rounds N            campaign rounds (default 4)
+    --ops N               main-phase operations per round (default 200)
+    --seed N              campaign seed: drives workloads and crash-point
+                          placement (default 1)
+    --crash-points N      crash images captured per round (default 8)
+    --round-timeout-ms N  watchdog deadline per round attempt (default 30000)
+    --max-retries N       retries for panicked/timed-out rounds (default 2)
+    --checkpoint PATH     write campaign state to PATH after every round
+    --resume PATH         load PATH and re-run only unfinished rounds
+                          (implies --checkpoint PATH)
+    --json                emit the machine-readable campaign record
+
 EXIT STATUS:
-    0  no persistency-induced race found
-    1  races were reported (analyze); trace failed validation (info)
+    0  no persistency-induced race found; all crashtest rounds Ok
+    1  races were reported (analyze); trace failed validation (info);
+       some crashtest round failed
     2  usage, I/O, decode or strict-mode validation error
 ";
 
@@ -77,9 +98,12 @@ fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String>
         rest.to_string()
     } else {
         *i += 1;
-        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))?
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))?
     };
-    raw.parse::<u64>().map_err(|_| format!("{flag} needs an integer, got `{raw}`"))
+    raw.parse::<u64>()
+        .map_err(|_| format!("{flag} needs an integer, got `{raw}`"))
 }
 
 fn load_trace(path: &str) -> Result<Trace, HawkSetError> {
@@ -156,7 +180,11 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!("hawkset analyze: missing trace path\n{USAGE}");
         return ExitCode::from(2);
     };
-    let loaded = if salvage { load_trace_salvage(&path) } else { load_trace(&path) };
+    let loaded = if salvage {
+        load_trace_salvage(&path)
+    } else {
+        load_trace(&path)
+    };
     let trace = match loaded {
         Ok(t) => t,
         Err(e) => {
@@ -250,7 +278,9 @@ fn cmd_info(args: &[String]) -> ExitCode {
 /// concurrent load under the same lock — as a reusable demo trace.
 fn cmd_demo(args: &[String]) -> ExitCode {
     use hawkset_core::addr::AddrRange;
-    use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, PmRegion, ThreadId, TraceBuilder};
+    use hawkset_core::trace::{
+        EventKind, Frame, LockId, LockMode, PmRegion, ThreadId, TraceBuilder,
+    };
 
     let mut path = None;
     for a in args {
@@ -267,27 +297,276 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     let mut b = TraceBuilder::new();
-    b.add_region(PmRegion { base: 0x1000, len: 4096, path: "/mnt/pmem/fig1c".into() });
+    b.add_region(PmRegion {
+        base: 0x1000,
+        len: 4096,
+        path: "/mnt/pmem/fig1c".into(),
+    });
     let x = AddrRange::new(0x1000, 8);
     let a = LockId(0xa);
-    let st = b.intern_stack([Frame::new("writer", "fig1c.c", 12), Frame::new("main", "fig1c.c", 40)]);
-    let ld = b.intern_stack([Frame::new("reader", "fig1c.c", 25), Frame::new("main", "fig1c.c", 41)]);
-    b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
-    b.push(ThreadId(0), st, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
-    b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+    let st = b.intern_stack([
+        Frame::new("writer", "fig1c.c", 12),
+        Frame::new("main", "fig1c.c", 40),
+    ]);
+    let ld = b.intern_stack([
+        Frame::new("reader", "fig1c.c", 25),
+        Frame::new("main", "fig1c.c", 41),
+    ]);
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadCreate { child: ThreadId(1) },
+    );
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::Acquire {
+            lock: a,
+            mode: LockMode::Exclusive,
+        },
+    );
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::Store {
+            range: x,
+            non_temporal: false,
+            atomic: false,
+        },
+    );
     b.push(ThreadId(0), st, EventKind::Release { lock: a });
-    b.push(ThreadId(1), ld, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
-    b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+    b.push(
+        ThreadId(1),
+        ld,
+        EventKind::Acquire {
+            lock: a,
+            mode: LockMode::Exclusive,
+        },
+    );
+    b.push(
+        ThreadId(1),
+        ld,
+        EventKind::Load {
+            range: x,
+            atomic: false,
+        },
+    );
     b.push(ThreadId(1), ld, EventKind::Release { lock: a });
     b.push(ThreadId(0), st, EventKind::Flush { addr: 0x1000 });
     b.push(ThreadId(0), st, EventKind::Fence);
-    b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadJoin { child: ThreadId(1) },
+    );
     let trace = b.finish();
     let encoded = io::encode(&trace);
     if let Err(e) = std::fs::write(&path, &encoded) {
         eprintln!("hawkset: cannot write {path}: {e}");
         return ExitCode::from(2);
     }
-    println!("wrote {} bytes to {path} — try: hawkset analyze {path}", encoded.len());
+    println!(
+        "wrote {} bytes to {path} — try: hawkset analyze {path}",
+        encoded.len()
+    );
     ExitCode::SUCCESS
+}
+
+fn cmd_crashtest(args: &[String]) -> ExitCode {
+    use pmrace::{run_crash_campaign, CampaignCheckpoint, CrashCampaignConfig, RoundOutcome};
+    use std::sync::Arc;
+
+    let mut app_name = None;
+    let mut cfg = CrashCampaignConfig::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let numeric = |args: &[String], i: &mut usize, flag: &str| flag_value(args, i, flag);
+        match a.as_str() {
+            "--json" => json = true,
+            flag if flag == "--rounds" || flag.starts_with("--rounds=") => {
+                match numeric(args, &mut i, "--rounds") {
+                    Ok(v) => cfg.rounds = v,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--ops" || flag.starts_with("--ops=") => {
+                match numeric(args, &mut i, "--ops") {
+                    Ok(v) => cfg.main_ops = v,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--seed" || flag.starts_with("--seed=") => {
+                match numeric(args, &mut i, "--seed") {
+                    Ok(v) => cfg.seed = v,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--crash-points" || flag.starts_with("--crash-points=") => {
+                match numeric(args, &mut i, "--crash-points") {
+                    Ok(v) => cfg.crash_points = v as usize,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--round-timeout-ms" || flag.starts_with("--round-timeout-ms=") => {
+                match numeric(args, &mut i, "--round-timeout-ms") {
+                    Ok(v) => cfg.round_timeout = std::time::Duration::from_millis(v),
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--max-retries" || flag.starts_with("--max-retries=") => {
+                match numeric(args, &mut i, "--max-retries") {
+                    Ok(v) => cfg.max_retries = v as u32,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--checkpoint" || flag.starts_with("--checkpoint=") => {
+                match path_value(args, &mut i, "--checkpoint") {
+                    Ok(p) => cfg.checkpoint = Some(p.into()),
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--resume" || flag.starts_with("--resume=") => {
+                match path_value(args, &mut i, "--resume") {
+                    Ok(p) => {
+                        cfg.checkpoint = Some(p.into());
+                        cfg.resume = true;
+                    }
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return crashtest_usage_err(&format!("unknown flag {flag}"));
+            }
+            name => app_name = Some(name.to_string()),
+        }
+        i += 1;
+    }
+    let Some(app_name) = app_name else {
+        return crashtest_usage_err("missing application name");
+    };
+    // Accept `fast-fair`, `fastfair`, `P-CLHT`, `pclht`, … — compare with
+    // case and punctuation folded away.
+    let fold = |s: &str| {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_ascii_lowercase()
+    };
+    let Some(app) = pm_apps::all_apps()
+        .into_iter()
+        .find(|a| fold(a.name()) == fold(&app_name))
+    else {
+        let names: Vec<&str> = pm_apps::all_apps().iter().map(|a| a.name()).collect();
+        return crashtest_usage_err(&format!(
+            "unknown application `{app_name}` (one of: {})",
+            names.join(", ")
+        ));
+    };
+    let app: Arc<dyn pm_apps::Application> = Arc::from(app);
+    if !app.supports_recovery() {
+        eprintln!(
+            "hawkset crashtest: note: `{}` has no recovery audit; rounds only exercise \
+             crash capture and supervision",
+            app.name()
+        );
+    }
+    let result = match run_crash_campaign(&app, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hawkset crashtest: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        let record = CampaignCheckpoint {
+            app: app.name().to_string(),
+            seed: cfg.seed,
+            rounds: cfg.rounds,
+            completed: result.records.clone(),
+        };
+        match serde_json::to_string_pretty(&record) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("hawkset crashtest: cannot serialize result: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        if result.resumed_from_checkpoint {
+            println!(
+                "resumed: {} round(s) loaded from checkpoint, {} executed now",
+                result.records.len() as u64 - result.executed_this_run,
+                result.executed_this_run
+            );
+        }
+        for rec in &result.records {
+            let outcome = match &rec.outcome {
+                RoundOutcome::Ok => "ok".to_string(),
+                RoundOutcome::Panicked { message } => format!("PANICKED ({message})"),
+                RoundOutcome::TimedOut => "TIMED OUT".to_string(),
+                RoundOutcome::RecoveryFailed { error, crash_op } => {
+                    format!("RECOVERY FAILED at op {crash_op} ({error})")
+                }
+                RoundOutcome::InvariantViolated {
+                    violations,
+                    crash_op,
+                } => format!(
+                    "INVARIANTS VIOLATED at op {crash_op} ({} violation(s): {})",
+                    violations.len(),
+                    violations.first().map(String::as_str).unwrap_or("?")
+                ),
+            };
+            println!(
+                "round {:>3}: {outcome} — {} crash point(s), {} image(s), {} retrie(s), {} ms",
+                rec.round,
+                rec.crash_points.len(),
+                rec.images_captured,
+                rec.retries,
+                rec.duration_ms
+            );
+            for race in &rec.attributed {
+                println!(
+                    "           race: bug #{} {} -> {} ({})",
+                    race.bug_id, race.store_fn, race.load_fn, race.description
+                );
+            }
+        }
+        let failed = result
+            .records
+            .iter()
+            .filter(|r| r.outcome != RoundOutcome::Ok)
+            .count();
+        println!(
+            "{} round(s): {} ok, {} failed, in {}",
+            result.records.len(),
+            result.records.len() - failed,
+            failed,
+            format_duration(result.duration)
+        );
+    }
+    if result.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn crashtest_usage_err(msg: &str) -> ExitCode {
+    eprintln!("hawkset crashtest: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Parses `--flag PATH` / `--flag=PATH` style values.
+fn path_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    let a = &args[*i];
+    if let Some(rest) = a.strip_prefix(&format!("{flag}=")) {
+        Ok(rest.to_string())
+    } else {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
 }

@@ -9,8 +9,15 @@ fn hawkset() -> Command {
 
 fn demo_trace(name: &str) -> PathBuf {
     let path = std::env::temp_dir().join(format!("hawkset-cli-test-{name}.hwkt"));
-    let out = hawkset().args(["demo", path.to_str().unwrap()]).output().expect("spawn");
-    assert!(out.status.success(), "demo failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = hawkset()
+        .args(["demo", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     path
 }
 
@@ -33,17 +40,26 @@ fn unknown_command_exits_2() {
 fn demo_info_analyze_pipeline() {
     let path = demo_trace("pipeline");
 
-    let out = hawkset().args(["info", path.to_str().unwrap()]).output().expect("spawn");
+    let out = hawkset()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("events:       10"), "info output:\n{text}");
     assert!(text.contains("validation:   ok"));
 
     // The demo trace contains the Figure-1c race: exit code 1.
-    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    let out = hawkset()
+        .args(["analyze", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(1));
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("1 persistency-induced race(s) detected"), "analyze output:\n{text}");
+    assert!(
+        text.contains("1 persistency-induced race(s) detected"),
+        "analyze output:\n{text}"
+    );
     assert!(text.contains("fig1c.c:12"), "store site resolved:\n{text}");
     assert!(text.contains("fig1c.c:25"), "load site resolved:\n{text}");
 }
@@ -76,23 +92,35 @@ fn eadr_flag_silences_the_demo_race() {
 fn analyze_rejects_garbage_input() {
     let path = std::env::temp_dir().join("hawkset-cli-test-garbage.hwkt");
     std::fs::write(&path, b"not a trace at all").unwrap();
-    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    let out = hawkset()
+        .args(["analyze", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad magic"));
 }
 
 #[test]
 fn analyze_rejects_unknown_flags() {
-    let out = hawkset().args(["analyze", "--frobnicate", "x.hwkt"]).output().expect("spawn");
+    let out = hawkset()
+        .args(["analyze", "--frobnicate", "x.hwkt"])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
 fn info_and_demo_reject_unknown_flags() {
-    let out = hawkset().args(["info", "--frobnicate", "x.hwkt"]).output().expect("spawn");
+    let out = hawkset()
+        .args(["info", "--frobnicate", "x.hwkt"])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
-    let out = hawkset().args(["demo", "--frobnicate", "x.hwkt"]).output().expect("spawn");
+    let out = hawkset()
+        .args(["demo", "--frobnicate", "x.hwkt"])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
 }
@@ -100,11 +128,20 @@ fn info_and_demo_reject_unknown_flags() {
 #[test]
 fn stats_line_renders_duration_in_fixed_ms() {
     let path = demo_trace("duration");
-    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    let out = hawkset()
+        .args(["analyze", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
     let text = String::from_utf8_lossy(&out.stdout);
     let stats = text.lines().last().unwrap();
-    assert!(stats.ends_with(" ms"), "stats line must use fixed ms units:\n{stats}");
-    assert!(!stats.contains("µs") && !stats.contains("ns"), "no Debug unit switching:\n{stats}");
+    assert!(
+        stats.ends_with(" ms"),
+        "stats line must use fixed ms units:\n{stats}"
+    );
+    assert!(
+        !stats.contains("µs") && !stats.contains("ns"),
+        "no Debug unit switching:\n{stats}"
+    );
 }
 
 /// Rewrites the demo trace with semantically ill-formed events spliced in —
@@ -121,13 +158,25 @@ fn ill_formed_trace(name: &str) -> PathBuf {
     let stack = trace.events[0].stack;
     trace.events.insert(
         0,
-        Event { seq: 0, tid: ThreadId(0), stack, kind: EventKind::Release { lock: LockId(0xbad) } },
+        Event {
+            seq: 0,
+            tid: ThreadId(0),
+            stack,
+            kind: EventKind::Release {
+                lock: LockId(0xbad),
+            },
+        },
     );
     // Room for a thread id that passes decode's range check but is never
     // ThreadCreate'd: an orphan.
     trace.thread_count += 1;
     let orphan = ThreadId(trace.thread_count - 1);
-    trace.events.push(Event { seq: 0, tid: orphan, stack, kind: EventKind::Fence });
+    trace.events.push(Event {
+        seq: 0,
+        tid: orphan,
+        stack,
+        kind: EventKind::Fence,
+    });
     for (i, ev) in trace.events.iter_mut().enumerate() {
         ev.seq = i as u64;
     }
@@ -139,11 +188,17 @@ fn ill_formed_trace(name: &str) -> PathBuf {
 #[test]
 fn strict_mode_rejects_ill_formed_trace_with_exit_2() {
     let path = ill_formed_trace("strict");
-    let out = hawkset().args(["analyze", path.to_str().unwrap()]).output().expect("spawn");
+    let out = hawkset()
+        .args(["analyze", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("validation failed"), "stderr:\n{err}");
-    assert!(err.contains("--lenient"), "stderr should hint at lenient mode:\n{err}");
+    assert!(
+        err.contains("--lenient"),
+        "stderr should hint at lenient mode:\n{err}"
+    );
 }
 
 #[test]
@@ -153,10 +208,20 @@ fn lenient_mode_quarantines_and_still_reports_the_race() {
         .args(["analyze", "--lenient", path.to_str().unwrap()])
         .output()
         .expect("spawn");
-    assert_eq!(out.status.code(), Some(1), "the Figure-1c race must still be found");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "the Figure-1c race must still be found"
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("1 persistency-induced race(s) detected"), "stdout:\n{text}");
-    assert!(text.contains("quarantined 2 ill-formed event(s)"), "stdout:\n{text}");
+    assert!(
+        text.contains("1 persistency-induced race(s) detected"),
+        "stdout:\n{text}"
+    );
+    assert!(
+        text.contains("quarantined 2 ill-formed event(s)"),
+        "stdout:\n{text}"
+    );
     assert!(text.contains("1 dangling release"), "stdout:\n{text}");
     assert!(text.contains("1 orphan thread"), "stdout:\n{text}");
 
@@ -172,13 +237,19 @@ fn lenient_mode_quarantines_and_still_reports_the_race() {
         .expect("spawn");
     let clean_races: serde_json::Value = serde_json::from_slice(&clean_out.stdout).unwrap();
     let ill_races: serde_json::Value = serde_json::from_slice(&ill_out.stdout).unwrap();
-    assert_eq!(clean_races, ill_races, "quarantine must not change the race report");
+    assert_eq!(
+        clean_races, ill_races,
+        "quarantine must not change the race report"
+    );
 }
 
 #[test]
 fn info_exits_1_on_failed_validation() {
     let path = ill_formed_trace("info");
-    let out = hawkset().args(["info", path.to_str().unwrap()]).output().expect("spawn");
+    let out = hawkset()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(1));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("validation:   FAILED"), "stdout:\n{text}");
@@ -192,7 +263,10 @@ fn salvage_recovers_truncated_trace() {
     std::fs::write(&cut, &raw[..raw.len() - 3]).unwrap();
 
     // Without --salvage the truncated file is a hard decode error.
-    let out = hawkset().args(["analyze", cut.to_str().unwrap()]).output().expect("spawn");
+    let out = hawkset()
+        .args(["analyze", cut.to_str().unwrap()])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
 
     // With --salvage the valid event prefix is analyzed. The demo race's
@@ -218,7 +292,11 @@ fn max_pairs_budget_truncates_the_report() {
         .args(["analyze", "--max-pairs", "0", path.to_str().unwrap()])
         .output()
         .expect("spawn");
-    assert_eq!(out.status.code(), Some(0), "nothing in budget, nothing reported");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "nothing in budget, nothing reported"
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
         text.contains("analysis truncated by candidate-pair budget"),

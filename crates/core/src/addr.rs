@@ -187,7 +187,10 @@ mod tests {
             AddrRange::new(0, 8).intersection(&AddrRange::new(4, 8)),
             Some(AddrRange::new(4, 4))
         );
-        assert_eq!(AddrRange::new(0, 4).intersection(&AddrRange::new(4, 4)), None);
+        assert_eq!(
+            AddrRange::new(0, 4).intersection(&AddrRange::new(4, 4)),
+            None
+        );
     }
 
     #[test]

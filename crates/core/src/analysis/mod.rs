@@ -223,7 +223,13 @@ pub fn analyze(trace: &Trace, cfg: &AnalysisConfig) -> AnalysisReport {
         }
         _ => (trace, events_total),
     };
-    let access = simulate(trace_run, &SimConfig { irh: cfg.irh, eadr: cfg.eadr });
+    let access = simulate(
+        trace_run,
+        &SimConfig {
+            irh: cfg.irh,
+            eadr: cfg.eadr,
+        },
+    );
     let mut report = pair(trace_run, &access, cfg);
     report.stats.sim = access.stats.clone();
     report.coverage.events_analyzed = events_analyzed;
@@ -381,7 +387,11 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
         for (_, ls) in access.locksets.iter() {
             let stripped = Lockset::from_entries(
                 ls.iter()
-                    .map(|e| LockEntry { lock: e.lock, mode: e.mode, acq_ts: 0 })
+                    .map(|e| LockEntry {
+                        lock: e.lock,
+                        mode: e.mode,
+                        acq_ts: 0,
+                    })
                     .collect(),
             );
             let id = *index.entry(stripped.clone()).or_insert_with(|| {
@@ -538,30 +548,30 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
             let key = (win.store_vc.id(), close_raw, ld.vc.id());
             let ordered = cfg.use_hb
                 && match hb_memo.get(&key) {
-                Some(&v) => {
-                    stats.hb_memo_hits += 1;
-                    v
-                }
-                None => {
-                    let store_vc = access.vclocks.get(win.store_vc);
-                    let load_vc = access.vclocks.get(ld.vc);
-                    let load_before_store = matches!(
-                        load_vc.compare(store_vc),
-                        ClockOrder::Before | ClockOrder::Equal
-                    );
-                    let closed_before_load = match win.close_vc {
-                        Some(cvc) => matches!(
-                            access.vclocks.get(cvc).compare(load_vc),
+                    Some(&v) => {
+                        stats.hb_memo_hits += 1;
+                        v
+                    }
+                    None => {
+                        let store_vc = access.vclocks.get(win.store_vc);
+                        let load_vc = access.vclocks.get(ld.vc);
+                        let load_before_store = matches!(
+                            load_vc.compare(store_vc),
                             ClockOrder::Before | ClockOrder::Equal
-                        ),
-                        // Never persisted: the window is unbounded.
-                        None => false,
-                    };
-                    let v = load_before_store || closed_before_load;
-                    hb_memo.insert(key, v);
-                    v
-                }
-            };
+                        );
+                        let closed_before_load = match win.close_vc {
+                            Some(cvc) => matches!(
+                                access.vclocks.get(cvc).compare(load_vc),
+                                ClockOrder::Before | ClockOrder::Equal
+                            ),
+                            // Never persisted: the window is unbounded.
+                            None => false,
+                        };
+                        let v = load_before_store || closed_before_load;
+                        hb_memo.insert(key, v);
+                        v
+                    }
+                };
             if ordered {
                 stats.hb_pruned += pairs;
                 continue;
@@ -575,8 +585,8 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
                     v
                 }
                 None => {
-                    let v = norm_sets[lkey.0 as usize]
-                        .protects_against(&norm_sets[lkey.1 as usize]);
+                    let v =
+                        norm_sets[lkey.0 as usize].protects_against(&norm_sets[lkey.1 as usize]);
                     protected_memo.insert(lkey, v);
                     v
                 }
@@ -591,13 +601,14 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
             let store_site = trace.stacks.site(win.stack);
             let load_site = trace.stacks.site(ld.stack);
             let key = match (store_site, load_site) {
-                (Some(s), Some(l)) => {
-                    SiteKey::Functions(s.function.clone(), l.function.clone())
-                }
+                (Some(s), Some(l)) => SiteKey::Functions(s.function.clone(), l.function.clone()),
                 _ => SiteKey::Stacks(win.stack, ld.stack),
             };
             let race = races.entry(key).or_insert_with(|| Race {
-                key: RaceKey { store_stack: win.stack, load_stack: ld.stack },
+                key: RaceKey {
+                    store_stack: win.stack,
+                    load_stack: ld.stack,
+                },
                 store_site: trace.stacks.site(win.stack).cloned(),
                 load_site: trace.stacks.site(ld.stack).cloned(),
                 store_tid: win.tid,
@@ -685,7 +696,10 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
                     _ => SiteKey::Stacks(w1.stack ^ 0x8000_0000, w2.stack),
                 };
                 let race = races.entry(key).or_insert_with(|| Race {
-                    key: RaceKey { store_stack: w1.stack, load_stack: w2.stack },
+                    key: RaceKey {
+                        store_stack: w1.stack,
+                        load_stack: w2.stack,
+                    },
                     store_site: s1.cloned(),
                     load_site: s2.cloned(),
                     store_tid: w1.tid,
@@ -706,7 +720,9 @@ pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> Analysis
 
     let mut races: Vec<Race> = races.into_values().collect();
     races.sort_by(|a, b| {
-        b.pair_count.cmp(&a.pair_count).then_with(|| a.key.cmp(&b.key))
+        b.pair_count
+            .cmp(&a.pair_count)
+            .then_with(|| a.key.cmp(&b.key))
     });
     stats.distinct_races = races.len() as u64;
 
@@ -736,16 +752,53 @@ mod tests {
         let a = LockId(0xa);
         let st = b.intern_stack([Frame::new("writer", "f.rs", 1)]);
         let ld = b.intern_stack([Frame::new("reader", "f.rs", 2)]);
-        b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
-        b.push(ThreadId(0), st, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
-        b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
         b.push(ThreadId(0), st, EventKind::Release { lock: a });
-        b.push(ThreadId(1), ld, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
-        b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Load {
+                range: x,
+                atomic: false,
+            },
+        );
         b.push(ThreadId(1), ld, EventKind::Release { lock: a });
         b.push(ThreadId(0), st, EventKind::Flush { addr: 0x1000 });
         b.push(ThreadId(0), st, EventKind::Fence);
-        b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadJoin { child: ThreadId(1) },
+        );
         b.finish()
     }
 
@@ -754,7 +807,13 @@ mod tests {
         let trace = fig1c();
         let normal = analyze(&trace, &AnalysisConfig::default());
         assert_eq!(normal.races.len(), 1);
-        let eadr = analyze(&trace, &AnalysisConfig { eadr: true, ..Default::default() });
+        let eadr = analyze(
+            &trace,
+            &AnalysisConfig {
+                eadr: true,
+                ..Default::default()
+            },
+        );
         assert!(
             eadr.is_clean(),
             "with the persistent domain extended to the cache, visibility implies \
@@ -771,21 +830,58 @@ mod tests {
         let st = b.intern_stack([Frame::new("init", "f.rs", 1)]);
         let ld = b.intern_stack([Frame::new("reader", "f.rs", 2)]);
         // T0: store + persist X (no lock), then create T2 which loads X.
-        b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
         b.push(ThreadId(0), st, EventKind::Flush { addr: 0x100 });
         b.push(ThreadId(0), st, EventKind::Fence);
-        b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
-        b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
-        b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Load {
+                range: x,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadJoin { child: ThreadId(1) },
+        );
         let trace = b.finish();
 
-        let with_hb = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
+        let with_hb = analyze(
+            &trace,
+            &AnalysisConfig {
+                irh: false,
+                ..Default::default()
+            },
+        );
         assert!(with_hb.is_clean(), "persist happens-before the child load");
         let without_hb = analyze(
             &trace,
-            &AnalysisConfig { irh: false, use_hb: false, ..Default::default() },
+            &AnalysisConfig {
+                irh: false,
+                use_hb: false,
+                ..Default::default()
+            },
         );
-        assert_eq!(without_hb.races.len(), 1, "the Figure 3 false positive returns");
+        assert_eq!(
+            without_hb.races.len(),
+            1,
+            "the Figure 3 false positive returns"
+        );
     }
 
     #[test]
@@ -794,16 +890,53 @@ mod tests {
         let x = AddrRange::new(0x100, 8);
         let s1 = b.intern_stack([Frame::new("w1", "f.rs", 1)]);
         let s2 = b.intern_stack([Frame::new("w2", "f.rs", 2)]);
-        b.push(ThreadId(0), s1, EventKind::ThreadCreate { child: ThreadId(1) });
-        b.push(ThreadId(0), s1, EventKind::Store { range: x, non_temporal: false, atomic: false });
-        b.push(ThreadId(1), s2, EventKind::Store { range: x, non_temporal: false, atomic: false });
-        b.push(ThreadId(0), s1, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.push(
+            ThreadId(0),
+            s1,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(0),
+            s1,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(1),
+            s2,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(0),
+            s1,
+            EventKind::ThreadJoin { child: ThreadId(1) },
+        );
         let trace = b.finish();
-        let default = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
-        assert!(default.is_clean(), "no load, no persistency-induced race (3.1.1)");
+        let default = analyze(
+            &trace,
+            &AnalysisConfig {
+                irh: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            default.is_clean(),
+            "no load, no persistency-induced race (3.1.1)"
+        );
         let with_ss = analyze(
             &trace,
-            &AnalysisConfig { irh: false, check_store_store: true, ..Default::default() },
+            &AnalysisConfig {
+                irh: false,
+                check_store_store: true,
+                ..Default::default()
+            },
         );
         assert_eq!(with_ss.races.len(), 1);
         assert!(with_ss.races[0].store_store);
@@ -818,7 +951,9 @@ mod tests {
             seq: 0,
             tid: ThreadId(0),
             stack: trace.events[0].stack,
-            kind: EventKind::Release { lock: LockId(0xbad) },
+            kind: EventKind::Release {
+                lock: LockId(0xbad),
+            },
         };
         trace.events.insert(4, bad);
         for (i, ev) in trace.events.iter_mut().enumerate() {
@@ -838,11 +973,18 @@ mod tests {
     #[test]
     fn lenient_try_analyze_quarantines_and_still_finds_the_race() {
         let trace = fig1c_with_dangling_release();
-        let cfg = AnalysisConfig { strictness: Strictness::Lenient, ..Default::default() };
+        let cfg = AnalysisConfig {
+            strictness: Strictness::Lenient,
+            ..Default::default()
+        };
         let report = try_analyze(&trace, &cfg).unwrap();
         assert_eq!(report.stats.quarantine.dangling_release, 1);
         assert_eq!(report.stats.quarantine.total(), 1);
-        assert_eq!(report.races.len(), 1, "the Figure-1c race survives quarantine");
+        assert_eq!(
+            report.races.len(),
+            1,
+            "the Figure-1c race survives quarantine"
+        );
         assert!(!report.coverage.truncated);
     }
 
@@ -852,7 +994,10 @@ mod tests {
         let strict = try_analyze(&trace, &AnalysisConfig::default()).unwrap();
         let lenient = try_analyze(
             &trace,
-            &AnalysisConfig { strictness: Strictness::Lenient, ..Default::default() },
+            &AnalysisConfig {
+                strictness: Strictness::Lenient,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(strict.races.len(), lenient.races.len());
@@ -863,7 +1008,10 @@ mod tests {
     fn max_events_budget_truncates_with_coverage() {
         let trace = fig1c();
         let cfg = AnalysisConfig {
-            budget: AnalysisBudget { max_events: Some(3), ..Default::default() },
+            budget: AnalysisBudget {
+                max_events: Some(3),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let report = analyze(&trace, &cfg);
@@ -871,7 +1019,9 @@ mod tests {
         assert_eq!(report.coverage.reason, Some(BudgetExceeded::Events));
         assert_eq!(report.coverage.events_analyzed, 3);
         assert_eq!(report.coverage.events_total, trace.events.len() as u64);
-        assert!(report.render(&trace).contains("analysis truncated by event budget"));
+        assert!(report
+            .render(&trace)
+            .contains("analysis truncated by event budget"));
     }
 
     #[test]
@@ -886,15 +1036,59 @@ mod tests {
         let ld = b.intern_stack([Frame::new("reader", "f.rs", 2)]);
         let st2 = b.intern_stack([Frame::new("writer2", "f.rs", 3)]);
         let ld2 = b.intern_stack([Frame::new("reader2", "f.rs", 4)]);
-        b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
-        b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
-        b.push(ThreadId(0), st2, EventKind::Store { range: y, non_temporal: false, atomic: false });
-        b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
-        b.push(ThreadId(1), ld2, EventKind::Load { range: y, atomic: false });
-        b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(0),
+            st2,
+            EventKind::Store {
+                range: y,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Load {
+                range: x,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(1),
+            ld2,
+            EventKind::Load {
+                range: y,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadJoin { child: ThreadId(1) },
+        );
         let trace = b.finish();
 
-        let full = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
+        let full = analyze(
+            &trace,
+            &AnalysisConfig {
+                irh: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(full.races.len(), 2);
         assert!(!full.coverage.truncated);
         assert_eq!(
@@ -906,16 +1100,24 @@ mod tests {
             &trace,
             &AnalysisConfig {
                 irh: false,
-                budget: AnalysisBudget { max_candidate_pairs: Some(1), ..Default::default() },
+                budget: AnalysisBudget {
+                    max_candidate_pairs: Some(1),
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
         assert!(budgeted.coverage.truncated);
-        assert_eq!(budgeted.coverage.reason, Some(BudgetExceeded::CandidatePairs));
-        assert_eq!(budgeted.races.len(), 1, "the in-budget race is still reported");
-        assert!(
-            budgeted.coverage.window_groups_examined < budgeted.coverage.window_groups_total
+        assert_eq!(
+            budgeted.coverage.reason,
+            Some(BudgetExceeded::CandidatePairs)
         );
+        assert_eq!(
+            budgeted.races.len(),
+            1,
+            "the in-budget race is still reported"
+        );
+        assert!(budgeted.coverage.window_groups_examined < budgeted.coverage.window_groups_total);
     }
 
     #[test]
@@ -931,7 +1133,10 @@ mod tests {
         let report = analyze(&trace, &cfg);
         assert!(report.coverage.truncated);
         assert_eq!(report.coverage.reason, Some(BudgetExceeded::Deadline));
-        assert!(report.is_clean(), "nothing was examined before the deadline");
+        assert!(
+            report.is_clean(),
+            "nothing was examined before the deadline"
+        );
     }
 
     #[test]
@@ -959,6 +1164,7 @@ mod tests {
         assert_eq!(stats.wild_range, 1);
         assert_eq!(stats.orphan_thread, 1);
         assert_eq!(kept.events.len(), trace.events.len() - 2);
-        kept.validate().expect("quarantined trace must be well-formed");
+        kept.validate()
+            .expect("quarantined trace must be well-formed");
     }
 }

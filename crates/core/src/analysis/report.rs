@@ -66,12 +66,18 @@ pub struct Race {
 impl Race {
     /// `file:line (function)` of the store site, or a placeholder.
     pub fn store_site_str(&self) -> String {
-        self.store_site.as_ref().map(|f| f.render()).unwrap_or_else(|| "<unknown>".into())
+        self.store_site
+            .as_ref()
+            .map(|f| f.render())
+            .unwrap_or_else(|| "<unknown>".into())
     }
 
     /// `file:line (function)` of the load site, or a placeholder.
     pub fn load_site_str(&self) -> String {
-        self.load_site.as_ref().map(|f| f.render()).unwrap_or_else(|| "<unknown>".into())
+        self.load_site
+            .as_ref()
+            .map(|f| f.render())
+            .unwrap_or_else(|| "<unknown>".into())
     }
 
     /// One-line summary.
@@ -85,7 +91,11 @@ impl Race {
                 self.example_range,
             );
         }
-        let kind = if self.store_never_persisted { "unpersisted store" } else { "late persist" };
+        let kind = if self.store_never_persisted {
+            "unpersisted store"
+        } else {
+            "late persist"
+        };
         format!(
             "{} by {} at {} raced with load by {} at {} ({} pairs, {})",
             kind,
@@ -121,12 +131,24 @@ impl AnalysisReport {
             self.races.len()
         ));
         for (i, race) in self.races.iter().enumerate() {
-            out.push_str(&format!("\n== race #{} ({} racy pairs) ==\n", i + 1, race.pair_count));
+            out.push_str(&format!(
+                "\n== race #{} ({} racy pairs) ==\n",
+                i + 1,
+                race.pair_count
+            ));
             out.push_str(&format!(
                 "store  [{}{}{}] by {} touching {}\n",
-                if race.store_never_persisted { "never-persisted" } else { "persisted-late" },
+                if race.store_never_persisted {
+                    "never-persisted"
+                } else {
+                    "persisted-late"
+                },
                 if race.store_atomic { ", atomic" } else { "" },
-                if race.store_non_temporal { ", non-temporal" } else { "" },
+                if race.store_non_temporal {
+                    ", non-temporal"
+                } else {
+                    ""
+                },
                 race.store_tid,
                 race.example_range,
             ));
@@ -189,7 +211,10 @@ mod tests {
 
     fn sample_race() -> Race {
         Race {
-            key: RaceKey { store_stack: 1, load_stack: 2 },
+            key: RaceKey {
+                store_stack: 1,
+                load_stack: 2,
+            },
             store_site: Some(Frame::new("insert", "btree.h", 560)),
             load_site: Some(Frame::new("search", "btree.h", 878)),
             store_tid: ThreadId(0),

@@ -33,7 +33,11 @@ pub struct ResourceError {
 
 impl fmt::Display for ResourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} exceeds the limit of {}", self.what, self.requested, self.limit)
+        write!(
+            f,
+            "{} {} exceeds the limit of {}",
+            self.what, self.requested, self.limit
+        )
     }
 }
 
@@ -116,7 +120,11 @@ mod tests {
             requested: 20,
         });
         assert!(e.to_string().contains("exceeds the limit"));
-        assert!(e.source().unwrap().downcast_ref::<ResourceError>().is_some());
+        assert!(e
+            .source()
+            .unwrap()
+            .downcast_ref::<ResourceError>()
+            .is_some());
 
         let e = HawkSetError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(matches!(e, HawkSetError::Io(_)));

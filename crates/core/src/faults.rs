@@ -84,7 +84,13 @@ pub struct FaultRng {
 impl FaultRng {
     /// Creates a generator from a seed (any value; zero is remapped).
     pub fn new(seed: u64) -> Self {
-        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.
@@ -107,9 +113,17 @@ impl FaultRng {
         let len = len.max(1);
         match self.next_u64() % 4 {
             0 => Fault::Truncate(self.below(len)),
-            1 => Fault::FlipBit { offset: self.below(len), bit: (self.next_u64() % 8) as u8 },
-            2 => Fault::SetByte { offset: self.below(len), value: (self.next_u64() & 0xFF) as u8 },
-            _ => Fault::OverflowVarint { offset: self.below(len) },
+            1 => Fault::FlipBit {
+                offset: self.below(len),
+                bit: (self.next_u64() % 8) as u8,
+            },
+            2 => Fault::SetByte {
+                offset: self.below(len),
+                value: (self.next_u64() & 0xFF) as u8,
+            },
+            _ => Fault::OverflowVarint {
+                offset: self.below(len),
+            },
         }
     }
 }

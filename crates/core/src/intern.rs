@@ -66,7 +66,10 @@ impl<T> Interned<T> {
     /// Only meaningful for ids previously produced by the same interner.
     #[inline]
     pub fn from_raw(id: u32) -> Self {
-        Self { id, _marker: core::marker::PhantomData }
+        Self {
+            id,
+            _marker: core::marker::PhantomData,
+        }
     }
 }
 
@@ -82,7 +85,11 @@ pub struct Interner<T> {
 impl<T: Clone + Eq + Hash> Interner<T> {
     /// Creates an empty interner.
     pub fn new() -> Self {
-        Self { values: Vec::new(), ids: HashMap::new(), requests: 0 }
+        Self {
+            values: Vec::new(),
+            ids: HashMap::new(),
+            requests: 0,
+        }
     }
 
     /// Interns `value`, returning its id. Equal values share one id.
@@ -124,7 +131,10 @@ impl<T: Clone + Eq + Hash> Interner<T> {
 
     /// Iterates over all distinct values with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (Interned<T>, &T)> {
-        self.values.iter().enumerate().map(|(i, v)| (Interned::from_raw(i as u32), v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Interned::from_raw(i as u32), v))
     }
 }
 

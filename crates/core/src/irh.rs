@@ -78,12 +78,16 @@ impl PublicationTracker {
     /// store was persisted while its memory was exclusively owned by the
     /// storing thread, so it is initialization and cannot race.
     pub fn all_private_to(&self, tid: ThreadId, range: &AddrRange) -> bool {
-        range.words().all(|w| matches!(self.words.get(&w), Some(WordState::Sole(t)) if *t == tid))
+        range
+            .words()
+            .all(|w| matches!(self.words.get(&w), Some(WordState::Sole(t)) if *t == tid))
     }
 
     /// Returns `true` if any word of `range` has been published.
     pub fn is_published(&self, range: &AddrRange) -> bool {
-        range.words().any(|w| matches!(self.words.get(&w), Some(WordState::Published)))
+        range
+            .words()
+            .any(|w| matches!(self.words.get(&w), Some(WordState::Published)))
     }
 
     /// Number of tracked words (cost accounting).

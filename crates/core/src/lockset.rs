@@ -69,7 +69,10 @@ impl Lockset {
 
     /// Returns the entry for `lock`, if held.
     pub fn get(&self, lock: LockId) -> Option<&LockEntry> {
-        self.entries.binary_search_by_key(&lock, |e| e.lock).ok().map(|i| &self.entries[i])
+        self.entries
+            .binary_search_by_key(&lock, |e| e.lock)
+            .ok()
+            .map(|i| &self.entries[i])
     }
 
     /// Returns a new lockset with `entry` added (replacing any entry for the
@@ -109,7 +112,11 @@ impl Lockset {
                     } else {
                         LockMode::Exclusive
                     };
-                    out.push(LockEntry { lock: e.lock, mode, acq_ts: e.acq_ts });
+                    out.push(LockEntry {
+                        lock: e.lock,
+                        mode,
+                        acq_ts: e.acq_ts,
+                    });
                 }
             }
         }
@@ -129,7 +136,11 @@ impl Lockset {
                 } else {
                     LockMode::Exclusive
                 };
-                out.push(LockEntry { lock: e.lock, mode, acq_ts: 0 });
+                out.push(LockEntry {
+                    lock: e.lock,
+                    mode,
+                    acq_ts: 0,
+                });
             }
         }
         Lockset { entries: out }
@@ -186,11 +197,19 @@ mod tests {
     use super::*;
 
     fn ex(lock: u64, ts: u64) -> LockEntry {
-        LockEntry { lock: LockId(lock), mode: LockMode::Exclusive, acq_ts: ts }
+        LockEntry {
+            lock: LockId(lock),
+            mode: LockMode::Exclusive,
+            acq_ts: ts,
+        }
     }
 
     fn sh(lock: u64, ts: u64) -> LockEntry {
-        LockEntry { lock: LockId(lock), mode: LockMode::Shared, acq_ts: ts }
+        LockEntry {
+            lock: LockId(lock),
+            mode: LockMode::Shared,
+            acq_ts: ts,
+        }
     }
 
     #[test]

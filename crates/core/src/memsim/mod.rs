@@ -131,7 +131,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { irh: true, eadr: false }
+        Self {
+            irh: true,
+            eadr: false,
+        }
     }
 }
 
@@ -199,7 +202,11 @@ impl<'t> Simulator<'t> {
                 self.ensure_thread(*child);
             }
             match &ev.kind {
-                EventKind::Store { range, non_temporal, atomic } => {
+                EventKind::Store {
+                    range,
+                    non_temporal,
+                    atomic,
+                } => {
                     if filter_pm && !self.trace.is_pm(range) {
                         self.stats.non_pm_accesses += 1;
                         continue;
@@ -230,7 +237,11 @@ impl<'t> Simulator<'t> {
                 EventKind::Acquire { lock, mode } => {
                     let t = &mut self.threads[ev.tid.index()];
                     t.logical_clock += 1;
-                    let entry = LockEntry { lock: *lock, mode: *mode, acq_ts: t.logical_clock };
+                    let entry = LockEntry {
+                        lock: *lock,
+                        mode: *mode,
+                        acq_ts: t.logical_clock,
+                    };
                     t.lockset = t.lockset.with(entry);
                     let ls = t.lockset.clone();
                     self.threads[ev.tid.index()].ls_id = self.locksets.intern(ls);
@@ -322,7 +333,9 @@ impl<'t> Simulator<'t> {
         let closer_ls = self.threads[tid.index()].lockset.clone();
         let closer_vc = self.threads[tid.index()].vc_id;
         for line in range.lines() {
-            let Some(pieces) = self.lines.get_mut(&line) else { continue };
+            let Some(pieces) = self.lines.get_mut(&line) else {
+                continue;
+            };
             let mut replacement = Vec::with_capacity(pieces.len());
             for piece in pieces.drain(..) {
                 if !piece.range.overlaps(&range) {
@@ -383,8 +396,7 @@ impl<'t> Simulator<'t> {
             if self.cfg.eadr {
                 // eADR: visibility implies durability — the window is
                 // zero-length and fully protected by the store's lockset.
-                let discarded =
-                    self.cfg.irh && self.publication.all_private_to(tid, &piece_range);
+                let discarded = self.cfg.irh && self.publication.all_private_to(tid, &piece_range);
                 self.stats.windows_persisted += 1;
                 if discarded {
                     self.stats.irh_discarded_windows += 1;
@@ -446,7 +458,9 @@ impl<'t> Simulator<'t> {
 
     fn on_flush(&mut self, tid: ThreadId, addr: u64) {
         let line = line_of(addr);
-        let Some(pieces) = self.lines.get_mut(&line) else { return };
+        let Some(pieces) = self.lines.get_mut(&line) else {
+            return;
+        };
         let mut watched = false;
         for piece in pieces.iter_mut() {
             if !piece.pending_fence.contains(&tid) {
@@ -460,11 +474,15 @@ impl<'t> Simulator<'t> {
     }
 
     fn on_fence(&mut self, tid: ThreadId) {
-        let Some(lines) = self.fence_watch.remove(&tid) else { return };
+        let Some(lines) = self.fence_watch.remove(&tid) else {
+            return;
+        };
         let fencer_ls = self.threads[tid.index()].lockset.clone();
         let fencer_vc = self.threads[tid.index()].vc_id;
         for line in lines {
-            let Some(pieces) = self.lines.get_mut(&line) else { continue };
+            let Some(pieces) = self.lines.get_mut(&line) else {
+                continue;
+            };
             let mut kept = Vec::with_capacity(pieces.len());
             for piece in pieces.drain(..) {
                 if !piece.pending_fence.contains(&tid) {
@@ -548,22 +566,39 @@ mod tests {
     }
 
     fn store(range: AddrRange) -> EventKind {
-        EventKind::Store { range, non_temporal: false, atomic: false }
+        EventKind::Store {
+            range,
+            non_temporal: false,
+            atomic: false,
+        }
     }
 
     fn ntstore(range: AddrRange) -> EventKind {
-        EventKind::Store { range, non_temporal: true, atomic: false }
+        EventKind::Store {
+            range,
+            non_temporal: true,
+            atomic: false,
+        }
     }
 
     fn load(range: AddrRange) -> EventKind {
-        EventKind::Load { range, atomic: false }
+        EventKind::Load {
+            range,
+            atomic: false,
+        }
     }
 
     const T0: ThreadId = ThreadId(0);
     const T1: ThreadId = ThreadId(1);
 
     fn sim(trace: &Trace) -> AccessSet {
-        simulate(trace, &SimConfig { irh: false, eadr: false })
+        simulate(
+            trace,
+            &SimConfig {
+                irh: false,
+                eadr: false,
+            },
+        )
     }
 
     #[test]
@@ -724,14 +759,24 @@ mod tests {
         let out = sim(&b.finish());
         // First store: overwritten middle (closed) + head + tail (open, then
         // never persisted). Second store: never persisted.
-        let overwritten: Vec<_> =
-            out.windows.iter().filter(|w| w.close == CloseReason::Overwritten).collect();
+        let overwritten: Vec<_> = out
+            .windows
+            .iter()
+            .filter(|w| w.close == CloseReason::Overwritten)
+            .collect();
         assert_eq!(overwritten.len(), 1);
         assert_eq!(overwritten[0].range, AddrRange::new(0x108, 8));
-        let unpersisted: Vec<_> =
-            out.windows.iter().filter(|w| w.close == CloseReason::NeverPersisted).collect();
-        let head = unpersisted.iter().find(|w| w.range == AddrRange::new(0x100, 8));
-        let tail = unpersisted.iter().find(|w| w.range == AddrRange::new(0x110, 8));
+        let unpersisted: Vec<_> = out
+            .windows
+            .iter()
+            .filter(|w| w.close == CloseReason::NeverPersisted)
+            .collect();
+        let head = unpersisted
+            .iter()
+            .find(|w| w.range == AddrRange::new(0x100, 8));
+        let tail = unpersisted
+            .iter()
+            .find(|w| w.range == AddrRange::new(0x110, 8));
         assert!(head.is_some() && tail.is_some());
     }
 
@@ -741,7 +786,14 @@ mod tests {
         let mut b = builder();
         let s = b.intern_stack([]);
         let a = LockId(0xa);
-        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(
+            T0,
+            s,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
         b.push(T0, s, store(AddrRange::new(0x100, 8)));
         b.push(T0, s, EventKind::Release { lock: a });
         b.push(T0, s, EventKind::Flush { addr: 0x100 });
@@ -757,7 +809,14 @@ mod tests {
         let mut b = builder();
         let s = b.intern_stack([]);
         let a = LockId(0xa);
-        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(
+            T0,
+            s,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
         b.push(T0, s, store(AddrRange::new(0x100, 8)));
         b.push(T0, s, EventKind::Flush { addr: 0x100 });
         b.push(T0, s, EventKind::Fence);
@@ -774,10 +833,24 @@ mod tests {
         let mut b = builder();
         let s = b.intern_stack([]);
         let a = LockId(0xa);
-        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(
+            T0,
+            s,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
         b.push(T0, s, store(AddrRange::new(0x100, 8)));
         b.push(T0, s, EventKind::Release { lock: a });
-        b.push(T0, s, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
+        b.push(
+            T0,
+            s,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
         b.push(T0, s, EventKind::Flush { addr: 0x100 });
         b.push(T0, s, EventKind::Fence);
         b.push(T0, s, EventKind::Release { lock: a });
@@ -837,7 +910,13 @@ mod tests {
         b.push(T1, s, load(AddrRange::new(0x100, 8)));
         b.push(T1, s, load(AddrRange::new(0x200, 8)));
         b.push(T0, s, EventKind::ThreadJoin { child: T1 });
-        let out = simulate(&b.finish(), &SimConfig { irh: true, eadr: false });
+        let out = simulate(
+            &b.finish(),
+            &SimConfig {
+                irh: true,
+                eadr: false,
+            },
+        );
         let w_persisted = out.windows.iter().find(|w| w.range.start == 0x100).unwrap();
         let w_unpersisted = out.windows.iter().find(|w| w.range.start == 0x200).unwrap();
         assert!(w_persisted.irh_discarded);
@@ -855,7 +934,13 @@ mod tests {
         b.push(T0, s, EventKind::Flush { addr: 0x100 });
         b.push(T0, s, EventKind::Fence);
         b.push(T0, s, EventKind::ThreadJoin { child: T1 });
-        let out = simulate(&b.finish(), &SimConfig { irh: true, eadr: false });
+        let out = simulate(
+            &b.finish(),
+            &SimConfig {
+                irh: true,
+                eadr: false,
+            },
+        );
         assert!(!out.windows[0].irh_discarded);
     }
 
@@ -869,7 +954,13 @@ mod tests {
         b.push(T1, s, load(AddrRange::new(0x100, 8))); // publishes: kept
         b.push(T0, s, load(AddrRange::new(0x100, 8))); // public now: kept
         b.push(T0, s, EventKind::ThreadJoin { child: T1 });
-        let out = simulate(&b.finish(), &SimConfig { irh: true, eadr: false });
+        let out = simulate(
+            &b.finish(),
+            &SimConfig {
+                irh: true,
+                eadr: false,
+            },
+        );
         assert_eq!(out.loads.len(), 3);
         assert!(out.loads[0].irh_dropped);
         assert!(!out.loads[1].irh_dropped);
@@ -880,7 +971,11 @@ mod tests {
     #[test]
     fn pm_region_filter_skips_volatile_accesses() {
         let mut b = builder();
-        b.add_region(crate::trace::PmRegion { base: 0x1000, len: 0x1000, path: "pm".into() });
+        b.add_region(crate::trace::PmRegion {
+            base: 0x1000,
+            len: 0x1000,
+            path: "pm".into(),
+        });
         let s = b.intern_stack([]);
         b.push(T0, s, store(AddrRange::new(0x100, 8))); // volatile
         b.push(T0, s, store(AddrRange::new(0x1000, 8))); // PM
@@ -896,7 +991,13 @@ mod tests {
         let mut b = builder();
         let s = b.intern_stack([]);
         b.push(T0, s, store(AddrRange::new(0x100, 8))); // no flush, no fence
-        let out = simulate(&b.finish(), &SimConfig { irh: false, eadr: true });
+        let out = simulate(
+            &b.finish(),
+            &SimConfig {
+                irh: false,
+                eadr: true,
+            },
+        );
         assert_eq!(out.windows.len(), 1);
         assert_eq!(out.windows[0].close, CloseReason::Persisted);
         assert_eq!(out.windows[0].close_vc, Some(out.windows[0].store_vc));

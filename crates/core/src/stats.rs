@@ -27,7 +27,10 @@ pub struct CountingAllocator {
 impl CountingAllocator {
     /// Creates the allocator (const, usable in statics).
     pub const fn new() -> Self {
-        Self { live: AtomicUsize::new(0), peak: AtomicUsize::new(0) }
+        Self {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
     }
 
     /// Currently allocated bytes.
@@ -44,7 +47,8 @@ impl CountingAllocator {
 
     /// Resets the high-water mark to the current live size.
     pub fn reset_peak(&self) {
-        self.peak.store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     fn add(&self, size: usize) {

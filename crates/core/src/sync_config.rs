@@ -58,13 +58,22 @@ impl SyncConfig {
     pub fn builtin_pthread() -> Self {
         let ex = |f: &str| PrimitiveSpec {
             function: f.into(),
-            semantics: PrimitiveSemantics::Acquire { mode: LockMode::Exclusive, success_return: None },
+            semantics: PrimitiveSemantics::Acquire {
+                mode: LockMode::Exclusive,
+                success_return: None,
+            },
         };
         let sh = |f: &str| PrimitiveSpec {
             function: f.into(),
-            semantics: PrimitiveSemantics::Acquire { mode: LockMode::Shared, success_return: None },
+            semantics: PrimitiveSemantics::Acquire {
+                mode: LockMode::Shared,
+                success_return: None,
+            },
         };
-        let rel = |f: &str| PrimitiveSpec { function: f.into(), semantics: PrimitiveSemantics::Release };
+        let rel = |f: &str| PrimitiveSpec {
+            function: f.into(),
+            semantics: PrimitiveSemantics::Release,
+        };
         Self {
             primitives: vec![
                 ex("pthread_mutex_lock"),
@@ -85,13 +94,19 @@ impl SyncConfig {
 
     /// Looks up a function by name.
     pub fn lookup(&self, function: &str) -> Option<&PrimitiveSemantics> {
-        self.primitives.iter().find(|p| p.function == function).map(|p| &p.semantics)
+        self.primitives
+            .iter()
+            .find(|p| p.function == function)
+            .map(|p| &p.semantics)
     }
 
     /// Merges `other` into `self` (later entries win on name clashes).
     pub fn merge(&mut self, other: SyncConfig) {
-        let mut by_name: HashMap<String, PrimitiveSpec> =
-            self.primitives.drain(..).map(|p| (p.function.clone(), p)).collect();
+        let mut by_name: HashMap<String, PrimitiveSpec> = self
+            .primitives
+            .drain(..)
+            .map(|p| (p.function.clone(), p))
+            .collect();
         for p in other.primitives {
             by_name.insert(p.function.clone(), p);
         }
@@ -114,7 +129,10 @@ impl SyncConfig {
     /// releases, or does nothing.
     pub fn classify_call(&self, function: &str, ret: Option<u64>) -> CallEffect {
         match self.lookup(function) {
-            Some(PrimitiveSemantics::Acquire { mode, success_return }) => match success_return {
+            Some(PrimitiveSemantics::Acquire {
+                mode,
+                success_return,
+            }) => match success_return {
                 None => CallEffect::Acquire(*mode),
                 Some(ok) if ret == Some(*ok) => CallEffect::Acquire(*mode),
                 Some(_) => CallEffect::FailedAcquire,
@@ -153,7 +171,10 @@ mod tests {
             c.classify_call("pthread_rwlock_rdlock", None),
             CallEffect::Acquire(LockMode::Shared)
         );
-        assert_eq!(c.classify_call("pthread_mutex_unlock", None), CallEffect::Release);
+        assert_eq!(
+            c.classify_call("pthread_mutex_unlock", None),
+            CallEffect::Release
+        );
         assert_eq!(c.classify_call("memcpy", None), CallEffect::NotSync);
     }
 
@@ -164,7 +185,10 @@ mod tests {
             c.classify_call("pthread_mutex_trylock", Some(0)),
             CallEffect::Acquire(LockMode::Exclusive)
         );
-        assert_eq!(c.classify_call("pthread_mutex_trylock", Some(16)), CallEffect::FailedAcquire);
+        assert_eq!(
+            c.classify_call("pthread_mutex_trylock", Some(16)),
+            CallEffect::FailedAcquire
+        );
     }
 
     #[test]
@@ -191,8 +215,14 @@ mod tests {
             c.classify_call("bucket_spin_lock", None),
             CallEffect::Acquire(LockMode::Exclusive)
         );
-        assert_eq!(c.classify_call("try_lock_cell", Some(1)), CallEffect::Acquire(LockMode::Exclusive));
-        assert_eq!(c.classify_call("try_lock_cell", Some(0)), CallEffect::FailedAcquire);
+        assert_eq!(
+            c.classify_call("try_lock_cell", Some(1)),
+            CallEffect::Acquire(LockMode::Exclusive)
+        );
+        assert_eq!(
+            c.classify_call("try_lock_cell", Some(0)),
+            CallEffect::FailedAcquire
+        );
     }
 
     #[test]
@@ -205,6 +235,9 @@ mod tests {
             }],
         };
         base.merge(override_cfg);
-        assert_eq!(base.classify_call("pthread_mutex_lock", None), CallEffect::Release);
+        assert_eq!(
+            base.classify_call("pthread_mutex_lock", None),
+            CallEffect::Release
+        );
     }
 }

@@ -169,15 +169,23 @@ impl EventKind {
     /// A short mnemonic used in textual reports.
     pub fn mnemonic(&self) -> &'static str {
         match self {
-            EventKind::Store { non_temporal: true, .. } => "ntstore",
+            EventKind::Store {
+                non_temporal: true, ..
+            } => "ntstore",
             EventKind::Store { atomic: true, .. } => "store.atomic",
             EventKind::Store { .. } => "store",
             EventKind::Load { atomic: true, .. } => "load.atomic",
             EventKind::Load { .. } => "load",
             EventKind::Flush { .. } => "flush",
             EventKind::Fence => "fence",
-            EventKind::Acquire { mode: LockMode::Exclusive, .. } => "acquire",
-            EventKind::Acquire { mode: LockMode::Shared, .. } => "acquire.rd",
+            EventKind::Acquire {
+                mode: LockMode::Exclusive,
+                ..
+            } => "acquire",
+            EventKind::Acquire {
+                mode: LockMode::Shared,
+                ..
+            } => "acquire.rd",
             EventKind::Release { .. } => "release",
             EventKind::ThreadCreate { .. } => "create",
             EventKind::ThreadJoin { .. } => "join",
@@ -191,8 +199,15 @@ mod tests {
 
     #[test]
     fn range_only_on_accesses() {
-        let st = EventKind::Store { range: AddrRange::new(0, 8), non_temporal: false, atomic: false };
-        let ld = EventKind::Load { range: AddrRange::new(8, 8), atomic: false };
+        let st = EventKind::Store {
+            range: AddrRange::new(0, 8),
+            non_temporal: false,
+            atomic: false,
+        };
+        let ld = EventKind::Load {
+            range: AddrRange::new(8, 8),
+            atomic: false,
+        };
         assert_eq!(st.range(), Some(AddrRange::new(0, 8)));
         assert_eq!(ld.range(), Some(AddrRange::new(8, 8)));
         assert_eq!(EventKind::Fence.range(), None);
@@ -201,9 +216,16 @@ mod tests {
 
     #[test]
     fn access_predicates() {
-        let st = EventKind::Store { range: AddrRange::new(0, 8), non_temporal: false, atomic: false };
+        let st = EventKind::Store {
+            range: AddrRange::new(0, 8),
+            non_temporal: false,
+            atomic: false,
+        };
         assert!(st.is_store() && st.is_access() && !st.is_load());
-        let ld = EventKind::Load { range: AddrRange::new(0, 8), atomic: false };
+        let ld = EventKind::Load {
+            range: AddrRange::new(0, 8),
+            atomic: false,
+        };
         assert!(ld.is_load() && ld.is_access() && !ld.is_store());
         assert!(!EventKind::Fence.is_access());
     }
@@ -211,13 +233,21 @@ mod tests {
     #[test]
     fn mnemonics_are_stable() {
         assert_eq!(
-            EventKind::Store { range: AddrRange::new(0, 1), non_temporal: true, atomic: false }
-                .mnemonic(),
+            EventKind::Store {
+                range: AddrRange::new(0, 1),
+                non_temporal: true,
+                atomic: false
+            }
+            .mnemonic(),
             "ntstore"
         );
         assert_eq!(EventKind::Fence.mnemonic(), "fence");
         assert_eq!(
-            EventKind::Acquire { lock: LockId(1), mode: LockMode::Shared }.mnemonic(),
+            EventKind::Acquire {
+                lock: LockId(1),
+                mode: LockMode::Shared
+            }
+            .mnemonic(),
             "acquire.rd"
         );
     }

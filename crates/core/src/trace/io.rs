@@ -116,11 +116,7 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
 /// Caps an untrusted element count before preallocating: every element
 /// occupies at least one encoded byte, so a count beyond the remaining
 /// buffer length is a corruption that must not drive `Vec::with_capacity`.
-fn checked_count(
-    count: u64,
-    remaining: usize,
-    what: &'static str,
-) -> Result<usize, DecodeError> {
+fn checked_count(count: u64, remaining: usize, what: &'static str) -> Result<usize, DecodeError> {
     if count > remaining as u64 {
         return Err(DecodeError::LimitExceeded(what));
     }
@@ -191,7 +187,11 @@ pub fn encode(trace: &Trace) -> Bytes {
     put_varint(&mut buf, trace.events.len() as u64);
     for ev in &trace.events {
         let (tag, flags) = match &ev.kind {
-            EventKind::Store { non_temporal, atomic, .. } => {
+            EventKind::Store {
+                non_temporal,
+                atomic,
+                ..
+            } => {
                 let mut fl = 0u8;
                 if *non_temporal {
                     fl |= STORE_FLAG_NT;
@@ -204,8 +204,14 @@ pub fn encode(trace: &Trace) -> Bytes {
             EventKind::Load { atomic, .. } => (TAG_LOAD, u8::from(*atomic)),
             EventKind::Flush { .. } => (TAG_FLUSH, 0),
             EventKind::Fence => (TAG_FENCE, 0),
-            EventKind::Acquire { mode: LockMode::Exclusive, .. } => (TAG_ACQUIRE_EX, 0),
-            EventKind::Acquire { mode: LockMode::Shared, .. } => (TAG_ACQUIRE_SH, 0),
+            EventKind::Acquire {
+                mode: LockMode::Exclusive,
+                ..
+            } => (TAG_ACQUIRE_EX, 0),
+            EventKind::Acquire {
+                mode: LockMode::Shared,
+                ..
+            } => (TAG_ACQUIRE_SH, 0),
             EventKind::Release { .. } => (TAG_RELEASE, 0),
             EventKind::ThreadCreate { .. } => (TAG_CREATE, 0),
             EventKind::ThreadJoin { .. } => (TAG_JOIN, 0),
@@ -311,7 +317,12 @@ pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
     for _ in 0..string_count {
         strings.push(get_str(&mut buf)?);
     }
-    let lookup = |id: u64| strings.get(id as usize).cloned().ok_or(DecodeError::BadIndex);
+    let lookup = |id: u64| {
+        strings
+            .get(id as usize)
+            .cloned()
+            .ok_or(DecodeError::BadIndex)
+    };
 
     let frame_count = get_varint(&mut buf)?;
     let mut stacks = super::stack::StackTable::new();
@@ -320,7 +331,11 @@ pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
         let function = lookup(get_varint(&mut buf)?)?;
         let file = lookup(get_varint(&mut buf)?)?;
         let line = get_varint(&mut buf)? as u32;
-        frame_map.push(stacks.intern_frame(Frame { function, file, line }));
+        frame_map.push(stacks.intern_frame(Frame {
+            function,
+            file,
+            line,
+        }));
     }
 
     let stack_count = get_varint(&mut buf)?;
@@ -357,7 +372,12 @@ pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
         // kind that costs no events.
         dropped_bytes = buf.remaining();
     }
-    Ok(Salvage { trace, dropped_bytes, dropped_events, reason })
+    Ok(Salvage {
+        trace,
+        dropped_bytes,
+        dropped_events,
+        reason,
+    })
 }
 
 /// Default ceiling on the trace file size [`load_file`] accepts (1 GiB).
@@ -424,22 +444,40 @@ fn decode_event(
         TAG_LOAD => {
             let start = get_varint(buf)?;
             let len = get_varint(buf)? as u32;
-            EventKind::Load { range: AddrRange::new(start, len), atomic: flags != 0 }
+            EventKind::Load {
+                range: AddrRange::new(start, len),
+                atomic: flags != 0,
+            }
         }
-        TAG_FLUSH => EventKind::Flush { addr: get_varint(buf)? },
+        TAG_FLUSH => EventKind::Flush {
+            addr: get_varint(buf)?,
+        },
         TAG_FENCE => EventKind::Fence,
-        TAG_ACQUIRE_EX => {
-            EventKind::Acquire { lock: LockId(get_varint(buf)?), mode: LockMode::Exclusive }
-        }
-        TAG_ACQUIRE_SH => {
-            EventKind::Acquire { lock: LockId(get_varint(buf)?), mode: LockMode::Shared }
-        }
-        TAG_RELEASE => EventKind::Release { lock: LockId(get_varint(buf)?) },
-        TAG_CREATE => EventKind::ThreadCreate { child: child_id(get_varint(buf)?)? },
-        TAG_JOIN => EventKind::ThreadJoin { child: child_id(get_varint(buf)?)? },
+        TAG_ACQUIRE_EX => EventKind::Acquire {
+            lock: LockId(get_varint(buf)?),
+            mode: LockMode::Exclusive,
+        },
+        TAG_ACQUIRE_SH => EventKind::Acquire {
+            lock: LockId(get_varint(buf)?),
+            mode: LockMode::Shared,
+        },
+        TAG_RELEASE => EventKind::Release {
+            lock: LockId(get_varint(buf)?),
+        },
+        TAG_CREATE => EventKind::ThreadCreate {
+            child: child_id(get_varint(buf)?)?,
+        },
+        TAG_JOIN => EventKind::ThreadJoin {
+            child: child_id(get_varint(buf)?)?,
+        },
         other => return Err(DecodeError::BadTag(other)),
     };
-    Ok(Event { seq, tid, stack, kind })
+    Ok(Event {
+        seq,
+        tid,
+        stack,
+        kind,
+    })
 }
 
 #[cfg(test)]
@@ -449,26 +487,69 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut b = TraceBuilder::new();
-        b.add_region(PmRegion { base: 0x1000, len: 4096, path: "/mnt/pmem/pool".into() });
+        b.add_region(PmRegion {
+            base: 0x1000,
+            len: 4096,
+            path: "/mnt/pmem/pool".into(),
+        });
         let s0 = b.intern_stack([Frame::new("main", "main.rs", 1)]);
-        let s1 = b.intern_stack([Frame::new("insert", "btree.rs", 42), Frame::new("main", "main.rs", 7)]);
-        b.push(ThreadId(0), s0, EventKind::ThreadCreate { child: ThreadId(1) });
-        b.push(ThreadId(0), s0, EventKind::Acquire { lock: LockId(0xbeef), mode: LockMode::Exclusive });
+        let s1 = b.intern_stack([
+            Frame::new("insert", "btree.rs", 42),
+            Frame::new("main", "main.rs", 7),
+        ]);
+        b.push(
+            ThreadId(0),
+            s0,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(0),
+            s0,
+            EventKind::Acquire {
+                lock: LockId(0xbeef),
+                mode: LockMode::Exclusive,
+            },
+        );
         b.push(
             ThreadId(0),
             s1,
-            EventKind::Store { range: AddrRange::new(0x1000, 8), non_temporal: false, atomic: false },
+            EventKind::Store {
+                range: AddrRange::new(0x1000, 8),
+                non_temporal: false,
+                atomic: false,
+            },
         );
         b.push(ThreadId(0), s1, EventKind::Flush { addr: 0x1000 });
         b.push(ThreadId(0), s1, EventKind::Fence);
-        b.push(ThreadId(0), s0, EventKind::Release { lock: LockId(0xbeef) });
-        b.push(ThreadId(1), s1, EventKind::Load { range: AddrRange::new(0x1000, 8), atomic: true });
+        b.push(
+            ThreadId(0),
+            s0,
+            EventKind::Release {
+                lock: LockId(0xbeef),
+            },
+        );
         b.push(
             ThreadId(1),
             s1,
-            EventKind::Store { range: AddrRange::new(0x1040, 16), non_temporal: true, atomic: false },
+            EventKind::Load {
+                range: AddrRange::new(0x1000, 8),
+                atomic: true,
+            },
         );
-        b.push(ThreadId(0), s0, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.push(
+            ThreadId(1),
+            s1,
+            EventKind::Store {
+                range: AddrRange::new(0x1040, 16),
+                non_temporal: true,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(0),
+            s0,
+            EventKind::ThreadJoin { child: ThreadId(1) },
+        );
         b.finish()
     }
 
@@ -499,7 +580,10 @@ mod tests {
     fn rejects_bad_version() {
         let mut raw = encode(&sample_trace()).to_vec();
         raw[4] = 99;
-        assert_eq!(decode(Bytes::from(raw)).unwrap_err(), DecodeError::BadVersion(99));
+        assert_eq!(
+            decode(Bytes::from(raw)).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
     }
 
     #[test]
@@ -595,14 +679,20 @@ mod tests {
         // Destroy the magic: nothing is salvageable.
         let mut bad = raw.clone();
         bad[0] = b'X';
-        assert_eq!(decode_lossy(Bytes::from(bad)).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            decode_lossy(Bytes::from(bad)).unwrap_err(),
+            DecodeError::BadMagic
+        );
     }
 
     #[test]
     fn decode_rejects_trailing_garbage() {
         let mut raw = encode(&sample_trace()).to_vec();
         raw.extend_from_slice(b"junk");
-        assert_eq!(decode(Bytes::from(raw.clone())).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            decode(Bytes::from(raw.clone())).unwrap_err(),
+            DecodeError::Truncated
+        );
         // The lossy path still recovers the full trace.
         let salvage = decode_lossy(Bytes::from(raw)).unwrap();
         assert_eq!(salvage.dropped_events, 0);

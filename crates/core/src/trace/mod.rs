@@ -104,11 +104,25 @@ impl core::fmt::Display for ValidateError {
             ValidateError::OrphanThread { tid, first } => {
                 write!(f, "thread {tid} has event at seq {first} but no creation")
             }
-            ValidateError::EventBeforeCreation { tid, first, created } => {
-                write!(f, "thread {tid} has event at seq {first} before its creation at {created}")
+            ValidateError::EventBeforeCreation {
+                tid,
+                first,
+                created,
+            } => {
+                write!(
+                    f,
+                    "thread {tid} has event at seq {first} before its creation at {created}"
+                )
             }
-            ValidateError::JoinBeforeChildLastEvent { child, join_seq, last } => {
-                write!(f, "join of {child} at seq {join_seq} precedes its last event at {last}")
+            ValidateError::JoinBeforeChildLastEvent {
+                child,
+                join_seq,
+                last,
+            } => {
+                write!(
+                    f,
+                    "join of {child} at seq {join_seq} precedes its last event at {last}"
+                )
             }
             ValidateError::DanglingRelease { index, lock } => {
                 write!(f, "event {index} releases lock {lock:?} which is not held")
@@ -162,7 +176,12 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        Self { events: Vec::new(), stacks: StackTable::new(), regions: Vec::new(), thread_count: 1 }
+        Self {
+            events: Vec::new(),
+            stacks: StackTable::new(),
+            regions: Vec::new(),
+            thread_count: 1,
+        }
     }
 
     /// Returns `true` if `range` lies within a registered PM region.
@@ -196,13 +215,22 @@ impl Trace {
         created[ThreadId::MAIN.index()] = Some(0);
         for (i, ev) in self.events.iter().enumerate() {
             if ev.seq != i as u64 {
-                return Err(ValidateError::NonDenseSeq { index: i, seq: ev.seq });
+                return Err(ValidateError::NonDenseSeq {
+                    index: i,
+                    seq: ev.seq,
+                });
             }
             if ev.tid.index() >= self.thread_count as usize {
-                return Err(ValidateError::TidOutOfRange { index: i, tid: ev.tid });
+                return Err(ValidateError::TidOutOfRange {
+                    index: i,
+                    tid: ev.tid,
+                });
             }
             if ev.stack as usize >= self.stacks.stack_count() {
-                return Err(ValidateError::UnknownStack { index: i, stack: ev.stack });
+                return Err(ValidateError::UnknownStack {
+                    index: i,
+                    stack: ev.stack,
+                });
             }
             first_event[ev.tid.index()].get_or_insert(ev.seq);
             last_event[ev.tid.index()] = Some(ev.seq);
@@ -216,9 +244,7 @@ impl Trace {
                     }
                     created[child.index()] = Some(ev.seq);
                 }
-                EventKind::ThreadJoin { child }
-                    if child.index() >= self.thread_count as usize =>
-                {
+                EventKind::ThreadJoin { child } if child.index() >= self.thread_count as usize => {
                     return Err(ValidateError::UnknownChild { index: i, child });
                 }
                 EventKind::Acquire { lock, .. } => {
@@ -237,7 +263,10 @@ impl Trace {
         for tid in 0..self.thread_count as usize {
             match (created[tid], first_event[tid]) {
                 (None, Some(first)) => {
-                    return Err(ValidateError::OrphanThread { tid: ThreadId(tid as u32), first })
+                    return Err(ValidateError::OrphanThread {
+                        tid: ThreadId(tid as u32),
+                        first,
+                    })
                 }
                 (Some(c), Some(first)) if tid != ThreadId::MAIN.index() && first < c => {
                     return Err(ValidateError::EventBeforeCreation {
@@ -284,7 +313,9 @@ pub struct TraceBuilder {
 impl TraceBuilder {
     /// Creates a builder with an empty trace.
     pub fn new() -> Self {
-        Self { trace: Trace::new() }
+        Self {
+            trace: Trace::new(),
+        }
     }
 
     /// Registers a PM mapping.
@@ -308,7 +339,12 @@ impl TraceBuilder {
                 self.trace.thread_count = child.0 + 1;
             }
         }
-        self.trace.events.push(Event { seq, tid, stack, kind });
+        self.trace.events.push(Event {
+            seq,
+            tid,
+            stack,
+            kind,
+        });
     }
 
     /// Finalizes the trace.
@@ -332,14 +368,22 @@ mod tests {
     use super::*;
 
     fn store(range: AddrRange) -> EventKind {
-        EventKind::Store { range, non_temporal: false, atomic: false }
+        EventKind::Store {
+            range,
+            non_temporal: false,
+            atomic: false,
+        }
     }
 
     #[test]
     fn builder_assigns_dense_seq_and_thread_count() {
         let mut b = TraceBuilder::new();
         let s = b.intern_stack([Frame::new("f", "x.rs", 1)]);
-        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
         b.push(ThreadId(1), s, store(AddrRange::new(0, 8)));
         b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
         let t = b.finish();
@@ -354,7 +398,11 @@ mod tests {
         let mut b = TraceBuilder::new();
         let s = b.intern_stack([]);
         b.push(ThreadId(1), s, store(AddrRange::new(0, 8)));
-        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
         let t = b.finish();
         assert!(t.validate().is_err());
     }
@@ -363,7 +411,11 @@ mod tests {
     fn validate_rejects_join_before_child_last_event() {
         let mut b = TraceBuilder::new();
         let s = b.intern_stack([]);
-        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
         b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
         b.push(ThreadId(1), s, store(AddrRange::new(0, 8)));
         let t = b.finish();
@@ -378,7 +430,10 @@ mod tests {
         let t = b.finish();
         assert!(matches!(
             t.validate(),
-            Err(ValidateError::DanglingRelease { index: 0, lock: LockId(7) })
+            Err(ValidateError::DanglingRelease {
+                index: 0,
+                lock: LockId(7)
+            })
         ));
     }
 
@@ -387,8 +442,19 @@ mod tests {
         // T0 acquires, T1 releases: unusual, but legal (global balance).
         let mut b = TraceBuilder::new();
         let s = b.intern_stack([]);
-        b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(1) });
-        b.push(ThreadId(0), s, EventKind::Acquire { lock: LockId(7), mode: LockMode::Exclusive });
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::Acquire {
+                lock: LockId(7),
+                mode: LockMode::Exclusive,
+            },
+        );
         b.push(ThreadId(1), s, EventKind::Release { lock: LockId(7) });
         b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
         let t = b.finish();
@@ -412,7 +478,11 @@ mod tests {
     #[test]
     fn pm_region_classification() {
         let mut t = Trace::new();
-        t.regions.push(PmRegion { base: 0x1000, len: 0x1000, path: "/mnt/pmem/pool".into() });
+        t.regions.push(PmRegion {
+            base: 0x1000,
+            len: 0x1000,
+            path: "/mnt/pmem/pool".into(),
+        });
         assert!(t.is_pm(&AddrRange::new(0x1000, 8)));
         assert!(t.is_pm(&AddrRange::new(0x1ff8, 8)));
         assert!(!t.is_pm(&AddrRange::new(0x1ffc, 8))); // straddles the end

@@ -29,7 +29,11 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame.
     pub fn new(function: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
-        Self { function: function.into(), file: file.into(), line }
+        Self {
+            function: function.into(),
+            file: file.into(),
+            line,
+        }
     }
 
     /// A compact `file:line (function)` rendering.
@@ -118,12 +122,16 @@ impl StackTable {
 
     /// Returns the frames of stack `id`, innermost first.
     pub fn frames_of(&self, id: StackId) -> impl Iterator<Item = &Frame> {
-        self.stacks[id as usize].iter().map(|&f| &self.frames[f as usize])
+        self.stacks[id as usize]
+            .iter()
+            .map(|&f| &self.frames[f as usize])
     }
 
     /// The innermost frame of stack `id` — the PM access site itself.
     pub fn site(&self, id: StackId) -> Option<&Frame> {
-        self.stacks[id as usize].first().map(|&f| &self.frames[f as usize])
+        self.stacks[id as usize]
+            .first()
+            .map(|&f| &self.frames[f as usize])
     }
 
     /// Renders stack `id` as a multi-line backtrace, innermost first.
@@ -150,10 +158,18 @@ impl StackTable {
 
     /// Rebuilds the lookup maps after deserialization (they are not stored).
     pub fn rebuild_index(&mut self) {
-        self.frame_ids =
-            self.frames.iter().enumerate().map(|(i, f)| (f.clone(), i as FrameId)).collect();
-        self.stack_ids =
-            self.stacks.iter().enumerate().map(|(i, s)| (s.clone(), i as StackId)).collect();
+        self.frame_ids = self
+            .frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.clone(), i as FrameId))
+            .collect();
+        self.stack_ids = self
+            .stacks
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as StackId))
+            .collect();
     }
 
     /// Approximate heap footprint in bytes, for the Figure 6 cost study.
@@ -163,8 +179,11 @@ impl StackTable {
             .iter()
             .map(|f| f.function.len() + f.file.len() + std::mem::size_of::<Frame>())
             .sum();
-        let stacks: usize =
-            self.stacks.iter().map(|s| s.len() * 4 + std::mem::size_of::<Vec<FrameId>>()).sum();
+        let stacks: usize = self
+            .stacks
+            .iter()
+            .map(|s| s.len() * 4 + std::mem::size_of::<Vec<FrameId>>())
+            .sum();
         frames + stacks
     }
 }
@@ -186,8 +205,14 @@ mod tests {
     #[test]
     fn interning_dedups() {
         let mut t = StackTable::new();
-        let s1 = t.intern_stack([Frame::new("insert", "btree.h", 560), Frame::new("main", "m.c", 1)]);
-        let s2 = t.intern_stack([Frame::new("insert", "btree.h", 560), Frame::new("main", "m.c", 1)]);
+        let s1 = t.intern_stack([
+            Frame::new("insert", "btree.h", 560),
+            Frame::new("main", "m.c", 1),
+        ]);
+        let s2 = t.intern_stack([
+            Frame::new("insert", "btree.h", 560),
+            Frame::new("main", "m.c", 1),
+        ]);
         let s3 = t.intern_stack([Frame::new("insert", "btree.h", 571)]);
         assert_eq!(s1, s2);
         assert_ne!(s1, s3);
@@ -198,7 +223,10 @@ mod tests {
     #[test]
     fn site_is_innermost() {
         let mut t = StackTable::new();
-        let s = t.intern_stack([Frame::new("leaf", "a.rs", 10), Frame::new("caller", "b.rs", 20)]);
+        let s = t.intern_stack([
+            Frame::new("leaf", "a.rs", 10),
+            Frame::new("caller", "b.rs", 20),
+        ]);
         assert_eq!(t.site(s).unwrap().function, "leaf");
         let rendered = t.render(s);
         assert!(rendered.contains("#0 a.rs:10 (leaf)"));

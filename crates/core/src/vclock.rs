@@ -47,7 +47,9 @@ impl VectorClock {
 
     /// Builds a clock from explicit counters (testing convenience).
     pub fn from_counters(counters: impl Into<Vec<u32>>) -> Self {
-        let mut c = Self { counters: counters.into() };
+        let mut c = Self {
+            counters: counters.into(),
+        };
         c.normalize();
         c
     }

@@ -32,7 +32,12 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { rounds: 4, delay_probability: 0.05, max_delay_us: 50, seed: 1 }
+        Self {
+            rounds: 4,
+            delay_probability: 0.05,
+            max_delay_us: 50,
+            seed: 1,
+        }
     }
 }
 
@@ -96,13 +101,22 @@ pub fn fuzz_app(
         } else {
             mutate(seed_workload, cfg.seed, round)
         };
-        let injector =
-            DelayInjector::new(cfg.seed ^ round.wrapping_mul(0x5851_f42d_4c95_7f2d), cfg.delay_probability, cfg.max_delay_us);
-        let opts = ExecOptions { observe: true, hook: Some(injector.hook()) };
+        let injector = DelayInjector::new(
+            cfg.seed ^ round.wrapping_mul(0x5851_f42d_4c95_7f2d),
+            cfg.delay_probability,
+            cfg.max_delay_us,
+        );
+        let opts = ExecOptions {
+            observe: true,
+            hook: Some(injector.hook()),
+            crash: None,
+        };
         let result = app.execute_with(&AppWorkload::Ycsb(wl), &opts);
         delays += injector.injected();
         for obs in result.observations {
-            let Some(site) = obs.load_stack.first().cloned() else { continue };
+            let Some(site) = obs.load_stack.first().cloned() else {
+                continue;
+            };
             seen.entry((obs.store_fn.clone(), site.clone()))
                 .and_modify(|r| r.count += 1)
                 .or_insert(ObservedRace {
@@ -114,7 +128,11 @@ pub fn fuzz_app(
         }
     }
     let mut races: Vec<ObservedRace> = seen.into_values().collect();
-    races.sort_by(|a, b| b.count.cmp(&a.count).then(a.load_site.render().cmp(&b.load_site.render())));
+    races.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then(a.load_site.render().cmp(&b.load_site.render()))
+    });
     CampaignResult {
         rounds_run: cfg.rounds.max(1),
         races,
@@ -156,7 +174,11 @@ mod tests {
         w.join(&main);
         assert_eq!(r.join(&main), 42);
         let obs = env.take_observations();
-        assert_eq!(obs.len(), 1, "the forced read-of-unpersisted must be observed");
+        assert_eq!(
+            obs.len(),
+            1,
+            "the forced read-of-unpersisted must be observed"
+        );
         assert_eq!(obs[0].range.start, x);
         assert_ne!(obs[0].load_tid, obs[0].store_tid);
     }
@@ -179,7 +201,12 @@ mod tests {
     #[test]
     fn campaign_runs_and_aggregates() {
         let seed = WorkloadSpec::pmrace_seed(3).generate();
-        let cfg = CampaignConfig { rounds: 2, delay_probability: 0.02, max_delay_us: 20, seed: 3 };
+        let cfg = CampaignConfig {
+            rounds: 2,
+            delay_probability: 0.02,
+            max_delay_us: 20,
+            seed: 3,
+        };
         let result = fuzz_app(&FastFairApp, &seed, &cfg);
         assert_eq!(result.rounds_run, 2);
         // Observations are possible but not guaranteed — that is the whole

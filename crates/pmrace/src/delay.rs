@@ -30,12 +30,14 @@ pub struct DelayInjector {
 impl DelayInjector {
     /// Creates an injector firing with probability `prob` (clamped to
     /// [0, 1]) and uniform delays up to `max_delay_us` microseconds.
+    /// `max_delay_us == 0` disables injection entirely: the hook becomes a
+    /// no-op and [`injected`](Self::injected) stays 0.
     pub fn new(seed: u64, prob: f64, max_delay_us: u64) -> Arc<Self> {
         let prob_1024 = (prob.clamp(0.0, 1.0) * 1024.0) as u64;
         Arc::new(Self {
             seed,
             prob_1024,
-            max_delay_us: max_delay_us.max(1),
+            max_delay_us,
             counter: AtomicU64::new(0),
             injected: AtomicU64::new(0),
         })
@@ -50,6 +52,9 @@ impl DelayInjector {
     pub fn hook(self: &Arc<Self>) -> Hook {
         let me = Arc::clone(self);
         Arc::new(move |tid: ThreadId, point: HookPoint| {
+            if me.max_delay_us == 0 {
+                return; // injection disabled
+            }
             let n = me.counter.fetch_add(1, Ordering::Relaxed);
             let addr = match point {
                 HookPoint::BeforeStore(a)
@@ -110,5 +115,38 @@ mod tests {
         }
         let n = inj.injected();
         assert!(n > 40 && n < 180, "expected ≈100 of 400, got {n}");
+    }
+
+    /// `max_delay_us: 0` must mean "disabled", not a silent 1 µs floor.
+    #[test]
+    fn zero_max_delay_disables_injection() {
+        let inj = DelayInjector::new(1, 1.0, 0);
+        let hook = inj.hook();
+        for i in 0..200 {
+            hook(ThreadId(0), HookPoint::BeforeStore(i));
+        }
+        assert_eq!(inj.injected(), 0, "max_delay_us = 0 must never inject");
+    }
+
+    /// Same (seed, prob, max_delay_us) ⇒ identical injection decisions on
+    /// identical op streams; a different seed places delays differently.
+    #[test]
+    fn injection_is_deterministic_in_seed() {
+        let run = |seed: u64| {
+            let inj = DelayInjector::new(seed, 0.25, 1);
+            let hook = inj.hook();
+            for i in 0..300 {
+                hook(ThreadId(0), HookPoint::BeforeStore(i));
+                hook(ThreadId(1), HookPoint::BeforeFlush(i));
+                hook(ThreadId(1), HookPoint::BeforeFence);
+            }
+            inj.injected()
+        };
+        assert_eq!(run(42), run(42), "same seed must inject identically");
+        assert_ne!(
+            run(42),
+            run(1042),
+            "different seeds should diverge on 900 ops"
+        );
     }
 }

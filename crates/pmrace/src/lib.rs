@@ -17,12 +17,21 @@
 //!   unpersisted foreign data ([`pm_runtime::Observation`]);
 //! * [`DelayInjector`] perturbs schedules at PM-operation granularity;
 //! * [`fuzz_app`] drives mutation rounds and aggregates observations;
-//! * [`expected_time_to_race`] implements the paper's Table 3 metric.
+//! * [`expected_time_to_race`] implements the paper's Table 3 metric;
+//! * [`run_crash_campaign`] goes one step past observation: it crashes the
+//!   application at injected points, restarts it from the persisted-only
+//!   image, and audits recovery — the PMRace post-failure stage, supervised
+//!   (panic isolation, watchdog, retries, checkpoint/resume).
 
 pub mod campaign;
+pub mod crashtest;
 pub mod delay;
 pub mod metric;
 
 pub use campaign::{fuzz_app, CampaignConfig, CampaignResult, ObservedRace};
+pub use crashtest::{
+    attribute_races, load_checkpoint, run_crash_campaign, AttributedRace, CampaignCheckpoint,
+    CrashCampaignConfig, CrashCampaignResult, FaultKind, InjectedFault, RoundOutcome, RoundRecord,
+};
 pub use delay::DelayInjector;
 pub use metric::expected_time_to_race;

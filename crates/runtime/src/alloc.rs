@@ -136,7 +136,10 @@ impl PmAllocator {
     /// produced.
     pub fn free(&self, addr: PmAddr) {
         let mut st = self.state.lock();
-        let class = st.live.remove(&addr).expect("free of unknown or already-freed PM block");
+        let class = st
+            .live
+            .remove(&addr)
+            .expect("free of unknown or already-freed PM block");
         st.free.entry(class).or_default().push(addr);
     }
 

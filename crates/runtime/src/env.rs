@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 use hawkset_core::addr::{line_base, line_of, AddrRange, PmAddr, CACHE_LINE};
 use hawkset_core::sync_config::{CallEffect, SyncConfig};
-use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, PmRegion, ThreadId, Trace, TraceBuilder};
+use hawkset_core::trace::{
+    EventKind, Frame, LockId, LockMode, PmRegion, ThreadId, Trace, TraceBuilder,
+};
 use parking_lot::Mutex;
 
 use crate::shadow::ShadowPm;
@@ -63,6 +65,7 @@ pub struct Observation {
 }
 
 struct PoolData {
+    path: String,
     base: PmAddr,
     volatile: Vec<u8>,
     persistent: Vec<u8>,
@@ -156,7 +159,12 @@ impl PmEnv {
         let mut st = self.inner.state.lock();
         let index = st.pools.len();
         let base = POOL_BASE + POOL_ALIGN * index as PmAddr;
-        st.pools.push(PoolData { base, volatile, persistent });
+        st.pools.push(PoolData {
+            path: path.clone(),
+            base,
+            volatile,
+            persistent,
+        });
         st.builder.add_region(PmRegion { base, len, path });
         crate::pool::PmPool::new(self.clone(), index, base, len)
     }
@@ -253,6 +261,18 @@ impl PmEnv {
         self.inner.state.lock().pools[index].volatile.clone()
     }
 
+    /// Atomically snapshots the persisted-only image of *every* mapped
+    /// pool as `(path, base, bytes)` triples, in mapping order. One lock
+    /// acquisition covers all pools, so the images are mutually consistent
+    /// — together they form one crash state, not a torn mix of instants.
+    pub fn persisted_images(&self) -> Vec<(String, PmAddr, Vec<u8>)> {
+        let st = self.inner.state.lock();
+        st.pools
+            .iter()
+            .map(|p| (p.path.clone(), p.base, p.persistent.clone()))
+            .collect()
+    }
+
     fn fire_hook(&self, tid: ThreadId, point: HookPoint) {
         let hook = self.inner.hook.lock().clone();
         if let Some(h) = hook {
@@ -287,10 +307,22 @@ impl PmEnv {
         let pool = &mut st.pools[index];
         let off = (addr - pool.base) as usize;
         pool.volatile[off..off + bytes.len()].copy_from_slice(bytes);
-        let site = frames.first().map(|f| f.function.as_str()).unwrap_or("<app>");
-        st.shadow.store_with_site(t.tid(), range, bytes, non_temporal, site);
+        let site = frames
+            .first()
+            .map(|f| f.function.as_str())
+            .unwrap_or("<app>");
+        st.shadow
+            .store_with_site(t.tid(), range, bytes, non_temporal, site);
         let stack = st.builder.intern_stack(frames);
-        st.builder.push(t.tid(), stack, EventKind::Store { range, non_temporal, atomic });
+        st.builder.push(
+            t.tid(),
+            stack,
+            EventKind::Store {
+                range,
+                non_temporal,
+                atomic,
+            },
+        );
     }
 
     pub(crate) fn load_at(
@@ -323,7 +355,8 @@ impl PmEnv {
         let off = (addr - pool.base) as usize;
         let bytes = pool.volatile[off..off + len].to_vec();
         let stack = st.builder.intern_stack(frames);
-        st.builder.push(t.tid(), stack, EventKind::Load { range, atomic });
+        st.builder
+            .push(t.tid(), stack, EventKind::Load { range, atomic });
         bytes
     }
 
@@ -358,19 +391,34 @@ impl PmEnv {
         let pool = &mut st.pools[index];
         let off = (addr - pool.base) as usize;
         let current = u64::from_le_bytes(pool.volatile[off..off + 8].try_into().expect("8 bytes"));
-        let site = frames.first().map(|f| f.function.clone()).unwrap_or_else(|| "<app>".into());
+        let site = frames
+            .first()
+            .map(|f| f.function.clone())
+            .unwrap_or_else(|| "<app>".into());
         let stack = st.builder.intern_stack(frames);
-        st.builder.push(t.tid(), stack, EventKind::Load { range, atomic: true });
+        st.builder.push(
+            t.tid(),
+            stack,
+            EventKind::Load {
+                range,
+                atomic: true,
+            },
+        );
         if current == expected {
             let bytes = new.to_le_bytes();
             let pool = &mut st.pools[index];
             pool.volatile[off..off + 8].copy_from_slice(&bytes);
-            st.shadow.store_with_site(t.tid(), range, &bytes, false, &site);
-            st.builder.push(t.tid(), stack, EventKind::Store {
-                range,
-                non_temporal: false,
-                atomic: true,
-            });
+            st.shadow
+                .store_with_site(t.tid(), range, &bytes, false, &site);
+            st.builder.push(
+                t.tid(),
+                stack,
+                EventKind::Store {
+                    range,
+                    non_temporal: false,
+                    atomic: true,
+                },
+            );
             Ok(current)
         } else {
             Err(current)
@@ -407,7 +455,9 @@ impl PmEnv {
             let pool = st
                 .pools
                 .iter_mut()
-                .find(|p| w.range.start >= p.base && w.range.end() <= p.base + p.volatile.len() as u64)
+                .find(|p| {
+                    w.range.start >= p.base && w.range.end() <= p.base + p.volatile.len() as u64
+                })
                 .expect("committed write outside every pool");
             let off = (w.range.start - pool.base) as usize;
             pool.persistent[off..off + w.bytes.len()].copy_from_slice(&w.bytes);
@@ -428,7 +478,12 @@ impl PmEnv {
         self.record_at(t, loc, EventKind::Acquire { lock, mode });
     }
 
-    pub(crate) fn record_release(&self, t: &PmThread, lock: LockId, loc: &'static Location<'static>) {
+    pub(crate) fn record_release(
+        &self,
+        t: &PmThread,
+        lock: LockId,
+        loc: &'static Location<'static>,
+    ) {
         self.record_at(t, loc, EventKind::Release { lock });
     }
 

@@ -40,7 +40,11 @@ pub struct TraceGuard {
 impl TraceGuard {
     /// Arms a guard that will flush `env`'s trace snapshot to `path`.
     pub fn new(env: PmEnv, path: impl Into<PathBuf>) -> Self {
-        Self { env, path: path.into(), armed: true }
+        Self {
+            env,
+            path: path.into(),
+            armed: true,
+        }
     }
 
     /// Disarms the guard: the drop becomes a no-op.
@@ -72,7 +76,11 @@ mod tests {
     use hawkset_core::trace::EventKind;
 
     fn temp_path(name: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("hawkset-guard-{}-{}.hwkt", std::process::id(), name))
+        std::env::temp_dir().join(format!(
+            "hawkset-guard-{}-{}.hwkt",
+            std::process::id(),
+            name
+        ))
     }
 
     #[test]
@@ -94,7 +102,10 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let trace = io::decode(bytes.into()).expect("flushed prefix must be well-formed");
         assert!(
-            trace.events.iter().any(|e| matches!(e.kind, EventKind::Store { .. })),
+            trace
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Store { .. })),
             "the pre-panic store must be in the flushed prefix"
         );
         trace.validate().expect("flushed prefix must validate");

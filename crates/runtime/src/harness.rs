@@ -12,6 +12,11 @@ use crate::thread::PmThread;
 /// Spawns `n` instrumented workers running `f(worker_index, thread)` and
 /// joins them all on `main`.
 ///
+/// All workers are joined (and their `ThreadJoin` edges recorded) before
+/// the first panic, if any, is re-raised with its original payload — so a
+/// trace flushed by [`TraceGuard`](crate::guard::TraceGuard) after a
+/// worker panic still contains every join edge.
+///
 /// # Examples
 ///
 /// ```
@@ -39,7 +44,51 @@ where
             env.spawn(main, move |t| f(i, t))
         })
         .collect();
+    let mut first_panic = None;
     for h in handles {
-        h.join(main);
+        if let Err(payload) = h.try_join(main) {
+            first_panic.get_or_insert(payload);
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A panicking worker must not cost the other workers their join
+    /// edges: all three `ThreadJoin` events appear in the snapshot even
+    /// though worker 1 dies.
+    #[test]
+    fn run_workers_joins_all_before_propagating_panic() {
+        use hawkset_core::trace::EventKind;
+
+        let env = PmEnv::new();
+        let pool = env.map_pool("/mnt/pmem/joinall", 4096);
+        let main = env.main_thread();
+        let base = pool.base();
+        let p = pool.clone();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_workers(&env, &main, 3, move |i, t| {
+                p.store_u64(t, base + 64 * i as u64, i as u64);
+                if i == 1 {
+                    panic!("worker 1 dies");
+                }
+            });
+        }))
+        .expect_err("the worker panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "worker 1 dies", "original payload must be preserved");
+
+        let trace = env.snapshot();
+        let joins = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ThreadJoin { .. }))
+            .count();
+        assert_eq!(joins, 3, "every worker's join edge must be recorded");
     }
 }

@@ -72,6 +72,7 @@
 //! ```
 
 pub mod alloc;
+pub mod crash;
 pub mod env;
 pub mod guard;
 pub mod harness;
@@ -81,6 +82,7 @@ pub mod shadow;
 pub mod thread;
 
 pub use alloc::{AllocError, PmAllocator};
+pub use crash::{CrashImage, CrashInjector, CrashMode, PoolImage, SimulatedCrash};
 pub use env::{Hook, HookPoint, Observation, PmEnv};
 pub use guard::TraceGuard;
 pub use harness::run_workers;

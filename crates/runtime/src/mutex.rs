@@ -26,7 +26,11 @@ pub struct PmMutex<T = ()> {
 impl<T> PmMutex<T> {
     /// Creates an instrumented mutex guarding `value`.
     pub fn new(env: &PmEnv, value: T) -> Self {
-        Self { env: env.clone(), id: env.new_lock_id(), inner: parking_lot::Mutex::new(value) }
+        Self {
+            env: env.clone(),
+            id: env.new_lock_id(),
+            inner: parking_lot::Mutex::new(value),
+        }
     }
 
     /// The lock's identity in the trace.
@@ -39,8 +43,14 @@ impl<T> PmMutex<T> {
     pub fn lock<'a>(&'a self, t: &'a PmThread) -> PmMutexGuard<'a, T> {
         let loc = Location::caller();
         let guard = self.inner.lock();
-        self.env.record_acquire(t, self.id, LockMode::Exclusive, loc);
-        PmMutexGuard { guard: Some(guard), lock: self, t, loc }
+        self.env
+            .record_acquire(t, self.id, LockMode::Exclusive, loc);
+        PmMutexGuard {
+            guard: Some(guard),
+            lock: self,
+            t,
+            loc,
+        }
     }
 
     /// Tentative acquire; records the acquisition only on success
@@ -49,8 +59,14 @@ impl<T> PmMutex<T> {
     pub fn try_lock<'a>(&'a self, t: &'a PmThread) -> Option<PmMutexGuard<'a, T>> {
         let loc = Location::caller();
         let guard = self.inner.try_lock()?;
-        self.env.record_acquire(t, self.id, LockMode::Exclusive, loc);
-        Some(PmMutexGuard { guard: Some(guard), lock: self, t, loc })
+        self.env
+            .record_acquire(t, self.id, LockMode::Exclusive, loc);
+        Some(PmMutexGuard {
+            guard: Some(guard),
+            lock: self,
+            t,
+            loc,
+        })
     }
 }
 
@@ -94,7 +110,11 @@ pub struct PmRwLock<T = ()> {
 impl<T> PmRwLock<T> {
     /// Creates an instrumented rwlock guarding `value`.
     pub fn new(env: &PmEnv, value: T) -> Self {
-        Self { env: env.clone(), id: env.new_lock_id(), inner: parking_lot::RwLock::new(value) }
+        Self {
+            env: env.clone(),
+            id: env.new_lock_id(),
+            inner: parking_lot::RwLock::new(value),
+        }
     }
 
     /// The lock's identity in the trace.
@@ -108,7 +128,12 @@ impl<T> PmRwLock<T> {
         let loc = Location::caller();
         let guard = self.inner.read();
         self.env.record_acquire(t, self.id, LockMode::Shared, loc);
-        PmReadGuard { guard: Some(guard), lock: self, t, loc }
+        PmReadGuard {
+            guard: Some(guard),
+            lock: self,
+            t,
+            loc,
+        }
     }
 
     /// Acquires the lock in exclusive (write) mode.
@@ -116,8 +141,14 @@ impl<T> PmRwLock<T> {
     pub fn write<'a>(&'a self, t: &'a PmThread) -> PmWriteGuard<'a, T> {
         let loc = Location::caller();
         let guard = self.inner.write();
-        self.env.record_acquire(t, self.id, LockMode::Exclusive, loc);
-        PmWriteGuard { guard: Some(guard), lock: self, t, loc }
+        self.env
+            .record_acquire(t, self.id, LockMode::Exclusive, loc);
+        PmWriteGuard {
+            guard: Some(guard),
+            lock: self,
+            t,
+            loc,
+        }
     }
 
     /// Tentative write acquire; records only on success.
@@ -125,8 +156,14 @@ impl<T> PmRwLock<T> {
     pub fn try_write<'a>(&'a self, t: &'a PmThread) -> Option<PmWriteGuard<'a, T>> {
         let loc = Location::caller();
         let guard = self.inner.try_write()?;
-        self.env.record_acquire(t, self.id, LockMode::Exclusive, loc);
-        Some(PmWriteGuard { guard: Some(guard), lock: self, t, loc })
+        self.env
+            .record_acquire(t, self.id, LockMode::Exclusive, loc);
+        Some(PmWriteGuard {
+            guard: Some(guard),
+            lock: self,
+            t,
+            loc,
+        })
     }
 }
 

@@ -25,7 +25,12 @@ pub struct PmPool {
 
 impl PmPool {
     pub(crate) fn new(env: PmEnv, index: usize, base: PmAddr, len: u64) -> Self {
-        Self { env, index, base, len }
+        Self {
+            env,
+            index,
+            base,
+            len,
+        }
     }
 
     /// First byte of the pool in the simulated address space.
@@ -65,28 +70,53 @@ impl PmPool {
     #[track_caller]
     pub fn store_bytes(&self, t: &PmThread, addr: PmAddr, bytes: &[u8]) {
         self.check(addr, bytes.len());
-        self.env.store_at(t, self.index, addr, bytes, false, false, Location::caller());
+        self.env
+            .store_at(t, self.index, addr, bytes, false, false, Location::caller());
     }
 
     /// Stores a little-endian `u64`.
     #[track_caller]
     pub fn store_u64(&self, t: &PmThread, addr: PmAddr, value: u64) {
         self.check(addr, 8);
-        self.env.store_at(t, self.index, addr, &value.to_le_bytes(), false, false, Location::caller());
+        self.env.store_at(
+            t,
+            self.index,
+            addr,
+            &value.to_le_bytes(),
+            false,
+            false,
+            Location::caller(),
+        );
     }
 
     /// Stores a little-endian `u32`.
     #[track_caller]
     pub fn store_u32(&self, t: &PmThread, addr: PmAddr, value: u32) {
         self.check(addr, 4);
-        self.env.store_at(t, self.index, addr, &value.to_le_bytes(), false, false, Location::caller());
+        self.env.store_at(
+            t,
+            self.index,
+            addr,
+            &value.to_le_bytes(),
+            false,
+            false,
+            Location::caller(),
+        );
     }
 
     /// Stores one byte.
     #[track_caller]
     pub fn store_u8(&self, t: &PmThread, addr: PmAddr, value: u8) {
         self.check(addr, 1);
-        self.env.store_at(t, self.index, addr, &[value], false, false, Location::caller());
+        self.env.store_at(
+            t,
+            self.index,
+            addr,
+            &[value],
+            false,
+            false,
+            Location::caller(),
+        );
     }
 
     /// Non-temporal store of raw bytes (bypasses the cache; persists at the
@@ -94,21 +124,38 @@ impl PmPool {
     #[track_caller]
     pub fn store_bytes_nt(&self, t: &PmThread, addr: PmAddr, bytes: &[u8]) {
         self.check(addr, bytes.len());
-        self.env.store_at(t, self.index, addr, bytes, true, false, Location::caller());
+        self.env
+            .store_at(t, self.index, addr, bytes, true, false, Location::caller());
     }
 
     /// Non-temporal store of a `u64`.
     #[track_caller]
     pub fn store_u64_nt(&self, t: &PmThread, addr: PmAddr, value: u64) {
         self.check(addr, 8);
-        self.env.store_at(t, self.index, addr, &value.to_le_bytes(), true, false, Location::caller());
+        self.env.store_at(
+            t,
+            self.index,
+            addr,
+            &value.to_le_bytes(),
+            true,
+            false,
+            Location::caller(),
+        );
     }
 
     /// Atomic store of a `u64` (lock-prefixed / `xchg`-style).
     #[track_caller]
     pub fn atomic_store_u64(&self, t: &PmThread, addr: PmAddr, value: u64) {
         self.check(addr, 8);
-        self.env.store_at(t, self.index, addr, &value.to_le_bytes(), false, true, Location::caller());
+        self.env.store_at(
+            t,
+            self.index,
+            addr,
+            &value.to_le_bytes(),
+            false,
+            true,
+            Location::caller(),
+        );
     }
 
     // ---- loads ----
@@ -117,14 +164,17 @@ impl PmPool {
     #[track_caller]
     pub fn load_bytes(&self, t: &PmThread, addr: PmAddr, len: usize) -> Vec<u8> {
         self.check(addr, len);
-        self.env.load_at(t, self.index, addr, len, false, Location::caller())
+        self.env
+            .load_at(t, self.index, addr, len, false, Location::caller())
     }
 
     /// Loads a little-endian `u64`.
     #[track_caller]
     pub fn load_u64(&self, t: &PmThread, addr: PmAddr) -> u64 {
         self.check(addr, 8);
-        let b = self.env.load_at(t, self.index, addr, 8, false, Location::caller());
+        let b = self
+            .env
+            .load_at(t, self.index, addr, 8, false, Location::caller());
         u64::from_le_bytes(b.try_into().expect("8 bytes"))
     }
 
@@ -132,7 +182,9 @@ impl PmPool {
     #[track_caller]
     pub fn load_u32(&self, t: &PmThread, addr: PmAddr) -> u32 {
         self.check(addr, 4);
-        let b = self.env.load_at(t, self.index, addr, 4, false, Location::caller());
+        let b = self
+            .env
+            .load_at(t, self.index, addr, 4, false, Location::caller());
         u32::from_le_bytes(b.try_into().expect("4 bytes"))
     }
 
@@ -140,14 +192,17 @@ impl PmPool {
     #[track_caller]
     pub fn load_u8(&self, t: &PmThread, addr: PmAddr) -> u8 {
         self.check(addr, 1);
-        self.env.load_at(t, self.index, addr, 1, false, Location::caller())[0]
+        self.env
+            .load_at(t, self.index, addr, 1, false, Location::caller())[0]
     }
 
     /// Atomic load of a `u64`.
     #[track_caller]
     pub fn atomic_load_u64(&self, t: &PmThread, addr: PmAddr) -> u64 {
         self.check(addr, 8);
-        let b = self.env.load_at(t, self.index, addr, 8, true, Location::caller());
+        let b = self
+            .env
+            .load_at(t, self.index, addr, 8, true, Location::caller());
         u64::from_le_bytes(b.try_into().expect("8 bytes"))
     }
 
@@ -159,7 +214,8 @@ impl PmPool {
     #[track_caller]
     pub fn cas_u64(&self, t: &PmThread, addr: PmAddr, expected: u64, new: u64) -> Result<u64, u64> {
         self.check(addr, 8);
-        self.env.cas_at(t, self.index, addr, expected, new, Location::caller())
+        self.env
+            .cas_at(t, self.index, addr, expected, new, Location::caller())
     }
 
     /// Atomic fetch-add on a `u64`; returns the previous value.
@@ -198,7 +254,12 @@ impl PmPool {
         self.check(addr, len.max(1));
         let range = AddrRange::new(addr, len.max(1) as u32);
         for line in range.lines() {
-            self.env.flush_at(t, self.index, hawkset_core::addr::line_base(line).max(addr), Location::caller());
+            self.env.flush_at(
+                t,
+                self.index,
+                hawkset_core::addr::line_base(line).max(addr),
+                Location::caller(),
+            );
         }
     }
 

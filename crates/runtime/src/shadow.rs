@@ -112,8 +112,8 @@ impl ShadowPm {
             *entries = replacement;
             // The part of the store that falls on this line.
             let start = hawkset_core::addr::line_base(line).max(range.start);
-            let end =
-                (hawkset_core::addr::line_base(line) + hawkset_core::addr::CACHE_LINE).min(range.end());
+            let end = (hawkset_core::addr::line_base(line) + hawkset_core::addr::CACHE_LINE)
+                .min(range.end());
             let piece = AddrRange::new(start, (end - start) as u32);
             let snapshot = non_temporal.then(|| Snapshot {
                 bytes: slice_snapshot(&range, bytes, &piece),
@@ -137,7 +137,9 @@ impl ShadowPm {
     pub fn flush(&mut self, tid: ThreadId, addr: u64, line_bytes: &[u8; 64]) {
         let line = line_of(addr);
         let base = hawkset_core::addr::line_base(line);
-        let Some(entries) = self.lines.get_mut(&line) else { return };
+        let Some(entries) = self.lines.get_mut(&line) else {
+            return;
+        };
         let mut watched = false;
         for entry in entries.iter_mut() {
             match &mut entry.snapshot {
@@ -164,12 +166,16 @@ impl ShadowPm {
     /// Records a fence by `tid`: returns the writes that are now guaranteed
     /// persistent, to be applied to the persistent image in order.
     pub fn fence(&mut self, tid: ThreadId) -> Vec<CommittedWrite> {
-        let Some(mut lines) = self.fence_watch.remove(&tid) else { return Vec::new() };
+        let Some(mut lines) = self.fence_watch.remove(&tid) else {
+            return Vec::new();
+        };
         lines.sort_unstable();
         lines.dedup();
         let mut committed = Vec::new();
         for line in lines {
-            let Some(entries) = self.lines.get_mut(&line) else { continue };
+            let Some(entries) = self.lines.get_mut(&line) else {
+                continue;
+            };
             let mut kept = Vec::with_capacity(entries.len());
             for entry in entries.drain(..) {
                 match &entry.snapshot {
@@ -274,7 +280,11 @@ mod tests {
         // Overwrite before the fence: neither value is guaranteed.
         s.store(T1, AddrRange::new(0x100, 8), &[2; 8], false);
         assert!(s.fence(T0).is_empty());
-        assert_eq!(s.unpersisted_foreign_writer(T0, &AddrRange::new(0x100, 8)).map(|(t, _)| t), Some(T1));
+        assert_eq!(
+            s.unpersisted_foreign_writer(T0, &AddrRange::new(0x100, 8))
+                .map(|(t, _)| t),
+            Some(T1)
+        );
     }
 
     #[test]
@@ -305,15 +315,25 @@ mod tests {
         let mut s = ShadowPm::new();
         s.store(T0, AddrRange::new(0x100, 8), &[1; 8], false);
         // Reading your own dirty data is fine.
-        assert!(s.unpersisted_foreign_writer(T0, &AddrRange::new(0x100, 8)).is_none());
+        assert!(s
+            .unpersisted_foreign_writer(T0, &AddrRange::new(0x100, 8))
+            .is_none());
         // Another thread reading it is the PMRace trigger.
-        assert_eq!(s.unpersisted_foreign_writer(T1, &AddrRange::new(0x100, 8)).map(|(t, _)| t), Some(T0));
+        assert_eq!(
+            s.unpersisted_foreign_writer(T1, &AddrRange::new(0x100, 8))
+                .map(|(t, _)| t),
+            Some(T0)
+        );
         // Disjoint reads see nothing.
-        assert!(s.unpersisted_foreign_writer(T1, &AddrRange::new(0x200, 8)).is_none());
+        assert!(s
+            .unpersisted_foreign_writer(T1, &AddrRange::new(0x200, 8))
+            .is_none());
         // Once persisted the observation window is gone.
         s.flush(T0, 0x100, &line_content(1));
         s.fence(T0);
-        assert!(s.unpersisted_foreign_writer(T1, &AddrRange::new(0x100, 8)).is_none());
+        assert!(s
+            .unpersisted_foreign_writer(T1, &AddrRange::new(0x100, 8))
+            .is_none());
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub struct PmThread {
 
 impl PmThread {
     pub(crate) fn new(env: PmEnv, tid: ThreadId) -> Self {
-        Self { env, tid, frames: RefCell::new(Vec::new()) }
+        Self {
+            env,
+            tid,
+            frames: RefCell::new(Vec::new()),
+        }
     }
 
     /// The thread's id in the trace.
@@ -81,7 +85,10 @@ impl PmThread {
     /// the containing function.
     pub(crate) fn capture_stack(&self, loc: &'static Location<'static>) -> Vec<Frame> {
         let frames = self.frames.borrow();
-        let top_name = frames.last().map(|f| f.name.clone()).unwrap_or_else(|| "<app>".into());
+        let top_name = frames
+            .last()
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<app>".into());
         let mut stack = Vec::with_capacity(frames.len() + 1);
         stack.push(Frame::new(top_name, loc.file(), loc.line()));
         for f in frames.iter().rev() {
@@ -118,17 +125,35 @@ impl<R> PmJoinHandle<R> {
     }
 
     /// Waits for the thread and records the join edge on behalf of
+    /// `joiner`, returning the child's panic payload instead of
+    /// propagating it.
+    ///
+    /// The `ThreadJoin` event is recorded **even when the child panicked**:
+    /// the OS-level join completed either way, so the happens-before edge
+    /// is real, and dropping it would let the analysis pair the surviving
+    /// threads' accesses against the dead thread's as if they were
+    /// concurrent.
+    #[track_caller]
+    pub fn try_join(self, joiner: &PmThread) -> std::thread::Result<R> {
+        let loc = Location::caller();
+        let out = self.inner.join();
+        joiner.env().join_at(joiner, self.child, loc);
+        out
+    }
+
+    /// Waits for the thread and records the join edge on behalf of
     /// `joiner`.
     ///
     /// # Panics
     ///
-    /// Propagates a panic from the joined thread, like
+    /// Propagates a panic from the joined thread with its original payload
+    /// (after the join edge is recorded), like
     /// [`std::thread::JoinHandle::join`] + `unwrap`.
     #[track_caller]
     pub fn join(self, joiner: &PmThread) -> R {
-        let loc = Location::caller();
-        let out = self.inner.join().expect("instrumented thread panicked");
-        joiner.env().join_at(joiner, self.child, loc);
-        out
+        match self.try_join(joiner) {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 }

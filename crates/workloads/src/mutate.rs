@@ -30,8 +30,13 @@ pub fn mutate(seed_workload: &Workload, seed: u64, round: u64) -> Workload {
 }
 
 fn pick_slot<'w>(w: &'w mut Workload, rng: &mut StdRng) -> Option<&'w mut Vec<Op>> {
-    let non_empty: Vec<usize> =
-        w.per_thread.iter().enumerate().filter(|(_, v)| !v.is_empty()).map(|(i, _)| i).collect();
+    let non_empty: Vec<usize> = w
+        .per_thread
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(i, _)| i)
+        .collect();
     if non_empty.is_empty() {
         return None;
     }
@@ -44,10 +49,20 @@ fn perturb_key(w: &mut Workload, rng: &mut StdRng) {
     let Some(ops) = pick_slot(w, rng) else { return };
     let i = rng.gen_range(0..ops.len());
     ops[i] = match ops[i] {
-        Op::Insert { key, value } => Op::Insert { key: key.wrapping_add(delta), value },
-        Op::Update { key, value } => Op::Update { key: key.wrapping_add(delta), value },
-        Op::Get { key } => Op::Get { key: key.wrapping_add(delta) },
-        Op::Delete { key } => Op::Delete { key: key.wrapping_add(delta) },
+        Op::Insert { key, value } => Op::Insert {
+            key: key.wrapping_add(delta),
+            value,
+        },
+        Op::Update { key, value } => Op::Update {
+            key: key.wrapping_add(delta),
+            value,
+        },
+        Op::Get { key } => Op::Get {
+            key: key.wrapping_add(delta),
+        },
+        Op::Delete { key } => Op::Delete {
+            key: key.wrapping_add(delta),
+        },
     };
 }
 
@@ -73,8 +88,14 @@ fn flip_kind(w: &mut Workload, rng: &mut StdRng) {
     let i = rng.gen_range(0..ops.len());
     let key = ops[i].key();
     ops[i] = match roll {
-        0 => Op::Insert { key, value: key | 1 },
-        1 => Op::Update { key, value: key.rotate_left(7) | 1 },
+        0 => Op::Insert {
+            key,
+            value: key | 1,
+        },
+        1 => Op::Update {
+            key,
+            value: key.rotate_left(7) | 1,
+        },
         2 => Op::Get { key },
         _ => Op::Delete { key },
     };

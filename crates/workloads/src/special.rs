@@ -37,12 +37,7 @@ pub enum FsOp {
 /// Generates the MadFS benchmark: per-thread schedules of 4 KiB writes at
 /// zipfian offsets into a shared file of `file_blocks` 4 KiB blocks, with a
 /// sprinkling of reads and periodic fsync.
-pub fn madfs_workload(
-    ops: u64,
-    threads: u32,
-    file_blocks: u64,
-    seed: u64,
-) -> Vec<Vec<FsOp>> {
+pub fn madfs_workload(ops: u64, threads: u32, file_blocks: u64, seed: u64) -> Vec<Vec<FsOp>> {
     const BLOCK: u64 = 4096;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dist = Zipfian::new(file_blocks.max(1));
@@ -52,9 +47,15 @@ pub fn madfs_workload(
         let block = dist.next(&mut rng);
         let roll = rng.gen_range(0..100u8);
         let op = if roll < 70 {
-            FsOp::Write { offset: block * BLOCK, len: BLOCK as u32 }
+            FsOp::Write {
+                offset: block * BLOCK,
+                len: BLOCK as u32,
+            }
         } else if roll < 95 {
-            FsOp::Read { offset: block * BLOCK, len: BLOCK as u32 }
+            FsOp::Read {
+                offset: block * BLOCK,
+                len: BLOCK as u32,
+            }
         } else {
             FsOp::Fsync
         };
@@ -141,8 +142,12 @@ pub fn memcached_workload(
     let mut rng = StdRng::seed_from_u64(seed);
     let key_space = load_sets + ops / 4;
     let mut dist = Zipfian::new(key_space.max(1));
-    let load: Vec<CacheOp> =
-        (0..load_sets).map(|k| CacheOp::Set { key: k, value: k.rotate_left(13) | 1 }).collect();
+    let load: Vec<CacheOp> = (0..load_sets)
+        .map(|k| CacheOp::Set {
+            key: k,
+            value: k.rotate_left(13) | 1,
+        })
+        .collect();
     let mut per_thread = vec![Vec::new(); threads.max(1) as usize];
     for i in 0..ops {
         let t = (i % threads.max(1) as u64) as usize;
@@ -215,6 +220,9 @@ mod tests {
     #[test]
     fn workloads_are_deterministic() {
         assert_eq!(madfs_workload(100, 2, 8, 1), madfs_workload(100, 2, 8, 1));
-        assert_eq!(memcached_workload(10, 100, 2, 1), memcached_workload(10, 100, 2, 1));
+        assert_eq!(
+            memcached_workload(10, 100, 2, 1),
+            memcached_workload(10, 100, 2, 1)
+        );
     }
 }

@@ -45,9 +45,10 @@ impl Op {
     /// The key the operation targets.
     pub fn key(&self) -> u64 {
         match self {
-            Op::Insert { key, .. } | Op::Update { key, .. } | Op::Get { key } | Op::Delete { key } => {
-                *key
-            }
+            Op::Insert { key, .. }
+            | Op::Update { key, .. }
+            | Op::Get { key }
+            | Op::Delete { key } => *key,
         }
     }
 }
@@ -67,7 +68,12 @@ pub struct OpMix {
 
 impl OpMix {
     /// The paper's main-phase mix: 30/30/30/10.
-    pub const PAPER: OpMix = OpMix { insert: 30, update: 30, get: 30, delete: 10 };
+    pub const PAPER: OpMix = OpMix {
+        insert: 30,
+        update: 30,
+        get: 30,
+        delete: 10,
+    };
 
     /// Validates that the mix sums to 100%.
     pub fn validate(&self) -> Result<(), String> {
@@ -134,15 +140,20 @@ impl WorkloadSpec {
         // a growth-free seed must avoid both; the corpus mixes read-only,
         // read-mostly and write-heavy compositions.
         let r = crate::zipfian::fnv1a(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed);
-        let (insert, update) = [(0u8, 0u8), (0, 0), (0, 2), (0, 4), (30, 30), (40, 20)]
-            [(r % 6) as usize];
+        let (insert, update) =
+            [(0u8, 0u8), (0, 0), (0, 2), (0, 4), (30, 30), (40, 20)][(r % 6) as usize];
         let delete = 10;
         let get = 100 - insert - update - delete;
         Self {
             load_ops: 100,
             main_ops: 400,
             threads: 8,
-            mix: OpMix { insert, update, get, delete },
+            mix: OpMix {
+                insert,
+                update,
+                get,
+                delete,
+            },
             // Fuzzer-generated seed inputs have arbitrary keys: uniform.
             distribution: Distribution::Uniform,
             key_space: 700,
@@ -160,7 +171,10 @@ impl WorkloadSpec {
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Load phase: distinct keys, deterministic values.
         let load: Vec<Op> = (0..self.load_ops)
-            .map(|i| Op::Insert { key: i, value: value_for(self.seed, i, 0) })
+            .map(|i| Op::Insert {
+                key: i,
+                value: value_for(self.seed, i, 0),
+            })
             .collect();
 
         let mut dist = self.distribution.build(self.key_space.max(1));
@@ -182,9 +196,15 @@ impl WorkloadSpec {
                 // Inserts target fresh keys beyond the load range so trees
                 // and tables actually grow (splits/rehashes are where the
                 // §5.1 bugs live).
-                Op::Insert { key: self.load_ops + key, value: value_for(self.seed, key, i) }
+                Op::Insert {
+                    key: self.load_ops + key,
+                    value: value_for(self.seed, key, i),
+                }
             } else if roll < self.mix.insert + self.mix.update {
-                Op::Update { key: target, value: value_for(self.seed, key, i) }
+                Op::Update {
+                    key: target,
+                    value: value_for(self.seed, key, i),
+                }
             } else if roll < self.mix.insert + self.mix.update + self.mix.get {
                 Op::Get { key: target }
             } else {
@@ -219,12 +239,18 @@ impl Workload {
     /// Returns `true` if any thread's schedule contains an insert (growth
     /// coverage — prerequisite for the Fast-Fair split bugs).
     pub fn has_inserts(&self) -> bool {
-        self.per_thread.iter().flatten().any(|op| matches!(op, Op::Insert { .. }))
+        self.per_thread
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, Op::Insert { .. }))
     }
 
     /// Returns `true` if any schedule contains a delete.
     pub fn has_deletes(&self) -> bool {
-        self.per_thread.iter().flatten().any(|op| matches!(op, Op::Delete { .. }))
+        self.per_thread
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, Op::Delete { .. }))
     }
 }
 
@@ -271,7 +297,12 @@ mod tests {
 
     #[test]
     fn invalid_mix_is_rejected() {
-        let bad = OpMix { insert: 50, update: 50, get: 50, delete: 0 };
+        let bad = OpMix {
+            insert: 50,
+            update: 50,
+            get: 50,
+            delete: 0,
+        };
         assert!(bad.validate().is_err());
         assert!(OpMix::PAPER.validate().is_ok());
     }

@@ -75,12 +75,21 @@ impl Zipfian {
     /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
     pub fn with_theta(n: u64, theta: f64) -> Self {
         assert!(n > 0, "empty key space");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0, 1)"
+        );
         let zeta_n = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
-        Self { n, theta, alpha, zeta_n, eta }
+        Self {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+        }
     }
 
     /// The skew parameter.
@@ -104,8 +113,7 @@ impl KeyDistribution for Zipfian {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.n - 1)
     }
 
@@ -124,7 +132,9 @@ pub struct ScrambledZipfian {
 impl ScrambledZipfian {
     /// Creates a scrambled zipfian over `0..n`.
     pub fn new(n: u64) -> Self {
-        Self { inner: Zipfian::new(n) }
+        Self {
+            inner: Zipfian::new(n),
+        }
     }
 }
 
@@ -226,7 +236,10 @@ mod tests {
         }
         // With theta=0.99 over 1000 keys, the top-10 ranks get far more
         // than their uniform share (1%); empirically ≈ 35–45%.
-        assert!(low > DRAWS / 5, "zipfian skew missing: {low}/{DRAWS} in top 10");
+        assert!(
+            low > DRAWS / 5,
+            "zipfian skew missing: {low}/{DRAWS} in top 10"
+        );
     }
 
     #[test]
@@ -253,7 +266,11 @@ mod tests {
     #[test]
     fn distribution_enum_builds_all_variants() {
         let mut rng = StdRng::seed_from_u64(5);
-        for d in [Distribution::Uniform, Distribution::Zipfian, Distribution::ScrambledZipfian] {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Zipfian,
+            Distribution::ScrambledZipfian,
+        ] {
             let mut g = d.build(100);
             for _ in 0..100 {
                 assert!(g.next_dyn(&mut rng) < 100);

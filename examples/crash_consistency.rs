@@ -62,8 +62,14 @@ fn main() {
     println!("\n*** simulated crash ***");
     println!("reader had observed:     X = {observed}");
     println!("durable state after crash: X = {durable}");
-    assert_eq!(observed, 2, "the baton guarantees the reader saw the new value");
-    assert_eq!(durable, 1, "the store was never flushed+fenced, so the crash loses it");
+    assert_eq!(
+        observed, 2,
+        "the baton guarantees the reader saw the new value"
+    );
+    assert_eq!(
+        durable, 1,
+        "the store was never flushed+fenced, so the crash loses it"
+    );
     println!(
         "\nthe client was told X = 2, but recovery will see X = 1 — the inconsistency a \
          persistency-induced race produces (Definition 1)."

@@ -64,7 +64,10 @@ fn main() {
     println!("custom spinlock program, 4 threads x 50 locked increments");
     println!("races reported WITHOUT sync config: {without}");
     println!("races reported WITH    sync config: {with}");
-    assert!(without > 0, "an invisible lock must produce spurious reports");
+    assert!(
+        without > 0,
+        "an invisible lock must produce spurious reports"
+    );
     assert_eq!(with, 0, "the configured lock protects every access");
     println!(
         "\nthe config is all HawkSet needs — no annotations, drivers or source changes \

@@ -15,17 +15,27 @@ use hawkset::apps::{score, Application, RaceClass};
 use hawkset::core::analysis::{analyze, AnalysisConfig};
 
 fn main() {
-    let ops = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let ops = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
     let app = FastFairApp;
     println!("running Fast-Fair with {ops} main-phase operations on 8 threads...");
     let wl = app.default_workload(ops, 42);
     let trace = app.execute(&wl);
-    println!("recorded {} events ({} PM accesses)", trace.events.len(), trace.access_count());
+    println!(
+        "recorded {} events ({} PM accesses)",
+        trace.events.len(),
+        trace.access_count()
+    );
 
     let report = analyze(&trace, &AnalysisConfig::default());
     let breakdown = score(&report.races, &app.known_races());
 
-    println!("\n{} distinct persistency-induced races reported:", report.races.len());
+    println!(
+        "\n{} distinct persistency-induced races reported:",
+        report.races.len()
+    );
     for race in &report.races {
         let class = app
             .known_races()

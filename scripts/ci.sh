@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repo's full gate, in the order a developer wants failures surfaced:
+# cheap style first, then compile, then the whole test suite.
+# Everything runs offline — third-party deps are vendored under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci: all green"

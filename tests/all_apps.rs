@@ -43,7 +43,11 @@ fn every_table2_bug_is_detected() {
     }
     all_detected.sort_unstable();
     all_detected.dedup();
-    assert_eq!(all_detected, (1..=20).collect::<Vec<u32>>(), "all 20 Table 2 bugs");
+    assert_eq!(
+        all_detected,
+        (1..=20).collect::<Vec<u32>>(),
+        "all 20 Table 2 bugs"
+    );
 }
 
 #[test]
@@ -53,7 +57,12 @@ fn ground_truths_are_well_formed() {
     for app in all_apps() {
         for k in app.known_races() {
             if k.class == RaceClass::Malign {
-                assert!(k.id >= 1 && k.id <= 20, "{}: bad bug id {}", app.name(), k.id);
+                assert!(
+                    k.id >= 1 && k.id <= 20,
+                    "{}: bad bug id {}",
+                    app.name(),
+                    k.id
+                );
                 if !ids.contains(&k.id) {
                     ids.push(k.id);
                     if k.new {
@@ -67,7 +76,11 @@ fn ground_truths_are_well_formed() {
         }
     }
     ids.sort_unstable();
-    assert_eq!(ids, (1..=20).collect::<Vec<u32>>(), "Table 2 ids are covered exactly once");
+    assert_eq!(
+        ids,
+        (1..=20).collect::<Vec<u32>>(),
+        "Table 2 ids are covered exactly once"
+    );
     assert_eq!(new_count, 7, "the paper reports 7 previously unknown bugs");
 }
 
@@ -84,7 +97,13 @@ fn irh_never_prunes_a_malign_race() {
         let wl = app.default_workload(1_000, 7);
         let trace = app.execute(&wl);
         let with_irh = analyze(&trace, &AnalysisConfig::default());
-        let without = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
+        let without = analyze(
+            &trace,
+            &AnalysisConfig {
+                irh: false,
+                ..Default::default()
+            },
+        );
         let with_ids = score(&with_irh.races, &app.known_races()).detected_ids;
         let without_ids = score(&without.races, &app.known_races()).detected_ids;
         for id in &without_ids {
@@ -134,7 +153,13 @@ fn table1_metadata_is_complete() {
 /// that regardless of the requested size.
 #[test]
 fn part_workload_is_capped() {
-    let part = all_apps().into_iter().find(|a| a.name() == "P-ART").unwrap();
+    let part = all_apps()
+        .into_iter()
+        .find(|a| a.name() == "P-ART")
+        .unwrap();
     let wl = part.default_workload(100_000, 1);
-    assert!(wl.main_ops() <= 1_000, "P-ART hangs beyond 1k ops in the original evaluation");
+    assert!(
+        wl.main_ops() <= 1_000,
+        "P-ART hangs beyond 1k ops in the original evaluation"
+    );
 }

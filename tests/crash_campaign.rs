@@ -1,0 +1,230 @@
+//! End-to-end crash-injection acceptance tests.
+//!
+//! 1. A registered application is crashed at injected crash points, each
+//!    persisted-only image is restarted in a fresh environment and run
+//!    through the application's own recovery + invariant audit:
+//!    a race-free configuration passes at *every* injected point, while
+//!    the known-racy configuration fails at points inside the bug window —
+//!    and the failure is attributable to a race HawkSet reports on the
+//!    same run's trace.
+//! 2. A supervised campaign with an injected hung round and an injected
+//!    panicking round completes the remaining rounds, records
+//!    `TimedOut`/`Panicked`, and `--resume` re-runs only unfinished
+//!    rounds.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hawkset::apps::fastfair::{run_fastfair, FastFairApp, FastFairBugs};
+use hawkset::apps::{Application, ExecOptions};
+use hawkset::baseline::{
+    attribute_races, load_checkpoint, run_crash_campaign, CrashCampaignConfig, FaultKind,
+    InjectedFault, RoundOutcome,
+};
+use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::runtime::{CrashImage, CrashInjector, CrashMode, PmEnv};
+use hawkset::workloads::WorkloadSpec;
+
+/// Restarts `app` from a captured persisted-only image — every pool
+/// remapped in its original mapping order, so recovered addresses match —
+/// and runs recovery plus the invariant audit.
+fn audit(app: &dyn Application, image: &CrashImage) -> Result<(), String> {
+    let env = PmEnv::new();
+    let pools: Vec<_> = image
+        .pools
+        .iter()
+        .map(|p| env.map_pool_from_image(p.path.clone(), p.bytes.clone()))
+        .collect();
+    let pool = pools.first().expect("crash image holds at least one pool");
+    let t = env.main_thread();
+    app.recover(pool, &t)
+        .map_err(|e| format!("crash at op {}: {e}", image.op_index))?;
+    match app.check_invariants(pool, &t).first() {
+        None => Ok(()),
+        Some(v) => Err(format!("crash at op {}: {v}", image.op_index)),
+    }
+}
+
+/// Runs Fast-Fair under dense continue-mode crash points, auditing every
+/// captured image as it streams out (a sink, so images are never held in
+/// memory together). Returns (audit failures, images captured, trace).
+fn crash_sweep(
+    bugs: FastFairBugs,
+    workload_seed: u64,
+    points: impl IntoIterator<Item = u64>,
+) -> (Vec<String>, u64, hawkset::core::Trace) {
+    let w = WorkloadSpec::paper(2000, workload_seed).generate();
+    let injector = CrashInjector::at_points(points, CrashMode::Continue);
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_failures = Arc::clone(&failures);
+    injector.set_sink(move |image| {
+        if let Err(e) = audit(&FastFairApp, &image) {
+            sink_failures.lock().expect("sink lock").push(e);
+        }
+    });
+    let opts = ExecOptions {
+        crash: Some(Arc::clone(&injector)),
+        ..Default::default()
+    };
+    let result = run_fastfair(&w, &opts, bugs);
+    let failures = failures.lock().expect("sink lock").clone();
+    (failures, injector.images_captured(), result.trace)
+}
+
+/// Crash points across the single-threaded load phase and into the
+/// concurrent main phase. The load phase alone issues thousands of PM
+/// operations (1000 ascending inserts), so this covers root splits, leaf
+/// splits, and backlog-drain boundaries.
+fn dense_points() -> impl Iterator<Item = u64> {
+    (0..40_000u64).step_by(97)
+}
+
+#[test]
+fn race_free_configuration_recovers_at_every_injected_crash_point() {
+    let (failures, captured, _trace) = crash_sweep(
+        FastFairBugs {
+            late_parent_persist: false,
+        },
+        11,
+        dense_points(),
+    );
+    assert!(
+        captured > 50,
+        "the sweep must actually capture images, got {captured}"
+    );
+    assert!(
+        failures.is_empty(),
+        "with persists inside the critical sections every crash point must \
+         recover cleanly; {} of {captured} failed, first: {}",
+        failures.len(),
+        failures[0]
+    );
+}
+
+#[test]
+fn racy_configuration_fails_recovery_audit_and_is_attributable() {
+    let (failures, captured, trace) = crash_sweep(FastFairBugs::default(), 7, dense_points());
+    assert!(
+        captured > 50,
+        "the sweep must actually capture images, got {captured}"
+    );
+    // (b) the known-racy configuration leaves crash windows: a split's
+    // sibling/shrink persists are deferred past the lock release, so
+    // points inside the window see a torn tree.
+    assert!(
+        !failures.is_empty(),
+        "the buggy tree must fail its audit at some of {captured} crash points"
+    );
+    // ...and the failure is attributable: HawkSet reports the responsible
+    // malign race on the very same run's trace.
+    let report = analyze(&trace, &AnalysisConfig::default());
+    let attributed = attribute_races(&report.races, &FastFairApp.known_races());
+    assert!(
+        attributed.iter().any(|a| a.bug_id == 1 || a.bug_id == 2),
+        "the audit failure must be attributable to Table 2 bug #1/#2, got {attributed:?}"
+    );
+}
+
+#[test]
+fn campaign_survives_hung_and_panicking_rounds_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("hawkset-crashtest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("campaign.json");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let app: Arc<dyn Application> = Arc::new(FastFairApp);
+    let cfg = CrashCampaignConfig {
+        rounds: 4,
+        crash_points: 2,
+        main_ops: 24,
+        seed: 9,
+        round_timeout: Duration::from_secs(30),
+        max_retries: 0,
+        retry_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        checkpoint: Some(ckpt.clone()),
+        resume: false,
+        faults: vec![
+            InjectedFault {
+                round: 1,
+                kind: FaultKind::Hang,
+                first_attempts: u32::MAX,
+            },
+            InjectedFault {
+                round: 2,
+                kind: FaultKind::Panic,
+                first_attempts: u32::MAX,
+            },
+        ],
+    };
+    // The hung round must actually hit the watchdog, so give IT a short
+    // deadline while healthy rounds get a comfortable one — the fault
+    // hangs for 4x the timeout, so a short timeout keeps the test fast.
+    let cfg = CrashCampaignConfig {
+        round_timeout: Duration::from_secs(5),
+        ..cfg
+    };
+
+    let first = run_crash_campaign(&app, &cfg).expect("campaign runs");
+    assert_eq!(first.records.len(), 4, "all four rounds must be recorded");
+    assert_eq!(
+        first.records[1].outcome,
+        RoundOutcome::TimedOut,
+        "hung round times out"
+    );
+    assert!(
+        matches!(&first.records[2].outcome, RoundOutcome::Panicked { message } if message.contains("injected fault")),
+        "panicking round records its payload: {:?}",
+        first.records[2].outcome
+    );
+    for healthy in [0usize, 3] {
+        assert!(
+            !first.records[healthy].outcome.is_transient(),
+            "round {healthy} must complete despite its misbehaving neighbours: {:?}",
+            first.records[healthy].outcome
+        );
+        assert!(first.records[healthy].images_captured > 0);
+    }
+
+    // The checkpoint on disk reflects every finished round.
+    let ck = load_checkpoint(&ckpt).expect("checkpoint parses");
+    assert_eq!(ck.app, app.name());
+    assert_eq!(ck.completed.len(), 4);
+
+    // Resume with two more rounds: the four recorded rounds are loaded,
+    // not re-run — only rounds 4 and 5 execute.
+    let resumed_cfg = CrashCampaignConfig {
+        rounds: 6,
+        resume: true,
+        faults: Vec::new(),
+        ..cfg
+    };
+    let resumed = run_crash_campaign(&app, &resumed_cfg).expect("resume runs");
+    assert!(resumed.resumed_from_checkpoint);
+    assert_eq!(
+        resumed.executed_this_run, 2,
+        "only the two unfinished rounds run"
+    );
+    assert_eq!(resumed.records.len(), 6);
+    for (a, b) in first.records.iter().zip(&resumed.records) {
+        assert_eq!(
+            a.outcome, b.outcome,
+            "round {} must be loaded, not re-run",
+            a.round
+        );
+        assert_eq!(
+            a.duration_ms, b.duration_ms,
+            "round {}'s record must be byte-identical to the checkpointed one",
+            a.round
+        );
+    }
+    // A seed mismatch is rejected rather than silently mixing campaigns.
+    let wrong_seed = CrashCampaignConfig {
+        seed: 10,
+        ..resumed_cfg
+    };
+    let err = run_crash_campaign(&app, &wrong_seed).expect_err("seed mismatch must fail");
+    assert!(err.contains("seed"), "error names the mismatch: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

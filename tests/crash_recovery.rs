@@ -75,7 +75,11 @@ fn run(bugs: FastFairBugs) -> (usize, usize, Vec<u64>) {
 #[test]
 fn bug1_crash_loses_data_a_reader_already_observed() {
     let (observed, survived, burst) = run(FastFairBugs::default());
-    assert_eq!(observed, burst.len(), "the reader saw every burst key (visible)");
+    assert_eq!(
+        observed,
+        burst.len(),
+        "the reader saw every burst key (visible)"
+    );
     assert!(
         survived < burst.len(),
         "with the bug, the crash must lose burst keys the reader observed \
@@ -85,7 +89,9 @@ fn bug1_crash_loses_data_a_reader_already_observed() {
 
 #[test]
 fn fixed_tree_survives_the_same_schedule() {
-    let (observed, survived, burst) = run(FastFairBugs { late_parent_persist: false });
+    let (observed, survived, burst) = run(FastFairBugs {
+        late_parent_persist: false,
+    });
     assert_eq!(observed, burst.len());
     assert_eq!(
         survived,

@@ -140,7 +140,10 @@ fn codec_roundtrip_preserves_analysis() {
         assert_eq!(ra.load_site_str(), rb.load_site_str());
         assert_eq!(ra.pair_count, rb.pair_count);
     }
-    assert_eq!(a.stats.pairing.candidate_pairs, b.stats.pairing.candidate_pairs);
+    assert_eq!(
+        a.stats.pairing.candidate_pairs,
+        b.stats.pairing.candidate_pairs
+    );
 }
 
 /// §5.5 end to end: an unconfigured custom primitive is invisible; the
@@ -179,7 +182,9 @@ fn sync_config_gates_custom_primitives() {
                 lock.unlock(t);
             }
         });
-        analyze(&env.finish(), &AnalysisConfig::default()).races.len()
+        analyze(&env.finish(), &AnalysisConfig::default())
+            .races
+            .len()
     };
     assert!(run(false) > 0);
     assert_eq!(run(true), 0);
@@ -204,8 +209,16 @@ fn crash_image_recovery_cycle() {
     let recovered = env2.map_pool_from_image("/mnt/pmem/e2e-crash", image);
     let t = env2.main_thread();
     assert_eq!(recovered.load_u64(&t, recovered.base()), 0xAAAA);
-    assert_eq!(recovered.load_u64(&t, recovered.base() + 8), 0, "unpersisted store lost");
-    assert_eq!(recovered.load_u64(&t, recovered.base() + 64), 0, "unfenced flush lost");
+    assert_eq!(
+        recovered.load_u64(&t, recovered.base() + 8),
+        0,
+        "unpersisted store lost"
+    );
+    assert_eq!(
+        recovered.load_u64(&t, recovered.base() + 64),
+        0,
+        "unfenced flush lost"
+    );
 }
 
 /// The analysis is deterministic: analyzing the same trace twice yields

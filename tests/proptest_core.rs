@@ -107,7 +107,11 @@ fn arb_lockset() -> impl Strategy<Value = Lockset> {
                 .into_iter()
                 .map(|(l, sh, ts)| LockEntry {
                     lock: LockId(l),
-                    mode: if sh { LockMode::Shared } else { LockMode::Exclusive },
+                    mode: if sh {
+                        LockMode::Shared
+                    } else {
+                        LockMode::Exclusive
+                    },
                     acq_ts: ts,
                 })
                 .collect(),
@@ -152,28 +156,51 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         let mut b = TraceBuilder::new();
         let s = b.intern_stack([Frame::new("prop", "prop.rs", 1)]);
         for w in 1..=workers {
-            b.push(ThreadId(0), s, EventKind::ThreadCreate { child: ThreadId(w) });
+            b.push(
+                ThreadId(0),
+                s,
+                EventKind::ThreadCreate { child: ThreadId(w) },
+            );
         }
         let mut held: Vec<Vec<u64>> = vec![Vec::new(); workers as usize + 1];
         for (i, (kind, addr, len, lock, flag)) in ops.into_iter().enumerate() {
             let tid = ThreadId(1 + (i as u32 % workers));
             let range = AddrRange::new(0x1000 + addr * 8, len);
             match kind {
-                0 => b.push(tid, s, EventKind::Store {
-                    range,
-                    non_temporal: flag,
-                    atomic: false,
-                }),
-                1 => b.push(tid, s, EventKind::Load { range, atomic: flag }),
+                0 => b.push(
+                    tid,
+                    s,
+                    EventKind::Store {
+                        range,
+                        non_temporal: flag,
+                        atomic: false,
+                    },
+                ),
+                1 => b.push(
+                    tid,
+                    s,
+                    EventKind::Load {
+                        range,
+                        atomic: flag,
+                    },
+                ),
                 2 => b.push(tid, s, EventKind::Flush { addr: range.start }),
                 3 => b.push(tid, s, EventKind::Fence),
                 4 => {
                     if !held[tid.index()].contains(&lock) {
                         held[tid.index()].push(lock);
-                        b.push(tid, s, EventKind::Acquire {
-                            lock: LockId(lock),
-                            mode: if flag { LockMode::Shared } else { LockMode::Exclusive },
-                        });
+                        b.push(
+                            tid,
+                            s,
+                            EventKind::Acquire {
+                                lock: LockId(lock),
+                                mode: if flag {
+                                    LockMode::Shared
+                                } else {
+                                    LockMode::Exclusive
+                                },
+                            },
+                        );
                     }
                 }
                 _ => {

@@ -7,11 +7,11 @@
 //! salvage a non-empty, analyzable prefix.
 
 use bytes::Bytes;
+use hawkset::core::addr::AddrRange;
 use hawkset::core::analysis::{try_analyze, AnalysisBudget, AnalysisConfig, Strictness};
 use hawkset::core::faults::{apply, truncations, Fault, FaultRng};
 use hawkset::core::trace::io;
 use hawkset::core::trace::{EventKind, Frame, LockId, LockMode, ThreadId, Trace, TraceBuilder};
-use hawkset::core::addr::AddrRange;
 use proptest::prelude::*;
 
 /// A multi-thread trace exercising every event tag: creates, lock handoff,
@@ -22,25 +22,96 @@ fn rich_trace() -> Trace {
     let y = AddrRange::new(0x2040, 16);
     let a = LockId(0xa);
     let r = LockId(0xb);
-    let st = b.intern_stack([Frame::new("writer", "app.c", 10), Frame::new("main", "app.c", 90)]);
+    let st = b.intern_stack([
+        Frame::new("writer", "app.c", 10),
+        Frame::new("main", "app.c", 90),
+    ]);
     let ld = b.intern_stack([Frame::new("reader", "app.c", 20)]);
     let nt = b.intern_stack([Frame::new("nt_writer", "app.c", 30)]);
-    b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(1) });
-    b.push(ThreadId(0), st, EventKind::ThreadCreate { child: ThreadId(2) });
-    b.push(ThreadId(0), st, EventKind::Acquire { lock: a, mode: LockMode::Exclusive });
-    b.push(ThreadId(0), st, EventKind::Store { range: x, non_temporal: false, atomic: false });
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadCreate { child: ThreadId(1) },
+    );
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadCreate { child: ThreadId(2) },
+    );
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::Acquire {
+            lock: a,
+            mode: LockMode::Exclusive,
+        },
+    );
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::Store {
+            range: x,
+            non_temporal: false,
+            atomic: false,
+        },
+    );
     b.push(ThreadId(0), st, EventKind::Release { lock: a });
-    b.push(ThreadId(1), ld, EventKind::Acquire { lock: r, mode: LockMode::Shared });
-    b.push(ThreadId(1), ld, EventKind::Load { range: x, atomic: false });
+    b.push(
+        ThreadId(1),
+        ld,
+        EventKind::Acquire {
+            lock: r,
+            mode: LockMode::Shared,
+        },
+    );
+    b.push(
+        ThreadId(1),
+        ld,
+        EventKind::Load {
+            range: x,
+            atomic: false,
+        },
+    );
     b.push(ThreadId(1), ld, EventKind::Release { lock: r });
-    b.push(ThreadId(2), nt, EventKind::Store { range: y, non_temporal: true, atomic: false });
+    b.push(
+        ThreadId(2),
+        nt,
+        EventKind::Store {
+            range: y,
+            non_temporal: true,
+            atomic: false,
+        },
+    );
     b.push(ThreadId(2), nt, EventKind::Fence);
-    b.push(ThreadId(2), nt, EventKind::Store { range: y, non_temporal: false, atomic: true });
-    b.push(ThreadId(2), nt, EventKind::Load { range: y, atomic: true });
+    b.push(
+        ThreadId(2),
+        nt,
+        EventKind::Store {
+            range: y,
+            non_temporal: false,
+            atomic: true,
+        },
+    );
+    b.push(
+        ThreadId(2),
+        nt,
+        EventKind::Load {
+            range: y,
+            atomic: true,
+        },
+    );
     b.push(ThreadId(0), st, EventKind::Flush { addr: 0x1000 });
     b.push(ThreadId(0), st, EventKind::Fence);
-    b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
-    b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(2) });
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadJoin { child: ThreadId(1) },
+    );
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadJoin { child: ThreadId(2) },
+    );
     b.finish()
 }
 
@@ -78,8 +149,11 @@ fn truncation_at_every_byte_boundary_never_panics() {
                 // full strict pipeline must accept it.
                 let report = try_analyze(&salvage.trace, &lenient_budgeted())
                     .expect("lenient analysis of a salvage cannot fail");
-                assert_eq!(report.stats.quarantine.total(), 0,
-                    "truncation salvage (cut at {cut_len}) must need no quarantine");
+                assert_eq!(
+                    report.stats.quarantine.total(),
+                    0,
+                    "truncation salvage (cut at {cut_len}) must need no quarantine"
+                );
                 if !salvage.trace.events.is_empty() {
                     salvaged_nonempty += 1;
                 }

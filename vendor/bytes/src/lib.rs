@@ -53,14 +53,21 @@ impl Bytes {
     /// Splits off and returns the first `at` bytes, advancing `self`.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
-        let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
         self.start += at;
         head
     }
 
     /// Returns a sub-view of the given range.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + range.start,
@@ -72,7 +79,11 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Self { data: Arc::new(v), start: 0, end }
+        Self {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -127,7 +138,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with at least `cap` bytes of capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { data: Vec::with_capacity(cap) }
+        Self {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Length in bytes.

@@ -36,7 +36,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id like `"function/parameter"`.
     pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
-        Self { id: format!("{function_name}/{parameter}") }
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -72,7 +74,10 @@ pub struct Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.to_string() }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
     }
 
     /// Runs a single named benchmark.

@@ -23,7 +23,9 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Self { inner: sync::Mutex::new(value) }
+        Self {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -49,7 +51,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -95,7 +99,9 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock holding `value`.
     pub const fn new(value: T) -> Self {
-        Self { inner: sync::RwLock::new(value) }
+        Self {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
@@ -130,7 +136,9 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.inner.try_read() {
             Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard { inner: p.into_inner() }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -139,9 +147,9 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         match self.inner.try_write() {
             Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => {
-                Some(RwLockWriteGuard { inner: p.into_inner() })
-            }
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }

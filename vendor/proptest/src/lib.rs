@@ -26,7 +26,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
-        Self { s: [next(), next(), next(), next()] }
+        Self {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Returns the next 64 uniformly distributed bits.
@@ -154,7 +156,9 @@ impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
 
 /// A strategy producing arbitrary values of `T`.
 pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: std::marker::PhantomData }
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 macro_rules! tuple_strategy {

@@ -446,7 +446,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn deserialize_value(v: &Value) -> Result<Self, DeError> {
-        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", v))
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", v))
     }
 }
 
@@ -529,8 +531,12 @@ impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
 
 impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
     fn deserialize_value(v: &Value) -> Result<Self, DeError> {
-        let obj = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
-        obj.iter().map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?))).collect()
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
     }
 }
 
@@ -546,8 +552,12 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
 
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn deserialize_value(v: &Value) -> Result<Self, DeError> {
-        let obj = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
-        obj.iter().map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?))).collect()
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
     }
 }
 
@@ -557,8 +567,14 @@ mod tests {
 
     #[test]
     fn primitives_roundtrip() {
-        assert_eq!(u64::deserialize_value(&42u64.serialize_value()).unwrap(), 42);
-        assert_eq!(i32::deserialize_value(&(-7i32).serialize_value()).unwrap(), -7);
+        assert_eq!(
+            u64::deserialize_value(&42u64.serialize_value()).unwrap(),
+            42
+        );
+        assert_eq!(
+            i32::deserialize_value(&(-7i32).serialize_value()).unwrap(),
+            -7
+        );
         assert_eq!(
             Option::<u32>::deserialize_value(&None::<u32>.serialize_value()).unwrap(),
             None

@@ -37,7 +37,10 @@ impl Field {
     }
 
     fn value_of(&self, key: &str) -> Option<&str> {
-        self.metas.iter().find(|m| m.key == key).and_then(|m| m.value.as_deref())
+        self.metas
+            .iter()
+            .find(|m| m.key == key)
+            .and_then(|m| m.value.as_deref())
     }
 }
 
@@ -56,8 +59,16 @@ struct Variant {
 
 #[derive(Clone, Debug)]
 enum Item {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, tag: Option<String>, rename_all: Option<String>, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        tag: Option<String>,
+        rename_all: Option<String>,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Cursor {
@@ -67,7 +78,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(stream: TokenStream) -> Self {
-        Self { tokens: stream.into_iter().collect(), pos: 0 }
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -283,7 +297,12 @@ fn parse_item(input: TokenStream) -> Item {
                 }
                 other => panic!("serde derive: expected enum body, found {other:?}"),
             };
-            Item::Enum { name, tag, rename_all, variants }
+            Item::Enum {
+                name,
+                tag,
+                rename_all,
+                variants,
+            }
         }
         other => panic!("serde derive: expected struct or enum, found `{other}`"),
     }
@@ -370,7 +389,12 @@ fn gen_serialize(item: &Item) -> String {
             }
             name
         }
-        Item::Enum { name, tag, rename_all, variants } => {
+        Item::Enum {
+            name,
+            tag,
+            rename_all,
+            variants,
+        } => {
             body.push_str("match self {\n");
             for v in variants {
                 let vname = rename(&v.name, rename_all.as_deref());
@@ -525,12 +549,19 @@ fn gen_deserialize(item: &Item) -> String {
             }
             name
         }
-        Item::Enum { name, tag, rename_all, variants } => {
+        Item::Enum {
+            name,
+            tag,
+            rename_all,
+            variants,
+        } => {
             match tag {
                 None => {
                     // Externally tagged: a bare string for unit variants, a
                     // single-key object otherwise.
-                    body.push_str("match __v {\n::serde::Value::String(__s) => match __s.as_str() {\n");
+                    body.push_str(
+                        "match __v {\n::serde::Value::String(__s) => match __s.as_str() {\n",
+                    );
                     for v in variants {
                         if matches!(v.shape, Shape::Unit) {
                             let vname = rename(&v.name, rename_all.as_deref());
@@ -658,12 +689,16 @@ fn gen_deserialize(item: &Item) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serde derive: generated Serialize impl must parse")
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
 }
 
 /// Derives `serde::Deserialize` for the subset of shapes this workspace uses.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("serde derive: generated Deserialize impl must parse")
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
 }

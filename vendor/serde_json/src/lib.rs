@@ -175,7 +175,10 @@ struct Parser<'a> {
 
 /// Parses a JSON document into a [`Value`].
 pub fn parse(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -265,7 +268,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -293,7 +301,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(m));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -369,10 +382,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                     return self.string_tail(out);
@@ -438,10 +448,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                     start = self.pos;
@@ -471,16 +478,19 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::new("invalid number"))?;
         if is_float {
-            let f: f64 =
-                text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            let f: f64 = text
+                .parse()
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))?;
             Ok(Value::Number(Number::Float(f)))
         } else if neg {
-            let i: i64 =
-                text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            let i: i64 = text
+                .parse()
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))?;
             Ok(Value::Number(Number::NegInt(i)))
         } else {
-            let u: u64 =
-                text.parse().map_err(|_| Error::new(format!("invalid number `{text}`")))?;
+            let u: u64 = text
+                .parse()
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))?;
             Ok(Value::Number(Number::PosInt(u)))
         }
     }
