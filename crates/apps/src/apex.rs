@@ -421,7 +421,7 @@ pub fn run_apex(w: &Workload, opts: &ExecOptions, cfg: ApexConfig) -> ExecResult
 mod tests {
     use super::*;
     use crate::registry::score;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh(partitions: u64) -> (PmEnv, Arc<Apex>, PmThread) {
         let env = PmEnv::new();
@@ -503,7 +503,7 @@ mod tests {
     fn detects_bugs_19_and_20() {
         let w = WorkloadSpec::paper(2000, 19).generate();
         let res = run_apex(&w, &ExecOptions::default(), ApexConfig::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &ApexApp.known_races());
         assert!(
             b.detected_ids.contains(&19),

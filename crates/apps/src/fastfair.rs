@@ -1117,7 +1117,7 @@ pub fn run_fastfair(w: &Workload, opts: &ExecOptions, bugs: FastFairBugs) -> Exe
 mod tests {
     use super::*;
     use crate::registry::{score, RaceClass};
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh(bugs: FastFairBugs) -> (PmEnv, Arc<FastFair>, PmThread) {
         let env = PmEnv::new();
@@ -1209,7 +1209,7 @@ mod tests {
     fn detects_bug1_and_bug2_with_growth_workload() {
         let w = WorkloadSpec::paper(2000, 7).generate();
         let res = run_fastfair(&w, &ExecOptions::default(), FastFairBugs::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &FastFairApp.known_races());
         assert!(
             b.detected_ids.contains(&1),
@@ -1247,7 +1247,7 @@ mod tests {
         };
 
         let buggy = run_fastfair(&w, &ExecOptions::default(), FastFairBugs::default());
-        let buggy_report = analyze(&buggy.trace, &AnalysisConfig::default());
+        let buggy_report = Analyzer::default().run(&buggy.trace);
         assert_eq!(
             find(&buggy_report.races),
             Some(true),
@@ -1261,7 +1261,7 @@ mod tests {
                 late_parent_persist: false,
             },
         );
-        let fixed_report = analyze(&fixed.trace, &AnalysisConfig::default());
+        let fixed_report = Analyzer::default().run(&fixed.trace);
         if let Some(empty) = find(&fixed_report.races) {
             assert!(
                 !empty,

@@ -282,7 +282,7 @@ pub fn run_madfs(schedules: &[Vec<FsOp>], opts: &ExecOptions) -> ExecResult {
 mod tests {
     use super::*;
     use crate::registry::{score, RaceClass};
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
     use pm_runtime::PmEnv;
 
     fn fresh() -> (PmEnv, Arc<MadFs>, PmThread) {
@@ -348,7 +348,7 @@ mod tests {
     fn all_reports_are_benign() {
         let schedules = madfs_workload(600, 4, 32, 3);
         let res = run_madfs(&schedules, &ExecOptions::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &MadFsApp.known_races());
         assert!(
             !report.races.is_empty(),

@@ -836,7 +836,7 @@ pub fn run_masstree(w: &Workload, opts: &ExecOptions, bugs: MasstreeBugs) -> Exe
 mod tests {
     use super::*;
     use crate::registry::score;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh() -> (PmEnv, Arc<Masstree>, PmThread) {
         let env = PmEnv::new();
@@ -939,7 +939,7 @@ mod tests {
     fn detects_bugs_5_6_7() {
         let w = WorkloadSpec::paper(3000, 5).generate();
         let res = run_masstree(&w, &ExecOptions::default(), MasstreeBugs::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &MasstreeApp.known_races());
         for id in [5, 6, 7] {
             assert!(

@@ -801,7 +801,7 @@ pub fn run_memcached(
 mod tests {
     use super::*;
     use crate::registry::score;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh() -> (PmEnv, Arc<Memcached>, PmThread) {
         let env = PmEnv::new();
@@ -888,7 +888,7 @@ mod tests {
             &ExecOptions::default(),
             MemcachedBugs::default(),
         );
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &MemcachedApp.known_races());
         for id in [10, 11, 12, 13, 14, 15] {
             assert!(
@@ -910,7 +910,7 @@ mod tests {
             &ExecOptions::default(),
             MemcachedBugs::default(),
         );
-        let with_irh = analyze(&res.trace, &AnalysisConfig::default());
+        let with_irh = Analyzer::default().run(&res.trace);
         let b = score(&with_irh.races, &MemcachedApp.known_races());
         assert!(
             !b.false_positives.is_empty(),

@@ -799,7 +799,7 @@ pub fn run_part(w: &Workload, opts: &ExecOptions, bugs: PartBugs) -> ExecResult 
 mod tests {
     use super::*;
     use crate::registry::score;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh() -> (PmEnv, Arc<Part>, PmThread) {
         let env = PmEnv::new();
@@ -900,7 +900,7 @@ mod tests {
     fn detects_bugs_8_and_9() {
         let w = WorkloadSpec::paper(1000, 13).generate();
         let res = run_part(&w, &ExecOptions::default(), PartBugs::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &PartApp.known_races());
         assert!(
             b.detected_ids.contains(&8),

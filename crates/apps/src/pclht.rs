@@ -622,7 +622,7 @@ pub fn run_pclht(w: &Workload, opts: &ExecOptions, bugs: PclhtBugs) -> ExecResul
 mod tests {
     use super::*;
     use crate::registry::score;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh() -> (PmEnv, Arc<Pclht>, PmThread) {
         let env = PmEnv::new();
@@ -701,7 +701,7 @@ mod tests {
     fn detects_bug4_under_growth() {
         let w = WorkloadSpec::paper(2000, 11).generate();
         let res = run_pclht(&w, &ExecOptions::default(), PclhtBugs::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &PclhtApp.known_races());
         assert!(
             b.detected_ids.contains(&4),
@@ -718,7 +718,7 @@ mod tests {
         let w = WorkloadSpec::paper(500, 3).generate();
         let with_cfg = {
             let res = run_pclht(&w, &ExecOptions::default(), PclhtBugs::default());
-            analyze(&res.trace, &AnalysisConfig::default()).races.len()
+            Analyzer::default().run(&res.trace).races.len()
         };
         let without_cfg = {
             let env = PmEnv::new(); // built-in pthread config only
@@ -735,9 +735,7 @@ mod tests {
                     ht2.run_op(t, op);
                 }
             });
-            analyze(&env.finish(), &AnalysisConfig::default())
-                .races
-                .len()
+            Analyzer::default().run(&env.finish()).races.len()
         };
         assert!(
             without_cfg >= with_cfg,

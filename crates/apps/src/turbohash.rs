@@ -451,7 +451,7 @@ pub fn run_turbohash(
 mod tests {
     use super::*;
     use crate::registry::score;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh(nbuckets: u64) -> (PmEnv, Arc<TurboHash>, PmThread) {
         let env = PmEnv::new();
@@ -532,7 +532,7 @@ mod tests {
                 }
             }
         });
-        let report = analyze(&env.finish(), &AnalysisConfig::default());
+        let report = Analyzer::default().run(&env.finish());
         let b = score(&report.races, &TurboHashApp.known_races());
         assert!(
             b.detected_ids.contains(&3),
@@ -583,7 +583,7 @@ mod tests {
                 }
             }
         });
-        let report = analyze(&env.finish(), &AnalysisConfig::default());
+        let report = Analyzer::default().run(&env.finish());
         for race in &report.races {
             let is_entry_pair = race
                 .store_site

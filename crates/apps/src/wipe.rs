@@ -551,7 +551,7 @@ pub fn run_wipe(w: &Workload, opts: &ExecOptions, bugs: WipeBugs) -> ExecResult 
 mod tests {
     use super::*;
     use crate::registry::score;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     fn fresh(partitions: u64) -> (PmEnv, Arc<Wipe>, PmThread) {
         let env = PmEnv::new();
@@ -632,7 +632,7 @@ mod tests {
     fn detects_bugs_16_17_18() {
         let w = WorkloadSpec::paper(2000, 17).generate();
         let res = run_wipe(&w, &ExecOptions::default(), WipeBugs::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let b = score(&report.races, &WipeApp.known_races());
         for id in [16, 17, 18] {
             assert!(
@@ -647,7 +647,7 @@ mod tests {
     fn expand_swap_report_carries_never_persisted_signature() {
         let w = WorkloadSpec::paper(2000, 17).generate();
         let res = run_wipe(&w, &ExecOptions::default(), WipeBugs::default());
-        let report = analyze(&res.trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&res.trace);
         let swap = report.races.iter().find(|r| {
             r.store_site
                 .as_ref()

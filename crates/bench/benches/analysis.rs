@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hawkset_bench::synthetic::{synthetic_trace, SyntheticSpec};
-use hawkset_core::analysis::{analyze, pair, AnalysisConfig};
+use hawkset_core::analysis::{AnalysisConfig, Analyzer};
 use hawkset_core::memsim::{simulate, SimConfig};
 
 fn bench_full_pipeline(c: &mut Criterion) {
@@ -13,7 +13,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
         let trace = synthetic_trace(&SyntheticSpec::medium(ops));
         g.throughput(Throughput::Elements(trace.events.len() as u64));
         g.bench_with_input(BenchmarkId::new("analyze", ops), &trace, |b, t| {
-            b.iter(|| analyze(t, &AnalysisConfig::default()))
+            b.iter(|| Analyzer::default().run(t))
         });
     }
     g.finish();
@@ -26,7 +26,7 @@ fn bench_pairing_stage(c: &mut Criterion) {
         let access = simulate(&trace, &SimConfig::default());
         g.throughput(Throughput::Elements(access.windows.len() as u64));
         g.bench_with_input(BenchmarkId::new("pair", ops), &ops, |b, _| {
-            b.iter(|| pair(&trace, &access, &AnalysisConfig::default()))
+            b.iter(|| Analyzer::default().run_pairing(&trace, &access))
         });
     }
     g.finish();
@@ -37,24 +37,20 @@ fn bench_irh_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("irh-ablation");
     g.bench_function("with-irh", |b| {
         b.iter(|| {
-            analyze(
-                &trace,
-                &AnalysisConfig {
-                    irh: true,
-                    ..Default::default()
-                },
-            )
+            Analyzer::new(AnalysisConfig {
+                irh: true,
+                ..Default::default()
+            })
+            .run(&trace)
         })
     });
     g.bench_function("without-irh", |b| {
         b.iter(|| {
-            analyze(
-                &trace,
-                &AnalysisConfig {
-                    irh: false,
-                    ..Default::default()
-                },
-            )
+            Analyzer::new(AnalysisConfig {
+                irh: false,
+                ..Default::default()
+            })
+            .run(&trace)
         })
     });
     g.finish();

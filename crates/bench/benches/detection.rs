@@ -3,7 +3,7 @@
 //! Table 3's "avg time per execution" measures).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hawkset_core::analysis::{analyze, AnalysisConfig};
+use hawkset_core::analysis::Analyzer;
 use pm_apps::{AppWorkload, Application};
 use pm_workloads::WorkloadSpec;
 
@@ -13,7 +13,7 @@ fn bench_fastfair_end_to_end(c: &mut Criterion) {
     c.bench_function("fastfair-400ops-exec+analyze", |b| {
         b.iter(|| {
             let trace = app.execute(&wl);
-            analyze(&trace, &AnalysisConfig::default())
+            Analyzer::default().run(&trace)
         })
     });
 }
@@ -23,7 +23,7 @@ fn bench_analysis_only(c: &mut Criterion) {
     let wl = AppWorkload::Ycsb(WorkloadSpec::paper(1_000, 7).generate());
     let trace = app.execute(&wl);
     c.bench_function("pclht-1k-analysis-only", |b| {
-        b.iter(|| analyze(&trace, &AnalysisConfig::default()))
+        b.iter(|| Analyzer::default().run(&trace))
     });
 }
 

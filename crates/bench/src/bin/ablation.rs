@@ -14,7 +14,7 @@
 //!   report disappears (and with it the need for this tool).
 
 use hawkset_bench::{apps, arg_u64, record_app, TextTable};
-use hawkset_core::analysis::{analyze, AnalysisConfig};
+use hawkset_core::analysis::{AnalysisConfig, Analyzer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,7 +67,13 @@ fn main() {
         let (trace, _) = record_app(app.as_ref(), ops, seed);
         let counts: Vec<String> = configs
             .iter()
-            .map(|(_, cfg)| analyze(&trace, cfg).races.len().to_string())
+            .map(|(_, cfg)| {
+                Analyzer::new(cfg.clone())
+                    .run(&trace)
+                    .races
+                    .len()
+                    .to_string()
+            })
             .collect();
         let mut row = vec![app.name().to_string()];
         row.extend(counts);

@@ -1,0 +1,117 @@
+//! Bench smoke: pairing throughput at 1 vs N worker threads on a fixed
+//! synthetic trace, for CI logs.
+//!
+//! Prints events/sec for the sequential and parallel runs plus the
+//! speedup, and verifies the two reports are identical (they must be: the
+//! sharded engine's determinism contract). Exit code is 1 if the reports
+//! diverge, or if `--min-speedup X` is given and the measured speedup
+//! falls short.
+//!
+//! ```text
+//! smoke [--threads N] [--ops N] [--min-speedup X]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hawkset_bench::synthetic::{synthetic_trace, SyntheticSpec};
+use hawkset_core::analysis::Analyzer;
+use hawkset_core::memsim::{simulate, SimConfig};
+
+fn main() -> ExitCode {
+    let mut threads = 4usize;
+    let mut ops = 30_000u64;
+    let mut min_speedup: Option<f64> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("--threads N");
+            }
+            "--ops" => {
+                i += 1;
+                ops = args[i].parse().expect("--ops N");
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = Some(args[i].parse().expect("--min-speedup X"));
+            }
+            other => {
+                eprintln!("smoke: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Pairing-heavy shape: many threads racing on many cache lines with
+    // little locking, so stage 3 dominates and has shards to spread.
+    let spec = SyntheticSpec {
+        threads: 8,
+        ops_per_thread: ops,
+        locations: 4096,
+        store_pct: 50,
+        persist_pct: 50,
+        locked_pct: 10,
+        seed: 42,
+    };
+    let trace = synthetic_trace(&spec);
+    let events = trace.events.len() as f64;
+    let access = simulate(&trace, &SimConfig::default());
+
+    let time_pairing = |n: usize| {
+        let analyzer = Analyzer::default().threads(n);
+        let started = Instant::now();
+        let report = analyzer.run_pairing(&trace, &access);
+        (started.elapsed().as_secs_f64(), report)
+    };
+    // Warm-up run so first-touch page faults don't bias the 1-thread leg.
+    let _ = time_pairing(1);
+    let (seq_secs, seq_report) = time_pairing(1);
+    let (par_secs, par_report) = time_pairing(threads);
+
+    let speedup = seq_secs / par_secs;
+    println!(
+        "smoke: {} events, {} windows, {} candidate pairs",
+        trace.events.len(),
+        access.windows.len(),
+        seq_report.stats.pairing.candidate_pairs,
+    );
+    println!(
+        "smoke: pairing 1 thread : {:>10.0} events/sec ({:.1} ms)",
+        events / seq_secs,
+        seq_secs * 1e3
+    );
+    println!(
+        "smoke: pairing {} threads: {:>10.0} events/sec ({:.1} ms)",
+        threads,
+        events / par_secs,
+        par_secs * 1e3
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("smoke: speedup {speedup:.2}x at {threads} threads ({cores} core(s) available)");
+
+    if par_report.races != seq_report.races
+        || par_report.stats.pairing != seq_report.stats.pairing
+        || par_report.coverage != seq_report.coverage
+    {
+        eprintln!("smoke: FAIL — parallel report diverges from sequential");
+        return ExitCode::from(1);
+    }
+    if let Some(min) = min_speedup {
+        // A speedup floor is only meaningful when the host can actually
+        // run the workers concurrently.
+        if cores < threads {
+            println!(
+                "smoke: skipping the {min:.2}x speedup floor — host has {cores} core(s), \
+                 {threads} requested"
+            );
+        } else if speedup < min {
+            eprintln!("smoke: FAIL — speedup {speedup:.2}x below required {min:.2}x");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use hawkset_bench::{arg_u64, TextTable};
-use hawkset_core::analysis::{analyze, AnalysisConfig};
+use hawkset_core::analysis::{AnalysisConfig, Analyzer};
 use pm_apps::fastfair::FastFairApp;
 use pm_apps::{score, AppWorkload, Application};
 use pm_workloads::WorkloadSpec;
@@ -48,7 +48,7 @@ fn main() {
         // HawkSet: single execution + analysis.
         let started = Instant::now();
         let trace = app.execute(&AppWorkload::Ycsb(wl.clone()));
-        let report = analyze(&trace, &cfg);
+        let report = Analyzer::new(cfg.clone()).run(&trace);
         hawkset_time += started.elapsed().as_secs_f64();
         let b = score(&report.races, &known);
         if b.detected_ids.contains(&1) {

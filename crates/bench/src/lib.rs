@@ -19,7 +19,7 @@ pub mod synthetic;
 
 use std::time::Instant;
 
-use hawkset_core::analysis::{analyze, AnalysisConfig, AnalysisReport};
+use hawkset_core::analysis::{AnalysisConfig, AnalysisReport, Analyzer};
 use pm_apps::{all_apps, score, Application, Breakdown};
 
 /// One application run at one workload size, analyzed.
@@ -48,7 +48,7 @@ pub fn run_app(app: &dyn Application, ops: u64, seed: u64, cfg: &AnalysisConfig)
     let trace = app.execute(&wl);
     let exec_secs = started.elapsed().as_secs_f64();
     let started = Instant::now();
-    let report = analyze(&trace, cfg);
+    let report = Analyzer::new(cfg.clone()).run(&trace);
     let analysis_secs = started.elapsed().as_secs_f64();
     let breakdown = score(&report.races, &app.known_races());
     AppRun {
@@ -84,7 +84,7 @@ pub fn analyze_for(
     trace: &hawkset_core::Trace,
     cfg: &AnalysisConfig,
 ) -> (AnalysisReport, Breakdown) {
-    let report = analyze(trace, cfg);
+    let report = Analyzer::new(cfg.clone()).run(trace);
     let breakdown = score(&report.races, &app.known_races());
     (report, breakdown)
 }

@@ -125,13 +125,13 @@ pub fn synthetic_trace(spec: &SyntheticSpec) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hawkset_core::analysis::{analyze, AnalysisConfig};
+    use hawkset_core::analysis::Analyzer;
 
     #[test]
     fn synthetic_trace_is_valid_and_analyzable() {
         let trace = synthetic_trace(&SyntheticSpec::medium(200));
         assert!(trace.validate().is_ok());
-        let report = analyze(&trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&trace);
         // Unlocked / unpersisted stores against loads must yield races.
         assert!(!report.races.is_empty());
         assert!(report.stats.pairing.candidate_pairs > 0);
@@ -149,7 +149,7 @@ mod tests {
             seed: 3,
         };
         let trace = synthetic_trace(&spec);
-        let report = analyze(&trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&trace);
         assert!(
             report.is_clean(),
             "locked + promptly-persisted stores cannot race: {:?}",

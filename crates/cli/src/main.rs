@@ -8,6 +8,7 @@
 //! ```text
 //! hawkset analyze   <trace.hwkt> [--no-irh] [--no-atomics] [--json]
 //!                                [--lenient] [--salvage] [--max-pairs N]
+//!                                [--threads N]
 //! hawkset info      <trace.hwkt>
 //! hawkset demo      <out.hwkt>
 //! hawkset crashtest <app> [--rounds N] [--crash-points N] [--resume P]
@@ -15,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use hawkset_core::analysis::{try_analyze, AnalysisConfig, Strictness};
+use hawkset_core::analysis::{AnalysisConfig, Analyzer, Strictness};
 use hawkset_core::trace::io;
 use hawkset_core::{HawkSetError, Trace};
 
@@ -69,6 +70,8 @@ ANALYZE OPTIONS:
     --max-pairs N   stop pairing after N candidate pairs (report marked
                     truncated; races found in budget are still reported)
     --max-events N  analyze only the first N events of the trace
+    --threads N     worker threads for the parallel pairing stage
+                    (default: all cores; reports are identical for any N)
 
 CRASHTEST OPTIONS:
     --rounds N            campaign rounds (default 4)
@@ -81,6 +84,8 @@ CRASHTEST OPTIONS:
     --checkpoint PATH     write campaign state to PATH after every round
     --resume PATH         load PATH and re-run only unfinished rounds
                           (implies --checkpoint PATH)
+    --threads N           worker threads for each round's race analysis
+                          (default: all cores)
     --json                emit the machine-readable campaign record
 
 EXIT STATUS:
@@ -168,6 +173,15 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            flag if flag == "--threads" || flag.starts_with("--threads=") => {
+                match flag_value(args, &mut i, "--threads") {
+                    Ok(v) => cfg.threads = v as usize,
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("hawkset analyze: unknown flag {flag}");
                 return ExitCode::from(2);
@@ -192,7 +206,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match try_analyze(&trace, &cfg) {
+    let report = match Analyzer::new(cfg).try_run(&trace) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("hawkset: {path}: {e} (use --lenient to quarantine and continue)");
@@ -418,6 +432,12 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
             flag if flag == "--max-retries" || flag.starts_with("--max-retries=") => {
                 match numeric(args, &mut i, "--max-retries") {
                     Ok(v) => cfg.max_retries = v as u32,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--threads" || flag.starts_with("--threads=") => {
+                match numeric(args, &mut i, "--threads") {
+                    Ok(v) => cfg.analysis_threads = v as usize,
                     Err(e) => return crashtest_usage_err(&e),
                 }
             }

@@ -74,8 +74,9 @@ fn analyze_json_is_machine_readable() {
     assert_eq!(out.status.code(), Some(1));
     let parsed: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
-    assert_eq!(parsed.as_array().map(Vec::len), Some(1));
-    assert_eq!(parsed[0]["store_site"]["line"], 12);
+    assert_eq!(parsed["schema_version"], 1u64);
+    assert_eq!(parsed["races"].as_array().map(Vec::len), Some(1));
+    assert_eq!(parsed["races"][0]["store_site"]["line"], 12);
 }
 
 #[test]
@@ -235,10 +236,10 @@ fn lenient_mode_quarantines_and_still_reports_the_race() {
         .args(["analyze", "--json", "--lenient", path.to_str().unwrap()])
         .output()
         .expect("spawn");
-    let clean_races: serde_json::Value = serde_json::from_slice(&clean_out.stdout).unwrap();
-    let ill_races: serde_json::Value = serde_json::from_slice(&ill_out.stdout).unwrap();
+    let clean_report: serde_json::Value = serde_json::from_slice(&clean_out.stdout).unwrap();
+    let ill_report: serde_json::Value = serde_json::from_slice(&ill_out.stdout).unwrap();
     assert_eq!(
-        clean_races, ill_races,
+        clean_report["races"], ill_report["races"],
         "quarantine must not change the race report"
     );
 }

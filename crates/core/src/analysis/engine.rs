@@ -1,0 +1,653 @@
+//! Sharded parallel pairing engine (stage 3, Algorithm 1).
+//!
+//! The pairing loop is partitioned by *address*: every store-window group
+//! is assigned to one of [`PAIR_SHARDS`] shards keyed by a hash of the
+//! window's starting cache line, and the per-shard loops run concurrently
+//! on [`std::thread::scope`] workers (claimed from an atomic cursor, see
+//! [`crate::parallel`]). Loads are not partitioned — every shard reads the
+//! same immutable word → load-group index — so a window group is paired
+//! against exactly the candidates the sequential loop would have seen, in
+//! the same order.
+//!
+//! Determinism contract: the report is **bit-identical for every worker
+//! count**, including truncation. Three mechanisms carry that contract:
+//!
+//! 1. the shard count is fixed ([`PAIR_SHARDS`]), independent of the
+//!    worker count — threads only decide *who* executes a shard, never
+//!    *what* a shard contains;
+//! 2. [`AnalysisBudget::max_candidate_pairs`] is pre-split into per-shard
+//!    slices proportional to each shard's window-group count (remainder to
+//!    the lowest-index non-empty shards), so a budget trips at the same
+//!    point in the same shard no matter the schedule;
+//! 3. the merge is order-independent: per-`SiteKey` accumulators combine
+//!    by witness *rank* (the global group order the sequential loop used),
+//!    pair counts add, flags OR, and the final sort re-establishes the
+//!    report order.
+//!
+//! The deadline budget is the one exception — wall-clock truncation cannot
+//! be deterministic — and is propagated through a shared stop flag.
+//!
+//! [`AnalysisBudget::max_candidate_pairs`]: super::AnalysisBudget::max_candidate_pairs
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::addr::line_of;
+use crate::lockset::{LockEntry, Lockset};
+use crate::memsim::{AccessSet, CloseReason, LsId, SimStats};
+use crate::trace::TraceView;
+use crate::vclock::ClockOrder;
+
+use super::{
+    AnalysisConfig, AnalysisReport, BudgetExceeded, Coverage, PairingStats, PipelineStats,
+    QuarantineStats, Race, RaceKey,
+};
+
+/// Fixed shard count. Not tunable: the shard a window lands in is part of
+/// the (deterministic) budget-splitting semantics, so it must not vary
+/// with the machine.
+pub(crate) const PAIR_SHARDS: usize = 64;
+
+/// Below this many window groups the fan-out overhead dominates; the
+/// automatic thread default then runs the shards on one worker. The
+/// output is identical either way.
+const PARALLEL_GROUPS: usize = 128;
+
+/// Shard assignment: Fibonacci-hash the window's starting cache line.
+fn shard_of(line: u64) -> usize {
+    ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % PAIR_SHARDS
+}
+
+/// Equivalence-class key of a store window for §4-style grouping:
+/// `(start, len, tid, reserved, store-clock, effective-lockset, close-clock,
+/// stack, close/atomic/nt bits)`.
+type WinKey = (u64, u32, u32, u32, u32, u32, u32, u32, u8);
+
+/// Equivalence-class key of a load: `(start, len, tid, lockset, clock,
+/// stack, atomic)`.
+type LoadKey = (u64, u32, u32, u32, u32, u32, bool);
+
+/// Report-deduplication key: the pair of *sites* (functions containing the
+/// store and the load), falling back to exact-backtrace identity when site
+/// information is missing.
+#[derive(PartialEq, Eq, Hash)]
+enum SiteKey {
+    Functions(String, String),
+    Stacks(u32, u32),
+}
+
+/// A race plus the rank of its first witness: `(window-group index,
+/// load-group index)` in the global order the sequential loop examines
+/// pairs. The merge keeps the minimum — i.e. exactly the witness the
+/// sequential loop's `or_insert_with` would have kept.
+struct RaceAcc {
+    rank: (u32, u32),
+    race: Race,
+}
+
+impl RaceAcc {
+    /// Combines two shards' accumulators for the same site pair: witness
+    /// fields from the lower rank, pair counts added, sticky flags ORed.
+    fn absorb(&mut self, other: RaceAcc) {
+        let (keep, add) = if other.rank < self.rank {
+            let prev = std::mem::replace(self, other);
+            (self, prev)
+        } else {
+            (&mut *self, other)
+        };
+        keep.race.pair_count += add.race.pair_count;
+        keep.race.store_never_persisted |= add.race.store_never_persisted;
+        keep.race.effective_lockset_empty |= add.race.effective_lockset_empty;
+    }
+}
+
+/// Everything a shard's pairing loop produces.
+#[derive(Default)]
+struct ShardOutput {
+    races: HashMap<SiteKey, RaceAcc>,
+    candidate_pairs: u64,
+    hb_pruned: u64,
+    lockset_protected: u64,
+    racy_pairs: u64,
+    hb_memo_hits: u64,
+    lockset_memo_hits: u64,
+    groups_examined: u64,
+    truncated: Option<BudgetExceeded>,
+}
+
+/// Read-only context shared by every shard worker.
+struct PairingCtx<'a> {
+    view: TraceView<'a>,
+    access: &'a AccessSet,
+    cfg: &'a AnalysisConfig,
+    /// Raw lockset id → normalized (timestamp-stripped) id.
+    norm_of_raw: &'a [u32],
+    /// Normalized id → lockset value.
+    norm_sets: &'a [Lockset],
+    /// (representative load index, population) per load group.
+    load_groups: &'a [(u32, u64)],
+    /// (representative window index, population) per window group.
+    window_groups: &'a [(u32, u64)],
+    /// 8-byte word → load-group indices touching it.
+    by_word: &'a HashMap<u64, Vec<u32>>,
+    deadline: Option<std::time::Instant>,
+    stop: &'a AtomicBool,
+}
+
+impl PairingCtx<'_> {
+    fn norm(&self, raw: LsId) -> u32 {
+        self.norm_of_raw[raw.id() as usize]
+    }
+
+    /// The sequential inner loop of Algorithm 1 over one shard's window
+    /// groups (`plan`, in global group order), with a per-shard candidate-
+    /// pair budget `slice`.
+    fn run_shard(&self, plan: &[u32], slice: Option<u64>) -> ShardOutput {
+        let mut out = ShardOutput::default();
+        // Memo tables are per-shard: shards share no mutable state, and a
+        // shard's windows cluster on the same lines (hence the same clock
+        // and lockset ids), which is where memoization pays.
+        let mut hb_memo: HashMap<(u32, u32, u32), bool> = HashMap::new();
+        let mut protected_memo: HashMap<(u32, u32), bool> = HashMap::new();
+        let mut candidates: Vec<u32> = Vec::new();
+
+        for &win_gi in plan {
+            if let Some(max) = slice {
+                if out.candidate_pairs >= max {
+                    out.truncated = Some(BudgetExceeded::CandidatePairs);
+                    break;
+                }
+            }
+            if let Some(at) = self.deadline {
+                if self.stop.load(Ordering::Relaxed) || std::time::Instant::now() >= at {
+                    self.stop.store(true, Ordering::Relaxed);
+                    out.truncated = Some(BudgetExceeded::Deadline);
+                    break;
+                }
+            }
+            out.groups_examined += 1;
+            let (wi, wcount) = self.window_groups[win_gi as usize];
+            let win = &self.access.windows[wi as usize];
+
+            candidates.clear();
+            for w in win.range.words() {
+                if let Some(loads) = self.by_word.get(&w) {
+                    candidates.extend_from_slice(loads);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            for &gi in &candidates {
+                let (li, lcount) = self.load_groups[gi as usize];
+                let ld = &self.access.loads[li as usize];
+                // Algorithm 1 line 16: same-thread pairs cannot race.
+                if ld.tid == win.tid {
+                    continue;
+                }
+                // Line 15 (refined): byte-level overlap, not just word
+                // sharing.
+                if !ld.range.overlaps(&win.range) {
+                    continue;
+                }
+                let pairs = wcount * lcount;
+                out.candidate_pairs += pairs;
+
+                // Line 17: inter-thread happens-before filter over the
+                // window [store_vc, close_vc]. The pair is impossible if
+                // the load happened-before the store became visible, or
+                // the value was guaranteed persisted (or gone) before the
+                // load could run. (Disabled by the Figure 3 ablation.)
+                let close_raw = win.close_vc.map(|c| c.id()).unwrap_or(u32::MAX);
+                let key = (win.store_vc.id(), close_raw, ld.vc.id());
+                let ordered = self.cfg.use_hb
+                    && match hb_memo.get(&key) {
+                        Some(&v) => {
+                            out.hb_memo_hits += 1;
+                            v
+                        }
+                        None => {
+                            let store_vc = self.access.vclocks.get(win.store_vc);
+                            let load_vc = self.access.vclocks.get(ld.vc);
+                            let load_before_store = matches!(
+                                load_vc.compare(store_vc),
+                                ClockOrder::Before | ClockOrder::Equal
+                            );
+                            let closed_before_load = match win.close_vc {
+                                Some(cvc) => matches!(
+                                    self.access.vclocks.get(cvc).compare(load_vc),
+                                    ClockOrder::Before | ClockOrder::Equal
+                                ),
+                                // Never persisted: the window is unbounded.
+                                None => false,
+                            };
+                            let v = load_before_store || closed_before_load;
+                            hb_memo.insert(key, v);
+                            v
+                        }
+                    };
+                if ordered {
+                    out.hb_pruned += pairs;
+                    continue;
+                }
+
+                // Line 18: effective lockset ∩ load lockset (normalized
+                // ids).
+                let lkey = (self.norm(win.effective_ls), self.norm(ld.ls));
+                let protected = match protected_memo.get(&lkey) {
+                    Some(&v) => {
+                        out.lockset_memo_hits += 1;
+                        v
+                    }
+                    None => {
+                        let v = self.norm_sets[lkey.0 as usize]
+                            .protects_against(&self.norm_sets[lkey.1 as usize]);
+                        protected_memo.insert(lkey, v);
+                        v
+                    }
+                };
+                if protected {
+                    out.lockset_protected += pairs;
+                    continue;
+                }
+
+                // Line 19: report, deduplicated by site pair.
+                out.racy_pairs += pairs;
+                let store_site = self.view.stacks.site(win.stack);
+                let load_site = self.view.stacks.site(ld.stack);
+                let key = match (store_site, load_site) {
+                    (Some(s), Some(l)) => {
+                        SiteKey::Functions(s.function.clone(), l.function.clone())
+                    }
+                    _ => SiteKey::Stacks(win.stack, ld.stack),
+                };
+                let acc = out.races.entry(key).or_insert_with(|| RaceAcc {
+                    rank: (win_gi, gi),
+                    race: Race {
+                        key: RaceKey {
+                            store_stack: win.stack,
+                            load_stack: ld.stack,
+                        },
+                        store_site: store_site.cloned(),
+                        load_site: load_site.cloned(),
+                        store_tid: win.tid,
+                        load_tid: ld.tid,
+                        example_range: win.range.intersection(&ld.range).unwrap_or(win.range),
+                        pair_count: 0,
+                        store_atomic: win.atomic,
+                        load_atomic: ld.atomic,
+                        store_non_temporal: win.non_temporal,
+                        store_never_persisted: false,
+                        effective_lockset_empty: false,
+                        store_store: false,
+                    },
+                });
+                let race = &mut acc.race;
+                race.pair_count += pairs;
+                if win.close == CloseReason::NeverPersisted {
+                    race.store_never_persisted = true;
+                }
+                if self.access.locksets.get(win.effective_ls).is_empty() {
+                    race.effective_lockset_empty = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits `max_candidate_pairs` into per-shard slices proportional to each
+/// shard's window-group count, remainder to the lowest-index non-empty
+/// shards. `None` (no budget) stays `None` everywhere.
+fn budget_slices(max: Option<u64>, plan: &[Vec<u32>]) -> Vec<Option<u64>> {
+    let Some(max) = max else {
+        return vec![None; plan.len()];
+    };
+    let total: u64 = plan.iter().map(|p| p.len() as u64).sum();
+    if total == 0 {
+        return vec![Some(max); plan.len()];
+    }
+    let mut slices: Vec<u64> = plan
+        .iter()
+        .map(|p| ((max as u128 * p.len() as u128) / total as u128) as u64)
+        .collect();
+    let mut remainder = max - slices.iter().sum::<u64>();
+    for (i, p) in plan.iter().enumerate() {
+        if remainder == 0 {
+            break;
+        }
+        if !p.is_empty() {
+            slices[i] += 1;
+            remainder -= 1;
+        }
+    }
+    slices.into_iter().map(Some).collect()
+}
+
+/// Stage 3 entry point: the sharded, deterministic pairing of store
+/// windows with loads, merged back into a single [`AnalysisReport`].
+pub(crate) fn run_pairing(
+    view: TraceView<'_>,
+    access: &AccessSet,
+    cfg: &AnalysisConfig,
+) -> AnalysisReport {
+    let mut stats = PairingStats::default();
+    let mut coverage = Coverage::default();
+
+    // The inter-thread lockset intersection ignores acquisition timestamps
+    // (§3.1.2: they are "only meaningful in the thread-local context"), so
+    // locksets are first *normalized* — timestamps stripped and the result
+    // re-interned. Without this, every critical section carries a distinct
+    // lockset id and the grouping below cannot collapse locked accesses.
+    let mut norm_of_raw: Vec<u32> = Vec::with_capacity(access.locksets.len());
+    let mut norm_sets: Vec<Lockset> = Vec::new();
+    {
+        let mut index: HashMap<Lockset, u32> = HashMap::new();
+        for (_, ls) in access.locksets.iter() {
+            let stripped = Lockset::from_entries(
+                ls.iter()
+                    .map(|e| LockEntry {
+                        lock: e.lock,
+                        mode: e.mode,
+                        acq_ts: 0,
+                    })
+                    .collect(),
+            );
+            let id = *index.entry(stripped.clone()).or_insert_with(|| {
+                norm_sets.push(stripped);
+                (norm_sets.len() - 1) as u32
+            });
+            norm_of_raw.push(id);
+        }
+    }
+
+    // §4: "we group PM accesses by thread id and address" — accesses with
+    // identical (range, thread, lockset, vector clock, backtrace) are
+    // interchangeable for Algorithm 1 (every check reads only those
+    // fields), so each equivalence class is paired once and its population
+    // multiplies the pair counts. On zipfian workloads this collapses the
+    // hot keys' millions of accesses into a handful of groups.
+    let mut load_groups: Vec<(u32, u64)> = Vec::new(); // (repr index, count)
+    {
+        let mut index: HashMap<LoadKey, u32> = HashMap::new();
+        for (i, ld) in access.loads.iter().enumerate() {
+            if !ld.live() || (!cfg.include_atomics && ld.atomic) {
+                continue;
+            }
+            stats.live_loads += 1;
+            let key = (
+                ld.range.start,
+                ld.range.len,
+                ld.tid.0,
+                norm_of_raw[ld.ls.id() as usize],
+                ld.vc.id(),
+                ld.stack,
+                ld.atomic,
+            );
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    load_groups[*e.get() as usize].1 += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(load_groups.len() as u32);
+                    load_groups.push((i as u32, 1));
+                }
+            }
+        }
+    }
+    let mut window_groups: Vec<(u32, u64)> = Vec::new();
+    {
+        let mut index: HashMap<WinKey, u32> = HashMap::new();
+        for (i, w) in access.windows.iter().enumerate() {
+            if !w.live() || (!cfg.include_atomics && w.atomic) {
+                continue;
+            }
+            stats.live_windows += 1;
+            let close_bits = match w.close {
+                CloseReason::Persisted => 0u8,
+                CloseReason::Overwritten => 1,
+                CloseReason::NeverPersisted => 2,
+            } | (u8::from(w.atomic) << 2)
+                | (u8::from(w.non_temporal) << 3);
+            // The raw store lockset is irrelevant to pairing (only the
+            // effective lockset is consulted), so it is not in the key.
+            let key = (
+                w.range.start,
+                w.range.len,
+                w.tid.0,
+                0,
+                w.store_vc.id(),
+                norm_of_raw[w.effective_ls.id() as usize],
+                w.close_vc.map(|c| c.id()).unwrap_or(u32::MAX),
+                w.stack,
+                close_bits,
+            );
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    window_groups[*e.get() as usize].1 += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(window_groups.len() as u32);
+                    window_groups.push((i as u32, 1));
+                }
+            }
+        }
+    }
+
+    // Index load groups by 8-byte word. Shared read-only by every shard:
+    // loads are replicated logically, not physically.
+    let mut by_word: HashMap<u64, Vec<u32>> = HashMap::new();
+    for (gi, &(li, _)) in load_groups.iter().enumerate() {
+        for w in access.loads[li as usize].range.words() {
+            by_word.entry(w).or_default().push(gi as u32);
+        }
+    }
+
+    // Under eADR (§2.1) every store is durable the instant it is visible:
+    // the visible-but-not-durable window Definition 1 requires has zero
+    // length, so no persistency-induced race can exist and pairing is
+    // skipped wholesale.
+    let window_groups_live: &[(u32, u64)] = if cfg.eadr { &[] } else { &window_groups };
+    coverage.window_groups_total = window_groups_live.len() as u64;
+
+    // Shard plan: each window group has exactly one home shard, chosen by
+    // its starting cache line, listed in global group order.
+    let mut plan: Vec<Vec<u32>> = Vec::new();
+    plan.resize_with(PAIR_SHARDS, Vec::new);
+    for (gi, &(wi, _)) in window_groups_live.iter().enumerate() {
+        let line = line_of(access.windows[wi as usize].range.start);
+        plan[shard_of(line)].push(gi as u32);
+    }
+    let slices = budget_slices(cfg.budget.max_candidate_pairs, &plan);
+    let deadline = cfg.budget.deadline.map(|d| std::time::Instant::now() + d);
+    let stop = AtomicBool::new(false);
+    let ctx = PairingCtx {
+        view,
+        access,
+        cfg,
+        norm_of_raw: &norm_of_raw,
+        norm_sets: &norm_sets,
+        load_groups: &load_groups,
+        window_groups: &window_groups,
+        by_word: &by_word,
+        deadline,
+        stop: &stop,
+    };
+    // An explicit thread request is honored as-is; under the automatic
+    // default, small inputs stay on one worker because the fan-out
+    // overhead dominates. The output is identical either way.
+    let workers = if cfg.threads == 0 && window_groups_live.len() < PARALLEL_GROUPS {
+        1
+    } else {
+        crate::parallel::effective_threads(cfg.threads)
+    };
+    let outputs =
+        crate::parallel::map_indexed(PAIR_SHARDS, workers, |s| ctx.run_shard(&plan[s], slices[s]));
+
+    // Deterministic merge, in shard-index order. Every combining operation
+    // is commutative and associative (sum, OR, min-rank), so the result is
+    // independent of which worker produced which shard when.
+    let mut merged: HashMap<SiteKey, RaceAcc> = HashMap::new();
+    let mut reason: Option<BudgetExceeded> = None;
+    for out in outputs {
+        stats.candidate_pairs += out.candidate_pairs;
+        stats.hb_pruned += out.hb_pruned;
+        stats.lockset_protected += out.lockset_protected;
+        stats.racy_pairs += out.racy_pairs;
+        stats.hb_memo_hits += out.hb_memo_hits;
+        stats.lockset_memo_hits += out.lockset_memo_hits;
+        coverage.window_groups_examined += out.groups_examined;
+        if reason.is_none() {
+            reason = out.truncated;
+        }
+        for (key, acc) in out.races {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(acc),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(acc);
+                }
+            }
+        }
+    }
+    coverage.truncated = reason.is_some();
+    coverage.reason = reason;
+
+    // Optional store/store pass — the §3.1.1 ablation. HawkSet's default
+    // skips it: two stores lack the load-side-effect dependency that makes
+    // a persistency-induced race harmful, and pairing them explodes the
+    // report count on lock-free designs. Kept sequential: it is off by
+    // default and quadratic grouping, not wall-clock, is its cost.
+    if cfg.check_store_store && !cfg.eadr && !coverage.truncated {
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut by_word_stores: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (gi, &(wi, _)) in window_groups.iter().enumerate() {
+            for word in access.windows[wi as usize].range.words() {
+                by_word_stores.entry(word).or_default().push(gi as u32);
+            }
+        }
+        for (g1, &(i1, c1)) in window_groups.iter().enumerate() {
+            let w1 = &access.windows[i1 as usize];
+            candidates.clear();
+            for word in w1.range.words() {
+                if let Some(v) = by_word_stores.get(&word) {
+                    candidates.extend_from_slice(v);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for &g2 in &candidates {
+                if (g2 as usize) <= g1 {
+                    continue; // each unordered pair once
+                }
+                let (i2, c2) = window_groups[g2 as usize];
+                let w2 = &access.windows[i2 as usize];
+                if w2.tid == w1.tid || !w2.range.overlaps(&w1.range) {
+                    continue;
+                }
+                if cfg.use_hb {
+                    // Windows must overlap in the happens-before order.
+                    let w1_closed_before_w2 = match w1.close_vc {
+                        Some(c) => access
+                            .vclocks
+                            .get(c)
+                            .happens_before(access.vclocks.get(w2.store_vc)),
+                        None => false,
+                    };
+                    let w2_closed_before_w1 = match w2.close_vc {
+                        Some(c) => access
+                            .vclocks
+                            .get(c)
+                            .happens_before(access.vclocks.get(w1.store_vc)),
+                        None => false,
+                    };
+                    if w1_closed_before_w2 || w2_closed_before_w1 {
+                        continue;
+                    }
+                }
+                let eff1 = &norm_sets[norm_of_raw[w1.effective_ls.id() as usize] as usize];
+                let eff2 = &norm_sets[norm_of_raw[w2.effective_ls.id() as usize] as usize];
+                if eff1.protects_against(eff2) {
+                    continue;
+                }
+                let s1 = view.stacks.site(w1.stack);
+                let s2 = view.stacks.site(w2.stack);
+                let key = match (s1, s2) {
+                    (Some(a), Some(b)) => {
+                        SiteKey::Functions(format!("ss:{}", a.function), b.function.clone())
+                    }
+                    _ => SiteKey::Stacks(w1.stack ^ 0x8000_0000, w2.stack),
+                };
+                let acc = merged.entry(key).or_insert_with(|| RaceAcc {
+                    rank: (u32::MAX, u32::MAX),
+                    race: Race {
+                        key: RaceKey {
+                            store_stack: w1.stack,
+                            load_stack: w2.stack,
+                        },
+                        store_site: s1.cloned(),
+                        load_site: s2.cloned(),
+                        store_tid: w1.tid,
+                        load_tid: w2.tid,
+                        example_range: w1.range.intersection(&w2.range).unwrap_or(w1.range),
+                        pair_count: 0,
+                        store_atomic: w1.atomic,
+                        load_atomic: w2.atomic,
+                        store_non_temporal: w1.non_temporal,
+                        store_never_persisted: false,
+                        effective_lockset_empty: false,
+                        store_store: true,
+                    },
+                });
+                acc.race.pair_count += c1 * c2;
+            }
+        }
+    }
+
+    let mut races: Vec<Race> = merged.into_values().map(|acc| acc.race).collect();
+    races.sort_by(|a, b| {
+        b.pair_count
+            .cmp(&a.pair_count)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    stats.distinct_races = races.len() as u64;
+
+    AnalysisReport {
+        races,
+        stats: PipelineStats {
+            sim: SimStats::default(),
+            pairing: stats,
+            quarantine: QuarantineStats::default(),
+            duration: Default::default(),
+        },
+        coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for line in [0u64, 1, 63, 64, 0x40, 0x80, u64::MAX / 64] {
+            let s = shard_of(line);
+            assert!(s < PAIR_SHARDS);
+            assert_eq!(s, shard_of(line), "assignment must be pure");
+        }
+    }
+
+    #[test]
+    fn budget_slices_sum_to_max_and_respect_emptiness() {
+        let mut plan: Vec<Vec<u32>> = vec![Vec::new(); 8];
+        plan[1] = vec![0, 1, 2];
+        plan[4] = vec![3];
+        plan[6] = vec![4, 5];
+        let slices = budget_slices(Some(10), &plan);
+        let total: u64 = slices.iter().map(|s| s.unwrap()).sum();
+        assert_eq!(total, 10, "slices partition the budget exactly");
+        assert!(slices[1].unwrap() >= 5); // proportionality: 3/6 of 10
+        assert_eq!(slices[0], Some(0), "empty shards get nothing");
+        let unbounded = budget_slices(None, &plan);
+        assert!(unbounded.iter().all(|s| s.is_none()));
+    }
+}

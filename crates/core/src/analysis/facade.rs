@@ -1,0 +1,203 @@
+//! The library's front door: [`Analyzer`] owns an [`AnalysisConfig`] and
+//! runs the full pipeline (simulation → IRH → sharded pairing) or its
+//! pairing stage alone. It replaces the `analyze` / `try_analyze` / `pair`
+//! free functions, which survive as thin deprecated wrappers.
+
+use crate::error::HawkSetError;
+use crate::memsim::{simulate_view, AccessSet, SimConfig};
+use crate::trace::{Trace, TraceView};
+
+use super::{engine, quarantine, AnalysisConfig, AnalysisReport, BudgetExceeded, Strictness};
+
+/// Configured analysis pipeline.
+///
+/// ```
+/// use hawkset_core::analysis::{AnalysisConfig, Analyzer};
+/// use hawkset_core::trace::TraceBuilder;
+///
+/// let analyzer = Analyzer::new(AnalysisConfig::default()).threads(2);
+/// let report = analyzer.run(&TraceBuilder::new().finish());
+/// assert!(report.is_clean());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    cfg: AnalysisConfig,
+}
+
+impl Analyzer {
+    /// An analyzer over an explicit configuration. See also
+    /// [`AnalysisConfig::builder`].
+    pub fn new(cfg: AnalysisConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Sets the worker-thread count for the parallel stages (`0` = use
+    /// [`std::thread::available_parallelism`]). Reports are bit-identical
+    /// for every value; this knob trades wall-clock for cores only.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// The configuration this analyzer runs with.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// Runs the full pipeline on a trace assumed well-formed
+    /// (builder-produced or validated). For traces of unknown provenance
+    /// use [`Analyzer::try_run`], which honors
+    /// [`AnalysisConfig::strictness`].
+    pub fn run(&self, trace: &Trace) -> AnalysisReport {
+        let started = std::time::Instant::now();
+        let events_total = trace.events.len() as u64;
+        // max_events caps the trace through a borrowed sub-slice view — no
+        // clone of the event vector, which on capped multi-gigabyte traces
+        // used to be the single largest allocation of the run.
+        let view = match self.cfg.budget.max_events {
+            Some(max) if events_total > max => TraceView::prefix(trace, max as usize),
+            _ => TraceView::full(trace),
+        };
+        let events_analyzed = view.events.len() as u64;
+        let access = simulate_view(
+            view,
+            &SimConfig {
+                irh: self.cfg.irh,
+                eadr: self.cfg.eadr,
+                threads: self.cfg.threads,
+            },
+        );
+        let mut report = engine::run_pairing(view, &access, &self.cfg);
+        report.stats.sim = access.stats.clone();
+        report.coverage.events_analyzed = events_analyzed;
+        report.coverage.events_total = events_total;
+        if events_analyzed < events_total {
+            report.coverage.truncated = true;
+            report.coverage.reason = Some(BudgetExceeded::Events);
+        }
+        report.stats.duration = started.elapsed();
+        report
+    }
+
+    /// Runs the pipeline with up-front strictness handling.
+    ///
+    /// Under [`Strictness::Strict`] an ill-formed trace is rejected with a
+    /// typed [`HawkSetError::Validate`]. Under [`Strictness::Lenient`] the
+    /// ill-formed events are [quarantined](quarantine) — counted per
+    /// category in [`PipelineStats::quarantine`] — and the remaining
+    /// well-formed majority is analyzed normally.
+    ///
+    /// [`PipelineStats::quarantine`]: super::PipelineStats::quarantine
+    pub fn try_run(&self, trace: &Trace) -> Result<AnalysisReport, HawkSetError> {
+        match self.cfg.strictness {
+            Strictness::Strict => {
+                trace.validate()?;
+                Ok(self.run(trace))
+            }
+            Strictness::Lenient => {
+                let (kept, stats) = quarantine(trace);
+                let mut report = self.run(&kept);
+                report.stats.quarantine = stats;
+                Ok(report)
+            }
+        }
+    }
+
+    /// Runs stage 3 (the sharded pairing) alone over a precomputed
+    /// [`AccessSet`] — the benchmarking entry point. The report carries
+    /// pairing stats and coverage only; simulation stats, event coverage
+    /// and duration stay at their defaults.
+    pub fn run_pairing(&self, trace: &Trace, access: &AccessSet) -> AnalysisReport {
+        engine::run_pairing(TraceView::full(trace), access, &self.cfg)
+    }
+}
+
+/// Builder for [`AnalysisConfig`]; `AnalysisConfig::builder().build()`
+/// equals `AnalysisConfig::default()`.
+///
+/// ```
+/// use hawkset_core::analysis::{AnalysisBudget, AnalysisConfig, Strictness};
+///
+/// let cfg = AnalysisConfig::builder()
+///     .irh(false)
+///     .strictness(Strictness::Lenient)
+///     .budget(AnalysisBudget {
+///         max_candidate_pairs: Some(1_000_000),
+///         ..Default::default()
+///     })
+///     .threads(4)
+///     .build();
+/// assert!(!cfg.irh);
+/// assert_eq!(cfg.threads, 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisConfigBuilder {
+    cfg: AnalysisConfig,
+}
+
+impl AnalysisConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder::default()
+    }
+}
+
+impl AnalysisConfigBuilder {
+    /// See [`AnalysisConfig::irh`].
+    pub fn irh(mut self, on: bool) -> Self {
+        self.cfg.irh = on;
+        self
+    }
+
+    /// See [`AnalysisConfig::include_atomics`].
+    pub fn include_atomics(mut self, on: bool) -> Self {
+        self.cfg.include_atomics = on;
+        self
+    }
+
+    /// See [`AnalysisConfig::eadr`].
+    pub fn eadr(mut self, on: bool) -> Self {
+        self.cfg.eadr = on;
+        self
+    }
+
+    /// See [`AnalysisConfig::use_hb`].
+    pub fn use_hb(mut self, on: bool) -> Self {
+        self.cfg.use_hb = on;
+        self
+    }
+
+    /// See [`AnalysisConfig::check_store_store`].
+    pub fn check_store_store(mut self, on: bool) -> Self {
+        self.cfg.check_store_store = on;
+        self
+    }
+
+    /// See [`AnalysisConfig::strictness`].
+    pub fn strictness(mut self, s: Strictness) -> Self {
+        self.cfg.strictness = s;
+        self
+    }
+
+    /// See [`AnalysisConfig::budget`].
+    pub fn budget(mut self, b: super::AnalysisBudget) -> Self {
+        self.cfg.budget = b;
+        self
+    }
+
+    /// See [`AnalysisConfig::threads`].
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> AnalysisConfig {
+        self.cfg
+    }
+
+    /// Finalizes straight into an [`Analyzer`].
+    pub fn build_analyzer(self) -> Analyzer {
+        Analyzer::new(self.cfg)
+    }
+}

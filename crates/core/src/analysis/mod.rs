@@ -9,18 +9,26 @@
 //! The implementation follows §4 rather than the didactic pseudocode:
 //! accesses are grouped by address word, lockset/vector-clock checks are
 //! memoized on interned ids, and reports are deduplicated by the (store
-//! backtrace, load backtrace) pair.
+//! backtrace, load backtrace) pair. The pairing loop itself is sharded by
+//! address and runs on multiple worker threads ([`engine`] internals,
+//! [`AnalysisConfig::threads`] knob) with bit-identical output for every
+//! worker count.
+//!
+//! The public entry point is the [`Analyzer`] facade; the `analyze` /
+//! `try_analyze` / `pair` free functions are deprecated thin wrappers
+//! around it.
 
+mod engine;
+mod facade;
 pub mod report;
 
 use std::collections::HashMap;
 
 use crate::error::HawkSetError;
-use crate::lockset::{LockEntry, Lockset};
-use crate::memsim::{simulate, AccessSet, CloseReason, SimConfig, SimStats};
+use crate::memsim::{AccessSet, SimStats};
 use crate::trace::{Event, EventKind, LockId, ThreadId, Trace};
-use crate::vclock::ClockOrder;
 
+pub use facade::{AnalysisConfigBuilder, Analyzer};
 pub use report::{AnalysisReport, Race, RaceKey};
 
 /// How [`try_analyze`] treats an ill-formed trace.
@@ -48,7 +56,8 @@ pub struct AnalysisBudget {
 }
 
 /// Which budget stopped a truncated run first.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum BudgetExceeded {
     /// [`AnalysisBudget::max_events`].
     Events,
@@ -69,7 +78,7 @@ impl core::fmt::Display for BudgetExceeded {
 }
 
 /// How much of the trace a (possibly budget-truncated) run covered.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Coverage {
     /// True when a budget stopped the run before full coverage.
     pub truncated: bool,
@@ -86,7 +95,7 @@ pub struct Coverage {
 }
 
 /// Per-category counters of events dropped by the lenient-mode quarantine.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct QuarantineStats {
     /// Releases of locks no thread held.
     pub dangling_release: u64,
@@ -147,6 +156,10 @@ pub struct AnalysisConfig {
     pub strictness: Strictness,
     /// Resource budget; exceeding it truncates the run (see [`Coverage`]).
     pub budget: AnalysisBudget,
+    /// Worker threads for the parallel stages (`0` = use
+    /// [`std::thread::available_parallelism`]). Reports are bit-identical
+    /// for every value — see [`Analyzer::threads`].
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -159,12 +172,13 @@ impl Default for AnalysisConfig {
             check_store_store: false,
             strictness: Strictness::Strict,
             budget: AnalysisBudget::default(),
+            threads: 0,
         }
     }
 }
 
 /// Pairing-stage counters, for the §5.3 cost study and the ablation bench.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PairingStats {
     /// Store windows considered (IRH survivors).
     pub live_windows: u64,
@@ -201,67 +215,15 @@ pub struct PipelineStats {
 }
 
 /// Runs the full HawkSet pipeline on a trace.
-///
-/// This is the library's front door: instrumentation produces a [`Trace`],
-/// `analyze` returns the persistency-induced races. The trace is assumed
-/// well-formed (builder-produced or validated); for traces of unknown
-/// provenance use [`try_analyze`], which honors
-/// [`AnalysisConfig::strictness`].
+#[deprecated(since = "0.2.0", note = "use `Analyzer::run` instead")]
 pub fn analyze(trace: &Trace, cfg: &AnalysisConfig) -> AnalysisReport {
-    let started = std::time::Instant::now();
-    let events_total = trace.events.len() as u64;
-    let capped;
-    let (trace_run, events_analyzed) = match cfg.budget.max_events {
-        Some(max) if events_total > max => {
-            capped = Trace {
-                events: trace.events[..max as usize].to_vec(),
-                stacks: trace.stacks.clone(),
-                regions: trace.regions.clone(),
-                thread_count: trace.thread_count,
-            };
-            (&capped, max)
-        }
-        _ => (trace, events_total),
-    };
-    let access = simulate(
-        trace_run,
-        &SimConfig {
-            irh: cfg.irh,
-            eadr: cfg.eadr,
-        },
-    );
-    let mut report = pair(trace_run, &access, cfg);
-    report.stats.sim = access.stats.clone();
-    report.coverage.events_analyzed = events_analyzed;
-    report.coverage.events_total = events_total;
-    if events_analyzed < events_total {
-        report.coverage.truncated = true;
-        report.coverage.reason = Some(BudgetExceeded::Events);
-    }
-    report.stats.duration = started.elapsed();
-    report
+    Analyzer::new(cfg.clone()).run(trace)
 }
 
 /// Runs the pipeline with up-front strictness handling.
-///
-/// Under [`Strictness::Strict`] an ill-formed trace is rejected with a
-/// typed [`HawkSetError::Validate`]. Under [`Strictness::Lenient`] the
-/// ill-formed events are [quarantined](quarantine) — counted per category
-/// in [`PipelineStats::quarantine`] — and the remaining well-formed
-/// majority is analyzed normally.
+#[deprecated(since = "0.2.0", note = "use `Analyzer::try_run` instead")]
 pub fn try_analyze(trace: &Trace, cfg: &AnalysisConfig) -> Result<AnalysisReport, HawkSetError> {
-    match cfg.strictness {
-        Strictness::Strict => {
-            trace.validate()?;
-            Ok(analyze(trace, cfg))
-        }
-        Strictness::Lenient => {
-            let (kept, stats) = quarantine(trace);
-            let mut report = analyze(&kept, cfg);
-            report.stats.quarantine = stats;
-            Ok(report)
-        }
-    }
+    Analyzer::new(cfg.clone()).try_run(trace)
 }
 
 /// Largest access size the quarantine accepts. Real PM accesses are at most
@@ -342,400 +304,10 @@ pub fn quarantine(trace: &Trace) -> (Trace, QuarantineStats) {
     (kept, stats)
 }
 
-/// Equivalence-class key of a store window for §4-style grouping:
-/// `(start, len, tid, reserved, store-clock, effective-lockset, close-clock,
-/// stack, close/atomic/nt bits)`.
-type WinKey = (u64, u32, u32, u32, u32, u32, u32, u32, u8);
-
-/// Equivalence-class key of a load: `(start, len, tid, lockset, clock,
-/// stack, atomic)`.
-type LoadKey = (u64, u32, u32, u32, u32, u32, bool);
-
 /// Stage 3: pair store windows with loads (optimized Algorithm 1).
-///
-/// Honors [`AnalysisBudget::max_candidate_pairs`] and
-/// [`AnalysisBudget::deadline`] (the deadline clock starts when `pair` is
-/// entered); a budgeted stop keeps every race found so far and marks the
-/// report's [`Coverage`] as truncated.
+#[deprecated(since = "0.2.0", note = "use `Analyzer::run_pairing` instead")]
 pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> AnalysisReport {
-    let mut stats = PairingStats::default();
-    let mut coverage = Coverage::default();
-    let deadline = cfg.budget.deadline.map(|d| std::time::Instant::now() + d);
-    let over_budget = |candidate_pairs: u64| -> Option<BudgetExceeded> {
-        if let Some(max) = cfg.budget.max_candidate_pairs {
-            if candidate_pairs >= max {
-                return Some(BudgetExceeded::CandidatePairs);
-            }
-        }
-        if let Some(at) = deadline {
-            if std::time::Instant::now() >= at {
-                return Some(BudgetExceeded::Deadline);
-            }
-        }
-        None
-    };
-
-    // The inter-thread lockset intersection ignores acquisition timestamps
-    // (§3.1.2: they are "only meaningful in the thread-local context"), so
-    // locksets are first *normalized* — timestamps stripped and the result
-    // re-interned. Without this, every critical section carries a distinct
-    // lockset id and the grouping below cannot collapse locked accesses.
-    let mut norm_of_raw: Vec<u32> = Vec::with_capacity(access.locksets.len());
-    let mut norm_sets: Vec<Lockset> = Vec::new();
-    {
-        let mut index: HashMap<Lockset, u32> = HashMap::new();
-        for (_, ls) in access.locksets.iter() {
-            let stripped = Lockset::from_entries(
-                ls.iter()
-                    .map(|e| LockEntry {
-                        lock: e.lock,
-                        mode: e.mode,
-                        acq_ts: 0,
-                    })
-                    .collect(),
-            );
-            let id = *index.entry(stripped.clone()).or_insert_with(|| {
-                norm_sets.push(stripped);
-                (norm_sets.len() - 1) as u32
-            });
-            norm_of_raw.push(id);
-        }
-    }
-    let norm = |raw: crate::memsim::LsId| norm_of_raw[raw.id() as usize];
-
-    // §4: "we group PM accesses by thread id and address" — accesses with
-    // identical (range, thread, lockset, vector clock, backtrace) are
-    // interchangeable for Algorithm 1 (every check reads only those
-    // fields), so each equivalence class is paired once and its population
-    // multiplies the pair counts. On zipfian workloads this collapses the
-    // hot keys' millions of accesses into a handful of groups.
-    let mut load_groups: Vec<(u32, u64)> = Vec::new(); // (repr index, count)
-    {
-        let mut index: HashMap<LoadKey, u32> = HashMap::new();
-        for (i, ld) in access.loads.iter().enumerate() {
-            if !ld.live() || (!cfg.include_atomics && ld.atomic) {
-                continue;
-            }
-            stats.live_loads += 1;
-            let key = (
-                ld.range.start,
-                ld.range.len,
-                ld.tid.0,
-                norm(ld.ls),
-                ld.vc.id(),
-                ld.stack,
-                ld.atomic,
-            );
-            match index.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    load_groups[*e.get() as usize].1 += 1;
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(load_groups.len() as u32);
-                    load_groups.push((i as u32, 1));
-                }
-            }
-        }
-    }
-    let mut window_groups: Vec<(u32, u64)> = Vec::new();
-    {
-        let mut index: HashMap<WinKey, u32> = HashMap::new();
-        for (i, w) in access.windows.iter().enumerate() {
-            if !w.live() || (!cfg.include_atomics && w.atomic) {
-                continue;
-            }
-            stats.live_windows += 1;
-            let close_bits = match w.close {
-                crate::memsim::CloseReason::Persisted => 0u8,
-                crate::memsim::CloseReason::Overwritten => 1,
-                crate::memsim::CloseReason::NeverPersisted => 2,
-            } | (u8::from(w.atomic) << 2)
-                | (u8::from(w.non_temporal) << 3);
-            // The raw store lockset is irrelevant to pairing (only the
-            // effective lockset is consulted), so it is not in the key.
-            let key = (
-                w.range.start,
-                w.range.len,
-                w.tid.0,
-                0,
-                w.store_vc.id(),
-                norm(w.effective_ls),
-                w.close_vc.map(|c| c.id()).unwrap_or(u32::MAX),
-                w.stack,
-                close_bits,
-            );
-            match index.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    window_groups[*e.get() as usize].1 += 1;
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(window_groups.len() as u32);
-                    window_groups.push((i as u32, 1));
-                }
-            }
-        }
-    }
-
-    // Index load groups by 8-byte word.
-    let mut by_word: HashMap<u64, Vec<u32>> = HashMap::new();
-    for (gi, &(li, _)) in load_groups.iter().enumerate() {
-        for w in access.loads[li as usize].range.words() {
-            by_word.entry(w).or_default().push(gi as u32);
-        }
-    }
-
-    // Memo tables keyed on interned ids (§4: "direct comparison").
-    let mut protected_memo: HashMap<(u32, u32), bool> = HashMap::new();
-    let mut hb_memo: HashMap<(u32, u32, u32), bool> = HashMap::new();
-
-    // Reports are deduplicated at the granularity of Table 2: the pair of
-    // *sites* (the functions containing the store and the load). Backtraces
-    // of the first witness are kept for rendering. Stacks without site
-    // information fall back to exact-backtrace identity.
-    #[derive(PartialEq, Eq, Hash)]
-    enum SiteKey {
-        Functions(String, String),
-        Stacks(u32, u32),
-    }
-    let mut races: HashMap<SiteKey, Race> = HashMap::new();
-    let mut candidates: Vec<u32> = Vec::new();
-
-    // Under eADR (§2.1) every store is durable the instant it is visible:
-    // the visible-but-not-durable window Definition 1 requires has zero
-    // length, so no persistency-induced race can exist and pairing is
-    // skipped wholesale.
-    let window_groups_live: &[(u32, u64)] = if cfg.eadr { &[] } else { &window_groups };
-    coverage.window_groups_total = window_groups_live.len() as u64;
-
-    for &(wi, wcount) in window_groups_live {
-        if let Some(reason) = over_budget(stats.candidate_pairs) {
-            coverage.truncated = true;
-            coverage.reason = Some(reason);
-            break;
-        }
-        coverage.window_groups_examined += 1;
-        let win = &access.windows[wi as usize];
-
-        candidates.clear();
-        for w in win.range.words() {
-            if let Some(loads) = by_word.get(&w) {
-                candidates.extend_from_slice(loads);
-            }
-        }
-        candidates.sort_unstable();
-        candidates.dedup();
-
-        for &gi in &candidates {
-            let (li, lcount) = load_groups[gi as usize];
-            let ld = &access.loads[li as usize];
-            // Algorithm 1 line 16: same-thread pairs cannot race.
-            if ld.tid == win.tid {
-                continue;
-            }
-            // Line 15 (refined): byte-level overlap, not just word sharing.
-            if !ld.range.overlaps(&win.range) {
-                continue;
-            }
-            let pairs = wcount * lcount;
-            stats.candidate_pairs += pairs;
-
-            // Line 17: inter-thread happens-before filter over the window
-            // [store_vc, close_vc]. The pair is impossible if the load
-            // happened-before the store became visible, or the value was
-            // guaranteed persisted (or gone) before the load could run.
-            // (Disabled by the Figure 3 ablation, `use_hb = false`.)
-            let close_raw = win.close_vc.map(|c| c.id()).unwrap_or(u32::MAX);
-            let key = (win.store_vc.id(), close_raw, ld.vc.id());
-            let ordered = cfg.use_hb
-                && match hb_memo.get(&key) {
-                    Some(&v) => {
-                        stats.hb_memo_hits += 1;
-                        v
-                    }
-                    None => {
-                        let store_vc = access.vclocks.get(win.store_vc);
-                        let load_vc = access.vclocks.get(ld.vc);
-                        let load_before_store = matches!(
-                            load_vc.compare(store_vc),
-                            ClockOrder::Before | ClockOrder::Equal
-                        );
-                        let closed_before_load = match win.close_vc {
-                            Some(cvc) => matches!(
-                                access.vclocks.get(cvc).compare(load_vc),
-                                ClockOrder::Before | ClockOrder::Equal
-                            ),
-                            // Never persisted: the window is unbounded.
-                            None => false,
-                        };
-                        let v = load_before_store || closed_before_load;
-                        hb_memo.insert(key, v);
-                        v
-                    }
-                };
-            if ordered {
-                stats.hb_pruned += pairs;
-                continue;
-            }
-
-            // Line 18: effective lockset ∩ load lockset (normalized ids).
-            let lkey = (norm(win.effective_ls), norm(ld.ls));
-            let protected = match protected_memo.get(&lkey) {
-                Some(&v) => {
-                    stats.lockset_memo_hits += 1;
-                    v
-                }
-                None => {
-                    let v =
-                        norm_sets[lkey.0 as usize].protects_against(&norm_sets[lkey.1 as usize]);
-                    protected_memo.insert(lkey, v);
-                    v
-                }
-            };
-            if protected {
-                stats.lockset_protected += pairs;
-                continue;
-            }
-
-            // Line 19: report, deduplicated by site pair.
-            stats.racy_pairs += pairs;
-            let store_site = trace.stacks.site(win.stack);
-            let load_site = trace.stacks.site(ld.stack);
-            let key = match (store_site, load_site) {
-                (Some(s), Some(l)) => SiteKey::Functions(s.function.clone(), l.function.clone()),
-                _ => SiteKey::Stacks(win.stack, ld.stack),
-            };
-            let race = races.entry(key).or_insert_with(|| Race {
-                key: RaceKey {
-                    store_stack: win.stack,
-                    load_stack: ld.stack,
-                },
-                store_site: trace.stacks.site(win.stack).cloned(),
-                load_site: trace.stacks.site(ld.stack).cloned(),
-                store_tid: win.tid,
-                load_tid: ld.tid,
-                example_range: win.range.intersection(&ld.range).unwrap_or(win.range),
-                pair_count: 0,
-                store_atomic: win.atomic,
-                load_atomic: ld.atomic,
-                store_non_temporal: win.non_temporal,
-                store_never_persisted: false,
-                effective_lockset_empty: false,
-                store_store: false,
-            });
-            race.pair_count += pairs;
-            if win.close == CloseReason::NeverPersisted {
-                race.store_never_persisted = true;
-            }
-            if access.locksets.get(win.effective_ls).is_empty() {
-                race.effective_lockset_empty = true;
-            }
-        }
-    }
-
-    // Optional store/store pass — the §3.1.1 ablation. HawkSet's default
-    // skips it: two stores lack the load-side-effect dependency that makes
-    // a persistency-induced race harmful, and pairing them explodes the
-    // report count on lock-free designs.
-    if cfg.check_store_store && !cfg.eadr && !coverage.truncated {
-        let mut by_word_stores: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (gi, &(wi, _)) in window_groups.iter().enumerate() {
-            for word in access.windows[wi as usize].range.words() {
-                by_word_stores.entry(word).or_default().push(gi as u32);
-            }
-        }
-        for (g1, &(i1, c1)) in window_groups.iter().enumerate() {
-            let w1 = &access.windows[i1 as usize];
-            candidates.clear();
-            for word in w1.range.words() {
-                if let Some(v) = by_word_stores.get(&word) {
-                    candidates.extend_from_slice(v);
-                }
-            }
-            candidates.sort_unstable();
-            candidates.dedup();
-            for &g2 in &candidates {
-                if (g2 as usize) <= g1 {
-                    continue; // each unordered pair once
-                }
-                let (i2, c2) = window_groups[g2 as usize];
-                let w2 = &access.windows[i2 as usize];
-                if w2.tid == w1.tid || !w2.range.overlaps(&w1.range) {
-                    continue;
-                }
-                if cfg.use_hb {
-                    // Windows must overlap in the happens-before order.
-                    let w1_closed_before_w2 = match w1.close_vc {
-                        Some(c) => access
-                            .vclocks
-                            .get(c)
-                            .happens_before(access.vclocks.get(w2.store_vc)),
-                        None => false,
-                    };
-                    let w2_closed_before_w1 = match w2.close_vc {
-                        Some(c) => access
-                            .vclocks
-                            .get(c)
-                            .happens_before(access.vclocks.get(w1.store_vc)),
-                        None => false,
-                    };
-                    if w1_closed_before_w2 || w2_closed_before_w1 {
-                        continue;
-                    }
-                }
-                let eff1 = &norm_sets[norm(w1.effective_ls) as usize];
-                let eff2 = &norm_sets[norm(w2.effective_ls) as usize];
-                if eff1.protects_against(eff2) {
-                    continue;
-                }
-                let s1 = trace.stacks.site(w1.stack);
-                let s2 = trace.stacks.site(w2.stack);
-                let key = match (s1, s2) {
-                    (Some(a), Some(b)) => {
-                        SiteKey::Functions(format!("ss:{}", a.function), b.function.clone())
-                    }
-                    _ => SiteKey::Stacks(w1.stack ^ 0x8000_0000, w2.stack),
-                };
-                let race = races.entry(key).or_insert_with(|| Race {
-                    key: RaceKey {
-                        store_stack: w1.stack,
-                        load_stack: w2.stack,
-                    },
-                    store_site: s1.cloned(),
-                    load_site: s2.cloned(),
-                    store_tid: w1.tid,
-                    load_tid: w2.tid,
-                    example_range: w1.range.intersection(&w2.range).unwrap_or(w1.range),
-                    pair_count: 0,
-                    store_atomic: w1.atomic,
-                    load_atomic: w2.atomic,
-                    store_non_temporal: w1.non_temporal,
-                    store_never_persisted: false,
-                    effective_lockset_empty: false,
-                    store_store: true,
-                });
-                race.pair_count += c1 * c2;
-            }
-        }
-    }
-
-    let mut races: Vec<Race> = races.into_values().collect();
-    races.sort_by(|a, b| {
-        b.pair_count
-            .cmp(&a.pair_count)
-            .then_with(|| a.key.cmp(&b.key))
-    });
-    stats.distinct_races = races.len() as u64;
-
-    AnalysisReport {
-        races,
-        stats: PipelineStats {
-            sim: SimStats::default(),
-            pairing: stats,
-            quarantine: QuarantineStats::default(),
-            duration: Default::default(),
-        },
-        coverage,
-    }
+    Analyzer::new(cfg.clone()).run_pairing(trace, access)
 }
 
 #[cfg(test)]
@@ -743,6 +315,32 @@ mod tests {
     use super::*;
     use crate::addr::AddrRange;
     use crate::trace::{EventKind, Frame, LockId, LockMode, ThreadId, TraceBuilder};
+
+    /// Local shadows of the deprecated free functions, expressed through
+    /// the facade — the tests below exercise pipeline semantics, not the
+    /// wrappers.
+    fn analyze(trace: &Trace, cfg: &AnalysisConfig) -> AnalysisReport {
+        Analyzer::new(cfg.clone()).run(trace)
+    }
+
+    fn try_analyze(trace: &Trace, cfg: &AnalysisConfig) -> Result<AnalysisReport, HawkSetError> {
+        Analyzer::new(cfg.clone()).try_run(trace)
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_facade() {
+        let trace = fig1c();
+        let cfg = AnalysisConfig::default();
+        let via_facade = Analyzer::new(cfg.clone()).run(&trace);
+        let via_wrapper = super::analyze(&trace, &cfg);
+        assert_eq!(via_wrapper.races, via_facade.races);
+        let via_try = super::try_analyze(&trace, &cfg).unwrap();
+        assert_eq!(via_try.races, via_facade.races);
+        let access = crate::memsim::simulate(&trace, &crate::memsim::SimConfig::default());
+        let via_pair = super::pair(&trace, &access, &cfg);
+        assert_eq!(via_pair.races, via_facade.races);
+    }
 
     /// The Figure-1c trace used throughout: store under lock A, persist
     /// outside it, concurrent load under lock A.

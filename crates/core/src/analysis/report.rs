@@ -22,7 +22,7 @@ pub struct RaceKey {
 }
 
 /// One reported persistency-induced race.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Race {
     /// Deduplication key (stack ids, resolvable via the trace).
     pub key: RaceKey,
@@ -109,6 +109,11 @@ impl Race {
     }
 }
 
+/// Version of the JSON shape [`AnalysisReport::to_json`] emits. Bump on
+/// any rename, removal, or retyping of a serialized field; additions are
+/// backward-compatible and do not bump it.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// The result of analyzing one trace.
 #[derive(Debug, Default)]
 pub struct AnalysisReport {
@@ -194,9 +199,45 @@ impl AnalysisReport {
         out
     }
 
-    /// Serializes the races to JSON (the CLI's machine-readable output).
+    /// Serializes the full report to the versioned JSON schema (the CLI's
+    /// machine-readable output).
+    ///
+    /// Shape (schema version [`SCHEMA_VERSION`], field names stable, see
+    /// DESIGN.md §"Report schema"):
+    ///
+    /// ```json
+    /// {
+    ///   "schema_version": 1,
+    ///   "races": [ { "key": ..., "store_site": ..., ... } ],
+    ///   "coverage": { "truncated": ..., "reason": ..., ... },
+    ///   "stats": { "sim": {...}, "pairing": {...},
+    ///              "quarantine": {...}, "duration_ms": ... }
+    /// }
+    /// ```
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.races).expect("race serialization cannot fail")
+        use serde::{Map, Number, Value};
+        let to_value =
+            |v: &dyn serde::Serialize| serde_json::to_value(v).expect("serialization cannot fail");
+        let mut stats = Map::new();
+        stats.insert("sim", to_value(&self.stats.sim));
+        stats.insert("pairing", to_value(&self.stats.pairing));
+        stats.insert("quarantine", to_value(&self.stats.quarantine));
+        // Duration carried as a float of milliseconds: `std::time::Duration`
+        // has no stable serialized form.
+        stats.insert(
+            "duration_ms",
+            Value::Number(Number::Float(self.stats.duration.as_secs_f64() * 1e3)),
+        );
+        let mut root = Map::new();
+        root.insert(
+            "schema_version",
+            Value::Number(Number::PosInt(SCHEMA_VERSION)),
+        );
+        root.insert("races", to_value(&self.races));
+        root.insert("coverage", to_value(&self.coverage));
+        root.insert("stats", Value::Object(stats));
+        serde_json::to_string_pretty(&Value::Object(root))
+            .expect("report serialization cannot fail")
     }
 
     /// True when no race was found.
@@ -242,14 +283,16 @@ mod tests {
     fn json_roundtrip() {
         let race = sample_race();
         let report = AnalysisReport {
-            races: vec![race],
+            races: vec![race.clone()],
             stats: PipelineStats::default(),
             coverage: Coverage::default(),
         };
         let json = report.to_json();
-        let back: Vec<Race> = serde_json::from_str(&json).unwrap();
+        let value: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["schema_version"], SCHEMA_VERSION);
+        let back: Vec<Race> = serde_json::from_value(value["races"].clone()).unwrap();
         assert_eq!(back.len(), 1);
-        assert_eq!(back[0].pair_count, 3);
+        assert_eq!(back[0], race);
         assert_eq!(back[0].store_site.as_ref().unwrap().line, 560);
     }
 
@@ -257,6 +300,86 @@ mod tests {
     fn clean_report() {
         let report = AnalysisReport::default();
         assert!(report.is_clean());
-        assert!(report.to_json().contains("[]"));
+        let value: serde::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(value["races"], serde::Value::Array(vec![]));
+    }
+
+    /// Pins the serialized shape of schema version 1. A failure here means
+    /// a breaking schema change: bump [`SCHEMA_VERSION`] and document the
+    /// migration in DESIGN.md instead of editing the expectations.
+    #[test]
+    fn schema_v1_shape_is_pinned() {
+        let report = AnalysisReport {
+            races: vec![sample_race()],
+            stats: PipelineStats::default(),
+            coverage: Coverage {
+                truncated: true,
+                reason: Some(super::super::BudgetExceeded::CandidatePairs),
+                ..Default::default()
+            },
+        };
+        let value: serde::Value = serde_json::from_str(&report.to_json()).unwrap();
+
+        let keys = |v: &serde::Value| -> Vec<String> {
+            match v {
+                serde::Value::Object(m) => m.iter().map(|(k, _)| k.clone()).collect(),
+                other => panic!("expected object, got {other:?}"),
+            }
+        };
+        assert_eq!(
+            keys(&value),
+            ["schema_version", "races", "coverage", "stats"]
+        );
+        assert_eq!(value["schema_version"], 1u64);
+        assert_eq!(
+            keys(&value["coverage"]),
+            [
+                "truncated",
+                "reason",
+                "events_analyzed",
+                "events_total",
+                "window_groups_examined",
+                "window_groups_total"
+            ]
+        );
+        assert_eq!(value["coverage"]["reason"], "candidate_pairs");
+        assert_eq!(
+            keys(&value["stats"]),
+            ["sim", "pairing", "quarantine", "duration_ms"]
+        );
+        assert_eq!(
+            keys(&value["stats"]["pairing"]),
+            [
+                "live_windows",
+                "live_loads",
+                "candidate_pairs",
+                "hb_pruned",
+                "lockset_protected",
+                "racy_pairs",
+                "distinct_races",
+                "hb_memo_hits",
+                "lockset_memo_hits"
+            ]
+        );
+        assert_eq!(
+            keys(&value["races"][0]),
+            [
+                "key",
+                "store_site",
+                "load_site",
+                "store_tid",
+                "load_tid",
+                "example_range",
+                "pair_count",
+                "store_atomic",
+                "load_atomic",
+                "store_non_temporal",
+                "store_never_persisted",
+                "effective_lockset_empty",
+                "store_store"
+            ]
+        );
+        assert!(keys(&value["stats"]["sim"]).contains(&"events".to_string()));
+        assert!(keys(&value["stats"]["quarantine"]).contains(&"dangling_release".to_string()));
     }
 }

@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use hawkset_core::addr::AddrRange;
-//! use hawkset_core::analysis::{analyze, AnalysisConfig};
+//! use hawkset_core::analysis::{AnalysisConfig, Analyzer};
 //! use hawkset_core::trace::{EventKind, Frame, LockId, LockMode, ThreadId, TraceBuilder};
 //!
 //! // Figure 1c of the paper: store under lock A, persist outside the
@@ -45,7 +45,7 @@
 //! b.push(ThreadId(0), st, EventKind::Fence); //                 outside the lock
 //! b.push(ThreadId(0), st, EventKind::ThreadJoin { child: ThreadId(1) });
 //!
-//! let report = analyze(&b.finish(), &AnalysisConfig::default());
+//! let report = Analyzer::new(AnalysisConfig::default()).run(&b.finish());
 //! assert_eq!(report.races.len(), 1, "the Figure 1c race must be detected");
 //! ```
 
@@ -57,11 +57,14 @@ pub mod intern;
 pub mod irh;
 pub mod lockset;
 pub mod memsim;
+pub mod parallel;
 pub mod stats;
 pub mod sync_config;
 pub mod trace;
 pub mod vclock;
 
-pub use analysis::{analyze, try_analyze, AnalysisConfig, AnalysisReport, Race, Strictness};
+#[allow(deprecated)]
+pub use analysis::{analyze, try_analyze};
+pub use analysis::{AnalysisConfig, AnalysisReport, Analyzer, Race, Strictness};
 pub use error::{HawkSetError, ResourceError};
 pub use trace::{Trace, TraceBuilder};

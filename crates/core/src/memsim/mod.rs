@@ -26,14 +26,14 @@ use crate::addr::{line_of, AddrRange, LineId};
 use crate::intern::Interner;
 use crate::irh::PublicationTracker;
 use crate::lockset::{LockEntry, Lockset};
-use crate::trace::{EventKind, StackId, ThreadId, Trace};
+use crate::trace::{EventKind, LockId, LockMode, StackId, ThreadId, Trace, TraceView};
 use crate::vclock::VectorClock;
 
 pub use window::{CloseReason, LoadAccess, LsId, StoreWindow, VcId};
 
 /// Counters describing one simulation run, reported alongside the analysis
 /// (§5.3 cost study and the sharing ratios of §4).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SimStats {
     /// Total events replayed.
     pub events: u64,
@@ -89,8 +89,6 @@ pub struct AccessSet {
 struct ThreadState {
     lockset: Lockset,
     ls_id: LsId,
-    /// Thread-local logical clock: bumped on every lock acquisition.
-    logical_clock: u64,
     vc: VectorClock,
     vc_id: VcId,
     /// Set after create/join boundaries; the next PM operation ticks the
@@ -127,6 +125,12 @@ pub struct SimConfig {
     /// paper's argument for why software must not *assume* eADR is that
     /// this convenient world is not the one most deployments run in.
     pub eadr: bool,
+    /// Worker threads for the per-thread lockset precompute (`0` = use
+    /// [`std::thread::available_parallelism`]). The simulation output is
+    /// bit-identical for every value: parallelism only covers the
+    /// embarrassingly-parallel per-thread lock replay, and the main replay
+    /// loop consumes (and interns) its results in trace order.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -134,17 +138,89 @@ impl Default for SimConfig {
         Self {
             irh: true,
             eadr: false,
+            threads: 0,
         }
     }
 }
 
+/// One acquire/release as seen by the per-thread lockset replay.
+enum LockOp {
+    Acquire { lock: LockId, mode: LockMode },
+    Release { lock: LockId },
+}
+
+/// Fewer total lock operations than this and worker spawn overhead
+/// outweighs the replay work; fall back to one (inline) worker.
+const PARALLEL_LOCK_OPS: usize = 4096;
+
+/// Computes, for every thread, the lockset value after each of its lock
+/// events, in program order. Pure per-thread work — fanned out with
+/// [`crate::parallel::map_indexed`] when the trace is big enough.
+fn lockset_timelines(view: TraceView<'_>, threads: usize) -> Vec<Vec<Lockset>> {
+    let mut per_thread: Vec<Vec<LockOp>> = Vec::new();
+    let mut total = 0usize;
+    for ev in view.events {
+        let op = match &ev.kind {
+            EventKind::Acquire { lock, mode } => LockOp::Acquire {
+                lock: *lock,
+                mode: *mode,
+            },
+            EventKind::Release { lock } => LockOp::Release { lock: *lock },
+            _ => continue,
+        };
+        let ti = ev.tid.index();
+        if per_thread.len() <= ti {
+            per_thread.resize_with(ti + 1, Vec::new);
+        }
+        per_thread[ti].push(op);
+        total += 1;
+    }
+    let workers = if total < PARALLEL_LOCK_OPS {
+        1
+    } else {
+        crate::parallel::effective_threads(threads)
+    };
+    crate::parallel::map_indexed(per_thread.len(), workers, |i| replay_locks(&per_thread[i]))
+}
+
+/// Sequential lock replay for one thread: each acquisition bumps the
+/// thread-local logical clock that stamps [`LockEntry::acq_ts`].
+fn replay_locks(ops: &[LockOp]) -> Vec<Lockset> {
+    let mut ls = Lockset::empty();
+    let mut clock = 0u64;
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            LockOp::Acquire { lock, mode } => {
+                clock += 1;
+                ls = ls.with(LockEntry {
+                    lock: *lock,
+                    mode: *mode,
+                    acq_ts: clock,
+                });
+            }
+            LockOp::Release { lock } => ls = ls.without(*lock),
+        }
+        out.push(ls.clone());
+    }
+    out
+}
+
 /// Runs the worst-case persistence simulation over a trace.
 pub fn simulate(trace: &Trace, cfg: &SimConfig) -> AccessSet {
-    Simulator::new(trace, cfg.clone()).run()
+    simulate_view(TraceView::full(trace), cfg)
+}
+
+/// Runs the simulation over a borrowed [`TraceView`] — the zero-copy entry
+/// point used when [`AnalysisBudget::max_events`] caps the trace.
+///
+/// [`AnalysisBudget::max_events`]: crate::analysis::AnalysisBudget::max_events
+pub fn simulate_view(view: TraceView<'_>, cfg: &SimConfig) -> AccessSet {
+    Simulator::new(view, cfg.clone()).run()
 }
 
 struct Simulator<'t> {
-    trace: &'t Trace,
+    trace: TraceView<'t>,
     cfg: SimConfig,
     threads: Vec<ThreadState>,
     /// Open store pieces, indexed by cache line.
@@ -160,7 +236,7 @@ struct Simulator<'t> {
 }
 
 impl<'t> Simulator<'t> {
-    fn new(trace: &'t Trace, cfg: SimConfig) -> Self {
+    fn new(trace: TraceView<'t>, cfg: SimConfig) -> Self {
         let mut locksets = Interner::new();
         let mut vclocks = Interner::new();
         let empty_ls = locksets.intern(Lockset::empty());
@@ -169,7 +245,6 @@ impl<'t> Simulator<'t> {
             .map(|_| ThreadState {
                 lockset: Lockset::empty(),
                 ls_id: empty_ls,
-                logical_clock: 0,
                 vc: VectorClock::new(),
                 vc_id: zero_vc,
                 needs_tick: true,
@@ -191,8 +266,18 @@ impl<'t> Simulator<'t> {
     }
 
     fn run(mut self) -> AccessSet {
+        // Per-thread lock replay is independent of everything else in the
+        // trace (acquire/release only mutate the issuing thread's lockset;
+        // a cross-thread handoff release is a no-op `without` on the
+        // releaser's own set), so the lockset after every lock event can be
+        // computed ahead of time, one worker per thread. The main loop
+        // below consumes the timelines in trace order and interns the
+        // results exactly where the sequential code did, keeping intern
+        // ids and stats bit-identical for every worker count.
+        let timelines = lockset_timelines(self.trace, self.cfg.threads);
+        let mut cursors = vec![0usize; timelines.len()];
         let filter_pm = !self.trace.regions.is_empty();
-        for ev in &self.trace.events {
+        for ev in self.trace.events {
             self.stats.events += 1;
             // A trace that bypassed the builder (or was salvaged from a
             // corrupt file) can name threads beyond the header count; grow
@@ -234,23 +319,13 @@ impl<'t> Simulator<'t> {
                     self.tick_if_needed(ev.tid);
                     self.on_fence(ev.tid);
                 }
-                EventKind::Acquire { lock, mode } => {
-                    let t = &mut self.threads[ev.tid.index()];
-                    t.logical_clock += 1;
-                    let entry = LockEntry {
-                        lock: *lock,
-                        mode: *mode,
-                        acq_ts: t.logical_clock,
-                    };
-                    t.lockset = t.lockset.with(entry);
-                    let ls = t.lockset.clone();
-                    self.threads[ev.tid.index()].ls_id = self.locksets.intern(ls);
-                }
-                EventKind::Release { lock } => {
-                    let t = &mut self.threads[ev.tid.index()];
-                    t.lockset = t.lockset.without(*lock);
-                    let ls = t.lockset.clone();
-                    self.threads[ev.tid.index()].ls_id = self.locksets.intern(ls);
+                EventKind::Acquire { .. } | EventKind::Release { .. } => {
+                    let ti = ev.tid.index();
+                    let ls = timelines[ti][cursors[ti]].clone();
+                    cursors[ti] += 1;
+                    let t = &mut self.threads[ti];
+                    t.lockset = ls.clone();
+                    t.ls_id = self.locksets.intern(ls);
                 }
                 EventKind::ThreadCreate { child } => {
                     self.ensure_thread(*child);
@@ -298,7 +373,6 @@ impl<'t> Simulator<'t> {
             self.threads.resize_with(tid.index() + 1, || ThreadState {
                 lockset: Lockset::empty(),
                 ls_id: empty_ls,
-                logical_clock: 0,
                 vc: VectorClock::new(),
                 vc_id: zero_vc,
                 needs_tick: true,
@@ -597,6 +671,7 @@ mod tests {
             &SimConfig {
                 irh: false,
                 eadr: false,
+                threads: 1,
             },
         )
     }
@@ -915,6 +990,7 @@ mod tests {
             &SimConfig {
                 irh: true,
                 eadr: false,
+                threads: 1,
             },
         );
         let w_persisted = out.windows.iter().find(|w| w.range.start == 0x100).unwrap();
@@ -939,6 +1015,7 @@ mod tests {
             &SimConfig {
                 irh: true,
                 eadr: false,
+                threads: 1,
             },
         );
         assert!(!out.windows[0].irh_discarded);
@@ -959,6 +1036,7 @@ mod tests {
             &SimConfig {
                 irh: true,
                 eadr: false,
+                threads: 1,
             },
         );
         assert_eq!(out.loads.len(), 3);
@@ -996,6 +1074,7 @@ mod tests {
             &SimConfig {
                 irh: false,
                 eadr: true,
+                threads: 1,
             },
         );
         assert_eq!(out.windows.len(), 1);

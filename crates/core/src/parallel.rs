@@ -1,0 +1,107 @@
+//! Minimal scoped-thread fan-out used by the parallel pipeline stages.
+//!
+//! The workspace builds offline from `vendor/` (no rayon), so this module
+//! is the whole threading substrate: a worker-count resolver and an
+//! index-ordered parallel map over a shared atomic cursor. Determinism is
+//! the callers' contract — results come back in job-index order no matter
+//! which worker executed which job, so any fold over the output is
+//! independent of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count: `0` means "use the machine"
+/// ([`std::thread::available_parallelism`]), anything else is literal.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..jobs` on up to `threads` scoped workers
+/// and returns the results in index order.
+///
+/// Jobs are claimed from a shared atomic cursor, so uneven job sizes
+/// load-balance across workers. With `threads <= 1` (or a single job) the
+/// map degenerates to a plain sequential loop — no threads are spawned.
+pub fn map_indexed<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut done = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    done.push((i, job(i)));
+                }
+                done
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => {
+                    for (i, out) in results {
+                        slots[i] = Some(out);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("cursor visits every job index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 8] {
+            let out = map_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_zero_and_one_jobs() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        map_indexed(4, 2, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

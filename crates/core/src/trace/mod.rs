@@ -300,6 +300,53 @@ impl Trace {
     }
 }
 
+/// A borrowed, possibly event-truncated view of a [`Trace`].
+///
+/// The analysis pipeline operates on views rather than owned traces so that
+/// budget-capped runs ([`AnalysisBudget::max_events`]) analyze a prefix
+/// *sub-slice* of the event stream instead of cloning the entire event
+/// vector — exactly the large-trace case where the clone would be most
+/// expensive. Stacks and regions are always shared in full: a prefix never
+/// invalidates a stack id or a region registration.
+///
+/// [`AnalysisBudget::max_events`]: crate::analysis::AnalysisBudget::max_events
+#[derive(Clone, Copy, Debug)]
+pub struct TraceView<'a> {
+    /// The (possibly truncated) event stream, sorted by `seq`.
+    pub events: &'a [Event],
+    /// Interned call stacks referenced by the events.
+    pub stacks: &'a StackTable,
+    /// Registered PM mappings.
+    pub regions: &'a [PmRegion],
+    /// Number of threads that appear in the underlying trace.
+    pub thread_count: u32,
+}
+
+impl<'a> TraceView<'a> {
+    /// A view of the whole trace.
+    pub fn full(trace: &'a Trace) -> Self {
+        Self {
+            events: &trace.events,
+            stacks: &trace.stacks,
+            regions: &trace.regions,
+            thread_count: trace.thread_count,
+        }
+    }
+
+    /// A view of the first `max_events` events (the whole trace if shorter).
+    pub fn prefix(trace: &'a Trace, max_events: usize) -> Self {
+        Self {
+            events: &trace.events[..max_events.min(trace.events.len())],
+            ..Self::full(trace)
+        }
+    }
+
+    /// Returns `true` if `range` lies within a registered PM region.
+    pub fn is_pm(&self, range: &AddrRange) -> bool {
+        self.regions.iter().any(|r| r.contains(range))
+    }
+}
+
 /// Incremental construction of a [`Trace`] from a single logical stream.
 ///
 /// The runtime substrate funnels per-thread observations through a global

@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use hawkset_core::analysis::{analyze, AnalysisConfig, Race};
+use hawkset_core::analysis::{AnalysisConfig, Analyzer, Race};
 use pm_apps::registry::{KnownRace, RaceClass};
 use pm_apps::{Application, ExecOptions};
 use pm_runtime::{CrashImage, CrashInjector, CrashMode, PmEnv};
@@ -182,6 +182,9 @@ pub struct CrashCampaignConfig {
     pub resume: bool,
     /// Supervision-test faults (empty in production use).
     pub faults: Vec<InjectedFault>,
+    /// Worker threads for each round's race analysis (`0` = available
+    /// parallelism); see [`Analyzer::threads`].
+    pub analysis_threads: usize,
 }
 
 impl Default for CrashCampaignConfig {
@@ -198,6 +201,7 @@ impl Default for CrashCampaignConfig {
             checkpoint: None,
             resume: false,
             faults: Vec::new(),
+            analysis_threads: 0,
         }
     }
 }
@@ -312,6 +316,7 @@ fn round_body(
     main_ops: u64,
     crash_points: usize,
     round_seed: u64,
+    analysis_threads: usize,
 ) -> WorkerReport {
     // Pass 1 — measure the run's PM-operation horizon so crash points land
     // inside it. An injector with no points is a pure op counter.
@@ -342,7 +347,9 @@ fn round_body(
             }
         }
     }
-    let report = analyze(&result.trace, &AnalysisConfig::default());
+    let report = Analyzer::new(AnalysisConfig::default())
+        .threads(analysis_threads)
+        .run(&result.trace);
     WorkerReport {
         outcome,
         crash_points: injector.points().to_vec(),
@@ -381,6 +388,7 @@ fn run_supervised_round(
         let (tx, rx) = mpsc::channel::<Result<WorkerReport, String>>();
         let worker_app = Arc::clone(app);
         let (main_ops, crash_points, timeout) = (cfg.main_ops, cfg.crash_points, cfg.round_timeout);
+        let analysis_threads = cfg.analysis_threads;
         let this_attempt = attempt;
         // Detached worker: a hung round must not block the campaign, so no
         // scoped threads — the watchdog simply abandons the receiver.
@@ -408,7 +416,13 @@ fn run_supervised_round(
                     }
                 }
                 let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    round_body(&worker_app, main_ops, crash_points, round_seed)
+                    round_body(
+                        &worker_app,
+                        main_ops,
+                        crash_points,
+                        round_seed,
+                        analysis_threads,
+                    )
                 }));
                 // The supervisor may have timed this attempt out already.
                 let _ = tx.send(out.map_err(|p| panic_message(&*p)));
@@ -538,6 +552,7 @@ mod tests {
             checkpoint: None,
             resume: false,
             faults: Vec::new(),
+            analysis_threads: 0,
         }
     }
 

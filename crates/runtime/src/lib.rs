@@ -32,7 +32,7 @@
 //! Reproducing Figure 1c end-to-end (runtime → trace → analysis):
 //!
 //! ```
-//! use hawkset_core::analysis::{analyze, AnalysisConfig};
+//! use hawkset_core::analysis::Analyzer;
 //! use pm_runtime::{PmEnv, PmMutex};
 //! use std::sync::Arc;
 //!
@@ -67,7 +67,7 @@
 //!
 //! t1.join(&main);
 //! t2.join(&main);
-//! let report = analyze(&env.finish(), &AnalysisConfig::default());
+//! let report = Analyzer::default().run(&env.finish());
 //! assert_eq!(report.races.len(), 1);
 //! ```
 

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::analysis::Analyzer;
 use hawkset::core::sync_config::SyncConfig;
 use hawkset::runtime::{run_workers, CustomSpinLock, PmEnv};
 
@@ -54,7 +54,7 @@ fn run(with_config: bool) -> usize {
     assert_eq!(final_value, 200, "the spinlock is real: no lost updates");
 
     let trace = env.finish();
-    let report = analyze(&trace, &AnalysisConfig::default());
+    let report = Analyzer::default().run(&trace);
     report.races.len()
 }
 

@@ -12,7 +12,7 @@
 
 use hawkset::apps::fastfair::FastFairApp;
 use hawkset::apps::{score, Application, RaceClass};
-use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::analysis::Analyzer;
 
 fn main() {
     let ops = std::env::args()
@@ -29,7 +29,7 @@ fn main() {
         trace.access_count()
     );
 
-    let report = analyze(&trace, &AnalysisConfig::default());
+    let report = Analyzer::default().run(&trace);
     let breakdown = score(&report.races, &app.known_races());
 
     println!(

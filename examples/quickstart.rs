@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::analysis::Analyzer;
 use hawkset::runtime::{PmEnv, PmMutex};
 
 fn main() {
@@ -50,7 +50,7 @@ fn main() {
     println!("T2 observed X = {seen} (may be 0 or 42 depending on the schedule)\n");
 
     let trace = env.finish();
-    let report = analyze(&trace, &AnalysisConfig::default());
+    let report = Analyzer::default().run(&trace);
     print!("{}", report.render(&trace));
 
     assert_eq!(report.races.len(), 1, "the Figure-1c race must be detected");

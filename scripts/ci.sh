@@ -17,4 +17,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> bench smoke (pairing throughput, 1 vs 4 threads, fixed seed)"
+# Prints events/sec so perf regressions show up in CI logs; fails if the
+# parallel report diverges from the sequential one, or if a multi-core
+# host measures less than the 1.5x pairing speedup floor.
+cargo run --release -q -p hawkset-bench --bin smoke -- --threads 4 --min-speedup 1.5
+
 echo "ci: all green"

@@ -23,7 +23,7 @@
 //! Detect the paper's Figure-1c race in five lines of setup:
 //!
 //! ```
-//! use hawkset::core::analysis::{analyze, AnalysisConfig};
+//! use hawkset::core::analysis::Analyzer;
 //! use hawkset::runtime::{PmEnv, PmMutex};
 //! use std::sync::Arc;
 //!
@@ -49,7 +49,7 @@
 //! t1.join(&main);
 //! t2.join(&main);
 //!
-//! let report = analyze(&env.finish(), &AnalysisConfig::default());
+//! let report = Analyzer::default().run(&env.finish());
 //! assert_eq!(report.races.len(), 1);
 //! ```
 

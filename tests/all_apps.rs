@@ -2,7 +2,7 @@
 //! workload, and every bug reachable at this size must be detected.
 
 use hawkset::apps::{all_apps, score, RaceClass};
-use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::analysis::{AnalysisConfig, Analyzer};
 
 /// Bugs expected at a modest (2k-op) workload. TurboHash #3 needs buckets
 /// to fill, which the zipfian mix achieves by 2k ops with the default
@@ -29,7 +29,7 @@ fn every_table2_bug_is_detected() {
         let wl = app.default_workload(2_000, 42);
         let trace = app.execute(&wl);
         assert!(trace.validate().is_ok(), "{}: invalid trace", app.name());
-        let report = analyze(&trace, &AnalysisConfig::default());
+        let report = Analyzer::default().run(&trace);
         let b = score(&report.races, &app.known_races());
         for id in expected_ids(app.name()) {
             assert!(
@@ -96,14 +96,12 @@ fn irh_never_prunes_a_malign_race() {
     for app in all_apps() {
         let wl = app.default_workload(1_000, 7);
         let trace = app.execute(&wl);
-        let with_irh = analyze(&trace, &AnalysisConfig::default());
-        let without = analyze(
-            &trace,
-            &AnalysisConfig {
-                irh: false,
-                ..Default::default()
-            },
-        );
+        let with_irh = Analyzer::default().run(&trace);
+        let without = Analyzer::new(AnalysisConfig {
+            irh: false,
+            ..Default::default()
+        })
+        .run(&trace);
         let with_ids = score(&with_irh.races, &app.known_races()).detected_ids;
         let without_ids = score(&without.races, &app.known_races()).detected_ids;
         for id in &without_ids {

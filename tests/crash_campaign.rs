@@ -21,7 +21,7 @@ use hawkset::baseline::{
     attribute_races, load_checkpoint, run_crash_campaign, CrashCampaignConfig, FaultKind,
     InjectedFault, RoundOutcome,
 };
-use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::analysis::Analyzer;
 use hawkset::runtime::{CrashImage, CrashInjector, CrashMode, PmEnv};
 use hawkset::workloads::WorkloadSpec;
 
@@ -117,7 +117,7 @@ fn racy_configuration_fails_recovery_audit_and_is_attributable() {
     );
     // ...and the failure is attributable: HawkSet reports the responsible
     // malign race on the very same run's trace.
-    let report = analyze(&trace, &AnalysisConfig::default());
+    let report = Analyzer::default().run(&trace);
     let attributed = attribute_races(&report.races, &FastFairApp.known_races());
     assert!(
         attributed.iter().any(|a| a.bug_id == 1 || a.bug_id == 2),
@@ -144,6 +144,7 @@ fn campaign_survives_hung_and_panicking_rounds_and_resumes() {
         max_backoff: Duration::from_millis(20),
         checkpoint: Some(ckpt.clone()),
         resume: false,
+        analysis_threads: 1,
         faults: vec![
             InjectedFault {
                 round: 1,

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::analysis::Analyzer;
 use hawkset::core::sync_config::SyncConfig;
 use hawkset::core::trace::io;
 use hawkset::runtime::{run_workers, CustomSpinLock, PmEnv, PmMutex, PmRwLock};
@@ -35,7 +35,7 @@ fn figure_1c_detected_end_to_end() {
 
     let trace = env.finish();
     assert!(trace.validate().is_ok());
-    let report = analyze(&trace, &AnalysisConfig::default());
+    let report = Analyzer::default().run(&trace);
     assert_eq!(report.races.len(), 1);
     assert!(report.races[0].effective_lockset_empty);
 }
@@ -65,7 +65,7 @@ fn correctly_synchronized_program_is_clean() {
             }
         }
     });
-    let report = analyze(&env.finish(), &AnalysisConfig::default());
+    let report = Analyzer::default().run(&env.finish());
     assert!(
         report.is_clean(),
         "locked store+persist vs locked load cannot race: {:?}",
@@ -101,7 +101,7 @@ fn rwlock_modes_are_understood() {
     });
     w.join(&main);
     r.join(&main);
-    let report = analyze(&env.finish(), &AnalysisConfig::default());
+    let report = Analyzer::default().run(&env.finish());
     assert!(
         report.is_clean(),
         "write-lock store+persist vs read-lock load is protected: {:?}",
@@ -132,8 +132,8 @@ fn codec_roundtrip_preserves_analysis() {
     });
     let trace = env.finish();
     let decoded = io::decode(io::encode(&trace)).expect("roundtrip");
-    let a = analyze(&trace, &AnalysisConfig::default());
-    let b = analyze(&decoded, &AnalysisConfig::default());
+    let a = Analyzer::default().run(&trace);
+    let b = Analyzer::default().run(&decoded);
     assert_eq!(a.races.len(), b.races.len());
     for (ra, rb) in a.races.iter().zip(&b.races) {
         assert_eq!(ra.store_site_str(), rb.store_site_str());
@@ -182,9 +182,7 @@ fn sync_config_gates_custom_primitives() {
                 lock.unlock(t);
             }
         });
-        analyze(&env.finish(), &AnalysisConfig::default())
-            .races
-            .len()
+        Analyzer::default().run(&env.finish()).races.len()
     };
     assert!(run(false) > 0);
     assert_eq!(run(true), 0);
@@ -229,8 +227,8 @@ fn analysis_is_deterministic() {
     use hawkset::apps::Application;
     let wl = app.default_workload(300, 5);
     let trace = app.execute(&wl);
-    let a = analyze(&trace, &AnalysisConfig::default());
-    let b = analyze(&trace, &AnalysisConfig::default());
+    let a = Analyzer::default().run(&trace);
+    let b = Analyzer::default().run(&trace);
     assert_eq!(a.races.len(), b.races.len());
     assert_eq!(a.stats.pairing, b.stats.pairing);
 }

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use hawkset::core::addr::{AddrRange, CACHE_LINE};
-use hawkset::core::analysis::{analyze, AnalysisConfig};
+use hawkset::core::analysis::{AnalysisConfig, Analyzer};
 use hawkset::core::lockset::{LockEntry, Lockset};
 use hawkset::core::memsim::{simulate, CloseReason, SimConfig};
 use hawkset::core::trace::io;
@@ -283,8 +283,8 @@ proptest! {
     /// race sites than the raw analysis.
     #[test]
     fn irh_is_a_pure_filter(trace in arb_trace()) {
-        let with_irh = analyze(&trace, &AnalysisConfig { irh: true, ..Default::default() });
-        let without = analyze(&trace, &AnalysisConfig { irh: false, ..Default::default() });
+        let with_irh = Analyzer::new(AnalysisConfig { irh: true, ..Default::default() }).run(&trace);
+        let without = Analyzer::new(AnalysisConfig { irh: false, ..Default::default() }).run(&trace);
         prop_assert!(with_irh.races.len() <= without.races.len());
         // Every race reported with IRH also exists without it.
         for r in &with_irh.races {
@@ -299,9 +299,9 @@ proptest! {
     /// Excluding atomics never increases the report count.
     #[test]
     fn atomics_filter_is_monotone(trace in arb_trace()) {
-        let all = analyze(&trace, &AnalysisConfig::default());
+        let all = Analyzer::default().run(&trace);
         let no_atomics =
-            analyze(&trace, &AnalysisConfig { include_atomics: false, ..Default::default() });
+            Analyzer::new(AnalysisConfig { include_atomics: false, ..Default::default() }).run(&trace);
         prop_assert!(no_atomics.races.len() <= all.races.len());
     }
 }

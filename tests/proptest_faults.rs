@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 use hawkset::core::addr::AddrRange;
-use hawkset::core::analysis::{try_analyze, AnalysisBudget, AnalysisConfig, Strictness};
+use hawkset::core::analysis::{AnalysisBudget, AnalysisConfig, Analyzer, Strictness};
 use hawkset::core::faults::{apply, truncations, Fault, FaultRng};
 use hawkset::core::trace::io;
 use hawkset::core::trace::{EventKind, Frame, LockId, LockMode, ThreadId, Trace, TraceBuilder};
@@ -147,7 +147,8 @@ fn truncation_at_every_byte_boundary_never_panics() {
             Ok(salvage) => {
                 // A truncation-salvaged prefix is semantically clean: the
                 // full strict pipeline must accept it.
-                let report = try_analyze(&salvage.trace, &lenient_budgeted())
+                let report = Analyzer::new(lenient_budgeted())
+                    .try_run(&salvage.trace)
                     .expect("lenient analysis of a salvage cannot fail");
                 assert_eq!(
                     report.stats.quarantine.total(),
@@ -187,7 +188,8 @@ fn random_corruptions_never_panic() {
         }
         if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes.clone())) {
             decoded_ok += 1;
-            try_analyze(&salvage.trace, &lenient_budgeted())
+            Analyzer::new(lenient_budgeted())
+                .try_run(&salvage.trace)
                 .expect("lenient analysis of salvaged corruption cannot fail");
         }
         // Strict decode must agree or reject — never panic.
@@ -220,7 +222,7 @@ proptest! {
         bytes.extend_from_slice(&noise);
         let _ = io::decode(Bytes::from(bytes.clone()));
         if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
-            let _ = try_analyze(&salvage.trace, &lenient_budgeted());
+            let _ = Analyzer::new(lenient_budgeted()).try_run(&salvage.trace);
         }
     }
 
@@ -233,7 +235,7 @@ proptest! {
         let bytes = apply(&encoded, fault);
         let _ = io::decode(Bytes::from(bytes.clone()));
         if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
-            let _ = try_analyze(&salvage.trace, &lenient_budgeted());
+            let _ = Analyzer::new(lenient_budgeted()).try_run(&salvage.trace);
         }
     }
 }
@@ -259,7 +261,7 @@ fn varint_bombs_at_every_offset_never_panic() {
         let bytes = apply(&encoded, Fault::OverflowVarint { offset });
         let _ = io::decode(Bytes::from(bytes.clone()));
         if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
-            let _ = try_analyze(&salvage.trace, &lenient_budgeted());
+            let _ = Analyzer::new(lenient_budgeted()).try_run(&salvage.trace);
         }
     }
 }

@@ -1,0 +1,175 @@
+//! Property-based determinism tests for the sharded pairing engine: the
+//! analysis report must be bit-identical for every worker-thread count,
+//! with and without tight candidate-pair budgets.
+
+use hawkset::core::addr::AddrRange;
+use hawkset::core::analysis::{AnalysisBudget, AnalysisConfig, Analyzer};
+use hawkset::core::trace::{EventKind, Frame, LockId, LockMode, ThreadId, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// Traces with a wide address spread (many cache lines, so the pairing
+/// work lands on many shards) and several distinct call stacks (so runs
+/// produce several distinct race sites whose merge order matters).
+fn arb_wide_trace() -> impl Strategy<Value = Trace> {
+    let ops = proptest::collection::vec(
+        (
+            0u8..6,
+            0u64..2048u64,
+            1u32..17,
+            0u64..4,
+            any::<bool>(),
+            0u8..4,
+        ),
+        1..240,
+    );
+    (ops, 1u32..5).prop_map(|(ops, workers)| {
+        let mut b = TraceBuilder::new();
+        let stacks: Vec<_> = (0..4)
+            .map(|i| b.intern_stack([Frame::new(format!("site{i}"), "prop.rs", i + 1)]))
+            .collect();
+        for w in 1..=workers {
+            b.push(
+                ThreadId(0),
+                stacks[0],
+                EventKind::ThreadCreate { child: ThreadId(w) },
+            );
+        }
+        let mut held: Vec<Vec<u64>> = vec![Vec::new(); workers as usize + 1];
+        for (i, (kind, addr, len, lock, flag, site)) in ops.into_iter().enumerate() {
+            let tid = ThreadId(1 + (i as u32 % workers));
+            let s = stacks[site as usize];
+            let range = AddrRange::new(0x1000 + addr * 8, len);
+            match kind {
+                0 => b.push(
+                    tid,
+                    s,
+                    EventKind::Store {
+                        range,
+                        non_temporal: flag,
+                        atomic: false,
+                    },
+                ),
+                1 => b.push(
+                    tid,
+                    s,
+                    EventKind::Load {
+                        range,
+                        atomic: flag,
+                    },
+                ),
+                2 => b.push(tid, s, EventKind::Flush { addr: range.start }),
+                3 => b.push(tid, s, EventKind::Fence),
+                4 => {
+                    if !held[tid.index()].contains(&lock) {
+                        held[tid.index()].push(lock);
+                        b.push(
+                            tid,
+                            s,
+                            EventKind::Acquire {
+                                lock: LockId(lock),
+                                mode: if flag {
+                                    LockMode::Shared
+                                } else {
+                                    LockMode::Exclusive
+                                },
+                            },
+                        );
+                    }
+                }
+                _ => {
+                    if let Some(pos) = held[tid.index()].iter().position(|&l| l == lock) {
+                        held[tid.index()].remove(pos);
+                        b.push(tid, s, EventKind::Release { lock: LockId(lock) });
+                    }
+                }
+            }
+        }
+        for w in 1..=workers {
+            b.push(
+                ThreadId(0),
+                stacks[0],
+                EventKind::ThreadJoin { child: ThreadId(w) },
+            );
+        }
+        b.finish()
+    })
+}
+
+/// Asserts that every report field except wall-clock duration matches
+/// between a single-threaded reference run and an `n`-threaded run.
+fn assert_reports_identical(cfg: &AnalysisConfig, trace: &Trace) {
+    let reference = Analyzer::new(cfg.clone()).threads(1).run(trace);
+    for n in [2usize, 8] {
+        let got = Analyzer::new(cfg.clone()).threads(n).run(trace);
+        prop_assert_eq!(
+            &got.races,
+            &reference.races,
+            "race list diverged at {} threads",
+            n
+        );
+        prop_assert_eq!(
+            &got.stats.pairing,
+            &reference.stats.pairing,
+            "pairing stats diverged at {} threads",
+            n
+        );
+        prop_assert_eq!(
+            &got.stats.sim,
+            &reference.stats.sim,
+            "simulation stats diverged at {} threads",
+            n
+        );
+        prop_assert_eq!(
+            &got.coverage,
+            &reference.coverage,
+            "coverage diverged at {} threads",
+            n
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unbudgeted runs are bit-identical at 1, 2 and 8 worker threads.
+    #[test]
+    fn thread_count_does_not_change_the_report(trace in arb_wide_trace()) {
+        assert_reports_identical(&AnalysisConfig::default(), &trace);
+    }
+
+    /// Budget-truncated runs are bit-identical too: the candidate-pair
+    /// budget is split per shard up front, so which pairs fall inside the
+    /// budget never depends on scheduling. Small budgets make truncation
+    /// the common case rather than the exception.
+    #[test]
+    fn tight_pair_budgets_stay_deterministic(
+        trace in arb_wide_trace(),
+        max_pairs in 0u64..40,
+    ) {
+        let cfg = AnalysisConfig {
+            budget: AnalysisBudget {
+                max_candidate_pairs: Some(max_pairs),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_reports_identical(&cfg, &trace);
+    }
+
+    /// The event budget composes with the thread count: a capped borrowed
+    /// view of the trace still analyzes identically on every worker count.
+    #[test]
+    fn event_caps_stay_deterministic(
+        trace in arb_wide_trace(),
+        max_events in 1u64..64,
+    ) {
+        let cfg = AnalysisConfig {
+            budget: AnalysisBudget {
+                max_events: Some(max_events),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_reports_identical(&cfg, &trace);
+    }
+}
