@@ -1,22 +1,40 @@
 //! Bench smoke: pairing throughput at 1 vs N worker threads on a fixed
 //! synthetic trace, for CI logs.
 //!
-//! Prints events/sec for the sequential and parallel runs plus the
-//! speedup, and verifies the two reports are identical (they must be: the
-//! sharded engine's determinism contract). Exit code is 1 if the reports
-//! diverge, or if `--min-speedup X` is given and the measured speedup
-//! falls short.
+//! Stage timings come from the pipeline's own observability snapshot
+//! (`report.metrics.timing.pairing_ms`) rather than re-timing around the
+//! call, so CI measures exactly what `--metrics` reports to users. The
+//! run fails (exit 1) if the sequential and parallel reports diverge, if
+//! any metrics snapshot violates a conservation law, or if `--min-speedup
+//! X` is given and the measured speedup falls short.
 //!
 //! ```text
 //! smoke [--threads N] [--ops N] [--min-speedup X]
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use hawkset_bench::synthetic::{synthetic_trace, SyntheticSpec};
-use hawkset_core::analysis::Analyzer;
+use hawkset_core::analysis::{AnalysisReport, Analyzer};
 use hawkset_core::memsim::{simulate, SimConfig};
+
+/// Pulls the snapshot out of a report, failing loudly if the pipeline
+/// stopped attaching one.
+fn metrics_of(report: &AnalysisReport) -> &hawkset_core::MetricsSnapshot {
+    report
+        .metrics
+        .as_ref()
+        .expect("every Analyzer run attaches a metrics snapshot")
+}
+
+/// Exit-worthy conservation audit of one snapshot.
+fn check_conservation(label: &str, report: &AnalysisReport) -> bool {
+    let violations = metrics_of(report).conservation_violations();
+    for v in &violations {
+        eprintln!("smoke: FAIL — conservation violation in {label} run: {v}");
+    }
+    violations.is_empty()
+}
 
 fn main() -> ExitCode {
     let mut threads = 4usize;
@@ -61,11 +79,11 @@ fn main() -> ExitCode {
     let events = trace.events.len() as f64;
     let access = simulate(&trace, &SimConfig::default());
 
+    // Pairing stage wall-clock as the pipeline itself measured it.
     let time_pairing = |n: usize| {
-        let analyzer = Analyzer::default().threads(n);
-        let started = Instant::now();
-        let report = analyzer.run_pairing(&trace, &access);
-        (started.elapsed().as_secs_f64(), report)
+        let report = Analyzer::default().threads(n).run_pairing(&trace, &access);
+        let secs = (metrics_of(&report).timing.pairing_ms / 1e3).max(1e-9);
+        (secs, report)
     };
     // Warm-up run so first-touch page faults don't bias the 1-thread leg.
     let _ = time_pairing(1);
@@ -84,11 +102,13 @@ fn main() -> ExitCode {
         events / seq_secs,
         seq_secs * 1e3
     );
+    let par_busy: f64 = metrics_of(&par_report).timing.worker_busy_ms.iter().sum();
     println!(
-        "smoke: pairing {} threads: {:>10.0} events/sec ({:.1} ms)",
+        "smoke: pairing {} threads: {:>10.0} events/sec ({:.1} ms wall, {:.1} ms worker-busy)",
         threads,
         events / par_secs,
-        par_secs * 1e3
+        par_secs * 1e3,
+        par_busy
     );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("smoke: speedup {speedup:.2}x at {threads} threads ({cores} core(s) available)");
@@ -100,6 +120,26 @@ fn main() -> ExitCode {
         eprintln!("smoke: FAIL — parallel report diverges from sequential");
         return ExitCode::from(1);
     }
+    if metrics_of(&par_report).masked() != metrics_of(&seq_report).masked() {
+        eprintln!("smoke: FAIL — parallel metrics (timing masked) diverge from sequential");
+        return ExitCode::from(1);
+    }
+
+    // One full pipeline run (decode-less: the trace is in memory) to audit
+    // the conservation laws end-to-end, stage timers included.
+    let full = Analyzer::default().threads(threads).run(&trace);
+    let fm = metrics_of(&full);
+    println!(
+        "smoke: full pipeline {:.1} ms (simulate {:.1} ms, pairing {:.1} ms)",
+        fm.timing.total_ms, fm.timing.simulate_ms, fm.timing.pairing_ms
+    );
+    if !check_conservation("sequential pairing", &seq_report)
+        || !check_conservation("parallel pairing", &par_report)
+        || !check_conservation("full pipeline", &full)
+    {
+        return ExitCode::from(1);
+    }
+
     if let Some(min) = min_speedup {
         // A speedup floor is only meaningful when the host can actually
         // run the workers concurrently.

@@ -8,7 +8,8 @@
 //! ```text
 //! hawkset analyze   <trace.hwkt> [--no-irh] [--no-atomics] [--json]
 //!                                [--lenient] [--salvage] [--max-pairs N]
-//!                                [--threads N]
+//!                                [--threads N] [--metrics <path>]
+//!                                [--metrics-stderr]
 //! hawkset info      <trace.hwkt>
 //! hawkset demo      <out.hwkt>
 //! hawkset crashtest <app> [--rounds N] [--crash-points N] [--resume P]
@@ -72,6 +73,11 @@ ANALYZE OPTIONS:
     --max-events N  analyze only the first N events of the trace
     --threads N     worker threads for the parallel pairing stage
                     (default: all cores; reports are identical for any N)
+    --metrics PATH  write the run's metrics snapshot (pipeline counters
+                    plus stage timings, JSON) to PATH, atomically
+    --metrics-stderr
+                    print the metrics snapshot JSON to stderr (stdout
+                    stays reserved for the report)
 
 CRASHTEST OPTIONS:
     --rounds N            campaign rounds (default 4)
@@ -87,6 +93,10 @@ CRASHTEST OPTIONS:
     --threads N           worker threads for each round's race analysis
                           (default: all cores)
     --json                emit the machine-readable campaign record
+    --metrics PATH        write the campaign metrics snapshot (per-outcome
+                          round counters, retry/backoff totals, JSON) to
+                          PATH atomically; never changes the exit status
+    --metrics-stderr      print the campaign metrics JSON to stderr
 
 EXIT STATUS:
     0  no persistency-induced race found; all crashtest rounds Ok
@@ -115,11 +125,34 @@ fn load_trace(path: &str) -> Result<Trace, HawkSetError> {
     io::load_file(std::path::Path::new(path), None)
 }
 
+/// A decoded trace plus, when lossy salvage ran, the loss accounting the
+/// metrics object reports.
+enum LoadedTrace {
+    Plain(Trace),
+    Salvaged(io::Salvage),
+}
+
+impl LoadedTrace {
+    fn trace(&self) -> &Trace {
+        match self {
+            LoadedTrace::Plain(t) => t,
+            LoadedTrace::Salvaged(s) => &s.trace,
+        }
+    }
+
+    fn salvage(&self) -> Option<&io::Salvage> {
+        match self {
+            LoadedTrace::Salvaged(s) => Some(s),
+            LoadedTrace::Plain(_) => None,
+        }
+    }
+}
+
 /// Loads with lossy salvage: a clean file loads fully; a truncated or
 /// tail-corrupted file yields its longest valid event prefix, with a note
 /// on stderr. Corruption that precedes the event stream (header, tables)
 /// is not salvageable and still fails.
-fn load_trace_salvage(path: &str) -> Result<Trace, HawkSetError> {
+fn load_trace_salvage(path: &str) -> Result<io::Salvage, HawkSetError> {
     let raw = std::fs::read(path).map_err(HawkSetError::Io)?;
     let salvage = io::decode_lossy(bytes::Bytes::from(raw))?;
     if !salvage.is_complete() {
@@ -134,7 +167,37 @@ fn load_trace_salvage(path: &str) -> Result<Trace, HawkSetError> {
             },
         );
     }
-    Ok(salvage.trace)
+    Ok(salvage)
+}
+
+/// Writes `text` to `path` atomically — temp file in the same directory,
+/// then rename — matching the crashtest checkpoint convention, so a
+/// concurrent reader of the metrics file never sees a half-written JSON.
+fn write_text_atomic(path: &str, text: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Emits a metrics JSON per the `--metrics` / `--metrics-stderr` flags.
+/// Returns `false` on an unwritable path when `lenient` is off (the
+/// caller aborts with a usage/I-O exit); under `lenient` the failure is a
+/// warning and the run's exit code is unchanged.
+fn emit_metrics(json: &str, path: Option<&str>, to_stderr: bool, lenient: bool, cmd: &str) -> bool {
+    if to_stderr {
+        eprintln!("{json}");
+    }
+    if let Some(p) = path {
+        if let Err(e) = write_text_atomic(p, json) {
+            if lenient {
+                eprintln!("hawkset {cmd}: warning: cannot write metrics to {p}: {e}");
+            } else {
+                eprintln!("hawkset {cmd}: cannot write metrics to {p}: {e}");
+                return false;
+            }
+        }
+    }
+    true
 }
 
 fn cmd_analyze(args: &[String]) -> ExitCode {
@@ -142,6 +205,8 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut cfg = AnalysisConfig::default();
     let mut json = false;
     let mut salvage = false;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_stderr = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -155,6 +220,16 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--strict" => cfg.strictness = Strictness::Strict,
             "--lenient" => cfg.strictness = Strictness::Lenient,
             "--salvage" => salvage = true,
+            "--metrics-stderr" => metrics_stderr = true,
+            flag if flag == "--metrics" || flag.starts_with("--metrics=") => {
+                match path_value(args, &mut i, "--metrics") {
+                    Ok(p) => metrics_path = Some(p),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             flag if flag == "--max-pairs" || flag.starts_with("--max-pairs=") => {
                 match flag_value(args, &mut i, "--max-pairs") {
                     Ok(v) => cfg.budget.max_candidate_pairs = Some(v),
@@ -194,29 +269,41 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!("hawkset analyze: missing trace path\n{USAGE}");
         return ExitCode::from(2);
     };
+    let decode_started = std::time::Instant::now();
     let loaded = if salvage {
-        load_trace_salvage(&path)
+        load_trace_salvage(&path).map(LoadedTrace::Salvaged)
     } else {
-        load_trace(&path)
+        load_trace(&path).map(LoadedTrace::Plain)
     };
-    let trace = match loaded {
-        Ok(t) => t,
+    let decode_time = decode_started.elapsed();
+    let loaded = match loaded {
+        Ok(l) => l,
         Err(e) => {
             eprintln!("hawkset: {path}: {e}");
             return ExitCode::from(2);
         }
     };
-    let report = match Analyzer::new(cfg).try_run(&trace) {
+    let trace = loaded.trace();
+    let lenient = cfg.strictness == Strictness::Lenient;
+    let mut report = match Analyzer::new(cfg).try_run(trace) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("hawkset: {path}: {e} (use --lenient to quarantine and continue)");
             return ExitCode::from(2);
         }
     };
+    // The analyzer cannot see I/O: patch decode wall-clock and salvage
+    // losses into the snapshot before it is emitted anywhere.
+    if let Some(m) = report.metrics.as_mut() {
+        m.timing.decode_ms = decode_time.as_secs_f64() * 1e3;
+        if let Some(s) = loaded.salvage() {
+            s.record_metrics(m);
+        }
+    }
     if json {
         println!("{}", report.to_json());
     } else {
-        print!("{}", report.render(&trace));
+        print!("{}", report.render(trace));
         let s = &report.stats;
         println!(
             "\n{} events ({} stores, {} loads, {} flushes, {} fences), \
@@ -232,6 +319,22 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             s.pairing.distinct_races,
             format_duration(s.duration),
         );
+    }
+    if metrics_stderr || metrics_path.is_some() {
+        let metrics_json = report
+            .metrics
+            .as_ref()
+            .map(hawkset_core::MetricsSnapshot::to_json)
+            .unwrap_or_else(|| "{}".to_string());
+        if !emit_metrics(
+            &metrics_json,
+            metrics_path.as_deref(),
+            metrics_stderr,
+            lenient,
+            "analyze",
+        ) {
+            return ExitCode::from(2);
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -393,12 +496,21 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
     let mut app_name = None;
     let mut cfg = CrashCampaignConfig::default();
     let mut json = false;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_stderr = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         let numeric = |args: &[String], i: &mut usize, flag: &str| flag_value(args, i, flag);
         match a.as_str() {
             "--json" => json = true,
+            "--metrics-stderr" => metrics_stderr = true,
+            flag if flag == "--metrics" || flag.starts_with("--metrics=") => {
+                match path_value(args, &mut i, "--metrics") {
+                    Ok(p) => metrics_path = Some(p),
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
             flag if flag == "--rounds" || flag.starts_with("--rounds=") => {
                 match numeric(args, &mut i, "--rounds") {
                     Ok(v) => cfg.rounds = v,
@@ -564,6 +676,17 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
             result.records.len() - failed,
             failed,
             format_duration(result.duration)
+        );
+    }
+    if metrics_stderr || metrics_path.is_some() {
+        // Always lenient: losing the metrics file must never change a
+        // campaign's exit status.
+        emit_metrics(
+            &result.metrics(&cfg).to_json(),
+            metrics_path.as_deref(),
+            metrics_stderr,
+            true,
+            "crashtest",
         );
     }
     if result.all_ok() {

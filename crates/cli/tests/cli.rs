@@ -322,3 +322,146 @@ fn max_pairs_rejects_non_integer_values() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("integer"));
 }
+
+#[test]
+fn metrics_flag_writes_valid_json_with_no_tmp_leftover() {
+    let path = demo_trace("metrics-file");
+    let mpath = std::env::temp_dir().join("hawkset-cli-test-metrics.json");
+    let _ = std::fs::remove_file(&mpath);
+    let out = hawkset()
+        .args([
+            "analyze",
+            "--metrics",
+            mpath.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    // The metrics flag does not change the analysis exit code.
+    assert_eq!(out.status.code(), Some(1));
+    let metrics: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&mpath).expect("metrics file written"))
+            .expect("metrics file is valid JSON");
+    assert_eq!(metrics["version"], 1u64);
+    assert_eq!(metrics["ingest"]["events_decoded"], 10u64);
+    // Ingest conservation, visible straight from the emitted file.
+    assert_eq!(
+        metrics["ingest"]["events_decoded"].as_u64().unwrap(),
+        metrics["ingest"]["events_analyzed"].as_u64().unwrap()
+            + metrics["ingest"]["events_quarantined"].as_u64().unwrap()
+            + metrics["ingest"]["events_truncated"].as_u64().unwrap()
+    );
+    // Decode wall-clock was patched in by the CLI (a real duration, so
+    // the key must at least exist; zero is legal on a fast machine).
+    assert!(metrics["timing"]["decode_ms"].as_f64().is_some());
+    // Atomic write: the temp file must not survive.
+    let tmp = format!("{}.tmp", mpath.to_str().unwrap());
+    assert!(
+        !std::path::Path::new(&tmp).exists(),
+        "atomic write left {tmp} behind"
+    );
+}
+
+#[test]
+fn metrics_stderr_does_not_pollute_the_stdout_report() {
+    let path = demo_trace("metrics-stderr");
+    let out = hawkset()
+        .args([
+            "analyze",
+            "--json",
+            "--metrics-stderr",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    // stdout is still exactly the report JSON.
+    let report: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout stays valid report JSON");
+    assert_eq!(report["schema_version"], 1u64);
+    // stderr carries the metrics JSON.
+    let metrics: serde_json::Value =
+        serde_json::from_slice(&out.stderr).expect("stderr is the metrics JSON");
+    assert_eq!(metrics["version"], 1u64);
+    // The report embeds the same snapshot (timing aside, same counters).
+    assert_eq!(
+        report["metrics"]["pairing"]["candidate_pairs"],
+        metrics["pairing"]["candidate_pairs"]
+    );
+}
+
+#[test]
+fn unwritable_metrics_path_warns_under_lenient_but_aborts_under_strict() {
+    let path = demo_trace("metrics-unwritable");
+    let bad = "/nonexistent-dir-hawkset-test/metrics.json";
+
+    // Lenient: the analysis result stands; the metrics loss is a warning.
+    let out = hawkset()
+        .args([
+            "analyze",
+            "--lenient",
+            "--metrics",
+            bad,
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "lenient keeps the analysis exit code; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning"), "stderr:\n{err}");
+    assert!(err.contains("cannot write metrics"), "stderr:\n{err}");
+
+    // Strict (the default): an unwritable metrics path is an I/O error.
+    let out = hawkset()
+        .args(["analyze", "--metrics", bad, path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("warning"), "stderr:\n{err}");
+}
+
+#[test]
+fn crashtest_metrics_flag_writes_campaign_metrics() {
+    let mpath = std::env::temp_dir().join("hawkset-cli-test-crashtest-metrics.json");
+    let _ = std::fs::remove_file(&mpath);
+    let out = hawkset()
+        .args([
+            "crashtest",
+            "fast-fair",
+            "--rounds",
+            "1",
+            "--ops",
+            "30",
+            "--crash-points",
+            "2",
+            "--metrics",
+            mpath.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.code() == Some(0) || out.status.code() == Some(1),
+        "campaign completes; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&mpath).expect("metrics file written"))
+            .expect("campaign metrics file is valid JSON");
+    assert_eq!(metrics["version"], 1u64);
+    assert_eq!(metrics["rounds_total"], 1u64);
+    // Round-outcome partition, straight from the emitted file.
+    assert_eq!(
+        metrics["rounds_total"].as_u64().unwrap(),
+        metrics["rounds_ok"].as_u64().unwrap()
+            + metrics["rounds_panicked"].as_u64().unwrap()
+            + metrics["rounds_timed_out"].as_u64().unwrap()
+            + metrics["rounds_recovery_failed"].as_u64().unwrap()
+            + metrics["rounds_invariant_violated"].as_u64().unwrap()
+    );
+}

@@ -34,7 +34,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::addr::line_of;
 use crate::lockset::{LockEntry, Lockset};
-use crate::memsim::{AccessSet, CloseReason, LsId, SimStats};
+use crate::memsim::{AccessSet, CloseReason, LsId, SimStats, StoreWindow};
+use crate::obs::{MetricsRegistry, Stage};
 use crate::trace::TraceView;
 use crate::vclock::ClockOrder;
 
@@ -112,6 +113,11 @@ struct ShardOutput {
     hb_memo_hits: u64,
     lockset_memo_hits: u64,
     groups_examined: u64,
+    /// Candidate pairs in the groups a tripped pair budget left
+    /// unexamined — enumerated (cheap: no HB/lockset classification) so
+    /// the metrics' candidate-pair conservation law stays exact under
+    /// truncation. Zero unless `truncated == Some(CandidatePairs)`.
+    pairs_budget_dropped: u64,
     truncated: Option<BudgetExceeded>,
 }
 
@@ -132,6 +138,7 @@ struct PairingCtx<'a> {
     by_word: &'a HashMap<u64, Vec<u32>>,
     deadline: Option<std::time::Instant>,
     stop: &'a AtomicBool,
+    obs: &'a MetricsRegistry,
 }
 
 impl PairingCtx<'_> {
@@ -139,10 +146,44 @@ impl PairingCtx<'_> {
         self.norm_of_raw[raw.id() as usize]
     }
 
+    /// Fills `candidates` with the deduplicated load-group indices sharing
+    /// a word with `win` — the same set, in the same order, for the main
+    /// loop and the budget-dropped tail enumeration.
+    fn collect_candidates(&self, win: &StoreWindow, candidates: &mut Vec<u32>) {
+        candidates.clear();
+        for w in win.range.words() {
+            if let Some(loads) = self.by_word.get(&w) {
+                candidates.extend_from_slice(loads);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+    }
+
+    /// Counts the candidate pairs of one window group without classifying
+    /// them — the cross-thread, byte-overlapping pairs the main loop
+    /// *would* have examined. Used to account for the tail a tripped pair
+    /// budget skipped.
+    fn group_pair_count(&self, win_gi: u32, candidates: &mut Vec<u32>) -> u64 {
+        let (wi, wcount) = self.window_groups[win_gi as usize];
+        let win = &self.access.windows[wi as usize];
+        self.collect_candidates(win, candidates);
+        let mut pairs = 0;
+        for &gi in candidates.iter() {
+            let (li, lcount) = self.load_groups[gi as usize];
+            let ld = &self.access.loads[li as usize];
+            if ld.tid == win.tid || !ld.range.overlaps(&win.range) {
+                continue;
+            }
+            pairs += wcount * lcount;
+        }
+        pairs
+    }
+
     /// The sequential inner loop of Algorithm 1 over one shard's window
     /// groups (`plan`, in global group order), with a per-shard candidate-
     /// pair budget `slice`.
-    fn run_shard(&self, plan: &[u32], slice: Option<u64>) -> ShardOutput {
+    fn run_shard(&self, shard: usize, plan: &[u32], slice: Option<u64>) -> ShardOutput {
         let mut out = ShardOutput::default();
         // Memo tables are per-shard: shards share no mutable state, and a
         // shard's windows cluster on the same lines (hence the same clock
@@ -150,11 +191,14 @@ impl PairingCtx<'_> {
         let mut hb_memo: HashMap<(u32, u32, u32), bool> = HashMap::new();
         let mut protected_memo: HashMap<(u32, u32), bool> = HashMap::new();
         let mut candidates: Vec<u32> = Vec::new();
+        // First plan index NOT examined (budget/deadline stop point).
+        let mut stopped_at = plan.len();
 
-        for &win_gi in plan {
+        for (idx, &win_gi) in plan.iter().enumerate() {
             if let Some(max) = slice {
                 if out.candidate_pairs >= max {
                     out.truncated = Some(BudgetExceeded::CandidatePairs);
+                    stopped_at = idx;
                     break;
                 }
             }
@@ -162,6 +206,7 @@ impl PairingCtx<'_> {
                 if self.stop.load(Ordering::Relaxed) || std::time::Instant::now() >= at {
                     self.stop.store(true, Ordering::Relaxed);
                     out.truncated = Some(BudgetExceeded::Deadline);
+                    stopped_at = idx;
                     break;
                 }
             }
@@ -169,14 +214,7 @@ impl PairingCtx<'_> {
             let (wi, wcount) = self.window_groups[win_gi as usize];
             let win = &self.access.windows[wi as usize];
 
-            candidates.clear();
-            for w in win.range.words() {
-                if let Some(loads) = self.by_word.get(&w) {
-                    candidates.extend_from_slice(loads);
-                }
-            }
-            candidates.sort_unstable();
-            candidates.dedup();
+            self.collect_candidates(win, &mut candidates);
 
             for &gi in &candidates {
                 let (li, lcount) = self.load_groups[gi as usize];
@@ -292,6 +330,18 @@ impl PairingCtx<'_> {
                 }
             }
         }
+        // Pair-budget stops leave a deterministic tail of unexamined
+        // groups; enumerate (but don't classify) their pairs so the
+        // candidate-pair conservation law stays exact. Deadline stops skip
+        // this: the stop point is wall-clock-dependent, and racing to
+        // enumerate a tail after the deadline would defeat the budget.
+        if out.truncated == Some(BudgetExceeded::CandidatePairs) {
+            for &win_gi in &plan[stopped_at..] {
+                out.pairs_budget_dropped += self.group_pair_count(win_gi, &mut candidates);
+            }
+        }
+        self.obs.pairing.shard_candidate_pairs[shard]
+            .add(out.candidate_pairs + out.pairs_budget_dropped);
         out
     }
 }
@@ -330,7 +380,9 @@ pub(crate) fn run_pairing(
     view: TraceView<'_>,
     access: &AccessSet,
     cfg: &AnalysisConfig,
+    obs: &MetricsRegistry,
 ) -> AnalysisReport {
+    let _stage = obs.stage(Stage::Pairing);
     let mut stats = PairingStats::default();
     let mut coverage = Coverage::default();
 
@@ -458,6 +510,11 @@ pub(crate) fn run_pairing(
         let line = line_of(access.windows[wi as usize].range.start);
         plan[shard_of(line)].push(gi as u32);
     }
+    // Shard occupancy (window groups per shard) — the load-imbalance
+    // picture. Observed for every shard, empty ones included.
+    for p in &plan {
+        obs.pairing.shard_occupancy.observe(p.len() as u64);
+    }
     let slices = budget_slices(cfg.budget.max_candidate_pairs, &plan);
     let deadline = cfg.budget.deadline.map(|d| std::time::Instant::now() + d);
     let stop = AtomicBool::new(false);
@@ -472,6 +529,7 @@ pub(crate) fn run_pairing(
         by_word: &by_word,
         deadline,
         stop: &stop,
+        obs,
     };
     // An explicit thread request is honored as-is; under the automatic
     // default, small inputs stay on one worker because the fan-out
@@ -481,14 +539,17 @@ pub(crate) fn run_pairing(
     } else {
         crate::parallel::effective_threads(cfg.threads)
     };
-    let outputs =
-        crate::parallel::map_indexed(PAIR_SHARDS, workers, |s| ctx.run_shard(&plan[s], slices[s]));
+    let (outputs, busy) = crate::parallel::map_indexed_timed(PAIR_SHARDS, workers, |s| {
+        ctx.run_shard(s, &plan[s], slices[s])
+    });
+    obs.record_worker_busy(&busy);
 
     // Deterministic merge, in shard-index order. Every combining operation
     // is commutative and associative (sum, OR, min-rank), so the result is
     // independent of which worker produced which shard when.
     let mut merged: HashMap<SiteKey, RaceAcc> = HashMap::new();
     let mut reason: Option<BudgetExceeded> = None;
+    let mut budget_dropped = 0u64;
     for out in outputs {
         stats.candidate_pairs += out.candidate_pairs;
         stats.hb_pruned += out.hb_pruned;
@@ -496,6 +557,7 @@ pub(crate) fn run_pairing(
         stats.racy_pairs += out.racy_pairs;
         stats.hb_memo_hits += out.hb_memo_hits;
         stats.lockset_memo_hits += out.lockset_memo_hits;
+        budget_dropped += out.pairs_budget_dropped;
         coverage.window_groups_examined += out.groups_examined;
         if reason.is_none() {
             reason = out.truncated;
@@ -611,6 +673,23 @@ pub(crate) fn run_pairing(
     });
     stats.distinct_races = races.len() as u64;
 
+    // Mirror the pairing stats into the metrics registry. The metrics'
+    // `candidate_pairs` includes the budget-dropped tail (so the
+    // conservation law is exact); the schema-v1 `stats.pairing` field
+    // keeps its narrower examined-pairs meaning.
+    let p = &obs.pairing;
+    p.live_windows.set(stats.live_windows);
+    p.live_loads.set(stats.live_loads);
+    p.candidate_pairs
+        .set(stats.candidate_pairs + budget_dropped);
+    p.pairs_reported.set(stats.racy_pairs);
+    p.pairs_pruned_hb.set(stats.hb_pruned);
+    p.pairs_pruned_lockset.set(stats.lockset_protected);
+    p.pairs_budget_dropped.set(budget_dropped);
+    p.distinct_races.set(stats.distinct_races);
+    p.hb_memo_hits.set(stats.hb_memo_hits);
+    p.lockset_memo_hits.set(stats.lockset_memo_hits);
+
     AnalysisReport {
         races,
         stats: PipelineStats {
@@ -620,6 +699,7 @@ pub(crate) fn run_pairing(
             duration: Default::default(),
         },
         coverage,
+        metrics: None,
     }
 }
 

@@ -3,8 +3,11 @@
 //! pairing stage alone. It replaces the `analyze` / `try_analyze` / `pair`
 //! free functions, which survive as thin deprecated wrappers.
 
+use std::sync::{Arc, Mutex};
+
 use crate::error::HawkSetError;
 use crate::memsim::{simulate_view, AccessSet, SimConfig};
+use crate::obs::{MetricsRegistry, MetricsSnapshot, ObsHook, Stage};
 use crate::trace::{Trace, TraceView};
 
 use super::{engine, quarantine, AnalysisConfig, AnalysisReport, BudgetExceeded, Strictness};
@@ -18,17 +21,47 @@ use super::{engine, quarantine, AnalysisConfig, AnalysisReport, BudgetExceeded, 
 /// let analyzer = Analyzer::new(AnalysisConfig::default()).threads(2);
 /// let report = analyzer.run(&TraceBuilder::new().finish());
 /// assert!(report.is_clean());
+/// let metrics = analyzer.metrics().expect("run() records a snapshot");
+/// assert!(metrics.conservation_violations().is_empty());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Default)]
 pub struct Analyzer {
     cfg: AnalysisConfig,
+    hooks: Vec<Arc<dyn ObsHook>>,
+    /// Snapshot of the most recent run, shared across clones of the
+    /// cheaply-cloneable facade.
+    last_metrics: Arc<Mutex<Option<MetricsSnapshot>>>,
+}
+
+impl Clone for Analyzer {
+    /// Clones share the hook list and the last-metrics slot.
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            hooks: self.hooks.clone(),
+            last_metrics: Arc::clone(&self.last_metrics),
+        }
+    }
+}
+
+impl std::fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("cfg", &self.cfg)
+            .field("hooks", &self.hooks.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Analyzer {
     /// An analyzer over an explicit configuration. See also
     /// [`AnalysisConfig::builder`].
     pub fn new(cfg: AnalysisConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            hooks: Vec::new(),
+            last_metrics: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Sets the worker-thread count for the parallel stages (`0` = use
@@ -39,9 +72,36 @@ impl Analyzer {
         self
     }
 
+    /// Subscribes a tracing hook to every subsequent run: stage
+    /// start/end callbacks (with wall-clock durations) and the final
+    /// counter flush. Hooks run inline on the pipeline thread.
+    pub fn hook(mut self, hook: Arc<dyn ObsHook>) -> Self {
+        self.hooks.push(hook);
+        self
+    }
+
     /// The configuration this analyzer runs with.
     pub fn config(&self) -> &AnalysisConfig {
         &self.cfg
+    }
+
+    /// The metrics snapshot of the most recent [`run`](Self::run) /
+    /// [`try_run`](Self::try_run) / [`run_pairing`](Self::run_pairing) on
+    /// this analyzer (or any clone of it); `None` before the first run.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.last_metrics.lock().unwrap().clone()
+    }
+
+    fn registry(&self) -> MetricsRegistry {
+        MetricsRegistry::with_hooks(self.hooks.clone())
+    }
+
+    /// Flushes `reg` into a frozen snapshot, stores it as the analyzer's
+    /// last-run metrics and attaches it to `report`.
+    fn seal_metrics(&self, reg: &MetricsRegistry, report: &mut AnalysisReport) {
+        let snapshot = reg.flush();
+        *self.last_metrics.lock().unwrap() = Some(snapshot.clone());
+        report.metrics = Some(snapshot);
     }
 
     /// Runs the full pipeline on a trace assumed well-formed
@@ -49,7 +109,16 @@ impl Analyzer {
     /// use [`Analyzer::try_run`], which honors
     /// [`AnalysisConfig::strictness`].
     pub fn run(&self, trace: &Trace) -> AnalysisReport {
+        let reg = self.registry();
+        let mut report = self.run_with(trace, &reg);
+        self.seal_metrics(&reg, &mut report);
+        report
+    }
+
+    /// [`run`](Self::run) against a caller-owned registry; does not seal.
+    fn run_with(&self, trace: &Trace, reg: &MetricsRegistry) -> AnalysisReport {
         let started = std::time::Instant::now();
+        let total_stage = reg.stage(Stage::Total);
         let events_total = trace.events.len() as u64;
         // max_events caps the trace through a borrowed sub-slice view — no
         // clone of the event vector, which on capped multi-gigabyte traces
@@ -59,15 +128,24 @@ impl Analyzer {
             _ => TraceView::full(trace),
         };
         let events_analyzed = view.events.len() as u64;
-        let access = simulate_view(
-            view,
-            &SimConfig {
-                irh: self.cfg.irh,
-                eadr: self.cfg.eadr,
-                threads: self.cfg.threads,
-            },
-        );
-        let mut report = engine::run_pairing(view, &access, &self.cfg);
+        reg.ingest.events_decoded.set(events_total);
+        reg.ingest.events_analyzed.set(events_analyzed);
+        reg.ingest
+            .events_truncated
+            .set(events_total - events_analyzed);
+        let access = {
+            let _stage = reg.stage(Stage::Simulate);
+            simulate_view(
+                view,
+                &SimConfig {
+                    irh: self.cfg.irh,
+                    eadr: self.cfg.eadr,
+                    threads: self.cfg.threads,
+                },
+            )
+        };
+        reg.record_sim(&access.stats);
+        let mut report = engine::run_pairing(view, &access, &self.cfg, reg);
         report.stats.sim = access.stats.clone();
         report.coverage.events_analyzed = events_analyzed;
         report.coverage.events_total = events_total;
@@ -75,6 +153,7 @@ impl Analyzer {
             report.coverage.truncated = true;
             report.coverage.reason = Some(BudgetExceeded::Events);
         }
+        drop(total_stage);
         report.stats.duration = started.elapsed();
         report
     }
@@ -84,7 +163,9 @@ impl Analyzer {
     /// Under [`Strictness::Strict`] an ill-formed trace is rejected with a
     /// typed [`HawkSetError::Validate`]. Under [`Strictness::Lenient`] the
     /// ill-formed events are [quarantined](quarantine) — counted per
-    /// category in [`PipelineStats::quarantine`] — and the remaining
+    /// category in [`PipelineStats::quarantine`] and in the metrics'
+    /// `ingest.events_quarantined` (keeping the ingest conservation law
+    /// exact over the *original* event count) — and the remaining
     /// well-formed majority is analyzed normally.
     ///
     /// [`PipelineStats::quarantine`]: super::PipelineStats::quarantine
@@ -95,9 +176,15 @@ impl Analyzer {
                 Ok(self.run(trace))
             }
             Strictness::Lenient => {
+                let reg = self.registry();
                 let (kept, stats) = quarantine(trace);
-                let mut report = self.run(&kept);
+                let mut report = self.run_with(&kept, &reg);
+                // Re-base the ingest accounting on the original trace:
+                // decoded = kept (analyzed + truncated) + quarantined.
+                reg.ingest.events_decoded.set(trace.events.len() as u64);
+                reg.ingest.events_quarantined.set(stats.total());
                 report.stats.quarantine = stats;
+                self.seal_metrics(&reg, &mut report);
                 Ok(report)
             }
         }
@@ -105,10 +192,15 @@ impl Analyzer {
 
     /// Runs stage 3 (the sharded pairing) alone over a precomputed
     /// [`AccessSet`] — the benchmarking entry point. The report carries
-    /// pairing stats and coverage only; simulation stats, event coverage
-    /// and duration stay at their defaults.
+    /// pairing stats, coverage and a pairing-only metrics snapshot
+    /// (simulation counters reflect the provided access set; event
+    /// coverage and duration stay at their defaults).
     pub fn run_pairing(&self, trace: &Trace, access: &AccessSet) -> AnalysisReport {
-        engine::run_pairing(TraceView::full(trace), access, &self.cfg)
+        let reg = self.registry();
+        reg.record_sim(&access.stats);
+        let mut report = engine::run_pairing(TraceView::full(trace), access, &self.cfg, &reg);
+        self.seal_metrics(&reg, &mut report);
+        report
     }
 }
 

@@ -18,7 +18,7 @@
 //! `try_analyze` / `pair` free functions are deprecated thin wrappers
 //! around it.
 
-mod engine;
+pub(crate) mod engine;
 mod facade;
 pub mod report;
 

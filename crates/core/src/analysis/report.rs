@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use super::{Coverage, PipelineStats};
 use crate::addr::AddrRange;
+use crate::obs::MetricsSnapshot;
 use crate::trace::{Frame, StackId, ThreadId, Trace};
 
 /// Deduplication key of a race: the two backtraces.
@@ -125,6 +126,14 @@ pub struct AnalysisReport {
     /// resource budget stopped the run early, so absence of a race from
     /// [`races`](Self::races) is not evidence of absence.
     pub coverage: Coverage,
+    /// The full observability snapshot of the run ([`Analyzer::run`] fills
+    /// it; hand-assembled reports leave it `None`). Serialized as an
+    /// optional, self-versioned `metrics` key — an *addition* to schema
+    /// v1, so v1 consumers that ignore unknown keys are unbroken and
+    /// [`SCHEMA_VERSION`] does not bump.
+    ///
+    /// [`Analyzer::run`]: super::Analyzer::run
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl AnalysisReport {
@@ -211,9 +220,16 @@ impl AnalysisReport {
     ///   "races": [ { "key": ..., "store_site": ..., ... } ],
     ///   "coverage": { "truncated": ..., "reason": ..., ... },
     ///   "stats": { "sim": {...}, "pairing": {...},
-    ///              "quarantine": {...}, "duration_ms": ... }
+    ///              "quarantine": {...}, "duration_ms": ... },
+    ///   "metrics": { "version": 1, "ingest": {...}, "memsim": {...},
+    ///                "irh": {...}, "pairing": {...}, "timing": {...} }
     /// }
     /// ```
+    ///
+    /// The `metrics` key is optional (absent when [`Self::metrics`] is
+    /// `None`) and carries its own `version`; adding it did not bump
+    /// [`SCHEMA_VERSION`] because additions are backward-compatible by
+    /// the documented policy above.
     pub fn to_json(&self) -> String {
         use serde::{Map, Number, Value};
         let to_value =
@@ -236,6 +252,11 @@ impl AnalysisReport {
         root.insert("races", to_value(&self.races));
         root.insert("coverage", to_value(&self.coverage));
         root.insert("stats", Value::Object(stats));
+        // Optional and self-versioned (`metrics.version`): a
+        // backward-compatible addition, not a schema bump.
+        if let Some(metrics) = &self.metrics {
+            root.insert("metrics", to_value(metrics));
+        }
         serde_json::to_string_pretty(&Value::Object(root))
             .expect("report serialization cannot fail")
     }
@@ -286,6 +307,7 @@ mod tests {
             races: vec![race.clone()],
             stats: PipelineStats::default(),
             coverage: Coverage::default(),
+            metrics: None,
         };
         let json = report.to_json();
         let value: serde::Value = serde_json::from_str(&json).unwrap();
@@ -317,6 +339,7 @@ mod tests {
                 reason: Some(super::super::BudgetExceeded::CandidatePairs),
                 ..Default::default()
             },
+            metrics: None,
         };
         let value: serde::Value = serde_json::from_str(&report.to_json()).unwrap();
 
@@ -381,5 +404,43 @@ mod tests {
         );
         assert!(keys(&value["stats"]["sim"]).contains(&"events".to_string()));
         assert!(keys(&value["stats"]["quarantine"]).contains(&"dangling_release".to_string()));
+    }
+
+    /// The `metrics` key is a versioned, optional addition to schema v1:
+    /// absent on hand-built reports, present (after the pinned v1 keys)
+    /// with its own `version` when the pipeline fills it.
+    #[test]
+    fn metrics_key_is_optional_and_self_versioned() {
+        let keys = |v: &serde::Value| -> Vec<String> {
+            match v {
+                serde::Value::Object(m) => m.iter().map(|(k, _)| k.clone()).collect(),
+                other => panic!("expected object, got {other:?}"),
+            }
+        };
+        let bare = AnalysisReport::default();
+        let value: serde::Value = serde_json::from_str(&bare.to_json()).unwrap();
+        assert_eq!(
+            keys(&value),
+            ["schema_version", "races", "coverage", "stats"],
+            "absent metrics must leave the v1 shape untouched"
+        );
+
+        let with_metrics = AnalysisReport {
+            metrics: Some(MetricsSnapshot::default()),
+            ..Default::default()
+        };
+        let value: serde::Value = serde_json::from_str(&with_metrics.to_json()).unwrap();
+        assert_eq!(
+            keys(&value),
+            ["schema_version", "races", "coverage", "stats", "metrics"]
+        );
+        assert_eq!(value["schema_version"], 1u64, "additions do not bump v1");
+        assert_eq!(value["metrics"]["version"], 1u64);
+        assert_eq!(
+            keys(&value["metrics"]),
+            ["version", "ingest", "memsim", "irh", "pairing", "timing"]
+        );
+        let back: MetricsSnapshot = serde_json::from_value(value["metrics"].clone()).unwrap();
+        assert_eq!(back, MetricsSnapshot::default());
     }
 }

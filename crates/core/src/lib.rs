@@ -57,6 +57,7 @@ pub mod intern;
 pub mod irh;
 pub mod lockset;
 pub mod memsim;
+pub mod obs;
 pub mod parallel;
 pub mod stats;
 pub mod sync_config;
@@ -67,4 +68,5 @@ pub mod vclock;
 pub use analysis::{analyze, try_analyze};
 pub use analysis::{AnalysisConfig, AnalysisReport, Analyzer, Race, Strictness};
 pub use error::{HawkSetError, ResourceError};
+pub use obs::{MetricsSnapshot, ObsHook};
 pub use trace::{Trace, TraceBuilder};

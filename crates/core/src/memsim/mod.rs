@@ -70,6 +70,41 @@ pub struct SimStats {
     pub non_pm_accesses: u64,
 }
 
+impl SimStats {
+    /// The stage-1 section of a [`MetricsSnapshot`]: the cache-simulation
+    /// counters without the IRH ones, which get their own section.
+    ///
+    /// [`MetricsSnapshot`]: crate::obs::MetricsSnapshot
+    pub fn memsim_metrics(&self) -> crate::obs::MemsimMetrics {
+        crate::obs::MemsimMetrics {
+            events: self.events,
+            stores: self.stores,
+            loads: self.loads,
+            flushes: self.flushes,
+            fences: self.fences,
+            windows_created: self.windows_created,
+            windows_persisted: self.windows_persisted,
+            windows_overwritten: self.windows_overwritten,
+            windows_unpersisted: self.windows_unpersisted,
+            non_pm_accesses: self.non_pm_accesses,
+            distinct_locksets: self.distinct_locksets,
+            distinct_vclocks: self.distinct_vclocks,
+            intern_requests: self.intern_requests,
+        }
+    }
+
+    /// The IRH section of a [`MetricsSnapshot`].
+    ///
+    /// [`MetricsSnapshot`]: crate::obs::MetricsSnapshot
+    pub fn irh_metrics(&self) -> crate::obs::IrhMetrics {
+        crate::obs::IrhMetrics {
+            windows_discarded: self.irh_discarded_windows,
+            loads_dropped: self.irh_dropped_loads,
+            tracked_words: self.tracked_words,
+        }
+    }
+}
+
 /// Everything stage 1 + 2 hand to the lockset analysis.
 #[derive(Debug)]
 pub struct AccessSet {

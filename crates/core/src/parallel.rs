@@ -8,6 +8,7 @@
 //! independent of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Resolves a requested worker count: `0` means "use the machine"
 /// ([`std::thread::available_parallelism`]), anything else is literal.
@@ -32,16 +33,42 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    map_indexed_timed(jobs, threads, job).0
+}
+
+/// [`map_indexed`], additionally reporting how long each worker spent
+/// executing jobs (one [`Duration`] per worker actually used, in worker
+/// order).
+///
+/// Busy time excludes the idle tail a worker spends waiting for its
+/// siblings, so the spread across the returned durations is the
+/// load-imbalance picture the observability layer reports as
+/// `timing.worker_busy_ms`. On the sequential fallback the single entry
+/// covers the whole loop.
+pub fn map_indexed_timed<T, F>(jobs: usize, threads: usize, job: F) -> (Vec<T>, Vec<Duration>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = threads.min(jobs);
     if workers <= 1 {
-        return (0..jobs).map(job).collect();
+        let started = Instant::now();
+        let out: Vec<T> = (0..jobs).map(job).collect();
+        let busy = if jobs == 0 {
+            Vec::new()
+        } else {
+            vec![started.elapsed()]
+        };
+        return (out, busy);
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let mut busy = vec![Duration::ZERO; workers];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
+                let started = Instant::now();
                 let mut done = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -50,12 +77,13 @@ where
                     }
                     done.push((i, job(i)));
                 }
-                done
+                (done, started.elapsed())
             }));
         }
-        for handle in handles {
+        for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(results) => {
+                Ok((results, spent)) => {
+                    busy[w] = spent;
                     for (i, out) in results {
                         slots[i] = Some(out);
                     }
@@ -64,10 +92,11 @@ where
             }
         }
     });
-    slots
+    let out = slots
         .into_iter()
         .map(|s| s.expect("cursor visits every job index"))
-        .collect()
+        .collect();
+    (out, busy)
 }
 
 #[cfg(test)]
@@ -92,6 +121,19 @@ mod tests {
     fn effective_threads_resolves_auto() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn timed_map_reports_one_busy_duration_per_worker() {
+        let (out, busy) = map_indexed_timed(16, 3, |i| i + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+        assert_eq!(busy.len(), 3, "one duration per worker");
+        let (out, busy) = map_indexed_timed(5, 1, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(busy.len(), 1, "sequential fallback reports one entry");
+        let (out, busy) = map_indexed_timed(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert!(busy.is_empty(), "no jobs, no busy time");
     }
 
     #[test]

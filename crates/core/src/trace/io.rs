@@ -258,6 +258,16 @@ impl Salvage {
     pub fn is_complete(&self) -> bool {
         self.reason.is_none() && self.dropped_events == 0 && self.dropped_bytes == 0
     }
+
+    /// Records the salvage losses into a snapshot's ingest section (the
+    /// CLI patches these in after the analyzer runs — the analyzer only
+    /// ever sees the already-salvaged trace). Salvage-dropped events are
+    /// deliberately outside the ingest conservation law: they were lost
+    /// *before* decode completed, so they never counted as decoded.
+    pub fn record_metrics(&self, metrics: &mut crate::obs::MetricsSnapshot) {
+        metrics.ingest.events_salvage_dropped = self.dropped_events;
+        metrics.ingest.bytes_salvage_dropped = self.dropped_bytes as u64;
+    }
 }
 
 /// Deserializes a trace from its binary representation, rejecting any

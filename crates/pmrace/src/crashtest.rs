@@ -229,6 +229,122 @@ impl CrashCampaignResult {
     pub fn findings(&self) -> impl Iterator<Item = &RoundRecord> {
         self.records.iter().filter(|r| r.outcome.is_finding())
     }
+
+    /// Aggregates the campaign into a [`CampaignMetrics`] object — the
+    /// crashtest counterpart of the analyzer's metrics snapshot, written
+    /// by `hawkset crashtest --metrics`.
+    ///
+    /// Outcome, retry, image and crash-point counters are deterministic
+    /// for a deterministic campaign; wall-clock data lives in the `timing`
+    /// subobject. `timing.backoff_ms_total` is *reconstructed* from the
+    /// retry counts and the configured capped-doubling schedule (the
+    /// supervisor sleeps exactly that schedule), so it is deterministic
+    /// too, but it sits in `timing` because it measures waiting, not work.
+    pub fn metrics(&self, cfg: &CrashCampaignConfig) -> CampaignMetrics {
+        let mut m = CampaignMetrics {
+            version: CAMPAIGN_METRICS_VERSION,
+            rounds_total: self.records.len() as u64,
+            ..CampaignMetrics::default()
+        };
+        for rec in &self.records {
+            match rec.outcome {
+                RoundOutcome::Ok => m.rounds_ok += 1,
+                RoundOutcome::Panicked { .. } => m.rounds_panicked += 1,
+                RoundOutcome::TimedOut => m.rounds_timed_out += 1,
+                RoundOutcome::RecoveryFailed { .. } => m.rounds_recovery_failed += 1,
+                RoundOutcome::InvariantViolated { .. } => m.rounds_invariant_violated += 1,
+            }
+            m.retries_total += u64::from(rec.retries);
+            m.images_captured_total += rec.images_captured;
+            m.crash_points_total += rec.crash_points.len() as u64;
+            m.races_attributed_total += rec.attributed.len() as u64;
+            // First `retries` terms of the capped-doubling schedule
+            // b, 2b, 4b, …, max_backoff.
+            let mut backoff = cfg.retry_backoff;
+            for _ in 0..rec.retries {
+                m.timing.backoff_ms_total += backoff.as_millis() as u64;
+                backoff = (backoff * 2).min(cfg.max_backoff);
+            }
+            m.timing.round_ms_total += rec.duration_ms;
+        }
+        m.timing.total_ms = self.duration.as_secs_f64() * 1e3;
+        m
+    }
+}
+
+/// Version of the campaign metrics shape.
+pub const CAMPAIGN_METRICS_VERSION: u64 = 1;
+
+/// Wall-clock section of [`CampaignMetrics`] — everything here is
+/// machine- or schedule-dependent (except the reconstructed backoff sum,
+/// which still measures waiting rather than work).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignTiming {
+    /// Wall-clock time of this invocation.
+    pub total_ms: f64,
+    /// Sum of per-round durations (including retries).
+    pub round_ms_total: u64,
+    /// Total supervisor backoff sleep, reconstructed from retry counts and
+    /// the configured capped-doubling schedule.
+    pub backoff_ms_total: u64,
+}
+
+/// Aggregated campaign counters: per-outcome round counts, retry/backoff
+/// totals, capture totals. The per-outcome counts partition
+/// `rounds_total` (the sum of `rounds_ok`, `rounds_panicked`,
+/// `rounds_timed_out`, `rounds_recovery_failed` and
+/// `rounds_invariant_violated`) by construction, and the law is checked
+/// by [`CampaignMetrics::conservation_violations`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignMetrics {
+    /// [`CAMPAIGN_METRICS_VERSION`].
+    pub version: u64,
+    /// Rounds recorded (resumed rounds included).
+    pub rounds_total: u64,
+    /// Rounds that ended [`RoundOutcome::Ok`].
+    pub rounds_ok: u64,
+    /// Rounds that settled as [`RoundOutcome::Panicked`] after retries.
+    pub rounds_panicked: u64,
+    /// Rounds that settled as [`RoundOutcome::TimedOut`] after retries.
+    pub rounds_timed_out: u64,
+    /// Rounds ending in [`RoundOutcome::RecoveryFailed`].
+    pub rounds_recovery_failed: u64,
+    /// Rounds ending in [`RoundOutcome::InvariantViolated`].
+    pub rounds_invariant_violated: u64,
+    /// Transient-failure retries across all rounds.
+    pub retries_total: u64,
+    /// Crash images captured and audited across all rounds.
+    pub images_captured_total: u64,
+    /// Crash points injected across all rounds.
+    pub crash_points_total: u64,
+    /// Malign known races attributed across all rounds.
+    pub races_attributed_total: u64,
+    /// Wall-clock section.
+    pub timing: CampaignTiming,
+}
+
+impl CampaignMetrics {
+    /// Pretty-printed standalone JSON (the `--metrics` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign metrics serialization cannot fail")
+    }
+
+    /// Checks the per-outcome round accounting; one line per violation.
+    pub fn conservation_violations(&self) -> Vec<String> {
+        let rhs = self.rounds_ok
+            + self.rounds_panicked
+            + self.rounds_timed_out
+            + self.rounds_recovery_failed
+            + self.rounds_invariant_violated;
+        if self.rounds_total != rhs {
+            vec![format!(
+                "campaign law violated: rounds_total ({}) != sum of per-outcome counts ({})",
+                self.rounds_total, rhs,
+            )]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 /// Matches a report against the malign ground truth, returning every
@@ -581,6 +697,59 @@ mod tests {
                 rec.outcome
             );
         }
+    }
+
+    /// Campaign metrics: per-outcome counts partition the rounds, capture
+    /// totals add up, and the reconstructed backoff sum follows the
+    /// capped-doubling schedule.
+    #[test]
+    fn campaign_metrics_account_for_every_round() {
+        let cfg = tiny_cfg();
+        let result = CrashCampaignResult {
+            records: vec![
+                RoundRecord {
+                    round: 0,
+                    outcome: RoundOutcome::Ok,
+                    retries: 0,
+                    crash_points: vec![3, 9],
+                    op_horizon: 40,
+                    images_captured: 2,
+                    attributed: Vec::new(),
+                    duration_ms: 10,
+                },
+                RoundRecord {
+                    round: 1,
+                    outcome: RoundOutcome::TimedOut,
+                    retries: 3,
+                    crash_points: vec![5],
+                    op_horizon: 40,
+                    images_captured: 1,
+                    attributed: Vec::new(),
+                    duration_ms: 30,
+                },
+            ],
+            executed_this_run: 2,
+            resumed_from_checkpoint: false,
+            duration: Duration::from_millis(55),
+        };
+        let m = result.metrics(&cfg);
+        assert!(m.conservation_violations().is_empty());
+        assert_eq!(m.version, CAMPAIGN_METRICS_VERSION);
+        assert_eq!(m.rounds_total, 2);
+        assert_eq!(m.rounds_ok, 1);
+        assert_eq!(m.rounds_timed_out, 1);
+        assert_eq!(m.retries_total, 3);
+        assert_eq!(m.crash_points_total, 3);
+        assert_eq!(m.images_captured_total, 3);
+        // Schedule from tiny_cfg: 1ms, 2ms, 4ms (cap 8ms never reached).
+        assert_eq!(m.timing.backoff_ms_total, 7);
+        assert_eq!(m.timing.round_ms_total, 40);
+        let back: CampaignMetrics = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        let mut broken = m.clone();
+        broken.rounds_ok = 0;
+        assert_eq!(broken.conservation_violations().len(), 1);
     }
 
     /// Crash placement is a pure function of `(campaign seed, round,

@@ -31,7 +31,8 @@ pub mod metric;
 pub use campaign::{fuzz_app, CampaignConfig, CampaignResult, ObservedRace};
 pub use crashtest::{
     attribute_races, load_checkpoint, run_crash_campaign, AttributedRace, CampaignCheckpoint,
-    CrashCampaignConfig, CrashCampaignResult, FaultKind, InjectedFault, RoundOutcome, RoundRecord,
+    CampaignMetrics, CampaignTiming, CrashCampaignConfig, CrashCampaignResult, FaultKind,
+    InjectedFault, RoundOutcome, RoundRecord,
 };
 pub use delay::DelayInjector;
 pub use metric::expected_time_to_race;

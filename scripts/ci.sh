@@ -5,6 +5,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The golden-report suite must only ever *check* in CI. With UPDATE_GOLDEN
+# set it would silently rewrite the committed corpus to whatever the
+# current build produces, turning the regression pin into a no-op.
+if [[ -n "${UPDATE_GOLDEN:-}" ]]; then
+    echo "ci: refusing to run with UPDATE_GOLDEN set — regenerate goldens locally," >&2
+    echo "ci: review the diff, and run CI with the variable unset" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -17,10 +26,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> golden report corpus (byte-for-byte, timing masked)"
+# Explicit step so a corpus failure is unmistakable in the log even
+# though the suite also runs under `cargo test -q` above.
+cargo test -q --test golden_reports
+
 echo "==> bench smoke (pairing throughput, 1 vs 4 threads, fixed seed)"
-# Prints events/sec so perf regressions show up in CI logs; fails if the
-# parallel report diverges from the sequential one, or if a multi-core
-# host measures less than the 1.5x pairing speedup floor.
+# Timings are read from the pipeline's own metrics snapshot. Fails if the
+# parallel report or metrics diverge from the sequential ones, if any
+# conservation law is violated, or if a multi-core host measures less
+# than the 1.5x pairing speedup floor.
 cargo run --release -q -p hawkset-bench --bin smoke -- --threads 4 --min-speedup 1.5
 
 echo "ci: all green"

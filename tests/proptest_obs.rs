@@ -1,0 +1,232 @@
+//! Property tests for the observability layer: the metrics snapshot's
+//! conservation laws must hold on arbitrary traces under arbitrary
+//! budgets, and everything outside the `timing` subobject must be
+//! bit-identical at every worker-thread count.
+//!
+//! The laws (checked both through `conservation_violations()` and as
+//! explicit field equalities, so a regression in the checker itself is
+//! also caught):
+//!
+//! 1. `ingest.events_decoded = events_analyzed + events_quarantined +
+//!    events_truncated`
+//! 2. `pairing.candidate_pairs = pairs_reported + pairs_pruned_lockset +
+//!    pairs_pruned_hb + pairs_budget_dropped`
+//! 3. `sum(pairing.shard_candidate_pairs) = pairing.candidate_pairs`
+
+use hawkset::core::addr::AddrRange;
+use hawkset::core::analysis::{AnalysisBudget, AnalysisConfig, Analyzer, Strictness};
+use hawkset::core::trace::{EventKind, Frame, LockId, LockMode, ThreadId, Trace, TraceBuilder};
+use hawkset::core::MetricsSnapshot;
+use proptest::prelude::*;
+
+/// Multi-threaded traces over many cache lines: stores/loads (some
+/// overlapping), flushes, fences, and lock activity, so pairing work
+/// spreads across shards and every pruning path is exercised.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let ops = proptest::collection::vec(
+        (
+            0u8..6,
+            0u64..1024u64,
+            1u32..17,
+            0u64..4,
+            any::<bool>(),
+            0u8..4,
+        ),
+        1..200,
+    );
+    (ops, 1u32..5).prop_map(|(ops, workers)| {
+        let mut b = TraceBuilder::new();
+        let stacks: Vec<_> = (0..4)
+            .map(|i| b.intern_stack([Frame::new(format!("fn{i}"), "obs.rs", i + 1)]))
+            .collect();
+        for w in 1..=workers {
+            b.push(
+                ThreadId(0),
+                stacks[0],
+                EventKind::ThreadCreate { child: ThreadId(w) },
+            );
+        }
+        let mut held: Vec<Vec<u64>> = vec![Vec::new(); workers as usize + 1];
+        for (i, (kind, addr, len, lock, flag, site)) in ops.into_iter().enumerate() {
+            let tid = ThreadId(1 + (i as u32 % workers));
+            let s = stacks[site as usize];
+            let range = AddrRange::new(0x1000 + addr * 8, len);
+            match kind {
+                0 => b.push(
+                    tid,
+                    s,
+                    EventKind::Store {
+                        range,
+                        non_temporal: flag,
+                        atomic: false,
+                    },
+                ),
+                1 => b.push(
+                    tid,
+                    s,
+                    EventKind::Load {
+                        range,
+                        atomic: flag,
+                    },
+                ),
+                2 => b.push(tid, s, EventKind::Flush { addr: range.start }),
+                3 => b.push(tid, s, EventKind::Fence),
+                4 => {
+                    if !held[tid.index()].contains(&lock) {
+                        held[tid.index()].push(lock);
+                        b.push(
+                            tid,
+                            s,
+                            EventKind::Acquire {
+                                lock: LockId(lock),
+                                mode: if flag {
+                                    LockMode::Shared
+                                } else {
+                                    LockMode::Exclusive
+                                },
+                            },
+                        );
+                    }
+                }
+                _ => {
+                    if let Some(pos) = held[tid.index()].iter().position(|&l| l == lock) {
+                        held[tid.index()].remove(pos);
+                        b.push(tid, s, EventKind::Release { lock: LockId(lock) });
+                    }
+                }
+            }
+        }
+        for w in 1..=workers {
+            b.push(
+                ThreadId(0),
+                stacks[0],
+                EventKind::ThreadJoin { child: ThreadId(w) },
+            );
+        }
+        b.finish()
+    })
+}
+
+/// Asserts every law, both via the built-in checker and as raw field
+/// arithmetic.
+fn assert_laws(m: &MetricsSnapshot) {
+    prop_assert_eq!(
+        m.conservation_violations(),
+        Vec::<String>::new(),
+        "conservation_violations flagged"
+    );
+    prop_assert_eq!(
+        m.ingest.events_decoded,
+        m.ingest.events_analyzed + m.ingest.events_quarantined + m.ingest.events_truncated,
+        "ingest law broken"
+    );
+    prop_assert_eq!(
+        m.pairing.candidate_pairs,
+        m.pairing.pairs_reported
+            + m.pairing.pairs_pruned_lockset
+            + m.pairing.pairs_pruned_hb
+            + m.pairing.pairs_budget_dropped,
+        "pairing law broken"
+    );
+    prop_assert_eq!(
+        m.pairing.shard_candidate_pairs.iter().sum::<u64>(),
+        m.pairing.candidate_pairs,
+        "shard sum law broken"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The laws hold on unbudgeted runs.
+    #[test]
+    fn laws_hold_unbudgeted(trace in arb_trace()) {
+        let report = Analyzer::default().threads(1).run(&trace);
+        let m = report.metrics.expect("run() attaches metrics");
+        assert_laws(&m);
+        prop_assert_eq!(m.ingest.events_decoded, trace.events.len() as u64);
+        prop_assert_eq!(m.ingest.events_quarantined, 0);
+        prop_assert_eq!(m.pairing.pairs_budget_dropped, 0);
+    }
+
+    /// The laws hold under arbitrary candidate-pair and event budgets —
+    /// including budgets of zero, where everything lands in the truncated
+    /// or budget-dropped buckets.
+    #[test]
+    fn laws_hold_under_budgets(
+        trace in arb_trace(),
+        max_pairs in 0u64..40,
+        max_events in 0u64..64,
+    ) {
+        let cfg = AnalysisConfig {
+            budget: AnalysisBudget {
+                max_candidate_pairs: Some(max_pairs),
+                max_events: Some(max_events),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = Analyzer::new(cfg).threads(2).run(&trace);
+        let m = report.metrics.expect("run() attaches metrics");
+        assert_laws(&m);
+        prop_assert_eq!(m.ingest.events_decoded, trace.events.len() as u64);
+        prop_assert!(m.ingest.events_analyzed <= max_events);
+    }
+
+    /// Lenient mode keeps the ingest law exact over the *original* event
+    /// count: spliced-in releases of a never-acquired lock are
+    /// quarantined, and decoded = analyzed + quarantined + truncated
+    /// still sums to the pre-quarantine trace length.
+    #[test]
+    fn lenient_quarantine_keeps_ingest_law(
+        trace in arb_trace(),
+        dangling in 1usize..8,
+    ) {
+        // Append releases of a lock no thread ever acquired; each is
+        // ill-formed in isolation and lands in the quarantine.
+        let mut spliced = trace.clone();
+        let bad_stack = spliced.stacks.intern_stack([Frame::new("bad", "obs.rs", 99)]);
+        for _ in 0..dangling {
+            spliced.events.push(hawkset::core::trace::Event {
+                seq: spliced.events.len() as u64,
+                tid: ThreadId(0),
+                stack: bad_stack,
+                kind: EventKind::Release { lock: LockId(0xdead) },
+            });
+        }
+        let cfg = AnalysisConfig {
+            strictness: Strictness::Lenient,
+            ..Default::default()
+        };
+        let report = Analyzer::new(cfg).threads(1).try_run(&spliced)
+            .expect("lenient never rejects");
+        let m = report.metrics.expect("try_run attaches metrics");
+        assert_laws(&m);
+        prop_assert_eq!(m.ingest.events_decoded, spliced.events.len() as u64);
+        prop_assert_eq!(m.ingest.events_quarantined, dangling as u64);
+    }
+
+    /// Everything outside `timing` is bit-identical at 1, 2 and 8 worker
+    /// threads, budgeted or not.
+    #[test]
+    fn masked_metrics_are_thread_count_invariant(
+        trace in arb_trace(),
+        budgeted in any::<bool>(),
+        max_pairs in 0u64..40,
+    ) {
+        let cfg = AnalysisConfig {
+            budget: AnalysisBudget {
+                max_candidate_pairs: budgeted.then_some(max_pairs),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let reference = Analyzer::new(cfg.clone()).threads(1).run(&trace)
+            .metrics.expect("metrics").masked();
+        for n in [2usize, 8] {
+            let got = Analyzer::new(cfg.clone()).threads(n).run(&trace)
+                .metrics.expect("metrics").masked();
+            prop_assert_eq!(&got, &reference, "metrics diverged at {} threads", n);
+        }
+    }
+}

@@ -125,6 +125,24 @@ fn assert_reports_identical(cfg: &AnalysisConfig, trace: &Trace) {
             "coverage diverged at {} threads",
             n
         );
+        // The observability snapshot obeys the same contract once its
+        // wall-clock `timing` subobject is masked out.
+        let got_metrics = got
+            .metrics
+            .clone()
+            .expect("run() attaches metrics")
+            .masked();
+        let ref_metrics = reference
+            .metrics
+            .clone()
+            .expect("run() attaches metrics")
+            .masked();
+        prop_assert_eq!(
+            got_metrics,
+            ref_metrics,
+            "non-timing metrics diverged at {} threads",
+            n
+        );
     }
 }
 
