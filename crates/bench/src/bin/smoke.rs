@@ -9,8 +9,12 @@
 //! X` is given and the measured speedup falls short.
 //!
 //! ```text
-//! smoke [--threads N] [--ops N] [--min-speedup X]
+//! smoke [--threads N] [--ops N] [--min-speedup X] [--emit PATH]
 //! ```
+//!
+//! `--emit PATH` writes the synthetic trace to `PATH` as `.hwkt` and exits
+//! without benchmarking — CI uses it to manufacture a large input for the
+//! memory-budget and kill/resume checks without shipping fixture files.
 
 use std::process::ExitCode;
 
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
     let mut threads = 4usize;
     let mut ops = 30_000u64;
     let mut min_speedup: Option<f64> = None;
+    let mut emit: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +60,10 @@ fn main() -> ExitCode {
             "--min-speedup" => {
                 i += 1;
                 min_speedup = Some(args[i].parse().expect("--min-speedup X"));
+            }
+            "--emit" => {
+                i += 1;
+                emit = Some(args[i].clone());
             }
             other => {
                 eprintln!("smoke: unknown argument {other}");
@@ -76,6 +85,21 @@ fn main() -> ExitCode {
         seed: 42,
     };
     let trace = synthetic_trace(&spec);
+
+    if let Some(path) = emit {
+        let bytes = hawkset_core::trace::io::encode(&trace);
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("smoke: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "smoke: wrote {} events ({} bytes) to {path}",
+            trace.events.len(),
+            bytes.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let events = trace.events.len() as f64;
     let access = simulate(&trace, &SimConfig::default());
 

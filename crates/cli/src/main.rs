@@ -17,9 +17,58 @@
 
 use std::process::ExitCode;
 
-use hawkset_core::analysis::{AnalysisConfig, Analyzer, Strictness};
+use hawkset_core::analysis::checkpoint::{
+    config_fingerprint, AnalysisCheckpoint, CheckpointSession,
+};
+use hawkset_core::analysis::{
+    AnalysisConfig, Analyzer, StallInjection, StreamRunOptions, Strictness,
+};
 use hawkset_core::trace::io;
 use hawkset_core::{HawkSetError, Trace};
+
+/// SIGINT/SIGTERM land here: a single shared flag the analysis pipeline
+/// polls at its safe points (between ingested events, between pairing
+/// shards). First signal requests a graceful stop — the run finalizes a
+/// partial report and flushes the checkpoint; a second impatient signal is
+/// not intercepted beyond re-setting the same flag, so the default
+/// disposition (kill) stays available via SIGKILL only.
+mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: one relaxed atomic store, no allocation.
+        if let Some(f) = FLAG.get() {
+            f.store(true, Ordering::Relaxed);
+        }
+    }
+
+    #[cfg(unix)]
+    pub fn install() -> Arc<AtomicBool> {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let flag = FLAG
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+        flag
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() -> Arc<AtomicBool> {
+        let _ = on_signal as extern "C" fn(i32);
+        FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone()
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +99,7 @@ USAGE:
 
 COMMANDS:
     analyze    run the PM-aware lockset analysis on a recorded trace
+               (pass `-` as the trace path to stream from stdin)
     info       print trace statistics (events, threads, PM regions)
     demo       record the paper's Figure-1c example as a trace file
     crashtest  run a supervised crash-injection campaign against one of
@@ -78,6 +128,33 @@ ANALYZE OPTIONS:
     --metrics-stderr
                     print the metrics snapshot JSON to stderr (stdout
                     stays reserved for the report)
+    --stream        decode and simulate incrementally from a bounded
+                    buffer instead of loading the whole file (identical
+                    report; required implicitly for stdin, --checkpoint
+                    and --resume)
+    --memory-budget N
+                    cap live simulation state at ~N bytes; on pressure
+                    the coldest persisted windows are evicted and the
+                    report is marked `coverage.reason = memory_budget`
+    --stage-timeout-ms N
+                    watchdog deadline per pairing shard; stalled shards
+                    are cancelled and the partial report is marked
+                    `coverage.reason = stage_stalled`
+    --checkpoint PATH
+                    write an atomic resume checkpoint to PATH as the run
+                    progresses (ingest progress + finished shards)
+    --checkpoint-every N
+                    checkpoint cadence in ingested events (default 2^20)
+    --resume PATH   continue an interrupted run from its checkpoint:
+                    ingest is replayed from the trace file, finished
+                    pairing shards are restored from PATH (the trace must
+                    be a seekable file, not stdin); keeps checkpointing
+                    to PATH
+
+SIGNALS (analyze):
+    SIGINT/SIGTERM request a graceful stop: the run finalizes a partial
+    report marked `coverage.reason = interrupt`, flushes the checkpoint
+    (if any), and exits with the usual 0/1 status.
 
 CRASHTEST OPTIONS:
     --rounds N            campaign rounds (default 4)
@@ -207,6 +284,9 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut salvage = false;
     let mut metrics_path: Option<String> = None;
     let mut metrics_stderr = false;
+    let mut stream = false;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -220,7 +300,53 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--strict" => cfg.strictness = Strictness::Strict,
             "--lenient" => cfg.strictness = Strictness::Lenient,
             "--salvage" => salvage = true,
+            "--stream" => stream = true,
             "--metrics-stderr" => metrics_stderr = true,
+            flag if flag == "--memory-budget" || flag.starts_with("--memory-budget=") => {
+                match flag_value(args, &mut i, "--memory-budget") {
+                    Ok(v) => cfg.budget.memory_budget = Some(v),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--stage-timeout-ms" || flag.starts_with("--stage-timeout-ms=") => {
+                match flag_value(args, &mut i, "--stage-timeout-ms") {
+                    Ok(v) => cfg.budget.stage_timeout = Some(std::time::Duration::from_millis(v)),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--checkpoint-every" || flag.starts_with("--checkpoint-every=") => {
+                match flag_value(args, &mut i, "--checkpoint-every") {
+                    Ok(v) => cfg.checkpoint_every = Some(v.max(1)),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--checkpoint" || flag.starts_with("--checkpoint=") => {
+                match path_value(args, &mut i, "--checkpoint") {
+                    Ok(p) => checkpoint_path = Some(p),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--resume" || flag.starts_with("--resume=") => {
+                match path_value(args, &mut i, "--resume") {
+                    Ok(p) => resume_path = Some(p),
+                    Err(e) => {
+                        eprintln!("hawkset analyze: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             flag if flag == "--metrics" || flag.starts_with("--metrics=") => {
                 match path_value(args, &mut i, "--metrics") {
                     Ok(p) => metrics_path = Some(p),
@@ -269,6 +395,54 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!("hawkset analyze: missing trace path\n{USAGE}");
         return ExitCode::from(2);
     };
+    let from_stdin = path == "-";
+    let streaming = stream || from_stdin || checkpoint_path.is_some() || resume_path.is_some();
+    if from_stdin && resume_path.is_some() {
+        eprintln!(
+            "hawkset analyze: --resume needs a seekable trace file: resuming replays \
+             ingestion from the trace, and stdin (`-`) cannot be read twice"
+        );
+        return ExitCode::from(2);
+    }
+    if streaming && salvage && cfg.strictness != Strictness::Lenient {
+        eprintln!(
+            "hawkset analyze: --salvage with --stream requires --lenient \
+             (lenient streaming salvages automatically)"
+        );
+        return ExitCode::from(2);
+    }
+    // Test hook for the watchdog/kill-resume suites: stall one pairing
+    // shard so a run is reliably mid-pairing when a signal arrives.
+    if let Ok(ms) = std::env::var("HAWKSET_TEST_SHARD_DELAY_MS") {
+        match ms.parse::<u64>() {
+            Ok(ms) => {
+                let shard = std::env::var("HAWKSET_TEST_SHARD")
+                    .ok()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or(0);
+                cfg.stall_injection = Some(StallInjection {
+                    shard,
+                    delay: std::time::Duration::from_millis(ms),
+                });
+            }
+            Err(_) => {
+                eprintln!("hawkset analyze: HAWKSET_TEST_SHARD_DELAY_MS needs an integer");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    cfg.interrupt = Some(interrupt::install());
+    if streaming {
+        return analyze_stream(
+            &path,
+            cfg,
+            json,
+            checkpoint_path,
+            resume_path,
+            metrics_path,
+            metrics_stderr,
+        );
+    }
     let decode_started = std::time::Instant::now();
     let loaded = if salvage {
         load_trace_salvage(&path).map(LoadedTrace::Salvaged)
@@ -300,6 +474,117 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             s.record_metrics(m);
         }
     }
+    report_exit(&report, trace, json, lenient, metrics_path, metrics_stderr)
+}
+
+/// Streaming `analyze`: chunked ingestion straight into the simulator from
+/// a file or stdin, with optional checkpointing and resume.
+fn analyze_stream(
+    path: &str,
+    cfg: AnalysisConfig,
+    json: bool,
+    checkpoint_path: Option<String>,
+    resume_path: Option<String>,
+    metrics_path: Option<String>,
+    metrics_stderr: bool,
+) -> ExitCode {
+    use hawkset_core::analysis::BudgetExceeded;
+
+    let lenient = cfg.strictness == Strictness::Lenient;
+    let prior: Option<AnalysisCheckpoint> = match &resume_path {
+        Some(p) => match AnalysisCheckpoint::load(std::path::Path::new(p)) {
+            Ok(ck) => Some(ck),
+            Err(e) => {
+                eprintln!("hawkset: {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    // --resume keeps checkpointing to the same file unless --checkpoint
+    // redirects it.
+    let session_path = checkpoint_path.or_else(|| resume_path.clone());
+    let session = session_path.map(|p| match &prior {
+        Some(ck) => CheckpointSession::resuming(p.into(), ck.clone(), cfg.checkpoint_every),
+        None => CheckpointSession::new(
+            p.into(),
+            config_fingerprint(&cfg),
+            path.to_string(),
+            cfg.checkpoint_every,
+        ),
+    });
+    let analyzer = Analyzer::new(cfg);
+    let opts = StreamRunOptions {
+        checkpoint: session.as_ref(),
+        resume: prior.as_ref(),
+        ..Default::default()
+    };
+    let result = if path == "-" {
+        analyzer.try_run_stream_with_header(std::io::stdin().lock(), &opts)
+    } else {
+        match std::fs::File::open(path) {
+            Ok(f) => analyzer.try_run_stream_with_header(f, &opts),
+            Err(e) => {
+                eprintln!("hawkset: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let (report, header) = match result {
+        Ok(x) => x,
+        Err(e) => {
+            // Lenient mode would have absorbed exactly the decode/validate
+            // failures — only those earn the hint.
+            let hint = match &e {
+                HawkSetError::Decode(_) | HawkSetError::Validate(_) if !lenient => {
+                    " (use --lenient to quarantine and continue)"
+                }
+                _ => "",
+            };
+            eprintln!("hawkset: {path}: {e}{hint}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(s) = &session {
+        if let Some(e) = s.take_error() {
+            eprintln!(
+                "hawkset analyze: warning: checkpoint write to {} failed: {e}",
+                s.path().display()
+            );
+        }
+    }
+    if report.coverage.reason == Some(BudgetExceeded::Interrupted) {
+        match &session {
+            Some(s) => eprintln!(
+                "hawkset analyze: interrupted — partial report; resume with \
+                 --resume {}",
+                s.path().display()
+            ),
+            None => eprintln!("hawkset analyze: interrupted — partial report"),
+        }
+    }
+    report_exit(
+        &report,
+        &header,
+        json,
+        lenient,
+        metrics_path,
+        metrics_stderr,
+    )
+}
+
+/// Prints the report (JSON or rendered), emits metrics per the flags, and
+/// maps the result to the exit status. Shared by the batch and streaming
+/// paths — the report shape is identical, only `trace` differs (full trace
+/// vs. stream header, both carrying the stack table rendering needs).
+fn report_exit(
+    report: &hawkset_core::analysis::AnalysisReport,
+    trace: &Trace,
+    json: bool,
+    lenient: bool,
+    metrics_path: Option<String>,
+    metrics_stderr: bool,
+) -> ExitCode {
     if json {
         println!("{}", report.to_json());
     } else {

@@ -465,3 +465,308 @@ fn crashtest_metrics_flag_writes_campaign_metrics() {
             + metrics["rounds_invariant_violated"].as_u64().unwrap()
     );
 }
+
+/// A trace big enough that pairing has work in many shards: 64
+/// unsynchronized store/load pairs on distinct cache lines. Used by the
+/// streaming, interrupt and kill-and-resume tests.
+fn sharded_trace(name: &str) -> PathBuf {
+    use hawkset_core::addr::AddrRange;
+    use hawkset_core::trace::io;
+    use hawkset_core::trace::{EventKind, Frame, ThreadId, TraceBuilder};
+
+    let mut b = TraceBuilder::new();
+    let st = b.intern_stack([Frame::new("producer", "shard.c", 10)]);
+    let ld = b.intern_stack([Frame::new("consumer", "shard.c", 20)]);
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadCreate { child: ThreadId(1) },
+    );
+    for i in 0..64u64 {
+        let x = AddrRange::new(0x1000 + i * 0x40, 8);
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Load {
+                range: x,
+                atomic: false,
+            },
+        );
+    }
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadJoin { child: ThreadId(1) },
+    );
+    let path = std::env::temp_dir().join(format!("hawkset-cli-test-{name}.hwkt"));
+    std::fs::write(&path, io::encode(&b.finish())).unwrap();
+    path
+}
+
+/// Asserts two report JSONs are identical except for the wall-clock
+/// fields (`stats.duration`, `metrics.timing`), the only ones allowed to
+/// differ between equivalent runs.
+fn assert_same_report(a: &[u8], b: &[u8], ctx: &str) {
+    let a: serde_json::Value = serde_json::from_slice(a).expect("valid report JSON");
+    let b: serde_json::Value = serde_json::from_slice(b).expect("valid report JSON");
+    for key in ["schema_version", "races", "coverage"] {
+        assert_eq!(a[key], b[key], "{ctx}: `{key}` diverged");
+    }
+    for (section, masked) in [("stats", "duration_ms"), ("metrics", "timing")] {
+        let ao = a[section]
+            .as_object()
+            .unwrap_or_else(|| panic!("{ctx}: no {section}"));
+        let bo = b[section]
+            .as_object()
+            .unwrap_or_else(|| panic!("{ctx}: no {section}"));
+        assert_eq!(ao.len(), bo.len(), "{ctx}: `{section}` key sets differ");
+        for (k, v) in ao.iter() {
+            if k == masked {
+                continue;
+            }
+            assert_eq!(Some(v), bo.get(k), "{ctx}: `{section}.{k}` diverged");
+        }
+    }
+}
+
+#[test]
+fn stream_flag_matches_batch_report() {
+    let path = sharded_trace("stream-vs-batch");
+    let batch = hawkset()
+        .args(["analyze", "--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(batch.status.code(), Some(1));
+    let stream = hawkset()
+        .args(["analyze", "--json", "--stream", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(stream.status.code(), Some(1));
+    assert_same_report(
+        &stream.stdout,
+        &batch.stdout,
+        "streaming must be bit-identical to batch (wall-clock masked)",
+    );
+}
+
+#[test]
+fn stdin_dash_streams_the_trace() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let path = sharded_trace("stdin");
+    let bytes = std::fs::read(&path).unwrap();
+    let mut child = hawkset()
+        .args(["analyze", "--json", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child.stdin.take().unwrap().write_all(&bytes).unwrap();
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let file = hawkset()
+        .args(["analyze", "--json", "--stream", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_same_report(
+        &out.stdout,
+        &file.stdout,
+        "stdin and file streaming must agree",
+    );
+}
+
+#[test]
+fn stdin_cannot_resume() {
+    use std::process::Stdio;
+    let out = hawkset()
+        .args(["analyze", "-", "--resume", "/tmp/whatever.ck"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("seekable"), "stderr:\n{err}");
+}
+
+#[test]
+fn resume_with_mismatched_config_is_refused() {
+    let path = sharded_trace("resume-mismatch");
+    let ck = std::env::temp_dir().join("hawkset-cli-test-resume-mismatch.ck");
+    let _ = std::fs::remove_file(&ck);
+    let out = hawkset()
+        .args([
+            "analyze",
+            "--json",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(ck.exists(), "checkpoint file must be written");
+
+    // Same checkpoint, different analysis configuration: refused, and the
+    // error names both fingerprints rather than silently mixing results.
+    let out = hawkset()
+        .args([
+            "analyze",
+            "--json",
+            "--eadr",
+            "--resume",
+            ck.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("eadr"),
+        "stderr names the fingerprints:\n{err}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_produces_partial_report_with_resume_hint() {
+    use std::process::Stdio;
+
+    let path = sharded_trace("sigterm");
+    let ck = std::env::temp_dir().join("hawkset-cli-test-sigterm.ck");
+    let _ = std::fs::remove_file(&ck);
+    // Stall pairing shard 0 long enough to land the signal mid-stage.
+    let child = hawkset()
+        .args([
+            "analyze",
+            "--json",
+            "--stream",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+            path.to_str().unwrap(),
+        ])
+        .env("HAWKSET_TEST_SHARD_DELAY_MS", "20000")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    // Wait for the first checkpoint write: proof the run is underway.
+    let t0 = std::time::Instant::now();
+    while !ck.exists() {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "no checkpoint appeared within 10s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let rc = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill spawns");
+    assert!(rc.success());
+    let out = child.wait_with_output().expect("wait");
+
+    // Graceful: a valid partial report on stdout, a resume hint on stderr,
+    // and the racy prefix still decides the exit code.
+    assert!(
+        out.status.code() == Some(0) || out.status.code() == Some(1),
+        "graceful shutdown, not a signal death; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("partial report is valid JSON");
+    assert_eq!(report["coverage"]["truncated"], true);
+    assert_eq!(report["coverage"]["reason"], "interrupted");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume"), "stderr hints at resume:\n{err}");
+}
+
+#[cfg(unix)]
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_report() {
+    use std::process::Stdio;
+
+    let path = sharded_trace("kill-resume");
+    let ck = std::env::temp_dir().join("hawkset-cli-test-kill-resume.ck");
+    let _ = std::fs::remove_file(&ck);
+
+    // Golden: the same analysis, never interrupted.
+    let golden = hawkset()
+        .args(["analyze", "--json", "--stream", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(golden.status.code(), Some(1));
+
+    // Victim: checkpointing every event, with pairing shard 0 stalled so
+    // SIGKILL lands mid-run — no signal handler can help, only the
+    // checkpoint file survives.
+    let mut child = hawkset()
+        .args([
+            "analyze",
+            "--json",
+            "--stream",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+            path.to_str().unwrap(),
+        ])
+        .env("HAWKSET_TEST_SHARD_DELAY_MS", "20000")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let t0 = std::time::Instant::now();
+    while !ck.exists() {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "no checkpoint appeared within 10s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Resume from whatever the checkpoint captured (no stall this time).
+    let resumed = hawkset()
+        .args([
+            "analyze",
+            "--json",
+            "--resume",
+            ck.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        resumed.status.code(),
+        Some(1),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_same_report(
+        &resumed.stdout,
+        &golden.stdout,
+        "resumed run must reproduce the uninterrupted report (wall-clock masked)",
+    );
+}

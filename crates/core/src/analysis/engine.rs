@@ -31,12 +31,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use crate::addr::line_of;
 use crate::lockset::{LockEntry, Lockset};
 use crate::memsim::{AccessSet, CloseReason, LsId, SimStats, StoreWindow};
 use crate::obs::{MetricsRegistry, Stage};
-use crate::trace::TraceView;
+use crate::parallel::{Heartbeat, Watchdog};
+use crate::trace::StackTable;
 use crate::vclock::ClockOrder;
 
 use super::{
@@ -71,8 +73,8 @@ type LoadKey = (u64, u32, u32, u32, u32, u32, bool);
 /// Report-deduplication key: the pair of *sites* (functions containing the
 /// store and the load), falling back to exact-backtrace identity when site
 /// information is missing.
-#[derive(PartialEq, Eq, Hash)]
-enum SiteKey {
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum SiteKey {
     Functions(String, String),
     Stacks(u32, u32),
 }
@@ -81,9 +83,10 @@ enum SiteKey {
 /// load-group index)` in the global order the sequential loop examines
 /// pairs. The merge keeps the minimum — i.e. exactly the witness the
 /// sequential loop's `or_insert_with` would have kept.
-struct RaceAcc {
-    rank: (u32, u32),
-    race: Race,
+#[derive(Clone)]
+pub(crate) struct RaceAcc {
+    pub(crate) rank: (u32, u32),
+    pub(crate) race: Race,
 }
 
 impl RaceAcc {
@@ -102,28 +105,56 @@ impl RaceAcc {
     }
 }
 
-/// Everything a shard's pairing loop produces.
-#[derive(Default)]
-struct ShardOutput {
-    races: HashMap<SiteKey, RaceAcc>,
-    candidate_pairs: u64,
-    hb_pruned: u64,
-    lockset_protected: u64,
-    racy_pairs: u64,
-    hb_memo_hits: u64,
-    lockset_memo_hits: u64,
-    groups_examined: u64,
+/// Everything a shard's pairing loop produces. `Clone` + `pub(crate)`
+/// fields so the checkpoint layer can persist finished shards and feed
+/// them back through [`PairingControls::resume`].
+#[derive(Clone, Default)]
+pub(crate) struct ShardOutput {
+    pub(crate) races: HashMap<SiteKey, RaceAcc>,
+    pub(crate) candidate_pairs: u64,
+    pub(crate) hb_pruned: u64,
+    pub(crate) lockset_protected: u64,
+    pub(crate) racy_pairs: u64,
+    pub(crate) hb_memo_hits: u64,
+    pub(crate) lockset_memo_hits: u64,
+    pub(crate) groups_examined: u64,
     /// Candidate pairs in the groups a tripped pair budget left
     /// unexamined — enumerated (cheap: no HB/lockset classification) so
     /// the metrics' candidate-pair conservation law stays exact under
     /// truncation. Zero unless `truncated == Some(CandidatePairs)`.
-    pairs_budget_dropped: u64,
-    truncated: Option<BudgetExceeded>,
+    pub(crate) pairs_budget_dropped: u64,
+    pub(crate) truncated: Option<BudgetExceeded>,
+}
+
+impl ShardOutput {
+    /// True when this output is a pure function of the input (no wall-clock
+    /// or cancellation dependence) and may be cached across runs. Deadline,
+    /// watchdog and interrupt stops are schedule-dependent and never cached.
+    pub(crate) fn cacheable(&self) -> bool {
+        matches!(self.truncated, None | Some(BudgetExceeded::CandidatePairs))
+    }
+}
+
+/// The checkpoint layer's per-shard write hook (worker-thread context).
+pub(crate) type ShardHook<'a> = &'a (dyn Fn(usize, &ShardOutput) + Sync);
+
+/// Optional hooks into [`run_pairing_controlled`] used by checkpoint/resume.
+#[derive(Default)]
+pub(crate) struct PairingControls<'a> {
+    /// Finished shard outputs from a previous (killed) run, keyed by shard
+    /// index. A present shard is not re-executed: its cached output is
+    /// merged as-is (its per-shard metrics contribution included), which
+    /// preserves bit-identical reports because only
+    /// [`ShardOutput::cacheable`] outputs are ever stored.
+    pub resume: Option<&'a HashMap<usize, ShardOutput>>,
+    /// Called (from worker threads) with every freshly computed cacheable
+    /// shard output — the checkpoint layer's write hook.
+    pub on_shard: Option<ShardHook<'a>>,
 }
 
 /// Read-only context shared by every shard worker.
 struct PairingCtx<'a> {
-    view: TraceView<'a>,
+    stacks: &'a StackTable,
     access: &'a AccessSet,
     cfg: &'a AnalysisConfig,
     /// Raw lockset id → normalized (timestamp-stripped) id.
@@ -138,6 +169,12 @@ struct PairingCtx<'a> {
     by_word: &'a HashMap<u64, Vec<u32>>,
     deadline: Option<std::time::Instant>,
     stop: &'a AtomicBool,
+    /// Tripped by the stage watchdog (or pre-set when `stage_timeout` is
+    /// zero): unfinished shards stop with [`BudgetExceeded::StageStalled`].
+    stalled: &'a AtomicBool,
+    /// Cooperative interrupt (SIGINT/SIGTERM): unfinished shards stop with
+    /// [`BudgetExceeded::Interrupted`].
+    interrupt: Option<&'a AtomicBool>,
     obs: &'a MetricsRegistry,
 }
 
@@ -183,8 +220,37 @@ impl PairingCtx<'_> {
     /// The sequential inner loop of Algorithm 1 over one shard's window
     /// groups (`plan`, in global group order), with a per-shard candidate-
     /// pair budget `slice`.
-    fn run_shard(&self, shard: usize, plan: &[u32], slice: Option<u64>) -> ShardOutput {
+    /// Sliced sleep standing in for a stuck shard in tests: silent (no
+    /// heartbeats, so the watchdog can fire) but cooperative — a tripped
+    /// stall or interrupt flag cuts it short.
+    fn injected_stall(&self, shard: usize) {
+        let Some(inj) = self.cfg.stall_injection else {
+            return;
+        };
+        if inj.shard != shard {
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < inj.delay {
+            if self.stalled.load(Ordering::Relaxed)
+                || self.interrupt.is_some_and(|i| i.load(Ordering::Relaxed))
+                || self.stop.load(Ordering::Relaxed)
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn run_shard(
+        &self,
+        shard: usize,
+        plan: &[u32],
+        slice: Option<u64>,
+        hb: &Heartbeat<'_>,
+    ) -> ShardOutput {
         let mut out = ShardOutput::default();
+        self.injected_stall(shard);
         // Memo tables are per-shard: shards share no mutable state, and a
         // shard's windows cluster on the same lines (hence the same clock
         // and lockset ids), which is where memoization pays.
@@ -195,12 +261,23 @@ impl PairingCtx<'_> {
         let mut stopped_at = plan.len();
 
         for (idx, &win_gi) in plan.iter().enumerate() {
+            hb.beat();
             if let Some(max) = slice {
                 if out.candidate_pairs >= max {
                     out.truncated = Some(BudgetExceeded::CandidatePairs);
                     stopped_at = idx;
                     break;
                 }
+            }
+            if self.stalled.load(Ordering::Relaxed) {
+                out.truncated = Some(BudgetExceeded::StageStalled);
+                stopped_at = idx;
+                break;
+            }
+            if self.interrupt.is_some_and(|i| i.load(Ordering::Relaxed)) {
+                out.truncated = Some(BudgetExceeded::Interrupted);
+                stopped_at = idx;
+                break;
             }
             if let Some(at) = self.deadline {
                 if self.stop.load(Ordering::Relaxed) || std::time::Instant::now() >= at {
@@ -291,8 +368,8 @@ impl PairingCtx<'_> {
 
                 // Line 19: report, deduplicated by site pair.
                 out.racy_pairs += pairs;
-                let store_site = self.view.stacks.site(win.stack);
-                let load_site = self.view.stacks.site(ld.stack);
+                let store_site = self.stacks.site(win.stack);
+                let load_site = self.stacks.site(ld.stack);
                 let key = match (store_site, load_site) {
                     (Some(s), Some(l)) => {
                         SiteKey::Functions(s.function.clone(), l.function.clone())
@@ -377,10 +454,21 @@ fn budget_slices(max: Option<u64>, plan: &[Vec<u32>]) -> Vec<Option<u64>> {
 /// Stage 3 entry point: the sharded, deterministic pairing of store
 /// windows with loads, merged back into a single [`AnalysisReport`].
 pub(crate) fn run_pairing(
-    view: TraceView<'_>,
+    stacks: &StackTable,
     access: &AccessSet,
     cfg: &AnalysisConfig,
     obs: &MetricsRegistry,
+) -> AnalysisReport {
+    run_pairing_controlled(stacks, access, cfg, obs, PairingControls::default())
+}
+
+/// [`run_pairing`] with checkpoint/resume hooks (see [`PairingControls`]).
+pub(crate) fn run_pairing_controlled(
+    stacks: &StackTable,
+    access: &AccessSet,
+    cfg: &AnalysisConfig,
+    obs: &MetricsRegistry,
+    controls: PairingControls<'_>,
 ) -> AnalysisReport {
     let _stage = obs.stage(Stage::Pairing);
     let mut stats = PairingStats::default();
@@ -518,8 +606,12 @@ pub(crate) fn run_pairing(
     let slices = budget_slices(cfg.budget.max_candidate_pairs, &plan);
     let deadline = cfg.budget.deadline.map(|d| std::time::Instant::now() + d);
     let stop = AtomicBool::new(false);
+    // A zero stage timeout is the deterministic degenerate case (pinned by
+    // the golden corpus): every shard observes the stall flag immediately,
+    // no supervisor scheduling involved.
+    let stalled = AtomicBool::new(cfg.budget.stage_timeout == Some(Duration::ZERO));
     let ctx = PairingCtx {
-        view,
+        stacks,
         access,
         cfg,
         norm_of_raw: &norm_of_raw,
@@ -529,6 +621,8 @@ pub(crate) fn run_pairing(
         by_word: &by_word,
         deadline,
         stop: &stop,
+        stalled: &stalled,
+        interrupt: cfg.interrupt.as_deref(),
         obs,
     };
     // An explicit thread request is honored as-is; under the automatic
@@ -539,9 +633,32 @@ pub(crate) fn run_pairing(
     } else {
         crate::parallel::effective_threads(cfg.threads)
     };
-    let (outputs, busy) = crate::parallel::map_indexed_timed(PAIR_SHARDS, workers, |s| {
-        ctx.run_shard(s, &plan[s], slices[s])
-    });
+    let trip_stall = || stalled.store(true, Ordering::SeqCst);
+    let watchdog = cfg
+        .budget
+        .stage_timeout
+        .filter(|t| !t.is_zero())
+        .map(|timeout| Watchdog {
+            timeout,
+            on_stall: &trip_stall,
+        });
+    let (outputs, busy, _) =
+        crate::parallel::map_indexed_watched(PAIR_SHARDS, workers, watchdog, |s, hb| {
+            if let Some(cached) = controls.resume.and_then(|r| r.get(&s)) {
+                // Replayed shard: merge the previous run's output verbatim,
+                // including its contribution to the shard-sum law.
+                obs.pairing.shard_candidate_pairs[s]
+                    .add(cached.candidate_pairs + cached.pairs_budget_dropped);
+                return cached.clone();
+            }
+            let out = ctx.run_shard(s, &plan[s], slices[s], hb);
+            if let Some(on_shard) = controls.on_shard {
+                if out.cacheable() {
+                    on_shard(s, &out);
+                }
+            }
+            out
+        });
     obs.record_worker_busy(&busy);
 
     // Deterministic merge, in shard-index order. Every combining operation
@@ -631,8 +748,8 @@ pub(crate) fn run_pairing(
                 if eff1.protects_against(eff2) {
                     continue;
                 }
-                let s1 = view.stacks.site(w1.stack);
-                let s2 = view.stacks.site(w2.stack);
+                let s1 = stacks.site(w1.stack);
+                let s2 = stacks.site(w2.stack);
                 let key = match (s1, s2) {
                     (Some(a), Some(b)) => {
                         SiteKey::Functions(format!("ss:{}", a.function), b.function.clone())

@@ -3,14 +3,22 @@
 //! pairing stage alone. It replaces the `analyze` / `try_analyze` / `pair`
 //! free functions, which survive as thin deprecated wrappers.
 
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 use crate::error::HawkSetError;
-use crate::memsim::{simulate_view, AccessSet, SimConfig};
+use crate::memsim::{simulate_view, AccessSet, SimConfig, StreamSimulator};
 use crate::obs::{MetricsRegistry, MetricsSnapshot, ObsHook, Stage};
-use crate::trace::{Trace, TraceView};
+use crate::trace::stream::{StreamDecoder, StreamOptions, DEFAULT_CHUNK_BYTES};
+use crate::trace::validate::StreamValidator;
+use crate::trace::{Event, Trace, TraceView};
 
-use super::{engine, quarantine, AnalysisConfig, AnalysisReport, BudgetExceeded, Strictness};
+use super::checkpoint::{self, AnalysisCheckpoint, CheckpointSession, IngestProgress};
+use super::engine::{PairingControls, ShardOutput};
+use super::{
+    engine, quarantine, AnalysisConfig, AnalysisReport, BudgetExceeded, QuarantineFilter,
+    Strictness,
+};
 
 /// Configured analysis pipeline.
 ///
@@ -141,17 +149,25 @@ impl Analyzer {
                     irh: self.cfg.irh,
                     eadr: self.cfg.eadr,
                     threads: self.cfg.threads,
+                    memory_budget: self.cfg.budget.memory_budget,
                 },
             )
         };
         reg.record_sim(&access.stats);
-        let mut report = engine::run_pairing(view, &access, &self.cfg, reg);
+        let mut report = engine::run_pairing(view.stacks, &access, &self.cfg, reg);
         report.stats.sim = access.stats.clone();
         report.coverage.events_analyzed = events_analyzed;
         report.coverage.events_total = events_total;
         if events_analyzed < events_total {
             report.coverage.truncated = true;
             report.coverage.reason = Some(BudgetExceeded::Events);
+        }
+        // Memory-budget degradation outranks the other reasons: evicted
+        // simulation state silently removes pairs from *every* later stage,
+        // which is the caveat the report must lead with.
+        if access.stats.memory_budget_hit {
+            report.coverage.truncated = true;
+            report.coverage.reason = Some(BudgetExceeded::MemoryBudget);
         }
         drop(total_stage);
         report.stats.duration = started.elapsed();
@@ -190,6 +206,213 @@ impl Analyzer {
         }
     }
 
+    /// Runs the full pipeline over a **streamed** `.hwkt` trace from any
+    /// [`Read`](std::io::Read) source — a file or stdin — without ever
+    /// materializing the event vector. Memory held is the interning
+    /// tables, one refill chunk, and the live simulation state (itself
+    /// bounded by [`AnalysisBudget::memory_budget`]).
+    ///
+    /// The report is **bit-identical** to [`try_run`](Self::try_run) on
+    /// the batch-decoded trace: the decoder yields the same events
+    /// ([`StreamDecoder`] equivalence), quarantine/validation make the
+    /// same per-event decisions ([`QuarantineFilter`] /
+    /// [`StreamValidator`] are the batch paths' own internals), and the
+    /// incremental simulator replays locks inline with the same clocks
+    /// the batch timeline replay produces.
+    ///
+    /// [`opts`](StreamRunOptions) attaches checkpointing and resume; a
+    /// cooperative [`AnalysisConfig::interrupt`] stops the run between
+    /// events or shards and finalizes a partial report marked
+    /// [`BudgetExceeded::Interrupted`].
+    ///
+    /// [`AnalysisBudget::memory_budget`]: super::AnalysisBudget::memory_budget
+    pub fn try_run_stream<R: std::io::Read>(
+        &self,
+        reader: R,
+        opts: &StreamRunOptions<'_>,
+    ) -> Result<AnalysisReport, HawkSetError> {
+        self.try_run_stream_with_header(reader, opts)
+            .map(|(report, _)| report)
+    }
+
+    /// [`try_run_stream`](Self::try_run_stream), additionally returning the
+    /// decoded header trace (thread count, PM regions and the full stack
+    /// table; empty event vector). Streaming callers that want to *render*
+    /// the report need the stack table, and the stream is the only place it
+    /// exists — there is no in-memory trace to pass to
+    /// [`AnalysisReport::render`].
+    pub fn try_run_stream_with_header<R: std::io::Read>(
+        &self,
+        reader: R,
+        opts: &StreamRunOptions<'_>,
+    ) -> Result<(AnalysisReport, Trace), HawkSetError> {
+        let reg = self.registry();
+        let started = std::time::Instant::now();
+        let total_stage = reg.stage(Stage::Total);
+        let lenient = self.cfg.strictness == Strictness::Lenient;
+        let mut dec = StreamDecoder::new(
+            reader,
+            StreamOptions {
+                chunk_bytes: opts.effective_chunk(),
+                lossy: lenient,
+                max_bytes: opts.max_bytes,
+            },
+        )?;
+        let declared = dec.declared_events();
+        let fingerprint = checkpoint::config_fingerprint(&self.cfg);
+        if let Some(prior) = opts.resume {
+            prior.validate_resume(&fingerprint, declared)?;
+        }
+        if let Some(ck) = opts.checkpoint {
+            ck.set_declared_events(declared);
+        }
+
+        let thread_count = dec.header().thread_count;
+        let mut sim = StreamSimulator::new(
+            thread_count,
+            dec.header().regions.clone(),
+            &SimConfig {
+                irh: self.cfg.irh,
+                eadr: self.cfg.eadr,
+                threads: self.cfg.threads,
+                memory_budget: self.cfg.budget.memory_budget,
+            },
+        );
+        let stack_count = dec.header().stacks.stack_count();
+        // Lenient mode streams events through the same per-event filter the
+        // batch quarantine uses; strict mode through the incremental
+        // validator (the whole stream is validated, exactly like the batch
+        // path validates the whole trace before analyzing a prefix).
+        let mut filter = lenient.then(|| QuarantineFilter::new(thread_count, stack_count));
+        let mut validator = (!lenient).then(|| StreamValidator::new(thread_count, stack_count));
+
+        let max_events = self.cfg.budget.max_events;
+        let interrupt = self.cfg.interrupt.clone();
+        let cadence = opts.checkpoint.map(|ck| {
+            self.cfg
+                .checkpoint_every
+                .unwrap_or_else(|| ck.every())
+                .max(1)
+        });
+        let mut decoded: u64 = 0;
+        let mut kept: u64 = 0;
+        let mut analyzed: u64 = 0;
+        let mut interrupted = false;
+        {
+            let _stage = reg.stage(Stage::Simulate);
+            while let Some(ev) = dec.next_event()? {
+                decoded += 1;
+                let keep = match filter.as_mut() {
+                    Some(f) => f.admit(&ev),
+                    None => {
+                        validator
+                            .as_mut()
+                            .expect("strict has a validator")
+                            .push(&ev)?;
+                        true
+                    }
+                };
+                if keep {
+                    if max_events.is_none_or(|m| kept < m) {
+                        if lenient {
+                            // The batch quarantine re-sequences kept events
+                            // densely; replicate for bit-identity.
+                            sim.step(&Event { seq: kept, ..ev });
+                        } else {
+                            sim.step(&ev);
+                        }
+                        analyzed += 1;
+                    }
+                    kept += 1;
+                }
+                if let (Some(ck), Some(every)) = (opts.checkpoint, cadence) {
+                    if decoded.is_multiple_of(every) {
+                        ck.record_ingest(IngestProgress {
+                            stream_offset: dec.offset(),
+                            events_decoded: decoded,
+                            events_kept: kept,
+                            events_analyzed: analyzed,
+                        });
+                    }
+                }
+                if interrupt
+                    .as_ref()
+                    .is_some_and(|i| i.load(Ordering::Relaxed))
+                {
+                    interrupted = true;
+                    break;
+                }
+            }
+            if !interrupted {
+                if let Some(v) = validator.take() {
+                    v.finish()?;
+                }
+            }
+        }
+        let (header, loss) = dec.into_parts();
+        reg.ingest.events_decoded.set(decoded);
+        reg.ingest.events_analyzed.set(analyzed);
+        reg.ingest.events_truncated.set(kept - analyzed);
+        reg.ingest.events_salvage_dropped.set(loss.dropped_events);
+        reg.ingest.bytes_salvage_dropped.set(loss.dropped_bytes);
+        let quarantine_stats = filter.map(QuarantineFilter::into_stats).unwrap_or_default();
+        reg.ingest.events_quarantined.set(quarantine_stats.total());
+
+        let access = sim.finish();
+        reg.record_sim(&access.stats);
+
+        if let Some(ck) = opts.checkpoint {
+            ck.record_ingest(IngestProgress {
+                stream_offset: loss.valid_bytes,
+                events_decoded: decoded,
+                events_kept: kept,
+                events_analyzed: analyzed,
+            });
+            ck.set_phase("pairing");
+        }
+        let resume_map = opts.resume.map(AnalysisCheckpoint::shard_outputs);
+        let on_shard = opts
+            .checkpoint
+            .map(|ck| move |s: usize, out: &ShardOutput| ck.record_shard(s, out));
+        let controls = PairingControls {
+            resume: resume_map.as_ref(),
+            on_shard: on_shard
+                .as_ref()
+                .map(|f| f as &(dyn Fn(usize, &ShardOutput) + Sync)),
+        };
+        let mut report =
+            engine::run_pairing_controlled(&header.stacks, &access, &self.cfg, &reg, controls);
+        report.stats.sim = access.stats.clone();
+        report.stats.quarantine = quarantine_stats;
+        report.coverage.events_analyzed = analyzed;
+        // Interrupted ingest never learned the true total; the header's
+        // declared count is the best available denominator.
+        report.coverage.events_total = if interrupted {
+            declared.max(kept)
+        } else {
+            kept
+        };
+        if analyzed < report.coverage.events_total {
+            report.coverage.truncated = true;
+            report.coverage.reason = Some(BudgetExceeded::Events);
+        }
+        if access.stats.memory_budget_hit {
+            report.coverage.truncated = true;
+            report.coverage.reason = Some(BudgetExceeded::MemoryBudget);
+        }
+        if interrupted {
+            report.coverage.truncated = true;
+            report.coverage.reason = Some(BudgetExceeded::Interrupted);
+        }
+        drop(total_stage);
+        report.stats.duration = started.elapsed();
+        self.seal_metrics(&reg, &mut report);
+        if let Some(ck) = opts.checkpoint {
+            ck.set_phase("done");
+        }
+        Ok((report, header))
+    }
+
     /// Runs stage 3 (the sharded pairing) alone over a precomputed
     /// [`AccessSet`] — the benchmarking entry point. The report carries
     /// pairing stats, coverage and a pairing-only metrics snapshot
@@ -198,9 +421,39 @@ impl Analyzer {
     pub fn run_pairing(&self, trace: &Trace, access: &AccessSet) -> AnalysisReport {
         let reg = self.registry();
         reg.record_sim(&access.stats);
-        let mut report = engine::run_pairing(TraceView::full(trace), access, &self.cfg, &reg);
+        let mut report = engine::run_pairing(&trace.stacks, access, &self.cfg, &reg);
         self.seal_metrics(&reg, &mut report);
         report
+    }
+}
+
+/// Options for [`Analyzer::try_run_stream`]. The default streams with the
+/// decoder's default chunk size, no byte ceiling, no checkpointing.
+#[derive(Default)]
+pub struct StreamRunOptions<'a> {
+    /// Refill granularity of the streaming decoder; `0` uses
+    /// [`DEFAULT_CHUNK_BYTES`].
+    pub chunk_bytes: usize,
+    /// Ceiling on total bytes pulled from the source (see
+    /// [`StreamOptions::max_bytes`]).
+    pub max_bytes: Option<u64>,
+    /// Checkpoint writer: ingest progress every
+    /// [`AnalysisConfig::checkpoint_every`] events (or the session's
+    /// cadence), every finished cacheable pairing shard immediately.
+    pub checkpoint: Option<&'a CheckpointSession>,
+    /// A prior run's checkpoint: validated against this run's
+    /// configuration and trace, then its finished shards are merged
+    /// instead of re-executed.
+    pub resume: Option<&'a AnalysisCheckpoint>,
+}
+
+impl StreamRunOptions<'_> {
+    fn effective_chunk(&self) -> usize {
+        if self.chunk_bytes == 0 {
+            DEFAULT_CHUNK_BYTES
+        } else {
+            self.chunk_bytes
+        }
     }
 }
 
@@ -283,6 +536,36 @@ impl AnalysisConfigBuilder {
         self
     }
 
+    /// See [`AnalysisBudget::memory_budget`]: soft cap (bytes) on live
+    /// simulation state, degrading to a partial report instead of OOM.
+    ///
+    /// [`AnalysisBudget::memory_budget`]: super::AnalysisBudget::memory_budget
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.cfg.budget.memory_budget = Some(bytes);
+        self
+    }
+
+    /// See [`AnalysisBudget::stage_timeout`]: the pairing-stage watchdog.
+    ///
+    /// [`AnalysisBudget::stage_timeout`]: super::AnalysisBudget::stage_timeout
+    pub fn stage_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.cfg.budget.stage_timeout = Some(timeout);
+        self
+    }
+
+    /// See [`AnalysisConfig::checkpoint_every`]: events between ingest
+    /// checkpoint flushes when a session is attached.
+    pub fn checkpoint_every(mut self, events: u64) -> Self {
+        self.cfg.checkpoint_every = Some(events);
+        self
+    }
+
+    /// See [`AnalysisConfig::interrupt`]: the cooperative interrupt flag.
+    pub fn interrupt(mut self, flag: Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.cfg.interrupt = Some(flag);
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> AnalysisConfig {
         self.cfg
@@ -291,5 +574,273 @@ impl AnalysisConfigBuilder {
     /// Finalizes straight into an [`Analyzer`].
     pub fn build_analyzer(self) -> Analyzer {
         Analyzer::new(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+    use std::sync::atomic::AtomicBool;
+
+    use super::*;
+    use crate::addr::AddrRange;
+    use crate::analysis::checkpoint::config_fingerprint;
+    use crate::trace::io::encode;
+    use crate::trace::{EventKind, Frame, LockId, LockMode, ThreadId, TraceBuilder};
+
+    /// A trace busy enough to spread window groups over several shards:
+    /// two writer/reader address families, some locked and persisted, some
+    /// racy, across four threads.
+    fn busy_trace() -> Trace {
+        busy_trace_n(24)
+    }
+
+    fn busy_trace_n(rounds: u64) -> Trace {
+        let mut b = TraceBuilder::new();
+        let st = b.intern_stack([Frame::new("writer", "w.rs", 1)]);
+        let ld = b.intern_stack([Frame::new("reader", "r.rs", 2)]);
+        for t in 1..4u32 {
+            b.push(
+                ThreadId(0),
+                st,
+                EventKind::ThreadCreate { child: ThreadId(t) },
+            );
+        }
+        for round in 0..rounds {
+            let x = AddrRange::new(0x1000 + round * 64, 8);
+            let locked = round % 3 == 0;
+            if locked {
+                b.push(
+                    ThreadId(0),
+                    st,
+                    EventKind::Acquire {
+                        lock: LockId(1),
+                        mode: LockMode::Exclusive,
+                    },
+                );
+            }
+            b.push(
+                ThreadId(0),
+                st,
+                EventKind::Store {
+                    range: x,
+                    non_temporal: false,
+                    atomic: false,
+                },
+            );
+            if locked {
+                b.push(ThreadId(0), st, EventKind::Release { lock: LockId(1) });
+            }
+            b.push(
+                ThreadId(1 + (round % 3) as u32),
+                ld,
+                EventKind::Load {
+                    range: x,
+                    atomic: false,
+                },
+            );
+            b.push(ThreadId(0), st, EventKind::Flush { addr: x.start });
+            b.push(ThreadId(0), st, EventKind::Fence);
+        }
+        for t in 1..4u32 {
+            b.push(
+                ThreadId(0),
+                st,
+                EventKind::ThreadJoin { child: ThreadId(t) },
+            );
+        }
+        b.finish()
+    }
+
+    /// Splices a dangling release into the middle (lenient-mode fodder).
+    fn busy_trace_ill_formed() -> Trace {
+        let mut t = busy_trace();
+        let bad = Event {
+            seq: 0,
+            tid: ThreadId(0),
+            stack: t.events[0].stack,
+            kind: EventKind::Release {
+                lock: LockId(0xbad),
+            },
+        };
+        t.events.insert(t.events.len() / 2, bad);
+        for (i, ev) in t.events.iter_mut().enumerate() {
+            ev.seq = i as u64;
+        }
+        t
+    }
+
+    fn assert_reports_match(a: &AnalysisReport, b: &AnalysisReport, what: &str) {
+        assert_eq!(a.races, b.races, "{what}: races");
+        assert_eq!(a.coverage, b.coverage, "{what}: coverage");
+        assert_eq!(a.stats.sim, b.stats.sim, "{what}: sim stats");
+        assert_eq!(a.stats.pairing, b.stats.pairing, "{what}: pairing stats");
+        assert_eq!(a.stats.quarantine, b.stats.quarantine, "{what}: quarantine");
+        assert_eq!(
+            a.metrics.as_ref().map(|m| m.masked()),
+            b.metrics.as_ref().map(|m| m.masked()),
+            "{what}: masked metrics"
+        );
+    }
+
+    #[test]
+    fn streaming_report_is_bit_identical_to_batch() {
+        for (strictness, trace) in [
+            (Strictness::Strict, busy_trace()),
+            (Strictness::Lenient, busy_trace_ill_formed()),
+        ] {
+            let raw = encode(&trace).to_vec();
+            for threads in [1usize, 2, 8] {
+                let analyzer = AnalysisConfig::builder()
+                    .strictness(strictness)
+                    .threads(threads)
+                    .build_analyzer();
+                let batch = analyzer.try_run(&trace).expect("batch run");
+                for chunk in [0usize, 7, 64] {
+                    let stream = analyzer
+                        .try_run_stream(
+                            Cursor::new(raw.clone()),
+                            &StreamRunOptions {
+                                chunk_bytes: chunk,
+                                ..Default::default()
+                            },
+                        )
+                        .expect("streamed run");
+                    assert_reports_match(
+                        &batch,
+                        &stream,
+                        &format!("{strictness:?} t{threads} c{chunk}"),
+                    );
+                    let m = stream.metrics.as_ref().unwrap();
+                    assert!(m.conservation_violations().is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_under_memory_budget_degrades_identically_to_batch() {
+        let trace = busy_trace_n(400);
+        let raw = encode(&trace).to_vec();
+        let analyzer = AnalysisConfig::builder()
+            .memory_budget(8 * 1024)
+            .build_analyzer();
+        let batch = analyzer.try_run(&trace).expect("batch");
+        assert_eq!(batch.coverage.reason, Some(BudgetExceeded::MemoryBudget));
+        assert!(batch.stats.sim.memory_budget_hit);
+        let stream = analyzer
+            .try_run_stream(Cursor::new(raw), &StreamRunOptions::default())
+            .expect("stream");
+        assert_reports_match(&batch, &stream, "memory budget");
+        assert!(stream
+            .metrics
+            .as_ref()
+            .unwrap()
+            .conservation_violations()
+            .is_empty());
+    }
+
+    #[test]
+    fn checkpointed_stream_resumes_to_the_same_report() {
+        let trace = busy_trace();
+        let raw = encode(&trace).to_vec();
+        let dir = std::env::temp_dir().join(format!("hwk-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+
+        let analyzer = AnalysisConfig::builder().threads(2).build_analyzer();
+        let fp = config_fingerprint(analyzer.config());
+        let session = CheckpointSession::new(path.clone(), fp.clone(), "test".into(), Some(16));
+        let golden = analyzer
+            .try_run_stream(
+                Cursor::new(raw.clone()),
+                &StreamRunOptions {
+                    checkpoint: Some(&session),
+                    ..Default::default()
+                },
+            )
+            .expect("checkpointed run");
+        assert!(session.take_error().is_none());
+
+        let ck = AnalysisCheckpoint::load(&path).expect("checkpoint readable");
+        assert_eq!(ck.phase, "done");
+        assert!(
+            !ck.shards.is_empty(),
+            "finished shards must have been persisted"
+        );
+        assert_eq!(
+            ck.ingest.as_ref().unwrap().events_decoded,
+            trace.events.len() as u64
+        );
+
+        // Resume from the finished checkpoint: every shard is replayed from
+        // cache, and the report must be bit-identical — at any thread count.
+        for threads in [1usize, 2, 8] {
+            let resumed = AnalysisConfig::builder()
+                .threads(threads)
+                .build_analyzer()
+                .try_run_stream(
+                    Cursor::new(raw.clone()),
+                    &StreamRunOptions {
+                        resume: Some(&ck),
+                        ..Default::default()
+                    },
+                )
+                .expect("resumed run");
+            assert_reports_match(&golden, &resumed, &format!("resume t{threads}"));
+        }
+
+        // A different configuration must be refused.
+        let other = AnalysisConfig::builder().irh(false).build_analyzer();
+        let err = other
+            .try_run_stream(
+                Cursor::new(raw.clone()),
+                &StreamRunOptions {
+                    resume: Some(&ck),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HawkSetError::Checkpoint(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn preset_interrupt_finalizes_a_partial_report() {
+        let trace = busy_trace();
+        let raw = encode(&trace).to_vec();
+        let flag = Arc::new(AtomicBool::new(true));
+        let analyzer = AnalysisConfig::builder()
+            .interrupt(Arc::clone(&flag))
+            .build_analyzer();
+        let report = analyzer
+            .try_run_stream(Cursor::new(raw), &StreamRunOptions::default())
+            .expect("interrupted run still yields a report");
+        assert!(report.coverage.truncated);
+        assert_eq!(report.coverage.reason, Some(BudgetExceeded::Interrupted));
+        assert!(report.coverage.events_analyzed <= 1);
+        assert!(report
+            .metrics
+            .as_ref()
+            .unwrap()
+            .conservation_violations()
+            .is_empty());
+    }
+
+    #[test]
+    fn zero_stage_timeout_reports_stage_stalled() {
+        let trace = busy_trace();
+        let analyzer = AnalysisConfig::builder()
+            .stage_timeout(std::time::Duration::ZERO)
+            .build_analyzer();
+        let report = analyzer.run(&trace);
+        assert!(report.coverage.truncated);
+        assert_eq!(report.coverage.reason, Some(BudgetExceeded::StageStalled));
+        assert!(report
+            .metrics
+            .as_ref()
+            .unwrap()
+            .conservation_violations()
+            .is_empty());
     }
 }

@@ -18,6 +18,7 @@
 //! `try_analyze` / `pair` free functions are deprecated thin wrappers
 //! around it.
 
+pub mod checkpoint;
 pub(crate) mod engine;
 mod facade;
 pub mod report;
@@ -28,7 +29,7 @@ use crate::error::HawkSetError;
 use crate::memsim::{AccessSet, SimStats};
 use crate::trace::{Event, EventKind, LockId, ThreadId, Trace};
 
-pub use facade::{AnalysisConfigBuilder, Analyzer};
+pub use facade::{AnalysisConfigBuilder, Analyzer, StreamRunOptions};
 pub use report::{AnalysisReport, Race, RaceKey};
 
 /// How [`try_analyze`] treats an ill-formed trace.
@@ -53,6 +54,19 @@ pub struct AnalysisBudget {
     pub max_events: Option<u64>,
     /// Stop pairing when this much wall-clock time has elapsed.
     pub deadline: Option<std::time::Duration>,
+    /// Soft cap (bytes) on live simulation state — store windows, loads,
+    /// open pieces and interner arenas. When the estimate exceeds the cap
+    /// the simulation evicts its coldest report-inert state first and, if
+    /// that is not enough, earliest-closed windows and oldest loads, then
+    /// keeps going: the run completes with a partial-but-valid report
+    /// marked [`BudgetExceeded::MemoryBudget`] instead of aborting.
+    pub memory_budget: Option<u64>,
+    /// Watchdog timeout for the parallel pairing stage. When any busy
+    /// worker's heartbeat goes silent for this long, the supervisor trips
+    /// the shared stop flag; unfinished shards stop at their next check
+    /// and the run finalizes a partial report marked
+    /// [`BudgetExceeded::StageStalled`].
+    pub stage_timeout: Option<std::time::Duration>,
 }
 
 /// Which budget stopped a truncated run first.
@@ -65,6 +79,16 @@ pub enum BudgetExceeded {
     CandidatePairs,
     /// [`AnalysisBudget::deadline`].
     Deadline,
+    /// [`AnalysisBudget::memory_budget`] — the simulation evicted live
+    /// state to stay under the cap, so some pairs were never formed.
+    MemoryBudget,
+    /// [`AnalysisBudget::stage_timeout`] — the watchdog cancelled a
+    /// stalled pairing stage and the report covers the finished shards.
+    StageStalled,
+    /// The run was interrupted (SIGINT/SIGTERM in the CLI, or a
+    /// programmatic [`AnalysisConfig::interrupt`] flag) and finalized a
+    /// partial report at the next safe point.
+    Interrupted,
 }
 
 impl core::fmt::Display for BudgetExceeded {
@@ -73,6 +97,9 @@ impl core::fmt::Display for BudgetExceeded {
             BudgetExceeded::Events => write!(f, "event budget"),
             BudgetExceeded::CandidatePairs => write!(f, "candidate-pair budget"),
             BudgetExceeded::Deadline => write!(f, "deadline"),
+            BudgetExceeded::MemoryBudget => write!(f, "memory budget"),
+            BudgetExceeded::StageStalled => write!(f, "stage-stall watchdog"),
+            BudgetExceeded::Interrupted => write!(f, "interrupt"),
         }
     }
 }
@@ -160,6 +187,32 @@ pub struct AnalysisConfig {
     /// [`std::thread::available_parallelism`]). Reports are bit-identical
     /// for every value — see [`Analyzer::threads`].
     pub threads: usize,
+    /// Events between checkpoint flushes when a checkpoint session is
+    /// attached to the run (see `Analyzer::checkpoint`); `None` keeps the
+    /// default cadence. Checkpointing never changes the report.
+    pub checkpoint_every: Option<u64>,
+    /// Cooperative interrupt flag. When the flag flips to `true` the
+    /// pipeline stops at its next safe point — between ingested events or
+    /// at a pairing-shard boundary — and finalizes a partial report marked
+    /// [`BudgetExceeded::Interrupted`]. The CLI wires SIGINT/SIGTERM here.
+    pub interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Test-only fault injection: stall one pairing shard to exercise the
+    /// stage watchdog and the kill/resume paths. Not part of the public
+    /// API surface.
+    #[doc(hidden)]
+    pub stall_injection: Option<StallInjection>,
+}
+
+/// Test-only pairing-shard stall (see [`AnalysisConfig::stall_injection`]).
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallInjection {
+    /// Shard index to delay.
+    pub shard: usize,
+    /// How long the shard sleeps before doing its work. The sleep is
+    /// sliced and re-checks the stop flag, so a tripped watchdog or
+    /// interrupt cancels it early.
+    pub delay: std::time::Duration,
 }
 
 impl Default for AnalysisConfig {
@@ -173,6 +226,9 @@ impl Default for AnalysisConfig {
             strictness: Strictness::Strict,
             budget: AnalysisBudget::default(),
             threads: 0,
+            checkpoint_every: None,
+            interrupt: None,
+            stall_injection: None,
         }
     }
 }
@@ -240,68 +296,105 @@ const MAX_SANE_ACCESS_BYTES: u32 = 1 << 20;
 /// [`Trace::validate`] — global temporal invariants (join after the child's
 /// last event) do not make an event dangerous to analyze and are left in.
 pub fn quarantine(trace: &Trace) -> (Trace, QuarantineStats) {
-    let mut stats = QuarantineStats::default();
-    let thread_count = trace.thread_count.max(1) as usize;
-    let mut created = vec![false; thread_count];
-    created[ThreadId::MAIN.index()] = true;
-    let mut held: HashMap<LockId, u64> = HashMap::new();
-    let wild = |r: &crate::addr::AddrRange| {
-        r.len > MAX_SANE_ACCESS_BYTES || r.start.checked_add(u64::from(r.len)).is_none()
-    };
+    let mut filter = QuarantineFilter::new(trace.thread_count, trace.stacks.stack_count());
     let mut kept = Trace {
         events: Vec::with_capacity(trace.events.len()),
         stacks: trace.stacks.clone(),
         regions: trace.regions.clone(),
-        thread_count: thread_count as u32,
+        thread_count: trace.thread_count.max(1),
     };
     for ev in &trace.events {
-        if ev.tid.index() >= thread_count || !created[ev.tid.index()] {
-            stats.orphan_thread += 1;
-            continue;
+        if filter.admit(ev) {
+            let seq = kept.events.len() as u64;
+            kept.events.push(Event { seq, ..ev.clone() });
         }
-        if ev.stack as usize >= trace.stacks.stack_count() {
-            stats.bad_stack += 1;
-            continue;
+    }
+    (kept, filter.into_stats())
+}
+
+/// Event-at-a-time form of [`quarantine`], shared by the batch path above
+/// and the streaming analyzer so both make byte-identical keep/drop
+/// decisions. Memory is O(threads + live locks).
+#[derive(Debug)]
+pub(crate) struct QuarantineFilter {
+    thread_count: usize,
+    stack_count: usize,
+    created: Vec<bool>,
+    held: HashMap<LockId, u64>,
+    stats: QuarantineStats,
+}
+
+impl QuarantineFilter {
+    /// A filter for a trace with the given header dimensions.
+    pub fn new(thread_count: u32, stack_count: usize) -> Self {
+        let thread_count = thread_count.max(1) as usize;
+        let mut created = vec![false; thread_count];
+        created[ThreadId::MAIN.index()] = true;
+        Self {
+            thread_count,
+            stack_count,
+            created,
+            held: HashMap::new(),
+            stats: QuarantineStats::default(),
+        }
+    }
+
+    /// Decides the next event: `true` = keep (caller re-sequences), `false`
+    /// = quarantined (the per-category counter has been bumped).
+    pub fn admit(&mut self, ev: &Event) -> bool {
+        let wild = |r: &crate::addr::AddrRange| {
+            r.len > MAX_SANE_ACCESS_BYTES || r.start.checked_add(u64::from(r.len)).is_none()
+        };
+        if ev.tid.index() >= self.thread_count || !self.created[ev.tid.index()] {
+            self.stats.orphan_thread += 1;
+            return false;
+        }
+        if ev.stack as usize >= self.stack_count {
+            self.stats.bad_stack += 1;
+            return false;
         }
         match ev.kind {
             EventKind::Store { range, .. } | EventKind::Load { range, .. } if wild(&range) => {
-                stats.wild_range += 1;
-                continue;
+                self.stats.wild_range += 1;
+                return false;
             }
             EventKind::ThreadCreate { child } => {
-                if child.index() >= thread_count {
-                    stats.orphan_thread += 1;
-                    continue;
+                if child.index() >= self.thread_count {
+                    self.stats.orphan_thread += 1;
+                    return false;
                 }
-                if created[child.index()] {
-                    stats.double_create += 1;
-                    continue;
+                if self.created[child.index()] {
+                    self.stats.double_create += 1;
+                    return false;
                 }
-                created[child.index()] = true;
+                self.created[child.index()] = true;
             }
             EventKind::ThreadJoin { child }
-                if child.index() >= thread_count || !created[child.index()] =>
+                if child.index() >= self.thread_count || !self.created[child.index()] =>
             {
-                stats.join_before_create += 1;
-                continue;
+                self.stats.join_before_create += 1;
+                return false;
             }
             EventKind::Acquire { lock, .. } => {
-                *held.entry(lock).or_insert(0) += 1;
+                *self.held.entry(lock).or_insert(0) += 1;
             }
             EventKind::Release { lock } => {
-                let count = held.entry(lock).or_insert(0);
+                let count = self.held.entry(lock).or_insert(0);
                 if *count == 0 {
-                    stats.dangling_release += 1;
-                    continue;
+                    self.stats.dangling_release += 1;
+                    return false;
                 }
                 *count -= 1;
             }
             _ => {}
         }
-        let seq = kept.events.len() as u64;
-        kept.events.push(Event { seq, ..ev.clone() });
+        true
     }
-    (kept, stats)
+
+    /// Consumes the filter, returning the final counters.
+    pub fn into_stats(self) -> QuarantineStats {
+        self.stats
+    }
 }
 
 /// Stage 3: pair store windows with loads (optimized Algorithm 1).

@@ -17,6 +17,7 @@
 
 use core::fmt;
 
+use crate::analysis::checkpoint::CheckpointError;
 use crate::trace::io::DecodeError;
 use crate::trace::ValidateError;
 
@@ -52,6 +53,8 @@ pub enum HawkSetError {
     Validate(ValidateError),
     /// An input exceeded a configured resource limit.
     Resource(ResourceError),
+    /// A checkpoint file cannot resume the requested run.
+    Checkpoint(CheckpointError),
     /// An I/O operation failed.
     Io(std::io::Error),
 }
@@ -62,6 +65,7 @@ impl fmt::Display for HawkSetError {
             HawkSetError::Decode(e) => write!(f, "trace decode failed: {e}"),
             HawkSetError::Validate(e) => write!(f, "trace validation failed: {e}"),
             HawkSetError::Resource(e) => write!(f, "resource limit exceeded: {e}"),
+            HawkSetError::Checkpoint(e) => write!(f, "checkpoint unusable: {e}"),
             HawkSetError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -73,6 +77,7 @@ impl std::error::Error for HawkSetError {
             HawkSetError::Decode(e) => Some(e),
             HawkSetError::Validate(e) => Some(e),
             HawkSetError::Resource(e) => Some(e),
+            HawkSetError::Checkpoint(e) => Some(e),
             HawkSetError::Io(e) => Some(e),
         }
     }
@@ -99,6 +104,12 @@ impl From<ResourceError> for HawkSetError {
 impl From<std::io::Error> for HawkSetError {
     fn from(e: std::io::Error) -> Self {
         HawkSetError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for HawkSetError {
+    fn from(e: CheckpointError) -> Self {
+        HawkSetError::Checkpoint(e)
     }
 }
 

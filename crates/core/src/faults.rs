@@ -138,9 +138,75 @@ pub fn truncations(bytes: &[u8]) -> impl Iterator<Item = Vec<u8>> + '_ {
     (0..bytes.len()).map(|len| bytes[..len].to_vec())
 }
 
+/// A [`Read`] wrapper that fails with a deterministic I/O error once
+/// `fail_at` bytes have been served — the storage-dies-mid-stream failure
+/// mode for the streaming analyzer. Bytes before the fault are served
+/// verbatim; afterwards every read fails with [`ErrorKind::Other`].
+///
+/// [`ErrorKind::Other`]: std::io::ErrorKind
+#[derive(Debug)]
+pub struct IoFaultReader<R> {
+    inner: R,
+    /// Bytes remaining before the injected failure.
+    remaining: u64,
+}
+
+impl<R: std::io::Read> IoFaultReader<R> {
+    /// Serves exactly `fail_at` bytes of `inner`, then errors forever.
+    pub fn new(inner: R, fail_at: u64) -> Self {
+        Self {
+            inner,
+            remaining: fail_at,
+        }
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for IoFaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(std::io::Error::other("injected I/O fault"));
+        }
+        let cap = (self.remaining.min(buf.len() as u64)) as usize;
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+}
+
+/// A [`Read`] wrapper that serves at most `trickle` bytes per call —
+/// allocation-pressure injection for the streaming decoder: every refill
+/// returns a sliver, maximizing the buffer-stitching and retry paths and
+/// the number of partial-decode attempts per event.
+#[derive(Debug)]
+pub struct TrickleReader<R> {
+    inner: R,
+    trickle: usize,
+}
+
+impl<R: std::io::Read> TrickleReader<R> {
+    /// Caps each `read` at `trickle` bytes (minimum 1).
+    pub fn new(inner: R, trickle: usize) -> Self {
+        Self {
+            inner,
+            trickle: trickle.max(1),
+        }
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for TrickleReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let cap = self.trickle.min(buf.len());
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
 
     #[test]
     fn apply_is_pure_and_in_bounds() {
@@ -186,5 +252,32 @@ mod tests {
         assert_eq!(cuts.len(), 4);
         assert_eq!(cuts[0], Vec::<u8>::new());
         assert_eq!(cuts[3], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn io_fault_reader_serves_prefix_then_errors() {
+        let data = (0u8..64).collect::<Vec<_>>();
+        let mut r = IoFaultReader::new(std::io::Cursor::new(data.clone()), 10);
+        let mut got = Vec::new();
+        let err = r.read_to_end(&mut got).unwrap_err();
+        assert_eq!(got, &data[..10]);
+        assert_eq!(err.to_string(), "injected I/O fault");
+        let mut buf = [0u8; 4];
+        assert!(r.read(&mut buf).is_err(), "the fault is permanent");
+    }
+
+    #[test]
+    fn trickle_reader_caps_every_read() {
+        let data = vec![7u8; 100];
+        let mut r = TrickleReader::new(std::io::Cursor::new(data.clone()), 3);
+        let mut buf = [0u8; 50];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 3, "reads are capped at the trickle size");
+        let mut got = vec![0u8; 3];
+        got.copy_from_slice(&buf[..3]);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        got.extend_from_slice(&rest);
+        assert_eq!(got, data, "all bytes still arrive");
     }
 }

@@ -20,7 +20,7 @@
 
 pub mod window;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use crate::addr::{line_of, AddrRange, LineId};
 use crate::intern::Interner;
@@ -68,6 +68,18 @@ pub struct SimStats {
     /// Accesses ignored because they fell outside every registered PM
     /// region (only possible when the trace registers regions).
     pub non_pm_accesses: u64,
+    /// Closed windows evicted to stay under the memory budget. The window
+    /// partition law becomes `windows_persisted + windows_overwritten +
+    /// windows_unpersisted == |windows| + windows_evicted`.
+    #[serde(default)]
+    pub windows_evicted: u64,
+    /// Loads evicted to stay under the memory budget.
+    #[serde(default)]
+    pub loads_evicted: u64,
+    /// True when the live-state memory budget was exceeded at least once;
+    /// the report's coverage must then carry `reason = memory_budget`.
+    #[serde(default)]
+    pub memory_budget_hit: bool,
 }
 
 impl SimStats {
@@ -90,6 +102,8 @@ impl SimStats {
             distinct_locksets: self.distinct_locksets,
             distinct_vclocks: self.distinct_vclocks,
             intern_requests: self.intern_requests,
+            windows_evicted: self.windows_evicted,
+            loads_evicted: self.loads_evicted,
         }
     }
 
@@ -166,6 +180,16 @@ pub struct SimConfig {
     /// embarrassingly-parallel per-thread lock replay, and the main replay
     /// loop consumes (and interns) its results in trace order.
     pub threads: usize,
+    /// Approximate ceiling (bytes) on live simulation state: closed
+    /// windows, recorded loads, open pieces and the interning tables. When
+    /// exceeded the simulator degrades instead of aborting: it evicts
+    /// report-inert entries first (IRH casualties), then the coldest
+    /// (earliest-closed) windows and oldest loads, counting every eviction
+    /// into [`SimStats`] and setting `memory_budget_hit` so the final
+    /// report carries `coverage.reason = memory_budget`. Checks run on a
+    /// fixed event cadence, so enforcement is deterministic and identical
+    /// between the batch and streaming paths. `None` disables the budget.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -174,6 +198,7 @@ impl Default for SimConfig {
             irh: true,
             eadr: false,
             threads: 0,
+            memory_budget: None,
         }
     }
 }
@@ -251,17 +276,100 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> AccessSet {
 ///
 /// [`AnalysisBudget::max_events`]: crate::analysis::AnalysisBudget::max_events
 pub fn simulate_view(view: TraceView<'_>, cfg: &SimConfig) -> AccessSet {
-    Simulator::new(view, cfg.clone()).run()
+    // Per-thread lock replay is independent of everything else in the
+    // trace (acquire/release only mutate the issuing thread's lockset;
+    // a cross-thread handoff release is a no-op `without` on the
+    // releaser's own set), so the lockset after every lock event can be
+    // computed ahead of time, one worker per thread. The replay loop
+    // consumes the timelines in trace order and interns the results
+    // exactly where the sequential code did, keeping intern ids and stats
+    // bit-identical for every worker count.
+    let timelines = lockset_timelines(view, cfg.threads);
+    let cursors = vec![0usize; timelines.len()];
+    let mut core = SimCore::new(
+        view.thread_count,
+        view.regions.to_vec(),
+        cfg.clone(),
+        LockReplay::Timelines { timelines, cursors },
+    );
+    for ev in view.events {
+        core.step(ev);
+    }
+    core.finalize()
 }
 
-struct Simulator<'t> {
-    trace: TraceView<'t>,
+/// Event-at-a-time simulator for the streaming path.
+///
+/// Produces output bit-identical to [`simulate_view`] over the same event
+/// sequence: it shares the whole per-event engine ([`SimCore`]) and differs
+/// only in how locksets after lock events are obtained — replayed inline
+/// with per-thread logical clocks instead of precomputed timelines, which
+/// yields the exact same lockset values interned at the exact same points.
+pub struct StreamSimulator {
+    core: SimCore,
+}
+
+impl StreamSimulator {
+    /// Creates a simulator for a trace with the given header.
+    pub fn new(thread_count: u32, regions: Vec<crate::trace::PmRegion>, cfg: &SimConfig) -> Self {
+        Self {
+            core: SimCore::new(
+                thread_count,
+                regions,
+                cfg.clone(),
+                LockReplay::Inline { clocks: Vec::new() },
+            ),
+        }
+    }
+
+    /// Feeds the next event, in trace order.
+    pub fn step(&mut self, ev: &crate::trace::Event) {
+        self.core.step(ev);
+    }
+
+    /// Running counters (final totals only after [`finish`](Self::finish)).
+    pub fn stats(&self) -> &SimStats {
+        &self.core.stats
+    }
+
+    /// Closes still-open windows and returns the access set.
+    pub fn finish(self) -> AccessSet {
+        self.core.finalize()
+    }
+}
+
+/// Where the lockset value after a lock event comes from.
+enum LockReplay {
+    /// Batch path: timelines precomputed per thread (possibly in
+    /// parallel), consumed in trace order.
+    Timelines {
+        timelines: Vec<Vec<Lockset>>,
+        cursors: Vec<usize>,
+    },
+    /// Streaming path: inline replay. `clocks[tid]` is the thread-local
+    /// logical clock that stamps `LockEntry::acq_ts`, advanced exactly as
+    /// [`replay_locks`] does.
+    Inline { clocks: Vec<u64> },
+}
+
+/// Budget checks run every this many events — a fixed cadence so that
+/// enforcement (and therefore the output) is deterministic and identical
+/// between the batch and streaming paths.
+const MEMORY_CHECK_INTERVAL: u64 = 256;
+
+struct SimCore {
     cfg: SimConfig,
+    regions: Vec<crate::trace::PmRegion>,
+    filter_pm: bool,
+    replay: LockReplay,
     threads: Vec<ThreadState>,
     /// Open store pieces, indexed by cache line.
     lines: HashMap<LineId, Vec<OpenPiece>>,
-    /// For each thread, the lines that may hold pieces pending on its fence.
-    fence_watch: HashMap<ThreadId, HashSet<LineId>>,
+    /// For each thread, the lines that may hold pieces pending on its
+    /// fence. An ordered set: a fence closes windows on every watched line
+    /// in one step, and the push order of those windows must not depend on
+    /// hash-iteration order or two simulator instances would disagree.
+    fence_watch: HashMap<ThreadId, BTreeSet<LineId>>,
     publication: PublicationTracker,
     locksets: Interner<Lockset>,
     vclocks: Interner<VectorClock>,
@@ -270,13 +378,18 @@ struct Simulator<'t> {
     stats: SimStats,
 }
 
-impl<'t> Simulator<'t> {
-    fn new(trace: TraceView<'t>, cfg: SimConfig) -> Self {
+impl SimCore {
+    fn new(
+        thread_count: u32,
+        regions: Vec<crate::trace::PmRegion>,
+        cfg: SimConfig,
+        replay: LockReplay,
+    ) -> Self {
         let mut locksets = Interner::new();
         let mut vclocks = Interner::new();
         let empty_ls = locksets.intern(Lockset::empty());
         let zero_vc = vclocks.intern(VectorClock::new());
-        let threads = (0..trace.thread_count.max(1))
+        let threads = (0..thread_count.max(1))
             .map(|_| ThreadState {
                 lockset: Lockset::empty(),
                 ls_id: empty_ls,
@@ -285,9 +398,12 @@ impl<'t> Simulator<'t> {
                 needs_tick: true,
             })
             .collect();
+        let filter_pm = !regions.is_empty();
         Self {
-            trace,
             cfg,
+            regions,
+            filter_pm,
+            replay,
             threads,
             lines: HashMap::new(),
             fence_watch: HashMap::new(),
@@ -300,93 +416,187 @@ impl<'t> Simulator<'t> {
         }
     }
 
-    fn run(mut self) -> AccessSet {
-        // Per-thread lock replay is independent of everything else in the
-        // trace (acquire/release only mutate the issuing thread's lockset;
-        // a cross-thread handoff release is a no-op `without` on the
-        // releaser's own set), so the lockset after every lock event can be
-        // computed ahead of time, one worker per thread. The main loop
-        // below consumes the timelines in trace order and interns the
-        // results exactly where the sequential code did, keeping intern
-        // ids and stats bit-identical for every worker count.
-        let timelines = lockset_timelines(self.trace, self.cfg.threads);
-        let mut cursors = vec![0usize; timelines.len()];
-        let filter_pm = !self.trace.regions.is_empty();
-        for ev in self.trace.events {
-            self.stats.events += 1;
-            // A trace that bypassed the builder (or was salvaged from a
-            // corrupt file) can name threads beyond the header count; grow
-            // the table instead of indexing out of bounds.
-            self.ensure_thread(ev.tid);
-            if let EventKind::ThreadJoin { child } = &ev.kind {
-                self.ensure_thread(*child);
-            }
-            match &ev.kind {
-                EventKind::Store {
-                    range,
-                    non_temporal,
-                    atomic,
-                } => {
-                    if filter_pm && !self.trace.is_pm(range) {
-                        self.stats.non_pm_accesses += 1;
-                        continue;
-                    }
+    fn is_pm(&self, range: &AddrRange) -> bool {
+        self.regions.iter().any(|r| r.contains(range))
+    }
+
+    fn step(&mut self, ev: &crate::trace::Event) {
+        self.stats.events += 1;
+        // A trace that bypassed the builder (or was salvaged from a
+        // corrupt file) can name threads beyond the header count; grow
+        // the table instead of indexing out of bounds.
+        self.ensure_thread(ev.tid);
+        if let EventKind::ThreadJoin { child } = &ev.kind {
+            self.ensure_thread(*child);
+        }
+        match &ev.kind {
+            EventKind::Store {
+                range,
+                non_temporal,
+                atomic,
+            } => {
+                if self.filter_pm && !self.is_pm(range) {
+                    self.stats.non_pm_accesses += 1;
+                } else {
                     self.stats.stores += 1;
                     self.tick_if_needed(ev.tid);
                     self.on_store(ev.tid, ev.seq, ev.stack, *range, *non_temporal, *atomic);
                 }
-                EventKind::Load { range, atomic } => {
-                    if filter_pm && !self.trace.is_pm(range) {
-                        self.stats.non_pm_accesses += 1;
-                        continue;
-                    }
+            }
+            EventKind::Load { range, atomic } => {
+                if self.filter_pm && !self.is_pm(range) {
+                    self.stats.non_pm_accesses += 1;
+                } else {
                     self.stats.loads += 1;
                     self.tick_if_needed(ev.tid);
                     self.on_load(ev.tid, ev.seq, ev.stack, *range, *atomic);
                 }
-                EventKind::Flush { addr } => {
-                    self.stats.flushes += 1;
-                    self.tick_if_needed(ev.tid);
-                    self.on_flush(ev.tid, *addr);
-                }
-                EventKind::Fence => {
-                    self.stats.fences += 1;
-                    self.tick_if_needed(ev.tid);
-                    self.on_fence(ev.tid);
-                }
-                EventKind::Acquire { .. } | EventKind::Release { .. } => {
-                    let ti = ev.tid.index();
-                    let ls = timelines[ti][cursors[ti]].clone();
-                    cursors[ti] += 1;
-                    let t = &mut self.threads[ti];
-                    t.lockset = ls.clone();
-                    t.ls_id = self.locksets.intern(ls);
-                }
-                EventKind::ThreadCreate { child } => {
-                    self.ensure_thread(*child);
-                    let parent = ev.tid.index();
-                    self.threads[parent].vc.tick(ev.tid);
-                    let mut child_vc = self.threads[parent].vc.clone();
-                    child_vc.tick(*child);
-                    let parent_vc = self.threads[parent].vc.clone();
-                    self.threads[parent].vc_id = self.vclocks.intern(parent_vc);
-                    self.threads[parent].needs_tick = true;
-                    let c = &mut self.threads[child.index()];
-                    c.vc = child_vc;
-                    let cvc = c.vc.clone();
-                    self.threads[child.index()].vc_id = self.vclocks.intern(cvc);
-                    self.threads[child.index()].needs_tick = true;
-                }
-                EventKind::ThreadJoin { child } => {
-                    let child_vc = self.threads[child.index()].vc.clone();
-                    let w = &mut self.threads[ev.tid.index()];
-                    w.vc.merge(&child_vc);
-                    let wvc = w.vc.clone();
-                    self.threads[ev.tid.index()].vc_id = self.vclocks.intern(wvc);
-                    self.threads[ev.tid.index()].needs_tick = true;
-                }
+            }
+            EventKind::Flush { addr } => {
+                self.stats.flushes += 1;
+                self.tick_if_needed(ev.tid);
+                self.on_flush(ev.tid, *addr);
+            }
+            EventKind::Fence => {
+                self.stats.fences += 1;
+                self.tick_if_needed(ev.tid);
+                self.on_fence(ev.tid);
+            }
+            EventKind::Acquire { .. } | EventKind::Release { .. } => {
+                let ti = ev.tid.index();
+                let ls = match &mut self.replay {
+                    LockReplay::Timelines { timelines, cursors } => {
+                        let ls = timelines[ti][cursors[ti]].clone();
+                        cursors[ti] += 1;
+                        ls
+                    }
+                    LockReplay::Inline { clocks } => {
+                        if clocks.len() <= ti {
+                            clocks.resize(ti + 1, 0);
+                        }
+                        match &ev.kind {
+                            EventKind::Acquire { lock, mode } => {
+                                clocks[ti] += 1;
+                                self.threads[ti].lockset.with(LockEntry {
+                                    lock: *lock,
+                                    mode: *mode,
+                                    acq_ts: clocks[ti],
+                                })
+                            }
+                            EventKind::Release { lock } => self.threads[ti].lockset.without(*lock),
+                            _ => unreachable!("outer match arm is Acquire | Release"),
+                        }
+                    }
+                };
+                let t = &mut self.threads[ti];
+                t.lockset = ls.clone();
+                t.ls_id = self.locksets.intern(ls);
+            }
+            EventKind::ThreadCreate { child } => {
+                self.ensure_thread(*child);
+                let parent = ev.tid.index();
+                self.threads[parent].vc.tick(ev.tid);
+                let mut child_vc = self.threads[parent].vc.clone();
+                child_vc.tick(*child);
+                let parent_vc = self.threads[parent].vc.clone();
+                self.threads[parent].vc_id = self.vclocks.intern(parent_vc);
+                self.threads[parent].needs_tick = true;
+                let c = &mut self.threads[child.index()];
+                c.vc = child_vc;
+                let cvc = c.vc.clone();
+                self.threads[child.index()].vc_id = self.vclocks.intern(cvc);
+                self.threads[child.index()].needs_tick = true;
+            }
+            EventKind::ThreadJoin { child } => {
+                let child_vc = self.threads[child.index()].vc.clone();
+                let w = &mut self.threads[ev.tid.index()];
+                w.vc.merge(&child_vc);
+                let wvc = w.vc.clone();
+                self.threads[ev.tid.index()].vc_id = self.vclocks.intern(wvc);
+                self.threads[ev.tid.index()].needs_tick = true;
             }
         }
+        if self.stats.events.is_multiple_of(MEMORY_CHECK_INTERVAL) {
+            self.enforce_budget();
+        }
+    }
+
+    /// Approximate bytes of live simulation state, mirroring the dominant
+    /// allocations: recorded windows/loads, open pieces and the interning
+    /// tables (locksets at a flat estimate, vector clocks by thread count).
+    fn approx_live_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let open: usize = self.lines.values().map(Vec::len).sum();
+        (self.windows.len() * size_of::<StoreWindow>()) as u64
+            + (self.loads.len() * size_of::<LoadAccess>()) as u64
+            + (open * size_of::<OpenPiece>()) as u64
+            + self.locksets.len() as u64 * 64
+            + self.vclocks.len() as u64 * (8 * self.threads.len() as u64 + 32)
+    }
+
+    /// Degrades instead of aborting when the memory budget is exceeded:
+    /// evicts report-inert entries first (IRH casualties change nothing),
+    /// then the coldest (earliest-closed) windows, then the oldest loads,
+    /// until live state fits in 75% of the budget. Everything here is a
+    /// deterministic function of the event prefix, so batch and streaming
+    /// degrade identically.
+    fn enforce_budget(&mut self) {
+        let Some(limit) = self.cfg.memory_budget else {
+            return;
+        };
+        let live = self.approx_live_bytes();
+        if live <= limit {
+            return;
+        }
+        self.stats.memory_budget_hit = true;
+        let target = limit - limit / 4;
+        let need = live.saturating_sub(target);
+        let wsz = std::mem::size_of::<StoreWindow>() as u64;
+        let lsz = std::mem::size_of::<LoadAccess>() as u64;
+        let w0 = self.windows.len();
+        let l0 = self.loads.len();
+        let mut freed = 0u64;
+        self.windows.retain(|w| {
+            if freed >= need || !w.irh_discarded {
+                true
+            } else {
+                freed += wsz;
+                false
+            }
+        });
+        self.loads.retain(|l| {
+            if freed >= need || !l.irh_dropped {
+                true
+            } else {
+                freed += lsz;
+                false
+            }
+        });
+        self.windows.retain(|_| {
+            if freed >= need {
+                true
+            } else {
+                freed += wsz;
+                false
+            }
+        });
+        self.loads.retain(|_| {
+            if freed >= need {
+                true
+            } else {
+                freed += lsz;
+                false
+            }
+        });
+        self.stats.windows_evicted += (w0 - self.windows.len()) as u64;
+        self.stats.loads_evicted += (l0 - self.loads.len()) as u64;
+        // retain() keeps capacity; give the memory back so the budget
+        // holds for the process, not just the model.
+        self.windows.shrink_to_fit();
+        self.loads.shrink_to_fit();
+    }
+
+    fn finalize(mut self) -> AccessSet {
         self.close_remaining();
         self.stats.distinct_locksets = self.locksets.len() as u64;
         self.stats.distinct_vclocks = self.vclocks.len() as u64;
@@ -707,6 +917,7 @@ mod tests {
                 irh: false,
                 eadr: false,
                 threads: 1,
+                memory_budget: None,
             },
         )
     }
@@ -1026,6 +1237,7 @@ mod tests {
                 irh: true,
                 eadr: false,
                 threads: 1,
+                memory_budget: None,
             },
         );
         let w_persisted = out.windows.iter().find(|w| w.range.start == 0x100).unwrap();
@@ -1051,6 +1263,7 @@ mod tests {
                 irh: true,
                 eadr: false,
                 threads: 1,
+                memory_budget: None,
             },
         );
         assert!(!out.windows[0].irh_discarded);
@@ -1072,6 +1285,7 @@ mod tests {
                 irh: true,
                 eadr: false,
                 threads: 1,
+                memory_budget: None,
             },
         );
         assert_eq!(out.loads.len(), 3);
@@ -1110,6 +1324,7 @@ mod tests {
                 irh: false,
                 eadr: true,
                 threads: 1,
+                memory_budget: None,
             },
         );
         assert_eq!(out.windows.len(), 1);
@@ -1117,6 +1332,146 @@ mod tests {
         assert_eq!(out.windows[0].close_vc, Some(out.windows[0].store_vc));
         assert_eq!(out.windows[0].effective_ls, out.windows[0].store_ls);
         assert_eq!(out.stats.windows_unpersisted, 0);
+    }
+
+    /// Asserts [`StreamSimulator`] and [`simulate`] produce bit-identical
+    /// output on `trace`: same windows/loads (including interned ids) and
+    /// the same *values* behind every id in both interners.
+    fn assert_stream_matches_batch(trace: &Trace, cfg: &SimConfig) {
+        let batch = simulate(trace, cfg);
+        let mut s = StreamSimulator::new(trace.thread_count, trace.regions.clone(), cfg);
+        for ev in &trace.events {
+            s.step(ev);
+        }
+        let stream = s.finish();
+        assert_eq!(batch.windows, stream.windows);
+        assert_eq!(batch.loads, stream.loads);
+        assert_eq!(batch.stats, stream.stats);
+        for w in &batch.windows {
+            assert_eq!(
+                batch.locksets.get(w.store_ls),
+                stream.locksets.get(w.store_ls)
+            );
+            assert_eq!(
+                batch.locksets.get(w.effective_ls),
+                stream.locksets.get(w.effective_ls)
+            );
+            assert_eq!(
+                batch.vclocks.get(w.store_vc),
+                stream.vclocks.get(w.store_vc)
+            );
+            if let Some(c) = w.close_vc {
+                assert_eq!(batch.vclocks.get(c), stream.vclocks.get(c));
+            }
+        }
+        for l in &batch.loads {
+            assert_eq!(batch.locksets.get(l.ls), stream.locksets.get(l.ls));
+            assert_eq!(batch.vclocks.get(l.vc), stream.vclocks.get(l.vc));
+        }
+    }
+
+    /// A busy trace exercising every replay path: multiple threads, nested
+    /// and re-acquired locks, overwrites, cross-thread persists, NT stores,
+    /// private (IRH-droppable) accesses.
+    fn busy_trace() -> Trace {
+        let mut b = builder();
+        let s = b.intern_stack([Frame::new("w", "t.rs", 1)]);
+        let (a, bb) = (LockId(0xa), LockId(0xb));
+        let acq = |lock| EventKind::Acquire {
+            lock,
+            mode: LockMode::Exclusive,
+        };
+        b.push(T0, s, store(AddrRange::new(0x100, 8)));
+        b.push(T0, s, EventKind::Flush { addr: 0x100 });
+        b.push(T0, s, EventKind::Fence);
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        for round in 0..4u64 {
+            let x = AddrRange::new(0x1000 + round * 0x40, 8);
+            b.push(T0, s, acq(a));
+            b.push(T0, s, acq(bb));
+            b.push(T0, s, store(x));
+            b.push(T0, s, EventKind::Release { lock: bb });
+            b.push(T0, s, EventKind::Flush { addr: x.start });
+            b.push(T0, s, EventKind::Fence);
+            b.push(T0, s, EventKind::Release { lock: a });
+            b.push(T1, s, acq(a));
+            b.push(T1, s, load(x));
+            b.push(T1, s, EventKind::Release { lock: a });
+            b.push(T1, s, ntstore(AddrRange::new(0x2000 + round * 0x40, 16)));
+            b.push(T1, s, EventKind::Fence);
+            b.push(T0, s, store(x)); // overwrite
+        }
+        b.push(T1, s, EventKind::Flush { addr: 0x1000 });
+        b.push(T1, s, EventKind::Fence); // cross-thread persist
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        b.finish()
+    }
+
+    #[test]
+    fn stream_simulator_matches_batch() {
+        let trace = busy_trace();
+        for irh in [false, true] {
+            for threads in [1, 4] {
+                let cfg = SimConfig {
+                    irh,
+                    eadr: false,
+                    threads,
+                    memory_budget: None,
+                };
+                assert_stream_matches_batch(&trace, &cfg);
+            }
+        }
+    }
+
+    /// A long trace whose persisted windows pile up until a small budget
+    /// forces evictions.
+    fn window_heavy_trace() -> Trace {
+        let mut b = builder();
+        let s = b.intern_stack([]);
+        b.push(T0, s, EventKind::ThreadCreate { child: T1 });
+        for i in 0..400u64 {
+            let x = AddrRange::new(0x1_0000 + i * 0x40, 8);
+            b.push(T0, s, store(x));
+            b.push(T0, s, EventKind::Flush { addr: x.start });
+            b.push(T0, s, EventKind::Fence);
+            b.push(T1, s, load(x));
+        }
+        b.push(T0, s, EventKind::ThreadJoin { child: T1 });
+        b.finish()
+    }
+
+    #[test]
+    fn memory_budget_evicts_deterministically() {
+        let trace = window_heavy_trace();
+        let cfg = SimConfig {
+            irh: false,
+            eadr: false,
+            threads: 1,
+            memory_budget: Some(8 * 1024),
+        };
+        let out = simulate(&trace, &cfg);
+        assert!(out.stats.memory_budget_hit);
+        assert!(out.stats.windows_evicted > 0);
+        // Extended partition law: closes account for kept + evicted.
+        assert_eq!(
+            out.stats.windows_persisted
+                + out.stats.windows_overwritten
+                + out.stats.windows_unpersisted,
+            out.windows.len() as u64 + out.stats.windows_evicted
+        );
+        // The budget path stays bit-identical between batch and streaming.
+        assert_stream_matches_batch(&trace, &cfg);
+        // And an unbudgeted run evicts nothing.
+        let free = simulate(
+            &trace,
+            &SimConfig {
+                memory_budget: None,
+                ..cfg
+            },
+        );
+        assert!(!free.stats.memory_budget_hit);
+        assert_eq!(free.stats.windows_evicted, 0);
+        assert!(free.windows.len() > out.windows.len());
     }
 
     #[test]

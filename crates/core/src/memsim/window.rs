@@ -34,7 +34,7 @@ pub enum CloseReason {
 }
 
 /// The visibility window of (part of) one store.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoreWindow {
     /// Thread that issued the store.
     pub tid: ThreadId,
@@ -75,7 +75,7 @@ impl StoreWindow {
 }
 
 /// One PM load as seen by the analysis (Algorithm 1's `LoadData`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoadAccess {
     /// Thread that issued the load.
     pub tid: ThreadId,

@@ -87,6 +87,14 @@ pub struct MemsimMetrics {
     pub distinct_vclocks: u64,
     /// Lockset/vector-clock intern requests.
     pub intern_requests: u64,
+    /// Store windows evicted under memory-budget pressure. Extends the
+    /// window partition law: `windows_persisted + windows_overwritten +
+    /// windows_unpersisted == windows_kept + windows_evicted`.
+    #[serde(default)]
+    pub windows_evicted: u64,
+    /// Loads evicted under memory-budget pressure.
+    #[serde(default)]
+    pub loads_evicted: u64,
 }
 
 /// Initialization Removal Heuristic counters (§3.1.3).

@@ -7,8 +7,44 @@
 //! which worker executed which job, so any fold over the output is
 //! independent of scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Heartbeat sentinel: the worker holds no job.
+const IDLE: u64 = u64::MAX;
+
+/// A worker's liveness cell, handed to every job of
+/// [`map_indexed_watched`]. The map beats once when a job is claimed;
+/// long-running jobs should call [`beat`](Heartbeat::beat) periodically
+/// from their inner loop so the watchdog can tell "slow but alive" from
+/// "stuck".
+pub struct Heartbeat<'a> {
+    epoch: Instant,
+    cell: &'a AtomicU64,
+}
+
+impl Heartbeat<'_> {
+    /// Records "alive now".
+    pub fn beat(&self) {
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        self.cell.store(now, Ordering::Relaxed);
+    }
+
+    fn idle(&self) {
+        self.cell.store(IDLE, Ordering::Relaxed);
+    }
+}
+
+/// Stage watchdog configuration for [`map_indexed_watched`].
+pub struct Watchdog<'a> {
+    /// A worker whose heartbeat stays silent this long while holding a job
+    /// is considered stalled.
+    pub timeout: Duration,
+    /// Called exactly once, from the supervisor thread, when a stall is
+    /// detected. Typically trips the caller's cooperative stop flag so the
+    /// remaining workers finish early with partial output.
+    pub on_stall: &'a (dyn Fn() + Sync),
+}
 
 /// Resolves a requested worker count: `0` means "use the machine"
 /// ([`std::thread::available_parallelism`]), anything else is literal.
@@ -50,36 +86,104 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let (out, busy, _) = map_indexed_watched(jobs, threads, None, |i, _| job(i));
+    (out, busy)
+}
+
+/// [`map_indexed_timed`] with per-worker heartbeats and an optional
+/// supervising watchdog.
+///
+/// Every job receives a [`Heartbeat`] it should beat from long inner
+/// loops. When a [`Watchdog`] is supplied, a supervisor thread polls the
+/// heartbeats (at `timeout / 8`, clamped to 1–50 ms) and calls `on_stall`
+/// once if any job-holding worker goes silent for longer than `timeout`.
+/// The map itself never cancels anything — `on_stall` is expected to trip
+/// a cooperative stop flag the jobs already honor — and still returns all
+/// results in index order. The third return value reports whether a stall
+/// was detected.
+///
+/// With a watchdog present the map always runs on at least one spawned
+/// worker (the supervisor needs the caller's job loop off its own
+/// thread); the sequential fast path applies only to unwatched maps.
+pub fn map_indexed_watched<T, F>(
+    jobs: usize,
+    threads: usize,
+    watchdog: Option<Watchdog<'_>>,
+    job: F,
+) -> (Vec<T>, Vec<Duration>, bool)
+where
+    T: Send,
+    F: Fn(usize, &Heartbeat) -> T + Sync,
+{
     let workers = threads.min(jobs);
-    if workers <= 1 {
-        let started = Instant::now();
-        let out: Vec<T> = (0..jobs).map(job).collect();
-        let busy = if jobs == 0 {
-            Vec::new()
-        } else {
-            vec![started.elapsed()]
-        };
-        return (out, busy);
+    if jobs == 0 {
+        return (Vec::new(), Vec::new(), false);
     }
+    if workers <= 1 && watchdog.is_none() {
+        let started = Instant::now();
+        let epoch = started;
+        let cell = AtomicU64::new(IDLE);
+        let hb = Heartbeat { epoch, cell: &cell };
+        let out: Vec<T> = (0..jobs)
+            .map(|i| {
+                hb.beat();
+                let r = job(i, &hb);
+                hb.idle();
+                r
+            })
+            .collect();
+        return (out, vec![started.elapsed()], false);
+    }
+    let workers = workers.max(1);
+    let epoch = Instant::now();
     let cursor = AtomicUsize::new(0);
+    let cells: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(IDLE)).collect();
+    let workers_done = AtomicBool::new(false);
+    let stalled = AtomicBool::new(false);
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
     let mut busy = vec![Duration::ZERO; workers];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for cell in &cells {
             handles.push(scope.spawn(|| {
                 let started = Instant::now();
+                let hb = Heartbeat { epoch, cell };
                 let mut done = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs {
                         break;
                     }
-                    done.push((i, job(i)));
+                    hb.beat();
+                    done.push((i, job(i, &hb)));
+                    hb.idle();
                 }
                 (done, started.elapsed())
             }));
         }
+        if let Some(wd) = &watchdog {
+            let poll = (wd.timeout / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
+            let timeout_ns = wd.timeout.as_nanos() as u64;
+            let on_stall = wd.on_stall;
+            let (workers_done, cells, stalled) = (&workers_done, &cells, &stalled);
+            scope.spawn(move || loop {
+                if workers_done.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(poll);
+                let now = epoch.elapsed().as_nanos() as u64;
+                let stuck = cells.iter().any(|c| {
+                    let v = c.load(Ordering::Relaxed);
+                    v != IDLE && now.saturating_sub(v) > timeout_ns
+                });
+                if stuck {
+                    stalled.store(true, Ordering::SeqCst);
+                    on_stall();
+                    return;
+                }
+            });
+        }
+        let mut panicked = None;
         for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok((results, spent)) => {
@@ -88,15 +192,21 @@ where
                         slots[i] = Some(out);
                     }
                 }
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => panicked = Some(payload),
             }
+        }
+        // Let the supervisor exit before the scope joins it (and before
+        // re-raising any worker panic).
+        workers_done.store(true, Ordering::Release);
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
         }
     });
     let out = slots
         .into_iter()
         .map(|s| s.expect("cursor visits every job index"))
         .collect();
-    (out, busy)
+    (out, busy, stalled.load(Ordering::SeqCst))
 }
 
 #[cfg(test)]
@@ -134,6 +244,81 @@ mod tests {
         let (out, busy) = map_indexed_timed(0, 4, |i| i);
         assert!(out.is_empty());
         assert!(busy.is_empty(), "no jobs, no busy time");
+    }
+
+    #[test]
+    fn watched_map_without_stalls_reports_none() {
+        let fired = AtomicBool::new(false);
+        let (out, busy, stalled) = map_indexed_watched(
+            8,
+            2,
+            Some(Watchdog {
+                timeout: Duration::from_secs(10),
+                on_stall: &|| fired.store(true, Ordering::SeqCst),
+            }),
+            |i, hb| {
+                hb.beat();
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(busy.len(), 2);
+        assert!(!stalled);
+        assert!(!fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn watchdog_detects_a_silent_worker_and_trips_the_stop_flag() {
+        // One job goes silent until the stop flag (tripped by on_stall)
+        // releases it; the map must detect the stall and still return
+        // every result.
+        let stop = AtomicBool::new(false);
+        let (out, _busy, stalled) = map_indexed_watched(
+            4,
+            2,
+            Some(Watchdog {
+                timeout: Duration::from_millis(40),
+                on_stall: &|| stop.store(true, Ordering::SeqCst),
+            }),
+            |i, _hb| {
+                if i == 1 {
+                    // Silent busy-wait: no beats, so the watchdog fires.
+                    let t0 = Instant::now();
+                    while !stop.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(10) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                i
+            },
+        );
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(stalled, "the silent worker must be flagged");
+        assert!(stop.load(Ordering::SeqCst), "on_stall ran");
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_but_alive_worker_unflagged() {
+        let fired = AtomicBool::new(false);
+        let (_, _, stalled) = map_indexed_watched(
+            2,
+            2,
+            Some(Watchdog {
+                timeout: Duration::from_millis(60),
+                on_stall: &|| fired.store(true, Ordering::SeqCst),
+            }),
+            |i, hb| {
+                if i == 0 {
+                    // Slow job that keeps beating: never flagged.
+                    for _ in 0..20 {
+                        std::thread::sleep(Duration::from_millis(10));
+                        hb.beat();
+                    }
+                }
+                i
+            },
+        );
+        assert!(!stalled);
+        assert!(!fired.load(Ordering::SeqCst));
     }
 
     #[test]

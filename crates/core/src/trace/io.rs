@@ -94,7 +94,7 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -251,6 +251,11 @@ pub struct Salvage {
     /// The error that stopped the full decode, if any. `None` means the
     /// buffer decoded completely (modulo trailing bytes).
     pub reason: Option<DecodeError>,
+    /// Absolute byte offset (from the start of the buffer) where the
+    /// well-formed prefix ends — equivalently, the offset of the first
+    /// skipped byte. With no loss this is the buffer length. Checkpoints
+    /// taken against a salvaged trace realign on this offset.
+    pub valid_bytes: usize,
 }
 
 impl Salvage {
@@ -295,73 +300,14 @@ pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
 /// invariants (creation order, lock balance) are NOT guaranteed — run
 /// [`Trace::validate`] or analyze leniently.
 pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
-    if buf.remaining() < 5 {
-        return Err(DecodeError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    let mut trace = Trace::new();
-    let thread_count = get_varint(&mut buf)?;
-    if thread_count > u64::from(MAX_THREADS) {
-        return Err(DecodeError::LimitExceeded("thread"));
-    }
-    trace.thread_count = (thread_count as u32).max(1);
+    let total = buf.remaining();
+    let tables = decode_tables(&mut buf)?;
+    let DecodedTables {
+        mut trace,
+        stack_map,
+        event_count,
+    } = tables;
 
-    let region_count = get_varint(&mut buf)?;
-    for _ in 0..region_count {
-        let base = get_varint(&mut buf)?;
-        let len = get_varint(&mut buf)?;
-        let path = get_str(&mut buf)?;
-        trace.regions.push(PmRegion { base, len, path });
-    }
-
-    let string_count = get_varint(&mut buf)?;
-    let mut strings = Vec::with_capacity(checked_count(string_count, buf.remaining(), "string")?);
-    for _ in 0..string_count {
-        strings.push(get_str(&mut buf)?);
-    }
-    let lookup = |id: u64| {
-        strings
-            .get(id as usize)
-            .cloned()
-            .ok_or(DecodeError::BadIndex)
-    };
-
-    let frame_count = get_varint(&mut buf)?;
-    let mut stacks = super::stack::StackTable::new();
-    let mut frame_map = Vec::with_capacity(checked_count(frame_count, buf.remaining(), "frame")?);
-    for _ in 0..frame_count {
-        let function = lookup(get_varint(&mut buf)?)?;
-        let file = lookup(get_varint(&mut buf)?)?;
-        let line = get_varint(&mut buf)? as u32;
-        frame_map.push(stacks.intern_frame(Frame {
-            function,
-            file,
-            line,
-        }));
-    }
-
-    let stack_count = get_varint(&mut buf)?;
-    let mut stack_map = Vec::with_capacity(checked_count(stack_count, buf.remaining(), "stack")?);
-    for _ in 0..stack_count {
-        let depth = get_varint(&mut buf)?;
-        let mut frames = Vec::with_capacity(checked_count(depth, buf.remaining(), "frame id")?);
-        for _ in 0..depth {
-            let fid = get_varint(&mut buf)? as usize;
-            frames.push(*frame_map.get(fid).ok_or(DecodeError::BadIndex)?);
-        }
-        stack_map.push(stacks.intern_frames(frames));
-    }
-    trace.stacks = stacks;
-
-    let event_count = get_varint(&mut buf)?;
     let mut reason = None;
     let mut dropped_events = 0;
     let mut dropped_bytes = 0;
@@ -387,6 +333,97 @@ pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
         dropped_bytes,
         dropped_events,
         reason,
+        valid_bytes: total - dropped_bytes,
+    })
+}
+
+/// The fully-decoded header tables of a trace: everything before the event
+/// stream. `trace.events` is empty; the declared event count and the
+/// stack-id remap table are returned alongside so callers can drive
+/// [`decode_event`] themselves (batch salvage and the streaming decoder
+/// share this seam).
+pub(crate) struct DecodedTables {
+    pub trace: Trace,
+    pub stack_map: Vec<u32>,
+    pub event_count: u64,
+}
+
+/// Decodes the header and interning tables (regions, strings, frames,
+/// stacks) plus the declared event count, leaving `buf` positioned at the
+/// first event. Any corruption here is fatal — without the tables no event
+/// is interpretable.
+pub(crate) fn decode_tables(buf: &mut Bytes) -> Result<DecodedTables, DecodeError> {
+    if buf.remaining() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let mut trace = Trace::new();
+    let thread_count = get_varint(buf)?;
+    if thread_count > u64::from(MAX_THREADS) {
+        return Err(DecodeError::LimitExceeded("thread"));
+    }
+    trace.thread_count = (thread_count as u32).max(1);
+
+    let region_count = get_varint(buf)?;
+    for _ in 0..region_count {
+        let base = get_varint(buf)?;
+        let len = get_varint(buf)?;
+        let path = get_str(buf)?;
+        trace.regions.push(PmRegion { base, len, path });
+    }
+
+    let string_count = get_varint(buf)?;
+    let mut strings = Vec::with_capacity(checked_count(string_count, buf.remaining(), "string")?);
+    for _ in 0..string_count {
+        strings.push(get_str(buf)?);
+    }
+    let lookup = |id: u64| {
+        strings
+            .get(id as usize)
+            .cloned()
+            .ok_or(DecodeError::BadIndex)
+    };
+
+    let frame_count = get_varint(buf)?;
+    let mut stacks = super::stack::StackTable::new();
+    let mut frame_map = Vec::with_capacity(checked_count(frame_count, buf.remaining(), "frame")?);
+    for _ in 0..frame_count {
+        let function = lookup(get_varint(buf)?)?;
+        let file = lookup(get_varint(buf)?)?;
+        let line = get_varint(buf)? as u32;
+        frame_map.push(stacks.intern_frame(Frame {
+            function,
+            file,
+            line,
+        }));
+    }
+
+    let stack_count = get_varint(buf)?;
+    let mut stack_map = Vec::with_capacity(checked_count(stack_count, buf.remaining(), "stack")?);
+    for _ in 0..stack_count {
+        let depth = get_varint(buf)?;
+        let mut frames = Vec::with_capacity(checked_count(depth, buf.remaining(), "frame id")?);
+        for _ in 0..depth {
+            let fid = get_varint(buf)? as usize;
+            frames.push(*frame_map.get(fid).ok_or(DecodeError::BadIndex)?);
+        }
+        stack_map.push(stacks.intern_frames(frames));
+    }
+    trace.stacks = stacks;
+
+    let event_count = get_varint(buf)?;
+    Ok(DecodedTables {
+        trace,
+        stack_map,
+        event_count,
     })
 }
 
@@ -416,7 +453,7 @@ pub fn load_file(
     Ok(decode(Bytes::from(raw))?)
 }
 
-fn decode_event(
+pub(crate) fn decode_event(
     buf: &mut Bytes,
     seq: u64,
     thread_count: u32,
@@ -658,11 +695,14 @@ mod tests {
     #[test]
     fn decode_lossy_full_roundtrip_drops_nothing() {
         let t = sample_trace();
-        let salvage = decode_lossy(encode(&t)).unwrap();
+        let raw = encode(&t);
+        let total = raw.len();
+        let salvage = decode_lossy(raw).unwrap();
         assert!(salvage.is_complete());
         assert_eq!(salvage.dropped_bytes, 0);
         assert_eq!(salvage.dropped_events, 0);
         assert!(salvage.reason.is_none());
+        assert_eq!(salvage.valid_bytes, total);
         assert_eq!(salvage.trace.events, t.events);
     }
 
@@ -677,10 +717,38 @@ mod tests {
         assert!(salvage.trace.events.len() < t.events.len());
         assert!(salvage.dropped_events > 0);
         assert_eq!(salvage.reason, Some(DecodeError::Truncated));
+        // Offsets partition the buffer: valid prefix + skipped region.
+        assert_eq!(salvage.valid_bytes + salvage.dropped_bytes, cut);
         // The salvaged prefix matches the original event-for-event.
         for (a, b) in salvage.trace.events.iter().zip(&t.events) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn salvage_valid_bytes_realigns_with_encoded_prefix() {
+        // Flipping an event tag to garbage stops salvage exactly at that
+        // event; valid_bytes must point at its first byte so a checkpoint
+        // keyed on the offset can resume from the corruption boundary.
+        let t = sample_trace();
+        let raw = encode(&t).to_vec();
+        let salvage_clean = decode_lossy(Bytes::from(raw.clone())).unwrap();
+        assert_eq!(salvage_clean.valid_bytes, raw.len());
+
+        let mut bad = raw.clone();
+        // Corrupt the final event's tag (tag byte of ThreadJoin: the last
+        // event is tag, flags, tid, stack, child = 5 bytes here).
+        let tag_at = bad.len() - 5;
+        bad[tag_at] = 0x7f;
+        let salvage = decode_lossy(Bytes::from(bad)).unwrap();
+        assert_eq!(salvage.reason, Some(DecodeError::BadTag(0x7f)));
+        assert_eq!(salvage.dropped_events, 1);
+        assert_eq!(salvage.valid_bytes, tag_at);
+        assert_eq!(salvage.dropped_bytes, raw.len() - tag_at);
+        // Re-decoding the valid prefix (with a patched event count) yields
+        // exactly the salvaged events — the offset is a real alignment
+        // point, not an estimate.
+        assert_eq!(salvage.trace.events.len(), t.events.len() - 1);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 pub mod event;
 pub mod io;
 pub mod stack;
+pub mod stream;
+pub mod validate;
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,331 @@
+//! Incremental trace validation for the streaming path.
+//!
+//! [`Trace::validate`] needs the whole event vector; the streaming analyzer
+//! never has one. [`StreamValidator`] accepts events one at a time and
+//! reaches the same verdict: push-time checks mirror validate's first pass
+//! exactly (same error, same event), and [`finish`](StreamValidator::finish)
+//! replays the second and third passes from O(threads)-sized accumulators.
+//! The agreement is pinned by a fuzz test at the bottom of this module.
+
+use std::collections::HashMap;
+
+use super::event::{EventKind, LockId, ThreadId};
+use super::{Trace, ValidateError};
+
+/// Event-at-a-time equivalent of [`Trace::validate`].
+///
+/// Feed every event in order via [`push`](Self::push); a `Err` from push is
+/// definitive (the batch validator would report the same error). After the
+/// last event, [`finish`](Self::finish) runs the whole-trace checks that
+/// only make sense at end of stream (orphan threads, event-before-creation,
+/// join-before-child's-last-event). Memory is O(threads + live locks),
+/// independent of trace length.
+#[derive(Debug)]
+pub struct StreamValidator {
+    thread_count: usize,
+    stack_count: usize,
+    index: usize,
+    first_event: Vec<Option<u64>>,
+    last_event: Vec<Option<u64>>,
+    created: Vec<Option<u64>>,
+    /// Earliest join seq per child: if that one respects the child's final
+    /// last event, every later join of the same child does too.
+    first_join: Vec<Option<u64>>,
+    held: HashMap<LockId, u64>,
+}
+
+impl StreamValidator {
+    /// Creates a validator for a trace with the given header dimensions.
+    pub fn new(thread_count: u32, stack_count: usize) -> Self {
+        let n = thread_count as usize;
+        let mut created = vec![None; n];
+        if n > ThreadId::MAIN.index() {
+            created[ThreadId::MAIN.index()] = Some(0);
+        }
+        Self {
+            thread_count: n,
+            stack_count,
+            index: 0,
+            first_event: vec![None; n],
+            last_event: vec![None; n],
+            created,
+            first_join: vec![None; n],
+            held: HashMap::new(),
+        }
+    }
+
+    /// Validates the next event. Mirrors the per-event pass of
+    /// [`Trace::validate`]: an error here is exactly the error the batch
+    /// validator reports for the same trace.
+    pub fn push(&mut self, ev: &super::event::Event) -> Result<(), ValidateError> {
+        let i = self.index;
+        if ev.seq != i as u64 {
+            return Err(ValidateError::NonDenseSeq {
+                index: i,
+                seq: ev.seq,
+            });
+        }
+        if ev.tid.index() >= self.thread_count {
+            return Err(ValidateError::TidOutOfRange {
+                index: i,
+                tid: ev.tid,
+            });
+        }
+        if ev.stack as usize >= self.stack_count {
+            return Err(ValidateError::UnknownStack {
+                index: i,
+                stack: ev.stack,
+            });
+        }
+        self.first_event[ev.tid.index()].get_or_insert(ev.seq);
+        self.last_event[ev.tid.index()] = Some(ev.seq);
+        match ev.kind {
+            EventKind::ThreadCreate { child } => {
+                if child.index() >= self.thread_count {
+                    return Err(ValidateError::UnknownChild { index: i, child });
+                }
+                if self.created[child.index()].is_some() {
+                    return Err(ValidateError::DoubleCreate { child });
+                }
+                self.created[child.index()] = Some(ev.seq);
+            }
+            EventKind::ThreadJoin { child } => {
+                if child.index() >= self.thread_count {
+                    return Err(ValidateError::UnknownChild { index: i, child });
+                }
+                self.first_join[child.index()].get_or_insert(ev.seq);
+            }
+            EventKind::Acquire { lock, .. } => {
+                *self.held.entry(lock).or_insert(0) += 1;
+            }
+            EventKind::Release { lock } => {
+                let count = self.held.entry(lock).or_insert(0);
+                if *count == 0 {
+                    return Err(ValidateError::DanglingRelease { index: i, lock });
+                }
+                *count -= 1;
+            }
+            _ => {}
+        }
+        self.index += 1;
+        Ok(())
+    }
+
+    /// Runs the end-of-stream checks, in the same order as the batch
+    /// validator's second and third passes.
+    pub fn finish(self) -> Result<(), ValidateError> {
+        for tid in 0..self.thread_count {
+            match (self.created[tid], self.first_event[tid]) {
+                (None, Some(first)) => {
+                    return Err(ValidateError::OrphanThread {
+                        tid: ThreadId(tid as u32),
+                        first,
+                    })
+                }
+                (Some(c), Some(first)) if tid != ThreadId::MAIN.index() && first < c => {
+                    return Err(ValidateError::EventBeforeCreation {
+                        tid: ThreadId(tid as u32),
+                        first,
+                        created: c,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Batch pass 3 reports the first violating join in event order.
+        // Per-child we kept only the earliest join, which is the earliest
+        // possible violator for that child; the global first violator is
+        // the minimum of those across children.
+        let mut worst: Option<(u64, ThreadId, u64)> = None;
+        for child in 0..self.thread_count {
+            if let (Some(join_seq), Some(last)) = (self.first_join[child], self.last_event[child]) {
+                if last > join_seq && worst.map(|(j, _, _)| join_seq < j).unwrap_or(true) {
+                    worst = Some((join_seq, ThreadId(child as u32), last));
+                }
+            }
+        }
+        if let Some((join_seq, child, last)) = worst {
+            return Err(ValidateError::JoinBeforeChildLastEvent {
+                child,
+                join_seq,
+                last,
+            });
+        }
+        Ok(())
+    }
+
+    /// Convenience: validate a whole trace through the incremental path.
+    pub fn validate_trace(trace: &Trace) -> Result<(), ValidateError> {
+        let mut v = Self::new(trace.thread_count, trace.stacks.stack_count());
+        for ev in &trace.events {
+            v.push(ev)?;
+        }
+        v.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrRange;
+    use crate::trace::event::{Event, LockMode};
+    use crate::trace::TraceBuilder;
+
+    fn agree(trace: &Trace) {
+        let batch = trace.validate();
+        let stream = StreamValidator::validate_trace(trace);
+        assert_eq!(
+            batch, stream,
+            "batch and streaming validators disagree on {trace:?}"
+        );
+    }
+
+    #[test]
+    fn agrees_on_handcrafted_cases() {
+        // Valid trace with create/join/locks.
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(1),
+            s,
+            EventKind::Acquire {
+                lock: LockId(7),
+                mode: LockMode::Exclusive,
+            },
+        );
+        b.push(ThreadId(1), s, EventKind::Release { lock: LockId(7) });
+        b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
+        agree(&b.finish());
+
+        // Dangling release.
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(0), s, EventKind::Release { lock: LockId(9) });
+        agree(&b.finish());
+
+        // Orphan thread.
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(0), s, EventKind::Fence);
+        let mut t = b.finish();
+        t.thread_count = 3;
+        t.events.push(Event {
+            seq: 1,
+            tid: ThreadId(2),
+            stack: 0,
+            kind: EventKind::Fence,
+        });
+        agree(&t);
+
+        // Event before creation.
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(ThreadId(1), s, EventKind::Fence);
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        agree(&b.finish());
+
+        // Join before child's last event.
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(ThreadId(0), s, EventKind::ThreadJoin { child: ThreadId(1) });
+        b.push(ThreadId(1), s, EventKind::Fence);
+        agree(&b.finish());
+
+        // Double create.
+        let mut b = TraceBuilder::new();
+        let s = b.intern_stack([]);
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(0),
+            s,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        agree(&b.finish());
+    }
+
+    #[test]
+    fn agrees_on_randomized_event_soup() {
+        // Deterministic xorshift fuzz: build many small semi-random traces
+        // (some valid, most not) and require identical verdicts, including
+        // the identical error value.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let threads = 1 + (next() % 4) as u32;
+            let mut t = Trace::new();
+            t.thread_count = threads;
+            let stacks = 2;
+            t.stacks.intern_frames(Vec::new());
+            let fid = t
+                .stacks
+                .intern_frame(crate::trace::Frame::new("f", "x.rs", 1));
+            t.stacks.intern_frames(vec![fid]);
+            let len = (next() % 12) as usize;
+            for i in 0..len {
+                let tid = ThreadId((next() % u64::from(threads + 1)) as u32); // may overflow range
+                let stack = (next() % (stacks + 1)) as u32; // may dangle
+                let kind = match next() % 7 {
+                    0 => EventKind::Fence,
+                    1 => EventKind::Store {
+                        range: AddrRange::new(0x1000, 8),
+                        non_temporal: false,
+                        atomic: false,
+                    },
+                    2 => EventKind::Acquire {
+                        lock: LockId(next() % 3),
+                        mode: LockMode::Exclusive,
+                    },
+                    3 => EventKind::Release {
+                        lock: LockId(next() % 3),
+                    },
+                    4 => EventKind::ThreadCreate {
+                        child: ThreadId((next() % u64::from(threads + 1)) as u32),
+                    },
+                    5 => EventKind::ThreadJoin {
+                        child: ThreadId((next() % u64::from(threads + 1)) as u32),
+                    },
+                    _ => EventKind::Load {
+                        range: AddrRange::new(0x1000, 8),
+                        atomic: false,
+                    },
+                };
+                // Occasionally break seq density too.
+                let seq = if next() % 13 == 0 {
+                    i as u64 + 1
+                } else {
+                    i as u64
+                };
+                t.events.push(Event {
+                    seq,
+                    tid,
+                    stack,
+                    kind,
+                });
+            }
+            agree(&t);
+        }
+    }
+}

@@ -38,4 +38,38 @@ echo "==> bench smoke (pairing throughput, 1 vs 4 threads, fixed seed)"
 # than the 1.5x pairing speedup floor.
 cargo run --release -q -p hawkset-bench --bin smoke -- --threads 4 --min-speedup 1.5
 
+echo "==> stage watchdog (stalled shard must not hang the run)"
+# A regression here can turn the injected 5s stall into a real hang, so
+# the suite runs under a hard wall-clock cap instead of trusting itself.
+timeout 120 cargo test -q --test watchdog
+
+echo "==> memory budget under a hard RSS cap"
+# Proof the budget knob actually bounds the process, not just a counter:
+# analyze a ~27k-event synthetic trace in a subshell whose address space
+# is capped by ulimit. Without --memory-budget the analyzer is free to
+# hold every window live; with it the run must complete inside the cap
+# and degrade honestly (exit 0/1, coverage.reason = memory_budget).
+BUDGET_TRACE=$(mktemp /tmp/hawkset-ci-budget-XXXXXX.hwkt)
+BUDGET_JSON=$(mktemp /tmp/hawkset-ci-budget-XXXXXX.json)
+trap 'rm -f "$BUDGET_TRACE" "$BUDGET_JSON"' EXIT
+cargo run --release -q -p hawkset-bench --bin smoke -- --ops 2000 --emit "$BUDGET_TRACE"
+(
+    # Virtual-memory cap (KiB). Generous against allocator/runtime
+    # overhead; tight against unbounded live simulation state.
+    ulimit -v 786432
+    set +e
+    ./target/release/hawkset analyze "$BUDGET_TRACE" --stream \
+        --memory-budget 65536 --json > "$BUDGET_JSON"
+    rc=$?
+    set -e
+    if [[ $rc -ne 0 && $rc -ne 1 ]]; then
+        echo "ci: budgeted analyze died under the RSS cap (exit $rc)" >&2
+        exit 1
+    fi
+)
+if ! grep -q '"reason": "memory_budget"' "$BUDGET_JSON"; then
+    echo "ci: budgeted analyze did not report coverage.reason = memory_budget" >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -30,6 +30,8 @@
 //! the suite can only ever *check* there.
 
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 use hawkset::baseline::{
@@ -37,7 +39,7 @@ use hawkset::baseline::{
 };
 use hawkset::core::addr::AddrRange;
 use hawkset::core::analysis::{
-    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, Strictness,
+    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, StreamRunOptions, Strictness,
 };
 use hawkset::core::trace::io;
 use hawkset::core::trace::{
@@ -339,6 +341,55 @@ fn budget_trace() -> Trace {
     b.finish()
 }
 
+/// A long run whose persisted windows pile up: each round stores to a
+/// fresh cache line, persists it (flush + fence) and is read by the other
+/// thread, so the closed-window list grows linearly. Analyzed under a
+/// small [`AnalysisBudget::memory_budget`] this is the committed example
+/// of live-state eviction (`coverage.reason = memory_budget`).
+fn window_heavy_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    b.add_region(PmRegion {
+        base: 0x1_0000,
+        len: 1 << 20,
+        path: "/mnt/pmem/heavy".into(),
+    });
+    let st = b.intern_stack([Frame::new("append", "log.c", 51)]);
+    let ld = b.intern_stack([Frame::new("scan", "log.c", 97)]);
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadCreate { child: ThreadId(1) },
+    );
+    for i in 0..200u64 {
+        let x = AddrRange::new(0x1_0000 + i * 0x40, 8);
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(ThreadId(0), st, EventKind::Flush { addr: x.start });
+        b.push(ThreadId(0), st, EventKind::Fence);
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Load {
+                range: x,
+                atomic: false,
+            },
+        );
+    }
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadJoin { child: ThreadId(1) },
+    );
+    b.finish()
+}
+
 /// Bytes dropped from the tail of the Figure-1c encoding for the salvage
 /// case. The final event (the 5-byte `ThreadJoin`) loses its last bytes,
 /// so lossy decoding recovers every event but the join.
@@ -393,6 +444,51 @@ fn analysis_cases() -> Vec<AnalysisCase> {
                     max_candidate_pairs: Some(6),
                     ..Default::default()
                 },
+                ..Default::default()
+            },
+            salvage: false,
+        },
+        // Degraded-mode corpus: one committed example of every coverage
+        // reason the analyzer can emit, so a regression in any degraded
+        // path changes a pinned byte.
+        AnalysisCase {
+            // The memory budget is far below the live-state footprint of
+            // 200 persisted windows, so the simulation evicts the coldest
+            // and the report degrades with `reason = memory_budget`.
+            name: "memory_budget_evicted",
+            bytes: io::encode(&window_heavy_trace()).to_vec(),
+            cfg: AnalysisConfig {
+                budget: AnalysisBudget {
+                    memory_budget: Some(4 * 1024),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            salvage: false,
+        },
+        AnalysisCase {
+            // A zero stage timeout pre-trips the watchdog, so every shard
+            // stops before its first window group — the deterministic
+            // image of a stalled pairing stage.
+            name: "stage_stalled",
+            bytes: io::encode(&fig1c_trace()).to_vec(),
+            cfg: AnalysisConfig {
+                budget: AnalysisBudget {
+                    stage_timeout: Some(Duration::ZERO),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            salvage: false,
+        },
+        AnalysisCase {
+            // A pre-set interrupt flag is the deterministic image of
+            // SIGINT: pairing stops before its first window group and the
+            // partial report carries `reason = interrupted`.
+            name: "interrupted",
+            bytes: io::encode(&fig1c_trace()).to_vec(),
+            cfg: AnalysisConfig {
+                interrupt: Some(Arc::new(AtomicBool::new(true))),
                 ..Default::default()
             },
             salvage: false,
@@ -466,6 +562,18 @@ fn golden_cases_exercise_what_they_claim() {
                 json.contains("\"truncated\": true"),
                 "budget case was not truncated"
             ),
+            "memory_budget_evicted" => assert!(
+                json.contains("\"reason\": \"memory_budget\""),
+                "memory-budget case did not degrade with reason = memory_budget"
+            ),
+            "stage_stalled" => assert!(
+                json.contains("\"reason\": \"stage_stalled\""),
+                "stalled case did not degrade with reason = stage_stalled"
+            ),
+            "interrupted" => assert!(
+                json.contains("\"reason\": \"interrupted\""),
+                "interrupted case did not degrade with reason = interrupted"
+            ),
             _ => {}
         }
         // Re-run through the API to inspect the typed snapshot.
@@ -493,7 +601,47 @@ fn golden_cases_exercise_what_they_claim() {
                 metrics.pairing.pairs_budget_dropped > 0,
                 "budget case dropped no pairs"
             ),
+            "memory_budget_evicted" => assert!(
+                report.stats.sim.memory_budget_hit,
+                "memory-budget case never hit the budget"
+            ),
             _ => {}
+        }
+    }
+}
+
+/// The streaming tentpole contract on the whole committed corpus: feeding
+/// a case's bytes through the chunked [`Analyzer::try_run_stream`] path
+/// produces the *same masked JSON* as the in-memory decode-then-analyze
+/// path, at every pinned thread count.
+///
+/// The `interrupted` case is excluded by design: a pre-set interrupt flag
+/// stops streaming *ingest* before the first chunk (that is the point of
+/// cooperative cancellation), while the batch path has the whole trace in
+/// hand before pairing sees the flag — the two paths legitimately cover
+/// different prefixes.
+#[test]
+fn golden_cases_stream_bit_identical_to_batch() {
+    for case in analysis_cases() {
+        if case.name == "interrupted" {
+            continue;
+        }
+        for threads in [1usize, 2, 8] {
+            let batch = run_case(&case, threads);
+            let streamed = Analyzer::new(case.cfg.clone())
+                .threads(threads)
+                .try_run_stream(
+                    std::io::Cursor::new(case.bytes.clone()),
+                    &StreamRunOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("{}: streaming failed: {e}", case.name));
+            assert_eq!(
+                masked_json(streamed),
+                batch,
+                "{}: streamed report diverged from batch at {} threads",
+                case.name,
+                threads
+            );
         }
     }
 }

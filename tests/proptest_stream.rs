@@ -1,0 +1,343 @@
+//! Streaming-analysis equivalence and fault-injection suite.
+//!
+//! The contract under test: `Analyzer::try_run_stream` over any `Read`
+//! source is *bit-identical* to the in-memory batch pipeline on the same
+//! bytes — for every chunk size, read granularity, and thread count — and
+//! under injected I/O faults or byte corruption it either produces exactly
+//! the report the batch pipeline produces for the salvageable prefix, or
+//! fails with a typed error. It never panics and never hangs.
+
+use std::io::Cursor;
+
+use hawkset::core::addr::AddrRange;
+use hawkset::core::analysis::{
+    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, StreamRunOptions, Strictness,
+};
+use hawkset::core::faults::{apply, FaultRng, IoFaultReader, TrickleReader};
+use hawkset::core::trace::io;
+use hawkset::core::trace::{
+    Event, EventKind, Frame, LockId, LockMode, ThreadId, Trace, TraceBuilder,
+};
+use proptest::prelude::*;
+
+/// A multi-thread racy trace: three workers storing/loading overlapping
+/// ranges with a mix of locked and unlocked accesses, flushes, and fences —
+/// enough structure that the pairing stage produces real races to compare.
+fn racy_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let stacks: Vec<_> = (0..4u32)
+        .map(|t| b.intern_stack([Frame::new(format!("worker{t}"), "app.c", 10 + t)]))
+        .collect();
+    for t in 1..4u32 {
+        b.push(
+            ThreadId(0),
+            stacks[0],
+            EventKind::ThreadCreate { child: ThreadId(t) },
+        );
+    }
+    let lock = LockId(0xa0);
+    for round in 0..12u64 {
+        let range = AddrRange::new(0x1000 + (round % 4) * 64, 8);
+        let writer = ThreadId((round % 3 + 1) as u32);
+        let reader = ThreadId(((round + 1) % 3 + 1) as u32);
+        let locked = round % 3 == 0;
+        if locked {
+            b.push(
+                writer,
+                stacks[writer.0 as usize],
+                EventKind::Acquire {
+                    lock,
+                    mode: LockMode::Exclusive,
+                },
+            );
+        }
+        b.push(
+            writer,
+            stacks[writer.0 as usize],
+            EventKind::Store {
+                range,
+                non_temporal: round % 5 == 0,
+                atomic: false,
+            },
+        );
+        if locked {
+            b.push(
+                writer,
+                stacks[writer.0 as usize],
+                EventKind::Release { lock },
+            );
+        }
+        b.push(
+            reader,
+            stacks[reader.0 as usize],
+            EventKind::Load {
+                range,
+                atomic: false,
+            },
+        );
+        if round % 4 == 3 {
+            b.push(
+                writer,
+                stacks[writer.0 as usize],
+                EventKind::Flush { addr: range.start },
+            );
+            b.push(writer, stacks[writer.0 as usize], EventKind::Fence);
+        }
+    }
+    for t in 1..4u32 {
+        b.push(
+            ThreadId(0),
+            stacks[0],
+            EventKind::ThreadJoin { child: ThreadId(t) },
+        );
+    }
+    b.finish()
+}
+
+/// The racy trace with a semantically ill-formed event spliced in, so the
+/// lenient quarantine path is live in every comparison.
+fn racy_trace_ill_formed() -> Trace {
+    let mut t = racy_trace();
+    let bad = Event {
+        seq: 0,
+        tid: ThreadId(0),
+        stack: t.events[0].stack,
+        kind: EventKind::Release {
+            lock: LockId(0xbad),
+        },
+    };
+    t.events.insert(t.events.len() / 2, bad);
+    for (i, ev) in t.events.iter_mut().enumerate() {
+        ev.seq = i as u64;
+    }
+    t
+}
+
+fn config(strictness: Strictness, threads: usize) -> AnalysisConfig {
+    AnalysisConfig {
+        strictness,
+        threads,
+        budget: AnalysisBudget {
+            max_candidate_pairs: Some(100_000),
+            max_events: Some(100_000),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Bit-identity: everything schedule-independent must match, including the
+/// masked metrics (timing zeroed).
+fn assert_identical(batch: &AnalysisReport, stream: &AnalysisReport, what: &str) {
+    assert_eq!(batch.races, stream.races, "{what}: races");
+    assert_eq!(batch.coverage, stream.coverage, "{what}: coverage");
+    assert_eq!(batch.stats.sim, stream.stats.sim, "{what}: sim stats");
+    assert_eq!(
+        batch.stats.pairing, stream.stats.pairing,
+        "{what}: pairing stats"
+    );
+    assert_eq!(
+        batch.stats.quarantine, stream.stats.quarantine,
+        "{what}: quarantine"
+    );
+    assert_eq!(
+        batch.metrics.as_ref().map(|m| m.masked()),
+        stream.metrics.as_ref().map(|m| m.masked()),
+        "{what}: masked metrics"
+    );
+}
+
+/// Like [`assert_identical`] but without the metrics comparison — used when
+/// the streaming side legitimately carries salvage-loss counters the batch
+/// side (fed an already-salvaged trace) cannot know about.
+fn assert_same_analysis(batch: &AnalysisReport, stream: &AnalysisReport, what: &str) {
+    assert_eq!(batch.races, stream.races, "{what}: races");
+    assert_eq!(batch.coverage, stream.coverage, "{what}: coverage");
+    assert_eq!(batch.stats.sim, stream.stats.sim, "{what}: sim stats");
+    assert_eq!(
+        batch.stats.pairing, stream.stats.pairing,
+        "{what}: pairing stats"
+    );
+    assert_eq!(
+        batch.stats.quarantine, stream.stats.quarantine,
+        "{what}: quarantine"
+    );
+    assert!(
+        stream
+            .metrics
+            .as_ref()
+            .expect("stream metrics")
+            .conservation_violations()
+            .is_empty(),
+        "{what}: stream conservation laws"
+    );
+}
+
+/// Reads served one to seven bytes at a time still produce a report
+/// bit-identical to the batch pipeline, in both strictness modes.
+#[test]
+fn trickle_reads_are_bit_identical_to_batch() {
+    for (strictness, trace) in [
+        (Strictness::Strict, racy_trace()),
+        (Strictness::Lenient, racy_trace_ill_formed()),
+    ] {
+        let raw = io::encode(&trace).to_vec();
+        let analyzer = Analyzer::new(config(strictness, 2));
+        let batch = analyzer.try_run(&trace).expect("batch run");
+        for trickle in 1..8usize {
+            let reader = TrickleReader::new(Cursor::new(raw.clone()), trickle);
+            let stream = analyzer
+                .try_run_stream(reader, &StreamRunOptions::default())
+                .expect("trickled stream run");
+            assert_identical(
+                &batch,
+                &stream,
+                &format!("{strictness:?} trickle {trickle}"),
+            );
+        }
+    }
+}
+
+/// A reader that dies mid-stream behaves exactly like a file truncated at
+/// the failure point: in lenient mode the streamed report equals the batch
+/// report over `decode_lossy` of the served prefix, byte for byte of the
+/// analysis; in strict mode both reject. Exhaustive over every cut.
+#[test]
+fn io_fault_at_every_cut_matches_lossy_prefix() {
+    let trace = racy_trace();
+    let raw = io::encode(&trace).to_vec();
+    let lenient = Analyzer::new(config(Strictness::Lenient, 2));
+    let mut salvaged_ok = 0usize;
+    for fail_at in 0..=raw.len() {
+        let reader = IoFaultReader::new(Cursor::new(raw.clone()), fail_at as u64);
+        let streamed = lenient.try_run_stream(reader, &StreamRunOptions::default());
+        let batched = io::decode_lossy(bytes::Bytes::from(raw[..fail_at].to_vec()))
+            .map(|salvage| lenient.try_run(&salvage.trace).expect("batch of salvage"));
+        match (streamed, batched) {
+            (Ok(s), Ok(b)) => {
+                assert_same_analysis(&b, &s, &format!("cut at {fail_at}"));
+                salvaged_ok += 1;
+            }
+            (Err(_), Err(_)) => {} // cut inside the header/tables: both reject
+            (s, b) => panic!(
+                "cut at {fail_at}: stream {:?} but batch {:?}",
+                s.map(|r| r.races.len()),
+                b.map(|r| r.races.len())
+            ),
+        }
+    }
+    assert!(
+        salvaged_ok > 10,
+        "mid-event-stream faults must salvage analyzable prefixes (got {salvaged_ok})"
+    );
+}
+
+/// Strict mode refuses a dying reader with a typed error — never a panic,
+/// never a partial report presented as complete.
+#[test]
+fn io_fault_in_strict_mode_is_a_clean_error() {
+    let trace = racy_trace();
+    let raw = io::encode(&trace).to_vec();
+    let strict = Analyzer::new(config(Strictness::Strict, 1));
+    // `fail_at == len` also rejects: the fault fires on the read that
+    // would otherwise observe EOF.
+    for fail_at in 0..=raw.len() {
+        let reader = IoFaultReader::new(Cursor::new(raw.clone()), fail_at as u64);
+        let got = strict.try_run_stream(reader, &StreamRunOptions::default());
+        assert!(
+            got.is_err(),
+            "strict stream must reject a reader that died at byte {fail_at}/{}",
+            raw.len()
+        );
+    }
+    // A fault armed past the last byte never fires: the decoder's final
+    // zero-read observes EOF first.
+    let reader = IoFaultReader::new(Cursor::new(raw.clone()), raw.len() as u64 + 1);
+    let full = strict
+        .try_run_stream(reader, &StreamRunOptions::default())
+        .expect("fault after the last byte is unreachable");
+    assert_identical(
+        &strict.try_run(&trace).expect("batch"),
+        &full,
+        "fault beyond EOF",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chunk size and thread count: streaming is bit-identical to batch.
+    #[test]
+    fn random_chunking_is_bit_identical(
+        chunk in 1usize..256,
+        threads in 1usize..5,
+        strict in any::<bool>(),
+    ) {
+        let trace = if strict { racy_trace() } else { racy_trace_ill_formed() };
+        let strictness = if strict { Strictness::Strict } else { Strictness::Lenient };
+        let raw = io::encode(&trace).to_vec();
+        let analyzer = Analyzer::new(config(strictness, threads));
+        let batch = analyzer.try_run(&trace).expect("batch run");
+        let stream = analyzer
+            .try_run_stream(
+                Cursor::new(raw),
+                &StreamRunOptions { chunk_bytes: chunk, ..Default::default() },
+            )
+            .expect("streamed run");
+        assert_identical(&batch, &stream, &format!("chunk {chunk} t{threads}"));
+    }
+
+    /// Seeded corruption (bit flips, overwrites, varint bombs, truncation)
+    /// fed through the streaming path agrees with `decode_lossy` + batch:
+    /// both salvage the same analysis or both reject. Never a panic.
+    #[test]
+    fn corrupted_streams_match_batch_salvage(seed in any::<u64>()) {
+        let raw = io::encode(&racy_trace()).to_vec();
+        let mut rng = FaultRng::new(seed);
+        let mut bytes = raw;
+        for _ in 0..(1 + seed % 2) {
+            let fault = rng.fault(bytes.len());
+            bytes = apply(&bytes, fault);
+        }
+        let lenient = Analyzer::new(config(Strictness::Lenient, 2));
+        let streamed = lenient.try_run_stream(
+            Cursor::new(bytes.clone()),
+            &StreamRunOptions { chunk_bytes: 1 + (seed % 96) as usize, ..Default::default() },
+        );
+        let batched = io::decode_lossy(bytes::Bytes::from(bytes))
+            .map(|salvage| lenient.try_run(&salvage.trace).expect("batch of salvage"));
+        match (streamed, batched) {
+            (Ok(s), Ok(b)) => assert_same_analysis(&b, &s, &format!("seed {seed:#x}")),
+            (Err(_), Err(_)) => {}
+            (s, b) => panic!(
+                "seed {seed:#x}: stream {:?} but batch {:?}",
+                s.map(|r| r.races.len()),
+                b.map(|r| r.races.len())
+            ),
+        }
+    }
+
+    /// Allocation pressure (trickled reads) combined with a mid-stream I/O
+    /// fault: the lenient pipeline still terminates with either a salvaged
+    /// report whose conservation laws hold, or a typed error.
+    #[test]
+    fn trickle_plus_io_fault_never_panics(
+        fail_at in 0u64..4096,
+        trickle in 1usize..16,
+    ) {
+        let raw = io::encode(&racy_trace()).to_vec();
+        let lenient = Analyzer::new(config(Strictness::Lenient, 1));
+        let reader = TrickleReader::new(
+            IoFaultReader::new(Cursor::new(raw), fail_at),
+            trickle,
+        );
+        if let Ok(report) = lenient.try_run_stream(reader, &StreamRunOptions::default()) {
+            prop_assert!(report
+                .metrics
+                .as_ref()
+                .expect("metrics")
+                .conservation_violations()
+                .is_empty());
+        }
+    }
+}

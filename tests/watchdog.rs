@@ -1,0 +1,199 @@
+//! Stage-watchdog regression tests: a pairing shard that silently stops
+//! making progress must not hang the run. The supervisor detects the
+//! missing heartbeats after [`AnalysisBudget::stage_timeout`], trips the
+//! cooperative stall flag, and the analyzer returns a partial-but-valid
+//! report with `coverage.reason = stage_stalled` — in bounded wall-clock
+//! time, far below the injected stall.
+//!
+//! The stall itself comes from [`StallInjection`], the test-only hook the
+//! CLI also exposes through `HAWKSET_TEST_SHARD_DELAY_MS`: one shard
+//! sleeps (heartbeat-silent, cancellation-cooperative) before touching its
+//! window groups.
+//!
+//! `scripts/ci.sh` runs this suite under `timeout`, so a watchdog
+//! regression that turns the stall into a real hang fails CI instead of
+//! wedging it.
+
+use std::time::{Duration, Instant};
+
+use hawkset::core::addr::AddrRange;
+use hawkset::core::analysis::{
+    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, BudgetExceeded, StallInjection,
+};
+use hawkset::core::trace::{EventKind, Frame, ThreadId, Trace, TraceBuilder};
+
+/// The injected stall: long enough that only watchdog cancellation can
+/// explain a fast return.
+const STALL: Duration = Duration::from_secs(5);
+
+/// Watchdog trip threshold for the stalled-run tests.
+const TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Upper bound on a watchdog-rescued run: generous against CI jitter, yet
+/// a fraction of [`STALL`] so a hang is unambiguous.
+const RESCUE_DEADLINE: Duration = Duration::from_secs(3);
+
+/// Unsynchronized store/load pairs spread over many cache lines, so the
+/// pairing stage has window groups in many shards and a stalled shard
+/// leaves genuinely unexamined work behind.
+fn sharded_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let st = b.intern_stack([Frame::new("producer", "watchdog.c", 10)]);
+    let ld = b.intern_stack([Frame::new("consumer", "watchdog.c", 20)]);
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadCreate { child: ThreadId(1) },
+    );
+    for i in 0..64u64 {
+        let x = AddrRange::new(0x1000 + i * 0x40, 8);
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Load {
+                range: x,
+                atomic: false,
+            },
+        );
+    }
+    b.push(
+        ThreadId(0),
+        st,
+        EventKind::ThreadJoin { child: ThreadId(1) },
+    );
+    b.finish()
+}
+
+fn config(stall: Option<StallInjection>, timeout: Option<Duration>) -> AnalysisConfig {
+    AnalysisConfig {
+        budget: AnalysisBudget {
+            stage_timeout: timeout,
+            ..Default::default()
+        },
+        stall_injection: stall,
+        ..Default::default()
+    }
+}
+
+fn conservation(report: &AnalysisReport) -> Vec<String> {
+    report
+        .metrics
+        .as_ref()
+        .expect("metrics attached")
+        .conservation_violations()
+}
+
+#[test]
+fn watchdog_rescues_a_stalled_shard() {
+    let trace = sharded_trace();
+    let cfg = config(
+        Some(StallInjection {
+            shard: 0,
+            delay: STALL,
+        }),
+        Some(TIMEOUT),
+    );
+    let t0 = Instant::now();
+    let report = Analyzer::new(cfg)
+        .threads(2)
+        .try_run(&trace)
+        .expect("a stalled run still yields a report");
+    let elapsed = t0.elapsed();
+
+    assert!(
+        elapsed < RESCUE_DEADLINE,
+        "watchdog did not cancel the stalled shard: run took {elapsed:?} \
+         (injected stall {STALL:?}, timeout {TIMEOUT:?})"
+    );
+    assert!(report.coverage.truncated, "rescued run must be truncated");
+    assert_eq!(
+        report.coverage.reason,
+        Some(BudgetExceeded::StageStalled),
+        "rescued run must carry the stage_stalled reason"
+    );
+    assert!(
+        report.coverage.window_groups_examined < report.coverage.window_groups_total,
+        "a stalled shard must leave window groups unexamined"
+    );
+    assert_eq!(
+        conservation(&report),
+        Vec::<String>::new(),
+        "conservation laws must hold in the degraded report"
+    );
+}
+
+/// The flip side: a short stall under a generous timeout is report-inert.
+/// The watchdog never fires and the delayed run is bit-identical to an
+/// undelayed one — the injection hook cannot leak into results.
+#[test]
+fn short_stall_under_generous_timeout_changes_nothing() {
+    let trace = sharded_trace();
+    let baseline = Analyzer::new(config(None, None))
+        .threads(2)
+        .try_run(&trace)
+        .expect("baseline analyzes");
+    let delayed = Analyzer::new(config(
+        Some(StallInjection {
+            shard: 0,
+            delay: Duration::from_millis(300),
+        }),
+        Some(Duration::from_secs(30)),
+    ))
+    .threads(2)
+    .try_run(&trace)
+    .expect("delayed run analyzes");
+
+    assert!(!delayed.coverage.truncated, "watchdog fired spuriously");
+    assert_eq!(delayed.races, baseline.races);
+    assert_eq!(delayed.coverage, baseline.coverage);
+    assert_eq!(delayed.stats.pairing, baseline.stats.pairing);
+    assert_eq!(conservation(&delayed), Vec::<String>::new());
+}
+
+/// A stalled run is still deterministic in everything but *where* it
+/// stopped being complete: whatever was examined obeys the same pairing
+/// rules, so every race *site* it reports must also exist in the full
+/// report. (Races aggregate per stack-pair key — the per-key pair counts
+/// are naturally smaller when groups went unexamined, so the subset claim
+/// is on keys, not on the aggregates.)
+#[test]
+fn stalled_report_is_a_subset_of_the_full_report() {
+    let trace = sharded_trace();
+    let full = Analyzer::new(config(None, None))
+        .threads(2)
+        .try_run(&trace)
+        .expect("full run analyzes");
+    let stalled = Analyzer::new(config(
+        Some(StallInjection {
+            shard: 0,
+            delay: STALL,
+        }),
+        Some(TIMEOUT),
+    ))
+    .threads(2)
+    .try_run(&trace)
+    .expect("stalled run analyzes");
+
+    let full_keys: Vec<_> = full.races.iter().map(|r| r.key).collect();
+    for race in &stalled.races {
+        assert!(
+            full_keys.contains(&race.key),
+            "stalled run reported a race site the full run does not have: {race:?}"
+        );
+        let twin = full.races.iter().find(|r| r.key == race.key).unwrap();
+        assert!(
+            race.pair_count <= twin.pair_count,
+            "stalled run counted more pairs at {:?} than the full run",
+            race.key
+        );
+    }
+}
