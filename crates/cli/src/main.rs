@@ -77,6 +77,9 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("crashtest") => cmd_crashtest(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -96,6 +99,9 @@ USAGE:
     hawkset info      <trace.hwkt>
     hawkset demo      <out.hwkt>
     hawkset crashtest <app> [OPTIONS]
+    hawkset serve     [OPTIONS]
+    hawkset submit    <trace.hwkt> (--socket PATH | --tcp ADDR) [OPTIONS]
+    hawkset query     [--db DIR] [--json] [--verify TENANT=REPORT.json]...
 
 COMMANDS:
     analyze    run the PM-aware lockset analysis on a recorded trace
@@ -106,6 +112,16 @@ COMMANDS:
                the built-in applications: crash at injected points,
                restart from the persisted-only image, audit recovery,
                and join failures with the HawkSet race report
+    serve      run the always-on analysis daemon: framed submissions over
+               a unix socket and/or TCP, tenant-fair bounded queuing with
+               explicit shed responses, supervised workers, and a
+               crash-safe cumulative race database
+    submit     send one trace to a running daemon and wait for the
+               verdict (the findings are durable before the reply)
+    query      read the race database's stable snapshot (safe while the
+               daemon runs); --verify recomputes the expected database
+               from batch `analyze --json` reports and compares
+               byte-for-byte
 
 ANALYZE OPTIONS:
     --no-irh        disable the Initialization Removal Heuristic (§3.1.3)
@@ -175,11 +191,57 @@ CRASHTEST OPTIONS:
                           PATH atomically; never changes the exit status
     --metrics-stderr      print the campaign metrics JSON to stderr
 
+SERVE OPTIONS:
+    --db DIR              race database directory (default hawkset-db)
+    --socket PATH         listen on a unix socket at PATH
+    --tcp ADDR            listen on a TCP address (port 0 = ephemeral;
+                          the bound address is echoed in the readiness
+                          line); at least one listener is required
+    --metrics PATH        metrics snapshot path written on drain
+                          (default DIR/serve-metrics.json)
+    --workers N           analysis worker threads (default 2)
+    --queue-cap N         global admission queue capacity (default 32)
+    --tenant-cap N        per-tenant pending-submission cap (default 8)
+    --checkpoint-every-jobs N
+                          database root-swap cadence in jobs (default 1:
+                          every RESULT is durable before it is sent)
+    --memory-budget N     per-job live simulation cap in bytes
+    --stage-timeout-ms N  per-job pairing-shard watchdog deadline
+    --job-timeout-ms N    supervisor deadline per analysis attempt
+                          (default 120000)
+    --max-retries N       retries for panicked/timed-out jobs (default 2)
+    --max-trace-bytes N   reject submissions larger than N bytes
+    --drain-timeout-ms N  how long a drain waits for in-flight jobs
+                          before giving up (default 60000)
+
+SUBMIT OPTIONS:
+    --socket PATH | --tcp ADDR  daemon endpoint (exactly one)
+    --tenant NAME         fair-queuing identity (default `default`)
+    --json                print the returned race report JSON
+
+QUERY OPTIONS:
+    --db DIR              race database directory (default hawkset-db)
+    --json                print the stable snapshot's canonical JSON
+    --verify TENANT=REPORT.json
+                          (repeatable) recompute the expected database
+                          from batch analyze reports and require the
+                          stable snapshot to match byte-for-byte
+
+SIGNALS (serve):
+    The first SIGTERM/SIGINT drains: stop admitting (new submissions are
+    shed with `draining:`), finish in-flight jobs, flush a final stable
+    snapshot and the metrics file, exit 0. A second signal exits 130
+    immediately.
+
 EXIT STATUS:
-    0  no persistency-induced race found; all crashtest rounds Ok
-    1  races were reported (analyze); trace failed validation (info);
-       some crashtest round failed
+    0  no persistency-induced race found; all crashtest rounds Ok;
+       clean serve drain; query verification passed
+    1  races were reported (analyze/submit); trace failed validation
+       (info); some crashtest round failed; serve drain timed out;
+       query verification mismatch
     2  usage, I/O, decode or strict-mode validation error
+    3  submission shed by the daemon (queue full, tenant cap, draining)
+  130  serve: immediate exit on a second signal
 ";
 
 /// Parses `--flag N` / `--flag=N` style values; advances `i` past a
@@ -322,7 +384,14 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             }
             flag if flag == "--checkpoint-every" || flag.starts_with("--checkpoint-every=") => {
                 match flag_value(args, &mut i, "--checkpoint-every") {
-                    Ok(v) => cfg.checkpoint_every = Some(v.max(1)),
+                    Ok(0) => {
+                        eprintln!(
+                            "hawkset analyze: --checkpoint-every needs a cadence of at \
+                             least 1 event (0 would mean \"never make progress\")"
+                        );
+                        return ExitCode::from(2);
+                    }
+                    Ok(v) => cfg.checkpoint_every = Some(v),
                     Err(e) => {
                         eprintln!("hawkset analyze: {e}");
                         return ExitCode::from(2);
@@ -561,6 +630,18 @@ fn analyze_stream(
                 s.path().display()
             ),
             None => eprintln!("hawkset analyze: interrupted — partial report"),
+        }
+    } else if let Some(s) = &session {
+        // The run completed: the checkpoint has nothing left to resume.
+        // Leaving it behind invites a stale `--resume` against a future
+        // (different) trace, so clean completion removes it.
+        if let Err(e) = std::fs::remove_file(s.path()) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                eprintln!(
+                    "hawkset analyze: warning: cannot remove completed checkpoint {}: {e}",
+                    s.path().display()
+                );
+            }
         }
     }
     report_exit(
@@ -997,4 +1078,416 @@ fn path_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, Stri
             .cloned()
             .ok_or_else(|| format!("{flag} needs a value"))
     }
+}
+
+// ---------------------------------------------------------------------------
+// serve / submit / query — the daemon front door
+// ---------------------------------------------------------------------------
+
+/// `hawkset serve`: run the always-on analysis daemon until a signal
+/// drains it (see the exit-code contract in the USAGE text and
+/// `hawkset_serve::server`).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cfg = hawkset_serve::ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let fail = |msg: String| {
+            eprintln!("hawkset serve: {msg}");
+            ExitCode::from(2)
+        };
+        match a.as_str() {
+            flag if flag == "--db" || flag.starts_with("--db=") => {
+                match path_value(args, &mut i, "--db") {
+                    Ok(p) => cfg.db_dir = p.into(),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--socket" || flag.starts_with("--socket=") => {
+                match path_value(args, &mut i, "--socket") {
+                    Ok(p) => cfg.unix_socket = Some(p.into()),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--tcp" || flag.starts_with("--tcp=") => {
+                match path_value(args, &mut i, "--tcp") {
+                    Ok(addr) => cfg.tcp_addr = Some(addr),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--metrics" || flag.starts_with("--metrics=") => {
+                match path_value(args, &mut i, "--metrics") {
+                    Ok(p) => cfg.metrics_path = Some(p.into()),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--workers" || flag.starts_with("--workers=") => {
+                match flag_value(args, &mut i, "--workers") {
+                    Ok(0) => return fail("--workers needs at least 1".into()),
+                    Ok(v) => cfg.worker.workers = v as usize,
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--queue-cap" || flag.starts_with("--queue-cap=") => {
+                match flag_value(args, &mut i, "--queue-cap") {
+                    Ok(0) => return fail("--queue-cap needs at least 1".into()),
+                    Ok(v) => cfg.queue_cap = v as usize,
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--tenant-cap" || flag.starts_with("--tenant-cap=") => {
+                match flag_value(args, &mut i, "--tenant-cap") {
+                    Ok(0) => return fail("--tenant-cap needs at least 1".into()),
+                    Ok(v) => cfg.tenant_cap = v as usize,
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--checkpoint-every-jobs"
+                || flag.starts_with("--checkpoint-every-jobs=") =>
+            {
+                match flag_value(args, &mut i, "--checkpoint-every-jobs") {
+                    Ok(0) => {
+                        return fail(
+                            "--checkpoint-every-jobs needs a cadence of at least 1 job".into(),
+                        )
+                    }
+                    Ok(v) => cfg.worker.checkpoint_every_jobs = v,
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--memory-budget" || flag.starts_with("--memory-budget=") => {
+                match flag_value(args, &mut i, "--memory-budget") {
+                    Ok(v) => cfg.worker.memory_budget = Some(v),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--stage-timeout-ms" || flag.starts_with("--stage-timeout-ms=") => {
+                match flag_value(args, &mut i, "--stage-timeout-ms") {
+                    Ok(v) => cfg.worker.stage_timeout = Some(std::time::Duration::from_millis(v)),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--job-timeout-ms" || flag.starts_with("--job-timeout-ms=") => {
+                match flag_value(args, &mut i, "--job-timeout-ms") {
+                    Ok(v) => cfg.worker.job_timeout = std::time::Duration::from_millis(v),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--max-retries" || flag.starts_with("--max-retries=") => {
+                match flag_value(args, &mut i, "--max-retries") {
+                    Ok(v) => cfg.worker.max_retries = v as u32,
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--drain-timeout-ms" || flag.starts_with("--drain-timeout-ms=") => {
+                match flag_value(args, &mut i, "--drain-timeout-ms") {
+                    Ok(v) => cfg.drain_timeout = std::time::Duration::from_millis(v),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--max-trace-bytes" || flag.starts_with("--max-trace-bytes=") => {
+                match flag_value(args, &mut i, "--max-trace-bytes") {
+                    Ok(v) => cfg.worker.max_trace_bytes = Some(v),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag => {
+                eprintln!("hawkset serve: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    cfg.worker = cfg.worker.clone().with_env_hooks();
+    match hawkset_serve::run(&cfg) {
+        Ok(code) => ExitCode::from(code.clamp(0, 255) as u8),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `hawkset submit`: one submission round trip against a running daemon.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut tenant = "default".to_string();
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match a.as_str() {
+            "--json" => json = true,
+            flag if flag == "--tenant" || flag.starts_with("--tenant=") => {
+                match path_value(args, &mut i, "--tenant") {
+                    Ok(t) => tenant = t,
+                    Err(e) => {
+                        eprintln!("hawkset submit: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--socket" || flag.starts_with("--socket=") => {
+                match path_value(args, &mut i, "--socket") {
+                    Ok(p) => socket = Some(p),
+                    Err(e) => {
+                        eprintln!("hawkset submit: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--tcp" || flag.starts_with("--tcp=") => {
+                match path_value(args, &mut i, "--tcp") {
+                    Ok(addr) => tcp = Some(addr),
+                    Err(e) => {
+                        eprintln!("hawkset submit: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("hawkset submit: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            p => path = Some(p.to_string()),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("hawkset submit: missing trace path\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let trace = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hawkset submit: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match (&socket, &tcp) {
+        (Some(p), None) => {
+            #[cfg(unix)]
+            {
+                std::os::unix::net::UnixStream::connect(p)
+                    .and_then(|mut s| hawkset_serve::submit(&mut s, &tenant, &trace))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = p;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ))
+            }
+        }
+        (None, Some(addr)) => std::net::TcpStream::connect(addr)
+            .and_then(|mut s| hawkset_serve::submit(&mut s, &tenant, &trace)),
+        _ => {
+            eprintln!("hawkset submit: need exactly one of --socket PATH or --tcp ADDR");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(hawkset_serve::SubmitOutcome::Done {
+            job_id,
+            clean,
+            report_json,
+        }) => {
+            if json {
+                println!("{report_json}");
+            } else {
+                println!(
+                    "submit: job {job_id} completed — {}",
+                    if clean { "clean" } else { "races reported" }
+                );
+            }
+            ExitCode::from(u8::from(!clean))
+        }
+        Ok(hawkset_serve::SubmitOutcome::Shed { reason }) => {
+            eprintln!("hawkset submit: shed by the daemon: {reason}");
+            ExitCode::from(3)
+        }
+        Ok(hawkset_serve::SubmitOutcome::Error { job_id, message }) => {
+            match job_id {
+                Some(id) => eprintln!("hawkset submit: job {id} failed: {message}"),
+                None => eprintln!("hawkset submit: rejected: {message}"),
+            }
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("hawkset submit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `hawkset query`: read the race database's stable snapshot (safe against
+/// a live daemon — snapshots are immutable and the root swap is atomic).
+fn cmd_query(args: &[String]) -> ExitCode {
+    let mut db_dir = "hawkset-db".to_string();
+    let mut json = false;
+    let mut verify: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match a.as_str() {
+            "--json" => json = true,
+            flag if flag == "--db" || flag.starts_with("--db=") => {
+                match path_value(args, &mut i, "--db") {
+                    Ok(p) => db_dir = p,
+                    Err(e) => {
+                        eprintln!("hawkset query: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--verify" || flag.starts_with("--verify=") => {
+                match path_value(args, &mut i, "--verify") {
+                    Ok(spec) => match spec.split_once('=') {
+                        Some((tenant, report)) if !tenant.is_empty() && !report.is_empty() => {
+                            verify.push((tenant.to_string(), report.to_string()))
+                        }
+                        _ => {
+                            eprintln!(
+                                "hawkset query: --verify needs TENANT=REPORT.json, got `{spec}`"
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("hawkset query: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag => {
+                eprintln!("hawkset query: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let snapshot = match hawkset_serve::load_stable(std::path::Path::new(&db_dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hawkset query: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !verify.is_empty() {
+        return query_verify(&snapshot, &verify);
+    }
+    if json {
+        println!("{}", snapshot.to_json());
+    } else {
+        println!(
+            "race database {db_dir}: generation {}, {} job(s) recorded, {} distinct race(s)",
+            snapshot.generation,
+            snapshot.jobs_recorded,
+            snapshot.records.len()
+        );
+        for (i, r) in snapshot.records.iter().enumerate() {
+            let tenants: Vec<String> = r
+                .tenants
+                .iter()
+                .map(|t| format!("{} ({})", t.tenant, t.submissions))
+                .collect();
+            let mut flags = Vec::new();
+            if r.store_never_persisted {
+                flags.push("never-persisted");
+            }
+            if r.effective_lockset_empty {
+                flags.push("lockset-empty");
+            }
+            if r.key.store_store {
+                flags.push("store-store");
+            }
+            if r.store_non_temporal {
+                flags.push("non-temporal");
+            }
+            println!(
+                "  {:>3}. {} — seen {}x ({} pairs) by {}{}",
+                i + 1,
+                r.key.render(),
+                r.occurrences,
+                r.pair_count_total,
+                tenants.join(", "),
+                if flags.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", flags.join(", "))
+                },
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `query --verify`: recompute the database a batch of `analyze --json`
+/// reports should have produced and compare byte-for-byte against the
+/// stable root's records.
+fn query_verify(snapshot: &hawkset_serve::DbSnapshot, verify: &[(String, String)]) -> ExitCode {
+    let mut submissions: Vec<(String, Vec<hawkset_core::analysis::Race>)> = Vec::new();
+    for (tenant, report_path) in verify {
+        let raw = match std::fs::read_to_string(report_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hawkset query: {report_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let value: serde_json::Value = match serde_json::from_str(&raw) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("hawkset query: {report_path}: not a report: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let races = match value
+            .get("races")
+            .cloned()
+            .map(serde_json::from_value::<Vec<hawkset_core::analysis::Race>>)
+        {
+            Some(Ok(races)) => races,
+            Some(Err(e)) => {
+                eprintln!("hawkset query: {report_path}: bad races array: {e}");
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!("hawkset query: {report_path}: no `races` key (need analyze --json)");
+                return ExitCode::from(2);
+            }
+        };
+        submissions.push((tenant.clone(), races));
+    }
+    let expected = hawkset_serve::db::expected_from_reports(
+        submissions.iter().map(|(t, r)| (t.as_str(), r.as_slice())),
+    );
+    let got_json =
+        serde_json::to_string_pretty(&snapshot.records).expect("record serialization cannot fail");
+    let expected_json =
+        serde_json::to_string_pretty(&expected).expect("record serialization cannot fail");
+    if snapshot.jobs_recorded != verify.len() as u64 {
+        eprintln!(
+            "hawkset query: verification failed: database records {} job(s), expected {}",
+            snapshot.jobs_recorded,
+            verify.len()
+        );
+        return ExitCode::from(1);
+    }
+    if got_json != expected_json {
+        eprintln!(
+            "hawkset query: verification failed: stable root diverges from the batch reports\n\
+             --- database ---\n{got_json}\n--- expected ---\n{expected_json}"
+        );
+        return ExitCode::from(1);
+    }
+    println!(
+        "query: verified — {} record(s) match {} batch report(s) byte-for-byte",
+        expected.len(),
+        verify.len()
+    );
+    ExitCode::SUCCESS
 }

@@ -606,21 +606,40 @@ fn stdin_cannot_resume() {
 
 #[test]
 fn resume_with_mismatched_config_is_refused() {
+    use std::process::Stdio;
     let path = sharded_trace("resume-mismatch");
     let ck = std::env::temp_dir().join("hawkset-cli-test-resume-mismatch.ck");
     let _ = std::fs::remove_file(&ck);
-    let out = hawkset()
+    // A clean completion now removes its checkpoint file, so interrupt the
+    // run mid-stage to leave one behind (the only state resume is for).
+    let mut child = hawkset()
         .args([
             "analyze",
             "--json",
+            "--stream",
             "--checkpoint",
             ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
             path.to_str().unwrap(),
         ])
-        .output()
+        .env("HAWKSET_TEST_SHARD_DELAY_MS", "20000")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
         .expect("spawn");
-    assert_eq!(out.status.code(), Some(1));
-    assert!(ck.exists(), "checkpoint file must be written");
+    let t0 = std::time::Instant::now();
+    while !ck.exists() {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "no checkpoint appeared within 10s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    assert!(ck.exists(), "checkpoint file must survive the kill");
 
     // Same checkpoint, different analysis configuration: refused, and the
     // error names both fingerprints rather than silently mixing results.
@@ -640,6 +659,55 @@ fn resume_with_mismatched_config_is_refused() {
     assert!(
         err.contains("eadr"),
         "stderr names the fingerprints:\n{err}"
+    );
+}
+
+#[test]
+fn checkpoint_every_zero_is_refused() {
+    let path = sharded_trace("ck-every-zero");
+    let out = hawkset()
+        .args([
+            "analyze",
+            "--checkpoint",
+            "/tmp/hawkset-cli-test-ck-zero.ck",
+            "--checkpoint-every",
+            "0",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--checkpoint-every"), "stderr:\n{err}");
+}
+
+#[test]
+fn clean_completion_removes_checkpoint_file() {
+    let path = sharded_trace("ck-clean-removed");
+    let ck = std::env::temp_dir().join("hawkset-cli-test-ck-clean.ck");
+    let _ = std::fs::remove_file(&ck);
+    let out = hawkset()
+        .args([
+            "analyze",
+            "--json",
+            "--stream",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        !ck.exists(),
+        "checkpoint file must be removed after a clean completion"
     );
 }
 

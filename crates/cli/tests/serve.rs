@@ -1,0 +1,445 @@
+//! End-to-end tests for the `hawkset serve` daemon: the full loop of
+//! daemon startup, framed client submissions, crash-kill recovery of the
+//! COW race database, graceful drain, fairness/shedding, and the metrics
+//! conservation law — all driven through the real binary over real
+//! sockets.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn hawkset() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hawkset"))
+}
+
+fn demo_trace(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hawkset-serve-test-{name}.hwkt"));
+    let out = hawkset()
+        .args(["demo", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hawkset-serve-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running daemon. Spawns `hawkset serve --tcp 127.0.0.1:0`, waits for
+/// the readiness line, and parses the ephemeral port out of it. Killed on
+/// drop so a failing assertion never leaks a process.
+struct Daemon {
+    child: Child,
+    tcp: String,
+}
+
+impl Daemon {
+    fn start(db: &Path, extra_args: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let mut cmd = hawkset();
+        cmd.args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--db",
+            db.to_str().unwrap(),
+        ])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn daemon");
+        let stdout = child.stdout.take().expect("daemon stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read readiness line");
+        assert!(
+            line.starts_with("serve: ready"),
+            "unexpected readiness line: {line:?}"
+        );
+        let tcp = line
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("tcp="))
+            .expect("readiness line carries the bound tcp address")
+            .to_string();
+        Daemon { child, tcp }
+    }
+
+    fn sigterm(&self) {
+        let rc = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("kill spawns");
+        assert!(rc.success());
+    }
+
+    fn sigkill(&mut self) {
+        self.child.kill().expect("SIGKILL");
+        let _ = self.child.wait();
+    }
+
+    /// SIGTERM, then assert the graceful-drain exit-code contract (0).
+    fn drain(mut self) {
+        self.sigterm();
+        let status = self.child.wait().expect("wait daemon");
+        assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Foreground submission; returns (exit code, stdout, stderr).
+fn submit(tcp: &str, tenant: &str, trace: &Path) -> (i32, String, String) {
+    let out = hawkset()
+        .args([
+            "submit",
+            "--tcp",
+            tcp,
+            "--tenant",
+            tenant,
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn submit");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Background submission child (reaped by the caller).
+fn submit_bg(tcp: &str, tenant: &str, trace: &Path) -> Child {
+    hawkset()
+        .args([
+            "submit",
+            "--tcp",
+            tcp,
+            "--tenant",
+            tenant,
+            trace.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn submit")
+}
+
+/// Canonical stable-snapshot bytes via `hawkset query --json`.
+fn query_json(db: &Path) -> Vec<u8> {
+    let out = hawkset()
+        .args(["query", "--json", "--db", db.to_str().unwrap()])
+        .output()
+        .expect("spawn query");
+    assert!(
+        out.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn metrics_json(db: &Path) -> serde_json::Value {
+    let bytes = std::fs::read(db.join("serve-metrics.json")).expect("metrics file written");
+    serde_json::from_slice(&bytes).expect("metrics file is valid JSON")
+}
+
+/// Asserts the three conservation laws straight off the metrics file.
+fn assert_conservation(m: &serde_json::Value) {
+    let n = |v: &serde_json::Value| v.as_u64().expect("numeric metric");
+    assert_eq!(
+        n(&m["submitted"]),
+        n(&m["admitted"]) + n(&m["shed"]["total"]),
+        "submitted = admitted + shed: {m:?}"
+    );
+    assert_eq!(
+        n(&m["admitted"]),
+        n(&m["outcomes"]["completed_clean"])
+            + n(&m["outcomes"]["completed_races"])
+            + n(&m["outcomes"]["failed"])
+            + n(&m["in_flight"]),
+        "admitted = resolved + in_flight: {m:?}"
+    );
+    assert_eq!(
+        n(&m["shed"]["total"]),
+        n(&m["shed"]["queue_full"]) + n(&m["shed"]["tenant_cap"]) + n(&m["shed"]["draining"]),
+        "shed total = causes: {m:?}"
+    );
+}
+
+/// Submissions over both transports complete, identical traces dedupe
+/// into one record with per-tenant provenance, SIGTERM drains to exit 0,
+/// and the metrics file balances.
+#[test]
+fn roundtrip_dedupe_drain_and_metrics() {
+    let trace = demo_trace("roundtrip");
+    let db = fresh_dir("roundtrip");
+    let sock =
+        std::env::temp_dir().join(format!("hawkset-serve-test-rt-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let daemon = Daemon::start(&db, &["--socket", sock.to_str().unwrap()], &[]);
+
+    // Same trace from two tenants, one per transport. Exit 1 = races
+    // reported (the demo trace carries the Figure-1c race).
+    let (code, out, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("races reported"), "stdout:\n{out}");
+    let sock_submit = hawkset()
+        .args([
+            "submit",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--tenant",
+            "tenant-b",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn submit");
+    assert_eq!(
+        sock_submit.status.code(),
+        Some(1),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&sock_submit.stderr)
+    );
+
+    daemon.drain();
+    assert!(!sock.exists(), "drain removes the unix socket");
+
+    // One deduped record, occurrence count 2, both tenants credited.
+    let snapshot: serde_json::Value =
+        serde_json::from_slice(&query_json(&db)).expect("snapshot JSON");
+    assert_eq!(snapshot["jobs_recorded"], 2u64);
+    let records = snapshot["records"].as_array().expect("records array");
+    assert_eq!(records.len(), 1, "identical traces dedupe: {snapshot:?}");
+    assert_eq!(records[0]["occurrences"], 2u64);
+    let tenants = records[0]["tenants"].as_array().expect("tenants");
+    assert_eq!(tenants.len(), 2, "per-tenant provenance: {snapshot:?}");
+
+    let m = metrics_json(&db);
+    assert_conservation(&m);
+    assert_eq!(m["submitted"], 2u64);
+    assert_eq!(m["outcomes"]["completed_races"], 2u64);
+    assert_eq!(m["in_flight"], 0u64, "drain leaves nothing in flight");
+}
+
+/// Headline, part 1: SIGKILL mid-ingest (worker stalled inside the
+/// analysis), restart, recover to the last stable snapshot, resubmit —
+/// the database converges byte-for-byte with an uninterrupted run.
+#[test]
+fn sigkill_mid_ingest_recovers_and_converges() {
+    let trace = demo_trace("kill-ingest");
+    let db = fresh_dir("kill-ingest");
+
+    let mut daemon = Daemon::start(&db, &[], &[("HAWKSET_TEST_JOB_DELAY_MS", "30000")]);
+    let mut client = submit_bg(&daemon.tcp, "tenant-a", &trace);
+    // Give the submission time to be admitted and picked up by a worker
+    // (which then stalls in the injected delay) — then pull the plug.
+    std::thread::sleep(Duration::from_millis(800));
+    daemon.sigkill();
+    let _ = client.wait();
+
+    // Restart on the same directory: recovery must land on the stable
+    // bootstrap snapshot (nothing was ever committed).
+    let daemon = Daemon::start(&db, &[], &[]);
+    let before: serde_json::Value =
+        serde_json::from_slice(&query_json(&db)).expect("snapshot JSON");
+    assert_eq!(before["jobs_recorded"], 0u64, "no torn/partial commit");
+    let (code, out, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stdout:\n{out}\nstderr:\n{err}");
+    daemon.drain();
+
+    // Reference: the same single submission against a fresh database.
+    let db_ref = fresh_dir("kill-ingest-ref");
+    let daemon = Daemon::start(&db_ref, &[], &[]);
+    let (code, _, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stderr:\n{err}");
+    daemon.drain();
+
+    assert_eq!(
+        String::from_utf8_lossy(&query_json(&db)),
+        String::from_utf8_lossy(&query_json(&db_ref)),
+        "killed-and-resubmitted database must converge byte-for-byte"
+    );
+}
+
+/// Headline, part 2: SIGKILL mid-checkpoint, between writing the new
+/// snapshot generation and swapping CURRENT. The orphan generation is
+/// discarded on restart, the stable root is intact, and resubmission
+/// converges byte-for-byte.
+#[test]
+fn sigkill_mid_root_swap_recovers_and_converges() {
+    let trace = demo_trace("kill-swap");
+    let db = fresh_dir("kill-swap");
+
+    let mut daemon = Daemon::start(&db, &[], &[("HAWKSET_TEST_DB_SWAP_DELAY_MS", "30000")]);
+    let mut client = submit_bg(&daemon.tcp, "tenant-a", &trace);
+    // Wait for the next generation file to hit the disk — at that point
+    // the checkpoint is sleeping in the injected window before the
+    // CURRENT swap. Killing now is a torn root swap.
+    let orphan = db.join("snapshot-000001.json");
+    let t0 = Instant::now();
+    while !orphan.exists() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "snapshot generation 1 never appeared"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.sigkill();
+    let _ = client.wait();
+
+    // Recovery ignores the orphan: CURRENT still names generation 0.
+    let daemon = Daemon::start(&db, &[], &[]);
+    let before: serde_json::Value =
+        serde_json::from_slice(&query_json(&db)).expect("snapshot JSON");
+    assert_eq!(before["generation"], 0u64, "orphan generation discarded");
+    assert_eq!(before["jobs_recorded"], 0u64);
+    let (code, _, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stderr:\n{err}");
+    daemon.drain();
+
+    let db_ref = fresh_dir("kill-swap-ref");
+    let daemon = Daemon::start(&db_ref, &[], &[]);
+    let (code, _, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stderr:\n{err}");
+    daemon.drain();
+
+    assert_eq!(
+        String::from_utf8_lossy(&query_json(&db)),
+        String::from_utf8_lossy(&query_json(&db_ref)),
+        "mid-swap kill must converge byte-for-byte after resubmission"
+    );
+}
+
+/// Fairness under a saturated pool: a tenant at its pending cap is shed
+/// with an explicit reason while another tenant is still admitted, and
+/// the conservation law balances the books afterwards.
+#[test]
+fn saturated_tenant_sheds_while_others_are_admitted() {
+    let trace = demo_trace("fairness");
+    let db = fresh_dir("fairness");
+    let daemon = Daemon::start(
+        &db,
+        &["--workers", "1", "--tenant-cap", "1", "--queue-cap", "8"],
+        &[("HAWKSET_TEST_JOB_DELAY_MS", "1500")],
+    );
+
+    // A#1 occupies the single worker; A#2 fills tenant A's pending cap.
+    let mut a1 = submit_bg(&daemon.tcp, "tenant-a", &trace);
+    std::thread::sleep(Duration::from_millis(500));
+    let mut a2 = submit_bg(&daemon.tcp, "tenant-a", &trace);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // A#3 must be shed with the tenant-cap reason — an explicit frame,
+    // never a silent drop or an indefinite hang.
+    let (code, _, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 3, "shed maps to exit 3; stderr:\n{err}");
+    assert!(err.contains("tenant-cap"), "stderr names the cause:\n{err}");
+
+    // A different tenant is still welcome: fairness is per tenant, not
+    // a global lockout.
+    let (code, _, err) = submit(&daemon.tcp, "tenant-b", &trace);
+    assert_eq!(code, 1, "tenant B admitted and completed; stderr:\n{err}");
+
+    assert_eq!(a1.wait().expect("a1").code(), Some(1));
+    assert_eq!(a2.wait().expect("a2").code(), Some(1));
+    daemon.drain();
+
+    let m = metrics_json(&db);
+    assert_conservation(&m);
+    assert_eq!(m["submitted"], 4u64);
+    assert_eq!(m["admitted"], 3u64);
+    assert_eq!(m["shed"]["tenant_cap"], 1u64);
+    assert_eq!(m["outcomes"]["completed_races"], 3u64);
+
+    // All three admitted jobs were the same trace: one record, three
+    // occurrences, two tenants.
+    let snapshot: serde_json::Value =
+        serde_json::from_slice(&query_json(&db)).expect("snapshot JSON");
+    assert_eq!(snapshot["jobs_recorded"], 3u64);
+    assert_eq!(snapshot["records"][0]["occurrences"], 3u64);
+}
+
+/// Supervisor resilience: a worker panic on the first attempt is caught,
+/// the job retries with backoff, and the client still gets its verdict.
+#[test]
+fn worker_panic_is_retried_transparently() {
+    let trace = demo_trace("panic-retry");
+    let db = fresh_dir("panic-retry");
+    let daemon = Daemon::start(&db, &[], &[("HAWKSET_TEST_PANIC_FIRST_ATTEMPT", "1")]);
+
+    let (code, out, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stdout:\n{out}\nstderr:\n{err}");
+    daemon.drain();
+
+    let m = metrics_json(&db);
+    assert_conservation(&m);
+    assert!(m["outcomes"]["worker_panics"].as_u64().unwrap() >= 1);
+    assert!(m["outcomes"]["retries"].as_u64().unwrap() >= 1);
+    assert_eq!(m["outcomes"]["completed_races"], 1u64);
+    assert_eq!(m["outcomes"]["failed"], 0u64);
+}
+
+/// `query --verify` recomputes the expected database from batch
+/// `analyze --json` reports and matches the served state byte-for-byte.
+#[test]
+fn query_verify_matches_batch_analyze() {
+    let trace = demo_trace("verify");
+    let db = fresh_dir("verify");
+
+    // Batch reference report.
+    let report = hawkset()
+        .args(["analyze", "--json", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn analyze");
+    assert_eq!(report.status.code(), Some(1));
+    let report_path = std::env::temp_dir().join(format!(
+        "hawkset-serve-test-verify-report-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&report_path, &report.stdout).expect("write report");
+
+    let daemon = Daemon::start(&db, &[], &[]);
+    let (code, _, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stderr:\n{err}");
+    let (code, _, err) = submit(&daemon.tcp, "tenant-b", &trace);
+    assert_eq!(code, 1, "stderr:\n{err}");
+    daemon.drain();
+
+    let out = hawkset()
+        .args([
+            "query",
+            "--db",
+            db.to_str().unwrap(),
+            "--verify",
+            &format!("tenant-a={}", report_path.display()),
+            "--verify",
+            &format!("tenant-b={}", report_path.display()),
+        ])
+        .output()
+        .expect("spawn query --verify");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,124 @@
+//! Minimal submission client: one blocking round trip over any stream.
+//!
+//! Used by `hawkset submit`, the CI smoke step, and the e2e tests. The
+//! protocol is strictly sequential per connection, so the client is a
+//! straight-line function — no state machine.
+
+use std::io::{self, Read, Write};
+
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+
+/// Size of one DATA frame's payload when streaming a trace.
+pub const DATA_CHUNK: usize = 256 * 1024;
+
+/// Bound on server reply payloads (reports can be large; traces are not
+/// echoed back).
+const MAX_REPLY: usize = 64 << 20;
+
+/// Outcome of one submission round trip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job ran to completion; findings are durable server-side.
+    Done {
+        /// Job id assigned at admission.
+        job_id: String,
+        /// No races reported.
+        clean: bool,
+        /// Schema-v1 report JSON.
+        report_json: String,
+    },
+    /// The daemon refused the submission (backpressure) — retry later.
+    Shed {
+        /// The daemon's reason line (leading token is machine-stable).
+        reason: String,
+    },
+    /// The daemon accepted but the job failed (or the protocol did).
+    Error {
+        /// Job id when the failure happened after admission.
+        job_id: Option<String>,
+        /// The daemon's message.
+        message: String,
+    },
+}
+
+/// Submits one trace as `tenant` over an established stream and blocks for
+/// the verdict. The caller owns connection setup (unix vs TCP) and
+/// timeouts (socket read timeouts surface as `Err`).
+pub fn submit<S: Read + Write>(
+    stream: &mut S,
+    tenant: &str,
+    trace: &[u8],
+) -> io::Result<SubmitOutcome> {
+    write_frame(
+        stream,
+        &Frame::new(FrameKind::Submit, tenant.as_bytes().to_vec()),
+    )?;
+    stream.flush()?;
+    let verdict = expect_frame(stream)?;
+    let job_id = match verdict.kind {
+        FrameKind::Accepted => verdict.text(),
+        FrameKind::Shed => {
+            return Ok(SubmitOutcome::Shed {
+                reason: verdict.text(),
+            })
+        }
+        FrameKind::Error => {
+            return Ok(SubmitOutcome::Error {
+                job_id: None,
+                message: verdict.text(),
+            })
+        }
+        other => {
+            return Err(protocol_err(format!(
+                "expected ACCEPTED/SHED, got {other:?}"
+            )))
+        }
+    };
+    for chunk in trace.chunks(DATA_CHUNK.max(1)) {
+        write_frame(stream, &Frame::new(FrameKind::Data, chunk.to_vec()))?;
+    }
+    write_frame(stream, &Frame::empty(FrameKind::End))?;
+    stream.flush()?;
+    let result = expect_frame(stream)?;
+    match result.kind {
+        FrameKind::Result => {
+            let (status, json) = result
+                .payload
+                .split_first()
+                .ok_or_else(|| protocol_err("empty RESULT payload".into()))?;
+            Ok(SubmitOutcome::Done {
+                job_id,
+                clean: *status == 0,
+                report_json: String::from_utf8_lossy(json).into_owned(),
+            })
+        }
+        FrameKind::Error => Ok(SubmitOutcome::Error {
+            job_id: Some(job_id),
+            message: result.text(),
+        }),
+        other => Err(protocol_err(format!(
+            "expected RESULT/ERROR, got {other:?}"
+        ))),
+    }
+}
+
+/// One PING/PONG liveness round trip.
+pub fn ping<S: Read + Write>(stream: &mut S) -> io::Result<()> {
+    write_frame(stream, &Frame::empty(FrameKind::Ping))?;
+    stream.flush()?;
+    let f = expect_frame(stream)?;
+    if f.kind == FrameKind::Pong {
+        Ok(())
+    } else {
+        Err(protocol_err(format!("expected PONG, got {:?}", f.kind)))
+    }
+}
+
+fn expect_frame<S: Read>(stream: &mut S) -> io::Result<Frame> {
+    read_frame(stream, MAX_REPLY)?
+        .ok_or_else(|| protocol_err("daemon closed the connection mid-exchange".into()))
+}
+
+fn protocol_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}

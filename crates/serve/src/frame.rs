@@ -1,0 +1,217 @@
+//! Length-prefixed framing for trace submission.
+//!
+//! The wire unit is a frame: one type byte, a little-endian `u32` payload
+//! length, then the payload. A submission is `SUBMIT(tenant)` followed by
+//! any number of `DATA(bytes)` frames carrying the raw `.hwkt` stream and
+//! one `END`. The daemon replies `ACCEPTED(job id)` or `SHED(reason)` to
+//! the `SUBMIT` — shedding is always an explicit frame, never a silent
+//! drop or a closed socket — and, once the job ran, `RESULT(status, json)`
+//! or `ERROR(message)`.
+//!
+//! `DATA` payloads are exactly the bytes a `hawkset analyze` invocation
+//! would read from the trace file: the daemon stitches them back into a
+//! byte stream and feeds it to the same
+//! [`StreamDecoder`](hawkset_core::trace::stream::StreamDecoder)-backed
+//! streaming pipeline, so framing adds no second decode path.
+
+use std::io::{self, Read, Write};
+
+/// Frame type tags. Client→server tags are low, server→client high.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client: start a submission; payload = UTF-8 tenant name.
+    Submit = 0x01,
+    /// Client: a chunk of the raw trace byte stream.
+    Data = 0x02,
+    /// Client: the submission is complete.
+    End = 0x03,
+    /// Client: liveness probe; the server answers [`FrameKind::Pong`].
+    Ping = 0x04,
+    /// Server: submission admitted; payload = ASCII job id.
+    Accepted = 0x81,
+    /// Server: submission refused under load or drain (the 429 of the
+    /// protocol); payload = UTF-8 reason. The connection stays usable.
+    Shed = 0x82,
+    /// Server: the job finished; payload = one status byte (0 = clean,
+    /// 1 = races found) followed by the schema-v1 report JSON.
+    Result = 0x83,
+    /// Server: the job or the protocol failed; payload = UTF-8 message.
+    Error = 0x84,
+    /// Server: answer to [`FrameKind::Ping`].
+    Pong = 0x85,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0x01 => FrameKind::Submit,
+            0x02 => FrameKind::Data,
+            0x03 => FrameKind::End,
+            0x04 => FrameKind::Ping,
+            0x81 => FrameKind::Accepted,
+            0x82 => FrameKind::Shed,
+            0x83 => FrameKind::Result,
+            0x84 => FrameKind::Error,
+            0x85 => FrameKind::Pong,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with a payload.
+    pub fn new(kind: FrameKind, payload: impl Into<Vec<u8>>) -> Self {
+        Self {
+            kind,
+            payload: payload.into(),
+        }
+    }
+
+    /// A payload-less frame.
+    pub fn empty(kind: FrameKind) -> Self {
+        Self {
+            kind,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The payload as UTF-8 (lossy) — for reason/message frames.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+}
+
+/// Writes one frame. The caller flushes when the batch is done.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let len = u32::try_from(frame.payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    w.write_all(&[frame.kind as u8])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&frame.payload)?;
+    Ok(())
+}
+
+/// Reads one frame. `max_payload` bounds the allocation a hostile or
+/// corrupt peer can force; an oversized or unknown frame is an
+/// `InvalidData` error (the connection is unrecoverable past it — frame
+/// boundaries are lost).
+///
+/// `Ok(None)` means the peer closed the connection cleanly between frames.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> io::Result<Option<Frame>> {
+    let mut head = [0u8; 5];
+    match read_exact_or_eof(r, &mut head)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+    }
+    let kind = FrameKind::from_byte(head[0]).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame type 0x{:02x}", head[0]),
+        )
+    })?;
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    if len > max_payload {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_payload}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// `read_exact`, except a clean EOF *before the first byte* is reported as
+/// [`ReadOutcome::Eof`] instead of an error — that is how a well-behaved
+/// peer hangs up. EOF mid-header is still an error (a torn frame).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = vec![
+            Frame::new(FrameKind::Submit, b"tenant-a".to_vec()),
+            Frame::new(FrameKind::Data, vec![0u8; 1000]),
+            Frame::empty(FrameKind::End),
+            Frame::new(FrameKind::Shed, b"queue full".to_vec()),
+            Frame::new(FrameKind::Result, b"\x01{\"races\":[]}".to_vec()),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = Cursor::new(wire);
+        for f in &frames {
+            let back = read_frame(&mut r, 1 << 20).unwrap().expect("frame");
+            assert_eq!(&back, f);
+        }
+        assert!(read_frame(&mut r, 1 << 20).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_unknown_frames_are_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::new(FrameKind::Data, vec![0u8; 64])).unwrap();
+        let err = read_frame(&mut Cursor::new(wire), 63).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let wire = vec![0x7f, 0, 0, 0, 0];
+        let err = read_frame(&mut Cursor::new(wire), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("0x7f"));
+    }
+
+    #[test]
+    fn torn_header_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::empty(FrameKind::End)).unwrap();
+        wire.truncate(3);
+        let err = read_frame(&mut Cursor::new(wire), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn torn_payload_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::new(FrameKind::Data, vec![1u8; 10])).unwrap();
+        wire.truncate(wire.len() - 4);
+        let err = read_frame(&mut Cursor::new(wire), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

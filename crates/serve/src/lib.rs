@@ -1,0 +1,35 @@
+//! `hawkset-serve`: the always-on analysis front door.
+//!
+//! HawkSet's batch pipeline analyzes one trace per process invocation.
+//! This crate turns it into a service: many tenants submit traces
+//! concurrently over a unix socket or TCP ([`frame`]), a bounded
+//! tenant-fair queue decides admission explicitly ([`sched`]), a
+//! panic-isolated supervised pool runs the existing `Analyzer` facade
+//! ([`worker`]), and every completed job's findings merge into a
+//! crash-safe copy-on-write race database ([`db`]) that `hawkset query`
+//! reads without coordinating with the daemon. [`metrics`] keeps the
+//! accounting honest with a conservation law; [`server`] wires it all to
+//! the sockets and owns the drain/exit contract.
+//!
+//! The load-bearing invariant, end to end: **a client that received
+//! `RESULT` can assume durability; a client that did not must resubmit —
+//! and resubmission is safe because the database dedupes races by their
+//! cross-run identity.** Everything else (admission at SUBMIT time,
+//! checkpoint-before-reply, atomic root swap, drain semantics) exists to
+//! make both halves of that sentence true under SIGKILL at any point.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod db;
+pub mod frame;
+pub mod metrics;
+pub mod sched;
+pub mod server;
+pub mod worker;
+
+pub use client::{submit, SubmitOutcome};
+pub use db::{load_stable, DbSnapshot, RaceDb, RaceRecord, RaceSiteKey, TenantCount};
+pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
+pub use server::{run, ServeConfig};
+pub use worker::WorkerConfig;

@@ -1,0 +1,270 @@
+//! Serve-side metrics with a conservation law.
+//!
+//! Same shape as `pmrace`'s `CampaignMetrics`: a live side built from the
+//! relaxed [`Counter`]s in `hawkset_core::obs` (cheap enough to bump on
+//! every frame), frozen into a versioned serde snapshot whose
+//! [`conservation_violations`](ServeMetricsSnapshot::conservation_violations)
+//! method turns "the numbers don't add up" from a debugging session into a
+//! test assertion. The laws:
+//!
+//! ```text
+//! submitted = admitted + shed
+//! admitted  = completed_clean + completed_races + failed + in_flight
+//! ```
+//!
+//! where `in_flight` counts jobs admitted but not yet resolved — queued,
+//! running, or waiting out a retry backoff. Every admitted job resolves to
+//! exactly one terminal counter, so after a drain `in_flight` is zero and
+//! the second law closes exactly.
+
+use hawkset_core::obs::Counter;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp for the serialized snapshot.
+pub const SERVE_METRICS_VERSION: u32 = 1;
+
+/// Live counters, bumped from connection handlers, the scheduler, and the
+/// workers. All relaxed: metrics order never matters, only totals.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// SUBMIT frames received (before any admission decision).
+    pub submitted: Counter,
+    /// Submissions admitted into the queue.
+    pub admitted: Counter,
+    /// Submissions refused with an explicit SHED frame.
+    pub shed: Counter,
+    /// ... because the global admission queue was full.
+    pub shed_queue_full: Counter,
+    /// ... because the tenant hit its per-tenant pending cap.
+    pub shed_tenant_cap: Counter,
+    /// ... because the daemon was draining.
+    pub shed_draining: Counter,
+    /// Jobs that finished with a clean report.
+    pub completed_clean: Counter,
+    /// Jobs that finished with races reported.
+    pub completed_races: Counter,
+    /// Jobs that failed terminally (after retries, or non-transient).
+    pub failed: Counter,
+    /// Retry attempts scheduled (transient worker failures re-queued).
+    pub retries: Counter,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: Counter,
+    /// Jobs whose stage watchdog fired.
+    pub watchdog_fires: Counter,
+    /// Current queue depth (gauge, set not added).
+    pub queue_depth: Counter,
+    /// Database checkpoints committed (root swaps).
+    pub checkpoints: Counter,
+    /// Stable-root generation (gauge).
+    pub snapshot_generation: Counter,
+    /// Jobs merged since the last root swap (gauge) — the snapshot age.
+    pub snapshot_age_jobs: Counter,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jobs admitted but not yet resolved to a terminal outcome.
+    pub fn in_flight(&self) -> u64 {
+        self.admitted.get().saturating_sub(
+            self.completed_clean.get() + self.completed_races.get() + self.failed.get(),
+        )
+    }
+
+    /// Freezes the live counters into a serializable snapshot.
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        ServeMetricsSnapshot {
+            version: SERVE_METRICS_VERSION,
+            submitted: self.submitted.get(),
+            admitted: self.admitted.get(),
+            shed: ShedBreakdown {
+                total: self.shed.get(),
+                queue_full: self.shed_queue_full.get(),
+                tenant_cap: self.shed_tenant_cap.get(),
+                draining: self.shed_draining.get(),
+            },
+            outcomes: OutcomeBreakdown {
+                completed_clean: self.completed_clean.get(),
+                completed_races: self.completed_races.get(),
+                failed: self.failed.get(),
+                retries: self.retries.get(),
+                worker_panics: self.worker_panics.get(),
+                watchdog_fires: self.watchdog_fires.get(),
+            },
+            in_flight: self.in_flight(),
+            queue_depth: self.queue_depth.get(),
+            database: DatabaseGauges {
+                checkpoints: self.checkpoints.get(),
+                snapshot_generation: self.snapshot_generation.get(),
+                snapshot_age_jobs: self.snapshot_age_jobs.get(),
+            },
+        }
+    }
+}
+
+/// Why submissions were shed, by cause. Causes are disjoint: each shed has
+/// exactly one.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedBreakdown {
+    /// All sheds.
+    pub total: u64,
+    /// Global admission queue at capacity.
+    pub queue_full: u64,
+    /// Tenant at its pending cap.
+    pub tenant_cap: u64,
+    /// Daemon draining after SIGTERM.
+    pub draining: u64,
+}
+
+/// Terminal and transient job outcomes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeBreakdown {
+    /// Clean reports.
+    pub completed_clean: u64,
+    /// Reports with races.
+    pub completed_races: u64,
+    /// Terminal failures.
+    pub failed: u64,
+    /// Transient failures re-queued with backoff.
+    pub retries: u64,
+    /// Panics the supervisor absorbed.
+    pub worker_panics: u64,
+    /// Watchdog expirations.
+    pub watchdog_fires: u64,
+}
+
+/// Race-database gauges.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseGauges {
+    /// Root swaps committed this run.
+    pub checkpoints: u64,
+    /// Current stable generation.
+    pub snapshot_generation: u64,
+    /// Jobs merged but not yet durable.
+    pub snapshot_age_jobs: u64,
+}
+
+/// Point-in-time serialized metrics, written next to the database on drain
+/// and on demand.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeMetricsSnapshot {
+    /// [`SERVE_METRICS_VERSION`] at freeze time.
+    pub version: u32,
+    /// SUBMIT frames received.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Shed accounting.
+    pub shed: ShedBreakdown,
+    /// Outcome accounting.
+    pub outcomes: OutcomeBreakdown,
+    /// Admitted minus resolved at freeze time.
+    pub in_flight: u64,
+    /// Queue depth at freeze time.
+    pub queue_depth: u64,
+    /// Database gauges.
+    pub database: DatabaseGauges,
+}
+
+impl ServeMetricsSnapshot {
+    /// Returns every violated conservation law, empty when the books
+    /// balance.
+    pub fn conservation_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.submitted != self.admitted + self.shed.total {
+            v.push(format!(
+                "submitted ({}) != admitted ({}) + shed ({})",
+                self.submitted, self.admitted, self.shed.total
+            ));
+        }
+        let resolved =
+            self.outcomes.completed_clean + self.outcomes.completed_races + self.outcomes.failed;
+        if self.admitted != resolved + self.in_flight {
+            v.push(format!(
+                "admitted ({}) != completed ({}) + failed ({}) + in_flight ({})",
+                self.admitted,
+                self.outcomes.completed_clean + self.outcomes.completed_races,
+                self.outcomes.failed,
+                self.in_flight
+            ));
+        }
+        if self.shed.total != self.shed.queue_full + self.shed.tenant_cap + self.shed.draining {
+            v.push(format!(
+                "shed total ({}) != queue_full ({}) + tenant_cap ({}) + draining ({})",
+                self.shed.total, self.shed.queue_full, self.shed.tenant_cap, self.shed.draining
+            ));
+        }
+        v
+    }
+
+    /// Pretty JSON for the metrics file and `--metrics` flags.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_books_have_no_violations() {
+        let m = ServeMetrics::new();
+        m.submitted.add(10);
+        m.admitted.add(7);
+        m.shed.add(3);
+        m.shed_queue_full.add(2);
+        m.shed_draining.add(1);
+        m.completed_clean.add(4);
+        m.completed_races.add(2);
+        m.failed.add(1);
+        let snap = m.snapshot();
+        assert_eq!(snap.in_flight, 0);
+        assert!(snap.conservation_violations().is_empty(), "{:?}", snap);
+    }
+
+    #[test]
+    fn in_flight_closes_the_admitted_law_mid_run() {
+        let m = ServeMetrics::new();
+        m.submitted.add(5);
+        m.admitted.add(5);
+        m.completed_races.add(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.in_flight, 3);
+        assert!(snap.conservation_violations().is_empty());
+    }
+
+    #[test]
+    fn cooked_books_are_caught() {
+        let snap = ServeMetricsSnapshot {
+            version: SERVE_METRICS_VERSION,
+            submitted: 10,
+            admitted: 4,
+            shed: ShedBreakdown {
+                total: 3,
+                queue_full: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let v = snap.conservation_violations();
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v[0].contains("submitted (10)"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = ServeMetrics::new();
+        m.submitted.add(2);
+        m.admitted.add(2);
+        m.completed_clean.add(2);
+        m.snapshot_generation.set(7);
+        let snap = m.snapshot();
+        let back: ServeMetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.database.snapshot_generation, 7);
+    }
+}

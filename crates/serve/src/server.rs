@@ -1,0 +1,492 @@
+//! The daemon: listeners, the connection protocol, and the drain sequence.
+//!
+//! One process serves many tenants over a unix socket and/or TCP. Each
+//! connection speaks the framed protocol sequentially: `SUBMIT` → an
+//! immediate `ACCEPTED`/`SHED` admission decision → `DATA*`+`END` → one
+//! `RESULT`/`ERROR` once the job ran *and its findings are durable*.
+//! Concurrency comes from concurrent connections, not pipelining within
+//! one — that keeps the admission decision honest (a queue slot is held
+//! from `ACCEPTED` on) and the client's failure model trivial.
+//!
+//! ## Exit-code contract
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | graceful drain: admissions stopped, every in-flight job
+//! |      | resolved and replied, final stable snapshot flushed |
+//! | 1    | drain timed out — the daemon exited with work unresolved
+//! |      | (clients that got no `RESULT` must resubmit) |
+//! | 2    | startup/usage error (bad flags, cannot bind, unusable
+//! |      | database directory) |
+//! | 130  | second SIGTERM/SIGINT during drain: immediate `_exit` |
+//!
+//! The first SIGTERM (or SIGINT) starts the drain; the daemon stops
+//! admitting (`SHED draining`), finishes what it owes, checkpoints, and
+//! leaves. A second signal means "now": `_exit(130)` from the handler,
+//! no cleanup — which is safe *because* the database is crash-safe.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::db::RaceDb;
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use crate::metrics::ServeMetrics;
+use crate::sched::{JobReply, Scheduler, ShedReason};
+use crate::worker::{WorkerConfig, WorkerPool};
+
+/// Daemon configuration (the CLI's `serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on (removed and re-created at bind).
+    pub unix_socket: Option<PathBuf>,
+    /// TCP address to listen on (e.g. `127.0.0.1:0` for an ephemeral
+    /// port).
+    pub tcp_addr: Option<String>,
+    /// Race-database directory.
+    pub db_dir: PathBuf,
+    /// Where to write the serve-metrics snapshot on drain; defaults to
+    /// `serve-metrics.json` inside the database directory.
+    pub metrics_path: Option<PathBuf>,
+    /// Global admission bound (queued + uploading).
+    pub queue_cap: usize,
+    /// Per-tenant admission bound.
+    pub tenant_cap: usize,
+    /// Largest accepted frame payload.
+    pub max_frame_bytes: usize,
+    /// How long a connection waits for its job's result before giving the
+    /// client an ERROR (the job itself keeps running).
+    pub reply_timeout: Duration,
+    /// How long the drain waits for in-flight work before exiting 1.
+    pub drain_timeout: Duration,
+    /// Worker pool and per-job analysis tuning.
+    pub worker: WorkerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            unix_socket: None,
+            tcp_addr: None,
+            db_dir: PathBuf::from("hawkset-db"),
+            metrics_path: None,
+            queue_cap: 32,
+            tenant_cap: 8,
+            max_frame_bytes: 8 << 20,
+            reply_timeout: Duration::from_secs(600),
+            drain_timeout: Duration::from_secs(60),
+            worker: WorkerConfig::default(),
+        }
+    }
+}
+
+/// First signal: request drain. Second: immediate exit 130. The handler is
+/// async-signal-safe — one atomic and (on the second hit) `_exit`.
+mod signals {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNT: AtomicU32 = AtomicU32::new(0);
+
+    extern "C" fn on_signal(_sig: i32) {
+        if COUNT.fetch_add(1, Ordering::SeqCst) >= 1 {
+            #[cfg(unix)]
+            {
+                extern "C" {
+                    fn _exit(code: i32) -> !;
+                }
+                unsafe { _exit(130) }
+            }
+        }
+    }
+
+    /// Installs the SIGINT/SIGTERM handler.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {
+        let _ = on_signal as extern "C" fn(i32);
+    }
+
+    /// True once at least one signal arrived.
+    pub fn drain_requested() -> bool {
+        COUNT.load(Ordering::SeqCst) > 0
+    }
+
+    /// Test seam: simulate the first signal in-process.
+    pub fn request_drain() {
+        COUNT.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+pub use signals::request_drain;
+
+/// Shared connection-handler context.
+struct Ctx {
+    sched: Arc<Scheduler>,
+    metrics: Arc<ServeMetrics>,
+    /// Submissions committed whose RESULT/ERROR is not yet on the wire —
+    /// the drain waits for this to reach zero before exiting 0.
+    pending_replies: AtomicUsize,
+    max_frame_bytes: usize,
+    max_trace_bytes: Option<u64>,
+    reply_timeout: Duration,
+}
+
+/// Runs the daemon until a signal drains it. `Err` is a startup failure
+/// (the CLI maps it to exit 2); `Ok` carries the exit code per the
+/// contract above.
+pub fn run(cfg: &ServeConfig) -> Result<i32, String> {
+    if cfg.unix_socket.is_none() && cfg.tcp_addr.is_none() {
+        return Err("serve: no listener configured (need --socket and/or --tcp)".into());
+    }
+    signals::install();
+
+    let db = RaceDb::open(&cfg.db_dir).map_err(|e| format!("serve: {e}"))?;
+    let rec = db.recovery();
+    if rec.root_pointer_rebuilt || !rec.invalid_snapshots.is_empty() {
+        eprintln!(
+            "serve: recovered database at generation {} (root rebuilt: {}, invalid: {:?}, orphans: {:?})",
+            db.stable().generation,
+            rec.root_pointer_rebuilt,
+            rec.invalid_snapshots,
+            rec.orphans_removed,
+        );
+    }
+    let metrics = Arc::new(ServeMetrics::new());
+    metrics.snapshot_generation.set(db.stable().generation);
+    let db = Arc::new(Mutex::new(db));
+    let sched = Arc::new(Scheduler::new(cfg.queue_cap, cfg.tenant_cap));
+    let pool = WorkerPool::spawn(
+        cfg.worker.clone(),
+        sched.clone(),
+        db.clone(),
+        metrics.clone(),
+    );
+    let ctx = Arc::new(Ctx {
+        sched: sched.clone(),
+        metrics: metrics.clone(),
+        pending_replies: AtomicUsize::new(0),
+        max_frame_bytes: cfg.max_frame_bytes,
+        max_trace_bytes: cfg.worker.max_trace_bytes,
+        reply_timeout: cfg.reply_timeout,
+    });
+
+    let stop_accepting = Arc::new(AtomicBool::new(false));
+    let mut acceptors = Vec::new();
+    let mut ready = String::from("serve: ready");
+
+    if let Some(addr) = &cfg.tcp_addr {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("serve: cannot bind tcp {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("serve: tcp local_addr: {e}"))?;
+        ready.push_str(&format!(" tcp={local}"));
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("serve: tcp nonblocking: {e}"))?;
+        let (ctx, stop) = (ctx.clone(), stop_accepting.clone());
+        acceptors.push(
+            std::thread::Builder::new()
+                .name("hawkset-accept-tcp".into())
+                .spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let ctx = ctx.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("hawkset-conn".into())
+                                .spawn(move || {
+                                    let mut stream = stream;
+                                    handle_conn(&mut stream, &ctx);
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn tcp acceptor"),
+        );
+    }
+
+    #[cfg(unix)]
+    if let Some(path) = &cfg.unix_socket {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)
+            .map_err(|e| format!("serve: cannot bind unix socket {}: {e}", path.display()))?;
+        ready.push_str(&format!(" unix={}", path.display()));
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("serve: unix nonblocking: {e}"))?;
+        let (ctx, stop) = (ctx.clone(), stop_accepting.clone());
+        acceptors.push(
+            std::thread::Builder::new()
+                .name("hawkset-accept-unix".into())
+                .spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let ctx = ctx.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("hawkset-conn".into())
+                                .spawn(move || {
+                                    let mut stream = stream;
+                                    handle_conn(&mut stream, &ctx);
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn unix acceptor"),
+        );
+    }
+    #[cfg(not(unix))]
+    if cfg.unix_socket.is_some() {
+        return Err("serve: unix sockets are not available on this platform".into());
+    }
+
+    ready.push_str(&format!(" db={}", cfg.db_dir.display()));
+    // The readiness line is the startup contract: tests and supervisors
+    // wait for it (and parse the ephemeral TCP port out of it).
+    println!("{ready}");
+    let _ = std::io::stdout().flush();
+
+    // Steady state: wait for the first signal, keeping gauges fresh.
+    while !signals::drain_requested() {
+        metrics.queue_depth.set(sched.depth() as u64);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // --- Drain sequence -------------------------------------------------
+    eprintln!("serve: drain requested — admissions stopped");
+    stop_accepting.store(true, Ordering::SeqCst);
+    sched.begin_drain();
+    for a in acceptors {
+        let _ = a.join();
+    }
+
+    // Bounded wait for the pool: a stalled upload or a wedged job must
+    // not hold the exit hostage forever.
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        pool.join();
+        let _ = tx.send(());
+    });
+    let drained = match rx.recv_timeout(cfg.drain_timeout) {
+        Ok(()) => true,
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => false,
+    };
+    if !drained {
+        eprintln!(
+            "serve: drain timed out after {:?}; exiting with work unresolved",
+            cfg.drain_timeout
+        );
+    }
+
+    // Wait for replies already earned to reach their sockets.
+    let reply_deadline = Instant::now() + Duration::from_secs(5);
+    while ctx.pending_replies.load(Ordering::SeqCst) > 0 && Instant::now() < reply_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Final flush: residual working state (checkpoint cadence > 1)
+    // becomes the last stable snapshot.
+    if drained {
+        let mut db = db.lock().unwrap();
+        if let Err(e) = db.checkpoint() {
+            eprintln!("serve: final checkpoint failed: {e}");
+        } else {
+            metrics.snapshot_generation.set(db.stable().generation);
+            metrics.snapshot_age_jobs.set(db.jobs_since_checkpoint());
+        }
+    }
+
+    metrics.queue_depth.set(sched.depth() as u64);
+    let metrics_path = cfg
+        .metrics_path
+        .clone()
+        .unwrap_or_else(|| cfg.db_dir.join("serve-metrics.json"));
+    let snapshot = metrics.snapshot();
+    if let Err(e) = std::fs::write(&metrics_path, snapshot.to_json()) {
+        eprintln!(
+            "serve: cannot write metrics {}: {e}",
+            metrics_path.display()
+        );
+    }
+    for v in snapshot.conservation_violations() {
+        eprintln!("serve: metrics conservation violated: {v}");
+    }
+
+    #[cfg(unix)]
+    if let Some(path) = &cfg.unix_socket {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!(
+        "serve: drained (completed {} clean / {} racy, failed {}, shed {})",
+        snapshot.outcomes.completed_clean,
+        snapshot.outcomes.completed_races,
+        snapshot.outcomes.failed,
+        snapshot.shed.total,
+    );
+    Ok(if drained { 0 } else { 1 })
+}
+
+/// Serves one connection until the peer hangs up or breaks protocol.
+fn handle_conn<S: Read + Write>(stream: &mut S, ctx: &Ctx) {
+    loop {
+        let frame = match read_frame(stream, ctx.max_frame_bytes) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        match frame.kind {
+            FrameKind::Ping => {
+                if reply(stream, &Frame::empty(FrameKind::Pong)).is_err() {
+                    return;
+                }
+            }
+            FrameKind::Submit => {
+                if !handle_submission(stream, ctx, frame.text()) {
+                    return;
+                }
+            }
+            other => {
+                let _ = reply(
+                    stream,
+                    &Frame::new(
+                        FrameKind::Error,
+                        format!("protocol error: expected SUBMIT or PING, got {other:?}"),
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// One SUBMIT → RESULT/SHED/ERROR round trip. Returns `false` when the
+/// connection is no longer usable.
+fn handle_submission<S: Read + Write>(stream: &mut S, ctx: &Ctx, tenant: String) -> bool {
+    if tenant.is_empty() || tenant.len() > 64 {
+        // A malformed request, not admission pressure: answered with
+        // ERROR and kept out of the submitted/admitted/shed books.
+        return reply(
+            stream,
+            &Frame::new(FrameKind::Error, "tenant name must be 1..=64 bytes"),
+        )
+        .is_ok();
+    }
+    ctx.metrics.submitted.add(1);
+    let res = match ctx.sched.reserve(&tenant) {
+        Err(reason) => {
+            ctx.metrics.shed.add(1);
+            match reason {
+                ShedReason::QueueFull => ctx.metrics.shed_queue_full.add(1),
+                ShedReason::TenantCap => ctx.metrics.shed_tenant_cap.add(1),
+                ShedReason::Draining => ctx.metrics.shed_draining.add(1),
+            }
+            return reply(stream, &Frame::new(FrameKind::Shed, reason.message())).is_ok();
+        }
+        Ok(res) => res,
+    };
+    ctx.metrics.admitted.add(1);
+    if reply(stream, &Frame::new(FrameKind::Accepted, res.id.to_string())).is_err() {
+        ctx.sched.abandon(res);
+        ctx.metrics.failed.add(1);
+        return false;
+    }
+    let bytes = match read_trace_body(stream, ctx) {
+        Ok(bytes) => bytes,
+        Err(msg) => {
+            // The upload died or broke protocol: release the slot and
+            // resolve the admitted submission as failed so the
+            // conservation law still closes.
+            ctx.sched.abandon(res);
+            ctx.metrics.failed.add(1);
+            let _ = reply(stream, &Frame::new(FrameKind::Error, msg));
+            return false;
+        }
+    };
+    let (tx, rx) = channel();
+    ctx.pending_replies.fetch_add(1, Ordering::SeqCst);
+    ctx.sched.commit(res, bytes, tx);
+    ctx.metrics.queue_depth.set(ctx.sched.depth() as u64);
+    let outcome = rx.recv_timeout(ctx.reply_timeout);
+    let ok = match outcome {
+        Ok(JobReply::Done { clean, report_json }) => {
+            let mut payload = Vec::with_capacity(report_json.len() + 1);
+            payload.push(u8::from(!clean));
+            payload.extend_from_slice(report_json.as_bytes());
+            reply(stream, &Frame::new(FrameKind::Result, payload)).is_ok()
+        }
+        Ok(JobReply::Failed { message }) => {
+            reply(stream, &Frame::new(FrameKind::Error, message)).is_ok()
+        }
+        Err(_) => reply(
+            stream,
+            &Frame::new(
+                FrameKind::Error,
+                "timed out waiting for the job result; the job may still complete",
+            ),
+        )
+        .is_ok(),
+    };
+    ctx.pending_replies.fetch_sub(1, Ordering::SeqCst);
+    ok
+}
+
+/// Reads `DATA*` + `END` into the submission's byte stream.
+fn read_trace_body<S: Read + Write>(stream: &mut S, ctx: &Ctx) -> Result<Vec<u8>, String> {
+    let mut bytes = Vec::new();
+    loop {
+        match read_frame(stream, ctx.max_frame_bytes) {
+            Ok(Some(f)) if f.kind == FrameKind::Data => {
+                bytes.extend_from_slice(&f.payload);
+                if let Some(limit) = ctx.max_trace_bytes {
+                    if bytes.len() as u64 > limit {
+                        return Err(format!("trace exceeds the {limit}-byte submission limit"));
+                    }
+                }
+            }
+            Ok(Some(f)) if f.kind == FrameKind::End => return Ok(bytes),
+            Ok(Some(f)) => {
+                return Err(format!(
+                    "protocol error: expected DATA or END mid-upload, got {:?}",
+                    f.kind
+                ))
+            }
+            Ok(None) => return Err("connection closed mid-upload".into()),
+            Err(e) => return Err(format!("upload failed: {e}")),
+        }
+    }
+}
+
+fn reply<S: Read + Write>(stream: &mut S, frame: &Frame) -> std::io::Result<()> {
+    write_frame(stream, frame)?;
+    stream.flush()
+}

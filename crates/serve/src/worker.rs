@@ -1,0 +1,540 @@
+//! Panic-isolated, watchdogged worker pool.
+//!
+//! Same supervision architecture as `pmrace`'s crash-test harness: the
+//! actual analysis runs on a *detached* thread behind `catch_unwind`, the
+//! supervising worker waits on a channel with `recv_timeout`, and the two
+//! failure modes that machinery distinguishes — a caught panic and a hung
+//! stage — are both **transient**: the job goes back into the scheduler
+//! with capped exponential backoff instead of taking the daemon (or the
+//! client's connection) down with it. Deterministic failures — a trace
+//! that does not decode, a violated resource limit — are **terminal** on
+//! first sight: retrying a parse error buys latency, not success.
+//!
+//! The durability contract lives here too: a worker sends the job's
+//! `RESULT` only after the merged findings hit the stable root (with the
+//! default checkpoint cadence of one job). A client that saw `RESULT` can
+//! crash the daemon immediately and the finding survives; a client that
+//! did not must assume nothing and resubmit — which is exactly what makes
+//! resubmission after a SIGKILL converge instead of duplicating.
+
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hawkset_core::analysis::{AnalysisConfig, StreamRunOptions};
+use hawkset_core::HawkSetError;
+
+use crate::db::RaceDb;
+use crate::metrics::ServeMetrics;
+use crate::sched::{Job, JobReply, Pop, Scheduler};
+
+/// Tuning for the pool and each job's analysis run.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Worker threads (each runs one single-threaded analysis at a time,
+    /// so this is also the analysis parallelism bound).
+    pub workers: usize,
+    /// Retries after transient failures before declaring a job failed.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_start: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Whole-job watchdog: a run exceeding this is a transient failure.
+    pub job_timeout: Duration,
+    /// Per-job analysis memory budget (bytes).
+    pub memory_budget: Option<u64>,
+    /// Per-stage analysis watchdog.
+    pub stage_timeout: Option<Duration>,
+    /// Ceiling on one submission's trace bytes.
+    pub max_trace_bytes: Option<u64>,
+    /// Checkpoint the database once this many jobs are merged. `1` (the
+    /// default) makes RESULT imply durability; larger trades that for
+    /// throughput.
+    pub checkpoint_every_jobs: u64,
+    /// Test hook (`HAWKSET_TEST_JOB_DELAY_MS` on the daemon): sleep this
+    /// long at the start of every analysis, so tests can saturate a small
+    /// pool deterministically.
+    pub job_delay: Option<Duration>,
+    /// Test hook (`HAWKSET_TEST_PANIC_FIRST_ATTEMPT`): panic every job's
+    /// first attempt, driving the retry/backoff path end to end.
+    pub panic_first_attempt: bool,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_retries: 2,
+            backoff_start: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            job_timeout: Duration::from_secs(120),
+            memory_budget: None,
+            stage_timeout: None,
+            max_trace_bytes: None,
+            checkpoint_every_jobs: 1,
+            job_delay: None,
+            panic_first_attempt: false,
+        }
+    }
+}
+
+impl WorkerConfig {
+    /// Reads the test hooks from the daemon's environment. Called once at
+    /// startup — hooks are process-scoped, like the streaming pipeline's
+    /// `HAWKSET_TEST_SHARD_DELAY_MS`.
+    pub fn with_env_hooks(mut self) -> Self {
+        self.job_delay = std::env::var("HAWKSET_TEST_JOB_DELAY_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis);
+        self.panic_first_attempt = std::env::var_os("HAWKSET_TEST_PANIC_FIRST_ATTEMPT").is_some();
+        self
+    }
+}
+
+/// How far one supervised run got.
+enum RunOutcome {
+    /// A report (clean or racy) — the job's terminal success.
+    Finished(Box<hawkset_core::AnalysisReport>),
+    /// Deterministic failure; retrying cannot help.
+    Terminal(String),
+    /// The analysis thread panicked.
+    Panicked(String),
+    /// The watchdog expired while the analysis thread was still running.
+    TimedOut,
+}
+
+/// The running pool; [`join`](WorkerPool::join) after the scheduler
+/// drains.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Starts `cfg.workers` supervising threads.
+    pub fn spawn(
+        cfg: WorkerConfig,
+        sched: Arc<Scheduler>,
+        db: Arc<Mutex<RaceDb>>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        let handles = (0..cfg.workers.max(1))
+            .map(|i| {
+                let (cfg, sched, db, metrics) =
+                    (cfg.clone(), sched.clone(), db.clone(), metrics.clone());
+                std::thread::Builder::new()
+                    .name(format!("hawkset-worker-{i}"))
+                    .spawn(move || worker_loop(&cfg, &sched, &db, &metrics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Waits for every worker to observe pool closure and exit.
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(cfg: &WorkerConfig, sched: &Scheduler, db: &Mutex<RaceDb>, metrics: &ServeMetrics) {
+    loop {
+        match sched.pop(Duration::from_millis(100)) {
+            Pop::Closed => break,
+            Pop::Idle => {}
+            Pop::Job(job) => handle_job(cfg, sched, db, metrics, job),
+        }
+        metrics.queue_depth.set(sched.depth() as u64);
+    }
+}
+
+fn handle_job(
+    cfg: &WorkerConfig,
+    sched: &Scheduler,
+    db: &Mutex<RaceDb>,
+    metrics: &ServeMetrics,
+    mut job: Job,
+) {
+    match run_supervised(cfg, &job) {
+        RunOutcome::Finished(report) => {
+            match persist(cfg, db, metrics, &job, &report) {
+                Ok(()) => {
+                    if report.is_clean() {
+                        metrics.completed_clean.add(1);
+                    } else {
+                        metrics.completed_races.add(1);
+                    }
+                    let _ = job.reply.send(JobReply::Done {
+                        clean: report.is_clean(),
+                        report_json: report.to_json(),
+                    });
+                }
+                Err(message) => {
+                    // The analysis succeeded but durability did not — the
+                    // one case where RESULT would lie. Fail the job; the
+                    // client resubmits and the dedupe absorbs the overlap.
+                    metrics.failed.add(1);
+                    let _ = job.reply.send(JobReply::Failed { message });
+                }
+            }
+            sched.resolve();
+        }
+        RunOutcome::Terminal(message) => {
+            metrics.failed.add(1);
+            let _ = job.reply.send(JobReply::Failed { message });
+            sched.resolve();
+        }
+        transient @ (RunOutcome::Panicked(_) | RunOutcome::TimedOut) => {
+            let why = match &transient {
+                RunOutcome::Panicked(msg) => {
+                    metrics.worker_panics.add(1);
+                    format!("worker panicked: {msg}")
+                }
+                _ => {
+                    metrics.watchdog_fires.add(1);
+                    format!("watchdog expired after {:?}", cfg.job_timeout)
+                }
+            };
+            if job.attempts >= cfg.max_retries {
+                metrics.failed.add(1);
+                let _ = job.reply.send(JobReply::Failed {
+                    message: format!("{why} (gave up after {} attempts)", job.attempts + 1),
+                });
+                sched.resolve();
+            } else {
+                std::thread::sleep(backoff_for(cfg, job.attempts));
+                job.attempts += 1;
+                metrics.retries.add(1);
+                sched.requeue(job);
+            }
+        }
+    }
+}
+
+/// Capped exponential backoff: `start * 2^attempts`, never above the cap.
+fn backoff_for(cfg: &WorkerConfig, attempts: u32) -> Duration {
+    let mut backoff = cfg.backoff_start;
+    for _ in 0..attempts {
+        backoff = (backoff * 2).min(cfg.backoff_cap);
+    }
+    backoff.min(cfg.backoff_cap)
+}
+
+/// Runs one analysis on a detached thread and supervises it. The thread is
+/// deliberately not joined on timeout — a hung stage must not hang the
+/// supervisor; the orphan finishes (or panics) into a dropped channel.
+fn run_supervised(cfg: &WorkerConfig, job: &Job) -> RunOutcome {
+    let (tx, rx) = channel();
+    let bytes = job.trace.clone();
+    let attempts = job.attempts;
+    let cfg_run = cfg.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("hawkset-job-{}", job.id))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_analysis(&cfg_run, &bytes, attempts)
+            }));
+            let outcome = match result {
+                Ok(Ok(report)) => RunOutcome::Finished(Box::new(report)),
+                Ok(Err(e)) => RunOutcome::Terminal(classify_terminal(&e)),
+                Err(payload) => RunOutcome::Panicked(panic_message(payload.as_ref())),
+            };
+            let _ = tx.send(outcome);
+        });
+    if spawned.is_err() {
+        // Thread spawn failure is resource pressure: transient.
+        return RunOutcome::TimedOut;
+    }
+    match rx.recv_timeout(cfg.job_timeout) {
+        Ok(outcome) => outcome,
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            RunOutcome::TimedOut
+        }
+    }
+}
+
+fn run_analysis(
+    cfg: &WorkerConfig,
+    bytes: &[u8],
+    attempts: u32,
+) -> Result<hawkset_core::AnalysisReport, HawkSetError> {
+    if attempts == 0 && cfg.panic_first_attempt {
+        panic!("injected first-attempt panic (HAWKSET_TEST_PANIC_FIRST_ATTEMPT)");
+    }
+    if let Some(delay) = cfg.job_delay {
+        std::thread::sleep(delay);
+    }
+    let mut builder = AnalysisConfig::builder().threads(1);
+    if let Some(bytes) = cfg.memory_budget {
+        builder = builder.memory_budget(bytes);
+    }
+    if let Some(timeout) = cfg.stage_timeout {
+        builder = builder.stage_timeout(timeout);
+    }
+    let analyzer = builder.build_analyzer();
+    analyzer.try_run_stream(
+        Cursor::new(bytes.to_vec()),
+        &StreamRunOptions {
+            max_bytes: cfg.max_trace_bytes,
+            ..StreamRunOptions::default()
+        },
+    )
+}
+
+/// Merges the report into the database and checkpoints per the cadence.
+/// On success the findings are durable (cadence 1) or scheduled (cadence
+/// > 1); on error the caller fails the job.
+fn persist(
+    cfg: &WorkerConfig,
+    db: &Mutex<RaceDb>,
+    metrics: &ServeMetrics,
+    job: &Job,
+    report: &hawkset_core::AnalysisReport,
+) -> Result<(), String> {
+    let mut db = db.lock().unwrap();
+    db.merge_report(&job.tenant, &report.races);
+    if db.jobs_since_checkpoint() >= cfg.checkpoint_every_jobs.max(1) {
+        db.checkpoint().map_err(|e| e.to_string())?;
+        metrics.checkpoints.add(1);
+    }
+    metrics.snapshot_generation.set(db.stable().generation);
+    metrics.snapshot_age_jobs.set(db.jobs_since_checkpoint());
+    Ok(())
+}
+
+/// Renders a terminal analysis error for the ERROR frame.
+fn classify_terminal(e: &HawkSetError) -> String {
+    format!("analysis failed: {e}")
+}
+
+/// Extracts a panic payload's message (same downcast ladder as the
+/// crash-test harness).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Scheduler;
+    use hawkset_core::addr::AddrRange;
+    use hawkset_core::trace::{io, EventKind, Frame, LockId, LockMode, ThreadId, TraceBuilder};
+    use std::sync::mpsc::Receiver;
+
+    /// The Figure-1c racy trace, encoded to wire bytes.
+    fn racy_trace_bytes() -> Vec<u8> {
+        let mut b = TraceBuilder::new();
+        let x = AddrRange::new(0x1000, 8);
+        let a = LockId(0xa);
+        let st = b.intern_stack([Frame::new("writer", "f.rs", 1)]);
+        let ld = b.intern_stack([Frame::new("reader", "f.rs", 2)]);
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadCreate { child: ThreadId(1) },
+        );
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::Store {
+                range: x,
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(ThreadId(0), st, EventKind::Release { lock: a });
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Acquire {
+                lock: a,
+                mode: LockMode::Exclusive,
+            },
+        );
+        b.push(
+            ThreadId(1),
+            ld,
+            EventKind::Load {
+                range: x,
+                atomic: false,
+            },
+        );
+        b.push(ThreadId(1), ld, EventKind::Release { lock: a });
+        b.push(ThreadId(0), st, EventKind::Flush { addr: x.start });
+        b.push(ThreadId(0), st, EventKind::Fence);
+        b.push(
+            ThreadId(0),
+            st,
+            EventKind::ThreadJoin { child: ThreadId(1) },
+        );
+        io::encode(&b.finish()).to_vec()
+    }
+
+    fn pool_fixture(
+        tag: &str,
+        cfg: WorkerConfig,
+    ) -> (
+        Arc<Scheduler>,
+        Arc<Mutex<RaceDb>>,
+        Arc<ServeMetrics>,
+        WorkerPool,
+        std::path::PathBuf,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "hwk-worker-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sched = Arc::new(Scheduler::new(16, 16));
+        let db = Arc::new(Mutex::new(RaceDb::open(&dir).unwrap()));
+        let metrics = Arc::new(ServeMetrics::new());
+        let pool = WorkerPool::spawn(cfg, sched.clone(), db.clone(), metrics.clone());
+        (sched, db, metrics, pool, dir)
+    }
+
+    fn submit(sched: &Scheduler, tenant: &str, bytes: Vec<u8>) -> Receiver<JobReply> {
+        let res = sched.reserve(tenant).unwrap();
+        let (tx, rx) = channel();
+        sched.commit(res, bytes, tx);
+        rx
+    }
+
+    #[test]
+    fn racy_job_completes_durably_and_replies() {
+        let (sched, db, metrics, pool, dir) = pool_fixture("ok", WorkerConfig::default());
+        let rx = submit(&sched, "t1", racy_trace_bytes());
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let JobReply::Done { clean, report_json } = reply else {
+            panic!("expected Done, got {reply:?}");
+        };
+        assert!(!clean);
+        assert!(report_json.contains("\"races\""));
+        // RESULT implies durability: the stable root already has the race.
+        {
+            let db = db.lock().unwrap();
+            assert_eq!(db.stable().records.len(), 1);
+            assert_eq!(db.stable().records[0].occurrences, 1);
+            assert_eq!(db.jobs_since_checkpoint(), 0);
+        }
+        sched.begin_drain();
+        pool.join();
+        assert_eq!(metrics.completed_races.get(), 1);
+        assert_eq!(metrics.failed.get(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_trace_fails_terminally_without_retry() {
+        let (sched, _db, metrics, pool, dir) = pool_fixture("garbage", WorkerConfig::default());
+        let rx = submit(&sched, "t1", b"not a trace at all".to_vec());
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let JobReply::Failed { message } = reply else {
+            panic!("expected Failed, got {reply:?}");
+        };
+        assert!(message.contains("analysis failed"), "{message}");
+        sched.begin_drain();
+        pool.join();
+        assert_eq!(metrics.failed.get(), 1);
+        assert_eq!(metrics.retries.get(), 0, "decode errors are terminal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = WorkerConfig {
+            backoff_start: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            ..WorkerConfig::default()
+        };
+        assert_eq!(backoff_for(&cfg, 0), Duration::from_millis(10));
+        assert_eq!(backoff_for(&cfg, 1), Duration::from_millis(20));
+        assert_eq!(backoff_for(&cfg, 2), Duration::from_millis(35));
+        assert_eq!(backoff_for(&cfg, 10), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn watchdog_times_out_and_exhausts_retries() {
+        let cfg = WorkerConfig {
+            workers: 1,
+            max_retries: 1,
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            job_timeout: Duration::from_millis(200),
+            // A job that cannot finish inside the 200ms watchdog.
+            job_delay: Some(Duration::from_secs(10)),
+            ..WorkerConfig::default()
+        };
+        let (sched, _db, metrics, pool, dir) = pool_fixture("watchdog", cfg);
+        let rx = submit(&sched, "t1", racy_trace_bytes());
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let JobReply::Failed { message } = reply else {
+            panic!("expected Failed, got {reply:?}");
+        };
+        assert!(message.contains("watchdog"), "{message}");
+        assert!(message.contains("gave up"), "{message}");
+        sched.begin_drain();
+        pool.join();
+        assert_eq!(metrics.watchdog_fires.get(), 2, "initial + 1 retry");
+        assert_eq!(metrics.retries.get(), 1);
+        assert_eq!(metrics.failed.get(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_is_transient_and_the_retry_succeeds() {
+        let cfg = WorkerConfig {
+            workers: 1,
+            max_retries: 2,
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            panic_first_attempt: true,
+            ..WorkerConfig::default()
+        };
+        let (sched, db, metrics, pool, dir) = pool_fixture("panic-retry", cfg);
+        let rx = submit(&sched, "t1", racy_trace_bytes());
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(reply, JobReply::Done { clean: false, .. }),
+            "retry after the injected panic must succeed: {reply:?}"
+        );
+        assert_eq!(db.lock().unwrap().stable().records.len(), 1);
+        sched.begin_drain();
+        pool.join();
+        assert_eq!(metrics.worker_panics.get(), 1);
+        assert_eq!(metrics.retries.get(), 1);
+        assert_eq!(metrics.completed_races.get(), 1);
+        assert_eq!(metrics.failed.get(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_message_downcasts() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(p.as_ref()), "kaboom");
+        let p: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(p.as_ref()), "opaque panic payload");
+    }
+}

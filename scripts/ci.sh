@@ -20,8 +20,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -69,6 +69,100 @@ cargo run --release -q -p hawkset-bench --bin smoke -- --ops 2000 --emit "$BUDGE
 )
 if ! grep -q '"reason": "memory_budget"' "$BUDGET_JSON"; then
     echo "ci: budgeted analyze did not report coverage.reason = memory_budget" >&2
+    exit 1
+fi
+
+echo "==> serve smoke (daemon, concurrent clients, SIGKILL, recover, verify)"
+# The daemon's durability contract, end to end: two golden traces from
+# concurrent clients, a third submission SIGKILLed mid-analysis, restart
+# on the same database, resubmit — the queried state must byte-for-byte
+# match what batch `analyze` reports imply, with the repeated trace
+# deduplicated into one record with occurrence count 2.
+SERVE_DB=$(mktemp -d /tmp/hawkset-ci-serve-db-XXXXXX)
+SERVE_OUT=$(mktemp /tmp/hawkset-ci-serve-out-XXXXXX)
+SERVE_RPT_A=$(mktemp /tmp/hawkset-ci-serve-rpt-a-XXXXXX.json)
+SERVE_RPT_B=$(mktemp /tmp/hawkset-ci-serve-rpt-b-XXXXXX.json)
+SERVE_PID=""
+trap 'rm -rf "$BUDGET_TRACE" "$BUDGET_JSON" "$SERVE_DB" "$SERVE_OUT" "$SERVE_RPT_A" "$SERVE_RPT_B"; { [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID"; } 2>/dev/null || true' EXIT
+
+serve_start() { # serve_start [VAR=VAL ...] — extra env for the daemon
+    env "$@" ./target/release/hawkset serve --tcp 127.0.0.1:0 --db "$SERVE_DB" \
+        > "$SERVE_OUT" &
+    SERVE_PID=$!
+    for _ in $(seq 100); do
+        grep -q "serve: ready" "$SERVE_OUT" 2>/dev/null && break
+        sleep 0.1
+    done
+    SERVE_ADDR=$(sed -n 's/.*tcp=\([^ ]*\).*/\1/p' "$SERVE_OUT")
+    if [[ -z "$SERVE_ADDR" ]]; then
+        echo "ci: serve daemon never became ready" >&2
+        exit 1
+    fi
+}
+
+# First daemon runs with an injected per-job stall so the SIGKILL below
+# reliably lands mid-analysis, before anything from job 3 is durable.
+serve_start HAWKSET_TEST_JOB_DELAY_MS=1200
+
+set +e
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-a \
+    tests/golden/racy_fig1c.hwkt > /dev/null & SUB1=$!
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-b \
+    tests/golden/racy_unpersisted.hwkt > /dev/null & SUB2=$!
+wait "$SUB1"; rc1=$?
+wait "$SUB2"; rc2=$?
+set -e
+if [[ $rc1 -ne 1 || $rc2 -ne 1 ]]; then
+    echo "ci: concurrent submissions expected exit 1/1, got $rc1/$rc2" >&2
+    exit 1
+fi
+
+# Third submission: pull the plug mid-analysis, client and daemon both die.
+set +e
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-a \
+    tests/golden/racy_fig1c.hwkt > /dev/null 2>&1 & SUB3=$!
+sleep 0.6
+kill -9 "$SERVE_PID"
+wait "$SUB3"
+wait "$SERVE_PID"
+set -e
+
+# Restart on the same database (no stall), resubmit the interrupted trace.
+serve_start
+set +e
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-a \
+    tests/golden/racy_fig1c.hwkt > /dev/null
+rc=$?
+set -e
+if [[ $rc -ne 1 ]]; then
+    echo "ci: post-recovery resubmission expected exit 1, got $rc" >&2
+    exit 1
+fi
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+drain_rc=$?
+set -e
+SERVE_PID=""
+if [[ $drain_rc -ne 0 ]]; then
+    echo "ci: graceful drain expected exit 0, got $drain_rc" >&2
+    exit 1
+fi
+
+# The daemon's cumulative database must match what batch analyze implies.
+set +e
+./target/release/hawkset analyze --json tests/golden/racy_fig1c.hwkt > "$SERVE_RPT_A"
+./target/release/hawkset analyze --json tests/golden/racy_unpersisted.hwkt > "$SERVE_RPT_B"
+set -e
+./target/release/hawkset query --db "$SERVE_DB" \
+    --verify "ci-a=$SERVE_RPT_A" \
+    --verify "ci-b=$SERVE_RPT_B" \
+    --verify "ci-a=$SERVE_RPT_A"
+# Capture, then grep: grep -q exiting at the first match would SIGPIPE
+# the query under pipefail and fail the step spuriously.
+SERVE_QUERY=$(./target/release/hawkset query --db "$SERVE_DB" --json)
+if ! grep -q '"occurrences": 2' <<< "$SERVE_QUERY"; then
+    echo "ci: repeated golden trace did not dedupe to occurrence count 2" >&2
     exit 1
 fi
 
