@@ -213,11 +213,28 @@ SERVE OPTIONS:
     --max-trace-bytes N   reject submissions larger than N bytes
     --drain-timeout-ms N  how long a drain waits for in-flight jobs
                           before giving up (default 60000)
+    --max-connections N   concurrent-connection cap; over-cap peers get
+                          an explicit `SHED connections:` (default 64)
+    --io-timeout-ms N     per-frame read budget and per-write timeout —
+                          the slowloris bound (default 30000)
+    --idle-timeout-ms N   budget for an idle connection to start its
+                          next request (default 300000)
+    --min-free-bytes N    shed submissions (`storage:`) when the database
+                          filesystem has less than N bytes free; 0
+                          disables the watermark (default 1048576)
+    --probe-interval-ms N while degraded to read-only, re-probe storage
+                          at most once per interval (default 2000)
 
 SUBMIT OPTIONS:
     --socket PATH | --tcp ADDR  daemon endpoint (exactly one)
     --tenant NAME         fair-queuing identity (default `default`)
     --json                print the returned race report JSON
+    --retries N           retry retryable sheds (`queue-full:`,
+                          `tenant-cap:`, `storage:`, `draining:`,
+                          `connections:`) and failed dials up to N times
+                          on fresh connections with capped exponential
+                          backoff (default 0)
+    --retry-max-ms N      backoff ceiling between retries (default 5000)
 
 QUERY OPTIONS:
     --db DIR              race database directory (default hawkset-db)
@@ -240,7 +257,8 @@ EXIT STATUS:
        (info); some crashtest round failed; serve drain timed out;
        query verification mismatch
     2  usage, I/O, decode or strict-mode validation error
-    3  submission shed by the daemon (queue full, tenant cap, draining)
+    3  submission shed by the daemon (queue full, tenant cap, draining,
+       degraded storage, connection cap) after any requested retries
   130  serve: immediate exit on a second signal
 ";
 
@@ -1191,6 +1209,39 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     Err(e) => return fail(e),
                 }
             }
+            flag if flag == "--max-connections" || flag.starts_with("--max-connections=") => {
+                match flag_value(args, &mut i, "--max-connections") {
+                    Ok(0) => return fail("--max-connections needs at least 1".into()),
+                    Ok(v) => cfg.max_connections = v as usize,
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--io-timeout-ms" || flag.starts_with("--io-timeout-ms=") => {
+                match flag_value(args, &mut i, "--io-timeout-ms") {
+                    Ok(0) => return fail("--io-timeout-ms needs at least 1".into()),
+                    Ok(v) => cfg.io_timeout = std::time::Duration::from_millis(v),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--idle-timeout-ms" || flag.starts_with("--idle-timeout-ms=") => {
+                match flag_value(args, &mut i, "--idle-timeout-ms") {
+                    Ok(0) => return fail("--idle-timeout-ms needs at least 1".into()),
+                    Ok(v) => cfg.idle_timeout = std::time::Duration::from_millis(v),
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--min-free-bytes" || flag.starts_with("--min-free-bytes=") => {
+                match flag_value(args, &mut i, "--min-free-bytes") {
+                    Ok(v) => cfg.min_free_bytes = v,
+                    Err(e) => return fail(e),
+                }
+            }
+            flag if flag == "--probe-interval-ms" || flag.starts_with("--probe-interval-ms=") => {
+                match flag_value(args, &mut i, "--probe-interval-ms") {
+                    Ok(v) => cfg.probe_interval = std::time::Duration::from_millis(v),
+                    Err(e) => return fail(e),
+                }
+            }
             flag => {
                 eprintln!("hawkset serve: unknown flag {flag}\n{USAGE}");
                 return ExitCode::from(2);
@@ -1215,11 +1266,35 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
     let mut json = false;
+    let mut retries = 0u32;
+    let mut retry_max_ms = 5_000u64;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         match a.as_str() {
             "--json" => json = true,
+            flag if flag == "--retries" || flag.starts_with("--retries=") => {
+                match flag_value(args, &mut i, "--retries") {
+                    Ok(v) => retries = v as u32,
+                    Err(e) => {
+                        eprintln!("hawkset submit: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag == "--retry-max-ms" || flag.starts_with("--retry-max-ms=") => {
+                match flag_value(args, &mut i, "--retry-max-ms") {
+                    Ok(0) => {
+                        eprintln!("hawkset submit: --retry-max-ms needs at least 1");
+                        return ExitCode::from(2);
+                    }
+                    Ok(v) => retry_max_ms = v,
+                    Err(e) => {
+                        eprintln!("hawkset submit: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             flag if flag == "--tenant" || flag.starts_with("--tenant=") => {
                 match path_value(args, &mut i, "--tenant") {
                     Ok(t) => tenant = t,
@@ -1266,12 +1341,24 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let policy = hawkset_serve::RetryPolicy {
+        retries,
+        backoff_start: std::time::Duration::from_millis(100.min(retry_max_ms)),
+        backoff_cap: std::time::Duration::from_millis(retry_max_ms),
+    };
+    // Each retry dials a fresh connection: a `draining:` shed means the
+    // daemon on the other end is going away, and the retry should land on
+    // its replacement.
     let outcome = match (&socket, &tcp) {
         (Some(p), None) => {
             #[cfg(unix)]
             {
-                std::os::unix::net::UnixStream::connect(p)
-                    .and_then(|mut s| hawkset_serve::submit(&mut s, &tenant, &trace))
+                hawkset_serve::submit_with_retry(
+                    || std::os::unix::net::UnixStream::connect(p),
+                    &tenant,
+                    &trace,
+                    &policy,
+                )
             }
             #[cfg(not(unix))]
             {
@@ -1282,8 +1369,12 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 ))
             }
         }
-        (None, Some(addr)) => std::net::TcpStream::connect(addr)
-            .and_then(|mut s| hawkset_serve::submit(&mut s, &tenant, &trace)),
+        (None, Some(addr)) => hawkset_serve::submit_with_retry(
+            || std::net::TcpStream::connect(addr),
+            &tenant,
+            &trace,
+            &policy,
+        ),
         _ => {
             eprintln!("hawkset submit: need exactly one of --socket PATH or --tcp ADDR");
             return ExitCode::from(2);

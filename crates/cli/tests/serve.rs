@@ -142,6 +142,43 @@ fn submit_bg(tcp: &str, tenant: &str, trace: &Path) -> Child {
         .expect("spawn submit")
 }
 
+/// Foreground submission over the unix socket; returns (code, out, err).
+fn submit_unix(sock: &Path, tenant: &str, trace: &Path) -> (i32, String, String) {
+    let out = hawkset()
+        .args([
+            "submit",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--tenant",
+            tenant,
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn submit");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Background submission over the unix socket (reaped by the caller).
+fn submit_bg_unix(sock: &Path, tenant: &str, trace: &Path) -> Child {
+    hawkset()
+        .args([
+            "submit",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--tenant",
+            tenant,
+            trace.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn submit")
+}
+
 /// Canonical stable-snapshot bytes via `hawkset query --json`.
 fn query_json(db: &Path) -> Vec<u8> {
     let out = hawkset()
@@ -179,7 +216,10 @@ fn assert_conservation(m: &serde_json::Value) {
     );
     assert_eq!(
         n(&m["shed"]["total"]),
-        n(&m["shed"]["queue_full"]) + n(&m["shed"]["tenant_cap"]) + n(&m["shed"]["draining"]),
+        n(&m["shed"]["queue_full"])
+            + n(&m["shed"]["tenant_cap"])
+            + n(&m["shed"]["draining"])
+            + n(&m["shed"]["storage"]),
         "shed total = causes: {m:?}"
     );
 }
@@ -375,6 +415,100 @@ fn saturated_tenant_sheds_while_others_are_admitted() {
         serde_json::from_slice(&query_json(&db)).expect("snapshot JSON");
     assert_eq!(snapshot["jobs_recorded"], 3u64);
     assert_eq!(snapshot["records"][0]["occurrences"], 3u64);
+}
+
+/// Unix-socket mirror of the headline SIGKILL test: the crash/recover/
+/// converge contract is transport-independent. The TCP variant above
+/// keeps the historical coverage; this one exercises the framing,
+/// admission, and durability path end to end over `--socket`.
+#[test]
+fn sigkill_mid_ingest_recovers_and_converges_over_unix() {
+    let trace = demo_trace("kill-ingest-unix");
+    let db = fresh_dir("kill-ingest-unix");
+    let sock = std::env::temp_dir().join(format!(
+        "hawkset-serve-test-kiu-{}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&sock);
+    let sock_arg = sock.to_str().unwrap().to_string();
+
+    let mut daemon = Daemon::start(
+        &db,
+        &["--socket", &sock_arg],
+        &[("HAWKSET_TEST_JOB_DELAY_MS", "30000")],
+    );
+    let mut client = submit_bg_unix(&sock, "tenant-a", &trace);
+    std::thread::sleep(Duration::from_millis(800));
+    daemon.sigkill();
+    let _ = client.wait();
+
+    let daemon = Daemon::start(&db, &["--socket", &sock_arg], &[]);
+    let before: serde_json::Value =
+        serde_json::from_slice(&query_json(&db)).expect("snapshot JSON");
+    assert_eq!(before["jobs_recorded"], 0u64, "no torn/partial commit");
+    let (code, out, err) = submit_unix(&sock, "tenant-a", &trace);
+    assert_eq!(code, 1, "stdout:\n{out}\nstderr:\n{err}");
+    daemon.drain();
+
+    let db_ref = fresh_dir("kill-ingest-unix-ref");
+    let daemon = Daemon::start(&db_ref, &[], &[]);
+    let (code, _, err) = submit(&daemon.tcp, "tenant-a", &trace);
+    assert_eq!(code, 1, "stderr:\n{err}");
+    daemon.drain();
+
+    assert_eq!(
+        String::from_utf8_lossy(&query_json(&db)),
+        String::from_utf8_lossy(&query_json(&db_ref)),
+        "unix-socket kill-and-resubmit must converge byte-for-byte"
+    );
+}
+
+/// Unix-socket mirror of the shed-accounting test: explicit sheds and the
+/// conservation law are transport-independent too.
+#[test]
+fn saturated_tenant_sheds_with_balanced_books_over_unix() {
+    let trace = demo_trace("fairness-unix");
+    let db = fresh_dir("fairness-unix");
+    let sock =
+        std::env::temp_dir().join(format!("hawkset-serve-test-fu-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let daemon = Daemon::start(
+        &db,
+        &[
+            "--socket",
+            sock.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--tenant-cap",
+            "1",
+            "--queue-cap",
+            "8",
+        ],
+        &[("HAWKSET_TEST_JOB_DELAY_MS", "1500")],
+    );
+
+    let mut a1 = submit_bg_unix(&sock, "tenant-a", &trace);
+    std::thread::sleep(Duration::from_millis(500));
+    let mut a2 = submit_bg_unix(&sock, "tenant-a", &trace);
+    std::thread::sleep(Duration::from_millis(300));
+
+    let (code, _, err) = submit_unix(&sock, "tenant-a", &trace);
+    assert_eq!(code, 3, "shed maps to exit 3; stderr:\n{err}");
+    assert!(err.contains("tenant-cap"), "stderr names the cause:\n{err}");
+
+    let (code, _, err) = submit_unix(&sock, "tenant-b", &trace);
+    assert_eq!(code, 1, "tenant B admitted and completed; stderr:\n{err}");
+
+    assert_eq!(a1.wait().expect("a1").code(), Some(1));
+    assert_eq!(a2.wait().expect("a2").code(), Some(1));
+    daemon.drain();
+
+    let m = metrics_json(&db);
+    assert_conservation(&m);
+    assert_eq!(m["submitted"], 4u64);
+    assert_eq!(m["admitted"], 3u64);
+    assert_eq!(m["shed"]["tenant_cap"], 1u64);
+    assert_eq!(m["outcomes"]["completed_races"], 3u64);
 }
 
 /// Supervisor resilience: a worker panic on the first attempt is caught,

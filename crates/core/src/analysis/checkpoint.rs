@@ -28,13 +28,14 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use super::engine::{RaceAcc, ShardOutput, SiteKey};
 use super::{AnalysisConfig, BudgetExceeded, Race, Strictness};
 use crate::error::HawkSetError;
+use crate::ioplane::{IoPlane, RealIo};
 
 /// Version of the checkpoint file format. Bump on any change to the
 /// serialized shape; [`AnalysisCheckpoint::load`] refuses other versions
@@ -365,17 +366,30 @@ pub fn config_fingerprint(cfg: &AnalysisConfig) -> String {
 /// fsync, rename) — a reader never observes a half-written checkpoint, and
 /// a crash mid-write leaves the previous one intact.
 pub fn write_atomic(path: &Path, ck: &AnalysisCheckpoint) -> std::io::Result<()> {
-    use std::io::Write;
+    write_atomic_with(&RealIo, path, ck)
+}
+
+/// [`write_atomic`] through an explicit I/O plane (site `checkpoint`) —
+/// the seam the storage fault-injection tests use. On failure the tmp file
+/// is removed; the previously committed checkpoint, if any, is untouched.
+pub fn write_atomic_with(
+    plane: &dyn IoPlane,
+    path: &Path,
+    ck: &AnalysisCheckpoint,
+) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(ck).expect("checkpoint serialization cannot fail");
+    let mut bytes = json.into_bytes();
+    bytes.push(b'\n');
     let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
-        f.write_all(b"\n")?;
-        f.sync_all()?;
+    let result = (|| {
+        plane.write_file("checkpoint", &tmp, &bytes)?;
+        plane.fsync("checkpoint", &tmp)?;
+        plane.rename("checkpoint", &tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
     }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    result
 }
 
 /// Live checkpoint writer attached to one analysis run.
@@ -392,6 +406,7 @@ pub fn write_atomic(path: &Path, ck: &AnalysisCheckpoint) -> std::io::Result<()>
 pub struct CheckpointSession {
     path: PathBuf,
     every: u64,
+    plane: Arc<dyn IoPlane>,
     state: Mutex<SessionState>,
 }
 
@@ -408,6 +423,7 @@ impl CheckpointSession {
         Self {
             path,
             every: every.unwrap_or(DEFAULT_CHECKPOINT_EVERY).max(1),
+            plane: Arc::new(RealIo),
             state: Mutex::new(SessionState {
                 ck: AnalysisCheckpoint {
                     version: CHECKPOINT_VERSION,
@@ -429,11 +445,19 @@ impl CheckpointSession {
         Self {
             path,
             every: every.unwrap_or(DEFAULT_CHECKPOINT_EVERY).max(1),
+            plane: Arc::new(RealIo),
             state: Mutex::new(SessionState {
                 ck: prior,
                 last_error: None,
             }),
         }
+    }
+
+    /// Routes this session's flushes through `plane` (site `checkpoint`) —
+    /// how daemon and CLI runs pick up a process-wide fault script.
+    pub fn with_plane(mut self, plane: Arc<dyn IoPlane>) -> Self {
+        self.plane = plane;
+        self
     }
 
     /// Ingest cadence in events.
@@ -448,52 +472,61 @@ impl CheckpointSession {
 
     /// Stamps the trace identity (once the header is decoded).
     pub fn set_declared_events(&self, declared: u64) {
-        self.state.lock().unwrap().ck.declared_events = declared;
+        self.lock_state().ck.declared_events = declared;
     }
 
     /// Records ingest progress and flushes.
     pub fn record_ingest(&self, progress: IngestProgress) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.ck.phase = "ingest".into();
         st.ck.ingest = Some(progress);
-        Self::flush_locked(&self.path, &mut st);
+        self.flush_locked(&mut st);
     }
 
     /// Marks the run's coarse phase and flushes.
     pub fn set_phase(&self, phase: &str) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.ck.phase = phase.into();
-        Self::flush_locked(&self.path, &mut st);
+        self.flush_locked(&mut st);
     }
 
     /// Records one finished (cacheable) shard output and flushes. Called
     /// from pairing worker threads.
     pub(crate) fn record_shard(&self, shard: usize, out: &ShardOutput) {
         let entry = ShardEntry::from_output(shard, out);
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.ck.phase = "pairing".into();
         match st.ck.shards.binary_search_by_key(&entry.shard, |e| e.shard) {
             Ok(i) => st.ck.shards[i] = entry,
             Err(i) => st.ck.shards.insert(i, entry),
         }
-        Self::flush_locked(&self.path, &mut st);
+        self.flush_locked(&mut st);
     }
 
     /// Forces a flush of the current state (the final flush on interrupt).
     pub fn flush_now(&self) -> std::io::Result<()> {
-        let mut st = self.state.lock().unwrap();
-        write_atomic(&self.path, &st.ck)?;
+        let mut st = self.lock_state();
+        write_atomic_with(self.plane.as_ref(), &self.path, &st.ck)?;
         st.last_error = None;
         Ok(())
     }
 
     /// The most recent deferred write error, if any.
     pub fn take_error(&self) -> Option<std::io::Error> {
-        self.state.lock().unwrap().last_error.take()
+        self.lock_state().last_error.take()
     }
 
-    fn flush_locked(path: &Path, st: &mut SessionState) {
-        if let Err(e) = write_atomic(path, &st.ck) {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SessionState> {
+        // A panicking pairing worker must not poison checkpointing for the
+        // rest of the run: every record is a full, internally consistent
+        // state, so recovering the guard is safe.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn flush_locked(&self, st: &mut SessionState) {
+        if let Err(e) = write_atomic_with(self.plane.as_ref(), &self.path, &st.ck) {
             st.last_error = Some(e);
         }
     }
@@ -649,6 +682,42 @@ mod tests {
         ck.version = CHECKPOINT_VERSION;
         write_atomic(&path, &ck).unwrap();
         AnalysisCheckpoint::load(&path).expect("current version loads");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scripted_flush_failure_is_deferred_and_keeps_the_prior_checkpoint() {
+        use crate::ioplane::{FaultScript, ScriptedIo};
+        let dir = std::env::temp_dir().join(format!("hwk-ckf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        // First flush commits; the second fails at fsync, the third at
+        // write. The committed file must survive both.
+        let plane = Arc::new(ScriptedIo::new(
+            FaultScript::parse("checkpoint:fsync:1:eio;checkpoint:write:2:enospc").unwrap(),
+        ));
+        let session = CheckpointSession::new(path.clone(), "fp".into(), "t.hwkt".into(), None)
+            .with_plane(plane);
+        session.record_ingest(IngestProgress {
+            stream_offset: 64,
+            ..Default::default()
+        });
+        assert!(session.take_error().is_none());
+        session.record_ingest(IngestProgress {
+            stream_offset: 128,
+            ..Default::default()
+        });
+        let err = session.take_error().expect("fsync failure deferred");
+        assert_eq!(err.raw_os_error(), Some(5));
+        session.record_ingest(IngestProgress {
+            stream_offset: 256,
+            ..Default::default()
+        });
+        let err = session.take_error().expect("write failure deferred");
+        assert_eq!(err.raw_os_error(), Some(28));
+        let ck = AnalysisCheckpoint::load(&path).expect("committed checkpoint intact");
+        assert_eq!(ck.ingest.unwrap().stream_offset, 64);
+        assert!(!path.with_extension("tmp").exists(), "failed tmp removed");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -54,6 +54,7 @@ pub mod analysis;
 pub mod error;
 pub mod faults;
 pub mod intern;
+pub mod ioplane;
 pub mod irh;
 pub mod lockset;
 pub mod memsim;
@@ -68,5 +69,6 @@ pub mod vclock;
 pub use analysis::{analyze, try_analyze};
 pub use analysis::{AnalysisConfig, AnalysisReport, Analyzer, Race, Strictness};
 pub use error::{HawkSetError, ResourceError};
+pub use ioplane::{plane_from_env, FaultScript, IoPlane, RealIo, ScriptedIo};
 pub use obs::{MetricsSnapshot, ObsHook};
 pub use trace::{Trace, TraceBuilder};

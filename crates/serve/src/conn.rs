@@ -1,0 +1,223 @@
+//! Deadline-per-frame connection wrappers: the slowloris defense.
+//!
+//! Per-syscall socket timeouts cannot catch a client that trickles one
+//! byte per second — every `read` returns comfortably inside the timeout
+//! while the frame takes forever. The unit that must be bounded is the
+//! **frame**: [`TimedStream`] holds a deadline, arms it before each frame,
+//! and computes the remaining budget before every underlying read. A
+//! trickling client runs out of frame budget no matter how lively its
+//! individual bytes look; a healthy client never notices the machinery.
+//!
+//! [`Transport`] abstracts the two real stream types (TCP, unix) behind
+//! the pair of socket-timeout setters the wrapper needs, and gives tests a
+//! seam to drive the handler with in-memory streams.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// A bidirectional stream whose read/write syscalls can be bounded.
+pub trait Transport: Read + Write {
+    /// Bounds subsequent reads; `None` blocks forever.
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()>;
+    /// Bounds subsequent writes; `None` blocks forever.
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()>;
+}
+
+impl Transport for std::net::TcpStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        std::net::TcpStream::set_read_timeout(self, d)
+    }
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        std::net::TcpStream::set_write_timeout(self, d)
+    }
+}
+
+#[cfg(unix)]
+impl Transport for std::os::unix::net::UnixStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, d)
+    }
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        std::os::unix::net::UnixStream::set_write_timeout(self, d)
+    }
+}
+
+/// A [`Transport`] with whole-frame read deadlines and a fixed write
+/// timeout. The server arms a deadline before each expected frame
+/// ([`start_frame`](Self::start_frame)); every read inside that frame
+/// shares the remaining budget.
+pub struct TimedStream<S: Transport> {
+    inner: S,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl<S: Transport> TimedStream<S> {
+    /// Wraps `inner`, bounding every write at `write_timeout`.
+    pub fn new(inner: S, write_timeout: Duration) -> Self {
+        let _ = inner.set_write_timeout(Some(write_timeout.max(Duration::from_millis(1))));
+        Self {
+            inner,
+            deadline: None,
+            timed_out: false,
+        }
+    }
+
+    /// Arms the deadline for the next frame: all reads until the next
+    /// `start_frame` must complete within `budget`.
+    pub fn start_frame(&mut self, budget: Duration) {
+        self.deadline = Some(Instant::now() + budget);
+    }
+
+    /// True once any read ran out of frame budget — the accounting hook
+    /// for the connection-timeout metric.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+impl<S: Transport> Read for TimedStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = match self.deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => Duration::from_secs(3600), // unarmed: effectively unbounded
+        };
+        if remaining.is_zero() {
+            self.timed_out = true;
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "client exceeded the per-frame deadline",
+            ));
+        }
+        self.inner
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        match self.inner.read(buf) {
+            // SO_RCVTIMEO expiry surfaces as WouldBlock on unix.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.timed_out = true;
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "client exceeded the per-frame deadline",
+                ))
+            }
+            other => other,
+        }
+    }
+}
+
+impl<S: Transport> Write for TimedStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.inner.write(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.timed_out = true;
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "peer not draining replies within the write timeout",
+                ))
+            }
+            other => other,
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory transport: reads drain a script, writes are counted.
+    /// `trickle` limits each read to one byte — a well-behaved-per-syscall
+    /// but frame-slow client.
+    struct MockTransport {
+        input: io::Cursor<Vec<u8>>,
+        trickle: bool,
+    }
+
+    impl Read for MockTransport {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let cap = if self.trickle { 1 } else { buf.len() };
+            let cap = cap.min(buf.len()).max(1);
+            self.input.read(&mut buf[..cap])
+        }
+    }
+    impl Write for MockTransport {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl Transport for MockTransport {
+        fn set_read_timeout(&self, _d: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+        fn set_write_timeout(&self, _d: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_the_next_read() {
+        let mock = MockTransport {
+            input: io::Cursor::new(vec![1, 2, 3, 4]),
+            trickle: false,
+        };
+        let mut s = TimedStream::new(mock, Duration::from_secs(1));
+        s.start_frame(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = s.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(s.timed_out());
+    }
+
+    #[test]
+    fn fresh_deadline_lets_reads_through() {
+        let mock = MockTransport {
+            input: io::Cursor::new(vec![1, 2, 3, 4]),
+            trickle: true,
+        };
+        let mut s = TimedStream::new(mock, Duration::from_secs(1));
+        s.start_frame(Duration::from_secs(5));
+        let mut buf = [0u8; 4];
+        // Trickled single-byte reads still succeed inside the budget.
+        assert_eq!(s.read(&mut buf).unwrap(), 1);
+        assert_eq!(s.read(&mut buf).unwrap(), 1);
+        assert!(!s.timed_out());
+    }
+
+    #[test]
+    fn trickling_past_the_frame_budget_times_out_mid_frame() {
+        let mock = MockTransport {
+            input: io::Cursor::new(vec![9; 64]),
+            trickle: true,
+        };
+        let mut s = TimedStream::new(mock, Duration::from_secs(1));
+        s.start_frame(Duration::from_millis(20));
+        let mut got = 0usize;
+        let mut buf = [0u8; 8];
+        let err = loop {
+            match s.read(&mut buf) {
+                Ok(n) => {
+                    got += n;
+                    std::thread::sleep(Duration::from_millis(4));
+                }
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(got < 64, "the frame never completed");
+    }
+}

@@ -39,8 +39,10 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use hawkset_core::analysis::Race;
+use hawkset_core::ioplane::{self, IoPlane, RealIo};
 use serde::{Deserialize, Serialize};
 
 /// Version of the snapshot file format. Recovery refuses other versions
@@ -288,6 +290,14 @@ pub struct RaceDb {
     stable: DbSnapshot,
     working: DbSnapshot,
     recovery: Recovery,
+    plane: Arc<dyn IoPlane>,
+    /// Generation number the next checkpoint will use. Normally
+    /// `stable.generation + 1`, but a failed checkpoint *poisons* its
+    /// generation (fsyncgate: after a failed fsync the file's durability
+    /// is unknowable — never retry in place), so this only moves forward.
+    next_generation: u64,
+    /// Checkpoint generations poisoned by a failed write since open.
+    poisoned_generations: u64,
 }
 
 impl RaceDb {
@@ -295,6 +305,13 @@ impl RaceDb {
     /// newest valid stable snapshot. Corrupt state never fails the open;
     /// it narrows what is recovered.
     pub fn open(dir: &Path) -> Result<Self, DbError> {
+        Self::open_with(dir, Arc::new(RealIo))
+    }
+
+    /// [`open`](Self::open) with an explicit I/O plane — the seam the
+    /// fault-injection tests and the daemon's `HAWKSET_IO_FAULT_SCRIPT`
+    /// chaos mode use.
+    pub fn open_with(dir: &Path, plane: Arc<dyn IoPlane>) -> Result<Self, DbError> {
         std::fs::create_dir_all(dir).map_err(db_err(format!("create {}", dir.display())))?;
         let mut recovery = Recovery::default();
 
@@ -344,11 +361,15 @@ impl RaceDb {
             None => DbSnapshot::empty(),
         };
 
+        let next_generation = stable.generation + 1;
         let mut db = Self {
             dir: dir.to_path_buf(),
             working: stable.clone(),
             stable,
             recovery,
+            plane,
+            next_generation,
+            poisoned_generations: 0,
         };
         // Re-commit the recovered root: rewrites CURRENT when it was
         // rebuilt and guarantees generation 0 exists on first open.
@@ -398,30 +419,80 @@ impl RaceDb {
 
     /// Checkpoints the working root: new generation file, then atomic root
     /// swap. A no-op when nothing was merged since the last checkpoint.
+    ///
+    /// On failure the stable root is untouched and the attempted
+    /// generation is **poisoned**: a failed fsync means the file's
+    /// durability is unknowable (fsyncgate — the kernel may have dropped
+    /// the dirty pages and cleared the error), so the generation number is
+    /// burned and the next attempt writes a fresh file under a fresh name.
+    /// The caller decides whether to also roll back the working root
+    /// ([`restore_working`](Self::restore_working)).
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
         if self.working.records == self.stable.records
             && self.working.jobs_recorded == self.stable.jobs_recorded
         {
             return Ok(());
         }
-        self.working.generation = self.stable.generation + 1;
+        self.working.generation = self.next_generation;
         self.working.version = DB_VERSION;
         self.working.checksum = content_digest(&self.working);
         let name = snapshot_name(self.working.generation);
-        write_file_atomic(&self.dir, &name, self.working.to_json().as_bytes())?;
-        // Test hook: hold the window between "snapshot durable" and "root
-        // swapped" open so the kill-and-recover suite can SIGKILL inside
-        // it deterministically.
-        if let Some(ms) = std::env::var("HAWKSET_TEST_DB_SWAP_DELAY_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-        {
-            std::thread::sleep(std::time::Duration::from_millis(ms));
+        let swap = (|| {
+            write_file_atomic(
+                self.plane.as_ref(),
+                "snapshot",
+                &self.dir,
+                &name,
+                self.working.to_json().as_bytes(),
+            )?;
+            // Test hook: hold the window between "snapshot durable" and
+            // "root swapped" open so the kill-and-recover suite can SIGKILL
+            // inside it deterministically.
+            if let Some(ms) = std::env::var("HAWKSET_TEST_DB_SWAP_DELAY_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            write_file_atomic(
+                self.plane.as_ref(),
+                "current",
+                &self.dir,
+                CURRENT,
+                format!("{name}\n").as_bytes(),
+            )
+        })();
+        match swap {
+            Ok(()) => {
+                self.stable = self.working.clone();
+                self.next_generation = self.stable.generation + 1;
+                self.prune(false)?;
+                Ok(())
+            }
+            Err(e) => {
+                // The generation file may be absent, torn, or complete but
+                // of unknowable durability — all equally untrustworthy.
+                // Remove what's removable and never reuse the number.
+                let _ = std::fs::remove_file(self.dir.join(&name));
+                self.poisoned_generations += 1;
+                self.next_generation += 1;
+                Err(e)
+            }
         }
-        write_file_atomic(&self.dir, CURRENT, format!("{name}\n").as_bytes())?;
-        self.stable = self.working.clone();
-        self.prune(false)?;
-        Ok(())
+    }
+
+    /// Checkpoint generations burned by failed writes since open.
+    pub fn poisoned_generations(&self) -> u64 {
+        self.poisoned_generations
+    }
+
+    /// Rolls the working root back to `prior` (a clone taken before a
+    /// merge). Used when the checkpoint that was supposed to make a merge
+    /// durable fails: the client is told the job failed and will resubmit,
+    /// so keeping the merge in memory would double-count it the moment a
+    /// *later* checkpoint succeeds.
+    pub fn restore_working(&mut self, prior: DbSnapshot) {
+        self.working = prior;
     }
 
     /// Writes `CURRENT` for the recovered root (and materializes the
@@ -432,9 +503,21 @@ impl RaceDb {
         // exists — the existing copy may be the very corruption recovery
         // just routed around (e.g. a torn generation 0).
         if load_snapshot(&self.dir.join(&name)).is_err() {
-            write_file_atomic(&self.dir, &name, self.stable.to_json().as_bytes())?;
+            write_file_atomic(
+                self.plane.as_ref(),
+                "snapshot",
+                &self.dir,
+                &name,
+                self.stable.to_json().as_bytes(),
+            )?;
         }
-        write_file_atomic(&self.dir, CURRENT, format!("{name}\n").as_bytes())?;
+        write_file_atomic(
+            self.plane.as_ref(),
+            "current",
+            &self.dir,
+            CURRENT,
+            format!("{name}\n").as_bytes(),
+        )?;
         Ok(())
     }
 
@@ -509,25 +592,18 @@ fn snapshot_files(dir: &Path) -> Result<Vec<(u64, PathBuf, String)>, DbError> {
     Ok(out)
 }
 
-/// tmp + fsync + rename + directory fsync. The rename is the commit point;
-/// the directory fsync makes the rename itself durable.
-fn write_file_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), DbError> {
-    use std::io::Write;
-    let path = dir.join(name);
-    let tmp = dir.join(format!("{name}.tmp"));
-    {
-        let mut f =
-            std::fs::File::create(&tmp).map_err(db_err(format!("create {}", tmp.display())))?;
-        f.write_all(bytes)
-            .map_err(db_err(format!("write {}", tmp.display())))?;
-        f.sync_all()
-            .map_err(db_err(format!("sync {}", tmp.display())))?;
-    }
-    std::fs::rename(&tmp, &path).map_err(db_err(format!("install {}", path.display())))?;
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
-    Ok(())
+/// tmp + fsync + rename + directory fsync through the I/O plane. The
+/// rename is the commit point; the directory fsync makes the rename
+/// itself durable.
+fn write_file_atomic(
+    plane: &dyn IoPlane,
+    site: &str,
+    dir: &Path,
+    name: &str,
+    bytes: &[u8],
+) -> Result<(), DbError> {
+    ioplane::write_atomic(plane, site, dir, name, bytes)
+        .map_err(db_err(format!("install {}", dir.join(name).display())))
 }
 
 /// Aggregates a batch report's races the same way the daemon would for one
@@ -780,6 +856,76 @@ mod tests {
             vec![4, 5, 6],
             "retention keeps {RETAIN_SNAPSHOTS}+current"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_generation_and_never_retries_in_place() {
+        use hawkset_core::ioplane::{FaultScript, ScriptedIo};
+        let dir = tmpdir("fsyncgate");
+        // Occurrence 0 of (snapshot, fsync) is the gen-0 bootstrap write;
+        // occurrence 1 is the first real checkpoint.
+        let plane = Arc::new(ScriptedIo::new(
+            FaultScript::parse("snapshot:fsync:1:eio").unwrap(),
+        ));
+        let mut db = RaceDb::open_with(&dir, plane.clone()).unwrap();
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        let err = db.checkpoint().unwrap_err();
+        assert_eq!(err.source.raw_os_error(), Some(5));
+        assert_eq!(db.poisoned_generations(), 1);
+        assert_eq!(db.stable().generation, 0, "stable root untouched");
+        assert!(
+            !dir.join(snapshot_name(1)).exists(),
+            "the poisoned generation file is gone"
+        );
+        // The retry must burn generation 1 and write generation 2 fresh.
+        db.checkpoint().unwrap();
+        assert_eq!(db.stable().generation, 2);
+        assert!(!dir.join(snapshot_name(1)).exists());
+        assert_eq!(load_stable(&dir).unwrap(), *db.stable());
+        assert_eq!(plane.injected(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_snapshot_write_is_caught_by_recovery_not_trusted() {
+        use hawkset_core::ioplane::{FaultScript, ScriptedIo};
+        let dir = tmpdir("torn-inject");
+        let plane = Arc::new(ScriptedIo::new(
+            FaultScript::parse("snapshot:write:1:torn").unwrap(),
+        ));
+        let mut db = RaceDb::open_with(&dir, plane).unwrap();
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        // The torn write lies: checkpoint believes it succeeded.
+        db.checkpoint().unwrap();
+        drop(db);
+        // Recovery's checksum is the authority: the torn generation is
+        // rejected and the database falls back to generation 0.
+        let db = RaceDb::open(&dir).unwrap();
+        assert!(db.recovery().root_pointer_rebuilt);
+        assert_eq!(db.stable().generation, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_working_rolls_back_an_unpersisted_merge() {
+        use hawkset_core::ioplane::{FaultScript, ScriptedIo};
+        let dir = tmpdir("rollback");
+        let plane = Arc::new(ScriptedIo::new(
+            FaultScript::parse("current:rename:1:enospc").unwrap(),
+        ));
+        let mut db = RaceDb::open_with(&dir, plane).unwrap();
+        let prior = db.working().clone();
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        assert!(db.checkpoint().is_err());
+        db.restore_working(prior);
+        assert_eq!(db.jobs_since_checkpoint(), 0);
+        // The resubmitted job lands exactly once.
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.checkpoint().unwrap();
+        let rec = &db.stable().records[0];
+        assert_eq!(rec.occurrences, 1, "rollback prevented double counting");
+        assert_eq!(db.stable().jobs_recorded, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

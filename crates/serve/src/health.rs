@@ -1,0 +1,334 @@
+//! Storage health: degraded read-only mode with self-healing.
+//!
+//! A full disk or a dying device must not kill the daemon — the analyses
+//! in flight are pure CPU work and the query path reads only immutable
+//! snapshot files. What a storage failure *does* forfeit is the
+//! RESULT-implies-durability contract for new work, so the daemon's
+//! response is a mode, not an exit:
+//!
+//! ```text
+//!            checkpoint/probe write fails, or free space < watermark
+//!   Healthy ────────────────────────────────────────────────────────▶ Degraded
+//!      ▲                                                                 │
+//!      └──────────────── probe write succeeds (rate-limited),  ──────────┘
+//!                        or an in-flight checkpoint lands
+//! ```
+//!
+//! While degraded: `SUBMIT` is answered with a `storage:` shed frame (the
+//! client backs off and retries), `PING` and `hawkset query` keep working,
+//! and in-flight jobs finish in memory — their clients get an honest
+//! `ERROR` if durability could not be had. Healing is automatic: each
+//! admission attempt at most [`probe_interval`](StorageHealth) apart
+//! re-probes the database directory with a real plane write, and the first
+//! success (or the first checkpoint that lands) flips the daemon back to
+//! read-write. No operator intervention, no restart.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use hawkset_core::ioplane::IoPlane;
+
+/// Name of the throwaway file the degraded-mode probe writes in the
+/// database directory.
+const PROBE_FILE: &str = ".hawkset-probe";
+
+/// Shared storage-health state machine. One instance per daemon, consulted
+/// by the admission path and fed by the persistence path.
+#[derive(Debug)]
+pub struct StorageHealth {
+    dir: PathBuf,
+    plane: Arc<dyn IoPlane>,
+    /// Low-disk watermark: admissions degrade when the database volume has
+    /// fewer available bytes. `0` disables the check.
+    min_free_bytes: u64,
+    /// Minimum spacing between degraded-mode re-probes.
+    probe_interval: Duration,
+    degraded: AtomicBool,
+    degraded_total: AtomicU64,
+    healed_total: AtomicU64,
+    probes: AtomicU64,
+    probe_state: Mutex<ProbeState>,
+}
+
+#[derive(Debug, Default)]
+struct ProbeState {
+    last_probe: Option<Instant>,
+    last_reason: String,
+}
+
+impl StorageHealth {
+    /// Health tracking for the database in `dir`, probing through `plane`.
+    pub fn new(
+        dir: &Path,
+        plane: Arc<dyn IoPlane>,
+        min_free_bytes: u64,
+        probe_interval: Duration,
+    ) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            plane,
+            min_free_bytes,
+            probe_interval,
+            degraded: AtomicBool::new(false),
+            degraded_total: AtomicU64::new(0),
+            healed_total: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            probe_state: Mutex::new(ProbeState::default()),
+        }
+    }
+
+    /// True while the daemon is read-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Healthy→Degraded transitions so far.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_total.load(Ordering::Relaxed)
+    }
+
+    /// Degraded→Healthy transitions so far.
+    pub fn healed_total(&self) -> u64 {
+        self.healed_total.load(Ordering::Relaxed)
+    }
+
+    /// Degraded-mode re-probes attempted so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Enters degraded mode (idempotent). Called by the persistence path
+    /// when a checkpoint write fails, and by the admission path when the
+    /// watermark or a probe trips.
+    pub fn mark_degraded(&self, reason: &str) {
+        let mut st = self.lock_probe_state();
+        st.last_reason = reason.to_string();
+        // Reset the probe clock so the first re-probe waits a full
+        // interval — the failure we just saw *was* the probe.
+        st.last_probe = Some(Instant::now());
+        drop(st);
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            self.degraded_total.fetch_add(1, Ordering::Relaxed);
+            eprintln!("serve: storage degraded to read-only: {reason}");
+        }
+    }
+
+    /// Leaves degraded mode (idempotent). Called when a probe or a real
+    /// checkpoint write succeeds.
+    pub fn mark_healthy(&self, how: &str) {
+        if self.degraded.swap(false, Ordering::SeqCst) {
+            self.healed_total.fetch_add(1, Ordering::Relaxed);
+            eprintln!("serve: storage healed ({how}); admitting again");
+        }
+    }
+
+    /// The admission gate: `Ok` admits, `Err` is the detail behind a
+    /// `storage:` shed. Healthy mode pays one cheap free-space check;
+    /// degraded mode re-probes at most once per
+    /// [`probe_interval`](Self::new) and admits the very request that
+    /// found the disk healthy again.
+    pub fn admission_check(&self) -> Result<(), String> {
+        if !self.is_degraded() {
+            if let Some(free) = free_bytes(&self.dir) {
+                if self.min_free_bytes > 0 && free < self.min_free_bytes {
+                    let reason = format!(
+                        "free space {free} bytes below the {} byte watermark",
+                        self.min_free_bytes
+                    );
+                    self.mark_degraded(&reason);
+                    return Err(reason);
+                }
+            }
+            return Ok(());
+        }
+        let due = {
+            let mut st = self.lock_probe_state();
+            match st.last_probe {
+                Some(at) if at.elapsed() < self.probe_interval => false,
+                _ => {
+                    st.last_probe = Some(Instant::now());
+                    true
+                }
+            }
+        };
+        if !due {
+            return Err(self.lock_probe_state().last_reason.clone());
+        }
+        match self.probe() {
+            Ok(()) => {
+                self.mark_healthy("probe write succeeded");
+                Ok(())
+            }
+            Err(reason) => {
+                self.lock_probe_state().last_reason = reason.clone();
+                Err(reason)
+            }
+        }
+    }
+
+    /// One degraded-mode probe: the watermark plus a real write+fsync of a
+    /// throwaway file through the plane (site `probe`) — proof the volume
+    /// accepts durable writes again, not just that `statvfs` looks good.
+    fn probe(&self) -> Result<(), String> {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(free) = free_bytes(&self.dir) {
+            if self.min_free_bytes > 0 && free < self.min_free_bytes {
+                return Err(format!(
+                    "free space {free} bytes still below the {} byte watermark",
+                    self.min_free_bytes
+                ));
+            }
+        }
+        let path = self.dir.join(PROBE_FILE);
+        let result = self
+            .plane
+            .write_file("probe", &path, b"hawkset storage probe\n")
+            .and_then(|()| self.plane.fsync("probe", &path));
+        let _ = std::fs::remove_file(&path);
+        result.map_err(|e| format!("probe write failed: {e}"))
+    }
+
+    fn lock_probe_state(&self) -> std::sync::MutexGuard<'_, ProbeState> {
+        self.probe_state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Available bytes for unprivileged writers on the volume holding `path`,
+/// via `statvfs(3)`. `None` when the call is unavailable or fails — the
+/// watermark then simply does not constrain admission (absence of evidence
+/// must not shed traffic).
+#[cfg(target_os = "linux")]
+pub fn free_bytes(path: &Path) -> Option<u64> {
+    use std::os::unix::ffi::OsStrExt;
+
+    // glibc x86_64/aarch64 layout: eleven unsigned longs then spare space.
+    // Only f_frsize (index 1) and f_bavail (index 4) are read; the
+    // generous tail absorbs layout drift without stack corruption.
+    #[repr(C)]
+    struct RawStatvfs {
+        fields: [u64; 11],
+        spare: [u64; 8],
+    }
+    extern "C" {
+        fn statvfs(path: *const u8, buf: *mut RawStatvfs) -> i32;
+    }
+    let mut cpath = path.as_os_str().as_bytes().to_vec();
+    if cpath.contains(&0) {
+        return None;
+    }
+    cpath.push(0);
+    let mut raw = RawStatvfs {
+        fields: [0; 11],
+        spare: [0; 8],
+    };
+    let rc = unsafe { statvfs(cpath.as_ptr(), &mut raw) };
+    if rc != 0 {
+        return None;
+    }
+    let frsize = raw.fields[1];
+    let bavail = raw.fields[4];
+    Some(bavail.saturating_mul(frsize))
+}
+
+/// Non-Linux stub: no watermark signal.
+#[cfg(not(target_os = "linux"))]
+pub fn free_bytes(_path: &Path) -> Option<u64> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkset_core::ioplane::{FaultScript, RealIo, ScriptedIo};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hwk-health-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn healthy_admission_is_a_pass_through() {
+        let dir = tmpdir("healthy");
+        let h = StorageHealth::new(&dir, Arc::new(RealIo), 0, Duration::from_millis(1));
+        assert!(h.admission_check().is_ok());
+        assert!(!h.is_degraded());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degraded_sheds_then_probe_heals() {
+        let dir = tmpdir("heal");
+        // First probe fails (occurrence 0 of probe:write), second succeeds.
+        let plane = Arc::new(ScriptedIo::new(
+            FaultScript::parse("probe:write:0:enospc").unwrap(),
+        ));
+        let h = StorageHealth::new(&dir, plane, 0, Duration::from_millis(5));
+        h.mark_degraded("checkpoint failed: injected");
+        assert!(h.is_degraded());
+        // Inside the probe interval: shed without probing.
+        let err = h.admission_check().unwrap_err();
+        assert!(err.contains("injected"), "{err}");
+        assert_eq!(h.probes(), 0);
+        // First due probe fails; still degraded, reason updated.
+        std::thread::sleep(Duration::from_millis(8));
+        let err = h.admission_check().unwrap_err();
+        assert!(err.contains("probe write failed"), "{err}");
+        assert!(h.is_degraded());
+        // Second due probe succeeds; the same request is admitted.
+        std::thread::sleep(Duration::from_millis(8));
+        assert!(h.admission_check().is_ok());
+        assert!(!h.is_degraded());
+        assert_eq!(h.degraded_total(), 1);
+        assert_eq!(h.healed_total(), 1);
+        assert_eq!(h.probes(), 2);
+        assert!(!dir.join(PROBE_FILE).exists(), "probe file cleaned up");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn successful_checkpoint_heals_without_a_probe() {
+        let dir = tmpdir("inline-heal");
+        let h = StorageHealth::new(&dir, Arc::new(RealIo), 0, Duration::from_secs(3600));
+        h.mark_degraded("injected");
+        assert!(h.admission_check().is_err(), "probe not due for an hour");
+        h.mark_healthy("checkpoint landed");
+        assert!(h.admission_check().is_ok());
+        assert_eq!(h.healed_total(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watermark_trips_admission_into_degraded_mode() {
+        let dir = tmpdir("watermark");
+        // u64::MAX free bytes cannot exist; the watermark always trips.
+        let h = StorageHealth::new(&dir, Arc::new(RealIo), u64::MAX, Duration::from_secs(3600));
+        if free_bytes(&dir).is_none() {
+            return; // no statvfs signal on this platform — nothing to test
+        }
+        let err = h.admission_check().unwrap_err();
+        assert!(err.contains("watermark"), "{err}");
+        assert!(h.is_degraded());
+        assert_eq!(h.degraded_total(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn free_bytes_reports_something_plausible() {
+        let dir = tmpdir("statvfs");
+        if let Some(free) = free_bytes(&dir) {
+            assert!(free > 0, "temp volume reports zero available bytes");
+        }
+        assert_eq!(free_bytes(Path::new("/nonexistent/hawkset")), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

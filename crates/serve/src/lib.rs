@@ -21,15 +21,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod db;
 pub mod frame;
+pub mod health;
 pub mod metrics;
 pub mod sched;
 pub mod server;
 pub mod worker;
 
-pub use client::{submit, SubmitOutcome};
+pub use client::{submit, submit_with_retry, RetryPolicy, SubmitOutcome};
+pub use conn::{TimedStream, Transport};
 pub use db::{load_stable, DbSnapshot, RaceDb, RaceRecord, RaceSiteKey, TenantCount};
+pub use health::StorageHealth;
 pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
 pub use server::{run, ServeConfig};
 pub use worker::WorkerConfig;

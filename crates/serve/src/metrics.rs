@@ -8,20 +8,27 @@
 //! test assertion. The laws:
 //!
 //! ```text
-//! submitted = admitted + shed
-//! admitted  = completed_clean + completed_races + failed + in_flight
+//! submitted  = admitted + shed
+//! admitted   = completed_clean + completed_races + failed + in_flight
+//! shed.total = queue_full + tenant_cap + draining + storage
 //! ```
 //!
 //! where `in_flight` counts jobs admitted but not yet resolved — queued,
 //! running, or waiting out a retry backoff. Every admitted job resolves to
 //! exactly one terminal counter, so after a drain `in_flight` is zero and
 //! the second law closes exactly.
+//!
+//! Connection-level refusals (the concurrent-connection cap, idle/slowloris
+//! disconnects) are deliberately **outside** these laws: they happen before
+//! any `SUBMIT` frame is read, so nothing was submitted — they get their
+//! own [`ConnectionStats`] group instead of cooking the admission books.
 
 use hawkset_core::obs::Counter;
 use serde::{Deserialize, Serialize};
 
-/// Version stamp for the serialized snapshot.
-pub const SERVE_METRICS_VERSION: u32 = 1;
+/// Version stamp for the serialized snapshot. v2 added the `storage` shed
+/// cause and the `connections`/`storage` groups.
+pub const SERVE_METRICS_VERSION: u32 = 2;
 
 /// Live counters, bumped from connection handlers, the scheduler, and the
 /// workers. All relaxed: metrics order never matters, only totals.
@@ -39,6 +46,26 @@ pub struct ServeMetrics {
     pub shed_tenant_cap: Counter,
     /// ... because the daemon was draining.
     pub shed_draining: Counter,
+    /// ... because storage is degraded to read-only.
+    pub shed_storage: Counter,
+    /// Connections accepted by a listener.
+    pub conn_accepted: Counter,
+    /// Connections refused by the concurrent-connection cap (before any
+    /// SUBMIT — outside the admission laws).
+    pub conn_rejected: Counter,
+    /// Connections dropped by the idle/frame deadline (slowloris defense).
+    pub conn_timeouts: Counter,
+    /// 1 while the daemon is in degraded read-only mode (gauge).
+    pub storage_degraded: Counter,
+    /// Healthy→degraded transitions.
+    pub storage_degraded_total: Counter,
+    /// Degraded→healthy transitions (self-heals).
+    pub storage_healed_total: Counter,
+    /// Degraded-mode re-probes attempted.
+    pub storage_probes: Counter,
+    /// Checkpoint generations poisoned by failed writes (gauge, mirrors
+    /// the database's fsyncgate counter).
+    pub poisoned_generations: Counter,
     /// Jobs that finished with a clean report.
     pub completed_clean: Counter,
     /// Jobs that finished with races reported.
@@ -85,6 +112,19 @@ impl ServeMetrics {
                 queue_full: self.shed_queue_full.get(),
                 tenant_cap: self.shed_tenant_cap.get(),
                 draining: self.shed_draining.get(),
+                storage: self.shed_storage.get(),
+            },
+            connections: ConnectionStats {
+                accepted: self.conn_accepted.get(),
+                rejected: self.conn_rejected.get(),
+                timed_out: self.conn_timeouts.get(),
+            },
+            storage: StorageGauges {
+                degraded: self.storage_degraded.get() != 0,
+                degraded_total: self.storage_degraded_total.get(),
+                healed_total: self.storage_healed_total.get(),
+                probes: self.storage_probes.get(),
+                poisoned_generations: self.poisoned_generations.get(),
             },
             outcomes: OutcomeBreakdown {
                 completed_clean: self.completed_clean.get(),
@@ -117,6 +157,36 @@ pub struct ShedBreakdown {
     pub tenant_cap: u64,
     /// Daemon draining after SIGTERM.
     pub draining: u64,
+    /// Storage degraded to read-only.
+    #[serde(default)]
+    pub storage: u64,
+}
+
+/// Connection-level accounting — before any SUBMIT, outside the admission
+/// conservation laws.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionStats {
+    /// Connections a listener accepted.
+    pub accepted: u64,
+    /// Connections refused by the concurrency cap.
+    pub rejected: u64,
+    /// Connections dropped by the idle/frame deadline.
+    pub timed_out: u64,
+}
+
+/// Storage-health state and history.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageGauges {
+    /// In degraded read-only mode at freeze time.
+    pub degraded: bool,
+    /// Healthy→degraded transitions.
+    pub degraded_total: u64,
+    /// Degraded→healthy self-heals.
+    pub healed_total: u64,
+    /// Degraded-mode re-probes.
+    pub probes: u64,
+    /// Checkpoint generations poisoned by failed writes (fsyncgate).
+    pub poisoned_generations: u64,
 }
 
 /// Terminal and transient job outcomes.
@@ -159,6 +229,12 @@ pub struct ServeMetricsSnapshot {
     pub admitted: u64,
     /// Shed accounting.
     pub shed: ShedBreakdown,
+    /// Connection-level accounting (outside the admission laws).
+    #[serde(default)]
+    pub connections: ConnectionStats,
+    /// Storage-health state.
+    #[serde(default)]
+    pub storage: StorageGauges,
     /// Outcome accounting.
     pub outcomes: OutcomeBreakdown,
     /// Admitted minus resolved at freeze time.
@@ -191,10 +267,16 @@ impl ServeMetricsSnapshot {
                 self.in_flight
             ));
         }
-        if self.shed.total != self.shed.queue_full + self.shed.tenant_cap + self.shed.draining {
+        let causes =
+            self.shed.queue_full + self.shed.tenant_cap + self.shed.draining + self.shed.storage;
+        if self.shed.total != causes {
             v.push(format!(
-                "shed total ({}) != queue_full ({}) + tenant_cap ({}) + draining ({})",
-                self.shed.total, self.shed.queue_full, self.shed.tenant_cap, self.shed.draining
+                "shed total ({}) != queue_full ({}) + tenant_cap ({}) + draining ({}) + storage ({})",
+                self.shed.total,
+                self.shed.queue_full,
+                self.shed.tenant_cap,
+                self.shed.draining,
+                self.shed.storage
             ));
         }
         v
@@ -253,6 +335,26 @@ mod tests {
         let v = snap.conservation_violations();
         assert_eq!(v.len(), 3, "{v:?}");
         assert!(v[0].contains("submitted (10)"));
+    }
+
+    #[test]
+    fn storage_sheds_count_toward_the_shed_law() {
+        let m = ServeMetrics::new();
+        m.submitted.add(4);
+        m.admitted.add(1);
+        m.shed.add(3);
+        m.shed_storage.add(2);
+        m.shed_queue_full.add(1);
+        m.completed_clean.add(1);
+        m.storage_degraded.set(1);
+        m.storage_degraded_total.add(1);
+        let snap = m.snapshot();
+        assert!(snap.conservation_violations().is_empty(), "{snap:?}");
+        assert_eq!(snap.shed.storage, 2);
+        assert!(snap.storage.degraded);
+        // Connection counters live outside the laws entirely.
+        m.conn_rejected.add(50);
+        assert!(m.snapshot().conservation_violations().is_empty());
     }
 
     #[test]

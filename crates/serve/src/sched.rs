@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Why a submission was refused.
@@ -33,6 +33,9 @@ pub enum ShedReason {
     TenantCap,
     /// The daemon is draining and admits nothing new.
     Draining,
+    /// Storage is degraded to read-only; findings could not be made
+    /// durable. (Raised by the server's health gate, not the scheduler.)
+    Storage,
 }
 
 impl ShedReason {
@@ -43,6 +46,7 @@ impl ShedReason {
             ShedReason::QueueFull => "queue-full: admission queue at capacity, retry later",
             ShedReason::TenantCap => "tenant-cap: too many pending submissions for this tenant",
             ShedReason::Draining => "draining: daemon is shutting down, not admitting work",
+            ShedReason::Storage => "storage: database degraded to read-only, retry later",
         }
     }
 }
@@ -162,11 +166,21 @@ impl Scheduler {
         }
     }
 
+    /// Poison-safe state access. A connection handler that panics while
+    /// holding the lock must not turn into a daemon-wide denial of
+    /// service: every mutation below is small and leaves the maps
+    /// internally consistent, and the books are conservation-checked at
+    /// drain, so recovering the guard is strictly better than propagating
+    /// the poison to every tenant.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Decides admission for one `SUBMIT`. `Ok` holds a queue slot until
     /// the upload completes ([`commit`](Self::commit)) or dies
     /// ([`abandon`](Self::abandon)).
     pub fn reserve(&self, tenant: &str) -> Result<Reservation, ShedReason> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         if s.draining {
             return Err(ShedReason::Draining);
         }
@@ -187,7 +201,7 @@ impl Scheduler {
 
     /// Converts a reservation into a queued job once its bytes arrived.
     pub fn commit(&self, res: Reservation, trace: Vec<u8>, reply: Sender<JobReply>) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         release_reservation(&mut s, &res.tenant);
         s.push(Job {
             id: res.id,
@@ -202,7 +216,7 @@ impl Scheduler {
 
     /// Releases a reservation whose upload never completed.
     pub fn abandon(&self, res: Reservation) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         release_reservation(&mut s, &res.tenant);
         drop(s);
         // Quiescence may depend on this reservation being gone.
@@ -212,7 +226,7 @@ impl Scheduler {
     /// Re-queues a transiently failed job (admission caps do not apply —
     /// the job is already admitted and counted).
     pub fn requeue(&self, job: Job) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.running -= 1;
         s.push(job);
         drop(s);
@@ -221,7 +235,7 @@ impl Scheduler {
 
     /// Takes the next job in tenant rotation, waiting up to `timeout`.
     pub fn pop(&self, timeout: Duration) -> Pop {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         loop {
             if let Some(tenant) = s.ring.pop_front() {
                 let q = s.queues.get_mut(&tenant).expect("ring tenant has a queue");
@@ -240,7 +254,10 @@ impl Scheduler {
                 self.available.notify_all();
                 return Pop::Closed;
             }
-            let (next, wait) = self.available.wait_timeout(s, timeout).unwrap();
+            let (next, wait) = self
+                .available
+                .wait_timeout(s, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
             s = next;
             if wait.timed_out() {
                 return Pop::Idle;
@@ -251,7 +268,7 @@ impl Scheduler {
     /// Marks a popped job resolved (reply sent, terminal outcome counted).
     /// Until this is called the job holds quiescence open.
     pub fn resolve(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.running -= 1;
         drop(s);
         self.available.notify_all();
@@ -260,18 +277,18 @@ impl Scheduler {
     /// Stops admissions; [`pop`](Self::pop) returns [`Pop::Closed`] once
     /// everything queued, uploading, and running has resolved.
     pub fn begin_drain(&self) {
-        self.state.lock().unwrap().draining = true;
+        self.lock_state().draining = true;
         self.available.notify_all();
     }
 
     /// True once draining was requested.
     pub fn draining(&self) -> bool {
-        self.state.lock().unwrap().draining
+        self.lock_state().draining
     }
 
     /// Jobs currently queued (the queue-depth gauge).
     pub fn depth(&self) -> usize {
-        self.state.lock().unwrap().queued
+        self.lock_state().queued
     }
 }
 
@@ -390,5 +407,28 @@ mod tests {
     fn idle_pop_times_out() {
         let sched = Scheduler::new(8, 8);
         assert!(matches!(sched.pop(Duration::from_millis(5)), Pop::Idle));
+    }
+
+    #[test]
+    fn poisoned_state_lock_does_not_take_down_the_scheduler() {
+        use std::sync::Arc;
+        let sched = Arc::new(Scheduler::new(8, 8));
+        // Poison the state mutex: panic on a thread that holds it.
+        let poisoner = sched.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("injected panic while holding the scheduler lock");
+        })
+        .join();
+        assert!(sched.state.is_poisoned(), "the panic must have poisoned it");
+        // Every entry point still works: the daemon keeps serving.
+        commit(&sched, "t");
+        assert_eq!(sched.depth(), 1);
+        assert_eq!(pop_tenant(&sched), "t");
+        let res = sched.reserve("u").unwrap();
+        sched.abandon(res);
+        sched.begin_drain();
+        assert!(sched.draining());
+        assert!(matches!(sched.pop(Duration::from_millis(10)), Pop::Closed));
     }
 }

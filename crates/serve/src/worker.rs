@@ -20,7 +20,7 @@
 use std::io::Cursor;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -28,8 +28,21 @@ use hawkset_core::analysis::{AnalysisConfig, StreamRunOptions};
 use hawkset_core::HawkSetError;
 
 use crate::db::RaceDb;
+use crate::health::StorageHealth;
 use crate::metrics::ServeMetrics;
 use crate::sched::{Job, JobReply, Pop, Scheduler};
+
+/// Poison-safe database lock. A worker that panicked mid-`persist` held
+/// this mutex, but the database's own invariant is stronger than the
+/// poison bit: `working`/`stable` are plain values that are only replaced
+/// whole (merge mutates in place, but a failed checkpoint rolls the merge
+/// back before the panic can propagate through `persist`'s caller — and
+/// the supervised-run architecture means analysis panics never happen
+/// under this lock at all). Recovering the guard keeps one crashed job
+/// from wedging every later submission and the final drain checkpoint.
+pub(crate) fn lock_db(db: &Mutex<RaceDb>) -> MutexGuard<'_, RaceDb> {
+    db.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning for the pool and each job's analysis run.
 #[derive(Clone, Debug)]
@@ -121,14 +134,20 @@ impl WorkerPool {
         sched: Arc<Scheduler>,
         db: Arc<Mutex<RaceDb>>,
         metrics: Arc<ServeMetrics>,
+        health: Arc<StorageHealth>,
     ) -> Self {
         let handles = (0..cfg.workers.max(1))
             .map(|i| {
-                let (cfg, sched, db, metrics) =
-                    (cfg.clone(), sched.clone(), db.clone(), metrics.clone());
+                let (cfg, sched, db, metrics, health) = (
+                    cfg.clone(),
+                    sched.clone(),
+                    db.clone(),
+                    metrics.clone(),
+                    health.clone(),
+                );
                 std::thread::Builder::new()
                     .name(format!("hawkset-worker-{i}"))
-                    .spawn(move || worker_loop(&cfg, &sched, &db, &metrics))
+                    .spawn(move || worker_loop(&cfg, &sched, &db, &metrics, &health))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -143,12 +162,18 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(cfg: &WorkerConfig, sched: &Scheduler, db: &Mutex<RaceDb>, metrics: &ServeMetrics) {
+fn worker_loop(
+    cfg: &WorkerConfig,
+    sched: &Scheduler,
+    db: &Mutex<RaceDb>,
+    metrics: &ServeMetrics,
+    health: &StorageHealth,
+) {
     loop {
         match sched.pop(Duration::from_millis(100)) {
             Pop::Closed => break,
             Pop::Idle => {}
-            Pop::Job(job) => handle_job(cfg, sched, db, metrics, job),
+            Pop::Job(job) => handle_job(cfg, sched, db, metrics, health, job),
         }
         metrics.queue_depth.set(sched.depth() as u64);
     }
@@ -159,11 +184,12 @@ fn handle_job(
     sched: &Scheduler,
     db: &Mutex<RaceDb>,
     metrics: &ServeMetrics,
+    health: &StorageHealth,
     mut job: Job,
 ) {
     match run_supervised(cfg, &job) {
         RunOutcome::Finished(report) => {
-            match persist(cfg, db, metrics, &job, &report) {
+            match persist(cfg, db, metrics, health, &job, &report) {
                 Ok(()) => {
                     if report.is_clean() {
                         metrics.completed_clean.add(1);
@@ -290,18 +316,39 @@ fn run_analysis(
 /// Merges the report into the database and checkpoints per the cadence.
 /// On success the findings are durable (cadence 1) or scheduled (cadence
 /// > 1); on error the caller fails the job.
+///
+/// A failed checkpoint is the storage fault plane's main event, and two
+/// things must happen before the client hears about it. First, the merge
+/// is **rolled back**: the client is told to resubmit, so leaving the
+/// findings in the working set would double-count them when a later
+/// checkpoint finally lands. Second, the daemon **degrades to
+/// read-only**: a disk that just ate a checkpoint will eat the next one
+/// too, so admission stops promising durability until a probe (or a real
+/// checkpoint, below) proves the storage healthy again.
 fn persist(
     cfg: &WorkerConfig,
     db: &Mutex<RaceDb>,
     metrics: &ServeMetrics,
+    health: &StorageHealth,
     job: &Job,
     report: &hawkset_core::AnalysisReport,
 ) -> Result<(), String> {
-    let mut db = db.lock().unwrap();
+    let mut db = lock_db(db);
+    let prior = db.working().clone();
     db.merge_report(&job.tenant, &report.races);
     if db.jobs_since_checkpoint() >= cfg.checkpoint_every_jobs.max(1) {
-        db.checkpoint().map_err(|e| e.to_string())?;
+        if let Err(e) = db.checkpoint() {
+            db.restore_working(prior);
+            metrics.poisoned_generations.set(db.poisoned_generations());
+            health.mark_degraded(&format!("checkpoint failed: {e}"));
+            return Err(format!(
+                "storage failure: findings are not durable ({e}); resubmit when storage recovers"
+            ));
+        }
         metrics.checkpoints.add(1);
+        metrics.poisoned_generations.set(db.poisoned_generations());
+        // A checkpoint that landed is better evidence than any probe.
+        health.mark_healthy("checkpoint landed");
     }
     metrics.snapshot_generation.set(db.stable().generation);
     metrics.snapshot_age_jobs.set(db.jobs_since_checkpoint());
@@ -409,7 +456,13 @@ mod tests {
         let sched = Arc::new(Scheduler::new(16, 16));
         let db = Arc::new(Mutex::new(RaceDb::open(&dir).unwrap()));
         let metrics = Arc::new(ServeMetrics::new());
-        let pool = WorkerPool::spawn(cfg, sched.clone(), db.clone(), metrics.clone());
+        let health = Arc::new(StorageHealth::new(
+            &dir,
+            Arc::new(hawkset_core::RealIo),
+            0,
+            Duration::from_millis(10),
+        ));
+        let pool = WorkerPool::spawn(cfg, sched.clone(), db.clone(), metrics.clone(), health);
         (sched, db, metrics, pool, dir)
     }
 
@@ -525,6 +578,71 @@ mod tests {
         assert_eq!(metrics.retries.get(), 1);
         assert_eq!(metrics.completed_races.get(), 1);
         assert_eq!(metrics.failed.get(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storage_failure_fails_the_job_degrades_and_resubmission_converges() {
+        let dir = std::env::temp_dir().join(format!(
+            "hwk-worker-storage-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Occurrence 0 of every site/op pair is consumed by the gen-0
+        // bootstrap inside open_with; occurrence 1 is the first real
+        // checkpoint's CURRENT swap — the moment durability is claimed.
+        let script = hawkset_core::FaultScript::parse("current:rename:1:enospc").unwrap();
+        let plane: Arc<dyn hawkset_core::IoPlane> = Arc::new(hawkset_core::ScriptedIo::new(script));
+        let db = Arc::new(Mutex::new(RaceDb::open_with(&dir, plane.clone()).unwrap()));
+        let sched = Arc::new(Scheduler::new(16, 16));
+        let metrics = Arc::new(ServeMetrics::new());
+        let health = Arc::new(StorageHealth::new(&dir, plane, 0, Duration::from_millis(1)));
+        let pool = WorkerPool::spawn(
+            WorkerConfig::default(),
+            sched.clone(),
+            db.clone(),
+            metrics.clone(),
+            health.clone(),
+        );
+
+        let rx = submit(&sched, "t1", racy_trace_bytes());
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let JobReply::Failed { message } = reply else {
+            panic!("expected Failed on the eaten checkpoint, got {reply:?}");
+        };
+        assert!(message.contains("storage failure"), "{message}");
+        assert!(message.contains("resubmit"), "{message}");
+        assert!(health.is_degraded(), "a lost checkpoint must degrade");
+        {
+            let db = lock_db(&db);
+            assert_eq!(db.working().records.len(), 0, "merge rolled back");
+            assert_eq!(db.jobs_since_checkpoint(), 0);
+            assert_eq!(db.poisoned_generations(), 1);
+        }
+
+        // Blind resubmission (what the retrying client does) converges:
+        // the fault was one-shot, so the next checkpoint lands and heals.
+        let rx = submit(&sched, "t1", racy_trace_bytes());
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(reply, JobReply::Done { clean: false, .. }),
+            "resubmission must succeed once storage recovers: {reply:?}"
+        );
+        assert!(!health.is_degraded(), "a landed checkpoint heals");
+        {
+            let db = lock_db(&db);
+            assert_eq!(db.stable().records.len(), 1);
+            assert_eq!(
+                db.stable().records[0].occurrences,
+                1,
+                "rollback must prevent the double count"
+            );
+        }
+        sched.begin_drain();
+        pool.join();
+        assert_eq!(metrics.failed.get(), 1);
+        assert_eq!(metrics.completed_races.get(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

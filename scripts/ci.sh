@@ -166,4 +166,115 @@ if ! grep -q '"occurrences": 2' <<< "$SERVE_QUERY"; then
     exit 1
 fi
 
+echo "==> chaos smoke (scripted ENOSPC + fsync failure, degraded mode, restart, verify)"
+# Hostile-storage drill against the release binary: a fault script fails
+# the first checkpoint's CURRENT swap with ENOSPC and the next snapshot
+# fsync with EIO. Each faulted submission must surface the storage
+# failure to the client (exit 2, nothing half-recorded), the daemon must
+# degrade to read-only and self-heal off its probe, and a retried
+# submission must eventually land cleanly. After a graceful drain and a
+# clean restart the database must byte-for-byte match what batch
+# `analyze` implies — poisoned generation numbers are burned, never
+# reused, and never trusted.
+CHAOS_DB=$(mktemp -d /tmp/hawkset-ci-chaos-db-XXXXXX)
+CHAOS_RPT=$(mktemp /tmp/hawkset-ci-chaos-rpt-XXXXXX.json)
+CHAOS_ERR=$(mktemp /tmp/hawkset-ci-chaos-err-XXXXXX)
+# serve_start reads $SERVE_DB at call time; keep the smoke db's path for
+# cleanup before repointing the variable at the chaos database.
+SERVE_SMOKE_DB=$SERVE_DB
+SERVE_DB=$CHAOS_DB
+trap 'rm -rf "$BUDGET_TRACE" "$BUDGET_JSON" "$SERVE_SMOKE_DB" "$SERVE_OUT" "$SERVE_RPT_A" "$SERVE_RPT_B" "$CHAOS_DB" "$CHAOS_RPT" "$CHAOS_ERR"; { [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID"; } 2>/dev/null || true' EXIT
+
+serve_start HAWKSET_IO_FAULT_SCRIPT='current:rename:1:enospc;snapshot:fsync:2:eio'
+
+# Submission 1: the CURRENT swap fails with ENOSPC. The merge is rolled
+# back and the failure is surfaced, not swallowed.
+set +e
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-chaos \
+    tests/golden/racy_fig1c.hwkt > /dev/null 2> "$CHAOS_ERR"
+rc=$?
+set -e
+if [[ $rc -ne 2 ]]; then
+    echo "ci: faulted submission expected exit 2 (storage failure), got $rc" >&2
+    exit 1
+fi
+if ! grep -q "storage failure" "$CHAOS_ERR"; then
+    echo "ci: faulted submission did not surface the storage failure:" >&2
+    cat "$CHAOS_ERR" >&2
+    exit 1
+fi
+
+# Submission 2: retries ride the degraded read-only window (storage:
+# sheds) until the probe heals the daemon, then hit the scripted fsync
+# EIO at the next checkpoint — again a clean exit-2 failure.
+set +e
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-chaos \
+    --retries 10 --retry-max-ms 500 \
+    tests/golden/racy_fig1c.hwkt > /dev/null 2> "$CHAOS_ERR"
+rc=$?
+set -e
+if [[ $rc -ne 2 ]]; then
+    echo "ci: fsync-faulted submission expected exit 2, got $rc" >&2
+    cat "$CHAOS_ERR" >&2
+    exit 1
+fi
+
+# Submission 3: the schedule is exhausted — retries carry it past the
+# degraded window and it lands.
+set +e
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-chaos \
+    --retries 10 --retry-max-ms 500 \
+    tests/golden/racy_fig1c.hwkt > /dev/null 2> "$CHAOS_ERR"
+rc=$?
+set -e
+if [[ $rc -ne 1 ]]; then
+    echo "ci: post-fault retried submission expected exit 1, got $rc" >&2
+    cat "$CHAOS_ERR" >&2
+    exit 1
+fi
+
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+drain_rc=$?
+set -e
+SERVE_PID=""
+if [[ $drain_rc -ne 0 ]]; then
+    echo "ci: chaos daemon drain expected exit 0, got $drain_rc" >&2
+    exit 1
+fi
+
+# Restart without the fault script: recovery must be read-write from the
+# stable root alone, and a resubmission must dedupe on top of it.
+serve_start
+set +e
+./target/release/hawkset submit --tcp "$SERVE_ADDR" --tenant ci-chaos \
+    tests/golden/racy_fig1c.hwkt > /dev/null
+rc=$?
+set -e
+if [[ $rc -ne 1 ]]; then
+    echo "ci: post-restart submission expected exit 1, got $rc" >&2
+    exit 1
+fi
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+drain_rc=$?
+set -e
+SERVE_PID=""
+if [[ $drain_rc -ne 0 ]]; then
+    echo "ci: chaos daemon final drain expected exit 0, got $drain_rc" >&2
+    exit 1
+fi
+
+# Only the two submissions that reported success may be in the database,
+# byte-for-byte what batch analyze implies — the two faulted attempts
+# must have left no trace.
+set +e
+./target/release/hawkset analyze --json tests/golden/racy_fig1c.hwkt > "$CHAOS_RPT"
+set -e
+./target/release/hawkset query --db "$CHAOS_DB" \
+    --verify "ci-chaos=$CHAOS_RPT" \
+    --verify "ci-chaos=$CHAOS_RPT"
+
 echo "ci: all green"
