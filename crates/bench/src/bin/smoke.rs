@@ -10,15 +10,29 @@
 //!
 //! ```text
 //! smoke [--threads N] [--ops N] [--min-speedup X] [--emit PATH]
+//!       [--bench-json DIR] [--ratchet DIR]
 //! ```
 //!
 //! `--emit PATH` writes the synthetic trace to `PATH` as `.hwkt` and exits
 //! without benchmarking — CI uses it to manufacture a large input for the
 //! memory-budget and kill/resume checks without shipping fixture files.
+//!
+//! `--bench-json DIR` measures the per-stage throughput trajectory
+//! (decode / memsim / irh / pairing, see [`hawkset_bench::trajectory`])
+//! and writes `BENCH_<stage>.json` files into `DIR`, then exits.
+//!
+//! `--ratchet DIR` measures the same trajectory and fails (exit 1) if any
+//! stage regressed >20% against the committed `BENCH_<stage>.json`
+//! baseline in `DIR`. Enforcement is skipped on single-core hosts, where
+//! wall-clock measures scheduler contention rather than the code. With
+//! the `UPDATE_BASELINE` environment variable set the baseline files are
+//! regenerated instead of checked (`scripts/ci.sh` refuses to run in that
+//! state, so CI can never silently re-pin itself).
 
 use std::process::ExitCode;
 
 use hawkset_bench::synthetic::{synthetic_trace, SyntheticSpec};
+use hawkset_bench::trajectory;
 use hawkset_core::analysis::{AnalysisReport, Analyzer};
 use hawkset_core::memsim::{simulate, SimConfig};
 
@@ -45,6 +59,8 @@ fn main() -> ExitCode {
     let mut ops = 30_000u64;
     let mut min_speedup: Option<f64> = None;
     let mut emit: Option<String> = None;
+    let mut bench_json: Option<String> = None;
+    let mut ratchet_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -64,6 +80,14 @@ fn main() -> ExitCode {
             "--emit" => {
                 i += 1;
                 emit = Some(args[i].clone());
+            }
+            "--bench-json" => {
+                i += 1;
+                bench_json = Some(args[i].clone());
+            }
+            "--ratchet" => {
+                i += 1;
+                ratchet_dir = Some(args[i].clone());
             }
             other => {
                 eprintln!("smoke: unknown argument {other}");
@@ -102,6 +126,74 @@ fn main() -> ExitCode {
 
     let events = trace.events.len() as f64;
     let access = simulate(&trace, &SimConfig::default());
+
+    if bench_json.is_some() || ratchet_dir.is_some() {
+        let measurements = trajectory::measure(&trace, &access);
+        for m in &measurements {
+            println!(
+                "smoke: {:<8} {:>12.0} events/sec ({:.1} ms, {} events)",
+                m.stage, m.events_per_sec, m.elapsed_ms, m.events
+            );
+        }
+        let commit = trajectory::current_commit();
+        if let Some(dir) = bench_json {
+            let dir = std::path::Path::new(&dir);
+            if let Err(e) = trajectory::write_baseline(dir, &measurements, &commit, spec.seed) {
+                eprintln!(
+                    "smoke: cannot write BENCH_*.json under {}: {e}",
+                    dir.display()
+                );
+                return ExitCode::from(2);
+            }
+            println!("smoke: wrote BENCH_*.json to {} at {commit}", dir.display());
+            return ExitCode::SUCCESS;
+        }
+        let dir = ratchet_dir.expect("one of the two modes is set");
+        let dir = std::path::Path::new(&dir);
+        if std::env::var_os("UPDATE_BASELINE").is_some() {
+            if let Err(e) = trajectory::write_baseline(dir, &measurements, &commit, spec.seed) {
+                eprintln!(
+                    "smoke: cannot write BENCH_*.json under {}: {e}",
+                    dir.display()
+                );
+                return ExitCode::from(2);
+            }
+            println!(
+                "smoke: UPDATE_BASELINE set — re-pinned BENCH_*.json in {} at {commit}",
+                dir.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let outcome = trajectory::ratchet(dir, &measurements);
+        // A vanished pin fails on any host; timing regressions are only
+        // enforceable where wall-clock measures the code.
+        if !outcome.missing.is_empty() {
+            for v in &outcome.missing {
+                eprintln!("smoke: FAIL — bench ratchet: {v}");
+            }
+            return ExitCode::from(1);
+        }
+        if cores < 2 {
+            println!(
+                "smoke: ratchet timing enforcement skipped — single-core host \
+                 measures contention, not code ({} regression(s) unenforced)",
+                outcome.regressions.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        if !outcome.regressions.is_empty() {
+            for v in &outcome.regressions {
+                eprintln!("smoke: FAIL — bench ratchet: {v}");
+            }
+            return ExitCode::from(1);
+        }
+        println!(
+            "smoke: bench ratchet holds (>{:.0}% regression fails)",
+            trajectory::RATCHET_TOLERANCE * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
 
     // Pairing stage wall-clock as the pipeline itself measured it.
     let time_pairing = |n: usize| {

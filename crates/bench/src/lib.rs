@@ -16,6 +16,7 @@
 //! cost scales) are the reproduction targets; see `EXPERIMENTS.md`.
 
 pub mod synthetic;
+pub mod trajectory;
 
 use std::time::Instant;
 

@@ -20,9 +20,7 @@ use std::process::ExitCode;
 use hawkset_core::analysis::checkpoint::{
     config_fingerprint, AnalysisCheckpoint, CheckpointSession,
 };
-use hawkset_core::analysis::{
-    AnalysisConfig, Analyzer, StallInjection, StreamRunOptions, Strictness,
-};
+use hawkset_core::analysis::{AnalysisConfig, Analyzer, StallInjection, Strictness};
 use hawkset_core::trace::io;
 use hawkset_core::{HawkSetError, Trace};
 
@@ -311,7 +309,7 @@ impl LoadedTrace {
 /// is not salvageable and still fails.
 fn load_trace_salvage(path: &str) -> Result<io::Salvage, HawkSetError> {
     let raw = std::fs::read(path).map_err(HawkSetError::Io)?;
-    let salvage = io::decode_lossy(bytes::Bytes::from(raw))?;
+    let salvage = io::decode_lossy(&raw)?;
     if !salvage.is_complete() {
         eprintln!(
             "hawkset: salvaged {} event(s) from {path}: dropped {} event(s) and {} byte(s){}",
@@ -568,7 +566,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
 /// a file or stdin, with optional checkpointing and resume.
 fn analyze_stream(
     path: &str,
-    cfg: AnalysisConfig,
+    mut cfg: AnalysisConfig,
     json: bool,
     checkpoint_path: Option<String>,
     resume_path: Option<String>,
@@ -591,26 +589,25 @@ fn analyze_stream(
     // --resume keeps checkpointing to the same file unless --checkpoint
     // redirects it.
     let session_path = checkpoint_path.or_else(|| resume_path.clone());
-    let session = session_path.map(|p| match &prior {
-        Some(ck) => CheckpointSession::resuming(p.into(), ck.clone(), cfg.checkpoint_every),
-        None => CheckpointSession::new(
-            p.into(),
-            config_fingerprint(&cfg),
-            path.to_string(),
-            cfg.checkpoint_every,
-        ),
+    let session = session_path.map(|p| {
+        std::sync::Arc::new(match &prior {
+            Some(ck) => CheckpointSession::resuming(p.into(), ck.clone(), cfg.checkpoint_every),
+            None => CheckpointSession::new(
+                p.into(),
+                config_fingerprint(&cfg),
+                path.to_string(),
+                cfg.checkpoint_every,
+            ),
+        })
     });
+    cfg.stream.checkpoint = session.clone();
+    cfg.stream.resume = prior.map(std::sync::Arc::new);
     let analyzer = Analyzer::new(cfg);
-    let opts = StreamRunOptions {
-        checkpoint: session.as_ref(),
-        resume: prior.as_ref(),
-        ..Default::default()
-    };
     let result = if path == "-" {
-        analyzer.try_run_stream_with_header(std::io::stdin().lock(), &opts)
+        analyzer.try_run_stream_with_header(std::io::stdin().lock())
     } else {
         match std::fs::File::open(path) {
-            Ok(f) => analyzer.try_run_stream_with_header(f, &opts),
+            Ok(f) => analyzer.try_run_stream_with_header(f),
             Err(e) => {
                 eprintln!("hawkset: {path}: {e}");
                 return ExitCode::from(2);

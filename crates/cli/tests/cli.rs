@@ -155,8 +155,8 @@ fn ill_formed_trace(name: &str) -> PathBuf {
 
     let demo = demo_trace(name);
     let raw = std::fs::read(&demo).unwrap();
-    let mut trace = io::decode(bytes::Bytes::from(raw)).unwrap();
-    let stack = trace.events[0].stack;
+    let mut trace = io::decode(&raw).unwrap();
+    let stack = trace.events.get(0).stack;
     trace.events.insert(
         0,
         Event {
@@ -178,9 +178,7 @@ fn ill_formed_trace(name: &str) -> PathBuf {
         stack,
         kind: EventKind::Fence,
     });
-    for (i, ev) in trace.events.iter_mut().enumerate() {
-        ev.seq = i as u64;
-    }
+    trace.events.reseq();
     let path = std::env::temp_dir().join(format!("hawkset-cli-test-{name}-ill.hwkt"));
     std::fs::write(&path, io::encode(&trace)).unwrap();
     path

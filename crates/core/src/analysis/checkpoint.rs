@@ -342,7 +342,9 @@ impl AnalysisCheckpoint {
 /// Deliberately excluded: `threads` (bit-identical by contract), the
 /// wall-clock budgets (`deadline`, `stage_timeout`) and `interrupt`
 /// (schedule-dependent truncations are never cached, so they cannot leak
-/// into a resumed report), and the checkpoint knobs themselves.
+/// into a resumed report), and the checkpoint/stream-ingest knobs
+/// themselves (`AnalysisConfig::stream` carries the session this
+/// fingerprint is written into).
 pub fn config_fingerprint(cfg: &AnalysisConfig) -> String {
     let opt = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "none".into());
     format!(

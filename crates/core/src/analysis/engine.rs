@@ -34,8 +34,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use crate::addr::line_of;
+use crate::fxhash::FxHashMap;
 use crate::lockset::{LockEntry, Lockset};
-use crate::memsim::{AccessSet, CloseReason, LsId, SimStats, StoreWindow};
+use crate::memsim::{AccessSet, CloseReason, LsId, SimStats, StoreWindow, VcId};
 use crate::obs::{MetricsRegistry, Stage};
 use crate::parallel::{Heartbeat, Watchdog};
 use crate::trace::StackTable;
@@ -152,6 +153,39 @@ pub(crate) struct PairingControls<'a> {
     pub on_shard: Option<ShardHook<'a>>,
 }
 
+/// One load group's pairing-relevant fields, flattened into a contiguous
+/// array indexed by group id. The inner loop visits load groups by the
+/// (sorted) candidate list; reading a 48-byte row here instead of chasing
+/// `load_groups[gi] → loads[li]` through two scattered vecs keeps the
+/// per-candidate work inside one or two cache lines.
+#[derive(Clone, Copy)]
+struct LoadPre {
+    start: u64,
+    end: u64,
+    tid: u32,
+    /// Interned clock id (raw).
+    vc: u32,
+    /// Normalized lockset id.
+    norm_ls: u32,
+    stack: u32,
+    count: u64,
+}
+
+/// Per-shard race accumulator keyed by `(store_stack, load_stack)`: the
+/// hot loop only bumps integers here; resolving stacks to sites and
+/// building [`Race`] witnesses happens once per distinct stack pair when
+/// the shard folds into [`ShardOutput::races`].
+struct StackPairAcc {
+    /// `(window-group, load-group)` of the first witness, in loop order.
+    rank: (u32, u32),
+    /// Window/load indices of that first witness.
+    win_i: u32,
+    load_i: u32,
+    pair_count: u64,
+    never_persisted: bool,
+    ls_empty: bool,
+}
+
 /// Read-only context shared by every shard worker.
 struct PairingCtx<'a> {
     stacks: &'a StackTable,
@@ -163,10 +197,14 @@ struct PairingCtx<'a> {
     norm_sets: &'a [Lockset],
     /// (representative load index, population) per load group.
     load_groups: &'a [(u32, u64)],
+    /// Flattened hot fields per load group (same indexing as
+    /// `load_groups`).
+    load_pre: &'a [LoadPre],
     /// (representative window index, population) per window group.
     window_groups: &'a [(u32, u64)],
-    /// 8-byte word → load-group indices touching it.
-    by_word: &'a HashMap<u64, Vec<u32>>,
+    /// 8-byte word → load-group indices touching it. Probe-only, never
+    /// iterated: safe for the fast deterministic hasher.
+    by_word: &'a FxHashMap<u64, Vec<u32>>,
     deadline: Option<std::time::Instant>,
     stop: &'a AtomicBool,
     /// Tripped by the stage watchdog (or pre-set when `stage_timeout` is
@@ -197,6 +235,64 @@ impl PairingCtx<'_> {
         candidates.dedup();
     }
 
+    /// The happens-before filter of Algorithm 1 line 17, computed on a memo
+    /// miss: the pair is ordered (cannot race) if the load happened-before
+    /// the store became visible, or the value was guaranteed persisted (or
+    /// gone) before the load could run.
+    ///
+    /// Both directions are `X ⊑ W` queries where `X` is a thread snapshot
+    /// clock — exactly the shape the FastTrack-style [`Epoch`] compression
+    /// answers in O(1) (`X ⊑ W ⟺ X.time ≤ W[X.tid]`). The full
+    /// vector comparison remains as the fallback for ids without a recorded
+    /// snapshot epoch (post-join merges) and for epoch-demoted runs
+    /// (ill-formed unvalidated traces, [`AccessSet::epoch_sound`]).
+    fn hb_ordered(&self, win: &StoreWindow, ld_vc: VcId) -> bool {
+        let load_vc = self.access.vclocks.get(ld_vc);
+        let load_before_store = match self.access.epoch_of(ld_vc) {
+            Some(e) => {
+                let fast = e.le_clock(self.access.vclocks.get(win.store_vc));
+                debug_assert_eq!(
+                    fast,
+                    matches!(
+                        load_vc.compare(self.access.vclocks.get(win.store_vc)),
+                        ClockOrder::Before | ClockOrder::Equal
+                    ),
+                    "epoch fast path diverged from full clocks (load ⊑ store)"
+                );
+                fast
+            }
+            None => matches!(
+                load_vc.compare(self.access.vclocks.get(win.store_vc)),
+                ClockOrder::Before | ClockOrder::Equal
+            ),
+        };
+        if load_before_store {
+            return true;
+        }
+        match win.close_vc {
+            Some(cvc) => match self.access.epoch_of(cvc) {
+                Some(e) => {
+                    let fast = e.le_clock(load_vc);
+                    debug_assert_eq!(
+                        fast,
+                        matches!(
+                            self.access.vclocks.get(cvc).compare(load_vc),
+                            ClockOrder::Before | ClockOrder::Equal
+                        ),
+                        "epoch fast path diverged from full clocks (close ⊑ load)"
+                    );
+                    fast
+                }
+                None => matches!(
+                    self.access.vclocks.get(cvc).compare(load_vc),
+                    ClockOrder::Before | ClockOrder::Equal
+                ),
+            },
+            // Never persisted: the window is unbounded.
+            None => false,
+        }
+    }
+
     /// Counts the candidate pairs of one window group without classifying
     /// them — the cross-thread, byte-overlapping pairs the main loop
     /// *would* have examined. Used to account for the tail a tripped pair
@@ -205,14 +301,14 @@ impl PairingCtx<'_> {
         let (wi, wcount) = self.window_groups[win_gi as usize];
         let win = &self.access.windows[wi as usize];
         self.collect_candidates(win, candidates);
+        let (win_start, win_end) = (win.range.start, win.range.end());
         let mut pairs = 0;
         for &gi in candidates.iter() {
-            let (li, lcount) = self.load_groups[gi as usize];
-            let ld = &self.access.loads[li as usize];
-            if ld.tid == win.tid || !ld.range.overlaps(&win.range) {
+            let lp = &self.load_pre[gi as usize];
+            if lp.tid == win.tid.0 || lp.start >= win_end || win_start >= lp.end {
                 continue;
             }
-            pairs += wcount * lcount;
+            pairs += wcount * lp.count;
         }
         pairs
     }
@@ -254,8 +350,9 @@ impl PairingCtx<'_> {
         // Memo tables are per-shard: shards share no mutable state, and a
         // shard's windows cluster on the same lines (hence the same clock
         // and lockset ids), which is where memoization pays.
-        let mut hb_memo: HashMap<(u32, u32, u32), bool> = HashMap::new();
-        let mut protected_memo: HashMap<(u32, u32), bool> = HashMap::new();
+        let mut hb_memo: FxHashMap<(u32, u32, u32), bool> = FxHashMap::default();
+        let mut protected_memo: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+        let mut race_accs: FxHashMap<u64, StackPairAcc> = FxHashMap::default();
         let mut candidates: Vec<u32> = Vec::new();
         // First plan index NOT examined (budget/deadline stop point).
         let mut stopped_at = plan.len();
@@ -293,19 +390,28 @@ impl PairingCtx<'_> {
 
             self.collect_candidates(win, &mut candidates);
 
+            // Everything the inner loop needs from the window, hoisted out
+            // of the per-candidate path.
+            let win_tid = win.tid.0;
+            let (win_start, win_end) = (win.range.start, win.range.end());
+            let close_raw = win.close_vc.map(|c| c.id()).unwrap_or(u32::MAX);
+            let store_raw = win.store_vc.id();
+            let win_norm = self.norm(win.effective_ls);
+            let win_never_persisted = win.close == CloseReason::NeverPersisted;
+            let win_ls_empty = self.access.locksets.get(win.effective_ls).is_empty();
+
             for &gi in &candidates {
-                let (li, lcount) = self.load_groups[gi as usize];
-                let ld = &self.access.loads[li as usize];
+                let lp = &self.load_pre[gi as usize];
                 // Algorithm 1 line 16: same-thread pairs cannot race.
-                if ld.tid == win.tid {
+                if lp.tid == win_tid {
                     continue;
                 }
                 // Line 15 (refined): byte-level overlap, not just word
                 // sharing.
-                if !ld.range.overlaps(&win.range) {
+                if lp.start >= win_end || win_start >= lp.end {
                     continue;
                 }
-                let pairs = wcount * lcount;
+                let pairs = wcount * lp.count;
                 out.candidate_pairs += pairs;
 
                 // Line 17: inter-thread happens-before filter over the
@@ -313,8 +419,7 @@ impl PairingCtx<'_> {
                 // the load happened-before the store became visible, or
                 // the value was guaranteed persisted (or gone) before the
                 // load could run. (Disabled by the Figure 3 ablation.)
-                let close_raw = win.close_vc.map(|c| c.id()).unwrap_or(u32::MAX);
-                let key = (win.store_vc.id(), close_raw, ld.vc.id());
+                let key = (store_raw, close_raw, lp.vc);
                 let ordered = self.cfg.use_hb
                     && match hb_memo.get(&key) {
                         Some(&v) => {
@@ -322,21 +427,7 @@ impl PairingCtx<'_> {
                             v
                         }
                         None => {
-                            let store_vc = self.access.vclocks.get(win.store_vc);
-                            let load_vc = self.access.vclocks.get(ld.vc);
-                            let load_before_store = matches!(
-                                load_vc.compare(store_vc),
-                                ClockOrder::Before | ClockOrder::Equal
-                            );
-                            let closed_before_load = match win.close_vc {
-                                Some(cvc) => matches!(
-                                    self.access.vclocks.get(cvc).compare(load_vc),
-                                    ClockOrder::Before | ClockOrder::Equal
-                                ),
-                                // Never persisted: the window is unbounded.
-                                None => false,
-                            };
-                            let v = load_before_store || closed_before_load;
+                            let v = self.hb_ordered(win, VcId::from_raw(lp.vc));
                             hb_memo.insert(key, v);
                             v
                         }
@@ -348,7 +439,7 @@ impl PairingCtx<'_> {
 
                 // Line 18: effective lockset ∩ load lockset (normalized
                 // ids).
-                let lkey = (self.norm(win.effective_ls), self.norm(ld.ls));
+                let lkey = (win_norm, lp.norm_ls);
                 let protected = match protected_memo.get(&lkey) {
                     Some(&v) => {
                         out.lockset_memo_hits += 1;
@@ -366,44 +457,66 @@ impl PairingCtx<'_> {
                     continue;
                 }
 
-                // Line 19: report, deduplicated by site pair.
+                // Line 19: racy — bump the stack-pair accumulator; the
+                // site-level dedup and witness construction run once per
+                // distinct stack pair in the shard fold below.
                 out.racy_pairs += pairs;
-                let store_site = self.stacks.site(win.stack);
-                let load_site = self.stacks.site(ld.stack);
-                let key = match (store_site, load_site) {
-                    (Some(s), Some(l)) => {
-                        SiteKey::Functions(s.function.clone(), l.function.clone())
-                    }
-                    _ => SiteKey::Stacks(win.stack, ld.stack),
-                };
-                let acc = out.races.entry(key).or_insert_with(|| RaceAcc {
+                let skey = (u64::from(win.stack) << 32) | u64::from(lp.stack);
+                let acc = race_accs.entry(skey).or_insert_with(|| StackPairAcc {
                     rank: (win_gi, gi),
-                    race: Race {
-                        key: RaceKey {
-                            store_stack: win.stack,
-                            load_stack: ld.stack,
-                        },
-                        store_site: store_site.cloned(),
-                        load_site: load_site.cloned(),
-                        store_tid: win.tid,
-                        load_tid: ld.tid,
-                        example_range: win.range.intersection(&ld.range).unwrap_or(win.range),
-                        pair_count: 0,
-                        store_atomic: win.atomic,
-                        load_atomic: ld.atomic,
-                        store_non_temporal: win.non_temporal,
-                        store_never_persisted: false,
-                        effective_lockset_empty: false,
-                        store_store: false,
-                    },
+                    win_i: wi,
+                    load_i: self.load_groups[gi as usize].0,
+                    pair_count: 0,
+                    never_persisted: false,
+                    ls_empty: false,
                 });
-                let race = &mut acc.race;
-                race.pair_count += pairs;
-                if win.close == CloseReason::NeverPersisted {
-                    race.store_never_persisted = true;
-                }
-                if self.access.locksets.get(win.effective_ls).is_empty() {
-                    race.effective_lockset_empty = true;
+                acc.pair_count += pairs;
+                acc.never_persisted |= win_never_persisted;
+                acc.ls_empty |= win_ls_empty;
+            }
+        }
+
+        // Fold stack-pair accumulators into the site-keyed race map, in
+        // ascending first-witness rank — the same order the old per-pair
+        // `or_insert_with` encountered them, so witness selection (lowest
+        // rank wins via `absorb`) is bit-identical.
+        let mut accs: Vec<(u64, StackPairAcc)> = race_accs.into_iter().collect();
+        accs.sort_unstable_by_key(|(_, a)| a.rank);
+        for (skey, a) in accs {
+            let win = &self.access.windows[a.win_i as usize];
+            let ld = &self.access.loads[a.load_i as usize];
+            let (store_stack, load_stack) = ((skey >> 32) as u32, skey as u32);
+            let store_site = self.stacks.site(store_stack);
+            let load_site = self.stacks.site(load_stack);
+            let key = match (store_site, load_site) {
+                (Some(s), Some(l)) => SiteKey::Functions(s.function.clone(), l.function.clone()),
+                _ => SiteKey::Stacks(store_stack, load_stack),
+            };
+            let acc = RaceAcc {
+                rank: a.rank,
+                race: Race {
+                    key: RaceKey {
+                        store_stack,
+                        load_stack,
+                    },
+                    store_site: store_site.cloned(),
+                    load_site: load_site.cloned(),
+                    store_tid: win.tid,
+                    load_tid: ld.tid,
+                    example_range: win.range.intersection(&ld.range).unwrap_or(win.range),
+                    pair_count: a.pair_count,
+                    store_atomic: win.atomic,
+                    load_atomic: ld.atomic,
+                    store_non_temporal: win.non_temporal,
+                    store_never_persisted: a.never_persisted,
+                    effective_lockset_empty: a.ls_empty,
+                    store_store: false,
+                },
+            };
+            match out.races.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(acc),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(acc);
                 }
             }
         }
@@ -482,7 +595,7 @@ pub(crate) fn run_pairing_controlled(
     let mut norm_of_raw: Vec<u32> = Vec::with_capacity(access.locksets.len());
     let mut norm_sets: Vec<Lockset> = Vec::new();
     {
-        let mut index: HashMap<Lockset, u32> = HashMap::new();
+        let mut index: FxHashMap<Lockset, u32> = FxHashMap::default();
         for (_, ls) in access.locksets.iter() {
             let stripped = Lockset::from_entries(
                 ls.iter()
@@ -509,7 +622,7 @@ pub(crate) fn run_pairing_controlled(
     // hot keys' millions of accesses into a handful of groups.
     let mut load_groups: Vec<(u32, u64)> = Vec::new(); // (repr index, count)
     {
-        let mut index: HashMap<LoadKey, u32> = HashMap::new();
+        let mut index: FxHashMap<LoadKey, u32> = FxHashMap::default();
         for (i, ld) in access.loads.iter().enumerate() {
             if !ld.live() || (!cfg.include_atomics && ld.atomic) {
                 continue;
@@ -537,7 +650,7 @@ pub(crate) fn run_pairing_controlled(
     }
     let mut window_groups: Vec<(u32, u64)> = Vec::new();
     {
-        let mut index: HashMap<WinKey, u32> = HashMap::new();
+        let mut index: FxHashMap<WinKey, u32> = FxHashMap::default();
         for (i, w) in access.windows.iter().enumerate() {
             if !w.live() || (!cfg.include_atomics && w.atomic) {
                 continue;
@@ -574,9 +687,26 @@ pub(crate) fn run_pairing_controlled(
         }
     }
 
+    // Flatten each load group's hot fields (see [`LoadPre`]).
+    let load_pre: Vec<LoadPre> = load_groups
+        .iter()
+        .map(|&(li, count)| {
+            let ld = &access.loads[li as usize];
+            LoadPre {
+                start: ld.range.start,
+                end: ld.range.end(),
+                tid: ld.tid.0,
+                vc: ld.vc.id(),
+                norm_ls: norm_of_raw[ld.ls.id() as usize],
+                stack: ld.stack,
+                count,
+            }
+        })
+        .collect();
+
     // Index load groups by 8-byte word. Shared read-only by every shard:
     // loads are replicated logically, not physically.
-    let mut by_word: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut by_word: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     for (gi, &(li, _)) in load_groups.iter().enumerate() {
         for w in access.loads[li as usize].range.words() {
             by_word.entry(w).or_default().push(gi as u32);
@@ -617,6 +747,7 @@ pub(crate) fn run_pairing_controlled(
         norm_of_raw: &norm_of_raw,
         norm_sets: &norm_sets,
         load_groups: &load_groups,
+        load_pre: &load_pre,
         window_groups: &window_groups,
         by_word: &by_word,
         deadline,
@@ -698,7 +829,7 @@ pub(crate) fn run_pairing_controlled(
     // default and quadratic grouping, not wall-clock, is its cost.
     if cfg.check_store_store && !cfg.eadr && !coverage.truncated {
         let mut candidates: Vec<u32> = Vec::new();
-        let mut by_word_stores: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut by_word_stores: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         for (gi, &(wi, _)) in window_groups.iter().enumerate() {
             for word in access.windows[wi as usize].range.words() {
                 by_word_stores.entry(word).or_default().push(gi as u32);

@@ -1,7 +1,8 @@
 //! The library's front door: [`Analyzer`] owns an [`AnalysisConfig`] and
 //! runs the full pipeline (simulation → IRH → sharded pairing) or its
-//! pairing stage alone. It replaces the `analyze` / `try_analyze` / `pair`
-//! free functions, which survive as thin deprecated wrappers.
+//! pairing stage alone. It is the single entry point — every knob,
+//! including the streaming-ingest options ([`StreamConfig`]), lives on the
+//! configuration, so batch and streamed runs differ only in the call.
 
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -220,18 +221,33 @@ impl Analyzer {
     /// incremental simulator replays locks inline with the same clocks
     /// the batch timeline replay produces.
     ///
-    /// [`opts`](StreamRunOptions) attaches checkpointing and resume; a
-    /// cooperative [`AnalysisConfig::interrupt`] stops the run between
-    /// events or shards and finalizes a partial report marked
+    /// The streaming-ingest knobs — chunk size, byte ceiling,
+    /// checkpointing and resume — live on [`AnalysisConfig::stream`]
+    /// ([`StreamConfig`]), set through the builder like every other
+    /// option; a cooperative [`AnalysisConfig::interrupt`] stops the run
+    /// between events or shards and finalizes a partial report marked
     /// [`BudgetExceeded::Interrupted`].
+    ///
+    /// ```
+    /// use std::io::Cursor;
+    /// use hawkset_core::analysis::AnalysisConfig;
+    /// use hawkset_core::trace::{io, TraceBuilder};
+    ///
+    /// let raw = io::encode(&TraceBuilder::new().finish()).to_vec();
+    /// let analyzer = AnalysisConfig::builder()
+    ///     .stream_chunk_bytes(4096)
+    ///     .stream_max_bytes(1 << 20)
+    ///     .build_analyzer();
+    /// let report = analyzer.try_run_stream(Cursor::new(raw)).unwrap();
+    /// assert!(report.is_clean());
+    /// ```
     ///
     /// [`AnalysisBudget::memory_budget`]: super::AnalysisBudget::memory_budget
     pub fn try_run_stream<R: std::io::Read>(
         &self,
         reader: R,
-        opts: &StreamRunOptions<'_>,
     ) -> Result<AnalysisReport, HawkSetError> {
-        self.try_run_stream_with_header(reader, opts)
+        self.try_run_stream_with_header(reader)
             .map(|(report, _)| report)
     }
 
@@ -244,8 +260,9 @@ impl Analyzer {
     pub fn try_run_stream_with_header<R: std::io::Read>(
         &self,
         reader: R,
-        opts: &StreamRunOptions<'_>,
     ) -> Result<(AnalysisReport, Trace), HawkSetError> {
+        let checkpoint = self.cfg.stream.checkpoint.as_deref();
+        let resume = self.cfg.stream.resume.as_deref();
         let reg = self.registry();
         let started = std::time::Instant::now();
         let total_stage = reg.stage(Stage::Total);
@@ -253,17 +270,17 @@ impl Analyzer {
         let mut dec = StreamDecoder::new(
             reader,
             StreamOptions {
-                chunk_bytes: opts.effective_chunk(),
+                chunk_bytes: self.cfg.stream.effective_chunk(),
                 lossy: lenient,
-                max_bytes: opts.max_bytes,
+                max_bytes: self.cfg.stream.max_bytes,
             },
         )?;
         let declared = dec.declared_events();
         let fingerprint = checkpoint::config_fingerprint(&self.cfg);
-        if let Some(prior) = opts.resume {
+        if let Some(prior) = resume {
             prior.validate_resume(&fingerprint, declared)?;
         }
-        if let Some(ck) = opts.checkpoint {
+        if let Some(ck) = checkpoint {
             ck.set_declared_events(declared);
         }
 
@@ -288,7 +305,7 @@ impl Analyzer {
 
         let max_events = self.cfg.budget.max_events;
         let interrupt = self.cfg.interrupt.clone();
-        let cadence = opts.checkpoint.map(|ck| {
+        let cadence = checkpoint.map(|ck| {
             self.cfg
                 .checkpoint_every
                 .unwrap_or_else(|| ck.every())
@@ -325,7 +342,7 @@ impl Analyzer {
                     }
                     kept += 1;
                 }
-                if let (Some(ck), Some(every)) = (opts.checkpoint, cadence) {
+                if let (Some(ck), Some(every)) = (checkpoint, cadence) {
                     if decoded.is_multiple_of(every) {
                         ck.record_ingest(IngestProgress {
                             stream_offset: dec.offset(),
@@ -361,7 +378,7 @@ impl Analyzer {
         let access = sim.finish();
         reg.record_sim(&access.stats);
 
-        if let Some(ck) = opts.checkpoint {
+        if let Some(ck) = checkpoint {
             ck.record_ingest(IngestProgress {
                 stream_offset: loss.valid_bytes,
                 events_decoded: decoded,
@@ -370,10 +387,9 @@ impl Analyzer {
             });
             ck.set_phase("pairing");
         }
-        let resume_map = opts.resume.map(AnalysisCheckpoint::shard_outputs);
-        let on_shard = opts
-            .checkpoint
-            .map(|ck| move |s: usize, out: &ShardOutput| ck.record_shard(s, out));
+        let resume_map = resume.map(AnalysisCheckpoint::shard_outputs);
+        let on_shard =
+            checkpoint.map(|ck| move |s: usize, out: &ShardOutput| ck.record_shard(s, out));
         let controls = PairingControls {
             resume: resume_map.as_ref(),
             on_shard: on_shard
@@ -407,7 +423,7 @@ impl Analyzer {
         drop(total_stage);
         report.stats.duration = started.elapsed();
         self.seal_metrics(&reg, &mut report);
-        if let Some(ck) = opts.checkpoint {
+        if let Some(ck) = checkpoint {
             ck.set_phase("done");
         }
         Ok((report, header))
@@ -427,10 +443,13 @@ impl Analyzer {
     }
 }
 
-/// Options for [`Analyzer::try_run_stream`]. The default streams with the
-/// decoder's default chunk size, no byte ceiling, no checkpointing.
-#[derive(Default)]
-pub struct StreamRunOptions<'a> {
+/// Streaming-ingest options, carried on [`AnalysisConfig::stream`]. The
+/// default streams with the decoder's default chunk size, no byte ceiling,
+/// no checkpointing. None of these knobs affect report *content* — they
+/// are excluded from the checkpoint configuration fingerprint
+/// ([`checkpoint::config_fingerprint`]).
+#[derive(Clone, Debug, Default)]
+pub struct StreamConfig {
     /// Refill granularity of the streaming decoder; `0` uses
     /// [`DEFAULT_CHUNK_BYTES`].
     pub chunk_bytes: usize,
@@ -440,14 +459,14 @@ pub struct StreamRunOptions<'a> {
     /// Checkpoint writer: ingest progress every
     /// [`AnalysisConfig::checkpoint_every`] events (or the session's
     /// cadence), every finished cacheable pairing shard immediately.
-    pub checkpoint: Option<&'a CheckpointSession>,
+    pub checkpoint: Option<Arc<CheckpointSession>>,
     /// A prior run's checkpoint: validated against this run's
     /// configuration and trace, then its finished shards are merged
     /// instead of re-executed.
-    pub resume: Option<&'a AnalysisCheckpoint>,
+    pub resume: Option<Arc<AnalysisCheckpoint>>,
 }
 
-impl StreamRunOptions<'_> {
+impl StreamConfig {
     fn effective_chunk(&self) -> usize {
         if self.chunk_bytes == 0 {
             DEFAULT_CHUNK_BYTES
@@ -566,6 +585,34 @@ impl AnalysisConfigBuilder {
         self
     }
 
+    /// See [`StreamConfig::chunk_bytes`]: refill granularity of the
+    /// streaming decoder (`0` = default).
+    pub fn stream_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.stream.chunk_bytes = bytes;
+        self
+    }
+
+    /// See [`StreamConfig::max_bytes`]: ceiling on total bytes pulled from
+    /// a streamed source.
+    pub fn stream_max_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.stream.max_bytes = Some(bytes);
+        self
+    }
+
+    /// See [`StreamConfig::checkpoint`]: attaches a checkpoint session to
+    /// streamed runs.
+    pub fn checkpoint(mut self, session: Arc<CheckpointSession>) -> Self {
+        self.cfg.stream.checkpoint = Some(session);
+        self
+    }
+
+    /// See [`StreamConfig::resume`]: merges a prior run's finished shards
+    /// instead of re-executing them.
+    pub fn resume(mut self, prior: Arc<AnalysisCheckpoint>) -> Self {
+        self.cfg.stream.resume = Some(prior);
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> AnalysisConfig {
         self.cfg
@@ -658,15 +705,13 @@ mod tests {
         let bad = Event {
             seq: 0,
             tid: ThreadId(0),
-            stack: t.events[0].stack,
+            stack: t.events.get(0).stack,
             kind: EventKind::Release {
                 lock: LockId(0xbad),
             },
         };
         t.events.insert(t.events.len() / 2, bad);
-        for (i, ev) in t.events.iter_mut().enumerate() {
-            ev.seq = i as u64;
-        }
+        t.events.reseq();
         t
     }
 
@@ -697,14 +742,12 @@ mod tests {
                     .build_analyzer();
                 let batch = analyzer.try_run(&trace).expect("batch run");
                 for chunk in [0usize, 7, 64] {
-                    let stream = analyzer
-                        .try_run_stream(
-                            Cursor::new(raw.clone()),
-                            &StreamRunOptions {
-                                chunk_bytes: chunk,
-                                ..Default::default()
-                            },
-                        )
+                    let stream = AnalysisConfig::builder()
+                        .strictness(strictness)
+                        .threads(threads)
+                        .stream_chunk_bytes(chunk)
+                        .build_analyzer()
+                        .try_run_stream(Cursor::new(raw.clone()))
                         .expect("streamed run");
                     assert_reports_match(
                         &batch,
@@ -728,9 +771,7 @@ mod tests {
         let batch = analyzer.try_run(&trace).expect("batch");
         assert_eq!(batch.coverage.reason, Some(BudgetExceeded::MemoryBudget));
         assert!(batch.stats.sim.memory_budget_hit);
-        let stream = analyzer
-            .try_run_stream(Cursor::new(raw), &StreamRunOptions::default())
-            .expect("stream");
+        let stream = analyzer.try_run_stream(Cursor::new(raw)).expect("stream");
         assert_reports_match(&batch, &stream, "memory budget");
         assert!(stream
             .metrics
@@ -748,17 +789,19 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("run.ckpt");
 
-        let analyzer = AnalysisConfig::builder().threads(2).build_analyzer();
-        let fp = config_fingerprint(analyzer.config());
-        let session = CheckpointSession::new(path.clone(), fp.clone(), "test".into(), Some(16));
-        let golden = analyzer
-            .try_run_stream(
-                Cursor::new(raw.clone()),
-                &StreamRunOptions {
-                    checkpoint: Some(&session),
-                    ..Default::default()
-                },
-            )
+        let base = AnalysisConfig::builder().threads(2).build();
+        let fp = config_fingerprint(&base);
+        let session = Arc::new(CheckpointSession::new(
+            path.clone(),
+            fp.clone(),
+            "test".into(),
+            Some(16),
+        ));
+        let golden = AnalysisConfig::builder()
+            .threads(2)
+            .checkpoint(Arc::clone(&session))
+            .build_analyzer()
+            .try_run_stream(Cursor::new(raw.clone()))
             .expect("checkpointed run");
         assert!(session.take_error().is_none());
 
@@ -775,32 +818,23 @@ mod tests {
 
         // Resume from the finished checkpoint: every shard is replayed from
         // cache, and the report must be bit-identical — at any thread count.
+        let ck = Arc::new(ck);
         for threads in [1usize, 2, 8] {
             let resumed = AnalysisConfig::builder()
                 .threads(threads)
+                .resume(Arc::clone(&ck))
                 .build_analyzer()
-                .try_run_stream(
-                    Cursor::new(raw.clone()),
-                    &StreamRunOptions {
-                        resume: Some(&ck),
-                        ..Default::default()
-                    },
-                )
+                .try_run_stream(Cursor::new(raw.clone()))
                 .expect("resumed run");
             assert_reports_match(&golden, &resumed, &format!("resume t{threads}"));
         }
 
         // A different configuration must be refused.
-        let other = AnalysisConfig::builder().irh(false).build_analyzer();
-        let err = other
-            .try_run_stream(
-                Cursor::new(raw.clone()),
-                &StreamRunOptions {
-                    resume: Some(&ck),
-                    ..Default::default()
-                },
-            )
-            .unwrap_err();
+        let other = AnalysisConfig::builder()
+            .irh(false)
+            .resume(Arc::clone(&ck))
+            .build_analyzer();
+        let err = other.try_run_stream(Cursor::new(raw.clone())).unwrap_err();
         assert!(matches!(err, HawkSetError::Checkpoint(_)), "got {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -814,7 +848,7 @@ mod tests {
             .interrupt(Arc::clone(&flag))
             .build_analyzer();
         let report = analyzer
-            .try_run_stream(Cursor::new(raw), &StreamRunOptions::default())
+            .try_run_stream(Cursor::new(raw))
             .expect("interrupted run still yields a report");
         assert!(report.coverage.truncated);
         assert_eq!(report.coverage.reason, Some(BudgetExceeded::Interrupted));

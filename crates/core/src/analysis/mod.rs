@@ -14,9 +14,7 @@
 //! [`AnalysisConfig::threads`] knob) with bit-identical output for every
 //! worker count.
 //!
-//! The public entry point is the [`Analyzer`] facade; the `analyze` /
-//! `try_analyze` / `pair` free functions are deprecated thin wrappers
-//! around it.
+//! The public entry point is the [`Analyzer`] facade.
 
 pub mod checkpoint;
 pub(crate) mod engine;
@@ -25,14 +23,13 @@ pub mod report;
 
 use std::collections::HashMap;
 
-use crate::error::HawkSetError;
-use crate::memsim::{AccessSet, SimStats};
-use crate::trace::{Event, EventKind, LockId, ThreadId, Trace};
+use crate::memsim::SimStats;
+use crate::trace::{Event, EventColumns, EventKind, LockId, ThreadId, Trace};
 
-pub use facade::{AnalysisConfigBuilder, Analyzer, StreamRunOptions};
+pub use facade::{AnalysisConfigBuilder, Analyzer, StreamConfig};
 pub use report::{AnalysisReport, Race, RaceKey};
 
-/// How [`try_analyze`] treats an ill-formed trace.
+/// How [`Analyzer::try_run`] treats an ill-formed trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Strictness {
     /// Reject the trace up front if [`Trace::validate`] fails.
@@ -178,8 +175,8 @@ pub struct AnalysisConfig {
     /// lack. The switch exists to demonstrate the report explosion the
     /// design decision avoids.
     pub check_store_store: bool,
-    /// How [`try_analyze`] treats an ill-formed trace. [`analyze`] ignores
-    /// this: it never validates.
+    /// How [`Analyzer::try_run`] treats an ill-formed trace.
+    /// [`Analyzer::run`] ignores this: it never validates.
     pub strictness: Strictness,
     /// Resource budget; exceeding it truncates the run (see [`Coverage`]).
     pub budget: AnalysisBudget,
@@ -196,6 +193,11 @@ pub struct AnalysisConfig {
     /// at a pairing-shard boundary — and finalizes a partial report marked
     /// [`BudgetExceeded::Interrupted`]. The CLI wires SIGINT/SIGTERM here.
     pub interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Streaming-ingest options (chunk size, byte ceiling, checkpointing,
+    /// resume); only consulted by [`Analyzer::try_run_stream`] and
+    /// [`Analyzer::try_run_stream_with_header`]. None of them affect
+    /// report content.
+    pub stream: StreamConfig,
     /// Test-only fault injection: stall one pairing shard to exercise the
     /// stage watchdog and the kill/resume paths. Not part of the public
     /// API surface.
@@ -228,6 +230,7 @@ impl Default for AnalysisConfig {
             threads: 0,
             checkpoint_every: None,
             interrupt: None,
+            stream: StreamConfig::default(),
             stall_injection: None,
         }
     }
@@ -264,22 +267,10 @@ pub struct PipelineStats {
     /// Stage-3 (pairing) counters.
     pub pairing: PairingStats,
     /// Events dropped by the lenient-mode quarantine (all zero under
-    /// [`Strictness::Strict`] or plain [`analyze`]).
+    /// [`Strictness::Strict`]).
     pub quarantine: QuarantineStats,
     /// Wall-clock duration of the whole pipeline.
     pub duration: std::time::Duration,
-}
-
-/// Runs the full HawkSet pipeline on a trace.
-#[deprecated(since = "0.2.0", note = "use `Analyzer::run` instead")]
-pub fn analyze(trace: &Trace, cfg: &AnalysisConfig) -> AnalysisReport {
-    Analyzer::new(cfg.clone()).run(trace)
-}
-
-/// Runs the pipeline with up-front strictness handling.
-#[deprecated(since = "0.2.0", note = "use `Analyzer::try_run` instead")]
-pub fn try_analyze(trace: &Trace, cfg: &AnalysisConfig) -> Result<AnalysisReport, HawkSetError> {
-    Analyzer::new(cfg.clone()).try_run(trace)
 }
 
 /// Largest access size the quarantine accepts. Real PM accesses are at most
@@ -298,15 +289,15 @@ const MAX_SANE_ACCESS_BYTES: u32 = 1 << 20;
 pub fn quarantine(trace: &Trace) -> (Trace, QuarantineStats) {
     let mut filter = QuarantineFilter::new(trace.thread_count, trace.stacks.stack_count());
     let mut kept = Trace {
-        events: Vec::with_capacity(trace.events.len()),
+        events: EventColumns::with_capacity(trace.events.len()),
         stacks: trace.stacks.clone(),
         regions: trace.regions.clone(),
         thread_count: trace.thread_count.max(1),
     };
-    for ev in &trace.events {
-        if filter.admit(ev) {
+    for ev in trace.events.iter() {
+        if filter.admit(&ev) {
             let seq = kept.events.len() as u64;
-            kept.events.push(Event { seq, ..ev.clone() });
+            kept.events.push(Event { seq, ..ev });
         }
     }
     (kept, filter.into_stats())
@@ -397,42 +388,20 @@ impl QuarantineFilter {
     }
 }
 
-/// Stage 3: pair store windows with loads (optimized Algorithm 1).
-#[deprecated(since = "0.2.0", note = "use `Analyzer::run_pairing` instead")]
-pub fn pair(trace: &Trace, access: &AccessSet, cfg: &AnalysisConfig) -> AnalysisReport {
-    Analyzer::new(cfg.clone()).run_pairing(trace, access)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::addr::AddrRange;
+    use crate::error::HawkSetError;
     use crate::trace::{EventKind, Frame, LockId, LockMode, ThreadId, TraceBuilder};
 
-    /// Local shadows of the deprecated free functions, expressed through
-    /// the facade — the tests below exercise pipeline semantics, not the
-    /// wrappers.
+    /// Facade shorthands — the tests below exercise pipeline semantics.
     fn analyze(trace: &Trace, cfg: &AnalysisConfig) -> AnalysisReport {
         Analyzer::new(cfg.clone()).run(trace)
     }
 
     fn try_analyze(trace: &Trace, cfg: &AnalysisConfig) -> Result<AnalysisReport, HawkSetError> {
         Analyzer::new(cfg.clone()).try_run(trace)
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_the_facade() {
-        let trace = fig1c();
-        let cfg = AnalysisConfig::default();
-        let via_facade = Analyzer::new(cfg.clone()).run(&trace);
-        let via_wrapper = super::analyze(&trace, &cfg);
-        assert_eq!(via_wrapper.races, via_facade.races);
-        let via_try = super::try_analyze(&trace, &cfg).unwrap();
-        assert_eq!(via_try.races, via_facade.races);
-        let access = crate::memsim::simulate(&trace, &crate::memsim::SimConfig::default());
-        let via_pair = super::pair(&trace, &access, &cfg);
-        assert_eq!(via_pair.races, via_facade.races);
     }
 
     /// The Figure-1c trace used throughout: store under lock A, persist
@@ -641,15 +610,13 @@ mod tests {
         let bad = Event {
             seq: 0,
             tid: ThreadId(0),
-            stack: trace.events[0].stack,
+            stack: trace.events.get(0).stack,
             kind: EventKind::Release {
                 lock: LockId(0xbad),
             },
         };
         trace.events.insert(4, bad);
-        for (i, ev) in trace.events.iter_mut().enumerate() {
-            ev.seq = i as u64;
-        }
+        trace.events.reseq();
         trace
     }
 
@@ -833,7 +800,7 @@ mod tests {
     #[test]
     fn quarantine_drops_wild_ranges_and_orphans() {
         let mut trace = fig1c();
-        let stack = trace.events[0].stack;
+        let stack = trace.events.get(0).stack;
         // A load with a corrupt (4 GiB) length and an access by a thread id
         // far beyond the thread table.
         trace.events.push(Event {

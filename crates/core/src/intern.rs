@@ -10,8 +10,9 @@
 //! to by a dense `u32` id. Identity of ids implies equality of values, so
 //! the analysis compares interned locksets with a single integer compare.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use crate::fxhash::FxHashMap;
 
 /// Dense id of an interned value.
 pub struct Interned<T> {
@@ -77,7 +78,9 @@ impl<T> Interned<T> {
 #[derive(Debug)]
 pub struct Interner<T> {
     values: Vec<T>,
-    ids: HashMap<T, u32>,
+    /// Value → id probe table. Lookup-only (iteration goes through the
+    /// dense `values` vec), so the fast deterministic hasher is safe.
+    ids: FxHashMap<T, u32>,
     /// Total number of intern requests, for hit-rate statistics.
     requests: u64,
 }
@@ -87,7 +90,7 @@ impl<T: Clone + Eq + Hash> Interner<T> {
     pub fn new() -> Self {
         Self {
             values: Vec::new(),
-            ids: HashMap::new(),
+            ids: FxHashMap::default(),
             requests: 0,
         }
     }

@@ -53,6 +53,7 @@ pub mod addr;
 pub mod analysis;
 pub mod error;
 pub mod faults;
+pub mod fxhash;
 pub mod intern;
 pub mod ioplane;
 pub mod irh;
@@ -65,8 +66,6 @@ pub mod sync_config;
 pub mod trace;
 pub mod vclock;
 
-#[allow(deprecated)]
-pub use analysis::{analyze, try_analyze};
 pub use analysis::{AnalysisConfig, AnalysisReport, Analyzer, Race, Strictness};
 pub use error::{HawkSetError, ResourceError};
 pub use ioplane::{plane_from_env, FaultScript, IoPlane, RealIo, ScriptedIo};

@@ -20,14 +20,15 @@
 
 pub mod window;
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use crate::addr::{line_of, AddrRange, LineId};
+use crate::fxhash::FxHashMap;
 use crate::intern::Interner;
 use crate::irh::PublicationTracker;
 use crate::lockset::{LockEntry, Lockset};
 use crate::trace::{EventKind, LockId, LockMode, StackId, ThreadId, Trace, TraceView};
-use crate::vclock::VectorClock;
+use crate::vclock::{ClockOrder, Epoch, VectorClock};
 
 pub use window::{CloseReason, LoadAccess, LsId, StoreWindow, VcId};
 
@@ -130,8 +131,35 @@ pub struct AccessSet {
     pub locksets: Interner<Lockset>,
     /// Interned vector clocks referenced by windows and loads.
     pub vclocks: Interner<VectorClock>,
+    /// FastTrack-style epochs, indexed by interned clock id. `Some(tid@c)`
+    /// records that the clock with that id is thread `tid`'s *first* value
+    /// at own-time `c` (a post-tick snapshot), which licenses the O(1)
+    /// happens-before test `clock ⊑ W ⟺ c ≤ W[tid]` (see
+    /// [`Epoch`]). `None` marks ids first interned at non-snapshot points
+    /// (e.g. post-join merges) — queries on those fall back to the full
+    /// comparison.
+    pub epochs: Vec<Option<Epoch>>,
+    /// `false` when the replay observed an event sequence that breaks the
+    /// epoch soundness invariants — a `ThreadCreate` re-seating a child
+    /// whose clock was not dominated, which makes a thread's clock history
+    /// non-monotone. Only reachable through unvalidated input (strict
+    /// validation rejects double creates and quarantine drops them); when
+    /// unset, every epoch query must use full clocks.
+    pub epoch_sound: bool,
     /// Simulation counters.
     pub stats: SimStats,
+}
+
+impl AccessSet {
+    /// The epoch stand-in for interned clock `vc`, or `None` when the id
+    /// has no recorded snapshot epoch or the whole run was demoted.
+    #[inline]
+    pub fn epoch_of(&self, vc: VcId) -> Option<Epoch> {
+        if !self.epoch_sound {
+            return None;
+        }
+        self.epochs.get(vc.id() as usize).copied().flatten()
+    }
 }
 
 /// Per-thread simulation state.
@@ -292,8 +320,8 @@ pub fn simulate_view(view: TraceView<'_>, cfg: &SimConfig) -> AccessSet {
         cfg.clone(),
         LockReplay::Timelines { timelines, cursors },
     );
-    for ev in view.events {
-        core.step(ev);
+    for ev in view.events.iter() {
+        core.step(&ev);
     }
     core.finalize()
 }
@@ -363,16 +391,21 @@ struct SimCore {
     filter_pm: bool,
     replay: LockReplay,
     threads: Vec<ThreadState>,
-    /// Open store pieces, indexed by cache line.
-    lines: HashMap<LineId, Vec<OpenPiece>>,
+    /// Open store pieces, indexed by cache line. Probe-only hash use
+    /// (drains are explicitly sorted), so the fast deterministic hasher
+    /// is safe.
+    lines: FxHashMap<LineId, Vec<OpenPiece>>,
     /// For each thread, the lines that may hold pieces pending on its
     /// fence. An ordered set: a fence closes windows on every watched line
     /// in one step, and the push order of those windows must not depend on
     /// hash-iteration order or two simulator instances would disagree.
-    fence_watch: HashMap<ThreadId, BTreeSet<LineId>>,
+    fence_watch: FxHashMap<ThreadId, BTreeSet<LineId>>,
     publication: PublicationTracker,
     locksets: Interner<Lockset>,
     vclocks: Interner<VectorClock>,
+    /// Snapshot epochs per interned clock id (see [`AccessSet::epochs`]).
+    vc_epochs: Vec<Option<Epoch>>,
+    epoch_sound: bool,
     windows: Vec<StoreWindow>,
     loads: Vec<LoadAccess>,
     stats: SimStats,
@@ -399,20 +432,50 @@ impl SimCore {
             })
             .collect();
         let filter_pm = !regions.is_empty();
-        Self {
+        let mut core = Self {
             cfg,
             regions,
             filter_pm,
             replay,
             threads,
-            lines: HashMap::new(),
-            fence_watch: HashMap::new(),
+            lines: FxHashMap::default(),
+            fence_watch: FxHashMap::default(),
             publication: PublicationTracker::new(),
             locksets,
             vclocks,
+            vc_epochs: Vec::new(),
+            epoch_sound: true,
             windows: Vec::new(),
             loads: Vec::new(),
             stats: SimStats::default(),
+        };
+        // The zero clock is trivially its own snapshot: zero ⊑ anything and
+        // `0 ≤ W[t]` always, so any owner works.
+        core.note_snapshot(zero_vc, ThreadId::MAIN);
+        core
+    }
+
+    /// Records that the clock interned as `id` is thread `tid`'s first value
+    /// at its current own-time (a post-tick snapshot) — the condition under
+    /// which the [`Epoch`] fast path is sound for that id. First recording
+    /// wins; the replay is sequential, so this is deterministic.
+    fn note_snapshot(&mut self, id: VcId, tid: ThreadId) {
+        let i = id.id() as usize;
+        if self.vc_epochs.len() <= i {
+            self.vc_epochs.resize(i + 1, None);
+        }
+        if self.vc_epochs[i].is_none() {
+            self.vc_epochs[i] = Some(Epoch::of(tid, self.vclocks.get(id)));
+        }
+    }
+
+    /// Registers an id interned at a non-snapshot point (post-join merge):
+    /// the table slot exists but stays `None` unless some later snapshot
+    /// interning re-derives the same clock value.
+    fn note_opaque(&mut self, id: VcId) {
+        let i = id.id() as usize;
+        if self.vc_epochs.len() <= i {
+            self.vc_epochs.resize(i + 1, None);
         }
     }
 
@@ -499,21 +562,48 @@ impl SimCore {
                 let mut child_vc = self.threads[parent].vc.clone();
                 child_vc.tick(*child);
                 let parent_vc = self.threads[parent].vc.clone();
-                self.threads[parent].vc_id = self.vclocks.intern(parent_vc);
+                let parent_id = self.vclocks.intern(parent_vc);
+                self.threads[parent].vc_id = parent_id;
                 self.threads[parent].needs_tick = true;
+                // Parent just ticked: snapshot.
+                self.note_snapshot(parent_id, ev.tid);
+                // Re-seating the child clock is only epoch-sound when the
+                // child is fresh (or at least dominated, with its own-time
+                // strictly advancing): otherwise the child's clock history
+                // stops being monotone and every previously recorded epoch
+                // for it becomes a lie. Only unvalidated traces can get
+                // here (strict validation rejects double creates and the
+                // quarantine drops them); demote the whole run to full
+                // clock comparisons when it happens.
                 let c = &mut self.threads[child.index()];
+                let old_ok = matches!(
+                    c.vc.compare(&child_vc),
+                    ClockOrder::Before | ClockOrder::Equal
+                ) && c.vc.get(*child) < child_vc.get(*child);
+                if !old_ok {
+                    self.epoch_sound = false;
+                }
                 c.vc = child_vc;
                 let cvc = c.vc.clone();
-                self.threads[child.index()].vc_id = self.vclocks.intern(cvc);
+                let child_id = self.vclocks.intern(cvc);
+                self.threads[child.index()].vc_id = child_id;
                 self.threads[child.index()].needs_tick = true;
+                // Child ticked onto a fresh own-time: snapshot.
+                self.note_snapshot(child_id, *child);
             }
             EventKind::ThreadJoin { child } => {
                 let child_vc = self.threads[child.index()].vc.clone();
                 let w = &mut self.threads[ev.tid.index()];
                 w.vc.merge(&child_vc);
                 let wvc = w.vc.clone();
-                self.threads[ev.tid.index()].vc_id = self.vclocks.intern(wvc);
+                let wid = self.vclocks.intern(wvc);
+                self.threads[ev.tid.index()].vc_id = wid;
                 self.threads[ev.tid.index()].needs_tick = true;
+                // The merge grew the clock *without* ticking: the joiner
+                // already had a value at this own-time, so this one is not
+                // a snapshot — no epoch unless the value independently is
+                // one.
+                self.note_opaque(wid);
             }
         }
         if self.stats.events.is_multiple_of(MEMORY_CHECK_INTERVAL) {
@@ -602,11 +692,14 @@ impl SimCore {
         self.stats.distinct_vclocks = self.vclocks.len() as u64;
         self.stats.intern_requests = self.locksets.requests() + self.vclocks.requests();
         self.stats.tracked_words = self.publication.tracked_words() as u64;
+        self.vc_epochs.resize(self.vclocks.len(), None);
         AccessSet {
             windows: self.windows,
             loads: self.loads,
             locksets: self.locksets,
             vclocks: self.vclocks,
+            epochs: self.vc_epochs,
+            epoch_sound: self.epoch_sound,
             stats: self.stats,
         }
     }
@@ -633,7 +726,11 @@ impl SimCore {
             t.vc.tick(tid);
             t.needs_tick = false;
             let vc = t.vc.clone();
-            self.threads[tid.index()].vc_id = self.vclocks.intern(vc);
+            let id = self.vclocks.intern(vc);
+            self.threads[tid.index()].vc_id = id;
+            // The tick just moved `tid` to a fresh own-time: this is the
+            // first (minimal) value the thread has there, i.e. a snapshot.
+            self.note_snapshot(id, tid);
         }
     }
 
@@ -1340,8 +1437,8 @@ mod tests {
     fn assert_stream_matches_batch(trace: &Trace, cfg: &SimConfig) {
         let batch = simulate(trace, cfg);
         let mut s = StreamSimulator::new(trace.thread_count, trace.regions.clone(), cfg);
-        for ev in &trace.events {
-            s.step(ev);
+        for ev in trace.events.iter() {
+            s.step(&ev);
         }
         let stream = s.finish();
         assert_eq!(batch.windows, stream.windows);

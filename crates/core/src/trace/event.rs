@@ -75,7 +75,7 @@ pub enum LockMode {
 pub type StackId = u32;
 
 /// A single event observed by the instrumentation layer.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Event {
     /// Position in the global observation order (dense, starting at 0).
     pub seq: u64,
@@ -88,7 +88,7 @@ pub struct Event {
 }
 
 /// The payload of an [`Event`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
     /// A store to PM.
     Store {

@@ -16,7 +16,7 @@
 //! events:   count, then (tag u8, tid, stack, fields...) varints
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use super::event::{Event, EventKind, LockId, LockMode, ThreadId};
 use super::stack::Frame;
@@ -94,14 +94,58 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+/// A zero-copy decode cursor: a borrowed byte slice plus a position.
+///
+/// Decoding reads directly out of the caller's buffer (a mapped file, a
+/// stream window, a test vector) — nothing is copied until a value must be
+/// owned (interned strings). The position doubles as the loss-accounting
+/// offset: a failed partial decode is undone by discarding the cursor.
+#[derive(Clone, Copy)]
+pub(crate) struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    /// A cursor at the start of `buf`.
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Borrows the next `len` bytes without copying.
+    fn take(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(len).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+pub(crate) fn get_varint(buf: &mut Cur<'_>) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() {
-            return Err(DecodeError::Truncated);
-        }
-        let byte = buf.get_u8();
+        let byte = buf.get_u8()?;
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
@@ -128,13 +172,15 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, DecodeError> {
+/// Borrows a length-prefixed string out of the buffer. The `&str` points
+/// into the caller's bytes; it is only copied where an owned `String` is
+/// interned (region paths, frame tables).
+fn get_str<'a>(buf: &mut Cur<'a>) -> Result<&'a str, DecodeError> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return Err(DecodeError::Truncated);
     }
-    let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadString)
+    std::str::from_utf8(buf.take(len)?).map_err(|_| DecodeError::BadString)
 }
 
 /// Serializes a trace to its binary representation.
@@ -185,23 +231,23 @@ pub fn encode(trace: &Trace) -> Bytes {
     }
 
     put_varint(&mut buf, trace.events.len() as u64);
-    for ev in &trace.events {
-        let (tag, flags) = match &ev.kind {
+    for ev in trace.events.iter() {
+        let (tag, flags) = match ev.kind {
             EventKind::Store {
                 non_temporal,
                 atomic,
                 ..
             } => {
                 let mut fl = 0u8;
-                if *non_temporal {
+                if non_temporal {
                     fl |= STORE_FLAG_NT;
                 }
-                if *atomic {
+                if atomic {
                     fl |= STORE_FLAG_ATOMIC;
                 }
                 (TAG_STORE, fl)
             }
-            EventKind::Load { atomic, .. } => (TAG_LOAD, u8::from(*atomic)),
+            EventKind::Load { atomic, .. } => (TAG_LOAD, u8::from(atomic)),
             EventKind::Flush { .. } => (TAG_FLUSH, 0),
             EventKind::Fence => (TAG_FENCE, 0),
             EventKind::Acquire {
@@ -220,12 +266,12 @@ pub fn encode(trace: &Trace) -> Bytes {
         buf.put_u8(flags);
         put_varint(&mut buf, u64::from(ev.tid.0));
         put_varint(&mut buf, u64::from(ev.stack));
-        match &ev.kind {
+        match ev.kind {
             EventKind::Store { range, .. } | EventKind::Load { range, .. } => {
                 put_varint(&mut buf, range.start);
                 put_varint(&mut buf, u64::from(range.len));
             }
-            EventKind::Flush { addr } => put_varint(&mut buf, *addr),
+            EventKind::Flush { addr } => put_varint(&mut buf, addr),
             EventKind::Fence => {}
             EventKind::Acquire { lock, .. } | EventKind::Release { lock } => {
                 put_varint(&mut buf, lock.0)
@@ -277,7 +323,10 @@ impl Salvage {
 
 /// Deserializes a trace from its binary representation, rejecting any
 /// corruption. See [`decode_lossy`] for the degraded-mode alternative.
-pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
+///
+/// The buffer is borrowed, never copied: pass a mapped file, a `Bytes`
+/// window (`&bytes`), or any byte slice.
+pub fn decode(buf: &[u8]) -> Result<Trace, DecodeError> {
     let salvage = decode_lossy(buf)?;
     match salvage.reason {
         Some(e) => Err(e),
@@ -299,9 +348,10 @@ pub fn decode(buf: Bytes) -> Result<Trace, DecodeError> {
 /// resolvable, every `tid` and child id below `thread_count`. *Semantic*
 /// invariants (creation order, lock balance) are NOT guaranteed — run
 /// [`Trace::validate`] or analyze leniently.
-pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
-    let total = buf.remaining();
-    let tables = decode_tables(&mut buf)?;
+pub fn decode_lossy(buf: &[u8]) -> Result<Salvage, DecodeError> {
+    let total = buf.len();
+    let mut cur = Cur::new(buf);
+    let tables = decode_tables(&mut cur)?;
     let DecodedTables {
         mut trace,
         stack_map,
@@ -312,8 +362,8 @@ pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
     let mut dropped_events = 0;
     let mut dropped_bytes = 0;
     for seq in 0..event_count {
-        let before = buf.remaining();
-        match decode_event(&mut buf, seq, trace.thread_count, &stack_map) {
+        let before = cur.remaining();
+        match decode_event(&mut cur, seq, trace.thread_count, &stack_map) {
             Ok(ev) => trace.events.push(ev),
             Err(e) => {
                 reason = Some(e);
@@ -326,7 +376,7 @@ pub fn decode_lossy(mut buf: Bytes) -> Result<Salvage, DecodeError> {
     if reason.is_none() {
         // Trailing bytes past the declared events are corruption too, but a
         // kind that costs no events.
-        dropped_bytes = buf.remaining();
+        dropped_bytes = cur.remaining();
     }
     Ok(Salvage {
         trace,
@@ -352,16 +402,14 @@ pub(crate) struct DecodedTables {
 /// stacks) plus the declared event count, leaving `buf` positioned at the
 /// first event. Any corruption here is fatal — without the tables no event
 /// is interpretable.
-pub(crate) fn decode_tables(buf: &mut Bytes) -> Result<DecodedTables, DecodeError> {
+pub(crate) fn decode_tables(buf: &mut Cur<'_>) -> Result<DecodedTables, DecodeError> {
     if buf.remaining() < 5 {
         return Err(DecodeError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if buf.take(4)? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = buf.get_u8();
+    let version = buf.get_u8()?;
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
@@ -376,19 +424,22 @@ pub(crate) fn decode_tables(buf: &mut Bytes) -> Result<DecodedTables, DecodeErro
     for _ in 0..region_count {
         let base = get_varint(buf)?;
         let len = get_varint(buf)?;
-        let path = get_str(buf)?;
+        let path = get_str(buf)?.to_owned();
         trace.regions.push(PmRegion { base, len, path });
     }
 
+    // The string pool stays borrowed: each entry is copied into an owned
+    // `String` only once, at frame-interning time below.
     let string_count = get_varint(buf)?;
-    let mut strings = Vec::with_capacity(checked_count(string_count, buf.remaining(), "string")?);
+    let mut strings: Vec<&str> =
+        Vec::with_capacity(checked_count(string_count, buf.remaining(), "string")?);
     for _ in 0..string_count {
         strings.push(get_str(buf)?);
     }
     let lookup = |id: u64| {
         strings
             .get(id as usize)
-            .cloned()
+            .copied()
             .ok_or(DecodeError::BadIndex)
     };
 
@@ -396,8 +447,8 @@ pub(crate) fn decode_tables(buf: &mut Bytes) -> Result<DecodedTables, DecodeErro
     let mut stacks = super::stack::StackTable::new();
     let mut frame_map = Vec::with_capacity(checked_count(frame_count, buf.remaining(), "frame")?);
     for _ in 0..frame_count {
-        let function = lookup(get_varint(buf)?)?;
-        let file = lookup(get_varint(buf)?)?;
+        let function = lookup(get_varint(buf)?)?.to_owned();
+        let file = lookup(get_varint(buf)?)?.to_owned();
         let line = get_varint(buf)? as u32;
         frame_map.push(stacks.intern_frame(Frame {
             function,
@@ -432,6 +483,11 @@ pub const DEFAULT_MAX_FILE_BYTES: u64 = 1 << 30;
 
 /// Reads and decodes a trace file, with a size ceiling.
 ///
+/// On Unix the file is memory-mapped read-only and decoded in place — the
+/// only heap the decode touches is the trace's own tables and event
+/// columns, never a copy of the raw bytes. Platforms (or exotic files)
+/// where mapping fails fall back to a buffered read.
+///
 /// The three failure families map onto the [`HawkSetError`] taxonomy:
 /// unreadable file → `Io`, file larger than `max_bytes` (default
 /// [`DEFAULT_MAX_FILE_BYTES`]) → `Resource`, ill-formed bytes → `Decode`.
@@ -440,7 +496,8 @@ pub fn load_file(
     max_bytes: Option<u64>,
 ) -> Result<Trace, crate::error::HawkSetError> {
     let limit = max_bytes.unwrap_or(DEFAULT_MAX_FILE_BYTES);
-    let meta = std::fs::metadata(path)?;
+    let file = std::fs::File::open(path)?;
+    let meta = file.metadata()?;
     if meta.len() > limit {
         return Err(crate::error::ResourceError {
             what: "trace file size",
@@ -449,12 +506,88 @@ pub fn load_file(
         }
         .into());
     }
+    #[cfg(unix)]
+    if let Some(map) = mmap::Mmap::map(&file, meta.len() as usize) {
+        return Ok(decode(map.as_slice())?);
+    }
     let raw = std::fs::read(path)?;
-    Ok(decode(Bytes::from(raw))?)
+    Ok(decode(&raw)?)
+}
+
+/// Minimal read-only memory mapping, bound directly to the platform's
+/// `mmap`/`munmap` (no external crate). Mapping failure is never an error —
+/// callers fall back to a buffered read.
+#[cfg(unix)]
+mod mmap {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// An owned read-only mapping of a whole file.
+    pub(super) struct Mmap {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    impl Mmap {
+        /// Maps `len` bytes of `file` read-only, or `None` if the platform
+        /// refuses (zero-length files cannot be mapped, pipes have no pages).
+        pub(super) fn map(file: &File, len: usize) -> Option<Self> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                return None;
+            }
+            Some(Self { ptr, len })
+        }
+
+        /// The mapped bytes. Valid for the lifetime of the mapping: the
+        /// pages are private (copy-on-write), so later file writers cannot
+        /// shrink or invalidate them mid-decode on any OS we target —
+        /// though, as with any map, truncation by another process is
+        /// outside Rust's memory model. The decoder treats the contents as
+        /// untrusted bytes regardless.
+        pub(super) fn as_slice(&self) -> &[u8] {
+            unsafe { core::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
 }
 
 pub(crate) fn decode_event(
-    buf: &mut Bytes,
+    buf: &mut Cur<'_>,
     seq: u64,
     thread_count: u32,
     stack_map: &[u32],
@@ -462,8 +595,8 @@ pub(crate) fn decode_event(
     if buf.remaining() < 2 {
         return Err(DecodeError::Truncated);
     }
-    let tag = buf.get_u8();
-    let flags = buf.get_u8();
+    let tag = buf.get_u8()?;
+    let flags = buf.get_u8()?;
     let tid_raw = get_varint(buf)?;
     if tid_raw >= u64::from(thread_count) {
         return Err(DecodeError::BadIndex);
@@ -604,7 +737,7 @@ mod tests {
     fn roundtrip_preserves_everything() {
         let t = sample_trace();
         let bytes = encode(&t);
-        let back = decode(bytes).unwrap();
+        let back = decode(bytes.as_ref()).unwrap();
         assert_eq!(back.thread_count, t.thread_count);
         assert_eq!(back.regions, t.regions);
         assert_eq!(back.events, t.events);
@@ -619,7 +752,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let res = decode(Bytes::from_static(b"NOPE\x01\x00"));
+        let res = decode(b"NOPE\x01\x00");
         assert_eq!(res.unwrap_err(), DecodeError::BadMagic);
     }
 
@@ -627,10 +760,7 @@ mod tests {
     fn rejects_bad_version() {
         let mut raw = encode(&sample_trace()).to_vec();
         raw[4] = 99;
-        assert_eq!(
-            decode(Bytes::from(raw)).unwrap_err(),
-            DecodeError::BadVersion(99)
-        );
+        assert_eq!(decode(&raw).unwrap_err(), DecodeError::BadVersion(99));
     }
 
     #[test]
@@ -639,16 +769,17 @@ mod tests {
         // Chop the buffer at every prefix length; none may panic, all must
         // return an error (or, for the full buffer, succeed).
         for cut in 0..raw.len() {
-            let res = decode(Bytes::from(raw[..cut].to_vec()));
+            let res = decode(&raw[..cut]);
             assert!(res.is_err(), "decode succeeded on a {cut}-byte prefix");
         }
-        assert!(decode(Bytes::from(raw)).is_ok());
+        assert!(decode(&raw).is_ok());
     }
 
     #[test]
     fn varint_overflow_is_its_own_error() {
         // Eleven continuation bytes: more than 64 bits of payload.
-        let mut b = Bytes::from(vec![0xffu8; 11]);
+        let raw = vec![0xffu8; 11];
+        let mut b = Cur::new(&raw);
         assert_eq!(get_varint(&mut b).unwrap_err(), DecodeError::VarintOverflow);
     }
 
@@ -659,7 +790,7 @@ mod tests {
         buf.put_u8(VERSION);
         put_varint(&mut buf, u64::from(MAX_THREADS) + 1);
         assert_eq!(
-            decode(buf.freeze()).unwrap_err(),
+            decode(buf.freeze().as_ref()).unwrap_err(),
             DecodeError::LimitExceeded("thread")
         );
     }
@@ -674,7 +805,7 @@ mod tests {
         put_varint(&mut buf, 0); // regions
         put_varint(&mut buf, 1 << 40); // strings: bomb
         assert_eq!(
-            decode(buf.freeze()).unwrap_err(),
+            decode(buf.freeze().as_ref()).unwrap_err(),
             DecodeError::LimitExceeded("string")
         );
     }
@@ -689,7 +820,7 @@ mod tests {
         // stack=0 — the tid byte is second from the end.
         let tid_at = bad.len() - 2;
         bad[tid_at] = 9; // tid 9 >= thread_count 1
-        assert_eq!(decode(Bytes::from(bad)).unwrap_err(), DecodeError::BadIndex);
+        assert_eq!(decode(&bad).unwrap_err(), DecodeError::BadIndex);
     }
 
     #[test]
@@ -697,7 +828,7 @@ mod tests {
         let t = sample_trace();
         let raw = encode(&t);
         let total = raw.len();
-        let salvage = decode_lossy(raw).unwrap();
+        let salvage = decode_lossy(&raw).unwrap();
         assert!(salvage.is_complete());
         assert_eq!(salvage.dropped_bytes, 0);
         assert_eq!(salvage.dropped_events, 0);
@@ -712,7 +843,7 @@ mod tests {
         let raw = encode(&t).to_vec();
         // Cut 3 bytes before the end: inside the last event.
         let cut = raw.len() - 3;
-        let salvage = decode_lossy(Bytes::from(raw[..cut].to_vec())).unwrap();
+        let salvage = decode_lossy(&raw[..cut]).unwrap();
         assert!(!salvage.trace.events.is_empty());
         assert!(salvage.trace.events.len() < t.events.len());
         assert!(salvage.dropped_events > 0);
@@ -720,7 +851,7 @@ mod tests {
         // Offsets partition the buffer: valid prefix + skipped region.
         assert_eq!(salvage.valid_bytes + salvage.dropped_bytes, cut);
         // The salvaged prefix matches the original event-for-event.
-        for (a, b) in salvage.trace.events.iter().zip(&t.events) {
+        for (a, b) in salvage.trace.events.iter().zip(t.events.iter()) {
             assert_eq!(a, b);
         }
     }
@@ -732,7 +863,7 @@ mod tests {
         // keyed on the offset can resume from the corruption boundary.
         let t = sample_trace();
         let raw = encode(&t).to_vec();
-        let salvage_clean = decode_lossy(Bytes::from(raw.clone())).unwrap();
+        let salvage_clean = decode_lossy(&raw).unwrap();
         assert_eq!(salvage_clean.valid_bytes, raw.len());
 
         let mut bad = raw.clone();
@@ -740,7 +871,7 @@ mod tests {
         // event is tag, flags, tid, stack, child = 5 bytes here).
         let tag_at = bad.len() - 5;
         bad[tag_at] = 0x7f;
-        let salvage = decode_lossy(Bytes::from(bad)).unwrap();
+        let salvage = decode_lossy(&bad).unwrap();
         assert_eq!(salvage.reason, Some(DecodeError::BadTag(0x7f)));
         assert_eq!(salvage.dropped_events, 1);
         assert_eq!(salvage.valid_bytes, tag_at);
@@ -757,22 +888,16 @@ mod tests {
         // Destroy the magic: nothing is salvageable.
         let mut bad = raw.clone();
         bad[0] = b'X';
-        assert_eq!(
-            decode_lossy(Bytes::from(bad)).unwrap_err(),
-            DecodeError::BadMagic
-        );
+        assert_eq!(decode_lossy(&bad).unwrap_err(), DecodeError::BadMagic);
     }
 
     #[test]
     fn decode_rejects_trailing_garbage() {
         let mut raw = encode(&sample_trace()).to_vec();
         raw.extend_from_slice(b"junk");
-        assert_eq!(
-            decode(Bytes::from(raw.clone())).unwrap_err(),
-            DecodeError::Truncated
-        );
+        assert_eq!(decode(&raw).unwrap_err(), DecodeError::Truncated);
         // The lossy path still recovers the full trace.
-        let salvage = decode_lossy(Bytes::from(raw)).unwrap();
+        let salvage = decode_lossy(&raw).unwrap();
         assert_eq!(salvage.dropped_events, 0);
         assert_eq!(salvage.dropped_bytes, 4);
         assert!(salvage.reason.is_none());
@@ -783,9 +908,10 @@ mod tests {
         for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
             let mut buf = BytesMut::new();
             put_varint(&mut buf, v);
-            let mut b = buf.freeze();
+            let raw = buf.freeze();
+            let mut b = Cur::new(raw.as_ref());
             assert_eq!(get_varint(&mut b).unwrap(), v);
-            assert!(!b.has_remaining());
+            assert_eq!(b.remaining(), 0);
         }
     }
 }

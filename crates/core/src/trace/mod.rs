@@ -1,5 +1,6 @@
 //! Execution traces: the interface between instrumentation and analysis.
 
+pub mod columns;
 pub mod event;
 pub mod io;
 pub mod stack;
@@ -8,6 +9,7 @@ pub mod validate;
 
 use serde::{Deserialize, Serialize};
 
+pub use columns::{EventColumns, EventsView};
 pub use event::{Event, EventKind, LockId, LockMode, StackId, ThreadId};
 pub use stack::{Frame, FrameId, StackTable, EMPTY_STACK};
 
@@ -165,8 +167,8 @@ impl PmRegion {
 /// it describes).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
-    /// All events, sorted by `seq`.
-    pub events: Vec<Event>,
+    /// All events, sorted by `seq`, stored column-wise ([`EventColumns`]).
+    pub events: EventColumns,
     /// Interned call stacks referenced by the events.
     pub stacks: StackTable,
     /// Registered PM mappings.
@@ -179,7 +181,7 @@ impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
         Self {
-            events: Vec::new(),
+            events: EventColumns::new(),
             stacks: StackTable::new(),
             regions: Vec::new(),
             thread_count: 1,
@@ -191,8 +193,8 @@ impl Trace {
         self.regions.iter().any(|r| r.contains(range))
     }
 
-    /// Iterates over events in observation order.
-    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+    /// Iterates over events in observation order, materialized by value.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Event> + '_ {
         self.events.iter()
     }
 
@@ -280,7 +282,7 @@ impl Trace {
                 _ => {}
             }
         }
-        for ev in &self.events {
+        for ev in self.events.iter() {
             if let EventKind::ThreadJoin { child } = ev.kind {
                 if let Some(last) = last_event[child.index()] {
                     if last > ev.seq {
@@ -298,7 +300,7 @@ impl Trace {
 
     /// Approximate heap footprint in bytes, for the Figure 6 cost study.
     pub fn approx_bytes(&self) -> usize {
-        self.events.len() * std::mem::size_of::<Event>() + self.stacks.approx_bytes()
+        self.events.approx_bytes() + self.stacks.approx_bytes()
     }
 }
 
@@ -314,8 +316,9 @@ impl Trace {
 /// [`AnalysisBudget::max_events`]: crate::analysis::AnalysisBudget::max_events
 #[derive(Clone, Copy, Debug)]
 pub struct TraceView<'a> {
-    /// The (possibly truncated) event stream, sorted by `seq`.
-    pub events: &'a [Event],
+    /// The (possibly truncated) event stream, sorted by `seq`, viewed
+    /// column-wise.
+    pub events: EventsView<'a>,
     /// Interned call stacks referenced by the events.
     pub stacks: &'a StackTable,
     /// Registered PM mappings.
@@ -328,7 +331,7 @@ impl<'a> TraceView<'a> {
     /// A view of the whole trace.
     pub fn full(trace: &'a Trace) -> Self {
         Self {
-            events: &trace.events,
+            events: trace.events.view(),
             stacks: &trace.stacks,
             regions: &trace.regions,
             thread_count: trace.thread_count,
@@ -338,7 +341,7 @@ impl<'a> TraceView<'a> {
     /// A view of the first `max_events` events (the whole trace if shorter).
     pub fn prefix(trace: &'a Trace, max_events: usize) -> Self {
         Self {
-            events: &trace.events[..max_events.min(trace.events.len())],
+            events: trace.events.prefix(max_events),
             ..Self::full(trace)
         }
     }
@@ -520,7 +523,7 @@ mod tests {
         let full = b.finish();
         assert_eq!(snap.events.len(), 1);
         assert_eq!(full.events.len(), 2);
-        assert_eq!(snap.events[0], full.events[0]);
+        assert_eq!(snap.events.get(0), full.events.get(0));
         assert!(snap.validate().is_ok());
     }
 

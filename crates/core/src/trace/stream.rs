@@ -91,8 +91,9 @@ impl StreamLoss {
 pub struct StreamDecoder<R> {
     reader: R,
     opts: StreamOptions,
-    /// Undecoded window of the stream. `Bytes` so a failed partial decode
-    /// is undone by dropping the attempted cursor, not by re-copying.
+    /// Undecoded window of the stream. Decode attempts run a borrowed
+    /// [`io::Cur`] over it; only a *successful* parse advances the window,
+    /// so a partial decode at the chunk boundary is undone for free.
     buf: Bytes,
     eof: bool,
     total_read: u64,
@@ -129,12 +130,14 @@ impl<R: Read> StreamDecoder<R> {
         // the tables span many chunks.
         let mut want = s.opts.chunk_bytes;
         loop {
-            let mut attempt = s.buf.clone();
-            match io::decode_tables(&mut attempt) {
+            let (res, used) = {
+                let mut cur = io::Cur::new(&s.buf);
+                (io::decode_tables(&mut cur), cur.pos())
+            };
+            match res {
                 Ok(tables) => {
-                    let used = s.buf.remaining() - attempt.remaining();
                     s.offset += used as u64;
-                    s.buf = attempt;
+                    s.buf.advance(used);
                     s.header = tables.trace;
                     s.stack_map = tables.stack_map;
                     s.event_count = tables.event_count;
@@ -195,17 +198,22 @@ impl<R: Read> StreamDecoder<R> {
             if self.next_seq >= self.event_count {
                 return self.finish_events();
             }
-            let mut attempt = self.buf.clone();
-            match io::decode_event(
-                &mut attempt,
-                self.next_seq,
-                self.header.thread_count,
-                &self.stack_map,
-            ) {
+            let (res, used) = {
+                let mut cur = io::Cur::new(&self.buf);
+                (
+                    io::decode_event(
+                        &mut cur,
+                        self.next_seq,
+                        self.header.thread_count,
+                        &self.stack_map,
+                    ),
+                    cur.pos(),
+                )
+            };
+            match res {
                 Ok(ev) => {
-                    let used = self.buf.remaining() - attempt.remaining();
                     self.offset += used as u64;
-                    self.buf = attempt;
+                    self.buf.advance(used);
                     self.next_seq += 1;
                     return Ok(Some(ev));
                 }
@@ -324,7 +332,7 @@ impl<R: Read> StreamDecoder<R> {
             events.push(ev);
         }
         let (mut trace, loss) = self.into_parts();
-        trace.events = events;
+        trace.events = events.into();
         Ok((trace, loss))
     }
 }
@@ -430,7 +438,7 @@ mod tests {
         let raw = io::encode(&t).to_vec();
         let cut = raw.len() - 3; // inside the last event
         let short = raw[..cut].to_vec();
-        let batch = io::decode_lossy(Bytes::from(short.clone())).unwrap();
+        let batch = io::decode_lossy(&short).unwrap();
         for chunk in [1usize, 5, 1 << 16] {
             let dec =
                 StreamDecoder::new(Cursor::new(short.clone()), opts(chunk, true)).expect("tables");
@@ -451,7 +459,7 @@ mod tests {
         let mut raw = io::encode(&t).to_vec();
         let tag_at = raw.len() - 5; // final event's tag byte (ThreadJoin)
         raw[tag_at] = 0x7f;
-        let batch = io::decode_lossy(Bytes::from(raw.clone())).unwrap();
+        let batch = io::decode_lossy(&raw).unwrap();
         assert_eq!(batch.reason, Some(DecodeError::BadTag(0x7f)));
         let dec = StreamDecoder::new(Cursor::new(raw.clone()), opts(4, true)).expect("tables");
         let (back, loss) = dec.collect().unwrap();
@@ -507,9 +515,9 @@ mod tests {
     fn truncation_inside_tables_is_fatal() {
         let raw = io::encode(&sample_trace()).to_vec();
         // Find where the tables end: decode them once and measure.
-        let mut cursor = Bytes::from(raw.clone());
+        let mut cursor = io::Cur::new(&raw);
         io::decode_tables(&mut cursor).unwrap();
-        let tables_end = raw.len() - cursor.remaining();
+        let tables_end = cursor.pos();
         let cut = tables_end / 2; // mid-tables
         match StreamDecoder::new(Cursor::new(raw[..cut].to_vec()), opts(4, true)) {
             Err(HawkSetError::Decode(DecodeError::Truncated)) => {}

@@ -157,8 +157,8 @@ impl StreamValidator {
     /// Convenience: validate a whole trace through the incremental path.
     pub fn validate_trace(trace: &Trace) -> Result<(), ValidateError> {
         let mut v = Self::new(trace.thread_count, trace.stacks.stack_count());
-        for ev in &trace.events {
-            v.push(ev)?;
+        for ev in trace.events.iter() {
+            v.push(&ev)?;
         }
         v.finish()
     }

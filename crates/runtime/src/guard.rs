@@ -100,7 +100,7 @@ mod tests {
 
         let bytes = std::fs::read(&path).expect("guard must have written the trace");
         std::fs::remove_file(&path).ok();
-        let trace = io::decode(bytes.into()).expect("flushed prefix must be well-formed");
+        let trace = io::decode(&bytes).expect("flushed prefix must be well-formed");
         assert!(
             trace
                 .events
@@ -133,6 +133,9 @@ mod tests {
         pool.persist(&main, pool.base(), 8);
         let done = env.finish();
         assert!(done.events.len() > mid.events.len());
-        assert_eq!(&done.events[..mid.events.len()], &mid.events[..]);
+        assert_eq!(
+            done.events.prefix(mid.events.len()).to_vec(),
+            mid.events.to_vec()
+        );
     }
 }

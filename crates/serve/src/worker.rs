@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use hawkset_core::analysis::{AnalysisConfig, StreamRunOptions};
+use hawkset_core::analysis::AnalysisConfig;
 use hawkset_core::HawkSetError;
 
 use crate::db::RaceDb;
@@ -303,14 +303,11 @@ fn run_analysis(
     if let Some(timeout) = cfg.stage_timeout {
         builder = builder.stage_timeout(timeout);
     }
+    if let Some(limit) = cfg.max_trace_bytes {
+        builder = builder.stream_max_bytes(limit);
+    }
     let analyzer = builder.build_analyzer();
-    analyzer.try_run_stream(
-        Cursor::new(bytes.to_vec()),
-        &StreamRunOptions {
-            max_bytes: cfg.max_trace_bytes,
-            ..StreamRunOptions::default()
-        },
-    )
+    analyzer.try_run_stream(Cursor::new(bytes.to_vec()))
 }
 
 /// Merges the report into the database and checkpoints per the cadence.

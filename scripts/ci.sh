@@ -14,6 +14,17 @@ if [[ -n "${UPDATE_GOLDEN:-}" ]]; then
     exit 1
 fi
 
+# Same guard for the perf baseline: with UPDATE_BASELINE set the bench
+# ratchet would re-pin BENCH_*.json to whatever this machine measures,
+# turning the regression gate into a no-op. Regenerate locally with
+#   UPDATE_BASELINE=1 cargo run --release -p hawkset-bench --bin smoke -- --ratchet .
+# review the diff, and run CI with the variable unset.
+if [[ -n "${UPDATE_BASELINE:-}" ]]; then
+    echo "ci: refusing to run with UPDATE_BASELINE set — regenerate the bench" >&2
+    echo "ci: baseline locally, review the diff, and run CI with the variable unset" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -37,6 +48,14 @@ echo "==> bench smoke (pairing throughput, 1 vs 4 threads, fixed seed)"
 # conservation law is violated, or if a multi-core host measures less
 # than the 1.5x pairing speedup floor.
 cargo run --release -q -p hawkset-bench --bin smoke -- --threads 4 --min-speedup 1.5
+
+echo "==> bench ratchet (per-stage events/sec vs committed BENCH_*.json)"
+# Decode / memsim / IRH / pairing throughput on the fixed-seed synthetic
+# trace, best-of-3, against the committed BENCH_<stage>.json baseline:
+# any stage >20% below its pin fails. A missing pin fails on every host;
+# timing enforcement is skipped on single-core hosts, where wall-clock
+# measures scheduler contention rather than the code.
+cargo run --release -q -p hawkset-bench --bin smoke -- --ratchet .
 
 echo "==> stage watchdog (stalled shard must not hang the run)"
 # A regression here can turn the injected 5s stall into a real hang, so

@@ -131,7 +131,7 @@ fn codec_roundtrip_preserves_analysis() {
         }
     });
     let trace = env.finish();
-    let decoded = io::decode(io::encode(&trace)).expect("roundtrip");
+    let decoded = io::decode(io::encode(&trace).as_ref()).expect("roundtrip");
     let a = Analyzer::default().run(&trace);
     let b = Analyzer::default().run(&decoded);
     assert_eq!(a.races.len(), b.races.len());

@@ -39,7 +39,7 @@ use hawkset::baseline::{
 };
 use hawkset::core::addr::AddrRange;
 use hawkset::core::analysis::{
-    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, StreamRunOptions, Strictness,
+    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, Strictness,
 };
 use hawkset::core::trace::io;
 use hawkset::core::trace::{
@@ -501,8 +501,7 @@ fn analysis_cases() -> Vec<AnalysisCase> {
 fn run_case(case: &AnalysisCase, threads: usize) -> String {
     let analyzer = Analyzer::new(case.cfg.clone()).threads(threads);
     if case.salvage {
-        let salvage = io::decode_lossy(bytes::Bytes::from(case.bytes.clone()))
-            .expect("salvage case stays decodable");
+        let salvage = io::decode_lossy(&case.bytes).expect("salvage case stays decodable");
         assert!(
             salvage.dropped_events > 0,
             "{}: truncation must actually drop at least one event",
@@ -516,8 +515,7 @@ fn run_case(case: &AnalysisCase, threads: usize) -> String {
         }
         masked_json(report)
     } else {
-        let trace =
-            io::decode(bytes::Bytes::from(case.bytes.clone())).expect("golden trace decodes");
+        let trace = io::decode(&case.bytes).expect("golden trace decodes");
         let report = analyzer.try_run(&trace).expect("golden trace analyzes");
         masked_json(report)
     }
@@ -578,11 +576,9 @@ fn golden_cases_exercise_what_they_claim() {
         }
         // Re-run through the API to inspect the typed snapshot.
         let trace = if case.salvage {
-            io::decode_lossy(bytes::Bytes::from(case.bytes.clone()))
-                .expect("decodable")
-                .trace
+            io::decode_lossy(&case.bytes).expect("decodable").trace
         } else {
-            io::decode(bytes::Bytes::from(case.bytes.clone())).expect("decodable")
+            io::decode(&case.bytes).expect("decodable")
         };
         let analyzer = Analyzer::new(case.cfg.clone()).threads(1);
         let report = analyzer.try_run(&trace).expect("analyzes");
@@ -630,10 +626,7 @@ fn golden_cases_stream_bit_identical_to_batch() {
             let batch = run_case(&case, threads);
             let streamed = Analyzer::new(case.cfg.clone())
                 .threads(threads)
-                .try_run_stream(
-                    std::io::Cursor::new(case.bytes.clone()),
-                    &StreamRunOptions::default(),
-                )
+                .try_run_stream(std::io::Cursor::new(case.bytes.clone()))
                 .unwrap_or_else(|e| panic!("{}: streaming failed: {e}", case.name));
             assert_eq!(
                 masked_json(streamed),

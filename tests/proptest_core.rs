@@ -1,13 +1,12 @@
 //! Property-based tests over the core analysis data structures.
 
-use bytes::Bytes;
 use hawkset::core::addr::{AddrRange, CACHE_LINE};
 use hawkset::core::analysis::{AnalysisConfig, Analyzer};
 use hawkset::core::lockset::{LockEntry, Lockset};
 use hawkset::core::memsim::{simulate, CloseReason, SimConfig};
 use hawkset::core::trace::io;
 use hawkset::core::trace::{EventKind, Frame, LockId, LockMode, ThreadId, Trace, TraceBuilder};
-use hawkset::core::vclock::{ClockOrder, VectorClock};
+use hawkset::core::vclock::{ClockOrder, Epoch, VectorClock};
 use proptest::prelude::*;
 
 fn arb_range() -> impl Strategy<Value = AddrRange> {
@@ -97,6 +96,53 @@ proptest! {
         let mut t = a.clone();
         t.tick(ThreadId(tid));
         prop_assert!(a.happens_before(&t));
+    }
+
+    /// The epoch fast path agrees with the full `VectorClock::compare` on
+    /// arbitrary protocol-respecting interleavings.
+    ///
+    /// This replays the simulator's clock discipline in miniature: four
+    /// threads tick, exchange clocks by merge-then-tick (the vector-clock
+    /// message receive), and take a **post-tick snapshot** after every
+    /// step — exactly the snapshots for which the analysis records
+    /// [`Epoch`]s. For every recorded snapshot `V_t` and every clock `W`
+    /// the run ever produced, the O(1) verdict `Epoch::le_clock` must
+    /// equal the O(threads) verdict `V_t ⊑ W` from `compare` — both
+    /// directions, so the fast path neither invents nor misses ordering.
+    #[test]
+    fn epoch_fast_path_matches_full_clock_compare(
+        ops in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 1..96)
+    ) {
+        let mut clocks: Vec<VectorClock> = (0..4u32)
+            .map(|t| {
+                let mut c = VectorClock::new();
+                c.tick(ThreadId(t));
+                c
+            })
+            .collect();
+        let mut snapshots: Vec<(Epoch, VectorClock)> = Vec::new();
+        let mut observed: Vec<VectorClock> = clocks.clone();
+        for &(dst, src, exchange) in &ops {
+            if exchange && dst != src {
+                let from = clocks[src].clone();
+                clocks[dst].merge(&from);
+            }
+            let tid = ThreadId(dst as u32);
+            clocks[dst].tick(tid);
+            snapshots.push((Epoch::of(tid, &clocks[dst]), clocks[dst].clone()));
+            observed.push(clocks[dst].clone());
+        }
+        for (ep, snap) in &snapshots {
+            for w in &observed {
+                let full = matches!(snap.compare(w), ClockOrder::Equal | ClockOrder::Before);
+                prop_assert_eq!(
+                    ep.le_clock(w),
+                    full,
+                    "epoch {:?} disagrees with compare: snapshot {:?} vs {:?}",
+                    ep, snap, w
+                );
+            }
+        }
     }
 }
 
@@ -224,7 +270,7 @@ proptest! {
     /// Encode → decode is the identity on traces.
     #[test]
     fn trace_codec_roundtrip(trace in arb_trace()) {
-        let decoded = io::decode(io::encode(&trace)).expect("decode");
+        let decoded = io::decode(io::encode(&trace).as_ref()).expect("decode");
         prop_assert_eq!(&decoded.events, &trace.events);
         prop_assert_eq!(decoded.thread_count, trace.thread_count);
         prop_assert_eq!(&decoded.regions, &trace.regions);
@@ -242,7 +288,7 @@ proptest! {
             let i = flip % raw.len();
             raw[i] ^= 0x55;
         }
-        let _ = io::decode(Bytes::from(raw)); // must not panic
+        let _ = io::decode(&raw); // must not panic
     }
 
     /// Memory-simulation invariants hold on arbitrary traces: every window

@@ -6,7 +6,6 @@
 //! budgeted analysis panic. Truncation mid-event-stream must additionally
 //! salvage a non-empty, analyzable prefix.
 
-use bytes::Bytes;
 use hawkset::core::addr::AddrRange;
 use hawkset::core::analysis::{AnalysisBudget, AnalysisConfig, Analyzer, Strictness};
 use hawkset::core::faults::{apply, truncations, Fault, FaultRng};
@@ -140,10 +139,10 @@ fn truncation_at_every_byte_boundary_never_panics() {
     for cut in truncations(&encoded) {
         let cut_len = cut.len();
         assert!(
-            io::decode(Bytes::from(cut.clone())).is_err(),
+            io::decode(&cut).is_err(),
             "a proper prefix (len {cut_len}) must not decode cleanly"
         );
-        match io::decode_lossy(Bytes::from(cut)) {
+        match io::decode_lossy(&cut) {
             Ok(salvage) => {
                 // A truncation-salvaged prefix is semantically clean: the
                 // full strict pipeline must accept it.
@@ -186,14 +185,14 @@ fn random_corruptions_never_panic() {
             let fault = rng.fault(bytes.len());
             bytes = apply(&bytes, fault);
         }
-        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes.clone())) {
+        if let Ok(salvage) = io::decode_lossy(&bytes) {
             decoded_ok += 1;
             Analyzer::new(lenient_budgeted())
                 .try_run(&salvage.trace)
                 .expect("lenient analysis of salvaged corruption cannot fail");
         }
         // Strict decode must agree or reject — never panic.
-        let _ = io::decode(Bytes::from(bytes));
+        let _ = io::decode(&bytes);
     }
     assert!(decoded_ok > 0, "some corruptions hit the salvageable tail");
 }
@@ -206,8 +205,8 @@ proptest! {
     fn decode_arbitrary_bytes_never_panics(
         bytes in proptest::collection::vec(any::<u8>(), 0..256)
     ) {
-        let _ = io::decode(Bytes::from(bytes.clone()));
-        let _ = io::decode_lossy(Bytes::from(bytes));
+        let _ = io::decode(&bytes);
+        let _ = io::decode_lossy(&bytes);
     }
 
     /// Arbitrary bytes stitched behind a valid header prefix never panic.
@@ -220,8 +219,8 @@ proptest! {
         let keep = keep.min(encoded.len());
         let mut bytes = encoded[..keep].to_vec();
         bytes.extend_from_slice(&noise);
-        let _ = io::decode(Bytes::from(bytes.clone()));
-        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
+        let _ = io::decode(&bytes);
+        if let Ok(salvage) = io::decode_lossy(&bytes) {
             let _ = Analyzer::new(lenient_budgeted()).try_run(&salvage.trace);
         }
     }
@@ -233,8 +232,8 @@ proptest! {
         let encoded = io::encode(&rich_trace());
         let fault = FaultRng::new(seed).fault(encoded.len());
         let bytes = apply(&encoded, fault);
-        let _ = io::decode(Bytes::from(bytes.clone()));
-        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
+        let _ = io::decode(&bytes);
+        if let Ok(salvage) = io::decode_lossy(&bytes) {
             let _ = Analyzer::new(lenient_budgeted()).try_run(&salvage.trace);
         }
     }
@@ -244,7 +243,7 @@ proptest! {
 #[test]
 fn decode_lossy_roundtrip_on_clean_trace_is_complete() {
     let trace = rich_trace();
-    let salvage = io::decode_lossy(io::encode(&trace)).expect("clean trace decodes");
+    let salvage = io::decode_lossy(io::encode(&trace).as_ref()).expect("clean trace decodes");
     assert!(salvage.is_complete());
     assert_eq!(salvage.dropped_bytes, 0);
     assert_eq!(salvage.dropped_events, 0);
@@ -259,8 +258,8 @@ fn varint_bombs_at_every_offset_never_panic() {
     let encoded = io::encode(&rich_trace());
     for offset in 0..encoded.len() {
         let bytes = apply(&encoded, Fault::OverflowVarint { offset });
-        let _ = io::decode(Bytes::from(bytes.clone()));
-        if let Ok(salvage) = io::decode_lossy(Bytes::from(bytes)) {
+        let _ = io::decode(&bytes);
+        if let Ok(salvage) = io::decode_lossy(&bytes) {
             let _ = Analyzer::new(lenient_budgeted()).try_run(&salvage.trace);
         }
     }

@@ -11,7 +11,7 @@ use std::io::Cursor;
 
 use hawkset::core::addr::AddrRange;
 use hawkset::core::analysis::{
-    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, StreamRunOptions, Strictness,
+    AnalysisBudget, AnalysisConfig, AnalysisReport, Analyzer, Strictness,
 };
 use hawkset::core::faults::{apply, FaultRng, IoFaultReader, TrickleReader};
 use hawkset::core::trace::io;
@@ -101,15 +101,13 @@ fn racy_trace_ill_formed() -> Trace {
     let bad = Event {
         seq: 0,
         tid: ThreadId(0),
-        stack: t.events[0].stack,
+        stack: t.events.get(0).stack,
         kind: EventKind::Release {
             lock: LockId(0xbad),
         },
     };
     t.events.insert(t.events.len() / 2, bad);
-    for (i, ev) in t.events.iter_mut().enumerate() {
-        ev.seq = i as u64;
-    }
+    t.events.reseq();
     t
 }
 
@@ -187,7 +185,7 @@ fn trickle_reads_are_bit_identical_to_batch() {
         for trickle in 1..8usize {
             let reader = TrickleReader::new(Cursor::new(raw.clone()), trickle);
             let stream = analyzer
-                .try_run_stream(reader, &StreamRunOptions::default())
+                .try_run_stream(reader)
                 .expect("trickled stream run");
             assert_identical(
                 &batch,
@@ -210,8 +208,8 @@ fn io_fault_at_every_cut_matches_lossy_prefix() {
     let mut salvaged_ok = 0usize;
     for fail_at in 0..=raw.len() {
         let reader = IoFaultReader::new(Cursor::new(raw.clone()), fail_at as u64);
-        let streamed = lenient.try_run_stream(reader, &StreamRunOptions::default());
-        let batched = io::decode_lossy(bytes::Bytes::from(raw[..fail_at].to_vec()))
+        let streamed = lenient.try_run_stream(reader);
+        let batched = io::decode_lossy(&raw[..fail_at])
             .map(|salvage| lenient.try_run(&salvage.trace).expect("batch of salvage"));
         match (streamed, batched) {
             (Ok(s), Ok(b)) => {
@@ -243,7 +241,7 @@ fn io_fault_in_strict_mode_is_a_clean_error() {
     // would otherwise observe EOF.
     for fail_at in 0..=raw.len() {
         let reader = IoFaultReader::new(Cursor::new(raw.clone()), fail_at as u64);
-        let got = strict.try_run_stream(reader, &StreamRunOptions::default());
+        let got = strict.try_run_stream(reader);
         assert!(
             got.is_err(),
             "strict stream must reject a reader that died at byte {fail_at}/{}",
@@ -254,7 +252,7 @@ fn io_fault_in_strict_mode_is_a_clean_error() {
     // zero-read observes EOF first.
     let reader = IoFaultReader::new(Cursor::new(raw.clone()), raw.len() as u64 + 1);
     let full = strict
-        .try_run_stream(reader, &StreamRunOptions::default())
+        .try_run_stream(reader)
         .expect("fault after the last byte is unreachable");
     assert_identical(
         &strict.try_run(&trace).expect("batch"),
@@ -276,13 +274,12 @@ proptest! {
         let trace = if strict { racy_trace() } else { racy_trace_ill_formed() };
         let strictness = if strict { Strictness::Strict } else { Strictness::Lenient };
         let raw = io::encode(&trace).to_vec();
-        let analyzer = Analyzer::new(config(strictness, threads));
+        let mut cfg = config(strictness, threads);
+        cfg.stream.chunk_bytes = chunk;
+        let analyzer = Analyzer::new(cfg);
         let batch = analyzer.try_run(&trace).expect("batch run");
         let stream = analyzer
-            .try_run_stream(
-                Cursor::new(raw),
-                &StreamRunOptions { chunk_bytes: chunk, ..Default::default() },
-            )
+            .try_run_stream(Cursor::new(raw))
             .expect("streamed run");
         assert_identical(&batch, &stream, &format!("chunk {chunk} t{threads}"));
     }
@@ -299,12 +296,11 @@ proptest! {
             let fault = rng.fault(bytes.len());
             bytes = apply(&bytes, fault);
         }
-        let lenient = Analyzer::new(config(Strictness::Lenient, 2));
-        let streamed = lenient.try_run_stream(
-            Cursor::new(bytes.clone()),
-            &StreamRunOptions { chunk_bytes: 1 + (seed % 96) as usize, ..Default::default() },
-        );
-        let batched = io::decode_lossy(bytes::Bytes::from(bytes))
+        let mut cfg = config(Strictness::Lenient, 2);
+        cfg.stream.chunk_bytes = 1 + (seed % 96) as usize;
+        let lenient = Analyzer::new(cfg);
+        let streamed = lenient.try_run_stream(Cursor::new(bytes.clone()));
+        let batched = io::decode_lossy(&bytes)
             .map(|salvage| lenient.try_run(&salvage.trace).expect("batch of salvage"));
         match (streamed, batched) {
             (Ok(s), Ok(b)) => assert_same_analysis(&b, &s, &format!("seed {seed:#x}")),
@@ -331,7 +327,7 @@ proptest! {
             IoFaultReader::new(Cursor::new(raw), fail_at),
             trickle,
         );
-        if let Ok(report) = lenient.try_run_stream(reader, &StreamRunOptions::default()) {
+        if let Ok(report) = lenient.try_run_stream(reader) {
             prop_assert!(report
                 .metrics
                 .as_ref()
