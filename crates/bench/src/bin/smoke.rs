@@ -18,7 +18,7 @@
 //! memory-budget and kill/resume checks without shipping fixture files.
 //!
 //! `--bench-json DIR` measures the per-stage throughput trajectory
-//! (decode / memsim / irh / pairing, see [`hawkset_bench::trajectory`])
+//! (decode / memsim / irh / pairing / repair, see [`hawkset_bench::trajectory`])
 //! and writes `BENCH_<stage>.json` files into `DIR`, then exits.
 //!
 //! `--ratchet DIR` measures the same trajectory and fails (exit 1) if any

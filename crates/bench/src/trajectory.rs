@@ -1,7 +1,8 @@
 //! Per-stage throughput trajectory: the pinned `BENCH_<stage>.json` files.
 //!
 //! Each file records the events/sec of one pipeline stage — `decode`,
-//! `memsim`, `irh`, `pairing` — on the fixed-seed synthetic smoke trace,
+//! `memsim`, `irh`, `pairing`, `repair` — on the fixed-seed synthetic
+//! smoke trace,
 //! together with the commit it was measured at. The committed copies at
 //! the repo root are the performance *baseline*; `scripts/ci.sh` re-runs
 //! the measurement and fails on a >20% regression against them (the
@@ -17,6 +18,7 @@
 //! | `memsim`  | worst-case persistence simulation, IRH disabled |
 //! | `irh`     | the same simulation with inline IRH publication tracking — the pipeline's production Simulate stage |
 //! | `pairing` | single-threaded sharded pairing over the precomputed access set (`timing.pairing_ms` from the pipeline's own metrics) |
+//! | `repair`  | the `--suggest-fixes` second pass: re-simulation, per-race patch synthesis and every replay validation |
 //!
 //! Every stage is best-of-3 to shave scheduler noise; the ratchet skips
 //! *enforcement* on single-core hosts, where wall-clock measures
@@ -42,7 +44,8 @@ pub const PRE_CHANGE_PAIRING_EPS: f64 = 1_684_482.0;
 /// One stage's measured throughput.
 #[derive(Debug, Clone)]
 pub struct StageMeasurement {
-    /// Stable stage name (`decode` | `memsim` | `irh` | `pairing`).
+    /// Stable stage name
+    /// (`decode` | `memsim` | `irh` | `pairing` | `repair`).
     pub stage: &'static str,
     /// Events processed by the timed work.
     pub events: u64,
@@ -65,12 +68,12 @@ fn best_of<T>(reps: usize, mut work: impl FnMut() -> T) -> f64 {
     best.max(1e-9)
 }
 
-/// Measures all four stages on `trace` (with `access` as the pairing
+/// Measures all five stages on `trace` (with `access` as the pairing
 /// input), best-of-3 each, in pipeline order.
 pub fn measure(trace: &Trace, access: &AccessSet) -> Vec<StageMeasurement> {
     let events = trace.events.len() as u64;
     let ev_f = events as f64;
-    let mut out = Vec::with_capacity(4);
+    let mut out = Vec::with_capacity(5);
 
     let bytes = io::encode(trace);
     let decode_secs = best_of(3, || {
@@ -125,6 +128,25 @@ pub fn measure(trace: &Trace, access: &AccessSet) -> Vec<StageMeasurement> {
         events,
         elapsed_ms: pairing_secs * 1e3,
         events_per_sec: ev_f / pairing_secs,
+    });
+
+    // Repair is the `--suggest-fixes` second pass over a finished report:
+    // re-simulate, synthesize a patch per race and replay-validate each
+    // one. Timed as attach_fixes so the figure covers exactly what users
+    // pay on top of a plain analysis.
+    let repair_analyzer = Analyzer::default().threads(1).suggest_fixes(true);
+    let mut repair_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let mut r = Analyzer::default().threads(1).run_pairing(trace, access);
+        let t0 = Instant::now();
+        repair_analyzer.attach_fixes(trace, &mut r);
+        repair_secs = repair_secs.min(t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    out.push(StageMeasurement {
+        stage: "repair",
+        events,
+        elapsed_ms: repair_secs * 1e3,
+        events_per_sec: ev_f / repair_secs,
     });
     out
 }
@@ -262,7 +284,7 @@ mod tests {
         let ms = measure(&trace, &access);
         assert_eq!(
             ms.iter().map(|m| m.stage).collect::<Vec<_>>(),
-            ["decode", "memsim", "irh", "pairing"]
+            ["decode", "memsim", "irh", "pairing", "repair"]
         );
         for m in &ms {
             assert!(m.events_per_sec > 0.0, "{}: zero throughput", m.stage);
@@ -289,7 +311,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         // No files at all: every stage's pin is reported missing.
         assert_eq!(ratchet(&dir, &ms).missing.len(), ms.len());
-        // A committed baseline 10x the measurement: all four regress.
+        // A committed baseline 10x the measurement: every stage regresses.
         let inflated: Vec<StageMeasurement> = ms
             .iter()
             .map(|m| StageMeasurement {

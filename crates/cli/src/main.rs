@@ -127,6 +127,12 @@ ANALYZE OPTIONS:
     --no-hb         disable the inter-thread happens-before filter (§3.1.2)
     --store-store   also pair stores against stores (off by design, §3.1.1)
     --eadr          assume an eADR platform (§2.1): no race can exist
+    --suggest-fixes compute replay-validated repair suggestions — a
+                    flush+fence insertion or lock extension per race,
+                    each proven by re-analyzing the trace with the patch
+                    applied; emitted as the optional `fixes` section of
+                    --json output and a `repair` line per race otherwise
+                    (unproven suggestions are demoted to candidates)
     --json          emit machine-readable race reports
     --strict        reject ill-formed traces up front (default)
     --lenient       quarantine ill-formed events and analyze the rest
@@ -183,6 +189,9 @@ CRASHTEST OPTIONS:
                           (implies --checkpoint PATH)
     --threads N           worker threads for each round's race analysis
                           (default: all cores)
+    --suggest-fixes       compute replay-validated repair suggestions in
+                          each round's analysis and attach them to the
+                          attributed ground-truth races
     --json                emit the machine-readable campaign record
     --metrics PATH        write the campaign metrics snapshot (per-outcome
                           round counters, retry/backoff totals, JSON) to
@@ -198,6 +207,11 @@ SERVE OPTIONS:
     --metrics PATH        metrics snapshot path written on drain
                           (default DIR/serve-metrics.json)
     --workers N           analysis worker threads (default 2)
+    --suggest-fixes       compute replay-validated repair suggestions for
+                          every racy submission; they ride the returned
+                          report's `fixes` section and persist — deduped
+                          by patch shape, with per-tenant provenance —
+                          alongside the race records in the database
     --queue-cap N         global admission queue capacity (default 32)
     --tenant-cap N        per-tenant pending-submission cap (default 8)
     --checkpoint-every-jobs N
@@ -239,8 +253,9 @@ QUERY OPTIONS:
     --json                print the stable snapshot's canonical JSON
     --verify TENANT=REPORT.json
                           (repeatable) recompute the expected database
-                          from batch analyze reports and require the
-                          stable snapshot to match byte-for-byte
+                          from batch analyze reports — including any
+                          `fixes` sections — and require the stable
+                          snapshot to match byte-for-byte
 
 SIGNALS (serve):
     The first SIGTERM/SIGINT drains: stop admitting (new submissions are
@@ -374,6 +389,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
             "--no-hb" => cfg.use_hb = false,
             "--store-store" => cfg.check_store_store = true,
             "--eadr" => cfg.eadr = true,
+            "--suggest-fixes" => cfg.suggest_fixes = true,
             "--json" => json = true,
             "--strict" => cfg.strictness = Strictness::Strict,
             "--lenient" => cfg.strictness = Strictness::Lenient,
@@ -486,6 +502,14 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
         eprintln!(
             "hawkset analyze: --resume needs a seekable trace file: resuming replays \
              ingestion from the trace, and stdin (`-`) cannot be read twice"
+        );
+        return ExitCode::from(2);
+    }
+    if from_stdin && cfg.suggest_fixes {
+        eprintln!(
+            "hawkset analyze: --suggest-fixes needs a seekable trace file: validation \
+             replays the trace with each patch applied, and stdin (`-`) cannot be \
+             read twice"
         );
         return ExitCode::from(2);
     }
@@ -602,6 +626,7 @@ fn analyze_stream(
     });
     cfg.stream.checkpoint = session.clone();
     cfg.stream.resume = prior.map(std::sync::Arc::new);
+    let suggest = cfg.suggest_fixes;
     let analyzer = Analyzer::new(cfg);
     let result = if path == "-" {
         analyzer.try_run_stream_with_header(std::io::stdin().lock())
@@ -614,7 +639,7 @@ fn analyze_stream(
             }
         }
     };
-    let (report, header) = match result {
+    let (mut report, header) = match result {
         Ok(x) => x,
         Err(e) => {
             // Lenient mode would have absorbed exactly the decode/validate
@@ -657,6 +682,19 @@ fn analyze_stream(
                     s.path().display()
                 );
             }
+        }
+    }
+    // The streamed source is gone, but repair validation needs the events
+    // back to replay patches: re-read the trace file (the stdin case was
+    // rejected up front). A failed re-read degrades to a fix-less report
+    // rather than discarding the finished analysis.
+    if suggest && !report.is_clean() {
+        match load_trace(path) {
+            Ok(t) => analyzer.attach_fixes(&t, &mut report),
+            Err(e) => eprintln!(
+                "hawkset analyze: warning: cannot re-read {path} for --suggest-fixes \
+                 ({e}); report emitted without fixes"
+            ),
         }
     }
     report_exit(
@@ -886,6 +924,7 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--json" => json = true,
             "--metrics-stderr" => metrics_stderr = true,
+            "--suggest-fixes" => cfg.suggest_fixes = true,
             flag if flag == "--metrics" || flag.starts_with("--metrics=") => {
                 match path_value(args, &mut i, "--metrics") {
                     Ok(p) => metrics_path = Some(p),
@@ -1044,6 +1083,9 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
                     "           race: bug #{} {} -> {} ({})",
                     race.bug_id, race.store_fn, race.load_fn, race.description
                 );
+                if let Some(fix) = &race.fix {
+                    println!("           fix:  {fix}");
+                }
             }
         }
         let failed = result
@@ -1143,6 +1185,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     Err(e) => return fail(e),
                 }
             }
+            "--suggest-fixes" => cfg.worker.suggest_fixes = true,
             flag if flag == "--queue-cap" || flag.starts_with("--queue-cap=") => {
                 match flag_value(args, &mut i, "--queue-cap") {
                     Ok(0) => return fail("--queue-cap needs at least 1".into()),
@@ -1508,6 +1551,19 @@ fn cmd_query(args: &[String]) -> ExitCode {
                     format!(" [{}]", flags.join(", "))
                 },
             );
+            for f in &r.fixes {
+                println!(
+                    "       fix: {} [{}] seen {}x — e.g. {}",
+                    f.kind,
+                    if f.validated {
+                        "validated"
+                    } else {
+                        "candidate"
+                    },
+                    f.occurrences,
+                    f.example,
+                );
+            }
         }
     }
     ExitCode::SUCCESS
@@ -1517,7 +1573,12 @@ fn cmd_query(args: &[String]) -> ExitCode {
 /// reports should have produced and compare byte-for-byte against the
 /// stable root's records.
 fn query_verify(snapshot: &hawkset_serve::DbSnapshot, verify: &[(String, String)]) -> ExitCode {
-    let mut submissions: Vec<(String, Vec<hawkset_core::analysis::Race>)> = Vec::new();
+    type Submission = (
+        String,
+        Vec<hawkset_core::analysis::Race>,
+        Option<hawkset_core::analysis::FixReport>,
+    );
+    let mut submissions: Vec<Submission> = Vec::new();
     for (tenant, report_path) in verify {
         let raw = match std::fs::read_to_string(report_path) {
             Ok(r) => r,
@@ -1548,10 +1609,28 @@ fn query_verify(snapshot: &hawkset_serve::DbSnapshot, verify: &[(String, String)
                 return ExitCode::from(2);
             }
         };
-        submissions.push((tenant.clone(), races));
+        // The optional `fixes` section (analyze --suggest-fixes). Absent
+        // is normal; present but unparseable means the report and this
+        // binary disagree about the fix schema — fail loudly rather than
+        // verify against a silently fix-free expectation.
+        let fixes = match value
+            .get("fixes")
+            .cloned()
+            .map(serde_json::from_value::<hawkset_core::analysis::FixReport>)
+        {
+            None => None,
+            Some(Ok(f)) => Some(f),
+            Some(Err(e)) => {
+                eprintln!("hawkset query: {report_path}: bad fixes section: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        submissions.push((tenant.clone(), races, fixes));
     }
     let expected = hawkset_serve::db::expected_from_reports(
-        submissions.iter().map(|(t, r)| (t.as_str(), r.as_slice())),
+        submissions
+            .iter()
+            .map(|(t, r, f)| (t.as_str(), r.as_slice(), f.as_ref())),
     );
     let got_json =
         serde_json::to_string_pretty(&snapshot.records).expect("record serialization cannot fail");

@@ -348,7 +348,7 @@ impl AnalysisCheckpoint {
 pub fn config_fingerprint(cfg: &AnalysisConfig) -> String {
     let opt = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "none".into());
     format!(
-        "v1;irh={};atomics={};eadr={};hb={};ss={};strict={};pairs={};events={};mem={}",
+        "v1;irh={};atomics={};eadr={};hb={};ss={};strict={};pairs={};events={};mem={};fixes={}",
         u8::from(cfg.irh),
         u8::from(cfg.include_atomics),
         u8::from(cfg.eadr),
@@ -361,6 +361,7 @@ pub fn config_fingerprint(cfg: &AnalysisConfig) -> String {
         opt(cfg.budget.max_candidate_pairs),
         opt(cfg.budget.max_events),
         opt(cfg.budget.memory_budget),
+        u8::from(cfg.suggest_fixes),
     )
 }
 

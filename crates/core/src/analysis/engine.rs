@@ -948,6 +948,7 @@ pub(crate) fn run_pairing_controlled(
         },
         coverage,
         metrics: None,
+        fixes: None,
     }
 }
 

@@ -17,7 +17,7 @@ use crate::trace::{Event, Trace, TraceView};
 use super::checkpoint::{self, AnalysisCheckpoint, CheckpointSession, IngestProgress};
 use super::engine::{PairingControls, ShardOutput};
 use super::{
-    engine, quarantine, AnalysisConfig, AnalysisReport, BudgetExceeded, QuarantineFilter,
+    engine, quarantine, repair, AnalysisConfig, AnalysisReport, BudgetExceeded, QuarantineFilter,
     Strictness,
 };
 
@@ -78,6 +78,14 @@ impl Analyzer {
     /// for every value; this knob trades wall-clock for cores only.
     pub fn threads(mut self, n: usize) -> Self {
         self.cfg.threads = n;
+        self
+    }
+
+    /// See [`AnalysisConfig::suggest_fixes`]: compute replay-validated
+    /// repair suggestions and attach them as the report's optional
+    /// `fixes` section.
+    pub fn suggest_fixes(mut self, on: bool) -> Self {
+        self.cfg.suggest_fixes = on;
         self
     }
 
@@ -169,6 +177,12 @@ impl Analyzer {
         if access.stats.memory_budget_hit {
             report.coverage.truncated = true;
             report.coverage.reason = Some(BudgetExceeded::MemoryBudget);
+        }
+        if self.cfg.suggest_fixes && !report.races.is_empty() {
+            let fixes = repair::suggest(&view, &access, &report.races, &self.cfg);
+            if !fixes.is_empty() {
+                report.fixes = Some(repair::FixReport::new(fixes));
+            }
         }
         drop(total_stage);
         report.stats.duration = started.elapsed();
@@ -429,6 +443,53 @@ impl Analyzer {
         Ok((report, header))
     }
 
+    /// Computes repair suggestions for an already-analyzed report and
+    /// attaches them as the optional `fixes` section — the entry point for
+    /// callers that analyzed a *stream* (which retains no event vector to
+    /// replay) and still hold the trace bytes. The batch paths attach
+    /// fixes inline; calling this is a no-op when
+    /// [`AnalysisConfig::suggest_fixes`] is off, the report is clean, or
+    /// the run was interrupted (a schedule-dependent partial report has no
+    /// stable witnesses to replay).
+    ///
+    /// `trace` must be the same input the report was computed from: the
+    /// analyzed event stream is re-derived with the run's own strictness
+    /// and event budget, so suggestions are bit-identical to the batch
+    /// path's.
+    pub fn attach_fixes(&self, trace: &Trace, report: &mut AnalysisReport) {
+        if !self.cfg.suggest_fixes
+            || report.races.is_empty()
+            || report.coverage.reason == Some(BudgetExceeded::Interrupted)
+        {
+            return;
+        }
+        let kept;
+        let base = match self.cfg.strictness {
+            Strictness::Strict => trace,
+            Strictness::Lenient => {
+                kept = quarantine(trace).0;
+                &kept
+            }
+        };
+        let view = match self.cfg.budget.max_events {
+            Some(max) if (base.events.len() as u64) > max => TraceView::prefix(base, max as usize),
+            _ => TraceView::full(base),
+        };
+        let access = simulate_view(
+            view,
+            &SimConfig {
+                irh: self.cfg.irh,
+                eadr: self.cfg.eadr,
+                threads: self.cfg.threads,
+                memory_budget: self.cfg.budget.memory_budget,
+            },
+        );
+        let fixes = repair::suggest(&view, &access, &report.races, &self.cfg);
+        if !fixes.is_empty() {
+            report.fixes = Some(repair::FixReport::new(fixes));
+        }
+    }
+
     /// Runs stage 3 (the sharded pairing) alone over a precomputed
     /// [`AccessSet`] — the benchmarking entry point. The report carries
     /// pairing stats, coverage and a pairing-only metrics snapshot
@@ -576,6 +637,13 @@ impl AnalysisConfigBuilder {
     /// checkpoint flushes when a session is attached.
     pub fn checkpoint_every(mut self, events: u64) -> Self {
         self.cfg.checkpoint_every = Some(events);
+        self
+    }
+
+    /// See [`AnalysisConfig::suggest_fixes`]: compute replay-validated
+    /// repair suggestions and attach them as the optional `fixes` section.
+    pub fn suggest_fixes(mut self, on: bool) -> Self {
+        self.cfg.suggest_fixes = on;
         self
     }
 
@@ -835,6 +903,84 @@ mod tests {
             .resume(Arc::clone(&ck))
             .build_analyzer();
         let err = other.try_run_stream(Cursor::new(raw.clone())).unwrap_err();
+        assert!(matches!(err, HawkSetError::Checkpoint(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The latent-gap regression: a checkpoint written while
+    /// `suggest_fixes` is enabled must resume to a byte-identical report —
+    /// fixes section included — and the fingerprint must treat the flag as
+    /// report-affecting, refusing a resume that toggles it.
+    #[test]
+    fn checkpointed_run_with_fixes_resumes_to_identical_bytes() {
+        fn masked(mut r: AnalysisReport) -> String {
+            r.stats.duration = std::time::Duration::ZERO;
+            r.metrics = r.metrics.map(|m| m.masked());
+            r.to_json()
+        }
+        let trace = busy_trace();
+        let raw = encode(&trace).to_vec();
+        let dir = std::env::temp_dir().join(format!("hwk-fix-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+
+        let base = AnalysisConfig::builder()
+            .threads(2)
+            .suggest_fixes(true)
+            .build();
+        let session = Arc::new(CheckpointSession::new(
+            path.clone(),
+            config_fingerprint(&base),
+            "test".into(),
+            Some(16),
+        ));
+        // Streaming has no trace in hand, so fixes ride the second pass —
+        // the same shape `hawkset analyze --suggest-fixes` uses.
+        let analyzer = AnalysisConfig::builder()
+            .threads(2)
+            .suggest_fixes(true)
+            .checkpoint(Arc::clone(&session))
+            .build_analyzer();
+        let mut golden = analyzer
+            .try_run_stream(Cursor::new(raw.clone()))
+            .expect("checkpointed run");
+        analyzer.attach_fixes(&trace, &mut golden);
+        assert!(session.take_error().is_none());
+        assert!(
+            golden
+                .fixes
+                .as_ref()
+                .is_some_and(|f| !f.suggestions.is_empty()),
+            "the racy trace must yield suggestions or this test is vacuous"
+        );
+        let golden_json = masked(golden);
+
+        let ck = Arc::new(AnalysisCheckpoint::load(&path).expect("checkpoint readable"));
+        for threads in [1usize, 2, 8] {
+            let resumed_analyzer = AnalysisConfig::builder()
+                .threads(threads)
+                .suggest_fixes(true)
+                .resume(Arc::clone(&ck))
+                .build_analyzer();
+            let mut resumed = resumed_analyzer
+                .try_run_stream(Cursor::new(raw.clone()))
+                .expect("resumed run");
+            resumed_analyzer.attach_fixes(&trace, &mut resumed);
+            assert_eq!(
+                masked(resumed),
+                golden_json,
+                "resume t{threads}: fixes-bearing report not byte-identical"
+            );
+        }
+
+        // Toggling the flag changes the fingerprint: the checkpoint is for
+        // a different report and must be refused, not silently reused.
+        let err = AnalysisConfig::builder()
+            .threads(2)
+            .resume(Arc::clone(&ck))
+            .build_analyzer()
+            .try_run_stream(Cursor::new(raw.clone()))
+            .unwrap_err();
         assert!(matches!(err, HawkSetError::Checkpoint(_)), "got {err}");
         std::fs::remove_dir_all(&dir).ok();
     }

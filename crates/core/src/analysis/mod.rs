@@ -19,6 +19,7 @@
 pub mod checkpoint;
 pub(crate) mod engine;
 mod facade;
+pub mod repair;
 pub mod report;
 
 use std::collections::HashMap;
@@ -27,6 +28,7 @@ use crate::memsim::SimStats;
 use crate::trace::{Event, EventColumns, EventKind, LockId, ThreadId, Trace};
 
 pub use facade::{AnalysisConfigBuilder, Analyzer, StreamConfig};
+pub use repair::{FixKind, FixReport, FixStatus, FixSuggestion, RepairValidator};
 pub use report::{AnalysisReport, Race, RaceKey};
 
 /// How [`Analyzer::try_run`] treats an ill-formed trace.
@@ -203,6 +205,12 @@ pub struct AnalysisConfig {
     /// API surface.
     #[doc(hidden)]
     pub stall_injection: Option<StallInjection>,
+    /// Compute a replay-validated repair suggestion for each reported race
+    /// ([`repair`]) and attach it as the optional `fixes` section of the
+    /// report. Off by default: suggestion validation replays the trace
+    /// once or twice per race, and the flag participates in the checkpoint
+    /// configuration fingerprint.
+    pub suggest_fixes: bool,
 }
 
 /// Test-only pairing-shard stall (see [`AnalysisConfig::stall_injection`]).
@@ -232,6 +240,7 @@ impl Default for AnalysisConfig {
             interrupt: None,
             stream: StreamConfig::default(),
             stall_injection: None,
+            suggest_fixes: false,
         }
     }
 }

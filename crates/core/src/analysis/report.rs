@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use super::repair::FixReport;
 use super::{Coverage, PipelineStats};
 use crate::addr::AddrRange;
 use crate::obs::MetricsSnapshot;
@@ -134,6 +135,13 @@ pub struct AnalysisReport {
     ///
     /// [`Analyzer::run`]: super::Analyzer::run
     pub metrics: Option<MetricsSnapshot>,
+    /// Replay-validated repair suggestions, one per non-store-store race
+    /// ([`AnalysisConfig::suggest_fixes`]). Serialized as an optional,
+    /// self-versioned `fixes` key — the same no-bump addition pattern as
+    /// `metrics`: absent unless the flag produced at least one suggestion.
+    ///
+    /// [`AnalysisConfig::suggest_fixes`]: super::AnalysisConfig::suggest_fixes
+    pub fixes: Option<FixReport>,
 }
 
 impl AnalysisReport {
@@ -173,6 +181,11 @@ impl AnalysisReport {
                 race.load_tid,
             ));
             out.push_str(&trace.stacks.render(race.key.load_stack));
+            if let Some(fixes) = &self.fixes {
+                if let Some(f) = fixes.suggestions.iter().find(|f| f.race == race.key) {
+                    out.push_str(&format!("repair {}\n", f.summary()));
+                }
+            }
         }
         if self.coverage.truncated {
             let reason = self
@@ -222,14 +235,16 @@ impl AnalysisReport {
     ///   "stats": { "sim": {...}, "pairing": {...},
     ///              "quarantine": {...}, "duration_ms": ... },
     ///   "metrics": { "version": 1, "ingest": {...}, "memsim": {...},
-    ///                "irh": {...}, "pairing": {...}, "timing": {...} }
+    ///                "irh": {...}, "pairing": {...}, "timing": {...} },
+    ///   "fixes": { "version": 1, "suggestions": [ { "race": ..., "kind": ...,
+    ///              "validated": ..., "status": ... } ] }
     /// }
     /// ```
     ///
-    /// The `metrics` key is optional (absent when [`Self::metrics`] is
-    /// `None`) and carries its own `version`; adding it did not bump
-    /// [`SCHEMA_VERSION`] because additions are backward-compatible by
-    /// the documented policy above.
+    /// The `metrics` and `fixes` keys are optional (absent when
+    /// [`Self::metrics`] / [`Self::fixes`] is `None`) and carry their own
+    /// `version`; adding them did not bump [`SCHEMA_VERSION`] because
+    /// additions are backward-compatible by the documented policy above.
     pub fn to_json(&self) -> String {
         use serde::{Map, Number, Value};
         let to_value =
@@ -256,6 +271,13 @@ impl AnalysisReport {
         // backward-compatible addition, not a schema bump.
         if let Some(metrics) = &self.metrics {
             root.insert("metrics", to_value(metrics));
+        }
+        // Same pattern for the repair suggestions: optional, self-versioned
+        // (`fixes.version`), never present without at least one suggestion.
+        if let Some(fixes) = &self.fixes {
+            if !fixes.suggestions.is_empty() {
+                root.insert("fixes", to_value(fixes));
+            }
         }
         serde_json::to_string_pretty(&Value::Object(root))
             .expect("report serialization cannot fail")
@@ -305,9 +327,7 @@ mod tests {
         let race = sample_race();
         let report = AnalysisReport {
             races: vec![race.clone()],
-            stats: PipelineStats::default(),
-            coverage: Coverage::default(),
-            metrics: None,
+            ..Default::default()
         };
         let json = report.to_json();
         let value: serde::Value = serde_json::from_str(&json).unwrap();
@@ -333,13 +353,12 @@ mod tests {
     fn schema_v1_shape_is_pinned() {
         let report = AnalysisReport {
             races: vec![sample_race()],
-            stats: PipelineStats::default(),
             coverage: Coverage {
                 truncated: true,
                 reason: Some(super::super::BudgetExceeded::CandidatePairs),
                 ..Default::default()
             },
-            metrics: None,
+            ..Default::default()
         };
         let value: serde::Value = serde_json::from_str(&report.to_json()).unwrap();
 
@@ -442,5 +461,80 @@ mod tests {
         );
         let back: MetricsSnapshot = serde_json::from_value(value["metrics"].clone()).unwrap();
         assert_eq!(back, MetricsSnapshot::default());
+    }
+
+    /// The `fixes` key follows the same optional, self-versioned addition
+    /// pattern as `metrics`: absent by default, absent even when `Some`
+    /// but empty, present (after `metrics`) with its own `version` and a
+    /// pinned suggestion shape otherwise.
+    #[test]
+    fn fixes_key_is_optional_and_self_versioned() {
+        use crate::analysis::repair::{FixKind, FixReport, FixStatus, FixSuggestion};
+        let keys = |v: &serde::Value| -> Vec<String> {
+            match v {
+                serde::Value::Object(m) => m.iter().map(|(k, _)| k.clone()).collect(),
+                other => panic!("expected object, got {other:?}"),
+            }
+        };
+        let bare = AnalysisReport::default();
+        let value: serde::Value = serde_json::from_str(&bare.to_json()).unwrap();
+        assert_eq!(
+            keys(&value),
+            ["schema_version", "races", "coverage", "stats"],
+            "absent fixes must leave the v1 shape untouched"
+        );
+
+        let empty = AnalysisReport {
+            fixes: Some(FixReport::new(Vec::new())),
+            ..Default::default()
+        };
+        let value: serde::Value = serde_json::from_str(&empty.to_json()).unwrap();
+        assert_eq!(
+            keys(&value),
+            ["schema_version", "races", "coverage", "stats"],
+            "an empty suggestion list must not emit the key"
+        );
+
+        let with_fixes = AnalysisReport {
+            races: vec![sample_race()],
+            metrics: Some(MetricsSnapshot::default()),
+            fixes: Some(FixReport::new(vec![FixSuggestion {
+                race: RaceKey {
+                    store_stack: 1,
+                    load_stack: 2,
+                },
+                kind: FixKind::FlushFence {
+                    after_seq: 7,
+                    line: 0x1000,
+                },
+                validated: true,
+                status: FixStatus::Fix,
+            }])),
+            ..Default::default()
+        };
+        let value: serde::Value = serde_json::from_str(&with_fixes.to_json()).unwrap();
+        assert_eq!(
+            keys(&value),
+            [
+                "schema_version",
+                "races",
+                "coverage",
+                "stats",
+                "metrics",
+                "fixes"
+            ]
+        );
+        assert_eq!(value["schema_version"], 1u64, "additions do not bump v1");
+        assert_eq!(value["fixes"]["version"], 1u64);
+        assert_eq!(keys(&value["fixes"]), ["version", "suggestions"]);
+        let s = &value["fixes"]["suggestions"][0];
+        assert_eq!(keys(s), ["race", "kind", "validated", "status"]);
+        assert_eq!(s["race"]["store_stack"], 1u64);
+        assert_eq!(s["kind"]["flush_fence"]["after_seq"], 7u64);
+        assert_eq!(s["kind"]["flush_fence"]["line"], 0x1000u64);
+        assert_eq!(s["validated"], true);
+        assert_eq!(s["status"], "fix");
+        let back: FixReport = serde_json::from_value(value["fixes"].clone()).unwrap();
+        assert_eq!(Some(back), with_fixes.fixes);
     }
 }

@@ -18,6 +18,7 @@
 //! and the interning tables shared by both — the input of the lockset
 //! analysis stage.
 
+pub mod patch;
 pub mod window;
 
 use std::collections::BTreeSet;

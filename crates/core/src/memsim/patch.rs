@@ -1,0 +1,235 @@
+//! Replay-with-patch: re-simulating a trace with synthetic events applied.
+//!
+//! The repair engine ([`crate::analysis::repair`]) proposes instrumentation-
+//! level patches — flush/fence insertions and lock-scope moves — and proves
+//! them by *replaying* the original event stream with the patch applied
+//! through the same incremental simulator the streaming analyzer uses
+//! ([`StreamSimulator`]). This module is that replay substrate: a patch is a
+//! set of event-level edits keyed by the original sequence numbers, applied
+//! in one pass and densely re-sequenced so the patched stream is
+//! indistinguishable from a trace recorded with the fix in place.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::trace::{Event, EventKind, StackId, ThreadId, TraceView};
+
+use super::{AccessSet, SimConfig, StreamSimulator};
+
+/// One synthetic event to splice into the stream: who appears to have
+/// executed it and what it does. The `seq` is assigned during application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyntheticEvent {
+    /// Thread the event is attributed to.
+    pub tid: ThreadId,
+    /// Stack the event is attributed to — patches reuse an existing stack
+    /// id (typically the patched store's) so the stack table needs no
+    /// growth and race keys stay comparable across replays.
+    pub stack: StackId,
+    /// The operation.
+    pub kind: EventKind,
+}
+
+/// An event-level edit script over one trace view.
+///
+/// Edits are keyed by the *original* sequence numbers; application walks
+/// the view once, drops removed events, splices insertions, and re-sequences
+/// the result densely (the same normalization the lenient streaming path
+/// applies to quarantined traces).
+#[derive(Clone, Debug, Default)]
+pub struct EventPatch {
+    /// Events to drop, by original `seq`.
+    removed: BTreeSet<u64>,
+    /// Synthetic events spliced in *before* the event with the keyed `seq`.
+    before: BTreeMap<u64, Vec<SyntheticEvent>>,
+    /// Synthetic events spliced in *after* the event with the keyed `seq`.
+    after: BTreeMap<u64, Vec<SyntheticEvent>>,
+}
+
+impl EventPatch {
+    /// An empty patch (replays the view unchanged).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the patch edits nothing.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.before.is_empty() && self.after.is_empty()
+    }
+
+    /// Number of edits (removals + insertions).
+    pub fn len(&self) -> usize {
+        self.removed.len()
+            + self.before.values().map(Vec::len).sum::<usize>()
+            + self.after.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Drops the event with original sequence number `seq`.
+    pub fn remove(&mut self, seq: u64) {
+        self.removed.insert(seq);
+    }
+
+    /// Splices `ev` immediately before the event with original `seq`
+    /// (insertions at the same anchor keep their call order).
+    pub fn insert_before(&mut self, seq: u64, ev: SyntheticEvent) {
+        self.before.entry(seq).or_default().push(ev);
+    }
+
+    /// Splices `ev` immediately after the event with original `seq`
+    /// (insertions at the same anchor keep their call order).
+    pub fn insert_after(&mut self, seq: u64, ev: SyntheticEvent) {
+        self.after.entry(seq).or_default().push(ev);
+    }
+
+    /// Applies the edit script to `view`, returning the patched event
+    /// stream densely re-sequenced from 0.
+    pub fn apply(&self, view: &TraceView<'_>) -> Vec<Event> {
+        let mut out = Vec::with_capacity(view.events.len() + self.len());
+        let push = |out: &mut Vec<Event>, tid, stack, kind| {
+            let seq = out.len() as u64;
+            out.push(Event {
+                seq,
+                tid,
+                stack,
+                kind,
+            });
+        };
+        for ev in view.events.iter() {
+            if let Some(inserts) = self.before.get(&ev.seq) {
+                for s in inserts {
+                    push(&mut out, s.tid, s.stack, s.kind);
+                }
+            }
+            if !self.removed.contains(&ev.seq) {
+                push(&mut out, ev.tid, ev.stack, ev.kind);
+            }
+            if let Some(inserts) = self.after.get(&ev.seq) {
+                for s in inserts {
+                    push(&mut out, s.tid, s.stack, s.kind);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Replays `view` with `patch` applied through the incremental simulator —
+/// the replay-with-patch mode backing repair validation. The result is an
+/// [`AccessSet`] computed exactly as a streamed analysis of the patched
+/// trace would compute it.
+pub fn simulate_patched(view: &TraceView<'_>, patch: &EventPatch, cfg: &SimConfig) -> AccessSet {
+    let mut sim = StreamSimulator::new(view.thread_count, view.regions.to_vec(), cfg);
+    for ev in patch.apply(view) {
+        sim.step(&ev);
+    }
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrRange;
+    use crate::memsim::simulate_view;
+    use crate::trace::{Frame, Trace, TraceBuilder};
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    fn unpersisted_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.add_region(crate::trace::PmRegion {
+            base: 0x1000,
+            len: 0x1000,
+            path: "/mnt/pmem/patch".into(),
+        });
+        let st = b.intern_stack([Frame::new("writer", "w.rs", 1)]);
+        let ld = b.intern_stack([Frame::new("reader", "r.rs", 2)]);
+        b.push(T0, st, EventKind::ThreadCreate { child: T1 });
+        b.push(
+            T0,
+            st,
+            EventKind::Store {
+                range: AddrRange::new(0x1000, 8),
+                non_temporal: false,
+                atomic: false,
+            },
+        );
+        b.push(
+            T1,
+            ld,
+            EventKind::Load {
+                range: AddrRange::new(0x1000, 8),
+                atomic: false,
+            },
+        );
+        b.push(T0, st, EventKind::ThreadJoin { child: T1 });
+        b.finish()
+    }
+
+    #[test]
+    fn empty_patch_replays_identically() {
+        let trace = unpersisted_trace();
+        let view = TraceView::full(&trace);
+        let base = simulate_view(view, &SimConfig::default());
+        let patched = simulate_patched(&view, &EventPatch::new(), &SimConfig::default());
+        assert_eq!(base.windows, patched.windows);
+        assert_eq!(base.loads, patched.loads);
+    }
+
+    #[test]
+    fn inserted_flush_fence_closes_the_window() {
+        let trace = unpersisted_trace();
+        let view = TraceView::full(&trace);
+        let base = simulate_view(view, &SimConfig::default());
+        assert!(base.windows[0].close_vc.is_none(), "window starts open");
+
+        let mut patch = EventPatch::new();
+        let stack = trace.events.get(1).stack;
+        patch.insert_after(
+            1,
+            SyntheticEvent {
+                tid: T0,
+                stack,
+                kind: EventKind::Flush { addr: 0x1000 },
+            },
+        );
+        patch.insert_after(
+            1,
+            SyntheticEvent {
+                tid: T0,
+                stack,
+                kind: EventKind::Fence,
+            },
+        );
+        let patched = simulate_patched(&view, &patch, &SimConfig::default());
+        assert!(
+            patched.windows[0].close_vc.is_some(),
+            "patched window must be persisted"
+        );
+    }
+
+    #[test]
+    fn apply_reseqs_densely_and_honors_removal() {
+        let trace = unpersisted_trace();
+        let view = TraceView::full(&trace);
+        let mut patch = EventPatch::new();
+        patch.remove(2);
+        patch.insert_before(
+            1,
+            SyntheticEvent {
+                tid: T0,
+                stack: trace.events.get(1).stack,
+                kind: EventKind::Fence,
+            },
+        );
+        let events = patch.apply(&view);
+        assert_eq!(events.len(), trace.events.len()); // -1 removal +1 insert
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64, "dense re-sequencing");
+        }
+        assert!(matches!(events[1].kind, EventKind::Fence));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Load { .. })));
+    }
+}

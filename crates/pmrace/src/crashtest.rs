@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use hawkset_core::analysis::{AnalysisConfig, Analyzer, Race};
+use hawkset_core::analysis::{AnalysisConfig, Analyzer, FixReport, FixSuggestion, Race};
 use pm_apps::registry::{KnownRace, RaceClass};
 use pm_apps::{Application, ExecOptions};
 use pm_runtime::{CrashImage, CrashInjector, CrashMode, PmEnv};
@@ -96,6 +96,13 @@ pub struct AttributedRace {
     pub load_fn: String,
     /// Ground-truth description.
     pub description: String,
+    /// Replay-validated repair suggestion for the matched race (present
+    /// only when the campaign ran with
+    /// [`CrashCampaignConfig::suggest_fixes`] and the race got one);
+    /// skipped when absent so pre-existing campaign records round-trip
+    /// byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fix: Option<String>,
 }
 
 /// Everything recorded about one campaign round.
@@ -185,6 +192,9 @@ pub struct CrashCampaignConfig {
     /// Worker threads for each round's race analysis (`0` = available
     /// parallelism); see [`Analyzer::threads`].
     pub analysis_threads: usize,
+    /// Compute replay-validated repair suggestions in each round's
+    /// analysis and attach them to the attributed ground-truth races.
+    pub suggest_fixes: bool,
 }
 
 impl Default for CrashCampaignConfig {
@@ -202,6 +212,7 @@ impl Default for CrashCampaignConfig {
             resume: false,
             faults: Vec::new(),
             analysis_threads: 0,
+            suggest_fixes: false,
         }
     }
 }
@@ -348,17 +359,32 @@ impl CampaignMetrics {
 }
 
 /// Matches a report against the malign ground truth, returning every
-/// Table 2 bug the analysis confirmed (deduplicated by bug id).
-pub fn attribute_races(races: &[Race], known: &[KnownRace]) -> Vec<AttributedRace> {
+/// Table 2 bug the analysis confirmed (deduplicated by bug id). When the
+/// report carries repair suggestions, each attributed bug is joined with
+/// the suggestion targeting its matched race.
+pub fn attribute_races(
+    races: &[Race],
+    known: &[KnownRace],
+    fixes: Option<&FixReport>,
+) -> Vec<AttributedRace> {
     known
         .iter()
         .filter(|k| k.class == RaceClass::Malign)
-        .filter(|k| races.iter().any(|r| k.matches(r)))
-        .map(|k| AttributedRace {
-            bug_id: k.id,
-            store_fn: k.store_fn.to_string(),
-            load_fn: k.load_fn.to_string(),
-            description: k.description.to_string(),
+        .filter_map(|k| {
+            let race = races.iter().find(|r| k.matches(r))?;
+            let fix = fixes.and_then(|f| {
+                f.suggestions
+                    .iter()
+                    .find(|s| s.race == race.key)
+                    .map(FixSuggestion::summary)
+            });
+            Some(AttributedRace {
+                bug_id: k.id,
+                store_fn: k.store_fn.to_string(),
+                load_fn: k.load_fn.to_string(),
+                description: k.description.to_string(),
+                fix,
+            })
         })
         .collect()
 }
@@ -433,6 +459,7 @@ fn round_body(
     crash_points: usize,
     round_seed: u64,
     analysis_threads: usize,
+    suggest_fixes: bool,
 ) -> WorkerReport {
     // Pass 1 — measure the run's PM-operation horizon so crash points land
     // inside it. An injector with no points is a pure op counter.
@@ -465,13 +492,14 @@ fn round_body(
     }
     let report = Analyzer::new(AnalysisConfig::default())
         .threads(analysis_threads)
+        .suggest_fixes(suggest_fixes)
         .run(&result.trace);
     WorkerReport {
         outcome,
         crash_points: injector.points().to_vec(),
         op_horizon: horizon,
         images_captured: injector.images_captured(),
-        attributed: attribute_races(&report.races, &app.known_races()),
+        attributed: attribute_races(&report.races, &app.known_races(), report.fixes.as_ref()),
     }
 }
 
@@ -505,6 +533,7 @@ fn run_supervised_round(
         let worker_app = Arc::clone(app);
         let (main_ops, crash_points, timeout) = (cfg.main_ops, cfg.crash_points, cfg.round_timeout);
         let analysis_threads = cfg.analysis_threads;
+        let suggest_fixes = cfg.suggest_fixes;
         let this_attempt = attempt;
         // Detached worker: a hung round must not block the campaign, so no
         // scoped threads — the watchdog simply abandons the receiver.
@@ -538,6 +567,7 @@ fn run_supervised_round(
                         crash_points,
                         round_seed,
                         analysis_threads,
+                        suggest_fixes,
                     )
                 }));
                 // The supervisor may have timed this attempt out already.
@@ -669,6 +699,7 @@ mod tests {
             resume: false,
             faults: Vec::new(),
             analysis_threads: 0,
+            suggest_fixes: false,
         }
     }
 
@@ -812,6 +843,7 @@ mod tests {
                     store_fn: "fastfair::insert_into_parent".into(),
                     load_fn: "fastfair::find_leaf".into(),
                     description: "load unpersisted pointer".into(),
+                    fix: None,
                 }],
                 duration_ms: 42,
             }],

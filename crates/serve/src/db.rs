@@ -41,7 +41,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use hawkset_core::analysis::Race;
+use hawkset_core::analysis::{FixKind, FixReport, FixSuggestion, Race};
 use hawkset_core::ioplane::{self, IoPlane, RealIo};
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +125,30 @@ pub struct TenantCount {
     pub submissions: u64,
 }
 
+/// One deduplicated repair suggestion attributed to a record's race site.
+///
+/// The cross-run identity is the patch *shape* plus its verdict: the event
+/// sequence numbers inside a [`FixKind`] are trace-local and differ
+/// between submissions of different recordings, so two runs agree only on
+/// the kind discriminant and on whether the replay proved the patch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixRecord {
+    /// Patch shape: `"flush_fence"` or `"lock_extension"` (the same
+    /// discriminant names the report's `fixes` section uses).
+    pub kind: String,
+    /// `true` when the submissions carrying this record replayed the
+    /// patch and the race disappeared; demoted candidates persist with
+    /// `false` and are never presented as fixes.
+    pub validated: bool,
+    /// First-seen concrete rendering — illustrative only, since its
+    /// event sequence numbers are local to that submission's trace.
+    pub example: String,
+    /// Submissions whose report carried a suggestion of this shape.
+    pub occurrences: u64,
+    /// Per-tenant provenance, sorted by tenant name.
+    pub tenants: Vec<TenantCount>,
+}
+
 /// One deduplicated race across every submission that ever reported it.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RaceRecord {
@@ -147,6 +171,13 @@ pub struct RaceRecord {
     pub store_non_temporal: bool,
     /// Per-tenant provenance, sorted by tenant name.
     pub tenants: Vec<TenantCount>,
+    /// Deduplicated repair suggestions merged from fix-bearing reports,
+    /// sorted by (kind, validated). Skipped from serialization while
+    /// empty, so snapshots written before any fix arrived — including
+    /// every pre-fix-era file on disk — keep their exact bytes and
+    /// therefore their checksums.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub fixes: Vec<FixRecord>,
 }
 
 impl RaceRecord {
@@ -161,10 +192,11 @@ impl RaceRecord {
             load_atomic: false,
             store_non_temporal: false,
             tenants: Vec::new(),
+            fixes: Vec::new(),
         }
     }
 
-    fn merge(&mut self, tenant: &str, race: &Race) {
+    fn merge(&mut self, tenant: &str, race: &Race, fix: Option<&FixSuggestion>) {
         self.occurrences += 1;
         self.pair_count_total += race.pair_count;
         self.store_never_persisted |= race.store_never_persisted;
@@ -172,19 +204,60 @@ impl RaceRecord {
         self.store_atomic |= race.store_atomic;
         self.load_atomic |= race.load_atomic;
         self.store_non_temporal |= race.store_non_temporal;
-        match self
-            .tenants
-            .binary_search_by(|t| t.tenant.as_str().cmp(tenant))
-        {
-            Ok(i) => self.tenants[i].submissions += 1,
-            Err(i) => self.tenants.insert(
-                i,
-                TenantCount {
-                    tenant: tenant.to_string(),
-                    submissions: 1,
-                },
-            ),
+        bump_tenant(&mut self.tenants, tenant);
+        if let Some(s) = fix {
+            self.merge_fix(tenant, s);
         }
+    }
+
+    fn merge_fix(&mut self, tenant: &str, s: &FixSuggestion) {
+        let kind = fix_kind_name(&s.kind);
+        let probe = (kind, s.validated);
+        let i = match self
+            .fixes
+            .binary_search_by(|f| (f.kind.as_str(), f.validated).cmp(&probe))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                self.fixes.insert(
+                    i,
+                    FixRecord {
+                        kind: kind.to_string(),
+                        validated: s.validated,
+                        example: s.kind.summary(),
+                        occurrences: 0,
+                        tenants: Vec::new(),
+                    },
+                );
+                i
+            }
+        };
+        self.fixes[i].occurrences += 1;
+        bump_tenant(&mut self.fixes[i].tenants, tenant);
+    }
+}
+
+/// The wire name of a fix's shape — matches the serde tag of [`FixKind`],
+/// so the database speaks the same vocabulary as the report's `fixes`
+/// section.
+fn fix_kind_name(kind: &FixKind) -> &'static str {
+    match kind {
+        FixKind::FlushFence { .. } => "flush_fence",
+        FixKind::LockExtension { .. } => "lock_extension",
+    }
+}
+
+/// Sorted-insert-or-bump for a per-tenant provenance list.
+fn bump_tenant(tenants: &mut Vec<TenantCount>, tenant: &str) {
+    match tenants.binary_search_by(|t| t.tenant.as_str().cmp(tenant)) {
+        Ok(i) => tenants[i].submissions += 1,
+        Err(i) => tenants.insert(
+            i,
+            TenantCount {
+                tenant: tenant.to_string(),
+                submissions: 1,
+            },
+        ),
     }
 }
 
@@ -399,10 +472,11 @@ impl RaceDb {
         self.working.jobs_recorded - self.stable.jobs_recorded
     }
 
-    /// Merges one submission's reported races into the working root. A
-    /// clean report still counts as a recorded job (absence across many
-    /// runs is evidence too).
-    pub fn merge_report(&mut self, tenant: &str, races: &[Race]) {
+    /// Merges one submission's reported races — and, when the report
+    /// carried a `fixes` section, each race's repair suggestion — into
+    /// the working root. A clean report still counts as a recorded job
+    /// (absence across many runs is evidence too).
+    pub fn merge_report(&mut self, tenant: &str, races: &[Race], fixes: Option<&FixReport>) {
         self.working.jobs_recorded += 1;
         for race in races {
             let key = RaceSiteKey::of(race);
@@ -413,7 +487,8 @@ impl RaceDb {
                     i
                 }
             };
-            self.working.records[i].merge(tenant, race);
+            let fix = fixes.and_then(|f| f.suggestions.iter().find(|s| s.race == race.key));
+            self.working.records[i].merge(tenant, race, fix);
         }
     }
 
@@ -610,15 +685,16 @@ fn write_file_atomic(
 /// submission — the reference implementation `hawkset query --verify`
 /// compares the stable root against.
 pub fn expected_from_reports<'a>(
-    submissions: impl IntoIterator<Item = (&'a str, &'a [Race])>,
+    submissions: impl IntoIterator<Item = (&'a str, &'a [Race], Option<&'a FixReport>)>,
 ) -> Vec<RaceRecord> {
     let mut map: BTreeMap<RaceSiteKey, RaceRecord> = BTreeMap::new();
-    for (tenant, races) in submissions {
+    for (tenant, races, fixes) in submissions {
         for race in races {
             let key = RaceSiteKey::of(race);
+            let fix = fixes.and_then(|f| f.suggestions.iter().find(|s| s.race == race.key));
             map.entry(key.clone())
                 .or_insert_with(|| RaceRecord::new(key))
-                .merge(tenant, race);
+                .merge(tenant, race, fix);
         }
     }
     map.into_values().collect()
@@ -652,6 +728,25 @@ mod tests {
         }
     }
 
+    /// A one-suggestion fix report targeting the `race()` helper's
+    /// stack-pair key.
+    fn fix_report(kind: FixKind, validated: bool) -> FixReport {
+        use hawkset_core::analysis::FixStatus;
+        FixReport::new(vec![FixSuggestion {
+            race: RaceKey {
+                store_stack: 1,
+                load_stack: 2,
+            },
+            kind,
+            validated,
+            status: if validated {
+                FixStatus::Fix
+            } else {
+                FixStatus::Candidate
+            },
+        }])
+    }
+
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "hwk-db-{tag}-{}-{:?}",
@@ -682,9 +777,9 @@ mod tests {
         let r1 = race(("writer", 10), ("reader", 20), 3);
         let r2 = race(("writer", 10), ("reader", 20), 5);
         let other = race(("other", 1), ("reader", 20), 1);
-        db.merge_report("alice", &[r1.clone(), other.clone()]);
-        db.merge_report("bob", std::slice::from_ref(&r2));
-        db.merge_report("alice", std::slice::from_ref(&r1));
+        db.merge_report("alice", &[r1.clone(), other.clone()], None);
+        db.merge_report("bob", std::slice::from_ref(&r2), None);
+        db.merge_report("alice", std::slice::from_ref(&r1), None);
         let w = db.working();
         assert_eq!(w.jobs_recorded, 3);
         assert_eq!(w.records.len(), 2, "same sites collapse to one record");
@@ -724,7 +819,7 @@ mod tests {
     fn checkpoint_swaps_the_root_and_reopen_recovers_it() {
         let dir = tmpdir("ckpt");
         let mut db = RaceDb::open(&dir).unwrap();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         assert_eq!(db.jobs_since_checkpoint(), 1);
         db.checkpoint().unwrap();
         assert_eq!(db.jobs_since_checkpoint(), 0);
@@ -745,7 +840,7 @@ mod tests {
     fn torn_current_falls_back_to_newest_valid_snapshot() {
         let dir = tmpdir("torn-current");
         let mut db = RaceDb::open(&dir).unwrap();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         db.checkpoint().unwrap();
         let expected = db.stable().clone();
         drop(db);
@@ -761,10 +856,10 @@ mod tests {
     fn truncated_snapshot_recovers_to_the_previous_generation() {
         let dir = tmpdir("truncated");
         let mut db = RaceDb::open(&dir).unwrap();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         db.checkpoint().unwrap();
         let gen1 = db.stable().clone();
-        db.merge_report("t", &[race(("w2", 3), ("r2", 4), 1)]);
+        db.merge_report("t", &[race(("w2", 3), ("r2", 4), 1)], None);
         db.checkpoint().unwrap();
         assert_eq!(db.stable().generation, 2);
         drop(db);
@@ -784,7 +879,7 @@ mod tests {
     fn orphan_snapshot_from_a_crashed_swap_is_ignored_and_removed() {
         let dir = tmpdir("orphan");
         let mut db = RaceDb::open(&dir).unwrap();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         db.checkpoint().unwrap();
         let gen1 = db.stable().clone();
         drop(db);
@@ -806,7 +901,7 @@ mod tests {
     fn everything_invalid_recovers_to_empty() {
         let dir = tmpdir("scorched");
         let mut db = RaceDb::open(&dir).unwrap();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         db.checkpoint().unwrap();
         drop(db);
         for (_gen, path, _name) in snapshot_files(&dir).unwrap() {
@@ -825,11 +920,117 @@ mod tests {
         let mut db = RaceDb::open(&dir).unwrap();
         let a = [race(("w", 1), ("r", 2), 3)];
         let b = [race(("w", 1), ("r", 2), 5), race(("x", 7), ("y", 8), 1)];
-        db.merge_report("t1", &a);
-        db.merge_report("t2", &b);
-        db.merge_report("t1", &a);
-        let expected = expected_from_reports([("t1", &a[..]), ("t2", &b[..]), ("t1", &a[..])]);
+        db.merge_report("t1", &a, None);
+        db.merge_report("t2", &b, None);
+        db.merge_report("t1", &a, None);
+        let expected = expected_from_reports([
+            ("t1", &a[..], None),
+            ("t2", &b[..], None),
+            ("t1", &a[..], None),
+        ]);
         assert_eq!(db.working().records, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fix_records_dedupe_by_shape_with_tenant_provenance() {
+        let dir = tmpdir("fixes");
+        let mut db = RaceDb::open(&dir).unwrap();
+        let r = race(("w", 1), ("r", 2), 1);
+        // A fix-free merge first: the serialized snapshot must not grow a
+        // `fixes` key, keeping pre-fix-era snapshot bytes (and therefore
+        // their checksums) reachable by the same code.
+        db.merge_report("alice", std::slice::from_ref(&r), None);
+        db.checkpoint().unwrap();
+        assert!(
+            !db.stable().to_json().contains("\"fixes\""),
+            "no fixes merged, no fixes key"
+        );
+        let pre_fix = db.stable().clone();
+        drop(db);
+        let mut db = RaceDb::open(&dir).unwrap();
+        assert_eq!(db.stable(), &pre_fix, "fix-free snapshots round-trip");
+
+        // Two tenants report the same validated flush+fence shape (with
+        // different trace-local seqs), one adds a demoted candidate of a
+        // different shape.
+        let ff1 = fix_report(
+            FixKind::FlushFence {
+                after_seq: 2,
+                line: 0x1000,
+            },
+            true,
+        );
+        let ff2 = fix_report(
+            FixKind::FlushFence {
+                after_seq: 40,
+                line: 0x7000,
+            },
+            true,
+        );
+        let le = fix_report(
+            FixKind::LockExtension {
+                lock: 0xa,
+                from_seq: 5,
+                to_seq: 1,
+            },
+            false,
+        );
+        db.merge_report("alice", std::slice::from_ref(&r), Some(&ff1));
+        db.merge_report("bob", std::slice::from_ref(&r), Some(&ff2));
+        db.merge_report("bob", std::slice::from_ref(&r), Some(&le));
+        let rec = &db.working().records[0];
+        assert_eq!(rec.fixes.len(), 2, "same shape+verdict collapses");
+        assert_eq!(rec.fixes[0].kind, "flush_fence");
+        assert!(rec.fixes[0].validated);
+        assert_eq!(rec.fixes[0].occurrences, 2);
+        assert_eq!(
+            rec.fixes[0].example, "flush+fence after seq 2 (line 0x1000)",
+            "the first-seen rendering is kept"
+        );
+        assert_eq!(
+            rec.fixes[0].tenants,
+            vec![
+                TenantCount {
+                    tenant: "alice".into(),
+                    submissions: 1
+                },
+                TenantCount {
+                    tenant: "bob".into(),
+                    submissions: 1
+                },
+            ]
+        );
+        assert_eq!(rec.fixes[1].kind, "lock_extension");
+        assert!(!rec.fixes[1].validated, "candidates persist demoted");
+
+        // The fix-bearing state survives the checkpoint/recover cycle.
+        db.checkpoint().unwrap();
+        assert!(db.stable().to_json().contains("\"fixes\""));
+        let expected = db.stable().clone();
+        drop(db);
+        let db = RaceDb::open(&dir).unwrap();
+        assert_eq!(db.stable(), &expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expected_from_reports_accounts_for_fixes() {
+        let dir = tmpdir("verify-fixes");
+        let mut db = RaceDb::open(&dir).unwrap();
+        let a = [race(("w", 1), ("r", 2), 3)];
+        let ff = fix_report(
+            FixKind::FlushFence {
+                after_seq: 2,
+                line: 0x1000,
+            },
+            true,
+        );
+        db.merge_report("t1", &a, Some(&ff));
+        db.merge_report("t2", &a, None);
+        let expected = expected_from_reports([("t1", &a[..], Some(&ff)), ("t2", &a[..], None)]);
+        assert_eq!(db.working().records, expected);
+        assert_eq!(expected[0].fixes.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -838,7 +1039,7 @@ mod tests {
         let dir = tmpdir("prune");
         let mut db = RaceDb::open(&dir).unwrap();
         for i in 0..6u32 {
-            db.merge_report("t", &[race(("w", i), ("r", i + 100), 1)]);
+            db.merge_report("t", &[race(("w", i), ("r", i + 100), 1)], None);
             db.checkpoint().unwrap();
         }
         assert_eq!(db.stable().generation, 6);
@@ -869,7 +1070,7 @@ mod tests {
             FaultScript::parse("snapshot:fsync:1:eio").unwrap(),
         ));
         let mut db = RaceDb::open_with(&dir, plane.clone()).unwrap();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         let err = db.checkpoint().unwrap_err();
         assert_eq!(err.source.raw_os_error(), Some(5));
         assert_eq!(db.poisoned_generations(), 1);
@@ -895,7 +1096,7 @@ mod tests {
             FaultScript::parse("snapshot:write:1:torn").unwrap(),
         ));
         let mut db = RaceDb::open_with(&dir, plane).unwrap();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         // The torn write lies: checkpoint believes it succeeded.
         db.checkpoint().unwrap();
         drop(db);
@@ -916,12 +1117,12 @@ mod tests {
         ));
         let mut db = RaceDb::open_with(&dir, plane).unwrap();
         let prior = db.working().clone();
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         assert!(db.checkpoint().is_err());
         db.restore_working(prior);
         assert_eq!(db.jobs_since_checkpoint(), 0);
         // The resubmitted job lands exactly once.
-        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)]);
+        db.merge_report("t", &[race(("w", 1), ("r", 2), 1)], None);
         db.checkpoint().unwrap();
         let rec = &db.stable().records[0];
         assert_eq!(rec.occurrences, 1, "rollback prevented double counting");

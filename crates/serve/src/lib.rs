@@ -32,7 +32,7 @@ pub mod worker;
 
 pub use client::{submit, submit_with_retry, RetryPolicy, SubmitOutcome};
 pub use conn::{TimedStream, Transport};
-pub use db::{load_stable, DbSnapshot, RaceDb, RaceRecord, RaceSiteKey, TenantCount};
+pub use db::{load_stable, DbSnapshot, FixRecord, RaceDb, RaceRecord, RaceSiteKey, TenantCount};
 pub use health::StorageHealth;
 pub use metrics::{ServeMetrics, ServeMetricsSnapshot};
 pub use server::{run, ServeConfig};

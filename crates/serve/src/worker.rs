@@ -68,6 +68,10 @@ pub struct WorkerConfig {
     /// default) makes RESULT imply durability; larger trades that for
     /// throughput.
     pub checkpoint_every_jobs: u64,
+    /// Compute replay-validated repair suggestions for each racy job and
+    /// persist them alongside the findings (the report's optional `fixes`
+    /// section and the database records' fix provenance).
+    pub suggest_fixes: bool,
     /// Test hook (`HAWKSET_TEST_JOB_DELAY_MS` on the daemon): sleep this
     /// long at the start of every analysis, so tests can saturate a small
     /// pool deterministically.
@@ -89,6 +93,7 @@ impl Default for WorkerConfig {
             stage_timeout: None,
             max_trace_bytes: None,
             checkpoint_every_jobs: 1,
+            suggest_fixes: false,
             job_delay: None,
             panic_first_attempt: false,
         }
@@ -296,7 +301,9 @@ fn run_analysis(
     if let Some(delay) = cfg.job_delay {
         std::thread::sleep(delay);
     }
-    let mut builder = AnalysisConfig::builder().threads(1);
+    let mut builder = AnalysisConfig::builder()
+        .threads(1)
+        .suggest_fixes(cfg.suggest_fixes);
     if let Some(bytes) = cfg.memory_budget {
         builder = builder.memory_budget(bytes);
     }
@@ -307,7 +314,18 @@ fn run_analysis(
         builder = builder.stream_max_bytes(limit);
     }
     let analyzer = builder.build_analyzer();
-    analyzer.try_run_stream(Cursor::new(bytes.to_vec()))
+    let mut report = analyzer.try_run_stream(Cursor::new(bytes.to_vec()))?;
+    if cfg.suggest_fixes && !report.is_clean() {
+        // The streaming run consumed its reader, but the submission's
+        // bytes are still in hand — decode them once more and validate a
+        // repair per race by patched replay. A decode failure here cannot
+        // happen for bytes the stream just analyzed, but if it did the
+        // report simply ships without a `fixes` section.
+        if let Ok(trace) = hawkset_core::trace::io::decode(bytes) {
+            analyzer.attach_fixes(&trace, &mut report);
+        }
+    }
+    Ok(report)
 }
 
 /// Merges the report into the database and checkpoints per the cadence.
@@ -332,7 +350,7 @@ fn persist(
 ) -> Result<(), String> {
     let mut db = lock_db(db);
     let prior = db.working().clone();
-    db.merge_report(&job.tenant, &report.races);
+    db.merge_report(&job.tenant, &report.races, report.fixes.as_ref());
     if db.jobs_since_checkpoint() >= cfg.checkpoint_every_jobs.max(1) {
         if let Err(e) = db.checkpoint() {
             db.restore_working(prior);
@@ -491,6 +509,52 @@ mod tests {
         pool.join();
         assert_eq!(metrics.completed_races.get(), 1);
         assert_eq!(metrics.failed.get(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suggest_fixes_persists_validated_fix_records_with_provenance() {
+        let cfg = WorkerConfig {
+            suggest_fixes: true,
+            ..WorkerConfig::default()
+        };
+        let (sched, db, _metrics, pool, dir) = pool_fixture("fixes", cfg);
+        let rx = submit(&sched, "t1", racy_trace_bytes());
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let JobReply::Done { clean, report_json } = reply else {
+            panic!("expected Done, got {reply:?}");
+        };
+        assert!(!clean);
+        assert!(
+            report_json.contains("\"fixes\""),
+            "the returned report carries the fixes section: {report_json}"
+        );
+        {
+            // The fix record rode the same checkpoint as the finding: it
+            // is already durable in the stable root when RESULT arrives.
+            let db = db.lock().unwrap();
+            let rec = &db.stable().records[0];
+            assert_eq!(rec.fixes.len(), 1);
+            assert_eq!(rec.fixes[0].kind, "flush_fence");
+            assert!(rec.fixes[0].validated, "fig1c's repair replays clean");
+            assert_eq!(rec.fixes[0].occurrences, 1);
+            assert_eq!(rec.fixes[0].tenants.len(), 1);
+            assert_eq!(rec.fixes[0].tenants[0].tenant, "t1");
+        }
+        // The same submission with fixes disabled must not grow records.
+        let rx = submit(&sched, "t2", racy_trace_bytes());
+        let _ = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        {
+            let db = db.lock().unwrap();
+            let rec = &db.stable().records[0];
+            assert_eq!(rec.occurrences, 2);
+            assert_eq!(
+                rec.fixes[0].occurrences, 2,
+                "the pool config applies to every job"
+            );
+        }
+        sched.begin_drain();
+        pool.join();
         std::fs::remove_dir_all(&dir).ok();
     }
 

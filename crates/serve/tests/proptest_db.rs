@@ -119,7 +119,7 @@ proptest! {
         let mut history = vec![db.stable().to_json()];
         for (op, seed) in ops {
             if op < 6 {
-                db.merge_report(&tenant_from_seed(seed), &[race_from_seed(seed)]);
+                db.merge_report(&tenant_from_seed(seed), &[race_from_seed(seed)], None);
             } else {
                 db.checkpoint().unwrap();
                 history.push(db.stable().to_json());
@@ -170,6 +170,7 @@ proptest! {
                     db.lock().unwrap().merge_report(
                         &tenant_from_seed(seed),
                         &[race_from_seed(seed)],
+                        None,
                     );
                 }
             }));

@@ -50,12 +50,59 @@ echo "==> bench smoke (pairing throughput, 1 vs 4 threads, fixed seed)"
 cargo run --release -q -p hawkset-bench --bin smoke -- --threads 4 --min-speedup 1.5
 
 echo "==> bench ratchet (per-stage events/sec vs committed BENCH_*.json)"
-# Decode / memsim / IRH / pairing throughput on the fixed-seed synthetic
+# Decode / memsim / IRH / pairing / repair throughput on the fixed-seed synthetic
 # trace, best-of-3, against the committed BENCH_<stage>.json baseline:
 # any stage >20% below its pin fails. A missing pin fails on every host;
 # timing enforcement is skipped on single-core hosts, where wall-clock
 # measures scheduler contention rather than the code.
 cargo run --release -q -p hawkset-bench --bin smoke -- --ratchet .
+
+echo "==> fix-validate smoke (--suggest-fixes over the golden corpus)"
+# The repair contract on the committed corpus, through the release CLI:
+# every emitted fix must carry an honest verdict — "validated": true is
+# only ever paired with status "fix", an unvalidated suggestion only ever
+# with status "candidate" (never silently emitted as a fix) — and the
+# flag-off envelope must not grow a "fixes" key at all (schema drift).
+# The pretty-printed JSON keeps each verdict pair on adjacent lines, which
+# is what the grep -A1 pairing relies on.
+for t in racy_fig1c racy_unpersisted app_wipe_fixes; do
+    set +e
+    FIX_ON=$(./target/release/hawkset analyze --json --suggest-fixes "tests/golden/$t.hwkt")
+    rc=$?
+    set -e
+    if [[ $rc -ne 1 ]]; then
+        echo "ci: --suggest-fixes analyze of $t expected exit 1 (races), got $rc" >&2
+        exit 1
+    fi
+    if ! grep -q '"fixes"' <<< "$FIX_ON"; then
+        echo "ci: $t produced no fixes section under --suggest-fixes" >&2
+        exit 1
+    fi
+    if grep -A1 '"validated": false' <<< "$FIX_ON" | grep -q '"status": "fix"'; then
+        echo "ci: $t emitted an unvalidated suggestion as a fix" >&2
+        exit 1
+    fi
+    if grep -A1 '"validated": true' <<< "$FIX_ON" | grep -q '"status": "candidate"'; then
+        echo "ci: $t demoted a replay-validated suggestion to candidate" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"validated": true' <<< "$FIX_ON"; then
+    echo "ci: the app capture carries no replay-validated fix" >&2
+    exit 1
+fi
+set +e
+FIX_OFF=$(./target/release/hawkset analyze --json tests/golden/racy_fig1c.hwkt)
+FIX_CLEAN=$(./target/release/hawkset analyze --json --suggest-fixes tests/golden/race_free.hwkt)
+set -e
+if grep -q '"fixes"' <<< "$FIX_OFF"; then
+    echo "ci: fixes key emitted without --suggest-fixes (schema drift)" >&2
+    exit 1
+fi
+if grep -q '"fixes"' <<< "$FIX_CLEAN"; then
+    echo "ci: race-free trace grew a fixes section under --suggest-fixes" >&2
+    exit 1
+fi
 
 echo "==> stage watchdog (stalled shard must not hang the run)"
 # A regression here can turn the injected 5s stall into a real hang, so

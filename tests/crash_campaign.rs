@@ -118,7 +118,7 @@ fn racy_configuration_fails_recovery_audit_and_is_attributable() {
     // ...and the failure is attributable: HawkSet reports the responsible
     // malign race on the very same run's trace.
     let report = Analyzer::default().run(&trace);
-    let attributed = attribute_races(&report.races, &FastFairApp.known_races());
+    let attributed = attribute_races(&report.races, &FastFairApp.known_races(), None);
     assert!(
         attributed.iter().any(|a| a.bug_id == 1 || a.bug_id == 2),
         "the audit failure must be attributable to Table 2 bug #1/#2, got {attributed:?}"
@@ -145,6 +145,7 @@ fn campaign_survives_hung_and_panicking_rounds_and_resumes() {
         checkpoint: Some(ckpt.clone()),
         resume: false,
         analysis_threads: 1,
+        suggest_fixes: false,
         faults: vec![
             InjectedFault {
                 round: 1,

@@ -14,6 +14,17 @@
 //!   analyzed at 1, 2 and 8 worker threads and must match byte-for-byte
 //!   at all three — the determinism contract, pinned.
 //!
+//! The `*_fixes` cases run with `suggest_fixes` on and pin the optional
+//! `fixes` section — every emitted `"validated": true` is a replay-proven
+//! repair, byte-stable at all three thread counts. Their negative twins
+//! are pinned too: with the flag off (every other case) the key is
+//! *absent*, so the flag-off envelope stays byte-identical to the
+//! pre-repair corpus. The one special case is `app_wipe_fixes.hwkt`: real
+//! application executions interleave live threads and are not
+//! byte-reproducible, so that trace was captured once and is analyzed
+//! from its committed bytes forever — delete the file and run with
+//! `UPDATE_GOLDEN=1` to re-capture it.
+//!
 //! The crashtest case pins `CampaignMetrics` JSON from a hand-built round
 //! record instead of a live campaign: crash-point placement depends on the
 //! measured op horizon, which varies with concurrent interleaving, so a
@@ -390,6 +401,37 @@ fn window_heavy_trace() -> Trace {
     b.finish()
 }
 
+/// The committed WIPE capture for the fixes-bearing application case.
+///
+/// Application traces cannot be rebuilt byte-identically — their worker
+/// threads interleave for real — so unlike every other `.hwkt` this one
+/// is not re-derived from its builder: the committed bytes *are* the
+/// case. Missing file + `UPDATE_GOLDEN=1` captures a fresh execution
+/// (20-op seed-42 default workload); any other missing-file state is an
+/// error, and `UPDATE_GOLDEN=1` alone never rewrites a present capture.
+fn app_capture_bytes() -> Vec<u8> {
+    let path = golden_dir().join("app_wipe_fixes.hwkt");
+    match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(_) if update_golden() => {
+            let app = hawkset::apps::all_apps()
+                .into_iter()
+                .find(|a| a.name() == "WIPE")
+                .expect("WIPE app registered");
+            let wl = app.default_workload(20, 42);
+            let bytes = io::encode(&app.execute(&wl)).to_vec();
+            std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+            std::fs::write(&path, &bytes)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            bytes
+        }
+        Err(e) => panic!(
+            "missing committed app capture {} ({e}); delete+UPDATE_GOLDEN=1 re-captures",
+            path.display()
+        ),
+    }
+}
+
 /// Bytes dropped from the tail of the Figure-1c encoding for the salvage
 /// case. The final event (the 5-byte `ThreadJoin`) loses its last bytes,
 /// so lossy decoding recovers every event but the join.
@@ -425,6 +467,29 @@ fn analysis_cases() -> Vec<AnalysisCase> {
             name: "racy_unpersisted",
             bytes: io::encode(&unpersisted_trace()).to_vec(),
             cfg: AnalysisConfig::default(),
+            salvage: false,
+        },
+        // Repair corpus: the same Figure-1c bytes analyzed with
+        // `suggest_fixes` on pin the `fixes` section — the flush+fence
+        // repair for the escaped persist, replay-validated — while the
+        // flag-off `racy_fig1c` twin above pins the key's absence. The
+        // WIPE capture pins fixes against a real application trace.
+        AnalysisCase {
+            name: "racy_fig1c_fixes",
+            bytes: io::encode(&fig1c_trace()).to_vec(),
+            cfg: AnalysisConfig {
+                suggest_fixes: true,
+                ..Default::default()
+            },
+            salvage: false,
+        },
+        AnalysisCase {
+            name: "app_wipe_fixes",
+            bytes: app_capture_bytes(),
+            cfg: AnalysisConfig {
+                suggest_fixes: true,
+                ..Default::default()
+            },
             salvage: false,
         },
         AnalysisCase {
@@ -554,6 +619,16 @@ fn golden_reports_are_pinned_at_every_thread_count() {
 fn golden_cases_exercise_what_they_claim() {
     for case in analysis_cases() {
         let json = run_case(&case, 1);
+        // Negative coverage for the repair section: with `suggest_fixes`
+        // off the `fixes` key must be absent — the flag-off envelope is
+        // byte-identical to the pre-repair schema.
+        if !case.cfg.suggest_fixes {
+            assert!(
+                !json.contains("\"fixes\""),
+                "{}: fixes key emitted without --suggest-fixes",
+                case.name
+            );
+        }
         match case.name {
             "race_free" => assert!(json.contains("\"races\": []"), "race_free found races"),
             "budget_truncated" => assert!(
@@ -572,6 +647,18 @@ fn golden_cases_exercise_what_they_claim() {
                 json.contains("\"reason\": \"interrupted\""),
                 "interrupted case did not degrade with reason = interrupted"
             ),
+            "racy_fig1c_fixes" | "app_wipe_fixes" => {
+                assert!(
+                    json.contains("\"fixes\""),
+                    "{}: no fixes section emitted",
+                    case.name
+                );
+                assert!(
+                    json.contains("\"validated\": true"),
+                    "{}: no replay-validated fix in the pinned corpus",
+                    case.name
+                );
+            }
             _ => {}
         }
         // Re-run through the API to inspect the typed snapshot.
@@ -590,8 +677,23 @@ fn golden_cases_exercise_what_they_claim() {
             case.name
         );
         match case.name {
-            "racy_fig1c" | "racy_unpersisted" => {
+            "racy_fig1c" | "racy_unpersisted" | "racy_fig1c_fixes" | "app_wipe_fixes" => {
                 assert!(!report.races.is_empty(), "{} found no race", case.name)
+            }
+            // A clean trace never grows a fixes section, even with the
+            // flag on: nothing to repair means no key, not an empty list.
+            "race_free" => {
+                let fixed = Analyzer::new(AnalysisConfig {
+                    suggest_fixes: true,
+                    ..Default::default()
+                })
+                .threads(1)
+                .try_run(&trace)
+                .expect("analyzes");
+                assert!(
+                    fixed.fixes.is_none(),
+                    "race_free emitted a fixes section with the flag on"
+                );
             }
             "budget_truncated" => assert!(
                 metrics.pairing.pairs_budget_dropped > 0,
@@ -624,10 +726,17 @@ fn golden_cases_stream_bit_identical_to_batch() {
         }
         for threads in [1usize, 2, 8] {
             let batch = run_case(&case, threads);
-            let streamed = Analyzer::new(case.cfg.clone())
-                .threads(threads)
+            let analyzer = Analyzer::new(case.cfg.clone()).threads(threads);
+            let mut streamed = analyzer
                 .try_run_stream(std::io::Cursor::new(case.bytes.clone()))
                 .unwrap_or_else(|e| panic!("{}: streaming failed: {e}", case.name));
+            // The streaming path has no trace in hand when pairing ends,
+            // so fixes ride a second pass — exactly what `hawkset analyze`
+            // and the serve worker do — and must land on the same bytes.
+            if case.cfg.suggest_fixes {
+                let trace = io::decode(&case.bytes).expect("decodable");
+                analyzer.attach_fixes(&trace, &mut streamed);
+            }
             assert_eq!(
                 masked_json(streamed),
                 batch,
