@@ -18,8 +18,10 @@
 //! memory-budget and kill/resume checks without shipping fixture files.
 //!
 //! `--bench-json DIR` measures the per-stage throughput trajectory
-//! (decode / memsim / irh / pairing / repair, see [`hawkset_bench::trajectory`])
-//! and writes `BENCH_<stage>.json` files into `DIR`, then exits.
+//! (decode / memsim / irh / pairing / repair / campaign, see
+//! [`hawkset_bench::trajectory`]) and writes `BENCH_<stage>.json` files
+//! into `DIR`, then exits. The campaign stage's unit is rounds/sec on a
+//! fixed-seed steered PCLHT crash campaign.
 //!
 //! `--ratchet DIR` measures the same trajectory and fails (exit 1) if any
 //! stage regressed >20% against the committed `BENCH_<stage>.json`
@@ -128,7 +130,8 @@ fn main() -> ExitCode {
     let access = simulate(&trace, &SimConfig::default());
 
     if bench_json.is_some() || ratchet_dir.is_some() {
-        let measurements = trajectory::measure(&trace, &access);
+        let mut measurements = trajectory::measure(&trace, &access);
+        measurements.push(trajectory::measure_campaign(trajectory::CAMPAIGN_ROUNDS));
         for m in &measurements {
             println!(
                 "smoke: {:<8} {:>12.0} events/sec ({:.1} ms, {} events)",

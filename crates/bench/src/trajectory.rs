@@ -1,8 +1,9 @@
 //! Per-stage throughput trajectory: the pinned `BENCH_<stage>.json` files.
 //!
 //! Each file records the events/sec of one pipeline stage — `decode`,
-//! `memsim`, `irh`, `pairing`, `repair` — on the fixed-seed synthetic
-//! smoke trace,
+//! `memsim`, `irh`, `pairing`, `repair`, `campaign` — on the fixed-seed
+//! synthetic smoke trace (the campaign stage runs a fixed-seed steered
+//! crash campaign instead),
 //! together with the commit it was measured at. The committed copies at
 //! the repo root are the performance *baseline*; `scripts/ci.sh` re-runs
 //! the measurement and fails on a >20% regression against them (the
@@ -12,24 +13,33 @@
 //!
 //! Stage definitions (what the timer actually wraps):
 //!
-//! | stage     | measured work |
-//! |-----------|---------------|
-//! | `decode`  | zero-copy batch decode of the encoded trace bytes |
-//! | `memsim`  | worst-case persistence simulation, IRH disabled |
-//! | `irh`     | the same simulation with inline IRH publication tracking — the pipeline's production Simulate stage |
-//! | `pairing` | single-threaded sharded pairing over the precomputed access set (`timing.pairing_ms` from the pipeline's own metrics) |
-//! | `repair`  | the `--suggest-fixes` second pass: re-simulation, per-race patch synthesis and every replay validation |
+//! | stage      | measured work |
+//! |------------|---------------|
+//! | `decode`   | zero-copy batch decode of the encoded trace bytes |
+//! | `memsim`   | worst-case persistence simulation, IRH disabled |
+//! | `irh`      | the same simulation with inline IRH publication tracking — the pipeline's production Simulate stage |
+//! | `pairing`  | single-threaded sharded pairing over the precomputed access set (`timing.pairing_ms` from the pipeline's own metrics) |
+//! | `repair`   | the `--suggest-fixes` second pass: re-simulation, per-race patch synthesis and every replay validation |
+//! | `campaign` | a fixed-seed steered PCLHT crash campaign end to end — plan derivation, two-pass rounds, audits, per-round analysis and corpus absorption; its `events` unit is *rounds*, not trace events |
 //!
-//! Every stage is best-of-3 to shave scheduler noise; the ratchet skips
-//! *enforcement* on single-core hosts, where wall-clock measures
-//! contention rather than the code, but still prints the numbers.
+//! Every stage is best-of-3 (the campaign, the slowest, best-of-2) to
+//! shave scheduler noise; the ratchet skips *enforcement* on single-core
+//! hosts, where wall-clock measures contention rather than the code, but
+//! still prints the numbers. Derived campaign rounds inject wall-clock
+//! delays by design, so the campaign figure is dominated by deterministic
+//! sleeps — it moves little between healthy hosts and still catches
+//! orchestration-layer slowdowns.
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use hawkset_core::analysis::Analyzer;
 use hawkset_core::memsim::{simulate, AccessSet, SimConfig};
 use hawkset_core::trace::{io, Trace};
+use pm_apps::pclht::PclhtApp;
+use pm_apps::Application;
+use pmrace::{run_crash_campaign, CrashCampaignConfig};
 use serde_json::{Map, Number, Value};
 
 /// Relative throughput loss that fails the ratchet: >20% below baseline.
@@ -149,6 +159,39 @@ pub fn measure(trace: &Trace, access: &AccessSet) -> Vec<StageMeasurement> {
         events_per_sec: ev_f / repair_secs,
     });
     out
+}
+
+/// Rounds the pinned `campaign` stage runs. The smoke binary always pins
+/// and checks at this count, so the committed baseline stays comparable.
+pub const CAMPAIGN_ROUNDS: u64 = 6;
+
+/// Measures the `campaign` stage: a fixed-seed steered PCLHT crash
+/// campaign of `rounds` rounds, wall-clocked end to end (plan derivation,
+/// the two-pass round body, crash-image audits, per-round analysis,
+/// corpus absorption). The throughput unit is rounds/sec — campaigns
+/// process traces of varying size, so trace events would not compare
+/// across rounds. PCLHT is the vehicle because its small-workload traces
+/// are reproducible, keeping the measured plans identical run to run.
+pub fn measure_campaign(rounds: u64) -> StageMeasurement {
+    let app: Arc<dyn Application> = Arc::new(PclhtApp);
+    let cfg = CrashCampaignConfig {
+        rounds,
+        crash_points: 3,
+        main_ops: 24,
+        seed: 5,
+        analysis_threads: 1,
+        steer: true,
+        ..Default::default()
+    };
+    let secs = best_of(2, || {
+        run_crash_campaign(&app, &cfg).expect("campaign stage runs")
+    });
+    StageMeasurement {
+        stage: "campaign",
+        events: rounds,
+        elapsed_ms: secs * 1e3,
+        events_per_sec: rounds as f64 / secs,
+    }
 }
 
 /// The commit the working tree is at, for the trajectory record.
@@ -281,10 +324,14 @@ mod tests {
     #[test]
     fn baseline_roundtrips_and_ratchet_holds_against_itself() {
         let (trace, access) = tiny_inputs();
-        let ms = measure(&trace, &access);
+        let mut ms = measure(&trace, &access);
+        // Two rounds keep the stage inside the steering warmup (baseline
+        // plans, no injected delays), so the unit test stays fast while
+        // still running the full campaign path.
+        ms.push(measure_campaign(2));
         assert_eq!(
             ms.iter().map(|m| m.stage).collect::<Vec<_>>(),
-            ["decode", "memsim", "irh", "pairing", "repair"]
+            ["decode", "memsim", "irh", "pairing", "repair", "campaign"]
         );
         for m in &ms {
             assert!(m.events_per_sec > 0.0, "{}: zero throughput", m.stage);

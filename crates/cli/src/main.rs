@@ -192,7 +192,21 @@ CRASHTEST OPTIONS:
     --suggest-fixes       compute replay-validated repair suggestions in
                           each round's analysis and attach them to the
                           attributed ground-truth races
-    --json                emit the machine-readable campaign record
+    --steer               coverage-guided steering: rounds that discover
+                          new coverage (race sites, lockset states, audit
+                          outcomes) enter a corpus, and later rounds are
+                          derived by mutating corpus entries along the
+                          enabled axes — deterministic in --seed, and
+                          --resume continues steering exactly
+    --axes LIST           comma-separated steering axes (default
+                          workload,delay,crash,threads,memory; add `io`
+                          to opt into storage-fault probes)
+    --delay-probability F base per-PM-op delay probability in [0, 1]
+                          applied to every round (default 0)
+    --max-delay-us N      base injected-delay upper bound, microseconds
+    --json                emit the machine-readable campaign record,
+                          including a `coverage` section with the distinct
+                          race sites and the per-round discovery timeline
     --metrics PATH        write the campaign metrics snapshot (per-outcome
                           round counters, retry/backoff totals, JSON) to
                           PATH atomically; never changes the exit status
@@ -289,6 +303,28 @@ fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String>
     };
     raw.parse::<u64>()
         .map_err(|_| format!("{flag} needs an integer, got `{raw}`"))
+}
+
+/// Parses `--flag F` / `--flag=F` style floating-point values. Range
+/// checks stay with the caller (config validation), but NaN never parses:
+/// a probability that compares false to everything is a typo, not a knob.
+fn float_value(args: &[String], i: &mut usize, flag: &str) -> Result<f64, String> {
+    let a = &args[*i];
+    let raw = if let Some(rest) = a.strip_prefix(&format!("{flag}=")) {
+        rest.to_string()
+    } else {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+    };
+    let v = raw
+        .parse::<f64>()
+        .map_err(|_| format!("{flag} needs a number, got `{raw}`"))?;
+    if v.is_nan() {
+        return Err(format!("{flag} cannot be NaN"));
+    }
+    Ok(v)
 }
 
 fn load_trace(path: &str) -> Result<Trace, HawkSetError> {
@@ -925,6 +961,28 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
             "--json" => json = true,
             "--metrics-stderr" => metrics_stderr = true,
             "--suggest-fixes" => cfg.suggest_fixes = true,
+            "--steer" => cfg.steer = true,
+            flag if flag == "--axes" || flag.starts_with("--axes=") => {
+                match path_value(args, &mut i, "--axes") {
+                    Ok(list) => match pmrace::AxisSet::parse(&list) {
+                        Ok(axes) => cfg.axes = axes,
+                        Err(e) => return crashtest_usage_err(&e),
+                    },
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--delay-probability" || flag.starts_with("--delay-probability=") => {
+                match float_value(args, &mut i, "--delay-probability") {
+                    Ok(v) => cfg.delay_probability = v,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
+            flag if flag == "--max-delay-us" || flag.starts_with("--max-delay-us=") => {
+                match numeric(args, &mut i, "--max-delay-us") {
+                    Ok(v) => cfg.max_delay_us = v,
+                    Err(e) => return crashtest_usage_err(&e),
+                }
+            }
             flag if flag == "--metrics" || flag.starts_with("--metrics=") => {
                 match path_value(args, &mut i, "--metrics") {
                     Ok(p) => metrics_path = Some(p),
@@ -1017,6 +1075,9 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
         ));
     };
     let app: Arc<dyn pm_apps::Application> = Arc::from(app);
+    if let Err(e) = cfg.validate() {
+        return crashtest_usage_err(&e);
+    }
     if !app.supports_recovery() {
         eprintln!(
             "hawkset crashtest: note: `{}` has no recovery audit; rounds only exercise \
@@ -1037,8 +1098,18 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
             seed: cfg.seed,
             rounds: cfg.rounds,
             completed: result.records.clone(),
+            fingerprint: Some(cfg.fingerprint()),
         };
-        match serde_json::to_string_pretty(&record) {
+        // The report is the checkpoint shape plus a `coverage` section:
+        // what the campaign discovered, and in which round.
+        let report = serde_json::to_value(&record).and_then(|mut v| {
+            let cov = serde_json::to_value(&result.coverage_report())?;
+            if let serde_json::Value::Object(obj) = &mut v {
+                obj.insert("coverage", cov);
+            }
+            serde_json::to_string_pretty(&v)
+        });
+        match report {
             Ok(s) => println!("{s}"),
             Err(e) => {
                 eprintln!("hawkset crashtest: cannot serialize result: {e}");
@@ -1100,6 +1171,13 @@ fn cmd_crashtest(args: &[String]) -> ExitCode {
             failed,
             format_duration(result.duration)
         );
+        if cfg.steer {
+            let cov = result.coverage_report();
+            println!(
+                "coverage: {} point(s), {} distinct race site(s), corpus {}",
+                cov.points_total, cov.race_sites, cov.corpus_size
+            );
+        }
     }
     if metrics_stderr || metrics_path.is_some() {
         // Always lenient: losing the metrics file must never change a

@@ -29,7 +29,7 @@ use crate::trace::{Event, EventColumns, EventKind, LockId, ThreadId, Trace};
 
 pub use facade::{AnalysisConfigBuilder, Analyzer, StreamConfig};
 pub use repair::{FixKind, FixReport, FixStatus, FixSuggestion, RepairValidator};
-pub use report::{AnalysisReport, Race, RaceKey};
+pub use report::{AnalysisReport, Race, RaceKey, SiteSignature};
 
 /// How [`Analyzer::try_run`] treats an ill-formed trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

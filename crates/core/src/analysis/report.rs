@@ -111,6 +111,23 @@ impl Race {
     }
 }
 
+/// One race site with its lockset state, rendered to strings so that
+/// signatures from *different traces* compare: [`RaceKey`] stack ids are
+/// only meaningful within one trace, but `file:line (function)` renders
+/// are stable across runs of the same program. This is the
+/// coverage-extraction primitive steered campaigns build on.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteSignature {
+    /// Rendered store site (`Race::store_site_str`).
+    pub store_site: String,
+    /// Rendered load site (`Race::load_site_str`).
+    pub load_site: String,
+    /// [`Race::store_never_persisted`] at this site.
+    pub store_never_persisted: bool,
+    /// [`Race::effective_lockset_empty`] at this site.
+    pub effective_lockset_empty: bool,
+}
+
 /// Version of the JSON shape [`AnalysisReport::to_json`] emits. Bump on
 /// any rename, removal, or retyping of a serialized field; additions are
 /// backward-compatible and do not bump it.
@@ -145,6 +162,28 @@ pub struct AnalysisReport {
 }
 
 impl AnalysisReport {
+    /// Extracts the sorted, deduplicated [`SiteSignature`] set of this
+    /// report. Deterministic for a deterministic report: the analysis
+    /// pipeline is bit-identical at every thread count, so signatures are
+    /// too — a property steered campaigns rely on when they compare
+    /// coverage across rounds.
+    pub fn site_signatures(&self) -> Vec<SiteSignature> {
+        let mut sigs: Vec<SiteSignature> = self
+            .races
+            .iter()
+            .filter(|r| !r.store_store)
+            .map(|r| SiteSignature {
+                store_site: r.store_site_str(),
+                load_site: r.load_site_str(),
+                store_never_persisted: r.store_never_persisted,
+                effective_lockset_empty: r.effective_lockset_empty,
+            })
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        sigs
+    }
+
     /// Renders a human-readable report with full backtraces.
     pub fn render(&self, trace: &Trace) -> String {
         let mut out = String::new();
@@ -320,6 +359,33 @@ mod tests {
         assert!(s.contains("btree.h:560"));
         assert!(s.contains("btree.h:878"));
         assert!(s.contains("unpersisted store"));
+    }
+
+    /// Signatures deduplicate by rendered site + lockset state, sort
+    /// deterministically, and skip store-store pairs (whose "load" fields
+    /// describe a second store, not a load site).
+    #[test]
+    fn site_signatures_dedupe_sort_and_skip_store_store() {
+        let mut a = sample_race();
+        let mut b = sample_race();
+        // Same sites but a different stack pair: still one signature.
+        b.key.store_stack = 9;
+        let mut c = sample_race();
+        c.store_site = Some(Frame::new("delete", "btree.h", 120));
+        let mut ss = sample_race();
+        ss.store_store = true;
+        a.pair_count = 1;
+        let report = AnalysisReport {
+            races: vec![a, b, c, ss],
+            ..Default::default()
+        };
+        let sigs = report.site_signatures();
+        assert_eq!(sigs.len(), 2, "two distinct sites expected: {sigs:?}");
+        assert!(sigs.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+        assert!(sigs.iter().all(|s| !s.store_site.is_empty()));
+        let json = serde_json::to_string(&sigs).unwrap();
+        let back: Vec<SiteSignature> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sigs);
     }
 
     #[test]

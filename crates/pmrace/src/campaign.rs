@@ -41,6 +41,26 @@ impl Default for CampaignConfig {
     }
 }
 
+impl CampaignConfig {
+    /// Rejects configurations that earlier versions silently clamped:
+    /// zero rounds, and NaN or out-of-`[0, 1]` delay probabilities.
+    /// Callers (the CLI in particular) surface the message and exit with
+    /// a usage error instead of running a campaign that does not mean
+    /// what was asked.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rounds == 0 {
+            return Err("rounds must be at least 1".into());
+        }
+        if !self.delay_probability.is_finite() || !(0.0..=1.0).contains(&self.delay_probability) {
+            return Err(format!(
+                "delay probability must be a finite value in [0, 1], got {}",
+                self.delay_probability
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A directly observed inter-thread inconsistency, deduplicated by the
 /// (store site, load site) pair — the attribution PMRace's second stage
 /// performs before reporting.
@@ -87,15 +107,23 @@ impl CampaignResult {
 
 /// Runs a PMRace-style campaign of `cfg.rounds` executions of `app`,
 /// starting from `seed_workload` and mutating between rounds.
+///
+/// # Panics
+///
+/// On a config [`CampaignConfig::validate`] rejects — validate at the
+/// boundary (the CLI does) before handing the config to a campaign.
 pub fn fuzz_app(
     app: &dyn Application,
     seed_workload: &Workload,
     cfg: &CampaignConfig,
 ) -> CampaignResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid campaign config: {e}");
+    }
     let started = Instant::now();
     let mut seen: HashMap<(String, Frame), ObservedRace> = HashMap::new();
     let mut delays = 0;
-    for round in 0..cfg.rounds.max(1) {
+    for round in 0..cfg.rounds {
         let wl = if round == 0 {
             seed_workload.clone()
         } else {
@@ -134,7 +162,7 @@ pub fn fuzz_app(
             .then(a.load_site.render().cmp(&b.load_site.render()))
     });
     CampaignResult {
-        rounds_run: cfg.rounds.max(1),
+        rounds_run: cfg.rounds,
         races,
         duration: started.elapsed(),
         delays_injected: delays,
@@ -196,6 +224,28 @@ mod tests {
         let p2 = pool.clone();
         env.spawn(&main, move |t| p2.load_u64(t, x)).join(&main);
         assert!(env.take_observations().is_empty());
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense_instead_of_clamping() {
+        let ok = CampaignConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(CampaignConfig {
+            rounds: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        for bad in [f64::NAN, f64::INFINITY, -0.1, 1.1] {
+            let cfg = CampaignConfig {
+                delay_probability: bad,
+                ..ok.clone()
+            };
+            assert!(
+                cfg.validate().is_err(),
+                "probability {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -24,17 +24,22 @@
 //!    killed campaign resumes exactly where it stopped, re-running only
 //!    unfinished rounds.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use hawkset_core::analysis::{AnalysisConfig, Analyzer, FixReport, FixSuggestion, Race};
+use hawkset_core::ioplane::{write_atomic, FaultScript, ScriptedIo};
 use pm_apps::registry::{KnownRace, RaceClass};
 use pm_apps::{Application, ExecOptions};
 use pm_runtime::{CrashImage, CrashInjector, CrashMode, PmEnv};
 use serde::{Deserialize, Serialize};
+
+use crate::coverage::{extract_coverage, CoveragePoint};
+use crate::delay::{DelayInjector, DelaySpec};
+use crate::steer::{materialize_workload, round_seed, AxisSet, RoundPlan, Steer};
 
 /// How one campaign round ended. `Ok`, `RecoveryFailed` and
 /// `InvariantViolated` are terminal (the latter two are the findings the
@@ -127,6 +132,16 @@ pub struct RoundRecord {
     pub attributed: Vec<AttributedRace>,
     /// Wall-clock time including retries.
     pub duration_ms: u64,
+    /// The round's deterministic coverage signature (see
+    /// [`extract_coverage`]); skipped when empty so pre-existing campaign
+    /// records round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub coverage: Vec<CoveragePoint>,
+    /// The steered plan the round executed (`None` for uniform rounds).
+    /// Carried in the checkpoint so `--resume` rebuilds the corpus from
+    /// the records alone.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub plan: Option<RoundPlan>,
 }
 
 /// Campaign state persisted after every round — the `--resume` format.
@@ -140,6 +155,12 @@ pub struct CampaignCheckpoint {
     pub rounds: u64,
     /// Records of the rounds finished so far.
     pub completed: Vec<RoundRecord>,
+    /// [`CrashCampaignConfig::fingerprint`] of the recording campaign.
+    /// `None` on checkpoints written before steering existed; a steered
+    /// resume refuses those, since the records carry no plans to rebuild
+    /// the corpus from.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fingerprint: Option<u64>,
 }
 
 /// Which transient failure a test harness wants simulated.
@@ -195,6 +216,16 @@ pub struct CrashCampaignConfig {
     /// Compute replay-validated repair suggestions in each round's
     /// analysis and attach them to the attributed ground-truth races.
     pub suggest_fixes: bool,
+    /// Coverage-guided steering: derive round plans from a corpus of
+    /// coverage-adding rounds instead of uniform per-round seeds.
+    pub steer: bool,
+    /// Which axes steering may mutate (ignored when `steer` is off).
+    pub axes: AxisSet,
+    /// Base delay-injection probability applied to every round, in
+    /// `[0.0, 1.0]`; validated (not clamped) by [`Self::validate`].
+    pub delay_probability: f64,
+    /// Base delay upper bound, microseconds.
+    pub max_delay_us: u64,
 }
 
 impl Default for CrashCampaignConfig {
@@ -213,8 +244,92 @@ impl Default for CrashCampaignConfig {
             faults: Vec::new(),
             analysis_threads: 0,
             suggest_fixes: false,
+            steer: false,
+            axes: AxisSet::default(),
+            delay_probability: 0.0,
+            max_delay_us: 0,
         }
     }
+}
+
+impl CrashCampaignConfig {
+    /// Rejects configurations that would previously have been silently
+    /// clamped or would corrupt a campaign: zero rounds, and NaN or
+    /// out-of-range delay probabilities.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rounds == 0 {
+            return Err("rounds must be at least 1".into());
+        }
+        if !self.delay_probability.is_finite() || !(0.0..=1.0).contains(&self.delay_probability) {
+            return Err(format!(
+                "delay probability must be a finite value in [0, 1], got {}",
+                self.delay_probability
+            ));
+        }
+        Ok(())
+    }
+
+    /// The base delay schedule every round starts from.
+    pub fn base_delay(&self) -> DelaySpec {
+        DelaySpec::uniform(self.delay_probability, self.max_delay_us)
+    }
+
+    /// Fingerprint of every config knob that changes what rounds *do* —
+    /// a resumed campaign must match the checkpoint's fingerprint exactly,
+    /// otherwise steering state rebuilt from the records would diverge
+    /// from the rounds that produced them.
+    pub fn fingerprint(&self) -> u64 {
+        let base = self.base_delay();
+        let repr = format!(
+            "steer={} axes={} crash_points={} main_ops={} delay={}:{}",
+            self.steer,
+            self.axes.render(),
+            self.crash_points,
+            self.main_ops,
+            base.prob_1024,
+            base.max_delay_us,
+        );
+        // FNV-1a over the canonical rendering.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// One round's slot in the coverage discovery timeline.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageTick {
+    /// Round index.
+    pub round: u64,
+    /// Coverage points this round saw first.
+    pub new_points: u64,
+    /// Cumulative distinct points after this round.
+    pub total_points: u64,
+}
+
+/// Version of the coverage report shape.
+pub const COVERAGE_REPORT_VERSION: u64 = 1;
+
+/// The `coverage` section of the crashtest JSON report: what the campaign
+/// discovered, and when. Deterministic for a deterministic campaign.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// [`COVERAGE_REPORT_VERSION`].
+    pub version: u64,
+    /// Distinct coverage points across all rounds.
+    pub points_total: u64,
+    /// Distinct race sites (`Site` points) across all rounds.
+    pub race_sites: u64,
+    /// Rounds that discovered at least one new point (the corpus size a
+    /// steered campaign would rebuild from these records).
+    pub corpus_size: u64,
+    /// Rendered distinct race sites, sorted (`store -> load`).
+    pub sites: Vec<String>,
+    /// Per-round discovery timeline, in round order.
+    pub timeline: Vec<CoverageTick>,
 }
 
 /// The outcome of a whole campaign.
@@ -239,6 +354,42 @@ impl CrashCampaignResult {
     /// Rounds whose outcome is a finding.
     pub fn findings(&self) -> impl Iterator<Item = &RoundRecord> {
         self.records.iter().filter(|r| r.outcome.is_finding())
+    }
+
+    /// Builds the campaign's coverage report by replaying the records'
+    /// coverage signatures in round order (`records` is already sorted).
+    pub fn coverage_report(&self) -> CoverageReport {
+        let mut seen: BTreeSet<CoveragePoint> = BTreeSet::new();
+        let mut timeline = Vec::with_capacity(self.records.len());
+        let mut corpus_size = 0u64;
+        for rec in &self.records {
+            let before = seen.len();
+            seen.extend(rec.coverage.iter().cloned());
+            let new_points = (seen.len() - before) as u64;
+            if new_points > 0 {
+                corpus_size += 1;
+            }
+            timeline.push(CoverageTick {
+                round: rec.round,
+                new_points,
+                total_points: seen.len() as u64,
+            });
+        }
+        let sites: Vec<String> = seen
+            .iter()
+            .filter_map(|p| match p {
+                CoveragePoint::Site { store, load } => Some(format!("{store} -> {load}")),
+                _ => None,
+            })
+            .collect();
+        CoverageReport {
+            version: COVERAGE_REPORT_VERSION,
+            points_total: seen.len() as u64,
+            race_sites: sites.len() as u64,
+            corpus_size,
+            sites,
+            timeline,
+        }
     }
 
     /// Aggregates the campaign into a [`CampaignMetrics`] object — the
@@ -417,6 +568,7 @@ struct WorkerReport {
     op_horizon: u64,
     images_captured: u64,
     attributed: Vec<AttributedRace>,
+    coverage: Vec<CoveragePoint>,
 }
 
 /// Audits one captured crash image: remap every pool (in mapping order, so
@@ -450,21 +602,50 @@ fn audit_image(app: &dyn Application, image: &CrashImage) -> Option<RoundOutcome
     }
 }
 
-/// One round, run to completion on the calling thread: measure the op
-/// horizon, re-run with seeded crash points, audit every captured image,
-/// analyze the trace for attributable races.
+/// Runs the plan's storage-fault probe: a scripted-fault atomic write in
+/// a fresh temp directory. The probe exercises the checkpoint/artifact
+/// write path (`write_atomic`) under the scheduled fault and reports
+/// whether it survived — an io-axis coverage point.
+fn io_probe(script: &str) -> Option<CoveragePoint> {
+    let faults = FaultScript::parse(script).ok()?;
+    let plane = ScriptedIo::new(faults);
+    let dir = std::env::temp_dir().join(format!(
+        "hawkset-io-probe-{}-{:x}",
+        std::process::id(),
+        // Unique per probe within the process without consulting a clock.
+        {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static N: AtomicU64 = AtomicU64::new(0);
+            N.fetch_add(1, Ordering::Relaxed)
+        }
+    ));
+    std::fs::create_dir_all(&dir).ok()?;
+    let survived = write_atomic(&plane, "campaign", &dir, "probe.json", b"{}\n").is_ok();
+    let _ = std::fs::remove_dir_all(&dir);
+    Some(CoveragePoint::Io {
+        script: script.to_string(),
+        survived,
+    })
+}
+
+/// One round, run to completion on the calling thread: materialize the
+/// plan's workload, measure the op horizon, re-run with the plan's delay
+/// schedule and seeded crash points, audit every captured image, analyze
+/// the trace for attributable races, and extract the round's coverage
+/// signature.
 fn round_body(
     app: &Arc<dyn Application>,
     main_ops: u64,
-    crash_points: usize,
-    round_seed: u64,
+    plan: &RoundPlan,
     analysis_threads: usize,
     suggest_fixes: bool,
 ) -> WorkerReport {
     // Pass 1 — measure the run's PM-operation horizon so crash points land
-    // inside it. An injector with no points is a pure op counter.
+    // inside it. An injector with no points is a pure op counter; the
+    // probe pass never installs the delay hook (delays change timing, not
+    // the op count, so the horizon is cheaper to measure undelayed).
     let probe = CrashInjector::at_points([], CrashMode::Continue);
-    let workload = app.default_workload(main_ops, round_seed);
+    let workload = materialize_workload(app.as_ref(), plan, main_ops);
     let opts = ExecOptions {
         crash: Some(Arc::clone(&probe)),
         ..Default::default()
@@ -472,10 +653,23 @@ fn round_body(
     app.execute_with(&workload, &opts);
     let horizon = probe.op_count();
 
-    // Pass 2 — same workload under seeded crash points, continue mode: one
-    // run yields every candidate crash state plus a full analysis trace.
-    let injector = CrashInjector::seeded(round_seed, crash_points, horizon, CrashMode::Continue);
+    // Pass 2 — same workload under the plan's delay schedule and seeded
+    // crash points, continue mode: one run yields every candidate crash
+    // state plus a full analysis trace.
+    let injector = CrashInjector::seeded(
+        plan.crash_salt,
+        plan.crash_points,
+        horizon,
+        CrashMode::Continue,
+    );
+    let delay = (!plan.delay.is_noop()).then(|| {
+        DelayInjector::with_spec(
+            plan.workload_seed ^ 0x5851_f42d_4c95_7f2d,
+            plan.delay.clone(),
+        )
+    });
     let opts = ExecOptions {
+        hook: delay.as_ref().map(DelayInjector::hook),
         crash: Some(Arc::clone(&injector)),
         ..Default::default()
     };
@@ -490,16 +684,29 @@ fn round_body(
             }
         }
     }
-    let report = Analyzer::new(AnalysisConfig::default())
+    let mut acfg = AnalysisConfig::default();
+    if let Some(budget) = plan.memory_budget {
+        acfg.budget.memory_budget = Some(budget);
+    }
+    let report = Analyzer::new(acfg)
         .threads(analysis_threads)
         .suggest_fixes(suggest_fixes)
         .run(&result.trace);
+    let mut coverage = extract_coverage(&report, &outcome);
+    if let Some(script) = &plan.io_script {
+        if let Some(point) = io_probe(script) {
+            coverage.push(point);
+            coverage.sort();
+            coverage.dedup();
+        }
+    }
     WorkerReport {
         outcome,
         crash_points: injector.points().to_vec(),
         op_horizon: horizon,
         images_captured: injector.images_captured(),
         attributed: attribute_races(&report.races, &app.known_races(), report.fixes.as_ref()),
+        coverage,
     }
 }
 
@@ -522,16 +729,17 @@ fn run_supervised_round(
     app: &Arc<dyn Application>,
     cfg: &CrashCampaignConfig,
     round: u64,
+    plan: &RoundPlan,
     fault: Option<InjectedFault>,
 ) -> RoundRecord {
     let started = Instant::now();
-    let round_seed = cfg.seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let mut attempt: u32 = 0;
     let mut backoff = cfg.retry_backoff;
     loop {
         let (tx, rx) = mpsc::channel::<Result<WorkerReport, String>>();
         let worker_app = Arc::clone(app);
-        let (main_ops, crash_points, timeout) = (cfg.main_ops, cfg.crash_points, cfg.round_timeout);
+        let worker_plan = plan.clone();
+        let (main_ops, timeout) = (cfg.main_ops, cfg.round_timeout);
         let analysis_threads = cfg.analysis_threads;
         let suggest_fixes = cfg.suggest_fixes;
         let this_attempt = attempt;
@@ -564,8 +772,7 @@ fn run_supervised_round(
                     round_body(
                         &worker_app,
                         main_ops,
-                        crash_points,
-                        round_seed,
+                        &worker_plan,
                         analysis_threads,
                         suggest_fixes,
                     )
@@ -588,6 +795,8 @@ fn run_supervised_round(
                         images_captured: report.images_captured,
                         attributed: report.attributed,
                         duration_ms: started.elapsed().as_millis() as u64,
+                        coverage: report.coverage,
+                        plan: cfg.steer.then(|| plan.clone()),
                     };
                 }
                 Ok(Err(message)) => RoundOutcome::Panicked { message },
@@ -612,6 +821,8 @@ fn run_supervised_round(
             images_captured: 0,
             attributed: Vec::new(),
             duration_ms: started.elapsed().as_millis() as u64,
+            coverage: Vec::new(),
+            plan: cfg.steer.then(|| plan.clone()),
         };
     }
 }
@@ -627,6 +838,7 @@ pub fn run_crash_campaign(
     app: &Arc<dyn Application>,
     cfg: &CrashCampaignConfig,
 ) -> Result<CrashCampaignResult, String> {
+    cfg.validate()?;
     let started = Instant::now();
     let mut completed: Vec<RoundRecord> = Vec::new();
     let mut resumed = false;
@@ -647,9 +859,44 @@ pub fn run_crash_campaign(
                         ck.seed, cfg.seed
                     ));
                 }
+                match ck.fingerprint {
+                    Some(f) if f != cfg.fingerprint() => {
+                        return Err(format!(
+                            "checkpoint was recorded under a different campaign configuration \
+                             (fingerprint {f:#018x} != {:#018x}); steering state rebuilt from \
+                             its records would diverge from the rounds that produced them",
+                            cfg.fingerprint()
+                        ));
+                    }
+                    None if cfg.steer => {
+                        return Err("checkpoint predates steering (no config fingerprint); \
+                             a steered campaign cannot resume from it"
+                            .into());
+                    }
+                    _ => {}
+                }
                 completed = ck.completed;
                 resumed = true;
             }
+        }
+    }
+    // The steering state is rebuilt purely from the checkpointed records:
+    // plan derivation for round r only observes rounds before r, so
+    // replaying the records in round order puts the planner exactly where
+    // the interrupted campaign left it.
+    let mut steer = cfg.steer.then(|| {
+        Steer::new(
+            cfg.seed,
+            cfg.axes.clone(),
+            cfg.crash_points,
+            cfg.base_delay(),
+        )
+    });
+    if let Some(s) = steer.as_mut() {
+        let mut replay = completed.clone();
+        replay.sort_by_key(|r| r.round);
+        for rec in &replay {
+            s.absorb(rec.round, rec.plan.as_ref(), &rec.coverage);
         }
     }
     let done: HashSet<u64> = completed.iter().map(|r| r.round).collect();
@@ -658,8 +905,20 @@ pub fn run_crash_campaign(
         if done.contains(&round) {
             continue;
         }
+        let plan = match &steer {
+            Some(s) => s.plan(round),
+            None => {
+                let mut plan = RoundPlan::baseline(round_seed(cfg.seed, round), cfg.crash_points);
+                plan.delay = cfg.base_delay();
+                plan
+            }
+        };
         let fault = cfg.faults.iter().find(|f| f.round == round).copied();
-        completed.push(run_supervised_round(app, cfg, round, fault));
+        let record = run_supervised_round(app, cfg, round, &plan, fault);
+        if let Some(s) = steer.as_mut() {
+            s.absorb(round, record.plan.as_ref(), &record.coverage);
+        }
+        completed.push(record);
         executed += 1;
         if let Some(path) = &cfg.checkpoint {
             let ck = CampaignCheckpoint {
@@ -667,6 +926,7 @@ pub fn run_crash_campaign(
                 seed: cfg.seed,
                 rounds: cfg.rounds,
                 completed: completed.clone(),
+                fingerprint: Some(cfg.fingerprint()),
             };
             write_checkpoint(path, &ck)?;
         }
@@ -700,6 +960,7 @@ mod tests {
             faults: Vec::new(),
             analysis_threads: 0,
             suggest_fixes: false,
+            ..Default::default()
         }
     }
 
@@ -747,6 +1008,8 @@ mod tests {
                     images_captured: 2,
                     attributed: Vec::new(),
                     duration_ms: 10,
+                    coverage: Vec::new(),
+                    plan: None,
                 },
                 RoundRecord {
                     round: 1,
@@ -757,6 +1020,8 @@ mod tests {
                     images_captured: 1,
                     attributed: Vec::new(),
                     duration_ms: 30,
+                    coverage: Vec::new(),
+                    plan: None,
                 },
             ],
             executed_this_run: 2,
@@ -846,7 +1111,13 @@ mod tests {
                     fix: None,
                 }],
                 duration_ms: 42,
+                coverage: vec![CoveragePoint::Audit {
+                    outcome: "invariant_violated".into(),
+                    detail: "fence-key".into(),
+                }],
+                plan: None,
             }],
+            fingerprint: Some(0xdead_beef),
         };
         let json = serde_json::to_string_pretty(&ck).expect("serializes");
         let back: CampaignCheckpoint = serde_json::from_str(&json).expect("parses");

@@ -21,18 +21,27 @@
 //! * [`run_crash_campaign`] goes one step past observation: it crashes the
 //!   application at injected points, restarts it from the persisted-only
 //!   image, and audits recovery — the PMRace post-failure stage, supervised
-//!   (panic isolation, watchdog, retries, checkpoint/resume).
+//!   (panic isolation, watchdog, retries, checkpoint/resume);
+//! * [`Steer`] makes crash campaigns coverage-guided: rounds become points
+//!   in a multi-axis configuration space, rounds that add new
+//!   [`CoveragePoint`]s enter an AFL-style corpus, and later rounds are
+//!   derived by weighted mutation of corpus entries — deterministically in
+//!   the campaign seed, resumable from the checkpoint alone.
 
 pub mod campaign;
+pub mod coverage;
 pub mod crashtest;
 pub mod delay;
 pub mod metric;
+pub mod steer;
 
 pub use campaign::{fuzz_app, CampaignConfig, CampaignResult, ObservedRace};
+pub use coverage::{extract_coverage, CoveragePoint};
 pub use crashtest::{
     attribute_races, load_checkpoint, run_crash_campaign, AttributedRace, CampaignCheckpoint,
-    CampaignMetrics, CampaignTiming, CrashCampaignConfig, CrashCampaignResult, FaultKind,
-    InjectedFault, RoundOutcome, RoundRecord,
+    CampaignMetrics, CampaignTiming, CoverageReport, CoverageTick, CrashCampaignConfig,
+    CrashCampaignResult, FaultKind, InjectedFault, RoundOutcome, RoundRecord,
 };
-pub use delay::DelayInjector;
+pub use delay::{DelayInjector, DelayRule, DelaySpec, PointClass};
 pub use metric::expected_time_to_race;
+pub use steer::{materialize_workload, round_seed, Axis, AxisSet, CorpusEntry, RoundPlan, Steer};

@@ -174,7 +174,14 @@ impl CrashInjector {
     /// with the matching index executes, so the captured image excludes it.
     pub fn hook(self: &Arc<Self>) -> Hook {
         let me = Arc::clone(self);
-        Arc::new(move |tid: ThreadId, _point: HookPoint| {
+        Arc::new(move |tid: ThreadId, point: HookPoint| {
+            // Only PM data/persistency operations advance the op horizon;
+            // synchronization points (acquire/release) fire the hook too,
+            // but counting them would make crash placement depend on lock
+            // traffic rather than persistent-state progress.
+            if !point.is_pm_op() {
+                return;
+            }
             let n = me.counter.fetch_add(1, Ordering::Relaxed);
             if me.points.binary_search(&n).is_err() {
                 return;

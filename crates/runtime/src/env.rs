@@ -43,6 +43,25 @@ pub enum HookPoint {
     BeforeFlush(PmAddr),
     /// Immediately before a fence.
     BeforeFence,
+    /// Immediately before a lock acquisition is recorded. Delaying here
+    /// stretches the gap between taking the lock and the critical
+    /// section's PM work — not a PM operation, so crash-point counting
+    /// ignores it.
+    BeforeAcquire(LockId),
+    /// Immediately before a lock release is recorded. Delaying here holds
+    /// the critical section open past its last PM write.
+    BeforeRelease(LockId),
+}
+
+impl HookPoint {
+    /// `true` for the PM data/persistency points that count toward the
+    /// crash-injection op horizon; `false` for synchronization points.
+    pub fn is_pm_op(&self) -> bool {
+        !matches!(
+            self,
+            HookPoint::BeforeAcquire(_) | HookPoint::BeforeRelease(_)
+        )
+    }
 }
 
 /// Perturbation hook type.
@@ -475,6 +494,7 @@ impl PmEnv {
         mode: LockMode,
         loc: &'static Location<'static>,
     ) {
+        self.fire_hook(t.tid(), HookPoint::BeforeAcquire(lock));
         self.record_at(t, loc, EventKind::Acquire { lock, mode });
     }
 
@@ -484,6 +504,7 @@ impl PmEnv {
         lock: LockId,
         loc: &'static Location<'static>,
     ) {
+        self.fire_hook(t.tid(), HookPoint::BeforeRelease(lock));
         self.record_at(t, loc, EventKind::Release { lock });
     }
 

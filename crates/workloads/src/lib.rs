@@ -14,7 +14,7 @@ pub mod special;
 pub mod ycsb;
 pub mod zipfian;
 
-pub use mutate::mutate;
+pub use mutate::{mutate, mutate_step};
 pub use special::{madfs_workload, memcached_workload, CacheOp, FsOp};
 pub use ycsb::{Op, OpMix, Workload, WorkloadSpec};
 pub use zipfian::{Distribution, KeyDistribution, ScrambledZipfian, Uniform, Zipfian};

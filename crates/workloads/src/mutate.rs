@@ -13,7 +13,8 @@ use rand::{Rng, SeedableRng};
 use crate::ycsb::{Op, Workload};
 
 /// Mutates `seed_workload` into a nearby variant, deterministically from
-/// `round`.
+/// `round`. The output always keeps at least one main-phase op in total:
+/// a drained workload would burn a whole campaign round executing nothing.
 pub fn mutate(seed_workload: &Workload, seed: u64, round: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut out = seed_workload.clone();
@@ -26,7 +27,44 @@ pub fn mutate(seed_workload: &Workload, seed: u64, round: u64) -> Workload {
             _ => drop_op(&mut out, &mut rng),
         }
     }
+    ensure_nonempty(&mut out);
     out
+}
+
+/// Applies one steering mutation step to `w` — the corpus-driven variant
+/// used by steered crash campaigns. Unlike [`mutate`], which always starts
+/// from the seed, steps are meant to be *chained* (mutation of a corpus
+/// entry's already-mutated workload), so each step is seeded directly and
+/// the palette adds `insert_burst`: a run of fresh sequential inserts that
+/// pushes an index toward structural operations (splits, rebalances)
+/// scattered point mutations rarely reach.
+pub fn mutate_step(w: &Workload, step_seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(step_seed);
+    let mut out = w.clone();
+    let mutations = 1 + rng.gen_range(0..2);
+    for _ in 0..mutations {
+        match rng.gen_range(0..6) {
+            0 => perturb_key(&mut out, &mut rng),
+            1 => flip_kind(&mut out, &mut rng),
+            2 => duplicate_op(&mut out, &mut rng),
+            3 => drop_op(&mut out, &mut rng),
+            _ => insert_burst(&mut out, &mut rng),
+        }
+    }
+    ensure_nonempty(&mut out);
+    out
+}
+
+/// Guarantees the invariant documented on [`mutate`]: at least one
+/// main-phase op survives, reseeding thread 0 with a probe read if every
+/// slot was drained.
+fn ensure_nonempty(w: &mut Workload) {
+    if w.per_thread.iter().all(Vec::is_empty) {
+        if w.per_thread.is_empty() {
+            w.per_thread.push(Vec::new());
+        }
+        w.per_thread[0].push(Op::Get { key: 0 });
+    }
 }
 
 fn pick_slot<'w>(w: &'w mut Workload, rng: &mut StdRng) -> Option<&'w mut Vec<Op>> {
@@ -110,10 +148,35 @@ fn duplicate_op(w: &mut Workload, rng: &mut StdRng) {
 }
 
 fn drop_op(w: &mut Workload, rng: &mut StdRng) {
+    // A slot is allowed to drain completely — single-thread shapes are
+    // schedules too. `ensure_nonempty` keeps the *workload* from draining.
     let Some(ops) = pick_slot(w, rng) else { return };
-    if ops.len() > 1 {
-        let i = rng.gen_range(0..ops.len());
-        ops.remove(i);
+    let i = rng.gen_range(0..ops.len());
+    ops.remove(i);
+}
+
+fn insert_burst(w: &mut Workload, rng: &mut StdRng) {
+    // Fresh keys above everything the workload already touches, so the
+    // burst grows the structure instead of overwriting.
+    let max_key = w
+        .load
+        .iter()
+        .chain(w.per_thread.iter().flatten())
+        .map(Op::key)
+        .max()
+        .unwrap_or(0);
+    let start = max_key + 1 + rng.gen_range(0..64u64);
+    let len = 8 + rng.gen_range(0..25u64);
+    if w.per_thread.is_empty() {
+        w.per_thread.push(Vec::new());
+    }
+    let t = rng.gen_range(0..w.per_thread.len());
+    for i in 0..len {
+        let key = start + i;
+        w.per_thread[t].push(Op::Insert {
+            key,
+            value: key | 1,
+        });
     }
 }
 
@@ -151,5 +214,41 @@ mod tests {
             let m = mutate(&base, 2, round);
             assert_eq!(m.per_thread.len(), base.per_thread.len());
         }
+    }
+
+    /// Regression: `drop_op` may drain slots, but neither `mutate` nor a
+    /// long `mutate_step` chain may ever produce a zero-op workload — a
+    /// degenerate round that executes nothing.
+    #[test]
+    fn mutation_never_drains_the_workload() {
+        let tiny = Workload {
+            load: Vec::new(),
+            per_thread: vec![vec![Op::Get { key: 1 }], Vec::new()],
+        };
+        for seed in 0..32 {
+            for round in 0..32 {
+                let m = mutate(&tiny, seed, round);
+                assert!(
+                    m.main_ops() >= 1,
+                    "mutate(seed={seed}, round={round}) drained"
+                );
+            }
+        }
+        let mut chained = tiny;
+        for step in 0..256 {
+            chained = mutate_step(&chained, step);
+            assert!(chained.main_ops() >= 1, "step {step} drained the chain");
+        }
+    }
+
+    #[test]
+    fn mutate_step_is_deterministic_and_can_grow_bursts() {
+        let base = WorkloadSpec::pmrace_seed(4).generate();
+        let a = mutate_step(&base, 99);
+        let b = mutate_step(&base, 99);
+        assert_eq!(a, b);
+        // Some step seed grows the workload by a burst (> 8 ops at once).
+        let grew = (0..64).any(|s| mutate_step(&base, s).main_ops() >= base.main_ops() + 8);
+        assert!(grew, "no step seed in 0..64 produced an insert burst");
     }
 }

@@ -252,11 +252,53 @@ impl Workload {
             .flatten()
             .any(|op| matches!(op, Op::Delete { .. }))
     }
+
+    /// Re-deals the main phase across `threads` worker threads (the
+    /// thread-count axis of steered campaigns). Ops are flattened in
+    /// index-major order — op *i* of each thread in turn, preserving the
+    /// interleaving flavour of the original schedule — then dealt
+    /// round-robin, so the total op multiset is unchanged. `threads == 0`
+    /// is a no-op.
+    pub fn reshard(&self, threads: usize) -> Workload {
+        if threads == 0 || threads == self.per_thread.len() {
+            return self.clone();
+        }
+        let longest = self.per_thread.iter().map(Vec::len).max().unwrap_or(0);
+        let flat: Vec<Op> = (0..longest)
+            .flat_map(|i| self.per_thread.iter().filter_map(move |t| t.get(i)))
+            .copied()
+            .collect();
+        let mut per_thread = vec![Vec::new(); threads];
+        for (i, op) in flat.into_iter().enumerate() {
+            per_thread[i % threads].push(op);
+        }
+        Workload {
+            load: self.load.clone(),
+            per_thread,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reshard_preserves_op_multiset_and_changes_thread_count() {
+        let w = WorkloadSpec::pmrace_seed(3).generate();
+        for threads in [1usize, 2, 5, 16] {
+            let r = w.reshard(threads);
+            assert_eq!(r.per_thread.len(), threads);
+            assert_eq!(r.main_ops(), w.main_ops());
+            let count = |wl: &Workload| {
+                let mut ops: Vec<Op> = wl.per_thread.iter().flatten().copied().collect();
+                ops.sort_by_key(|o| (o.key(), format!("{o:?}")));
+                ops
+            };
+            assert_eq!(count(&r), count(&w), "reshard({threads}) altered ops");
+        }
+        assert_eq!(w.reshard(0), w, "0 threads is a no-op");
+    }
 
     #[test]
     fn paper_spec_matches_section5() {

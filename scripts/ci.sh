@@ -50,12 +50,68 @@ echo "==> bench smoke (pairing throughput, 1 vs 4 threads, fixed seed)"
 cargo run --release -q -p hawkset-bench --bin smoke -- --threads 4 --min-speedup 1.5
 
 echo "==> bench ratchet (per-stage events/sec vs committed BENCH_*.json)"
-# Decode / memsim / IRH / pairing / repair throughput on the fixed-seed synthetic
-# trace, best-of-3, against the committed BENCH_<stage>.json baseline:
+# Decode / memsim / IRH / pairing / repair throughput on the fixed-seed
+# synthetic trace plus the steered-campaign rounds/sec figure, best-of-3
+# (campaign best-of-2), against the committed BENCH_<stage>.json baseline:
 # any stage >20% below its pin fails. A missing pin fails on every host;
 # timing enforcement is skipped on single-core hosts, where wall-clock
 # measures scheduler contention rather than the code.
 cargo run --release -q -p hawkset-bench --bin smoke -- --ratchet .
+
+echo "==> campaign smoke (steering beats uniform; SIGKILL mid-campaign + --resume)"
+# Fixed-seed steered-vs-uniform on PCLHT: its uniform runs are
+# byte-reproducible at this size (4 sites) while steered runs land on
+# 7–8, so the strict inequality holds even when an interleaving-dependent
+# site flickers. crashtest exits 0/1 by findings — both are healthy.
+CAMP_DIR=$(mktemp -d /tmp/hawkset-ci-camp-XXXXXX)
+CAMP="./target/release/hawkset crashtest pclht --rounds 12 --ops 24 --seed 5 --crash-points 3"
+set +e
+$CAMP --json > "$CAMP_DIR/uniform.json"
+rc=$?; [[ $rc -gt 1 ]] && { echo "ci: uniform campaign failed (exit $rc)" >&2; exit 1; }
+$CAMP --steer --json > "$CAMP_DIR/steered.json"
+rc=$?; [[ $rc -gt 1 ]] && { echo "ci: steered campaign failed (exit $rc)" >&2; exit 1; }
+set -e
+sites() { sed -n 's/.*"race_sites": \([0-9]*\).*/\1/p' "$1"; }
+UNIFORM_SITES=$(sites "$CAMP_DIR/uniform.json")
+STEERED_SITES=$(sites "$CAMP_DIR/steered.json")
+if [[ -z "$UNIFORM_SITES" || -z "$STEERED_SITES" ]]; then
+    echo "ci: campaign reports carry no coverage.race_sites" >&2
+    exit 1
+fi
+if [[ "$STEERED_SITES" -le "$UNIFORM_SITES" ]]; then
+    echo "ci: steering must beat uniform at the same budget:" >&2
+    echo "ci: steered $STEERED_SITES site(s) vs uniform $UNIFORM_SITES" >&2
+    exit 1
+fi
+# SIGKILL drill on TurboHash: comparing an interrupted+resumed campaign
+# against an uninterrupted one compares two independent executions, so
+# the app's traces must be byte-reproducible even under steered rounds.
+# TurboHash's are (PCLHT's occasionally flicker one site). The killed
+# campaign must converge to the same coverage section (sites, corpus,
+# per-round discovery timeline) as the uninterrupted reference.
+DRILL="./target/release/hawkset crashtest turbohash --rounds 12 --ops 24 --seed 5 --crash-points 3 --steer"
+set +e
+$DRILL --json > "$CAMP_DIR/reference.json"
+rc=$?; [[ $rc -gt 1 ]] && { echo "ci: reference steered campaign failed (exit $rc)" >&2; exit 1; }
+# Kill the same campaign mid-flight — the checkpoint is written after
+# every round; derived rounds inject delays, so the run outlives the poll.
+$DRILL --checkpoint "$CAMP_DIR/ck.json" > /dev/null 2>&1 &
+CAMP_PID=$!
+for _ in $(seq 200); do
+    [[ -s "$CAMP_DIR/ck.json" ]] && break
+    sleep 0.05
+done
+kill -9 "$CAMP_PID" 2>/dev/null
+wait "$CAMP_PID" 2>/dev/null
+$DRILL --resume "$CAMP_DIR/ck.json" --json > "$CAMP_DIR/resumed.json"
+rc=$?; [[ $rc -gt 1 ]] && { echo "ci: resumed campaign failed (exit $rc)" >&2; exit 1; }
+set -e
+coverage_of() { sed -n '/"coverage": {/,$p' "$1"; }
+if ! diff <(coverage_of "$CAMP_DIR/reference.json") <(coverage_of "$CAMP_DIR/resumed.json"); then
+    echo "ci: SIGKILL + --resume diverged from the uninterrupted steered run" >&2
+    exit 1
+fi
+rm -rf "$CAMP_DIR"
 
 echo "==> fix-validate smoke (--suggest-fixes over the golden corpus)"
 # The repair contract on the committed corpus, through the release CLI:

@@ -16,6 +16,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hawkset::apps::fastfair::{run_fastfair, FastFairApp, FastFairBugs};
+use hawkset::apps::pclht::PclhtApp;
+use hawkset::apps::turbohash::TurboHashApp;
 use hawkset::apps::{Application, ExecOptions};
 use hawkset::baseline::{
     attribute_races, load_checkpoint, run_crash_campaign, CrashCampaignConfig, FaultKind,
@@ -158,6 +160,7 @@ fn campaign_survives_hung_and_panicking_rounds_and_resumes() {
                 first_attempts: u32::MAX,
             },
         ],
+        ..Default::default()
     };
     // The hung round must actually hit the watchdog, so give IT a short
     // deadline while healthy rounds get a comfortable one — the fault
@@ -227,6 +230,180 @@ fn campaign_survives_hung_and_panicking_rounds_and_resumes() {
     };
     let err = run_crash_campaign(&app, &wrong_seed).expect_err("seed mismatch must fail");
     assert!(err.contains("seed"), "error names the mismatch: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Baseline campaign parameters for the steering acceptance tests.
+fn campaign_cfg(seed: u64, rounds: u64) -> CrashCampaignConfig {
+    CrashCampaignConfig {
+        rounds,
+        crash_points: 3,
+        main_ops: 24,
+        seed,
+        round_timeout: Duration::from_secs(120),
+        max_retries: 1,
+        retry_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        analysis_threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Acceptance: at an equal round budget and the same seed, the
+/// coverage-guided campaign must discover strictly more distinct race
+/// sites than the uniform baseline. PCLHT is the vehicle: its uniform
+/// runs are byte-reproducible at this size (4 sites), while steered runs
+/// land on 7–8 — comfortably above the strict bound even when an
+/// interleaving-dependent site flickers.
+#[test]
+fn steered_campaign_discovers_strictly_more_sites_than_uniform() {
+    let app: Arc<dyn Application> = Arc::new(PclhtApp);
+    let uniform = run_crash_campaign(&app, &campaign_cfg(5, 12)).expect("uniform campaign runs");
+    let steered_cfg = CrashCampaignConfig {
+        steer: true,
+        ..campaign_cfg(5, 12)
+    };
+    let steered = run_crash_campaign(&app, &steered_cfg).expect("steered campaign runs");
+
+    let u = uniform.coverage_report();
+    let s = steered.coverage_report();
+    assert!(
+        u.race_sites >= 1,
+        "the uniform baseline must find something to compare against"
+    );
+    assert!(
+        s.race_sites > u.race_sites,
+        "steering must discover strictly more race sites than uniform at \
+         the same budget: steered {} vs uniform {} ({:?} vs {:?})",
+        s.race_sites,
+        u.race_sites,
+        s.sites,
+        u.sites
+    );
+    // Steering explores *around* the uniform baseline (derived plans graft
+    // perturbations onto the same per-round workloads), so it should keep
+    // a corpus and a discovery timeline worth reporting.
+    assert!(
+        s.corpus_size >= 1,
+        "coverage-adding rounds enter the corpus"
+    );
+    assert_eq!(
+        s.timeline.len(),
+        12,
+        "one discovery tick per round, got {:?}",
+        s.timeline
+    );
+    let replayed: u64 = s.timeline.iter().map(|t| t.new_points).sum();
+    assert_eq!(
+        replayed, s.points_total,
+        "ticks must partition the coverage set"
+    );
+    for w in s.timeline.windows(2) {
+        assert!(
+            w[1].total_points >= w[0].total_points,
+            "cumulative coverage is monotone: {:?}",
+            s.timeline
+        );
+    }
+}
+
+/// Acceptance: a campaign interrupted mid-flight and resumed from its
+/// checkpoint converges to the same coverage set, site list, and
+/// per-round outcomes as the uninterrupted run — the corpus is rebuilt
+/// from the checkpointed plans, so steering continues exactly.
+///
+/// TurboHash is the vehicle: comparing an interrupted+resumed campaign
+/// against an uninterrupted one compares two *independent executions*,
+/// so the app's traces must be byte-reproducible even under steered
+/// (delayed, mutated) rounds. TurboHash's are; PCLHT's occasionally
+/// flicker one interleaving-dependent site, which would flake the exact
+/// equality this test exists to assert.
+#[test]
+fn interrupted_steered_campaign_resumes_to_identical_coverage() {
+    let dir = std::env::temp_dir().join(format!("hawkset-steer-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let app: Arc<dyn Application> = Arc::new(TurboHashApp);
+
+    // The reference: 12 steered rounds, never interrupted.
+    let full_cfg = CrashCampaignConfig {
+        steer: true,
+        ..campaign_cfg(5, 12)
+    };
+    let full = run_crash_campaign(&app, &full_cfg).expect("uninterrupted campaign runs");
+
+    // The interrupted run: the same campaign stops after round 4 (as if
+    // SIGKILLed; the checkpoint is written after every round, so stopping
+    // at a round boundary is exactly the on-disk state a kill leaves),
+    // then resumes to the full 12.
+    let ckpt = dir.join("steer.json");
+    let _ = std::fs::remove_file(&ckpt);
+    let partial_cfg = CrashCampaignConfig {
+        checkpoint: Some(ckpt.clone()),
+        ..CrashCampaignConfig {
+            steer: true,
+            ..campaign_cfg(5, 5)
+        }
+    };
+    run_crash_campaign(&app, &partial_cfg).expect("partial campaign runs");
+    let resumed_cfg = CrashCampaignConfig {
+        rounds: 12,
+        resume: true,
+        ..partial_cfg.clone()
+    };
+    let resumed = run_crash_campaign(&app, &resumed_cfg).expect("resumed campaign runs");
+    assert!(resumed.resumed_from_checkpoint);
+    assert_eq!(
+        resumed.executed_this_run, 7,
+        "only the seven unfinished rounds run after resume"
+    );
+
+    let a = full.coverage_report();
+    let b = resumed.coverage_report();
+    assert_eq!(
+        a.sites, b.sites,
+        "kill + resume must converge to the uninterrupted run's race sites"
+    );
+    assert_eq!(a, b, "the full coverage reports (timeline included) match");
+    let outcomes = |r: &hawkset::baseline::CrashCampaignResult| {
+        r.records
+            .iter()
+            .map(|x| x.outcome.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        outcomes(&full),
+        outcomes(&resumed),
+        "per-round outcomes match round for round"
+    );
+
+    // A steered resume whose config changed what rounds do is refused —
+    // the corpus rebuilt from the records would diverge from the rounds
+    // that produced them.
+    let drifted = CrashCampaignConfig {
+        main_ops: 32,
+        ..resumed_cfg.clone()
+    };
+    let err = run_crash_campaign(&app, &drifted).expect_err("fingerprint drift must fail");
+    assert!(
+        err.contains("fingerprint"),
+        "error names the fingerprint mismatch: {err}"
+    );
+
+    // A checkpoint written before steering existed carries no plans to
+    // rebuild the corpus from; a steered resume refuses it.
+    let mut old = load_checkpoint(&ckpt).expect("checkpoint parses");
+    old.fingerprint = None;
+    std::fs::write(
+        &ckpt,
+        serde_json::to_string_pretty(&old).expect("checkpoint serializes"),
+    )
+    .expect("checkpoint rewrites");
+    let err = run_crash_campaign(&app, &resumed_cfg).expect_err("pre-steering checkpoint refused");
+    assert!(
+        err.contains("steer"),
+        "error explains the checkpoint predates steering: {err}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

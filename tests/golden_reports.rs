@@ -774,6 +774,8 @@ fn golden_campaign_metrics_are_pinned() {
                 images_captured: 3,
                 attributed: Vec::new(),
                 duration_ms: 12,
+                coverage: Vec::new(),
+                plan: None,
             },
             RoundRecord {
                 round: 1,
@@ -784,6 +786,8 @@ fn golden_campaign_metrics_are_pinned() {
                 images_captured: 1,
                 attributed: Vec::new(),
                 duration_ms: 61,
+                coverage: Vec::new(),
+                plan: None,
             },
         ],
         executed_this_run: 2,

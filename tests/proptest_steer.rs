@@ -1,0 +1,141 @@
+//! Property tests for the coverage-guided steering layer (tier-1).
+//!
+//! Two contracts keep steered campaigns deterministic and resumable:
+//!
+//! 1. a round's **coverage signature** is a function of the trace alone —
+//!    re-analyzing the same trace with any analysis thread count yields
+//!    the identical, canonically ordered point set;
+//! 2. **plan derivation is pure** in `(campaign seed, absorbed records)` —
+//!    replaying any checkpoint prefix through a fresh planner reproduces
+//!    every remaining plan byte-for-byte, which is exactly what `--resume`
+//!    relies on.
+
+use hawkset::apps::pclht::PclhtApp;
+use hawkset::apps::{Application, ExecOptions};
+use hawkset::baseline::{
+    extract_coverage, materialize_workload, round_seed, AxisSet, CoveragePoint, DelaySpec,
+    RoundOutcome, RoundPlan, Steer,
+};
+use hawkset::core::analysis::Analyzer;
+use proptest::prelude::*;
+
+/// Deterministic, plan-dependent synthetic coverage — stands in for a
+/// round execution so the purity property is about the planner, not about
+/// application scheduling noise. Different plans discover different
+/// (sometimes overlapping) point sets.
+fn synth_coverage(plan: &RoundPlan) -> Vec<CoveragePoint> {
+    let h = plan
+        .mutations
+        .iter()
+        .fold(plan.workload_seed ^ plan.crash_salt, |acc, m| {
+            acc.rotate_left(7) ^ m
+        })
+        ^ ((plan.threads as u64) << 32)
+        ^ u64::from(plan.delay.prob_1024);
+    let mut points = Vec::new();
+    for i in 0..(1 + h % 3) {
+        let k = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+        points.push(CoveragePoint::Audit {
+            outcome: format!("outcome-{}", k % 5),
+            detail: format!("invariant-{}", (k >> 8) % 23),
+        });
+    }
+    points.sort();
+    points.dedup();
+    points
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One app execution, one trace — the extracted coverage signature is
+    /// identical (and canonically sorted) regardless of how many worker
+    /// threads the analysis uses.
+    #[test]
+    fn coverage_signature_is_independent_of_analysis_thread_count(seed in 0u64..1024) {
+        let app = PclhtApp;
+        let plan = RoundPlan::baseline(round_seed(seed, 0), 2);
+        let workload = materialize_workload(&app, &plan, 16);
+        let result = app.execute_with(&workload, &ExecOptions::default());
+        let base = extract_coverage(
+            &Analyzer::default().threads(1).run(&result.trace),
+            &RoundOutcome::Ok,
+        );
+        let mut sorted = base.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(&base, &sorted, "the signature is canonical (sorted, deduped)");
+        for threads in [2usize, 4, 8] {
+            let cov = extract_coverage(
+                &Analyzer::default().threads(threads).run(&result.trace),
+                &RoundOutcome::Ok,
+            );
+            prop_assert_eq!(
+                &cov, &base,
+                "coverage must not depend on analysis parallelism ({} threads)",
+                threads
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replaying any checkpoint prefix into a fresh `Steer` reproduces the
+    /// reference campaign's remaining plans byte-for-byte, and converges
+    /// to the identical coverage set and corpus.
+    #[test]
+    fn plan_derivation_replays_byte_for_byte_from_any_truncation(
+        seed in any::<u64>(),
+        rounds in 4u64..16,
+        cut_sel in any::<u64>(),
+    ) {
+        let delay = DelaySpec::uniform(0.05, 20);
+        let fresh = || Steer::new(seed, AxisSet::default(), 3, delay.clone());
+
+        // Reference campaign: plan, synthesize coverage, absorb — in
+        // round order, recording what a checkpoint would hold.
+        let mut reference = fresh();
+        let mut records: Vec<(u64, RoundPlan, Vec<CoveragePoint>)> = Vec::new();
+        for round in 0..rounds {
+            let plan = reference.plan(round);
+            prop_assert_eq!(
+                &plan,
+                &reference.plan(round),
+                "plan() is pure: asking twice for round {} must not differ",
+                round
+            );
+            let coverage = synth_coverage(&plan);
+            reference.absorb(round, Some(&plan), &coverage);
+            records.push((round, plan, coverage));
+        }
+
+        // Resume at an arbitrary truncation point: replay the prefix,
+        // then re-derive the tail.
+        let cut = (cut_sel % rounds) as usize;
+        let mut resumed = fresh();
+        for (round, plan, coverage) in &records[..cut] {
+            resumed.absorb(*round, Some(plan), coverage);
+        }
+        for (round, plan, coverage) in &records[cut..] {
+            let replayed = resumed.plan(*round);
+            prop_assert_eq!(
+                &replayed, plan,
+                "round {} diverged after resuming at round {}",
+                round, cut
+            );
+            resumed.absorb(*round, Some(&replayed), coverage);
+        }
+        prop_assert_eq!(
+            resumed.seen(),
+            reference.seen(),
+            "coverage sets converge after resume"
+        );
+        prop_assert_eq!(
+            resumed.corpus(),
+            reference.corpus(),
+            "corpora converge after resume"
+        );
+    }
+}
